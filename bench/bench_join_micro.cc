@@ -1,0 +1,135 @@
+// Join-algorithm ablation (beyond the paper's tables; supports Figure 6 and
+// the Section 6 discussion): microbenchmarks of the three physical join
+// implementations over synthetic tables, sweeping input size and key type.
+//
+// Expected shapes:
+//  - nested-loop cost grows with |L|*|R|; hash/sort with |L|+|R|;
+//  - untyped keys pay the promotion-enumeration overhead (two entries +
+//    string bridge) relative to typed integer keys;
+//  - the ordered-index (sort) variant tracks the hash variant with a
+//    log-factor overhead.
+#include <benchmark/benchmark.h>
+
+#include "src/runtime/joins.h"
+#include "src/types/compare.h"
+
+namespace xqc {
+namespace {
+
+enum class KeyKind { kInteger, kUntyped, kMixedNumeric };
+
+AtomicValue MakeKey(KeyKind kind, int64_t v) {
+  switch (kind) {
+    case KeyKind::kInteger:
+      return AtomicValue::Integer(v);
+    case KeyKind::kUntyped:
+      return AtomicValue::Untyped("k" + std::to_string(v));
+    case KeyKind::kMixedNumeric:
+      switch (v % 3) {
+        case 0: return AtomicValue::Integer(v);
+        case 1: return AtomicValue::Decimal(static_cast<double>(v));
+        default: return AtomicValue::Double(static_cast<double>(v));
+      }
+  }
+  return AtomicValue::Integer(v);
+}
+
+Table MakeTable(const char* field, int rows, int key_space, KeyKind kind) {
+  Table t;
+  t.reserve(rows);
+  uint64_t state = 12345;
+  for (int i = 0; i < rows; i++) {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    Tuple tup;
+    tup.Set(Symbol(field),
+            {MakeKey(kind, static_cast<int64_t>((state >> 33) % key_space))});
+    t.push_back(std::move(tup));
+  }
+  return t;
+}
+
+KeyFn FieldKey(const char* field) {
+  Symbol f(field);
+  return [f](const Tuple& t) -> Result<Sequence> { return *t.Get(f); };
+}
+
+void BM_Join(benchmark::State& state, KeyKind kind, int algo) {
+  int rows = static_cast<int>(state.range(0));
+  Table left = MakeTable("a", rows, rows / 4 + 1, kind);
+  Table right = MakeTable("b", rows, rows / 4 + 1, kind);
+  Symbol a("a"), b("b");
+  for (auto _ : state) {
+    Result<Table> r = Status::OK();
+    if (algo == 0) {
+      PredFn pred = [a, b](const Tuple& t) -> Result<bool> {
+        return GeneralCompare(CompOp::kEq, *t.Get(a), *t.Get(b));
+      };
+      r = NestedLoopJoin(left, right, pred, false, Symbol("null"));
+    } else if (algo == 3) {
+      // The Section 6 static-typing specialization: single-entry keys.
+      KeyMode mode = kind == KeyKind::kUntyped ? KeyMode::kStringKeys
+                                               : KeyMode::kDoubleKeys;
+      Result<std::shared_ptr<const MaterializedInner>> inner =
+          MaterializeInner(right, FieldKey("b"), false, mode);
+      if (!inner.ok()) {
+        state.SkipWithError(inner.status().ToString().c_str());
+        return;
+      }
+      r = EqualityJoinWithIndex(left, FieldKey("a"), right, *inner.value(),
+                                false, Symbol("null"));
+    } else {
+      r = EqualityJoin(left, FieldKey("a"), right, FieldKey("b"), false,
+                       Symbol("null"), /*use_ordered_index=*/algo == 2);
+    }
+    if (!r.ok()) {
+      state.SkipWithError(r.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(r.value().size());
+  }
+  state.SetComplexityN(rows);
+}
+
+void RegisterAll() {
+  struct Algo {
+    const char* name;
+    int id;
+  };
+  const Algo kAlgos[] = {{"NestedLoop", 0},
+                         {"Hash", 1},
+                         {"OrderedIndex", 2},
+                         {"HashSpecialized", 3}};
+  struct Kind {
+    const char* name;
+    KeyKind kind;
+  };
+  const Kind kKinds[] = {{"IntKeys", KeyKind::kInteger},
+                         {"UntypedKeys", KeyKind::kUntyped},
+                         {"MixedNumericKeys", KeyKind::kMixedNumeric}};
+  for (const Kind& k : kKinds) {
+    for (const Algo& algo : kAlgos) {
+      KeyKind kind = k.kind;
+      int id = algo.id;
+      auto* b = benchmark::RegisterBenchmark(
+          (std::string("JoinMicro/") + k.name + "/" + algo.name).c_str(),
+          [kind, id](benchmark::State& st) { BM_Join(st, kind, id); });
+      b->Unit(benchmark::kMicrosecond);
+      // Nested loops are quadratic: keep their sweep smaller.
+      if (id == 0) {
+        b->Arg(256)->Arg(1024)->Arg(4096);
+      } else {
+        b->Arg(256)->Arg(1024)->Arg(4096)->Arg(16384);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace xqc
+
+int main(int argc, char** argv) {
+  xqc::RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,119 @@
+// Document-projection ablation (supports Table 1's TreeProject and the
+// paper's streaming-evaluation outlook): measures XMark query evaluation
+// with and without statically inferred document projection, plus the
+// projection cost and the node-count reduction.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "src/opt/projection_infer.h"
+#include "src/xml/project.h"
+#include "src/xmark/xmark.h"
+#include "src/xquery/parser.h"
+
+namespace xqc {
+namespace {
+
+NodePtr FullDoc() {
+  static NodePtr* doc = [] {
+    XMarkOptions opts;
+    opts.target_bytes = bench::Scaled(512 * 1024);
+    Result<NodePtr> d = GenerateXMarkDocument(opts);
+    return new NodePtr(d.ok() ? d.take() : nullptr);
+  }();
+  return *doc;
+}
+
+size_t CountNodes(const Node& n) {
+  size_t c = 1 + n.attributes.size();
+  for (const NodePtr& k : n.children) c += CountNodes(*k);
+  return c;
+}
+
+void BM_Query(benchmark::State& state, int query, bool project) {
+  NodePtr doc = FullDoc();
+  if (doc == nullptr) {
+    state.SkipWithError("generation failed");
+    return;
+  }
+  if (project) {
+    Result<Query> parsed = ParseXQuery(XMarkQuery(query));
+    ProjectionAnalysis a = InferProjectionPaths(parsed.value());
+    auto it = a.paths_by_var.find(Symbol("auction"));
+    if (!a.projectable || it == a.paths_by_var.end()) {
+      state.SkipWithError("query is not projectable");
+      return;
+    }
+    Result<NodePtr> projected = ProjectTree(doc, it->second);
+    if (!projected.ok()) {
+      state.SkipWithError(projected.status().ToString().c_str());
+      return;
+    }
+    doc = projected.take();
+  }
+  state.counters["nodes"] =
+      static_cast<double>(CountNodes(*doc));
+  DynamicContext ctx;
+  ctx.BindVariable(Symbol("auction"), {Item(doc)});
+  Engine engine;
+  Result<PreparedQuery> q = engine.Prepare(XMarkQuery(query));
+  if (!q.ok()) {
+    state.SkipWithError(q.status().ToString().c_str());
+    return;
+  }
+  for (auto _ : state) {
+    Result<Sequence> r = q.value().Execute(&ctx);
+    if (!r.ok()) {
+      state.SkipWithError(r.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(r.value().size());
+  }
+}
+
+void BM_ProjectCost(benchmark::State& state, int query) {
+  NodePtr doc = FullDoc();
+  Result<Query> parsed = ParseXQuery(XMarkQuery(query));
+  ProjectionAnalysis a = InferProjectionPaths(parsed.value());
+  auto it = a.paths_by_var.find(Symbol("auction"));
+  if (!a.projectable || it == a.paths_by_var.end()) {
+    state.SkipWithError("not projectable");
+    return;
+  }
+  for (auto _ : state) {
+    Result<NodePtr> p = ProjectTree(doc, it->second);
+    if (!p.ok()) {
+      state.SkipWithError(p.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(p.value().get());
+  }
+}
+
+void RegisterAll() {
+  for (int query : {1, 5, 8, 13, 17}) {
+    for (bool project : {false, true}) {
+      benchmark::RegisterBenchmark(
+          ("Projection/Q" + std::to_string(query) +
+           (project ? "/Projected" : "/Full"))
+              .c_str(),
+          [query, project](benchmark::State& st) {
+            BM_Query(st, query, project);
+          })
+          ->Unit(benchmark::kMillisecond);
+    }
+    benchmark::RegisterBenchmark(
+        ("Projection/Q" + std::to_string(query) + "/ProjectCost").c_str(),
+        [query](benchmark::State& st) { BM_ProjectCost(st, query); })
+        ->Unit(benchmark::kMillisecond);
+  }
+}
+
+}  // namespace
+}  // namespace xqc
+
+int main(int argc, char** argv) {
+  xqc::RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

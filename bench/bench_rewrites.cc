@@ -1,0 +1,107 @@
+// Compilation-pipeline ablation (supports the paper's claim that the
+// compilation phases are "negligible" next to document load, Section 7):
+// measures parse -> normalize -> compile -> optimize time for the XMark and
+// Clio workloads, and the optimizer pass in isolation.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "src/clio/clio.h"
+#include "src/opt/optimizer.h"
+#include "src/xmark/xmark.h"
+#include "src/xml/xml_parser.h"
+#include "src/xquery/normalize.h"
+#include "src/xquery/parser.h"
+
+namespace xqc {
+namespace {
+
+void BM_PrepareXMarkSuite(benchmark::State& state, bool optimize) {
+  Engine engine;
+  EngineOptions options{true, optimize, JoinImpl::kHash};
+  for (auto _ : state) {
+    for (int qn = 1; qn <= 20; qn++) {
+      Result<PreparedQuery> q = engine.Prepare(XMarkQuery(qn), options);
+      if (!q.ok()) {
+        state.SkipWithError(q.status().ToString().c_str());
+        return;
+      }
+      benchmark::DoNotOptimize(&q.value());
+    }
+  }
+}
+
+void BM_PrepareClio(benchmark::State& state, int level) {
+  Engine engine;
+  for (auto _ : state) {
+    Result<PreparedQuery> q = engine.Prepare(ClioQuery(level));
+    if (!q.ok()) {
+      state.SkipWithError(q.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(&q.value());
+  }
+}
+
+void BM_OptimizerOnly(benchmark::State& state, int level) {
+  Result<Query> parsed = ParseXQuery(ClioQuery(level));
+  Result<Query> core = NormalizeQuery(parsed.value());
+  HoistLeadingLets(&core.value());
+  HoistNestedReturnBlocks(&core.value());
+  Result<CompiledQuery> compiled = CompileQuery(core.value());
+  for (auto _ : state) {
+    OpPtr plan = CloneOp(*compiled.value().plan);
+    benchmark::DoNotOptimize(OptimizePlan(std::move(plan)));
+  }
+}
+
+void BM_ParseDocument(benchmark::State& state) {
+  XMarkOptions opts;
+  opts.target_bytes = bench::Scaled(256 * 1024);
+  std::string xml = GenerateXMarkXml(opts);
+  for (auto _ : state) {
+    Result<NodePtr> doc = ParseXml(xml);
+    if (!doc.ok()) {
+      state.SkipWithError(doc.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(doc.value().get());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(xml.size()));
+}
+
+void RegisterAll() {
+  benchmark::RegisterBenchmark("Rewrites/PrepareXMark20/NoOptim",
+                               [](benchmark::State& s) {
+                                 BM_PrepareXMarkSuite(s, false);
+                               })
+      ->Unit(benchmark::kMillisecond);
+  benchmark::RegisterBenchmark("Rewrites/PrepareXMark20/Optim",
+                               [](benchmark::State& s) {
+                                 BM_PrepareXMarkSuite(s, true);
+                               })
+      ->Unit(benchmark::kMillisecond);
+  for (int level : {2, 3, 4}) {
+    benchmark::RegisterBenchmark(
+        ("Rewrites/PrepareClioN" + std::to_string(level)).c_str(),
+        [level](benchmark::State& s) { BM_PrepareClio(s, level); })
+        ->Unit(benchmark::kMillisecond);
+    benchmark::RegisterBenchmark(
+        ("Rewrites/OptimizeOnlyClioN" + std::to_string(level)).c_str(),
+        [level](benchmark::State& s) { BM_OptimizerOnly(s, level); })
+        ->Unit(benchmark::kMillisecond);
+  }
+  benchmark::RegisterBenchmark("Rewrites/ParseXMarkDocument",
+                               BM_ParseDocument)
+      ->Unit(benchmark::kMillisecond);
+}
+
+}  // namespace
+}  // namespace xqc
+
+int main(int argc, char** argv) {
+  xqc::RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Table 3 reproduction: "XMark 1-20 on 1MB document".
+//
+// The paper's Table 3 reports the total execution time of all twenty XMark
+// queries on one document under the four successive compiler
+// configurations:
+//
+//     Implementation              Total time      (paper, 1 MB, 2005 HW)
+//     No algebra                  3m33.0s
+//     Algebra + No optim          50.0s
+//     Optim + nested-loop joins   5.1s
+//     Optim + XQuery joins        1.7s
+//
+// Each benchmark below runs the full 20-query suite — including document
+// load (parse) and result serialization, as in the paper — under one
+// configuration. Default document size is 256 KB (see bench_util.h;
+// XQC_SCALE=4 gives the paper's 1 MB).
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "src/xmark/xmark.h"
+#include "src/xml/xml_parser.h"
+
+namespace xqc {
+namespace {
+
+const std::string& XmarkText() {
+  static const std::string* kText = [] {
+    XMarkOptions opts;
+    opts.target_bytes = bench::Scaled(256 * 1024);
+    return new std::string(GenerateXMarkXml(opts));
+  }();
+  return *kText;
+}
+
+void BM_Table3(benchmark::State& state, const EngineOptions& options) {
+  Engine engine;
+  for (auto _ : state) {
+    // Load the input document once (counted, as in the paper)...
+    Result<NodePtr> doc = ParseXml(XmarkText());
+    if (!doc.ok()) {
+      state.SkipWithError(doc.status().ToString().c_str());
+      return;
+    }
+    DynamicContext ctx;
+    ctx.BindVariable(Symbol("auction"), {Item(doc.value())});
+    // ...then evaluate all twenty queries and serialize all results.
+    for (int qn = 1; qn <= 20; qn++) {
+      bench::RunQueryOrAbort(engine, XMarkQuery(qn), options, &ctx, &state);
+    }
+  }
+}
+
+void RegisterAll() {
+  int n;
+  const bench::NamedConfig* configs = bench::Configs(&n);
+  for (int i = 0; i < n; i++) {
+    EngineOptions options = configs[i].options;
+    benchmark::RegisterBenchmark(
+        (std::string("Table3/XMark1to20/") + configs[i].name).c_str(),
+        [options](benchmark::State& s) { BM_Table3(s, options); })
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(1)
+        ->MeasureProcessCPUTime();
+  }
+}
+
+}  // namespace
+}  // namespace xqc
+
+int main(int argc, char** argv) {
+  xqc::RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Shared helpers for the paper-table benchmark binaries.
+//
+// Scaling: the paper's testbed ran documents of 1-50 MB; nested-loop
+// configurations on those sizes take hours, so the default reproduction
+// scale is smaller (the quadratic-vs-linear shapes are unambiguous well
+// below 1 MB). Set XQC_SCALE=<float> to multiply all document sizes
+// (XQC_SCALE=4 roughly reproduces the paper's 1 MB Table 3 setting).
+#ifndef XQC_BENCH_BENCH_UTIL_H_
+#define XQC_BENCH_BENCH_UTIL_H_
+
+#include <cstdlib>
+#include <string>
+
+#include "src/engine/engine.h"
+
+namespace xqc {
+namespace bench {
+
+inline double ScaleFactor() {
+  const char* s = std::getenv("XQC_SCALE");
+  if (s == nullptr) return 1.0;
+  double v = atof(s);
+  return v > 0 ? v : 1.0;
+}
+
+inline size_t Scaled(size_t bytes) {
+  return static_cast<size_t>(static_cast<double>(bytes) * ScaleFactor());
+}
+
+/// The paper's four evaluation configurations (Table 3 rows).
+struct NamedConfig {
+  const char* name;
+  EngineOptions options;
+};
+
+inline const NamedConfig* Configs(int* count) {
+  static const NamedConfig kConfigs[] = {
+      {"NoAlgebra", {false, false, JoinImpl::kNestedLoop}},
+      {"AlgebraNoOptim", {true, false, JoinImpl::kNestedLoop}},
+      {"OptimNLJoin", {true, true, JoinImpl::kNestedLoop}},
+      {"OptimXQueryJoin", {true, true, JoinImpl::kHash}},
+  };
+  *count = 4;
+  return kConfigs;
+}
+
+/// Prepares and runs one query, aborting the benchmark on error.
+inline void RunQueryOrAbort(const Engine& engine, const std::string& query,
+                            const EngineOptions& options, DynamicContext* ctx,
+                            ::benchmark::State* state) {
+  Result<PreparedQuery> q = engine.Prepare(query, options);
+  if (!q.ok()) {
+    state->SkipWithError(q.status().ToString().c_str());
+    return;
+  }
+  Result<std::string> r = q.value().ExecuteToString(ctx);
+  if (!r.ok()) {
+    state->SkipWithError(r.status().ToString().c_str());
+    return;
+  }
+  ::benchmark::DoNotOptimize(r.value().size());
+}
+
+}  // namespace bench
+}  // namespace xqc
+
+#endif  // XQC_BENCH_BENCH_UTIL_H_

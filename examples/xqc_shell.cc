@@ -1,0 +1,149 @@
+// xqc_shell: a small command-line front end to the engine.
+//
+//   $ xqc_shell [options] -q 'for $x in (1,2,3) return $x * 2'
+//   $ xqc_shell --query-file q.xq --doc auction=auction.xml --explain
+//
+// Options:
+//   -q <text>            query text
+//   --query-file <path>  read the query from a file
+//   --doc <var>=<path>   parse an XML file and bind its root to $<var>
+//                        (also registered under the path for fn:doc)
+//   --explain            print the optimized plan instead of executing
+//   --explain-naive      print the unoptimized plan
+//   --no-optimize        disable the Figure 5 rewritings
+//   --interpret          use the baseline Core interpreter
+//   --join nl|hash|sort  physical join algorithm (default hash)
+//   --project            statically project bound documents (TreeProject)
+//   --stats              print optimizer/executor statistics
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "src/engine/engine.h"
+#include "src/xml/project.h"
+#include "src/xml/xml_parser.h"
+
+namespace {
+
+int Fail(const std::string& msg) {
+  std::cerr << "xqc_shell: " << msg << "\n";
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string query;
+  bool explain = false, explain_naive = false, stats = false, project = false;
+  std::vector<std::pair<xqc::Symbol, xqc::NodePtr>> docs;
+  xqc::EngineOptions options;
+  xqc::DynamicContext ctx;
+
+  for (int i = 1; i < argc; i++) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "-q") {
+      const char* v = next();
+      if (v == nullptr) return Fail("-q needs an argument");
+      query = v;
+    } else if (arg == "--query-file") {
+      const char* v = next();
+      if (v == nullptr) return Fail("--query-file needs an argument");
+      std::ifstream in(v);
+      if (!in) return Fail(std::string("cannot open ") + v);
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      query = buf.str();
+    } else if (arg == "--doc") {
+      const char* v = next();
+      if (v == nullptr) return Fail("--doc needs var=path");
+      std::string spec = v;
+      size_t eq = spec.find('=');
+      if (eq == std::string::npos) return Fail("--doc needs var=path");
+      std::string var = spec.substr(0, eq), path = spec.substr(eq + 1);
+      xqc::Result<xqc::NodePtr> doc = xqc::ParseXmlFile(path);
+      if (!doc.ok()) return Fail(doc.status().ToString());
+      ctx.RegisterDocument(path, doc.value());
+      ctx.BindVariable(xqc::Symbol(var), {xqc::Item(doc.value())});
+      docs.emplace_back(xqc::Symbol(var), doc.value());
+    } else if (arg == "--project") {
+      project = true;
+    } else if (arg == "--explain") {
+      explain = true;
+    } else if (arg == "--explain-naive") {
+      explain_naive = true;
+    } else if (arg == "--no-optimize") {
+      options.optimize = false;
+    } else if (arg == "--interpret") {
+      options.use_algebra = false;
+    } else if (arg == "--stats") {
+      stats = true;
+    } else if (arg == "--join") {
+      const char* v = next();
+      if (v == nullptr) return Fail("--join needs nl|hash|sort");
+      std::string j = v;
+      if (j == "nl") options.join_impl = xqc::JoinImpl::kNestedLoop;
+      else if (j == "hash") options.join_impl = xqc::JoinImpl::kHash;
+      else if (j == "sort") options.join_impl = xqc::JoinImpl::kSort;
+      else return Fail("unknown join algorithm: " + j);
+    } else {
+      return Fail("unknown option: " + arg);
+    }
+  }
+  if (query.empty()) {
+    return Fail("no query (use -q or --query-file); try:\n"
+                "  xqc_shell -q 'for $x in (1,2,3) return $x * 2'");
+  }
+
+  xqc::Engine engine;
+  xqc::Result<xqc::PreparedQuery> prepared = engine.Prepare(query, options);
+  if (!prepared.ok()) return Fail(prepared.status().ToString());
+
+  if (project) {
+    xqc::ProjectionAnalysis a = prepared.value().InferProjection();
+    if (!a.projectable) {
+      std::cerr << "xqc_shell: query is not projectable; using full "
+                   "documents\n";
+    } else {
+      for (auto& [var, doc] : docs) {
+        auto it = a.paths_by_var.find(var);
+        if (it == a.paths_by_var.end()) continue;
+        xqc::Result<xqc::NodePtr> p = xqc::ProjectTree(doc, it->second);
+        if (!p.ok()) return Fail(p.status().ToString());
+        ctx.BindVariable(var, {xqc::Item(p.take())});
+        if (stats) {
+          std::cerr << "projected $" << var.str() << " to "
+                    << it->second.size() << " paths\n";
+        }
+      }
+    }
+  }
+  if (explain_naive) {
+    std::cout << prepared.value().ExplainUnoptimizedPlan() << "\n";
+    return 0;
+  }
+  if (explain) {
+    std::cout << prepared.value().ExplainPlan() << "\n";
+    return 0;
+  }
+  xqc::Result<std::string> result = prepared.value().ExecuteToString(&ctx);
+  if (!result.ok()) return Fail(result.status().ToString());
+  std::cout << result.value() << "\n";
+  if (stats) {
+    const xqc::OptimizerStats& os = prepared.value().optimizer_stats();
+    const xqc::ExecStats& es = prepared.value().last_exec_stats();
+    std::cerr << "optimizer: group-bys=" << os.insert_group_by
+              << " outer-joins=" << os.insert_outer_join
+              << " joins=" << os.insert_join
+              << " path-fusions=" << os.fuse_path_step << "\n"
+              << "executor: hash-joins=" << es.hash_joins
+              << " sort-joins=" << es.sort_joins
+              << " range-joins=" << es.range_joins
+              << " nl-joins=" << es.nested_loop_joins
+              << " group-bys=" << es.group_bys
+              << " index-reuses=" << es.join_index_reuses << "\n";
+  }
+  return 0;
+}

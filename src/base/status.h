@@ -1,0 +1,118 @@
+// Status / Result error-handling substrate (RocksDB idiom: no exceptions
+// across API boundaries). XQuery dynamic and type errors carry their W3C
+// error codes (e.g. XPTY0004) in the message.
+#ifndef XQC_BASE_STATUS_H_
+#define XQC_BASE_STATUS_H_
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace xqc {
+
+/// Error category. `kXQueryError` covers W3C-defined static/dynamic/type
+/// errors; the W3C code (XPST0003, XPTY0004, FORG0001, ...) is the `code()`.
+enum class StatusKind {
+  kOk,
+  kXQueryError,     // err:* static, dynamic, or type error
+  kParseError,      // malformed XML or XQuery input
+  kNotImplemented,  // unsupported feature
+  kInternal,        // invariant violation inside the engine
+  kIOError,         // file / URI access failure
+};
+
+/// A lightweight status object. Ok statuses allocate nothing.
+class Status {
+ public:
+  Status() : kind_(StatusKind::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status XQueryError(std::string code, std::string msg) {
+    return Status(StatusKind::kXQueryError, std::move(code), std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusKind::kParseError, "XPST0003", std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusKind::kNotImplemented, "XQST0000", std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusKind::kInternal, "XQDY0000", std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusKind::kIOError, "FODC0002", std::move(msg));
+  }
+
+  bool ok() const { return kind_ == StatusKind::kOk; }
+  StatusKind kind() const { return kind_; }
+  /// W3C error code, e.g. "XPTY0004". Empty for OK.
+  const std::string& code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const {
+    if (ok()) return "OK";
+    return "[" + code_ + "] " + message_;
+  }
+
+ private:
+  Status(StatusKind kind, std::string code, std::string msg)
+      : kind_(kind), code_(std::move(code)), message_(std::move(msg)) {}
+
+  StatusKind kind_;
+  std::string code_;
+  std::string message_;
+};
+
+/// Result<T> holds either a value or an error Status.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : v_(std::move(value)) {}  // NOLINT: implicit by design
+  Result(Status status) : v_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(v_).ok() && "Result from OK status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(v_); }
+  const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : std::get<Status>(v_);
+  }
+  T& value() {
+    assert(ok());
+    return std::get<T>(v_);
+  }
+  const T& value() const {
+    assert(ok());
+    return std::get<T>(v_);
+  }
+  T&& take() {
+    assert(ok());
+    return std::move(std::get<T>(v_));
+  }
+
+ private:
+  std::variant<T, Status> v_;
+};
+
+// Propagate a non-OK Status from an expression producing Status.
+#define XQC_RETURN_IF_ERROR(expr)             \
+  do {                                        \
+    ::xqc::Status _st = (expr);               \
+    if (!_st.ok()) return _st;                \
+  } while (0)
+
+// Evaluate an expression producing Result<T>; on error return its Status,
+// otherwise bind the value to `lhs`.
+#define XQC_ASSIGN_OR_RETURN(lhs, expr)       \
+  auto XQC_CONCAT_(_res_, __LINE__) = (expr); \
+  if (!XQC_CONCAT_(_res_, __LINE__).ok())     \
+    return XQC_CONCAT_(_res_, __LINE__).status(); \
+  lhs = XQC_CONCAT_(_res_, __LINE__).take()
+
+#define XQC_CONCAT_INNER_(a, b) a##b
+#define XQC_CONCAT_(a, b) XQC_CONCAT_INNER_(a, b)
+
+}  // namespace xqc
+
+#endif  // XQC_BASE_STATUS_H_

@@ -1,0 +1,127 @@
+#include "src/base/strutil.h"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace xqc {
+
+std::string_view TrimXmlSpace(std::string_view s) {
+  size_t b = 0, e = s.size();
+  while (b < e && IsXmlSpace(s[b])) b++;
+  while (e > b && IsXmlSpace(s[e - 1])) e--;
+  return s.substr(b, e - b);
+}
+
+bool IsAllXmlSpace(std::string_view s) {
+  for (char c : s) {
+    if (!IsXmlSpace(c)) return false;
+  }
+  return true;
+}
+
+std::string NormalizeSpace(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  bool in_space = true;  // suppress leading space
+  for (char c : s) {
+    if (IsXmlSpace(c)) {
+      if (!in_space) out.push_back(' ');
+      in_space = true;
+    } else {
+      out.push_back(c);
+      in_space = false;
+    }
+  }
+  if (!out.empty() && out.back() == ' ') out.pop_back();
+  return out;
+}
+
+std::string FormatDouble(double d) {
+  if (std::isnan(d)) return "NaN";
+  if (std::isinf(d)) return d > 0 ? "INF" : "-INF";
+  if (d == 0.0) return std::signbit(d) ? "-0" : "0";
+  // Integral values without fractional noise.
+  if (d == std::floor(d) && std::fabs(d) < 1e15) {
+    return FormatInt(static_cast<int64_t>(d));
+  }
+  char buf[64];
+  // Shortest round-trip representation.
+  for (int prec = 15; prec <= 17; prec++) {
+    snprintf(buf, sizeof(buf), "%.*g", prec, d);
+    if (strtod(buf, nullptr) == d) break;
+  }
+  return buf;
+}
+
+std::string FormatInt(int64_t v) { return std::to_string(v); }
+
+bool ParseDouble(std::string_view s, double* out) {
+  s = TrimXmlSpace(s);
+  if (s.empty()) return false;
+  if (s == "NaN") {
+    *out = std::nan("");
+    return true;
+  }
+  if (s == "INF" || s == "+INF") {
+    *out = HUGE_VAL;
+    return true;
+  }
+  if (s == "-INF") {
+    *out = -HUGE_VAL;
+    return true;
+  }
+  std::string tmp(s);
+  char* end = nullptr;
+  double v = strtod(tmp.c_str(), &end);
+  if (end != tmp.c_str() + tmp.size()) return false;
+  *out = v;
+  return true;
+}
+
+bool ParseInt(std::string_view s, int64_t* out) {
+  s = TrimXmlSpace(s);
+  if (s.empty()) return false;
+  if (s[0] == '+') s.remove_prefix(1);
+  auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), *out);
+  return ec == std::errc() && ptr == s.data() + s.size();
+}
+
+std::vector<std::string_view> Split(std::string_view s, char sep) {
+  std::vector<std::string_view> parts;
+  size_t start = 0;
+  while (true) {
+    size_t pos = s.find(sep, start);
+    if (pos == std::string_view::npos) {
+      parts.push_back(s.substr(start));
+      break;
+    }
+    parts.push_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return parts;
+}
+
+std::string XmlEscape(std::string_view s, bool in_attribute) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"':
+        if (in_attribute) {
+          out += "&quot;";
+        } else {
+          out.push_back(c);
+        }
+        break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace xqc

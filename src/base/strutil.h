@@ -1,0 +1,48 @@
+// Small string helpers shared across the engine.
+#ifndef XQC_BASE_STRUTIL_H_
+#define XQC_BASE_STRUTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace xqc {
+
+/// True iff `c` is XML whitespace (space, tab, CR, LF).
+inline bool IsXmlSpace(char c) {
+  return c == ' ' || c == '\t' || c == '\r' || c == '\n';
+}
+
+/// Strips leading and trailing XML whitespace.
+std::string_view TrimXmlSpace(std::string_view s);
+
+/// True iff `s` consists entirely of XML whitespace (including empty).
+bool IsAllXmlSpace(std::string_view s);
+
+/// Collapses internal whitespace runs to single spaces and trims
+/// (fn:normalize-space semantics).
+std::string NormalizeSpace(std::string_view s);
+
+/// Formats a double per (simplified) XQuery serialization rules:
+/// integral values in [-1e15,1e15] print without exponent or decimal point
+/// beyond ".0"? — XQuery prints 3 for xs:double 3? (No: "3".) We print the
+/// shortest round-trip form, with "NaN", "INF", "-INF" spellings.
+std::string FormatDouble(double d);
+
+/// Formats an int64.
+std::string FormatInt(int64_t v);
+
+/// Parses a decimal/double literal. Returns false on malformed input.
+bool ParseDouble(std::string_view s, double* out);
+bool ParseInt(std::string_view s, int64_t* out);
+
+/// Splits on a separator character (no trimming).
+std::vector<std::string_view> Split(std::string_view s, char sep);
+
+/// XML-escapes text content (& < >) or attribute values (also " ).
+std::string XmlEscape(std::string_view s, bool in_attribute);
+
+}  // namespace xqc
+
+#endif  // XQC_BASE_STRUTIL_H_

@@ -1,0 +1,47 @@
+#include "src/base/symbol.h"
+
+#include <deque>
+#include <mutex>
+#include <unordered_map>
+
+namespace xqc {
+namespace {
+
+struct Interner {
+  std::mutex mu;
+  std::unordered_map<std::string_view, uint32_t> map;
+  std::deque<std::string> names;  // deque: stable addresses
+
+  Interner() {
+    names.emplace_back("");
+    map.emplace(std::string_view(names.back()), 0);
+  }
+
+  uint32_t Intern(std::string_view name) {
+    std::lock_guard<std::mutex> lock(mu);
+    auto it = map.find(name);
+    if (it != map.end()) return it->second;
+    names.emplace_back(name);
+    uint32_t id = static_cast<uint32_t>(names.size() - 1);
+    map.emplace(std::string_view(names.back()), id);
+    return id;
+  }
+
+  const std::string& Str(uint32_t id) {
+    std::lock_guard<std::mutex> lock(mu);
+    return names[id];
+  }
+};
+
+Interner& Pool() {
+  static Interner* pool = new Interner();
+  return *pool;
+}
+
+}  // namespace
+
+Symbol::Symbol(std::string_view name) : id_(Pool().Intern(name)) {}
+
+const std::string& Symbol::str() const { return Pool().Str(id_); }
+
+}  // namespace xqc

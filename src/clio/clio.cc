@@ -1,0 +1,166 @@
+#include "src/clio/clio.h"
+
+#include <array>
+
+#include "src/xml/xml_parser.h"
+
+namespace xqc {
+namespace {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed * 0x9E3779B97F4A7C15ull + 1) {}
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+  uint64_t Below(uint64_t n) { return n == 0 ? 0 : Next() % n; }
+
+ private:
+  uint64_t state_;
+};
+
+const char* const kTitleWords[] = {
+    "Efficient", "Algebraic",  "Streaming", "Adaptive", "Holistic",
+    "Queries",   "Indexes",    "Joins",     "Views",    "Schemas",
+    "XML",       "Relational", "Semistructured", "Data", "Processing",
+    "Optimization", "Evaluation", "Compilation", "Integration", "Mapping"};
+
+}  // namespace
+
+std::string GenerateDblpXml(const ClioOptions& options) {
+  Rng rng(options.seed);
+  double kb = static_cast<double>(options.target_bytes) / 1024.0;
+  int n_papers = std::max<int>(10, static_cast<int>(kb * 2.4));
+  int n_authors = std::max<int>(6, n_papers / 4);
+  int n_confs = std::max<int>(3, n_papers / 25);
+  int n_publishers = std::max<int>(2, n_confs / 3);
+
+  std::string out;
+  out.reserve(options.target_bytes + options.target_bytes / 4);
+  out += "<dblp>\n";
+
+  auto author_name = [&](int i) {
+    return "A. Author" + std::to_string(i);
+  };
+  auto conf_name = [&](int i) { return "CONF" + std::to_string(i); };
+  auto publisher_name = [&](int i) { return "Press" + std::to_string(i); };
+
+  for (int i = 0; i < n_authors; i++) {
+    out += "<authorinfo><name>" + author_name(i) + "</name><affiliation>Univ" +
+           std::to_string(rng.Below(40)) + "</affiliation></authorinfo>\n";
+  }
+  for (int i = 0; i < n_publishers; i++) {
+    out += "<publisher><pname>" + publisher_name(i) + "</pname><city>City" +
+           std::to_string(rng.Below(20)) + "</city></publisher>\n";
+  }
+  // One proceedings entry per (conference, year in 1998..2005).
+  for (int c = 0; c < n_confs; c++) {
+    for (int y = 1998; y <= 2005; y++) {
+      out += "<proceedings key=\"proc-" + std::to_string(c) + "-" +
+             std::to_string(y) + "\"><booktitle>" + conf_name(c) +
+             "</booktitle><year>" + std::to_string(y) + "</year><pubname>" +
+             publisher_name(c % n_publishers) + "</pubname></proceedings>\n";
+    }
+  }
+  for (int i = 0; i < n_papers; i++) {
+    out += "<inproceedings key=\"paper" + std::to_string(i) + "\">";
+    int na = static_cast<int>(1 + rng.Below(3));
+    for (int a = 0; a < na; a++) {
+      out += "<author>" + author_name(static_cast<int>(rng.Below(n_authors))) +
+             "</author>";
+    }
+    out += "<title>";
+    for (int w = 0; w < 6; w++) {
+      if (w > 0) out += " ";
+      out += kTitleWords[rng.Below(std::size(kTitleWords))];
+    }
+    out += "</title>";
+    int p0 = static_cast<int>(1 + rng.Below(400));
+    out += "<pages>" + std::to_string(p0) + "-" + std::to_string(p0 + 12) +
+           "</pages>";
+    out += "<year>" + std::to_string(1998 + rng.Below(8)) + "</year>";
+    out += "<booktitle>" + conf_name(static_cast<int>(rng.Below(n_confs))) +
+           "</booktitle>";
+    int ncites = static_cast<int>(rng.Below(3));
+    for (int k = 0; k < ncites; k++) {
+      out += "<cite ref=\"paper" + std::to_string(rng.Below(n_papers)) +
+             "\"/>";
+    }
+    out += "<url>http://dblp.example.org/paper" + std::to_string(i) +
+           "</url></inproceedings>\n";
+  }
+  out += "</dblp>\n";
+  return out;
+}
+
+Result<NodePtr> GenerateDblpDocument(const ClioOptions& options) {
+  return ParseXml(GenerateDblpXml(options));
+}
+
+const std::string& ClioQuery(int level) {
+  static const std::array<std::string, 5>* kQueries = [] {
+    auto* q = new std::array<std::string, 5>();
+    const std::string decl = "declare variable $dblp external; ";
+
+    // N2: doubly nested FLWOR, single join (author name), in the style of
+    // the Figure 1 Clio output — the nested block sits directly inside the
+    // element constructor.
+    (*q)[2] = decl +
+        "<authorDB>{ "
+        "for $a in $dblp/dblp/authorinfo return "
+        "<author><name>{$a/name/text()}</name>"
+        "<pubs>{ for $p in $dblp/dblp/inproceedings "
+        "        where $p/author = $a/name/text() "
+        "        return <pub><title>{$p/title/text()}</title>"
+        "<year>{$p/year/text()}</year></pub> }</pubs>"
+        "</author> }</authorDB>";
+
+    // N3: triple-nested FLWOR, 3-way join
+    // (authorinfo x inproceedings x proceedings).
+    (*q)[3] = decl +
+        "<authorDB>{ "
+        "for $a in $dblp/dblp/authorinfo return "
+        "<author><name>{$a/name/text()}</name>"
+        "<pubs>{ for $p in $dblp/dblp/inproceedings "
+        "        where $p/author = $a/name/text() "
+        "        return <pub><title>{$p/title/text()}</title>"
+        "<venue>{ for $pr in $dblp/dblp/proceedings "
+        "         where $pr/booktitle = $p/booktitle "
+        "           and $pr/year = $p/year "
+        "         return <conf>{$pr/booktitle/text()}</conf> }</venue>"
+        "</pub> }</pubs>"
+        "</author> }</authorDB>";
+
+    // N4: quadruple-nested FLWOR, 6-way join (authorinfo x inproceedings x
+    // proceedings x publisher x cited inproceedings x co-author infos).
+    (*q)[4] = decl +
+        "<authorDB>{ "
+        "for $a in $dblp/dblp/authorinfo return "
+        "<author><name>{$a/name/text()}</name>"
+        "<pubs>{ for $p in $dblp/dblp/inproceedings "
+        "        where $p/author = $a/name/text() "
+        "        return <pub><title>{$p/title/text()}</title>"
+        "<venue>{ for $pr in $dblp/dblp/proceedings "
+        "         where $pr/booktitle = $p/booktitle "
+        "           and $pr/year = $p/year "
+        "         return <conf name=\"{$pr/booktitle/text()}\">"
+        "{ for $pub in $dblp/dblp/publisher "
+        "  where $pub/pname = $pr/pubname "
+        "  return <press>{$pub/pname/text()}</press> }</conf> }</venue>"
+        "<cites>{ for $c in $dblp/dblp/inproceedings "
+        "         where $c/@key = $p/cite/@ref "
+        "         return <ctitle>{$c/title/text()}</ctitle> }</cites>"
+        "<coauthors>{ for $co in $dblp/dblp/authorinfo "
+        "             where $co/name = $p/author "
+        "             return <co>{$co/affiliation/text()}</co> }</coauthors>"
+        "</pub> }</pubs>"
+        "</author> }</authorDB>";
+    return q;
+  }();
+  return (*kQueries)[static_cast<size_t>(level)];
+}
+
+}  // namespace xqc

@@ -1,0 +1,42 @@
+// Clio substrate: synthetic DBLP-like documents and the schema-mapping
+// queries of the paper's Table 5 evaluation.
+//
+// Substitution note (see DESIGN.md): Clio is proprietary IBM tooling; its
+// generated queries are exemplified in the paper's Figure 1 (nested FLWOR
+// blocks inside element constructors, joining on author names). We generate
+// a DBLP-like source document and mapping queries with the documented
+// structure: N2 is a doubly nested FLWOR with a single join, N3 a triple
+// nested FLWOR with a 3-way join, N4 a quadruple-nested FLWOR with a 6-way
+// join — applied to a ~250 KB document as in the paper.
+#ifndef XQC_CLIO_CLIO_H_
+#define XQC_CLIO_CLIO_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/base/status.h"
+#include "src/xml/node.h"
+
+namespace xqc {
+
+struct ClioOptions {
+  uint64_t seed = 7;
+  /// Approximate size of the generated source document in bytes.
+  size_t target_bytes = 250 * 1024;
+};
+
+/// Generates the DBLP-like source document as XML text. Structure:
+/// dblp/(inproceedings | proceedings | publisher | authorinfo)* with
+/// author-name, booktitle, publisher-name, and citation-key join keys.
+std::string GenerateDblpXml(const ClioOptions& options);
+
+/// Generates and parses the source document.
+Result<NodePtr> GenerateDblpDocument(const ClioOptions& options);
+
+/// Mapping query N2/N3/N4 (the argument is the nesting level, 2..4).
+/// Each declares `$dblp` external; bind it to the document root.
+const std::string& ClioQuery(int level);
+
+}  // namespace xqc
+
+#endif  // XQC_CLIO_CLIO_H_

@@ -1,0 +1,48 @@
+// Algebraic compilation: XQuery Core -> the Table 1 algebra (Section 4).
+//
+// Implements the paper's inference rules: FLWOR clauses compile through the
+// auxiliary judgment [Clauses]_(Op0) that threads the intermediate tuple
+// plan (Figure 2: FOR / FORAT / LET / WHERE / ORDERBY), variables become
+// compiled tuple-field accesses IN#q (the "direct compiled memory access"
+// the paper credits for much of the algebra speedup), typeswitch compiles
+// per Figure 3 into TypeMatches + Cond over a common tuple field, path
+// steps become TreeJoin, and `as T` assertions become TypeAssert.
+#ifndef XQC_COMPILE_COMPILER_H_
+#define XQC_COMPILE_COMPILER_H_
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "src/algebra/op.h"
+#include "src/xquery/ast.h"
+
+namespace xqc {
+
+/// A user-defined function compiled to a plan over Var[param] leaves.
+struct CompiledFunction {
+  Symbol name;
+  std::vector<Symbol> params;
+  std::vector<std::optional<SequenceType>> param_types;
+  std::optional<SequenceType> return_type;
+  OpPtr plan;
+};
+
+/// A fully compiled query module.
+struct CompiledQuery {
+  OpPtr plan;
+  /// Prolog variables in declaration order; a null plan means `external`.
+  std::vector<std::pair<Symbol, OpPtr>> globals;
+  std::unordered_map<Symbol, CompiledFunction> functions;
+};
+
+/// Compiles a normalized Core query module.
+Result<CompiledQuery> CompileQuery(const Query& core);
+
+/// Compiles one normalized Core expression with no variables in tuple
+/// scope (free variables become Var[q] algebra-context lookups).
+Result<OpPtr> CompileExpr(const ExprPtr& core);
+
+}  // namespace xqc
+
+#endif  // XQC_COMPILE_COMPILER_H_

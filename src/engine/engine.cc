@@ -1,0 +1,77 @@
+#include "src/engine/engine.h"
+
+#include "src/xml/serializer.h"
+#include "src/xquery/normalize.h"
+#include "src/xquery/parser.h"
+
+namespace xqc {
+
+Result<Sequence> PreparedQuery::Execute(DynamicContext* ctx) const {
+  if (!options_.use_algebra) {
+    Interpreter interp(core_.get(), ctx);
+    return interp.Run();
+  }
+  ExecOptions exec;
+  exec.join_impl = options_.join_impl;
+  PlanEvaluator eval(compiled_.get(), ctx, exec);
+  Result<Sequence> r = eval.Run();
+  exec_stats_ = eval.stats();
+  return r;
+}
+
+Result<std::string> PreparedQuery::ExecuteToString(DynamicContext* ctx) const {
+  XQC_ASSIGN_OR_RETURN(Sequence s, Execute(ctx));
+  return SerializeSequence(s);
+}
+
+std::string PreparedQuery::ExplainPlan(bool pretty) const {
+  return OpToString(*compiled_->plan, pretty);
+}
+
+std::string PreparedQuery::ExplainUnoptimizedPlan(bool pretty) const {
+  return OpToString(*unoptimized_->plan, pretty);
+}
+
+Result<PreparedQuery> Engine::Prepare(const std::string& query_text) const {
+  return Prepare(query_text, options_);
+}
+
+Result<std::string> Engine::Execute(const std::string& query_text,
+                                    DynamicContext* ctx) const {
+  XQC_ASSIGN_OR_RETURN(PreparedQuery q, Prepare(query_text, options_));
+  return q.ExecuteToString(ctx);
+}
+
+Result<PreparedQuery> Engine::Prepare(const std::string& query_text,
+                                      const EngineOptions& options) const {
+  XQC_ASSIGN_OR_RETURN(Query parsed, ParseXQuery(query_text));
+  XQC_ASSIGN_OR_RETURN(Query core, NormalizeQuery(parsed));
+  HoistLeadingLets(&core);
+  if (options.optimize) HoistNestedReturnBlocks(&core);
+
+  PreparedQuery out;
+  out.parsed_ = std::make_shared<Query>(std::move(parsed));
+  out.options_ = options;
+  out.core_ = std::make_shared<Query>(std::move(core));
+  XQC_ASSIGN_OR_RETURN(CompiledQuery compiled, CompileQuery(*out.core_));
+  out.unoptimized_ = std::make_shared<CompiledQuery>(compiled);
+  // CompiledQuery holds shared_ptr plans; deep-copy before optimizing so
+  // the unoptimized plan stays intact.
+  CompiledQuery opt;
+  opt.plan = CloneOp(*compiled.plan);
+  for (const auto& [name, plan] : compiled.globals) {
+    opt.globals.emplace_back(name, plan == nullptr ? nullptr : CloneOp(*plan));
+  }
+  for (const auto& [name, fn] : compiled.functions) {
+    CompiledFunction f = fn;
+    f.plan = CloneOp(*fn.plan);
+    opt.functions.emplace(name, std::move(f));
+  }
+  if (options.optimize) {
+    OptimizeQuery(&opt, &out.opt_stats_);
+  }
+  out.compiled_ = std::make_shared<CompiledQuery>(std::move(opt));
+  return out;
+}
+
+}  // namespace xqc

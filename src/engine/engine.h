@@ -1,0 +1,101 @@
+// xqc public API: the complete algebraic XQuery engine.
+//
+// A query is prepared once (parse -> normalize to Core -> compile to the
+// Table 1 algebra -> Figure 5 rewritings) and can then be executed against
+// any dynamic context. Engine options select the paper's evaluation
+// configurations:
+//
+//   use_algebra=false                      "No algebra" (Table 3 row 1)
+//   use_algebra, optimize=false            "Algebra + No optim"
+//   optimize, join=kNestedLoop             "Optim + nested-loop joins"
+//   optimize, join=kHash (default)         "Optim + XQuery joins"
+//
+// Example:
+//   xqc::Engine engine;
+//   auto q = engine.Prepare("for $x in (1,2,3) return $x * 2");
+//   xqc::DynamicContext ctx;
+//   auto result = q.value().Execute(&ctx);
+#ifndef XQC_ENGINE_ENGINE_H_
+#define XQC_ENGINE_ENGINE_H_
+
+#include <memory>
+#include <string>
+
+#include "src/compile/compiler.h"
+#include "src/interp/interpreter.h"
+#include "src/opt/optimizer.h"
+#include "src/opt/projection_infer.h"
+#include "src/runtime/eval.h"
+#include "src/xquery/ast.h"
+
+namespace xqc {
+
+struct EngineOptions {
+  /// false: evaluate the normalized Core AST directly (baseline).
+  bool use_algebra = true;
+  /// Apply the Figure 5 rewritings.
+  bool optimize = true;
+  /// Physical join algorithm for Join / LOuterJoin.
+  JoinImpl join_impl = JoinImpl::kHash;
+};
+
+/// A compiled, optimized, executable query.
+class PreparedQuery {
+ public:
+  /// Evaluates against a dynamic context (documents, schema, variables).
+  Result<Sequence> Execute(DynamicContext* ctx) const;
+
+  /// Evaluates and serializes the result.
+  Result<std::string> ExecuteToString(DynamicContext* ctx) const;
+
+  /// The (optimized, if enabled) algebraic plan in the paper's notation.
+  std::string ExplainPlan(bool pretty = true) const;
+  /// The plan before optimization.
+  std::string ExplainUnoptimizedPlan(bool pretty = true) const;
+
+  const CompiledQuery& compiled() const { return *compiled_; }
+  const Query& core() const { return *core_; }
+  const OptimizerStats& optimizer_stats() const { return opt_stats_; }
+  /// Statistics from the most recent Execute call.
+  const ExecStats& last_exec_stats() const { return exec_stats_; }
+
+  /// Static projection analysis (TreeProject paths per document variable);
+  /// apply with ProjectTree to shrink input documents before Execute.
+  ProjectionAnalysis InferProjection() const {
+    return InferProjectionPaths(*parsed_);
+  }
+
+ private:
+  friend class Engine;
+  std::shared_ptr<Query> parsed_;            // surface AST (projection)
+  std::shared_ptr<Query> core_;              // normalized Core (interpreter)
+  std::shared_ptr<CompiledQuery> compiled_;  // optimized plan
+  std::shared_ptr<CompiledQuery> unoptimized_;
+  EngineOptions options_;
+  OptimizerStats opt_stats_;
+  mutable ExecStats exec_stats_;
+};
+
+class Engine {
+ public:
+  Engine() = default;
+  explicit Engine(EngineOptions options) : options_(options) {}
+
+  /// Parses, normalizes, compiles, and optimizes a query module.
+  Result<PreparedQuery> Prepare(const std::string& query_text) const;
+  Result<PreparedQuery> Prepare(const std::string& query_text,
+                                const EngineOptions& options) const;
+
+  /// One-shot convenience: prepare + execute + serialize.
+  Result<std::string> Execute(const std::string& query_text,
+                              DynamicContext* ctx) const;
+
+  const EngineOptions& options() const { return options_; }
+
+ private:
+  EngineOptions options_;
+};
+
+}  // namespace xqc
+
+#endif  // XQC_ENGINE_ENGINE_H_

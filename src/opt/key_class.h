@@ -1,0 +1,55 @@
+// Static join-key type analysis (Section 6: "static type analysis can
+// improve our algorithm by reducing the number of entries that must be
+// stored. If, for instance, we can infer statically that both operands are
+// integers, we can build a key directly on the integer value...").
+//
+// InferJoinKeyClass classifies what fn:data(key) can produce, looking only
+// at the key plan's structure. The classes are guarantees:
+//  - kNumeric: every value is xs:integer/decimal/float/double (or a dynamic
+//    error) — arithmetic results, counts, numeric literals, numeric casts;
+//  - kString:  every value is xs:string/xs:anyURI — string functions and
+//    literals;
+//  - kUntyped: every value is xdt:untypedAtomic — atomized nodes from
+//    TreeJoin navigation, PROVIDED no schema is in scope (validation is the
+//    only source of type annotations; see DynamicContext contract);
+//  - kGeneral: anything else / unknown.
+//
+// The evaluator combines the two sides' classes into a specialized key
+// mode per fs:convert-operand (Table 2): untyped×untyped and
+// untyped×string compare as strings, numeric×numeric and untyped×numeric
+// as doubles — one hash entry per key instead of the general enumeration.
+#ifndef XQC_OPT_KEY_CLASS_H_
+#define XQC_OPT_KEY_CLASS_H_
+
+#include "src/algebra/op.h"
+
+namespace xqc {
+
+enum class KeyClass : uint8_t {
+  kGeneral,
+  kUntyped,
+  kString,
+  kNumeric,
+};
+
+const char* KeyClassName(KeyClass c);
+
+/// Classifies the atomized values a join-key plan can produce.
+/// `schema_in_scope` disables the untyped guarantee for navigation results
+/// (validated nodes may carry typed annotations).
+KeyClass InferJoinKeyClass(const Op& key, bool schema_in_scope);
+
+/// Specialized key representations (see joins.h KeyMode usage).
+enum class KeyMode : uint8_t {
+  kGeneralKeys,  // promoteToSimpleTypes enumeration + string bridge
+  kStringKeys,   // one (xs:string, raw string) entry per key value
+  kDoubleKeys,   // one (xs:double, canonical) entry; unparseable -> none
+  kNoMatch,      // statically incompatible sides: the join is empty
+};
+
+/// Combines two sides' key classes into a key mode per Table 2.
+KeyMode CombineKeyClasses(KeyClass left, KeyClass right);
+
+}  // namespace xqc
+
+#endif  // XQC_OPT_KEY_CLASS_H_

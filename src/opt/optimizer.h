@@ -1,0 +1,56 @@
+// Logical optimization (Section 5): the Figure 5 rewritings.
+//
+// Standard rules:
+//   (remove map)      MapConcat{Op1}([])                      => Op1
+//   (insert product)  MapConcat{Op1}(Op2)                     => Product(Op2,Op1)
+//                       when Op1 independent of IN
+//   (insert join)     Select{Op1}(Product(Op2,Op3))           => Join{Op1}(Op2,Op3)
+// New rules (the paper's contribution):
+//   (insert group-by)
+//     MapConcat{[x: C(MapToItem{Op2}(Op3))]}(Op0)
+//       => MapConcat{GroupBy[x,[],[null]]{C(IN)}{Op2}(OMap[null](Op3))}(Op0)
+//     where C is a chain of unary item operators and Op3 is correlated
+//     (free in IN) — the unary tuple constructor is a trivial GroupBy.
+//   (map through group-by)
+//     MapConcat{GroupBy[x,inds,nulls]{P}{Q}(R)}(S)
+//       => GroupBy[x,inds+ind1,nulls+null1]{P}{Q}
+//            (OMapConcat[null1]{R}(MapIndex[ind1](S)))
+//   (remove duplicate null)
+//     GroupBy[...,nulls]{..}(OMapConcat[n1]{OMap[n2](X)}(Y))
+//       => GroupBy[...,nulls-n2]{..}(OMapConcat[n1]{X}(Y))
+//   (insert outer-join)
+//     OMapConcat[n]{Join{P}(IN,B)}(A) => LOuterJoin[n]{P}(A,B)
+// Supporting rules:
+//   Select{op:and(P,Q)}(X)  => Select{P}(Select{Q}(X))   (predicate split)
+//   MapIndex[q] => MapIndexStep[q] when q is only used as a grouping index
+#ifndef XQC_OPT_OPTIMIZER_H_
+#define XQC_OPT_OPTIMIZER_H_
+
+#include "src/algebra/op.h"
+#include "src/compile/compiler.h"
+
+namespace xqc {
+
+struct OptimizerStats {
+  int remove_map = 0;
+  int insert_product = 0;
+  int insert_join = 0;
+  int insert_group_by = 0;
+  int map_through_group_by = 0;
+  int remove_duplicate_null = 0;
+  int insert_outer_join = 0;
+  int split_select = 0;
+  int index_to_index_step = 0;
+  int fuse_path_step = 0;
+  int collapse_descendant = 0;
+};
+
+/// Rewrites one plan to fixpoint. `stats` (optional) counts rule firings.
+OpPtr OptimizePlan(OpPtr plan, OptimizerStats* stats = nullptr);
+
+/// Optimizes the main plan, all function bodies, and global initializers.
+void OptimizeQuery(CompiledQuery* query, OptimizerStats* stats = nullptr);
+
+}  // namespace xqc
+
+#endif  // XQC_OPT_OPTIMIZER_H_

@@ -1,0 +1,314 @@
+#include "src/opt/projection_infer.h"
+
+#include <set>
+
+namespace xqc {
+namespace {
+
+/// An abstract value: a downward path from a root document variable.
+/// `path` uses ProjectTree syntax and may end in "//" (a pending
+/// descendant-or-self step awaiting a name test).
+struct PathValue {
+  Symbol root;
+  std::string path;
+};
+
+using PathSet = std::vector<PathValue>;
+
+class Analyzer {
+ public:
+  ProjectionAnalysis Run(const Query& q) {
+    for (const FunctionDecl& f : q.functions) {
+      user_functions_.insert(f.name);
+    }
+    // Function bodies and prolog initializers may navigate global document
+    // variables too; parameters are opaque.
+    for (const FunctionDecl& f : q.functions) {
+      Env saved = env_;
+      for (const auto& [pname, ptype] : f.params) {
+        env_[pname] = {};  // opaque
+      }
+      RecordEnd(Analyze(*f.body));
+      env_ = saved;
+    }
+    for (const VarDecl& v : q.variables) {
+      if (v.expr != nullptr) {
+        PathSet pv = Analyze(*v.expr);
+        env_[v.name] = pv;  // a prolog variable may hold a path value
+      } else {
+        // External variable: a fresh potential document root.
+        env_[v.name] = {PathValue{v.name, ""}};
+      }
+    }
+    RecordEnd(Analyze(*q.body));
+
+    ProjectionAnalysis out;
+    out.projectable = ok_;
+    if (!ok_) return out;
+    for (const auto& [root, paths] : needed_) {
+      if (whole_.count(root) > 0) continue;  // needs the entire document
+      std::vector<std::string> list(paths.begin(), paths.end());
+      out.paths_by_var[root] = std::move(list);
+    }
+    return out;
+  }
+
+ private:
+  using Env = std::map<Symbol, PathSet>;
+
+  void Fail() { ok_ = false; }
+
+  /// Keep the whole subtree at each path end.
+  void RecordEnd(const PathSet& pv) {
+    for (const PathValue& p : pv) {
+      std::string path = p.path;
+      if (path.size() >= 2 && path.compare(path.size() - 2, 2, "//") == 0) {
+        path.resize(path.size() - 2);  // d-o-s end: keep the parent subtree
+      }
+      if (path.empty()) {
+        whole_.insert(p.root);
+        needed_[p.root];  // ensure the root is known
+      } else {
+        needed_[p.root].insert(path);
+      }
+    }
+  }
+
+  static std::string ExtendName(const std::string& path, bool descendant,
+                                const std::string& name) {
+    if (path.size() >= 2 && path.compare(path.size() - 2, 2, "//") == 0) {
+      return path + name;  // pending '//' absorbs this step
+    }
+    if (descendant) return path + "//" + name;
+    if (path.empty()) return name;
+    return path + "/" + name;
+  }
+
+  /// Extends paths by one axis step; empty result means the step's value is
+  /// not path-trackable (ends were recorded or the analysis failed).
+  PathSet ExtendStep(const PathSet& base, const Expr& step) {
+    PathSet out;
+    switch (step.axis) {
+      case Axis::kSelf:
+        return base;
+      case Axis::kChild:
+      case Axis::kDescendant: {
+        bool desc = step.axis == Axis::kDescendant;
+        switch (step.node_test.kind) {
+          case ItemTest::Kind::kElement: {
+            std::string name = step.node_test.name.empty()
+                                   ? "*"
+                                   : step.node_test.name.str();
+            for (const PathValue& p : base) {
+              out.push_back({p.root, ExtendName(p.path, desc, name)});
+            }
+            return out;
+          }
+          default:
+            // text()/comment()/node()/... : keep the base subtree.
+            RecordEnd(base);
+            return {};
+        }
+      }
+      case Axis::kDescendantOrSelf:
+        if (step.node_test.kind == ItemTest::Kind::kAnyNode) {
+          for (const PathValue& p : base) {
+            std::string path = p.path;
+            if (path.size() < 2 ||
+                path.compare(path.size() - 2, 2, "//") != 0) {
+              path += "//";
+            }
+            out.push_back({p.root, path});
+          }
+          return out;
+        }
+        RecordEnd(base);
+        return {};
+      case Axis::kAttribute: {
+        std::string name =
+            step.node_test.name.empty() ? "*" : step.node_test.name.str();
+        for (const PathValue& p : base) {
+          std::string path = p.path;
+          if (path.size() >= 2 && path.compare(path.size() - 2, 2, "//") == 0) {
+            // '//@x' — keep the parent subtree instead (ProjectTree's
+            // attribute steps are name-anchored).
+            RecordEnd({p});
+            continue;
+          }
+          out.push_back({p.root, path.empty() ? "@" + name
+                                              : path + "/@" + name});
+        }
+        return out;
+      }
+      default:
+        // Upward or sideways navigation escapes any downward projection.
+        Fail();
+        return {};
+    }
+  }
+
+  PathSet Analyze(const Expr& e) {
+    switch (e.kind) {
+      case ExprKind::kLiteral:
+      case ExprKind::kEmptySeq:
+        return {};
+      case ExprKind::kVarRef: {
+        auto it = env_.find(e.name);
+        if (it != env_.end()) return it->second;
+        // Free variable: a potential externally-bound document root.
+        env_[e.name] = {PathValue{e.name, ""}};
+        return env_[e.name];
+      }
+      case ExprKind::kContextItem:
+        return context_;
+      case ExprKind::kPath: {
+        PathSet base = Analyze(*e.children[0]);
+        PathSet saved = context_;
+        context_ = std::move(base);
+        PathSet out = Analyze(*e.children[1]);
+        context_ = std::move(saved);
+        return out;
+      }
+      case ExprKind::kAxisStep: {
+        PathSet out = ExtendStep(context_, e);
+        // Predicates see the step's result as their context.
+        if (!e.children.empty()) {
+          PathSet saved = context_;
+          context_ = out;
+          for (const ExprPtr& pred : e.children) {
+            RecordEnd(Analyze(*pred));
+          }
+          context_ = std::move(saved);
+        }
+        return out;
+      }
+      case ExprKind::kFilter: {
+        PathSet base = Analyze(*e.children[0]);
+        PathSet saved = context_;
+        context_ = base;
+        RecordEnd(Analyze(*e.children[1]));
+        context_ = std::move(saved);
+        return base;
+      }
+      case ExprKind::kFLWOR:
+      case ExprKind::kQuantified: {
+        Env saved = env_;
+        for (const Clause& c : e.clauses) {
+          switch (c.kind) {
+            case Clause::Kind::kFor:
+            case Clause::Kind::kLet: {
+              PathSet v = Analyze(*c.expr);
+              env_[c.var] = std::move(v);
+              if (!c.pos_var.empty()) env_[c.pos_var] = {};
+              break;
+            }
+            case Clause::Kind::kWhere:
+              RecordEnd(Analyze(*c.expr));
+              break;
+            case Clause::Kind::kOrderBy:
+              for (const Clause::OrderSpec& s : c.specs) {
+                RecordEnd(Analyze(*s.key));
+              }
+              break;
+          }
+        }
+        PathSet out = e.ret != nullptr ? Analyze(*e.ret) : PathSet{};
+        env_ = std::move(saved);
+        if (e.kind == ExprKind::kQuantified) {
+          RecordEnd(out);
+          return {};
+        }
+        return out;
+      }
+      case ExprKind::kTypeswitch: {
+        PathSet input = Analyze(*e.children[0]);
+        PathSet out;
+        for (const TypeswitchCase& c : e.cases) {
+          Env saved = env_;
+          if (!c.var.empty()) env_[c.var] = input;
+          PathSet body = Analyze(*c.body);
+          out.insert(out.end(), body.begin(), body.end());
+          env_ = std::move(saved);
+        }
+        return out;
+      }
+      case ExprKind::kIf: {
+        RecordEnd(Analyze(*e.children[0]));
+        PathSet a = Analyze(*e.children[1]);
+        PathSet b = Analyze(*e.children[2]);
+        a.insert(a.end(), b.begin(), b.end());
+        return a;
+      }
+      case ExprKind::kSequence:
+      case ExprKind::kUnion:
+      case ExprKind::kIntersect:
+      case ExprKind::kExcept: {
+        PathSet out;
+        for (const ExprPtr& c : e.children) {
+          PathSet v = Analyze(*c);
+          out.insert(out.end(), v.begin(), v.end());
+        }
+        return out;
+      }
+      case ExprKind::kFunctionCall: {
+        const std::string& name = e.name.str();
+        bool escapes_upward = name == "root" || name == "fn:root" ||
+                              name == "doc" || name == "fn:doc" ||
+                              name == "document" || name == "fn:document";
+        if (name == "doc" || name == "fn:doc" || name == "document" ||
+            name == "fn:document") {
+          // fn:doc roots are not variable-keyed; give up on projecting
+          // anything reached through them (but variables stay fine) —
+          // unless a path value flows in, nothing to do.
+          for (const ExprPtr& a : e.children) RecordEnd(Analyze(*a));
+          return {};
+        }
+        if (escapes_upward) {
+          Fail();
+          return {};
+        }
+        bool is_user = user_functions_.count(e.name) > 0 ||
+                       (name.rfind("local:", 0) == 0);
+        for (const ExprPtr& a : e.children) {
+          PathSet v = Analyze(*a);
+          if (is_user && !v.empty()) {
+            // A node at a projected path escapes into a function body that
+            // might navigate upward from it.
+            Fail();
+          }
+          RecordEnd(v);
+        }
+        return {};
+      }
+      default: {
+        // Comparisons, arithmetic, constructors, validate, casts: analyze
+        // every child; any path value consumed here needs its subtree.
+        for (const ExprPtr& c : e.children) {
+          if (c != nullptr) RecordEnd(Analyze(*c));
+        }
+        if (e.name_expr != nullptr) RecordEnd(Analyze(*e.name_expr));
+        if (e.ret != nullptr) RecordEnd(Analyze(*e.ret));
+        for (const Clause& c : e.clauses) {
+          if (c.expr != nullptr) RecordEnd(Analyze(*c.expr));
+        }
+        return {};
+      }
+    }
+  }
+
+  bool ok_ = true;
+  Env env_;
+  PathSet context_;
+  std::map<Symbol, std::set<std::string>> needed_;
+  std::set<Symbol> whole_;
+  std::set<Symbol> user_functions_;
+};
+
+}  // namespace
+
+ProjectionAnalysis InferProjectionPaths(const Query& parsed) {
+  Analyzer a;
+  return a.Run(parsed);
+}
+
+}  // namespace xqc

@@ -1,0 +1,38 @@
+// Static projection-path inference (the analysis behind TreeProject).
+//
+// The paper's Table 1 includes TreeProject[paths] and cites Marian &
+// Siméon's document projection; the missing piece is computing the paths a
+// query needs. This module analyses a parsed (surface) query and infers,
+// per document variable, a set of projection paths such that evaluating the
+// query over the projected documents provably returns the same result.
+//
+// The analysis is conservative: any construct whose data needs cannot be
+// bounded by downward paths — parent/ancestor/sibling/following axes,
+// fn:root, rooted paths ("/a"), or node values escaping into user-defined
+// functions — makes the whole query non-projectable.
+#ifndef XQC_OPT_PROJECTION_INFER_H_
+#define XQC_OPT_PROJECTION_INFER_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/xquery/ast.h"
+
+namespace xqc {
+
+struct ProjectionAnalysis {
+  /// False when the query may need data outside any downward projection.
+  bool projectable = false;
+  /// Projection paths (ProjectTree syntax) per free document variable.
+  /// A variable that is never navigated gets no entry.
+  std::map<Symbol, std::vector<std::string>> paths_by_var;
+};
+
+/// Analyses a PARSED query (before normalization — the surface AST keeps
+/// paths first-class, which is what the analysis walks).
+ProjectionAnalysis InferProjectionPaths(const Query& parsed);
+
+}  // namespace xqc
+
+#endif  // XQC_OPT_PROJECTION_INFER_H_

@@ -1,0 +1,29 @@
+// The built-in function library: fn:* (F&O subset), op:* (operator
+// backing functions produced by normalization), and fs:* (formal-semantics
+// helpers). The paper notes a number of built-ins are required for
+// completeness of the algebra (Section 3); Call[q] dispatches here.
+#ifndef XQC_RUNTIME_BUILTINS_H_
+#define XQC_RUNTIME_BUILTINS_H_
+
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/base/symbol.h"
+#include "src/runtime/context.h"
+#include "src/xml/item.h"
+
+namespace xqc {
+
+/// True iff `name` names a built-in function.
+bool IsBuiltinFunction(Symbol name);
+
+/// Calls a built-in. Arity is validated; errors carry W3C codes.
+Result<Sequence> CallBuiltin(Symbol name, const std::vector<Sequence>& args,
+                             DynamicContext* ctx);
+
+/// Lists all built-in function names (for documentation and tests).
+std::vector<Symbol> AllBuiltinFunctions();
+
+}  // namespace xqc
+
+#endif  // XQC_RUNTIME_BUILTINS_H_

@@ -1,0 +1,125 @@
+#include "src/runtime/construct.h"
+
+#include "src/base/status.h"
+
+namespace xqc {
+namespace {
+
+/// Joins the atomized lexical forms of `content` with single spaces.
+Result<std::string> JoinLexical(const Sequence& content) {
+  XQC_ASSIGN_OR_RETURN(Sequence atoms, Atomize(content));
+  std::string out;
+  for (size_t i = 0; i < atoms.size(); i++) {
+    if (i > 0) out.push_back(' ');
+    out += atoms[i].atomic().Lexical();
+  }
+  return out;
+}
+
+/// Appends `content` items into `parent` children: atomic runs become text
+/// nodes, document nodes splice their children, other nodes are deep-copied.
+Status AppendContent(const NodePtr& parent, const Sequence& content,
+                     bool allow_attributes) {
+  std::string text;
+  bool prev_atomic = false;
+  bool seen_non_attribute = false;
+  auto flush = [&] {
+    if (!text.empty()) {
+      Append(parent, NewText(std::move(text)));
+      text.clear();
+    }
+    prev_atomic = false;
+  };
+  for (const Item& it : content) {
+    if (it.IsAtomic()) {
+      if (prev_atomic) text.push_back(' ');
+      text += it.atomic().Lexical();
+      prev_atomic = true;
+      seen_non_attribute = true;
+      continue;
+    }
+    flush();
+    const Node& n = *it.node();
+    switch (n.kind) {
+      case NodeKind::kAttribute:
+        if (!allow_attributes) {
+          return Status::XQueryError("XPTY0004",
+                                     "attribute node in document content");
+        }
+        if (seen_non_attribute) {
+          return Status::XQueryError(
+              "XQTY0024",
+              "attribute node after non-attribute content in constructor");
+        }
+        Append(parent, DeepCopy(n, /*keep_types=*/true));
+        continue;
+      case NodeKind::kDocument:
+        // Document nodes splice their children into the content.
+        for (const NodePtr& c : n.children) {
+          Append(parent, DeepCopy(*c, /*keep_types=*/true));
+        }
+        seen_non_attribute = true;
+        continue;
+      case NodeKind::kText:
+        // Merge adjacent text directly into the pending buffer so runs of
+        // text nodes coalesce.
+        text += n.value;
+        prev_atomic = false;
+        seen_non_attribute = true;
+        continue;
+      default:
+        Append(parent, DeepCopy(n, /*keep_types=*/true));
+        seen_non_attribute = true;
+        continue;
+    }
+  }
+  flush();
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<NodePtr> ConstructElement(Symbol name, const Sequence& content) {
+  NodePtr elem = NewElement(name);
+  XQC_RETURN_IF_ERROR(AppendContent(elem, content, /*allow_attributes=*/true));
+  FinalizeTree(elem);
+  return elem;
+}
+
+Result<NodePtr> ConstructAttribute(Symbol name, const Sequence& content) {
+  XQC_ASSIGN_OR_RETURN(std::string value, JoinLexical(content));
+  NodePtr attr = NewAttribute(name, std::move(value));
+  FinalizeTree(attr);
+  return attr;
+}
+
+Result<NodePtr> ConstructText(const Sequence& content) {
+  if (content.empty()) return NodePtr();
+  XQC_ASSIGN_OR_RETURN(std::string value, JoinLexical(content));
+  NodePtr text = NewText(std::move(value));
+  FinalizeTree(text);
+  return text;
+}
+
+Result<NodePtr> ConstructComment(const Sequence& content) {
+  XQC_ASSIGN_OR_RETURN(std::string value, JoinLexical(content));
+  NodePtr c = NewComment(std::move(value));
+  FinalizeTree(c);
+  return c;
+}
+
+Result<NodePtr> ConstructPI(Symbol target, const Sequence& content) {
+  XQC_ASSIGN_OR_RETURN(std::string value, JoinLexical(content));
+  NodePtr pi = NewPI(target, std::move(value));
+  FinalizeTree(pi);
+  return pi;
+}
+
+Result<NodePtr> ConstructDocument(const Sequence& content) {
+  NodePtr doc = NewDocument();
+  XQC_RETURN_IF_ERROR(AppendContent(doc, content, /*allow_attributes=*/false));
+  FinalizeTree(doc);
+  return doc;
+}
+
+}  // namespace xqc

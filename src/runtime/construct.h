@@ -1,0 +1,35 @@
+// Node construction semantics shared by the Element/Attribute/Text/...
+// algebra operators and the baseline interpreter.
+//
+// Unlike the serializing Ξ operator of May et al. (which the paper
+// explicitly rejects as non-compositional, Section 3), these build real
+// nodes that later operators can navigate into.
+#ifndef XQC_RUNTIME_CONSTRUCT_H_
+#define XQC_RUNTIME_CONSTRUCT_H_
+
+#include "src/base/status.h"
+#include "src/xml/item.h"
+
+namespace xqc {
+
+/// Builds an element from evaluated content: leading attribute nodes become
+/// attributes (an attribute after other content raises XQTY0024); atomic
+/// runs join into text nodes separated by single spaces; nodes are
+/// deep-copied (construction mode "preserve": type annotations kept). The
+/// result is finalized (fresh document order).
+Result<NodePtr> ConstructElement(Symbol name, const Sequence& content);
+
+/// Builds an attribute node; content atomizes and joins with spaces.
+Result<NodePtr> ConstructAttribute(Symbol name, const Sequence& content);
+
+/// Builds a text node; returns empty sequence semantics via nullptr when
+/// the content is empty.
+Result<NodePtr> ConstructText(const Sequence& content);
+
+Result<NodePtr> ConstructComment(const Sequence& content);
+Result<NodePtr> ConstructPI(Symbol target, const Sequence& content);
+Result<NodePtr> ConstructDocument(const Sequence& content);
+
+}  // namespace xqc
+
+#endif  // XQC_RUNTIME_CONSTRUCT_H_

@@ -1,0 +1,15 @@
+#include "src/runtime/context.h"
+
+#include "src/xml/xml_parser.h"
+
+namespace xqc {
+
+Result<NodePtr> DynamicContext::ResolveDocument(const std::string& uri) {
+  auto it = documents_.find(uri);
+  if (it != documents_.end()) return it->second;
+  XQC_ASSIGN_OR_RETURN(NodePtr doc, ParseXmlFile(uri));
+  documents_[uri] = doc;
+  return doc;
+}
+
+}  // namespace xqc

@@ -1,0 +1,48 @@
+// The dynamic evaluation context: available documents, the in-scope schema,
+// and external/global variable bindings. Shared by the baseline interpreter
+// and the algebra evaluator (the paper's "algebra context", Section 3).
+#ifndef XQC_RUNTIME_CONTEXT_H_
+#define XQC_RUNTIME_CONTEXT_H_
+
+#include <string>
+#include <unordered_map>
+
+#include "src/base/status.h"
+#include "src/types/schema.h"
+#include "src/xml/item.h"
+
+namespace xqc {
+
+class DynamicContext {
+ public:
+  /// Registers an already-parsed document under a URI (fn:doc / Parse
+  /// resolve here first, then fall back to the filesystem).
+  void RegisterDocument(const std::string& uri, NodePtr doc) {
+    documents_[uri] = std::move(doc);
+  }
+
+  /// Resolves a document: registry first, filesystem second.
+  Result<NodePtr> ResolveDocument(const std::string& uri);
+
+  void set_schema(const Schema* schema) { schema_ = schema; }
+  const Schema* schema() const { return schema_; }
+
+  void BindVariable(Symbol name, Sequence value) {
+    variables_[name] = std::move(value);
+  }
+  bool LookupVariable(Symbol name, Sequence* out) const {
+    auto it = variables_.find(name);
+    if (it == variables_.end()) return false;
+    *out = it->second;
+    return true;
+  }
+
+ private:
+  std::unordered_map<std::string, NodePtr> documents_;
+  std::unordered_map<Symbol, Sequence> variables_;
+  const Schema* schema_ = nullptr;
+};
+
+}  // namespace xqc
+
+#endif  // XQC_RUNTIME_CONTEXT_H_

@@ -1,0 +1,880 @@
+#include "src/runtime/eval.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <set>
+
+#include "src/runtime/builtins.h"
+#include "src/runtime/construct.h"
+#include "src/runtime/joins.h"
+#include "src/types/compare.h"
+#include "src/xml/project.h"
+#include "src/xml/serializer.h"
+
+namespace xqc {
+namespace {
+
+constexpr int kMaxRecursionDepth = 4096;
+
+Result<int> CompareOrderKeys(const Sequence& a, const Sequence& b,
+                             bool empty_greatest) {
+  if (a.empty() && b.empty()) return 0;
+  if (a.empty()) return empty_greatest ? 1 : -1;
+  if (b.empty()) return empty_greatest ? -1 : 1;
+  AtomicValue x = a[0].atomic(), y = b[0].atomic();
+  if (x.type() == AtomicType::kUntypedAtomic) {
+    x = AtomicValue::String(x.AsString());
+  }
+  if (y.type() == AtomicType::kUntypedAtomic) {
+    y = AtomicValue::String(y.AsString());
+  }
+  XQC_ASSIGN_OR_RETURN(bool lt, AtomicCompare(CompOp::kLt, x, y));
+  if (lt) return -1;
+  XQC_ASSIGN_OR_RETURN(bool gt, AtomicCompare(CompOp::kGt, x, y));
+  if (gt) return 1;
+  return 0;
+}
+
+/// Maps an op:general-* call name to its comparison operator.
+bool GeneralCompName(Symbol name, CompOp* op) {
+  const std::string& s = name.str();
+  if (s.rfind("op:general-", 0) != 0) return false;
+  std::string suffix = s.substr(11);
+  static const std::pair<const char*, CompOp> kOps[] = {
+      {"eq", CompOp::kEq}, {"ne", CompOp::kNe}, {"lt", CompOp::kLt},
+      {"le", CompOp::kLe}, {"gt", CompOp::kGt}, {"ge", CompOp::kGe}};
+  for (const auto& [n, o] : kOps) {
+    if (suffix == n) {
+      *op = o;
+      return true;
+    }
+  }
+  return false;
+}
+
+CompOp MirrorOp(CompOp op) {
+  switch (op) {
+    case CompOp::kLt: return CompOp::kGt;
+    case CompOp::kLe: return CompOp::kGe;
+    case CompOp::kGt: return CompOp::kLt;
+    case CompOp::kGe: return CompOp::kLe;
+    default: return op;  // eq/ne are symmetric
+  }
+}
+
+/// Is `op` a general-comparison call whose two argument plans partition
+/// into left-side / right-side key expressions? (The join recognizer
+/// feeding the Section 6 algorithms.) On success sets the operator as seen
+/// from `left_key OP right_key` (mirrored if the arguments were swapped).
+bool IsIndexableComparison(const Op& pred, const Table& left,
+                           const Table& right, const Op** left_key,
+                           const Op** right_key, CompOp* comp) {
+  if (pred.kind != OpKind::kCall || pred.inputs.size() != 2 ||
+      !GeneralCompName(pred.name, comp)) {
+    return false;
+  }
+  auto fields_of = [](const Table& t) {
+    std::set<Symbol> fs;
+    if (!t.empty()) {
+      for (const auto& [f, v] : t[0].entries()) fs.insert(f);
+    }
+    return fs;
+  };
+  std::set<Symbol> lf = fields_of(left), rf = fields_of(right);
+  auto side_of = [&](const Op& key) -> int {
+    std::vector<Symbol> used;
+    CollectOuterFieldUses(key, &used);
+    bool in_l = true, in_r = true;
+    for (Symbol f : used) {
+      if (lf.count(f) == 0) in_l = false;
+      if (rf.count(f) == 0) in_r = false;
+    }
+    if (used.empty()) return 0;  // constant key: either side
+    if (in_l && !in_r) return -1;
+    if (in_r && !in_l) return 1;
+    return 2;  // mixed / unknown
+  };
+  int s0 = side_of(*pred.inputs[0]);
+  int s1 = side_of(*pred.inputs[1]);
+  if ((s0 == -1 || s0 == 0) && (s1 == 1 || s1 == 0)) {
+    *left_key = pred.inputs[0].get();
+    *right_key = pred.inputs[1].get();
+    return true;
+  }
+  if ((s0 == 1) && (s1 == -1 || s1 == 0)) {
+    *left_key = pred.inputs[1].get();
+    *right_key = pred.inputs[0].get();
+    *comp = MirrorOp(*comp);
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+PlanEvaluator::PlanEvaluator(const CompiledQuery* query, DynamicContext* ctx,
+                             const ExecOptions& options)
+    : query_(query), ctx_(ctx), options_(options) {}
+
+Result<Sequence> PlanEvaluator::Run() {
+  for (const auto& [name, plan] : query_->globals) {
+    if (plan == nullptr) {
+      Sequence v;
+      if (!ctx_->LookupVariable(name, &v)) {
+        return Status::XQueryError(
+            "XPDY0002", "external variable $" + name.str() + " not bound");
+      }
+      globals_[name] = std::move(v);
+      continue;
+    }
+    XQC_ASSIGN_OR_RETURN(Sequence v, EvalItems(*plan, EvalCtx{}));
+    globals_[name] = std::move(v);
+  }
+  return EvalItems(*query_->plan, EvalCtx{});
+}
+
+Result<bool> PlanEvaluator::EvalPredicate(const Op& pred, const Tuple& t,
+                                          const EvalCtx& c) {
+  EvalCtx pc = c;
+  pc.tuple = &t;
+  pc.items = nullptr;
+  XQC_ASSIGN_OR_RETURN(Sequence v, EvalItems(pred, pc));
+  return EffectiveBooleanValue(v);
+}
+
+Result<Sequence> PlanEvaluator::EvalItems(const Op& op, const EvalCtx& c) {
+  switch (op.kind) {
+    case OpKind::kIn:
+      if (c.items != nullptr) return *c.items;
+      return Status::Internal("IN evaluated as items with no item context");
+    case OpKind::kEmpty:
+      return Sequence{};
+    case OpKind::kScalar:
+      return Sequence{op.literal};
+    case OpKind::kVar: {
+      // The algebra context: function parameters shadow globals shadow
+      // externally bound variables.
+      if (c.params != nullptr) {
+        auto it = c.params->find(op.name);
+        if (it != c.params->end()) return it->second;
+      }
+      auto git = globals_.find(op.name);
+      if (git != globals_.end()) return git->second;
+      Sequence v;
+      if (ctx_->LookupVariable(op.name, &v)) return v;
+      return Status::XQueryError("XPDY0002",
+                                 "unbound variable $" + op.name.str());
+    }
+    case OpKind::kSequence: {
+      Sequence out;
+      for (const OpPtr& i : op.inputs) {
+        XQC_ASSIGN_OR_RETURN(Sequence v, EvalItems(*i, c));
+        Extend(&out, std::move(v));
+      }
+      return out;
+    }
+    case OpKind::kElement:
+    case OpKind::kAttribute:
+    case OpKind::kText:
+    case OpKind::kComment:
+    case OpKind::kPI:
+    case OpKind::kDocumentNode:
+      return EvalConstructor(op, c);
+    case OpKind::kTreeJoin: {
+      XQC_ASSIGN_OR_RETURN(Sequence in, EvalItems(*op.inputs[0], c));
+      return TreeJoin(in, op.axis, op.ntest, ctx_->schema());
+    }
+    case OpKind::kTreeProject: {
+      // TreeProject[paths]: prune each document/element tree to the nodes
+      // the projection paths need (Marian-Siméon style).
+      XQC_ASSIGN_OR_RETURN(Sequence in, EvalItems(*op.inputs[0], c));
+      Sequence out;
+      out.reserve(in.size());
+      for (const Item& it : in) {
+        if (!it.IsNode()) {
+          return Status::XQueryError("XPTY0004",
+                                     "TreeProject of an atomic value");
+        }
+        XQC_ASSIGN_OR_RETURN(NodePtr p, ProjectTree(it.node(), op.paths));
+        out.push_back(std::move(p));
+      }
+      return out;
+    }
+    case OpKind::kCastable:
+    case OpKind::kCast: {
+      XQC_ASSIGN_OR_RETURN(Sequence v, EvalItems(*op.inputs[0], c));
+      XQC_ASSIGN_OR_RETURN(Sequence atoms, Atomize(v));
+      bool castable = op.kind == OpKind::kCastable;
+      if (atoms.empty()) {
+        bool ok_empty = op.stype.occ == Occurrence::kOptional;
+        if (castable) return Sequence{AtomicValue::Boolean(ok_empty)};
+        if (ok_empty) return Sequence{};
+        return Status::XQueryError("XPTY0004", "cast of empty sequence");
+      }
+      if (atoms.size() > 1) {
+        if (castable) return Sequence{AtomicValue::Boolean(false)};
+        return Status::XQueryError("XPTY0004", "cast of multi-item sequence");
+      }
+      Result<AtomicValue> r = CastTo(atoms[0].atomic(), op.stype.test.atomic);
+      if (castable) return Sequence{AtomicValue::Boolean(r.ok())};
+      if (!r.ok()) return r.status();
+      return Sequence{r.take()};
+    }
+    case OpKind::kValidate: {
+      XQC_ASSIGN_OR_RETURN(Sequence v, EvalItems(*op.inputs[0], c));
+      Sequence out;
+      for (const Item& it : v) {
+        if (!it.IsNode()) {
+          return Status::XQueryError("XQTY0030",
+                                     "validate of an atomic value");
+        }
+        if (ctx_->schema() == nullptr) {
+          out.push_back(it);
+          continue;
+        }
+        XQC_ASSIGN_OR_RETURN(NodePtr n, ctx_->schema()->Validate(it.node()));
+        out.push_back(std::move(n));
+      }
+      return out;
+    }
+    case OpKind::kTypeMatches: {
+      XQC_ASSIGN_OR_RETURN(Sequence v, EvalItems(*op.inputs[0], c));
+      return Sequence{
+          AtomicValue::Boolean(op.stype.Matches(v, ctx_->schema()))};
+    }
+    case OpKind::kTypeAssert: {
+      XQC_ASSIGN_OR_RETURN(Sequence v, EvalItems(*op.inputs[0], c));
+      if (!op.stype.Matches(v, ctx_->schema())) {
+        return Status::XQueryError(
+            "XPTY0004",
+            "TypeAssert failed for type " + op.stype.ToString());
+      }
+      return v;
+    }
+    case OpKind::kCall:
+      return EvalCall(op, c);
+    case OpKind::kCond: {
+      XQC_ASSIGN_OR_RETURN(Sequence cond, EvalItems(*op.inputs[0], c));
+      XQC_ASSIGN_OR_RETURN(bool b, EffectiveBooleanValue(cond));
+      return EvalItems(b ? *op.deps[0] : *op.deps[1], c);
+    }
+    case OpKind::kParse: {
+      XQC_ASSIGN_OR_RETURN(Sequence uri, EvalItems(*op.inputs[0], c));
+      if (uri.size() != 1) {
+        return Status::XQueryError("FODC0002", "Parse with non-singleton URI");
+      }
+      XQC_ASSIGN_OR_RETURN(NodePtr doc,
+                           ctx_->ResolveDocument(uri[0].StringValue()));
+      return Sequence{std::move(doc)};
+    }
+    case OpKind::kSerialize: {
+      // Serialize(URI, S(i)): writes the serialized value to the URI
+      // (a filesystem path) and returns the empty sequence (Table 1).
+      XQC_ASSIGN_OR_RETURN(Sequence uri, EvalItems(*op.inputs[0], c));
+      XQC_ASSIGN_OR_RETURN(Sequence v, EvalItems(*op.inputs[1], c));
+      if (uri.size() != 1) {
+        return Status::XQueryError("FODC0002",
+                                   "Serialize with non-singleton URI");
+      }
+      std::ofstream out(uri[0].StringValue(), std::ios::binary);
+      if (!out) {
+        return Status::IOError("cannot open for writing: " +
+                               uri[0].StringValue());
+      }
+      out << SerializeSequence(v);
+      return Sequence{};
+    }
+    case OpKind::kFieldAccess: {
+      XQC_ASSIGN_OR_RETURN(Tuple t, EvalTuple(*op.inputs[0], c));
+      const Sequence* v = t.Get(op.name);
+      if (v == nullptr) return Sequence{};
+      return *v;
+    }
+    case OpKind::kMapToItem: {
+      XQC_ASSIGN_OR_RETURN(Table table, EvalTable(*op.inputs[0], c));
+      Sequence out;
+      for (const Tuple& t : table) {
+        EvalCtx dc = c;
+        dc.tuple = &t;
+        dc.items = nullptr;
+        XQC_ASSIGN_OR_RETURN(Sequence v, EvalItems(*op.deps[0], dc));
+        Extend(&out, std::move(v));
+      }
+      return out;
+    }
+    case OpKind::kMapSome:
+    case OpKind::kMapEvery: {
+      XQC_ASSIGN_OR_RETURN(Table table, EvalTable(*op.inputs[0], c));
+      bool want = op.kind == OpKind::kMapSome;
+      for (const Tuple& t : table) {
+        XQC_ASSIGN_OR_RETURN(bool b, EvalPredicate(*op.deps[0], t, c));
+        if (b == want) return Sequence{AtomicValue::Boolean(want)};
+      }
+      return Sequence{AtomicValue::Boolean(!want)};
+    }
+    default:
+      return Status::Internal(std::string("tuple operator ") +
+                              OpKindName(op.kind) +
+                              " evaluated in item context");
+  }
+}
+
+Result<Tuple> PlanEvaluator::EvalTuple(const Op& op, const EvalCtx& c) {
+  switch (op.kind) {
+    case OpKind::kIn:
+      if (c.tuple != nullptr) return *c.tuple;
+      return Tuple();  // top level: the empty tuple
+    case OpKind::kTupleConstruct: {
+      Tuple t;
+      for (size_t i = 0; i < op.fields.size(); i++) {
+        XQC_ASSIGN_OR_RETURN(Sequence v, EvalItems(*op.inputs[i], c));
+        t.Set(op.fields[i], std::move(v));
+      }
+      return t;
+    }
+    case OpKind::kTupleConcat: {
+      XQC_ASSIGN_OR_RETURN(Tuple a, EvalTuple(*op.inputs[0], c));
+      XQC_ASSIGN_OR_RETURN(Tuple b, EvalTuple(*op.inputs[1], c));
+      return Tuple::Concat(a, b);
+    }
+    default:
+      return Status::Internal(std::string(OpKindName(op.kind)) +
+                              " evaluated in tuple context");
+  }
+}
+
+Result<Table> PlanEvaluator::EvalTable(const Op& op, const EvalCtx& c) {
+  switch (op.kind) {
+    case OpKind::kIn: {
+      Table t;
+      t.push_back(c.tuple != nullptr ? *c.tuple : Tuple());
+      return t;
+    }
+    case OpKind::kEmptyTuples: {
+      Table t;
+      t.emplace_back();
+      return t;
+    }
+    case OpKind::kTupleConstruct:
+    case OpKind::kTupleConcat: {
+      XQC_ASSIGN_OR_RETURN(Tuple t, EvalTuple(op, c));
+      Table out;
+      out.push_back(std::move(t));
+      return out;
+    }
+    case OpKind::kSelect: {
+      XQC_ASSIGN_OR_RETURN(Table in, EvalTable(*op.inputs[0], c));
+      Table out;
+      for (Tuple& t : in) {
+        XQC_ASSIGN_OR_RETURN(bool b, EvalPredicate(*op.deps[0], t, c));
+        if (b) out.push_back(std::move(t));
+      }
+      return out;
+    }
+    case OpKind::kProduct: {
+      XQC_ASSIGN_OR_RETURN(Table l, EvalTable(*op.inputs[0], c));
+      XQC_ASSIGN_OR_RETURN(Table r, EvalTable(*op.inputs[1], c));
+      Table out;
+      out.reserve(l.size() * r.size());
+      for (const Tuple& a : l) {
+        for (const Tuple& b : r) {
+          out.push_back(Tuple::Concat(a, b));
+        }
+      }
+      return out;
+    }
+    case OpKind::kJoin:
+      return EvalJoin(op, c, /*outer=*/false);
+    case OpKind::kLOuterJoin:
+      return EvalJoin(op, c, /*outer=*/true);
+    case OpKind::kMap: {
+      XQC_ASSIGN_OR_RETURN(Table in, EvalTable(*op.inputs[0], c));
+      Table out;
+      out.reserve(in.size());
+      for (const Tuple& t : in) {
+        EvalCtx dc = c;
+        dc.tuple = &t;
+        dc.items = nullptr;
+        XQC_ASSIGN_OR_RETURN(Tuple nt, EvalTuple(*op.deps[0], dc));
+        out.push_back(std::move(nt));
+      }
+      return out;
+    }
+    case OpKind::kOMap: {
+      XQC_ASSIGN_OR_RETURN(Table in, EvalTable(*op.inputs[0], c));
+      Table out;
+      if (in.empty()) {
+        Tuple t;
+        t.Set(op.name, {AtomicValue::Boolean(true)});
+        out.push_back(std::move(t));
+        return out;
+      }
+      out.reserve(in.size());
+      for (const Tuple& t : in) {
+        Tuple flag;
+        flag.Set(op.name, {AtomicValue::Boolean(false)});
+        out.push_back(Tuple::Concat(flag, t));
+      }
+      return out;
+    }
+    case OpKind::kMapConcat:
+    case OpKind::kOMapConcat: {
+      XQC_ASSIGN_OR_RETURN(Table in, EvalTable(*op.inputs[0], c));
+      bool outer = op.kind == OpKind::kOMapConcat;
+      Table out;
+      for (const Tuple& t : in) {
+        EvalCtx dc = c;
+        dc.tuple = &t;
+        dc.items = nullptr;
+        XQC_ASSIGN_OR_RETURN(Table sub, EvalTable(*op.deps[0], dc));
+        if (outer && sub.empty()) {
+          Tuple flag;
+          flag.Set(op.name, {AtomicValue::Boolean(true)});
+          out.push_back(Tuple::Concat(flag, t));
+          continue;
+        }
+        for (const Tuple& s : sub) {
+          Tuple joined = Tuple::Concat(t, s);
+          if (outer) {
+            Tuple flag;
+            flag.Set(op.name, {AtomicValue::Boolean(false)});
+            joined = Tuple::Concat(flag, joined);
+          }
+          out.push_back(std::move(joined));
+        }
+      }
+      return out;
+    }
+    case OpKind::kMapIndex:
+    case OpKind::kMapIndexStep: {
+      XQC_ASSIGN_OR_RETURN(Table in, EvalTable(*op.inputs[0], c));
+      Table out;
+      out.reserve(in.size());
+      for (size_t i = 0; i < in.size(); i++) {
+        Tuple idx;
+        idx.Set(op.name,
+                {AtomicValue::Integer(static_cast<int64_t>(i) + 1)});
+        out.push_back(Tuple::Concat(in[i], idx));
+      }
+      return out;
+    }
+    case OpKind::kOrderBy:
+      return EvalOrderBy(op, c);
+    case OpKind::kGroupBy:
+      return EvalGroupBy(op, c);
+    case OpKind::kMapFromItem: {
+      XQC_ASSIGN_OR_RETURN(Sequence items, EvalItems(*op.inputs[0], c));
+      Table out;
+      out.reserve(items.size());
+      for (const Item& item : items) {
+        Sequence one{item};
+        EvalCtx dc = c;
+        dc.items = &one;
+        dc.tuple = nullptr;
+        XQC_ASSIGN_OR_RETURN(Tuple t, EvalTuple(*op.deps[0], dc));
+        out.push_back(std::move(t));
+      }
+      return out;
+    }
+    default:
+      return Status::Internal(std::string(OpKindName(op.kind)) +
+                              " evaluated in table context");
+  }
+}
+
+namespace {
+
+/// Flattens a conjunction of op:and calls into its conjunct plans.
+void FlattenConjuncts(const Op* pred, std::vector<const Op*>* out) {
+  if (pred->kind == OpKind::kCall && pred->name == Symbol("op:and") &&
+      pred->inputs.size() == 2) {
+    FlattenConjuncts(pred->inputs[0].get(), out);
+    FlattenConjuncts(pred->inputs[1].get(), out);
+    return;
+  }
+  // fn:boolean wrappers are transparent for predicate purposes.
+  if (pred->kind == OpKind::kCall && pred->name == Symbol("fn:boolean") &&
+      pred->inputs.size() == 1) {
+    FlattenConjuncts(pred->inputs[0].get(), out);
+    return;
+  }
+  out->push_back(pred);
+}
+
+}  // namespace
+
+Result<Table> PlanEvaluator::EvalJoin(const Op& op, const EvalCtx& c,
+                                      bool outer) {
+  XQC_ASSIGN_OR_RETURN(Table left, EvalTable(*op.inputs[0], c));
+
+  // The inner (right) side of a correlated subplan's join re-evaluates per
+  // outer tuple; when it is independent of IN (and of function parameters)
+  // its materialization — and below, its Figure 6 index — is cached.
+  const bool right_cacheable =
+      c.params == nullptr && !FreeIn(*op.inputs[1]);
+  std::shared_ptr<const Table> right_shared;
+  Table right_local;
+  if (right_cacheable) {
+    auto it = table_cache_.find(op.inputs[1].get());
+    if (it != table_cache_.end()) {
+      right_shared = it->second;
+    } else {
+      XQC_ASSIGN_OR_RETURN(Table t, EvalTable(*op.inputs[1], c));
+      right_shared = std::make_shared<const Table>(std::move(t));
+      table_cache_[op.inputs[1].get()] = right_shared;
+    }
+  } else {
+    XQC_ASSIGN_OR_RETURN(right_local, EvalTable(*op.inputs[1], c));
+  }
+  const Table& right = right_cacheable ? *right_shared : right_local;
+  const Op& pred = *op.deps[0];
+
+  // Multi-predicate joins (Section 6: "this algorithm handles one key
+  // predicate in a join, but can be extended to multiple predicates"):
+  // pick the first hashable equality conjunct as the index key and apply
+  // the remaining conjuncts as a residual filter.
+  if (options_.join_impl != JoinImpl::kNestedLoop) {
+    std::vector<const Op*> conjuncts;
+    FlattenConjuncts(&pred, &conjuncts);
+    const Op* lkey = nullptr;
+    const Op* rkey = nullptr;
+    CompOp comp = CompOp::kEq;
+    size_t key_idx = conjuncts.size();
+    // Prefer an equality conjunct (hash/ordered index); otherwise take an
+    // inequality conjunct for the range sort join.
+    for (size_t i = 0; i < conjuncts.size(); i++) {
+      CompOp cand;
+      const Op* lk;
+      const Op* rk;
+      if (IsIndexableComparison(*conjuncts[i], left, right, &lk, &rk, &cand) &&
+          cand == CompOp::kEq) {
+        key_idx = i;
+        lkey = lk;
+        rkey = rk;
+        comp = cand;
+        break;
+      }
+    }
+    if (key_idx == conjuncts.size()) {
+      for (size_t i = 0; i < conjuncts.size(); i++) {
+        CompOp cand;
+        const Op* lk;
+        const Op* rk;
+        if (IsIndexableComparison(*conjuncts[i], left, right, &lk, &rk,
+                                  &cand) &&
+            (cand == CompOp::kLt || cand == CompOp::kLe ||
+             cand == CompOp::kGt || cand == CompOp::kGe)) {
+          key_idx = i;
+          lkey = lk;
+          rkey = rk;
+          comp = cand;
+          break;
+        }
+      }
+    }
+    if (key_idx < conjuncts.size()) {
+      auto key_fn = [this, &c](const Op* key) {
+        return [this, key, &c](const Tuple& t) -> Result<Sequence> {
+          EvalCtx kc = c;
+          kc.tuple = &t;
+          kc.items = nullptr;
+          XQC_ASSIGN_OR_RETURN(Sequence v, EvalItems(*key, kc));
+          return Atomize(v);  // fn:data, Figure 6 line 7
+        };
+      };
+      std::vector<const Op*> rest;
+      for (size_t i = 0; i < conjuncts.size(); i++) {
+        if (i != key_idx) rest.push_back(conjuncts[i]);
+      }
+      PredFn residual = [this, rest, &c](const Tuple& t) -> Result<bool> {
+        for (const Op* conj : rest) {
+          XQC_ASSIGN_OR_RETURN(bool b, EvalPredicate(*conj, t, c));
+          if (!b) return false;
+        }
+        return true;
+      };
+      const PredFn* residual_ptr = rest.empty() ? nullptr : &residual;
+
+      if (comp == CompOp::kEq) {
+        bool ordered = options_.join_impl == JoinImpl::kSort;
+        if (ordered) {
+          stats_.sort_joins++;
+        } else {
+          stats_.hash_joins++;
+        }
+        // Static key-type specialization (Section 6): when both key plans'
+        // value classes are known, use single-entry string/double keys
+        // instead of the general promotion enumeration.
+        bool schema_in_scope = ctx_->schema() != nullptr;
+        KeyMode mode = CombineKeyClasses(
+            InferJoinKeyClass(*lkey, schema_in_scope),
+            InferJoinKeyClass(*rkey, schema_in_scope));
+        if (mode == KeyMode::kNoMatch) {
+          // Statically incompatible key types: nothing ever matches.
+          stats_.specialized_joins++;
+          Table out;
+          if (outer) {
+            for (const Tuple& l : left) {
+              Tuple flag;
+              flag.Set(op.name, {AtomicValue::Boolean(true)});
+              out.push_back(Tuple::Concat(flag, l));
+            }
+          }
+          return out;
+        }
+        if (mode != KeyMode::kGeneralKeys) stats_.specialized_joins++;
+        std::shared_ptr<const MaterializedInner> inner;
+        if (right_cacheable) {
+          auto it = inner_cache_.find(&op);
+          if (it != inner_cache_.end() && it->second.table == right_shared) {
+            inner = std::static_pointer_cast<const MaterializedInner>(
+                it->second.index);
+            stats_.join_index_reuses++;
+          }
+        }
+        if (inner == nullptr) {
+          XQC_ASSIGN_OR_RETURN(
+              inner, MaterializeInner(right, key_fn(rkey), ordered, mode));
+          if (right_cacheable) {
+            inner_cache_[&op] = CachedInner{
+                right_shared, std::static_pointer_cast<const void>(inner)};
+          }
+        }
+        return EqualityJoinWithIndex(left, key_fn(lkey), right, *inner, outer,
+                                     op.name, residual_ptr);
+      }
+
+      // Inequality: the range variant of the sort join (Section 6's "the
+      // same approach can be used to implement a sort join").
+      stats_.range_joins++;
+      std::shared_ptr<const MaterializedRangeInner> inner;
+      if (right_cacheable) {
+        auto it = inner_cache_.find(&op);
+        if (it != inner_cache_.end() && it->second.table == right_shared) {
+          inner = std::static_pointer_cast<const MaterializedRangeInner>(
+              it->second.index);
+          stats_.join_index_reuses++;
+        }
+      }
+      if (inner == nullptr) {
+        XQC_ASSIGN_OR_RETURN(inner, MaterializeRangeInner(right, key_fn(rkey)));
+        if (right_cacheable) {
+          inner_cache_[&op] = CachedInner{
+              right_shared, std::static_pointer_cast<const void>(inner)};
+        }
+      }
+      return InequalityJoinWithIndex(left, key_fn(lkey), right, *inner, comp,
+                                     outer, op.name, residual_ptr);
+    }
+  }
+
+  stats_.nested_loop_joins++;
+  PredFn pred_fn = [this, &pred, &c](const Tuple& t) {
+    return EvalPredicate(pred, t, c);
+  };
+  return NestedLoopJoin(left, right, pred_fn, outer, op.name);
+}
+
+Result<Table> PlanEvaluator::EvalGroupBy(const Op& op, const EvalCtx& c) {
+  stats_.group_bys++;
+  XQC_ASSIGN_OR_RETURN(Table in, EvalTable(*op.inputs[0], c));
+  const Op& post = *op.deps[0];  // applied to each partition's items
+  const Op& pre = *op.deps[1];   // applied to each non-null tuple
+
+  // Evaluate null flags and pre-grouping items per tuple.
+  struct Row {
+    const Tuple* tuple;
+    std::vector<int64_t> key;
+    Sequence items;
+    bool is_null;
+  };
+  std::vector<Row> rows;
+  rows.reserve(in.size());
+  for (const Tuple& t : in) {
+    Row row{&t, {}, {}, false};
+    for (Symbol nf : op.fields2) {
+      const Sequence* flag = t.Get(nf);
+      if (flag != nullptr && !flag->empty() && (*flag)[0].IsAtomic() &&
+          (*flag)[0].atomic().type() == AtomicType::kBoolean &&
+          (*flag)[0].atomic().AsBool()) {
+        row.is_null = true;
+      }
+    }
+    for (Symbol f : op.fields) {
+      const Sequence* v = t.Get(f);
+      if (v == nullptr || v->size() != 1 || !(*v)[0].IsAtomic() ||
+          (*v)[0].atomic().type() != AtomicType::kInteger) {
+        return Status::Internal("GroupBy index field " + f.str() +
+                                " is not a singleton integer");
+      }
+      row.key.push_back((*v)[0].atomic().AsInt());
+    }
+    if (!row.is_null) {
+      EvalCtx pc = c;
+      pc.tuple = &t;
+      pc.items = nullptr;
+      XQC_ASSIGN_OR_RETURN(row.items, EvalItems(pre, pc));
+    }
+    rows.push_back(std::move(row));
+  }
+
+  // Partitions are keyed by the index fields in stable ascending order.
+  std::stable_sort(rows.begin(), rows.end(),
+                   [](const Row& a, const Row& b) { return a.key < b.key; });
+
+  Table out;
+  size_t i = 0;
+  while (i < rows.size()) {
+    size_t j = i;
+    Sequence partition_items;
+    while (j < rows.size() && rows[j].key == rows[i].key) {
+      Extend(&partition_items, std::move(rows[j].items));
+      j++;
+    }
+    EvalCtx pc = c;
+    pc.items = &partition_items;
+    pc.tuple = nullptr;
+    XQC_ASSIGN_OR_RETURN(Sequence agg, EvalItems(post, pc));
+    Tuple result = *rows[i].tuple;
+    result.Set(op.name, std::move(agg));
+    out.push_back(std::move(result));
+    i = j;
+  }
+  return out;
+}
+
+Result<Table> PlanEvaluator::EvalOrderBy(const Op& op, const EvalCtx& c) {
+  XQC_ASSIGN_OR_RETURN(Table in, EvalTable(*op.inputs[0], c));
+  struct Keyed {
+    Tuple t;
+    std::vector<Sequence> keys;
+  };
+  std::vector<Keyed> keyed;
+  keyed.reserve(in.size());
+  for (Tuple& t : in) {
+    Keyed k{std::move(t), {}};
+    for (const OrderSpecOp& spec : op.specs) {
+      EvalCtx kc = c;
+      kc.tuple = &k.t;
+      kc.items = nullptr;
+      XQC_ASSIGN_OR_RETURN(Sequence kv, EvalItems(*spec.key, kc));
+      XQC_ASSIGN_OR_RETURN(Sequence atoms, Atomize(kv));
+      if (atoms.size() > 1) {
+        return Status::XQueryError("XPTY0004",
+                                   "order by key with more than one item");
+      }
+      k.keys.push_back(std::move(atoms));
+    }
+    keyed.push_back(std::move(k));
+  }
+  Status sort_error = Status::OK();
+  std::stable_sort(keyed.begin(), keyed.end(),
+                   [&](const Keyed& a, const Keyed& b) {
+                     if (!sort_error.ok()) return false;
+                     for (size_t i = 0; i < op.specs.size(); i++) {
+                       Result<int> cmp = CompareOrderKeys(
+                           a.keys[i], b.keys[i], op.specs[i].empty_greatest);
+                       if (!cmp.ok()) {
+                         sort_error = cmp.status();
+                         return false;
+                       }
+                       int v = cmp.value();
+                       if (op.specs[i].descending) v = -v;
+                       if (v != 0) return v < 0;
+                     }
+                     return false;
+                   });
+  XQC_RETURN_IF_ERROR(sort_error);
+  Table out;
+  out.reserve(keyed.size());
+  for (Keyed& k : keyed) out.push_back(std::move(k.t));
+  return out;
+}
+
+Result<Sequence> PlanEvaluator::EvalCall(const Op& op, const EvalCtx& c) {
+  std::vector<Sequence> args;
+  args.reserve(op.inputs.size());
+  for (const OpPtr& a : op.inputs) {
+    XQC_ASSIGN_OR_RETURN(Sequence v, EvalItems(*a, c));
+    args.push_back(std::move(v));
+  }
+  auto it = query_->functions.find(op.name);
+  if (it != query_->functions.end()) {
+    const CompiledFunction& f = it->second;
+    if (args.size() != f.params.size()) {
+      return Status::XQueryError(
+          "XPST0017", "wrong number of arguments for " + f.name.str());
+    }
+    if (++depth_ > kMaxRecursionDepth) {
+      depth_--;
+      return Status::XQueryError("XQDY0000", "recursion depth exceeded");
+    }
+    std::unordered_map<Symbol, Sequence> params;
+    for (size_t i = 0; i < args.size(); i++) {
+      if (f.param_types[i] &&
+          !f.param_types[i]->Matches(args[i], ctx_->schema())) {
+        depth_--;
+        return Status::XQueryError(
+            "XPTY0004", "argument type mismatch calling " + f.name.str());
+      }
+      params[f.params[i]] = std::move(args[i]);
+    }
+    EvalCtx fc;
+    fc.params = &params;
+    Result<Sequence> r = EvalItems(*f.plan, fc);
+    depth_--;
+    if (r.ok() && f.return_type &&
+        !f.return_type->Matches(r.value(), ctx_->schema())) {
+      return Status::XQueryError(
+          "XPTY0004", "result type mismatch from " + f.name.str());
+    }
+    return r;
+  }
+  return CallBuiltin(op.name, args, ctx_);
+}
+
+Result<Sequence> PlanEvaluator::EvalConstructor(const Op& op,
+                                                const EvalCtx& c) {
+  XQC_ASSIGN_OR_RETURN(Sequence content, EvalItems(*op.inputs[0], c));
+  Symbol name = op.name;
+  if (op.inputs.size() > 1) {  // computed constructor name
+    XQC_ASSIGN_OR_RETURN(Sequence nv, EvalItems(*op.inputs[1], c));
+    if (nv.size() != 1) {
+      return Status::XQueryError("XPTY0004",
+                                 "constructor name is not a QName");
+    }
+    name = Symbol(nv[0].StringValue());
+  }
+  switch (op.kind) {
+    case OpKind::kElement: {
+      XQC_ASSIGN_OR_RETURN(NodePtr n, ConstructElement(name, content));
+      return Sequence{std::move(n)};
+    }
+    case OpKind::kAttribute: {
+      XQC_ASSIGN_OR_RETURN(NodePtr n, ConstructAttribute(name, content));
+      return Sequence{std::move(n)};
+    }
+    case OpKind::kText: {
+      XQC_ASSIGN_OR_RETURN(NodePtr n, ConstructText(content));
+      if (n == nullptr) return Sequence{};
+      return Sequence{std::move(n)};
+    }
+    case OpKind::kComment: {
+      XQC_ASSIGN_OR_RETURN(NodePtr n, ConstructComment(content));
+      return Sequence{std::move(n)};
+    }
+    case OpKind::kPI: {
+      XQC_ASSIGN_OR_RETURN(NodePtr n, ConstructPI(name, content));
+      return Sequence{std::move(n)};
+    }
+    case OpKind::kDocumentNode: {
+      XQC_ASSIGN_OR_RETURN(NodePtr n, ConstructDocument(content));
+      return Sequence{std::move(n)};
+    }
+    default:
+      return Status::Internal("not a constructor operator");
+  }
+}
+
+}  // namespace xqc

@@ -1,0 +1,377 @@
+#include "src/runtime/joins.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <unordered_map>
+
+#include "src/base/strutil.h"
+#include "src/types/compare.h"
+
+namespace xqc {
+namespace {
+
+Tuple NullRow(Symbol null_field, bool is_null, const Tuple& base) {
+  Tuple flag;
+  flag.Set(null_field, {AtomicValue::Boolean(is_null)});
+  return Tuple::Concat(flag, base);
+}
+
+/// One hash-table entry: the ORIGINAL key value (before promotion) plus the
+/// inner tuple's ordinal position (Figure 6 stores (key, typeof(key), tup,
+/// order); the tuple itself is recovered from the table by index).
+struct Entry {
+  AtomicValue original;
+  size_t order;
+};
+
+}  // namespace
+
+namespace {
+
+/// Key enumeration per mode: the general Figure 6 promotion, or the
+/// statically specialized single-entry representations (key_class.h).
+void AppendKeys(const AtomicValue& v, KeyMode mode,
+                std::vector<JoinKey>* out) {
+  switch (mode) {
+    case KeyMode::kGeneralKeys: {
+      std::vector<JoinKey> keys = PromoteToSimpleTypes(v);
+      out->insert(out->end(), keys.begin(), keys.end());
+      return;
+    }
+    case KeyMode::kStringKeys:
+      out->push_back(JoinKey{AtomicType::kString, v.Lexical()});
+      return;
+    case KeyMode::kDoubleKeys: {
+      double d;
+      if (v.is_numeric()) {
+        d = v.AsDouble();
+      } else if (v.type() == AtomicType::kUntypedAtomic ||
+                 v.type() == AtomicType::kString) {
+        if (!ParseDouble(v.AsString(), &d)) return;  // never comparable
+      } else {
+        return;
+      }
+      if (std::isnan(d)) return;
+      out->push_back(NumericJoinKey(d));
+      return;
+    }
+    case KeyMode::kNoMatch:
+      return;
+  }
+}
+
+}  // namespace
+
+/// The materialized inner side: a hash index or an ordered (B-tree style)
+/// index over the same (value, type) key space.
+class MaterializedInner {
+ public:
+  MaterializedInner(bool ordered, KeyMode mode)
+      : ordered_(ordered), mode_(mode) {}
+
+  KeyMode mode() const { return mode_; }
+
+  void Put(const JoinKey& key, Entry e) {
+    if (ordered_) {
+      tree_[std::make_pair(static_cast<int>(key.type), key.canon)].push_back(
+          std::move(e));
+    } else {
+      hash_[key].push_back(std::move(e));
+    }
+  }
+
+  const std::vector<Entry>* Get(const JoinKey& key) const {
+    if (ordered_) {
+      auto it =
+          tree_.find(std::make_pair(static_cast<int>(key.type), key.canon));
+      return it == tree_.end() ? nullptr : &it->second;
+    }
+    auto it = hash_.find(key);
+    return it == hash_.end() ? nullptr : &it->second;
+  }
+
+ private:
+  bool ordered_;
+  KeyMode mode_;
+  std::unordered_map<JoinKey, std::vector<Entry>, JoinKeyHash> hash_;
+  std::map<std::pair<int, std::string>, std::vector<Entry>> tree_;
+};
+
+// materialize (Figure 6 lines 1-16): index the inner input on every
+// (value, type) pair its keys promote to, remembering original value and
+// sequence order.
+Result<std::shared_ptr<const MaterializedInner>> MaterializeInner(
+    const Table& right, const KeyFn& right_key, bool use_ordered_index,
+    KeyMode mode) {
+  auto index = std::make_shared<MaterializedInner>(use_ordered_index, mode);
+  std::vector<JoinKey> keys;
+  for (size_t order = 0; order < right.size(); order++) {
+    XQC_ASSIGN_OR_RETURN(Sequence key_vals, right_key(right[order]));
+    for (const Item& key : key_vals) {
+      const AtomicValue& v = key.atomic();
+      keys.clear();
+      AppendKeys(v, mode, &keys);
+      for (const JoinKey& jk : keys) {
+        index->Put(jk, Entry{v, order});
+      }
+    }
+  }
+  return std::shared_ptr<const MaterializedInner>(std::move(index));
+}
+
+namespace {
+
+// allMatches (Figure 6 lines 17-32): probe with each promoted key of each
+// outer key value, re-check the original types against Table 2 and the
+// original values with op:equal, then sort by inner order and deduplicate
+// (existential semantics; keeps the sorted order).
+Result<std::vector<size_t>> AllMatches(const MaterializedInner& index,
+                                       const Sequence& outer_keys) {
+  std::vector<size_t> matches;
+  std::vector<JoinKey> keys;
+  for (const Item& key : outer_keys) {
+    const AtomicValue& v = key.atomic();
+    keys.clear();
+    AppendKeys(v, index.mode(), &keys);
+    for (const JoinKey& jk : keys) {
+      const std::vector<Entry>* entries = index.Get(jk);
+      if (entries == nullptr) continue;
+      for (const Entry& e : *entries) {
+        if (!ConvertCompatible(e.original.type(), v.type())) continue;
+        Result<bool> eq = ValueCompareAtomic(CompOp::kEq, e.original, v);
+        // Incomparable pairs are non-matches (the same join-compatible
+        // relaxation GeneralCompare applies).
+        if (eq.ok() && eq.value()) matches.push_back(e.order);
+      }
+    }
+  }
+  std::sort(matches.begin(), matches.end());
+  matches.erase(std::unique(matches.begin(), matches.end()), matches.end());
+  return matches;
+}
+
+}  // namespace
+
+Result<Table> NestedLoopJoin(const Table& left, const Table& right,
+                             const PredFn& pred, bool outer,
+                             Symbol null_field) {
+  Table out;
+  for (const Tuple& l : left) {
+    bool matched = false;
+    for (const Tuple& r : right) {
+      Tuple joined = Tuple::Concat(l, r);
+      XQC_ASSIGN_OR_RETURN(bool hit, pred(joined));
+      if (!hit) continue;
+      matched = true;
+      if (outer) {
+        out.push_back(NullRow(null_field, false, joined));
+      } else {
+        out.push_back(std::move(joined));
+      }
+    }
+    if (outer && !matched) {
+      out.push_back(NullRow(null_field, true, l));
+    }
+  }
+  return out;
+}
+
+Result<Table> EqualityJoinWithIndex(const Table& left, const KeyFn& left_key,
+                                    const Table& right,
+                                    const MaterializedInner& inner, bool outer,
+                                    Symbol null_field,
+                                    const PredFn* residual) {
+  // equalityJoin (Figure 6 lines 33-49): the left input probes in order.
+  Table out;
+  for (const Tuple& l : left) {
+    XQC_ASSIGN_OR_RETURN(Sequence keys, left_key(l));
+    XQC_ASSIGN_OR_RETURN(std::vector<size_t> matches, AllMatches(inner, keys));
+    bool any = false;
+    for (size_t m : matches) {
+      Tuple joined = Tuple::Concat(l, right[m]);
+      if (residual != nullptr) {
+        XQC_ASSIGN_OR_RETURN(bool keep, (*residual)(joined));
+        if (!keep) continue;
+      }
+      any = true;
+      if (outer) {
+        out.push_back(NullRow(null_field, false, joined));
+      } else {
+        out.push_back(std::move(joined));
+      }
+    }
+    if (outer && !any) {
+      out.push_back(NullRow(null_field, true, l));
+    }
+  }
+  return out;
+}
+
+Result<Table> EqualityJoin(const Table& left, const KeyFn& left_key,
+                           const Table& right, const KeyFn& right_key,
+                           bool outer, Symbol null_field,
+                           bool use_ordered_index, const PredFn* residual) {
+  XQC_ASSIGN_OR_RETURN(std::shared_ptr<const MaterializedInner> inner,
+                       MaterializeInner(right, right_key, use_ordered_index));
+  return EqualityJoinWithIndex(left, left_key, right, *inner, outer,
+                               null_field, residual);
+}
+
+// ---- inequality (range) sort join -------------------------------------------
+
+/// The inner side materialized as ordered lists, one per comparison domain:
+/// numerics by double value (typed numerics and parseable untyped
+/// separately, since untyped-vs-untyped compares as string), and one
+/// lexically ordered list per non-numeric type (untyped raw strings under
+/// xdt:untypedAtomic).
+class MaterializedRangeInner {
+ public:
+  using OrderedList = std::vector<std::pair<double, size_t>>;
+  using LexList = std::vector<std::pair<std::string, size_t>>;
+
+  OrderedList num_typed;    // xs:integer/decimal/float/double keys
+  OrderedList num_untyped;  // untyped keys that parse as numbers
+  std::map<AtomicType, LexList> lex;  // per-type lexical lists
+
+  void Sort() {
+    std::sort(num_typed.begin(), num_typed.end());
+    std::sort(num_untyped.begin(), num_untyped.end());
+    for (auto& [t, list] : lex) std::sort(list.begin(), list.end());
+  }
+};
+
+Result<std::shared_ptr<const MaterializedRangeInner>> MaterializeRangeInner(
+    const Table& right, const KeyFn& right_key) {
+  auto inner = std::make_shared<MaterializedRangeInner>();
+  for (size_t order = 0; order < right.size(); order++) {
+    XQC_ASSIGN_OR_RETURN(Sequence key_vals, right_key(right[order]));
+    for (const Item& key : key_vals) {
+      const AtomicValue& v = key.atomic();
+      if (v.is_numeric()) {
+        double d = v.AsDouble();
+        if (!std::isnan(d)) inner->num_typed.emplace_back(d, order);
+        continue;
+      }
+      if (v.type() == AtomicType::kUntypedAtomic) {
+        inner->lex[AtomicType::kUntypedAtomic].emplace_back(v.AsString(),
+                                                            order);
+        double d;
+        if (ParseDouble(v.AsString(), &d) && !std::isnan(d)) {
+          inner->num_untyped.emplace_back(d, order);
+        }
+        continue;
+      }
+      AtomicType bucket =
+          v.type() == AtomicType::kAnyURI ? AtomicType::kString : v.type();
+      inner->lex[bucket].emplace_back(v.Lexical(), order);
+    }
+  }
+  inner->Sort();
+  return std::shared_ptr<const MaterializedRangeInner>(std::move(inner));
+}
+
+namespace {
+
+/// Appends the orders of all entries r in `list` satisfying `key OP r`.
+template <typename K, typename L>
+void RangeScan(const L& list, CompOp op, const K& key,
+               std::vector<size_t>* out) {
+  auto lo = list.begin();
+  auto hi = list.end();
+  switch (op) {
+    case CompOp::kLt:  // key < r  =>  r in (key, +inf)
+      lo = std::upper_bound(list.begin(), list.end(), key,
+                            [](const K& k, const auto& e) { return k < e.first; });
+      break;
+    case CompOp::kLe:  // key <= r  =>  r in [key, +inf)
+      lo = std::lower_bound(list.begin(), list.end(), key,
+                            [](const auto& e, const K& k) { return e.first < k; });
+      break;
+    case CompOp::kGt:  // key > r  =>  r in (-inf, key)
+      hi = std::lower_bound(list.begin(), list.end(), key,
+                            [](const auto& e, const K& k) { return e.first < k; });
+      break;
+    case CompOp::kGe:  // key >= r  =>  r in (-inf, key]
+      hi = std::upper_bound(list.begin(), list.end(), key,
+                            [](const K& k, const auto& e) { return k < e.first; });
+      break;
+    default:
+      return;
+  }
+  for (auto it = lo; it != hi; ++it) out->push_back(it->second);
+}
+
+}  // namespace
+
+Result<Table> InequalityJoinWithIndex(const Table& left, const KeyFn& left_key,
+                                      const Table& right,
+                                      const MaterializedRangeInner& inner,
+                                      CompOp op, bool outer, Symbol null_field,
+                                      const PredFn* residual) {
+  auto lex_list = [&inner](AtomicType t) -> const MaterializedRangeInner::LexList* {
+    auto it = inner.lex.find(t);
+    return it == inner.lex.end() ? nullptr : &it->second;
+  };
+  Table out;
+  for (const Tuple& l : left) {
+    XQC_ASSIGN_OR_RETURN(Sequence keys, left_key(l));
+    std::vector<size_t> matches;
+    for (const Item& key : keys) {
+      const AtomicValue& v = key.atomic();
+      if (v.is_numeric()) {
+        double d = v.AsDouble();
+        if (std::isnan(d)) continue;
+        // Numeric probe: typed numerics and untyped-cast-to-double.
+        RangeScan(inner.num_typed, op, d, &matches);
+        RangeScan(inner.num_untyped, op, d, &matches);
+        continue;
+      }
+      if (v.type() == AtomicType::kUntypedAtomic) {
+        // Untyped vs numeric inner: cast to double.
+        double d;
+        if (ParseDouble(v.AsString(), &d) && !std::isnan(d)) {
+          RangeScan(inner.num_typed, op, d, &matches);
+        }
+        // Untyped vs any lexical inner type T: convert to T (= trim in our
+        // lexical model) and compare lexically; untyped-vs-untyped is the
+        // xs:string row of Table 2.
+        for (const auto& [t, list] : inner.lex) {
+          RangeScan(list, op, v.AsString(), &matches);
+        }
+        continue;
+      }
+      AtomicType bucket =
+          v.type() == AtomicType::kAnyURI ? AtomicType::kString : v.type();
+      std::string lexv = v.Lexical();
+      if (const auto* same = lex_list(bucket)) {
+        RangeScan(*same, op, lexv, &matches);
+      }
+      if (const auto* unt = lex_list(AtomicType::kUntypedAtomic)) {
+        RangeScan(*unt, op, lexv, &matches);  // untyped inner converts to T
+      }
+    }
+    std::sort(matches.begin(), matches.end());
+    matches.erase(std::unique(matches.begin(), matches.end()), matches.end());
+    bool any = false;
+    for (size_t m : matches) {
+      Tuple joined = Tuple::Concat(l, right[m]);
+      if (residual != nullptr) {
+        XQC_ASSIGN_OR_RETURN(bool keep, (*residual)(joined));
+        if (!keep) continue;
+      }
+      any = true;
+      if (outer) {
+        out.push_back(NullRow(null_field, false, joined));
+      } else {
+        out.push_back(std::move(joined));
+      }
+    }
+    if (outer && !any) {
+      out.push_back(NullRow(null_field, true, l));
+    }
+  }
+  return out;
+}
+
+}  // namespace xqc

@@ -1,0 +1,96 @@
+#include "src/types/schema.h"
+
+namespace xqc {
+namespace {
+
+uint64_t AttrKey(Symbol elem, Symbol attr) {
+  return (static_cast<uint64_t>(elem.id()) << 32) | attr.id();
+}
+
+}  // namespace
+
+void Schema::AddElementRule(Symbol elem, Symbol type, Symbol attr,
+                            std::string attr_value) {
+  elem_rules_.push_back({elem, type, attr, std::move(attr_value)});
+}
+
+void Schema::AddAttributeRule(Symbol elem, Symbol attr, AtomicType atomic) {
+  attr_rules_[AttrKey(elem, attr)] = atomic;
+}
+
+void Schema::AddDerivation(Symbol derived, Symbol base) {
+  base_of_[derived] = base;
+}
+
+bool Schema::DerivesFrom(Symbol type, Symbol base) const {
+  Symbol t = type;
+  for (int depth = 0; depth < 64; depth++) {  // cycle guard
+    if (t == base) return true;
+    auto it = base_of_.find(t);
+    if (it == base_of_.end()) return false;
+    t = it->second;
+  }
+  return false;
+}
+
+Symbol Schema::TypeForElement(const Node& n) const {
+  Symbol result;
+  bool result_specific = false;
+  for (const ElemRule& r : elem_rules_) {
+    if (!r.elem.empty() && r.elem != n.name) continue;
+    if (!r.attr.empty()) {
+      bool hit = false;
+      for (const NodePtr& a : n.attributes) {
+        if (a->name == r.attr &&
+            (r.attr_value.empty() || a->value == r.attr_value)) {
+          hit = true;
+          break;
+        }
+      }
+      if (!hit) continue;
+      result = r.type;  // attribute-refined rules always win
+      result_specific = true;
+    } else if (!result_specific) {
+      result = r.type;
+    }
+  }
+  return result;
+}
+
+bool Schema::TypeForAttribute(Symbol elem, Symbol attr, AtomicType* out) const {
+  auto it = attr_rules_.find(AttrKey(elem, attr));
+  if (it == attr_rules_.end()) {
+    // Fall back to an any-element rule.
+    it = attr_rules_.find(AttrKey(Symbol(), attr));
+    if (it == attr_rules_.end()) return false;
+  }
+  *out = it->second;
+  return true;
+}
+
+namespace {
+
+void AnnotateRec(const Schema& schema, Node* n) {
+  if (n->kind == NodeKind::kElement) {
+    Symbol t = schema.TypeForElement(*n);
+    if (!t.empty()) n->type_annotation = t;
+    for (const NodePtr& a : n->attributes) {
+      AtomicType at;
+      if (schema.TypeForAttribute(n->name, a->name, &at)) {
+        a->type_annotation = Symbol(AtomicTypeName(at));
+      }
+    }
+  }
+  for (const NodePtr& c : n->children) AnnotateRec(schema, c.get());
+}
+
+}  // namespace
+
+Result<NodePtr> Schema::Validate(const NodePtr& node) const {
+  NodePtr copy = DeepCopy(*node, /*keep_types=*/false);
+  AnnotateRec(*this, copy.get());
+  FinalizeTree(copy);
+  return copy;
+}
+
+}  // namespace xqc

@@ -1,0 +1,64 @@
+// A lightweight XML Schema facility.
+//
+// The paper assumes schema-validated data: `validate { ... }` annotates
+// nodes with type names that `element(*,Type)` tests consume (the Q8
+// variant's USSeller / Auction types). We model the part of XML Schema
+// those operators need: named element->type assignment rules (optionally
+// refined by an attribute value), attribute->atomic-type rules (driving
+// typed atomization), and a type-derivation hierarchy.
+#ifndef XQC_TYPES_SCHEMA_H_
+#define XQC_TYPES_SCHEMA_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/base/symbol.h"
+#include "src/xml/item.h"
+
+namespace xqc {
+
+class Schema {
+ public:
+  /// Elements named `elem` (empty = any) validate to type `type`. If
+  /// `attr` is non-empty the rule only applies when the element has that
+  /// attribute with value `attr_value` (empty value = any value). More
+  /// specific rules (with attribute condition) win over generic ones.
+  void AddElementRule(Symbol elem, Symbol type, Symbol attr = Symbol(),
+                      std::string attr_value = "");
+
+  /// Attributes named `attr` on elements named `elem` (empty = any element)
+  /// validate to the built-in atomic type `atomic` — their atomization then
+  /// yields typed values instead of xdt:untypedAtomic.
+  void AddAttributeRule(Symbol elem, Symbol attr, AtomicType atomic);
+
+  /// Declares `derived` to derive (transitively) from `base`.
+  void AddDerivation(Symbol derived, Symbol base);
+
+  /// True iff `type` equals `base` or derives from it.
+  bool DerivesFrom(Symbol type, Symbol base) const;
+
+  /// Type assigned to an element node by the rules (empty if none apply).
+  Symbol TypeForElement(const Node& n) const;
+
+  /// Atomic type assigned to an attribute (false if no rule applies).
+  bool TypeForAttribute(Symbol elem, Symbol attr, AtomicType* out) const;
+
+  /// Validation: deep-copies `node` and annotates the copy (recursively)
+  /// per the rules. The copy is finalized (fresh document order).
+  Result<NodePtr> Validate(const NodePtr& node) const;
+
+ private:
+  struct ElemRule {
+    Symbol elem, type, attr;
+    std::string attr_value;
+  };
+  std::vector<ElemRule> elem_rules_;
+  std::unordered_map<uint64_t, AtomicType> attr_rules_;
+  std::unordered_map<Symbol, Symbol> base_of_;
+};
+
+}  // namespace xqc
+
+#endif  // XQC_TYPES_SCHEMA_H_

@@ -1,0 +1,165 @@
+#include "src/types/seqtype.h"
+
+#include "src/types/schema.h"
+
+namespace xqc {
+
+ItemTest ItemTest::Atomic(AtomicType t) {
+  ItemTest it;
+  it.kind = Kind::kAtomic;
+  it.atomic = t;
+  return it;
+}
+
+ItemTest ItemTest::AnyNode() { return OfKind(Kind::kAnyNode); }
+
+ItemTest ItemTest::Element(Symbol name, Symbol type) {
+  ItemTest it;
+  it.kind = Kind::kElement;
+  it.name = name;
+  it.type_name = type;
+  return it;
+}
+
+ItemTest ItemTest::Attribute(Symbol name, Symbol type) {
+  ItemTest it;
+  it.kind = Kind::kAttribute;
+  it.name = name;
+  it.type_name = type;
+  return it;
+}
+
+ItemTest ItemTest::OfKind(Kind k) {
+  ItemTest it;
+  it.kind = k;
+  return it;
+}
+
+namespace {
+
+bool NumericSubtype(AtomicType value_type, AtomicType test_type) {
+  // xs:integer instance-of xs:decimal holds (derived type).
+  return value_type == AtomicType::kInteger &&
+         test_type == AtomicType::kDecimal;
+}
+
+}  // namespace
+
+bool ItemTest::Matches(const Item& item, const Schema* schema) const {
+  switch (kind) {
+    case Kind::kAnyItem:
+      return true;
+    case Kind::kAtomic: {
+      if (!item.IsAtomic()) return false;
+      AtomicType t = item.atomic().type();
+      return t == atomic || NumericSubtype(t, atomic);
+    }
+    case Kind::kAnyNode:
+      return item.IsNode();
+    case Kind::kElement:
+    case Kind::kAttribute: {
+      if (!item.IsNode()) return false;
+      const Node& n = *item.node();
+      NodeKind want =
+          kind == Kind::kElement ? NodeKind::kElement : NodeKind::kAttribute;
+      if (n.kind != want) return false;
+      if (!name.empty() && n.name != name) return false;
+      if (!type_name.empty()) {
+        if (n.type_annotation.empty()) return false;
+        if (schema != nullptr) {
+          return schema->DerivesFrom(n.type_annotation, type_name);
+        }
+        return n.type_annotation == type_name;
+      }
+      return true;
+    }
+    case Kind::kText:
+      return item.IsNode() && item.node()->kind == NodeKind::kText;
+    case Kind::kComment:
+      return item.IsNode() && item.node()->kind == NodeKind::kComment;
+    case Kind::kPI:
+      return item.IsNode() && item.node()->kind == NodeKind::kPI;
+    case Kind::kDocument:
+      return item.IsNode() && item.node()->kind == NodeKind::kDocument;
+  }
+  return false;
+}
+
+std::string ItemTest::ToString() const {
+  switch (kind) {
+    case Kind::kAnyItem:
+      return "item()";
+    case Kind::kAtomic:
+      return AtomicTypeName(atomic);
+    case Kind::kAnyNode:
+      return "node()";
+    case Kind::kElement:
+    case Kind::kAttribute: {
+      std::string s = kind == Kind::kElement ? "element(" : "attribute(";
+      if (name.empty() && type_name.empty()) return s + ")";
+      s += name.empty() ? "*" : name.str();
+      if (!type_name.empty()) s += "," + type_name.str();
+      return s + ")";
+    }
+    case Kind::kText:
+      return "text()";
+    case Kind::kComment:
+      return "comment()";
+    case Kind::kPI:
+      return "processing-instruction()";
+    case Kind::kDocument:
+      return "document-node()";
+  }
+  return "item()";
+}
+
+SequenceType SequenceType::Empty() {
+  SequenceType t;
+  t.is_empty = true;
+  return t;
+}
+SequenceType SequenceType::One(ItemTest t) { return {false, t, Occurrence::kOne}; }
+SequenceType SequenceType::Optional(ItemTest t) {
+  return {false, t, Occurrence::kOptional};
+}
+SequenceType SequenceType::Star(ItemTest t) {
+  return {false, t, Occurrence::kStar};
+}
+SequenceType SequenceType::Plus(ItemTest t) {
+  return {false, t, Occurrence::kPlus};
+}
+
+bool SequenceType::Matches(const Sequence& s, const Schema* schema) const {
+  if (is_empty) return s.empty();
+  switch (occ) {
+    case Occurrence::kOne:
+      if (s.size() != 1) return false;
+      break;
+    case Occurrence::kOptional:
+      if (s.size() > 1) return false;
+      break;
+    case Occurrence::kPlus:
+      if (s.empty()) return false;
+      break;
+    case Occurrence::kStar:
+      break;
+  }
+  for (const Item& it : s) {
+    if (!test.Matches(it, schema)) return false;
+  }
+  return true;
+}
+
+std::string SequenceType::ToString() const {
+  if (is_empty) return "empty-sequence()";
+  std::string s = test.ToString();
+  switch (occ) {
+    case Occurrence::kOne: break;
+    case Occurrence::kOptional: s += "?"; break;
+    case Occurrence::kStar: s += "*"; break;
+    case Occurrence::kPlus: s += "+"; break;
+  }
+  return s;
+}
+
+}  // namespace xqc

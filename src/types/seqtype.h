@@ -1,0 +1,79 @@
+// Sequence types: the [Type] parameters of the algebra's type operators
+// (Castable, Cast, Validate, TypeMatches, TypeAssert) and XQuery's
+// `instance of` / `typeswitch` tests — e.g. `element(*,Auction)*`.
+#ifndef XQC_TYPES_SEQTYPE_H_
+#define XQC_TYPES_SEQTYPE_H_
+
+#include <string>
+
+#include "src/base/status.h"
+#include "src/base/symbol.h"
+#include "src/xml/item.h"
+
+namespace xqc {
+
+class Schema;
+
+/// A test on one item.
+struct ItemTest {
+  enum class Kind {
+    kAnyItem,    // item()
+    kAtomic,     // xs:integer etc.
+    kAnyNode,    // node()
+    kElement,    // element(), element(name), element(*,Type), element(name,Type)
+    kAttribute,  // attribute(...)
+    kText,       // text()
+    kComment,    // comment()
+    kPI,         // processing-instruction()
+    kDocument,   // document-node()
+  };
+
+  Kind kind = Kind::kAnyItem;
+  AtomicType atomic = AtomicType::kString;  // kAtomic only
+  Symbol name;       // element/attribute name; empty = wildcard *
+  Symbol type_name;  // schema type for element(*,T); empty = any type
+
+  static ItemTest AnyItem() { return {}; }
+  static ItemTest Atomic(AtomicType t);
+  static ItemTest AnyNode();
+  static ItemTest Element(Symbol name = Symbol(), Symbol type = Symbol());
+  static ItemTest Attribute(Symbol name = Symbol(), Symbol type = Symbol());
+  static ItemTest OfKind(Kind k);
+
+  /// Does `item` match, resolving schema-type derivation through `schema`
+  /// (may be null: then type names must match exactly)?
+  bool Matches(const Item& item, const Schema* schema) const;
+
+  std::string ToString() const;
+
+  bool operator==(const ItemTest& o) const {
+    return kind == o.kind && atomic == o.atomic && name == o.name &&
+           type_name == o.type_name;
+  }
+};
+
+enum class Occurrence { kOne, kOptional, kStar, kPlus };
+
+/// item-test + occurrence indicator, or empty-sequence().
+struct SequenceType {
+  bool is_empty = false;  // empty-sequence()
+  ItemTest test;
+  Occurrence occ = Occurrence::kOne;
+
+  static SequenceType Empty();
+  static SequenceType One(ItemTest t);
+  static SequenceType Optional(ItemTest t);
+  static SequenceType Star(ItemTest t);
+  static SequenceType Plus(ItemTest t);
+
+  bool Matches(const Sequence& s, const Schema* schema) const;
+  std::string ToString() const;
+
+  bool operator==(const SequenceType& o) const {
+    return is_empty == o.is_empty && test == o.test && occ == o.occ;
+  }
+};
+
+}  // namespace xqc
+
+#endif  // XQC_TYPES_SEQTYPE_H_

@@ -1,0 +1,435 @@
+#include "src/xmark/xmark.h"
+
+#include <array>
+
+#include "src/xml/xml_parser.h"
+
+namespace xqc {
+namespace {
+
+/// Deterministic 64-bit LCG (splitmix-style) — no global RNG state.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed * 0x9E3779B97F4A7C15ull + 1) {}
+
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [0, n).
+  uint64_t Below(uint64_t n) { return n == 0 ? 0 : Next() % n; }
+
+ private:
+  uint64_t state_;
+};
+
+const char* const kWords[] = {
+    "gold",      "silver",   "iron",    "copper",  "emerald", "quiet",
+    "mighty",    "gentle",   "rapid",   "solemn",  "vintage", "modern",
+    "carved",    "woven",    "painted", "antique", "rare",    "common",
+    "splendid",  "humble",   "ornate",  "plain",   "bright",  "shadow",
+    "mountain",  "river",    "meadow",  "harbor",  "castle",  "garden",
+    "lantern",   "compass",  "anchor",  "feather", "marble",  "timber",
+    "porcelain", "bronze",   "crystal", "velvet",  "linen",   "cedar",
+    "amber",     "ivory",    "cobalt",  "scarlet", "indigo",  "auburn"};
+constexpr size_t kNumWords = std::size(kWords);
+
+const char* const kFirstNames[] = {"Ann",  "Bob",   "Cyd",  "Dan",  "Eve",
+                                   "Finn", "Gina",  "Hugo", "Iris", "Jack",
+                                   "Kira", "Liam",  "Mona", "Nils", "Okka",
+                                   "Pia",  "Quinn", "Rosa", "Sven", "Tara"};
+const char* const kLastNames[] = {"Smith",  "Jones",  "Garcia", "Muller",
+                                  "Rossi",  "Tanaka", "Chen",   "Dubois",
+                                  "Novak",  "Silva",  "Kumar",  "Haddad",
+                                  "Olsen",  "Koch",   "Marino", "Weber"};
+const char* const kCities[] = {"Springfield", "Riverton", "Lakewood",
+                               "Hillsboro",   "Fairview", "Georgetown"};
+const char* const kCountries[] = {"United States", "Germany", "Japan",
+                                  "France",        "Brazil",  "India"};
+const char* const kRegions[] = {"africa",   "asia",     "australia",
+                                "europe",   "namerica", "samerica"};
+
+void Sentence(Rng* rng, int words, std::string* out) {
+  for (int i = 0; i < words; i++) {
+    if (i > 0) out->push_back(' ');
+    out->append(kWords[rng->Below(kNumWords)]);
+  }
+}
+
+class Generator {
+ public:
+  Generator(const XMarkOptions& options) : options_(options), rng_(options.seed) {
+    // Proportions follow XMark's relative entity counts; the per-MB
+    // constants are calibrated so the output lands near target_bytes.
+    double mb = static_cast<double>(options.target_bytes) / (1024.0 * 1024.0);
+    n_categories_ = std::max<int>(4, static_cast<int>(10 * mb));
+    n_items_ = std::max<int>(12, static_cast<int>(650 * mb));
+    n_persons_ = std::max<int>(8, static_cast<int>(765 * mb));
+    n_open_ = std::max<int>(6, static_cast<int>(360 * mb));
+    n_closed_ = std::max<int>(6, static_cast<int>(290 * mb));
+  }
+
+  std::string Generate() {
+    out_.reserve(options_.target_bytes + options_.target_bytes / 4);
+    out_ += "<site>\n";
+    Categories();
+    Regions();
+    People();
+    OpenAuctions();
+    ClosedAuctions();
+    out_ += "</site>\n";
+    return std::move(out_);
+  }
+
+ private:
+  void Tag(const char* name, const std::string& content) {
+    out_ += "<";
+    out_ += name;
+    out_ += ">";
+    out_ += content;
+    out_ += "</";
+    out_ += name;
+    out_ += ">";
+  }
+
+  void TextElem(const char* name, int words) {
+    std::string s;
+    Sentence(&rng_, words, &s);
+    Tag(name, s);
+  }
+
+  void Categories() {
+    out_ += "<categories>\n";
+    for (int i = 0; i < n_categories_; i++) {
+      out_ += "<category id=\"category" + std::to_string(i) + "\">";
+      TextElem("name", 2);
+      out_ += "<description>";
+      TextElem("text", 12);
+      out_ += "</description></category>\n";
+    }
+    out_ += "</categories>\n";
+  }
+
+  void Regions() {
+    out_ += "<regions>\n";
+    int per_region = n_items_ / static_cast<int>(std::size(kRegions));
+    int item_id = 0;
+    for (const char* region : kRegions) {
+      out_ += "<";
+      out_ += region;
+      out_ += ">\n";
+      for (int i = 0; i < per_region; i++, item_id++) {
+        out_ += "<item id=\"item" + std::to_string(item_id) + "\">";
+        Tag("location", kCountries[rng_.Below(std::size(kCountries))]);
+        TextElem("name", 2);
+        Tag("payment", "Cash Creditcard");
+        out_ += "<description><parlist><listitem>";
+        TextElem("text", 20);
+        out_ += "</listitem><listitem>";
+        TextElem("text", 15);
+        out_ += "</listitem></parlist></description>";
+        Tag("quantity", std::to_string(1 + rng_.Below(5)));
+        out_ += "<incategory category=\"category" +
+                std::to_string(rng_.Below(n_categories_)) + "\"/>";
+        out_ += "</item>\n";
+      }
+      out_ += "</";
+      out_ += region;
+      out_ += ">\n";
+    }
+    out_ += "</regions>\n";
+    n_items_ = item_id;  // actual count after integer division
+  }
+
+  void People() {
+    out_ += "<people>\n";
+    for (int i = 0; i < n_persons_; i++) {
+      out_ += "<person id=\"person" + std::to_string(i) + "\">";
+      std::string name = std::string(kFirstNames[rng_.Below(std::size(kFirstNames))]) +
+                         " " + kLastNames[rng_.Below(std::size(kLastNames))];
+      Tag("name", name);
+      Tag("emailaddress", "mailto:user" + std::to_string(i) + "@example.org");
+      if (rng_.Below(2) == 0) {
+        Tag("phone", "+1 (" + std::to_string(100 + rng_.Below(900)) + ") " +
+                         std::to_string(1000000 + rng_.Below(9000000)));
+      }
+      if (rng_.Below(2) == 0) {
+        out_ += "<address>";
+        Tag("street", std::to_string(1 + rng_.Below(99)) + " " +
+                          std::string(kWords[rng_.Below(kNumWords)]) + " St");
+        Tag("city", kCities[rng_.Below(std::size(kCities))]);
+        Tag("country", kCountries[rng_.Below(std::size(kCountries))]);
+        Tag("zipcode", std::to_string(10000 + rng_.Below(90000)));
+        out_ += "</address>";
+      }
+      if (rng_.Below(2) == 0) {
+        Tag("homepage", "http://example.org/~user" + std::to_string(i));
+      }
+      if (rng_.Below(4) != 0) {
+        out_ += "<profile income=\"" +
+                std::to_string(9000 + rng_.Below(91000)) + "\">";
+        int interests = static_cast<int>(rng_.Below(4));
+        for (int k = 0; k < interests; k++) {
+          out_ += "<interest category=\"category" +
+                  std::to_string(rng_.Below(n_categories_)) + "\"/>";
+        }
+        if (rng_.Below(2) == 0) Tag("education", "Graduate School");
+        Tag("business", rng_.Below(2) == 0 ? "Yes" : "No");
+        out_ += "</profile>";
+      }
+      out_ += "</person>\n";
+    }
+    out_ += "</people>\n";
+  }
+
+  void OpenAuctions() {
+    out_ += "<open_auctions>\n";
+    for (int i = 0; i < n_open_; i++) {
+      out_ += "<open_auction id=\"open_auction" + std::to_string(i) + "\">";
+      int initial = static_cast<int>(1 + rng_.Below(200));
+      Tag("initial", std::to_string(initial) + "." +
+                         std::to_string(rng_.Below(100)));
+      Tag("reserve", std::to_string(initial * 2));
+      int bidders = static_cast<int>(1 + rng_.Below(5));
+      int current = initial;
+      for (int b = 0; b < bidders; b++) {
+        out_ += "<bidder>";
+        Tag("date", Date());
+        Tag("time", "12:" + std::to_string(10 + rng_.Below(50)) + ":00");
+        out_ += "<personref person=\"person" +
+                std::to_string(rng_.Below(n_persons_)) + "\"/>";
+        int inc = static_cast<int>(1 + rng_.Below(20));
+        current += inc;
+        Tag("increase", std::to_string(inc) + ".00");
+        out_ += "</bidder>";
+      }
+      Tag("current", std::to_string(current) + ".00");
+      out_ += "<itemref item=\"item" + std::to_string(rng_.Below(n_items_)) + "\"/>";
+      out_ += "<seller person=\"person" + std::to_string(rng_.Below(n_persons_)) + "\"/>";
+      out_ += "<annotation><description>";
+      TextElem("text", 10);
+      out_ += "</description></annotation>";
+      Tag("quantity", "1");
+      Tag("type", "Regular");
+      out_ += "<interval>";
+      Tag("start", Date());
+      Tag("end", Date());
+      out_ += "</interval></open_auction>\n";
+    }
+    out_ += "</open_auctions>\n";
+  }
+
+  void ClosedAuctions() {
+    out_ += "<closed_auctions>\n";
+    for (int i = 0; i < n_closed_; i++) {
+      out_ += "<closed_auction>";
+      // The Q8-variant schema keys USSeller on country="US".
+      bool us = rng_.Below(3) == 0;
+      out_ += "<seller person=\"person" +
+              std::to_string(rng_.Below(n_persons_)) + "\" country=\"" +
+              (us ? "US" : "DE") + "\"/>";
+      out_ += "<buyer person=\"person" +
+              std::to_string(rng_.Below(n_persons_)) + "\"/>";
+      out_ += "<itemref item=\"item" + std::to_string(rng_.Below(n_items_)) + "\"/>";
+      Tag("price", std::to_string(1 + rng_.Below(300)) + "." +
+                       std::to_string(10 + rng_.Below(90)));
+      Tag("date", Date());
+      Tag("quantity", "1");
+      Tag("type", "Regular");
+      out_ += "<annotation><description>";
+      TextElem("text", 14);
+      out_ += "</description></annotation></closed_auction>\n";
+    }
+    out_ += "</closed_auctions>\n";
+  }
+
+  std::string Date() {
+    return std::to_string(1998 + rng_.Below(8)) + "-" +
+           std::to_string(1 + rng_.Below(12)) + "-" +
+           std::to_string(1 + rng_.Below(28));
+  }
+
+  XMarkOptions options_;
+  Rng rng_;
+  std::string out_;
+  int n_categories_, n_items_, n_persons_, n_open_, n_closed_;
+};
+
+}  // namespace
+
+std::string GenerateXMarkXml(const XMarkOptions& options) {
+  Generator g(options);
+  return g.Generate();
+}
+
+Result<NodePtr> GenerateXMarkDocument(const XMarkOptions& options) {
+  return ParseXml(GenerateXMarkXml(options));
+}
+
+const std::string& XMarkQuery(int number) {
+  static const std::array<std::string, 21>* kQueries = [] {
+    auto* q = new std::array<std::string, 21>();
+    const std::string decl = "declare variable $auction external; ";
+    // Q1: exact-match lookup.
+    (*q)[1] = decl +
+        "for $b in $auction/site/people/person[@id = \"person0\"] "
+        "return $b/name/text()";
+    // Q2: positional access inside open auctions.
+    (*q)[2] = decl +
+        "for $b in $auction/site/open_auctions/open_auction "
+        "return <increase>{$b/bidder[1]/increase/text()}</increase>";
+    // Q3: first vs last bidder comparison.
+    (*q)[3] = decl +
+        "for $b in $auction/site/open_auctions/open_auction "
+        "where zero-or-one($b/bidder[1]/increase/text()) "
+        "return <increase first=\"{$b/bidder[1]/increase/text()}\" "
+        "last=\"{$b/bidder[last()]/increase/text()}\"/>";
+    // Q4: document-order comparison of bidders.
+    (*q)[4] = decl +
+        "for $b in $auction/site/open_auctions/open_auction "
+        "where some $pr1 in $b/bidder/personref[@person = \"person20\"], "
+        "           $pr2 in $b/bidder/personref[@person = \"person51\"] "
+        "      satisfies $pr1 << $pr2 "
+        "return <history>{$b/reserve/text()}</history>";
+    // Q5: aggregate with value predicate.
+    (*q)[5] = decl +
+        "count(for $i in $auction/site/closed_auctions/closed_auction "
+        "where $i/price >= 40 return $i/price)";
+    // Q6: descendant counting per region.
+    (*q)[6] = decl +
+        "for $b in $auction/site/regions return count($b//item)";
+    // Q7: counting three descendant kinds.
+    (*q)[7] = decl +
+        "for $p in $auction/site "
+        "return count($p//description) + count($p//annotation) + "
+        "count($p//emailaddress)";
+    // Q8: the classic 2-way value join (persons x closed auctions).
+    (*q)[8] = decl +
+        "for $p in $auction/site/people/person "
+        "let $a := for $t in $auction/site/closed_auctions/closed_auction "
+        "          where $t/buyer/@person = $p/@id "
+        "          return $t "
+        "return <item person=\"{$p/name/text()}\">{count($a)}</item>";
+    // Q9: 3-way join (persons x closed auctions x european items).
+    (*q)[9] = decl +
+        "for $p in $auction/site/people/person "
+        "let $a := for $t in $auction/site/closed_auctions/closed_auction "
+        "          let $n := for $t2 in $auction/site/regions/europe/item "
+        "                    where $t/itemref/@item = $t2/@id "
+        "                    return $t2 "
+        "          where $p/@id = $t/buyer/@person "
+        "          return <item>{$n/name/text()}</item> "
+        "return <person name=\"{$p/name/text()}\">{$a}</person>";
+    // Q10: grouping by interest category (large reconstruction join).
+    (*q)[10] = decl +
+        "for $i in distinct-values($auction/site/people/person/profile/"
+        "interest/@category) "
+        "let $p := for $t in $auction/site/people/person "
+        "          where $t/profile/interest/@category = $i "
+        "          return <personne>"
+        "<statistiques><sexe>{$t/profile/gender/text()}</sexe>"
+        "<age>{$t/profile/age/text()}</age>"
+        "<education>{$t/profile/education/text()}</education>"
+        "<revenu>{fn:data($t/profile/@income)}</revenu></statistiques>"
+        "<coordonnees><nom>{$t/name/text()}</nom>"
+        "<courrier>{$t/emailaddress/text()}</courrier></coordonnees>"
+        "</personne> "
+        "return <categorie>{<id>{$i}</id>, $p}</categorie>";
+    // Q11: value-based inequality join (income vs initial price).
+    (*q)[11] = decl +
+        "for $p in $auction/site/people/person "
+        "let $l := for $i in $auction/site/open_auctions/open_auction/initial "
+        "          where $p/profile/@income > 5000 * number($i) "
+        "          return $i "
+        "return <items name=\"{$p/name/text()}\">{count($l)}</items>";
+    // Q12: Q11 restricted to high incomes.
+    (*q)[12] = decl +
+        "for $p in $auction/site/people/person "
+        "let $l := for $i in $auction/site/open_auctions/open_auction/initial "
+        "          where $p/profile/@income > 5000 * number($i) "
+        "          return $i "
+        "where $p/profile/@income > 50000 "
+        "return <items person=\"{$p/name/text()}\">{count($l)}</items>";
+    // Q13: reconstruction of australian items.
+    (*q)[13] = decl +
+        "for $i in $auction/site/regions/australia/item "
+        "return <item name=\"{$i/name/text()}\">{$i/description}</item>";
+    // Q14: full-text-ish scan with contains().
+    (*q)[14] = decl +
+        "for $i in $auction/site//item "
+        "where contains(string($i/description), \"gold\") "
+        "return $i/name/text()";
+    // Q15: a long path expression.
+    (*q)[15] = decl +
+        "for $a in $auction/site/closed_auctions/closed_auction/annotation/"
+        "description/text "
+        "return <text>{$a/text()}</text>";
+    // Q16: a long path with an existence test.
+    (*q)[16] = decl +
+        "for $a in $auction/site/closed_auctions/closed_auction "
+        "where exists($a/annotation/description/text/text()) "
+        "return <person id=\"{$a/seller/@person}\"/>";
+    // Q17: missing-element test.
+    (*q)[17] = decl +
+        "for $p in $auction/site/people/person "
+        "where empty($p/homepage/text()) "
+        "return <person name=\"{$p/name/text()}\"/>";
+    // Q18: user-defined function application.
+    (*q)[18] = decl +
+        "declare function local:convert($v) { 2.20371 * number($v) }; "
+        "for $i in $auction/site/open_auctions/open_auction "
+        "return local:convert(zero-or-one($i/reserve/text()))";
+    // Q19: order by.
+    (*q)[19] = decl +
+        "for $b in $auction/site/regions//item "
+        "let $k := $b/name/text() "
+        "order by zero-or-one($b/location) ascending "
+        "return <item name=\"{$k}\">{$b/location/text()}</item>";
+    // Q20: income bracket counts.
+    (*q)[20] = decl +
+        "<result>"
+        "<preferred>{count($auction/site/people/person/profile["
+        "@income >= 100000])}</preferred>"
+        "<standard>{count($auction/site/people/person/profile["
+        "@income < 100000][@income >= 30000])}</standard>"
+        "<challenge>{count($auction/site/people/person/profile["
+        "@income < 30000])}</challenge>"
+        "<na>{count(for $p in $auction/site/people/person "
+        "where empty($p/profile/@income) return $p)}</na>"
+        "</result>";
+    return q;
+  }();
+  return (*kQueries)[static_cast<size_t>(number)];
+}
+
+const std::string& XMarkQ8Variant() {
+  // The running example of Section 2 of the paper: uses schema validation
+  // and the element(*,Type) tests inside the nested FLWOR block.
+  static const std::string* kQuery = new std::string(
+      "declare variable $auction external; "
+      "for $p in $auction//person "
+      "let $a as element(*,Auction)* := "
+      "  for $t in $auction//closed_auction "
+      "  where $t/buyer/@person = $p/@id "
+      "  return validate { $t } "
+      "return <item person=\"{$p/name/text()}\">"
+      "{count($a/element(*,USSeller))}</item>");
+  return *kQuery;
+}
+
+Schema XMarkSchema() {
+  Schema s;
+  s.AddElementRule(Symbol("closed_auction"), Symbol("Auction"));
+  s.AddElementRule(Symbol("seller"), Symbol("Seller"));
+  s.AddElementRule(Symbol("seller"), Symbol("USSeller"), Symbol("country"),
+                   "US");
+  s.AddDerivation(Symbol("USSeller"), Symbol("Seller"));
+  s.AddAttributeRule(Symbol(), Symbol("income"), AtomicType::kDecimal);
+  s.AddElementRule(Symbol("price"), Symbol("xs:decimal"));
+  return s;
+}
+
+}  // namespace xqc

@@ -1,0 +1,53 @@
+// XMark substrate: a from-scratch, deterministic generator for auction-site
+// documents structurally equivalent to the XMark benchmark's xmlgen output
+// (Schmidt et al., VLDB 2002), plus the twenty XMark queries adapted to the
+// supported dialect, and the schema the paper's Q8 variant assumes.
+//
+// Substitution note (see DESIGN.md): the original xmlgen binary and its
+// Shakespeare-derived text corpus are not available offline. This generator
+// reproduces the pieces the paper's evaluation exercises: element structure
+// and proportions, join key distributions (every closed auction's buyer /
+// seller / item reference is a uniformly drawn person / item id), keyword
+// text for contains() queries, and byte-size scaling.
+#ifndef XQC_XMARK_XMARK_H_
+#define XQC_XMARK_XMARK_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/types/schema.h"
+#include "src/xml/node.h"
+
+namespace xqc {
+
+struct XMarkOptions {
+  uint64_t seed = 42;
+  /// Approximate size of the generated document in bytes.
+  size_t target_bytes = 1 << 20;
+};
+
+/// Generates the auction document as XML text.
+std::string GenerateXMarkXml(const XMarkOptions& options);
+
+/// Generates and parses the auction document.
+Result<NodePtr> GenerateXMarkDocument(const XMarkOptions& options);
+
+/// The twenty XMark queries (1-based), adapted to the supported dialect.
+/// Each declares `$auction` external; bind it to the document root.
+const std::string& XMarkQuery(int number);
+
+/// The Section 2 Q8 variant with schema types: one item element per person
+/// with the count of validated element(*,USSeller) children among the
+/// auctions they bought.
+const std::string& XMarkQ8Variant();
+
+/// The schema the Q8 variant assumes: closed_auction elements validate to
+/// type Auction; seller elements with country="US" validate to USSeller
+/// (deriving from Seller); price attributes/elements get decimal typing.
+Schema XMarkSchema();
+
+}  // namespace xqc
+
+#endif  // XQC_XMARK_XMARK_H_

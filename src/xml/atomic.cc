@@ -1,0 +1,161 @@
+#include "src/xml/atomic.h"
+
+#include <cmath>
+
+#include "src/base/strutil.h"
+
+namespace xqc {
+
+const char* AtomicTypeName(AtomicType t) {
+  switch (t) {
+    case AtomicType::kUntypedAtomic: return "xdt:untypedAtomic";
+    case AtomicType::kString: return "xs:string";
+    case AtomicType::kBoolean: return "xs:boolean";
+    case AtomicType::kInteger: return "xs:integer";
+    case AtomicType::kDecimal: return "xs:decimal";
+    case AtomicType::kFloat: return "xs:float";
+    case AtomicType::kDouble: return "xs:double";
+    case AtomicType::kDuration: return "xs:duration";
+    case AtomicType::kDateTime: return "xs:dateTime";
+    case AtomicType::kTime: return "xs:time";
+    case AtomicType::kDate: return "xs:date";
+    case AtomicType::kGYearMonth: return "xs:gYearMonth";
+    case AtomicType::kGYear: return "xs:gYear";
+    case AtomicType::kGMonthDay: return "xs:gMonthDay";
+    case AtomicType::kGDay: return "xs:gDay";
+    case AtomicType::kGMonth: return "xs:gMonth";
+    case AtomicType::kHexBinary: return "xs:hexBinary";
+    case AtomicType::kBase64Binary: return "xs:base64Binary";
+    case AtomicType::kAnyURI: return "xs:anyURI";
+    case AtomicType::kQName: return "xs:QName";
+    case AtomicType::kNotation: return "xs:NOTATION";
+  }
+  return "xs:string";
+}
+
+bool AtomicTypeFromName(std::string_view name, AtomicType* out) {
+  // Strip a namespace prefix if present.
+  size_t colon = name.rfind(':');
+  std::string_view local =
+      colon == std::string_view::npos ? name : name.substr(colon + 1);
+  for (int i = 0; i < kNumAtomicTypes; i++) {
+    AtomicType t = static_cast<AtomicType>(i);
+    std::string_view full = AtomicTypeName(t);
+    std::string_view tlocal = full.substr(full.find(':') + 1);
+    if (local == tlocal) {
+      *out = t;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool IsNumeric(AtomicType t) {
+  return t == AtomicType::kInteger || t == AtomicType::kDecimal ||
+         t == AtomicType::kFloat || t == AtomicType::kDouble;
+}
+
+AtomicValue AtomicValue::Untyped(std::string s) {
+  return AtomicValue(AtomicType::kUntypedAtomic, std::move(s));
+}
+AtomicValue AtomicValue::String(std::string s) {
+  return AtomicValue(AtomicType::kString, std::move(s));
+}
+AtomicValue AtomicValue::Boolean(bool b) {
+  return AtomicValue(AtomicType::kBoolean, b);
+}
+AtomicValue AtomicValue::Integer(int64_t i) {
+  return AtomicValue(AtomicType::kInteger, i);
+}
+AtomicValue AtomicValue::Decimal(double d) {
+  return AtomicValue(AtomicType::kDecimal, d);
+}
+AtomicValue AtomicValue::Float(double d) {
+  return AtomicValue(AtomicType::kFloat,
+                     static_cast<double>(static_cast<float>(d)));
+}
+AtomicValue AtomicValue::Double(double d) {
+  return AtomicValue(AtomicType::kDouble, d);
+}
+AtomicValue AtomicValue::Lexical(AtomicType t, std::string s) {
+  return AtomicValue(t, std::move(s));
+}
+
+Result<AtomicValue> AtomicValue::FromLexical(AtomicType t,
+                                             std::string_view s) {
+  switch (t) {
+    case AtomicType::kUntypedAtomic:
+      return Untyped(std::string(s));
+    case AtomicType::kString:
+      return String(std::string(s));
+    case AtomicType::kBoolean: {
+      std::string_view v = TrimXmlSpace(s);
+      if (v == "true" || v == "1") return Boolean(true);
+      if (v == "false" || v == "0") return Boolean(false);
+      return Status::XQueryError(
+          "FORG0001", "invalid xs:boolean literal: '" + std::string(s) + "'");
+    }
+    case AtomicType::kInteger: {
+      int64_t i;
+      if (!ParseInt(s, &i)) {
+        return Status::XQueryError(
+            "FORG0001",
+            "invalid xs:integer literal: '" + std::string(s) + "'");
+      }
+      return Integer(i);
+    }
+    case AtomicType::kDecimal:
+    case AtomicType::kFloat:
+    case AtomicType::kDouble: {
+      double d;
+      if (!ParseDouble(s, &d) ||
+          (t == AtomicType::kDecimal && (std::isnan(d) || std::isinf(d)))) {
+        return Status::XQueryError(
+            "FORG0001", std::string("invalid ") + AtomicTypeName(t) +
+                            " literal: '" + std::string(s) + "'");
+      }
+      if (t == AtomicType::kDecimal) return Decimal(d);
+      if (t == AtomicType::kFloat) return Float(d);
+      return Double(d);
+    }
+    default:
+      // Lexical-form types: trim and store. (Full XML Schema lexical
+      // validation of dates/durations is out of scope.)
+      return Lexical(t, std::string(TrimXmlSpace(s)));
+  }
+}
+
+double AtomicValue::AsDouble() const {
+  if (std::holds_alternative<int64_t>(v_)) {
+    return static_cast<double>(std::get<int64_t>(v_));
+  }
+  return std::get<double>(v_);
+}
+
+std::string AtomicValue::Lexical() const {
+  switch (type_) {
+    case AtomicType::kBoolean:
+      return AsBool() ? "true" : "false";
+    case AtomicType::kInteger:
+      return FormatInt(AsInt());
+    case AtomicType::kDecimal:
+    case AtomicType::kFloat:
+    case AtomicType::kDouble:
+      return FormatDouble(AsDouble());
+    default:
+      return AsString();
+  }
+}
+
+bool AtomicValue::StrictEquals(const AtomicValue& o) const {
+  if (type_ != o.type_) return false;
+  if (std::holds_alternative<double>(v_) &&
+      std::holds_alternative<double>(o.v_)) {
+    // NaN-stable comparison for plan literals.
+    double a = std::get<double>(v_), b = std::get<double>(o.v_);
+    return (std::isnan(a) && std::isnan(b)) || a == b;
+  }
+  return v_ == o.v_;
+}
+
+}  // namespace xqc

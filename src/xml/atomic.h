@@ -1,0 +1,110 @@
+// Atomic values of the XQuery data model.
+//
+// The type lattice covers the 19 primitive XML Schema datatypes (the number
+// the paper's hash join enumerates promotions over, Section 6), plus
+// xs:integer (the derived numeric the paper's examples use) and
+// xdt:untypedAtomic (the type of atomized untyped nodes, central to
+// fs:convert-operand semantics in Table 2).
+#ifndef XQC_XML_ATOMIC_H_
+#define XQC_XML_ATOMIC_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <variant>
+
+#include "src/base/status.h"
+
+namespace xqc {
+
+/// Atomic type tags. Order matters: numeric promotion walks
+/// kInteger -> kDecimal -> kFloat -> kDouble.
+enum class AtomicType : uint8_t {
+  kUntypedAtomic,  // xdt:untypedAtomic
+  kString,         // xs:string
+  kBoolean,        // xs:boolean
+  kInteger,        // xs:integer (derived from xs:decimal)
+  kDecimal,        // xs:decimal
+  kFloat,          // xs:float
+  kDouble,         // xs:double
+  kDuration,       // xs:duration
+  kDateTime,       // xs:dateTime
+  kTime,           // xs:time
+  kDate,           // xs:date
+  kGYearMonth,     // xs:gYearMonth
+  kGYear,          // xs:gYear
+  kGMonthDay,      // xs:gMonthDay
+  kGDay,           // xs:gDay
+  kGMonth,         // xs:gMonth
+  kHexBinary,      // xs:hexBinary
+  kBase64Binary,   // xs:base64Binary
+  kAnyURI,         // xs:anyURI
+  kQName,          // xs:QName
+  kNotation,       // xs:NOTATION
+};
+
+/// Number of distinct atomic type tags.
+constexpr int kNumAtomicTypes = static_cast<int>(AtomicType::kNotation) + 1;
+
+/// "xs:double", "xdt:untypedAtomic", ... (the prefixed lexical QName).
+const char* AtomicTypeName(AtomicType t);
+
+/// Inverse of AtomicTypeName; accepts both "xs:double" and "double".
+/// Returns false if the name is not an atomic type name.
+bool AtomicTypeFromName(std::string_view name, AtomicType* out);
+
+/// True for xs:integer, xs:decimal, xs:float, xs:double.
+bool IsNumeric(AtomicType t);
+
+/// An atomic value: a type tag plus a value representation.
+///
+/// Representation notes (documented simplifications):
+///  - xs:decimal is stored as double (sufficient for the paper's workloads);
+///  - xs:float is stored as double but rounded through float on creation;
+///  - date/time/duration/binary/QName types store their (trimmed) lexical
+///    form and compare lexically.
+class AtomicValue {
+ public:
+  /// Default: empty xs:string.
+  AtomicValue() : type_(AtomicType::kString), v_(std::string()) {}
+
+  static AtomicValue Untyped(std::string s);
+  static AtomicValue String(std::string s);
+  static AtomicValue Boolean(bool b);
+  static AtomicValue Integer(int64_t i);
+  static AtomicValue Decimal(double d);
+  static AtomicValue Float(double d);
+  static AtomicValue Double(double d);
+  /// A lexical-form value of any non-numeric, non-boolean type.
+  static AtomicValue Lexical(AtomicType t, std::string s);
+
+  /// Casts a lexical string to type `t` (XML Schema lexical rules,
+  /// simplified for date/time types). Error code FORG0001 on failure.
+  static Result<AtomicValue> FromLexical(AtomicType t, std::string_view s);
+
+  AtomicType type() const { return type_; }
+  bool is_numeric() const { return IsNumeric(type_); }
+
+  bool AsBool() const { return std::get<bool>(v_); }
+  int64_t AsInt() const { return std::get<int64_t>(v_); }
+  /// Numeric value as double (works for integer, decimal, float, double).
+  double AsDouble() const;
+  const std::string& AsString() const { return std::get<std::string>(v_); }
+
+  /// The canonical lexical form (string value) of this atomic.
+  std::string Lexical() const;
+
+  /// Identity-ish equality: same type tag and same stored value.
+  bool StrictEquals(const AtomicValue& o) const;
+
+ private:
+  AtomicValue(AtomicType t, std::variant<bool, int64_t, double, std::string> v)
+      : type_(t), v_(std::move(v)) {}
+
+  AtomicType type_;
+  std::variant<bool, int64_t, double, std::string> v_;
+};
+
+}  // namespace xqc
+
+#endif  // XQC_XML_ATOMIC_H_

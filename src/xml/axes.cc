@@ -1,0 +1,161 @@
+#include "src/xml/axes.h"
+
+#include <cstring>
+
+namespace xqc {
+namespace {
+
+void AddIfMatch(const NodePtr& n, const ItemTest& test, const Schema* schema,
+                Sequence* out) {
+  Item it(n);
+  if (test.Matches(it, schema)) out->push_back(std::move(it));
+}
+
+void Descendants(const NodePtr& n, const ItemTest& test, const Schema* schema,
+                 Sequence* out) {
+  for (const NodePtr& c : n->children) {
+    AddIfMatch(c, test, schema, out);
+    Descendants(c, test, schema, out);
+  }
+}
+
+NodePtr Shared(Node* n) { return n == nullptr ? nullptr : n->shared_from_this(); }
+
+}  // namespace
+
+const char* AxisName(Axis a) {
+  switch (a) {
+    case Axis::kChild: return "child";
+    case Axis::kDescendant: return "descendant";
+    case Axis::kAttribute: return "attribute";
+    case Axis::kSelf: return "self";
+    case Axis::kDescendantOrSelf: return "descendant-or-self";
+    case Axis::kParent: return "parent";
+    case Axis::kAncestor: return "ancestor";
+    case Axis::kAncestorOrSelf: return "ancestor-or-self";
+    case Axis::kFollowingSibling: return "following-sibling";
+    case Axis::kPrecedingSibling: return "preceding-sibling";
+    case Axis::kFollowing: return "following";
+    case Axis::kPreceding: return "preceding";
+  }
+  return "child";
+}
+
+bool AxisFromName(std::string_view name, Axis* out) {
+  for (int i = 0; i <= static_cast<int>(Axis::kPreceding); i++) {
+    Axis a = static_cast<Axis>(i);
+    if (name == AxisName(a)) {
+      *out = a;
+      return true;
+    }
+  }
+  return false;
+}
+
+void ApplyAxis(const NodePtr& n, Axis axis, const ItemTest& test,
+               const Schema* schema, Sequence* out) {
+  switch (axis) {
+    case Axis::kChild:
+      for (const NodePtr& c : n->children) AddIfMatch(c, test, schema, out);
+      return;
+    case Axis::kDescendant:
+      Descendants(n, test, schema, out);
+      return;
+    case Axis::kAttribute:
+      for (const NodePtr& a : n->attributes) AddIfMatch(a, test, schema, out);
+      return;
+    case Axis::kSelf:
+      AddIfMatch(n, test, schema, out);
+      return;
+    case Axis::kDescendantOrSelf:
+      AddIfMatch(n, test, schema, out);
+      Descendants(n, test, schema, out);
+      return;
+    case Axis::kParent: {
+      NodePtr p = Shared(n->parent);
+      if (p != nullptr) AddIfMatch(p, test, schema, out);
+      return;
+    }
+    case Axis::kAncestor:
+    case Axis::kAncestorOrSelf: {
+      // Collect root-to-node order (document order for ancestors).
+      std::vector<NodePtr> chain;
+      Node* p = axis == Axis::kAncestorOrSelf ? n.get() : n->parent;
+      while (p != nullptr) {
+        chain.push_back(Shared(p));
+        p = p->parent;
+      }
+      for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+        AddIfMatch(*it, test, schema, out);
+      }
+      return;
+    }
+    case Axis::kFollowingSibling:
+    case Axis::kPrecedingSibling: {
+      Node* p = n->parent;
+      if (p == nullptr || n->kind == NodeKind::kAttribute) return;
+      const auto& sibs = p->children;
+      size_t self_idx = sibs.size();
+      for (size_t i = 0; i < sibs.size(); i++) {
+        if (sibs[i].get() == n.get()) {
+          self_idx = i;
+          break;
+        }
+      }
+      if (axis == Axis::kFollowingSibling) {
+        for (size_t i = self_idx + 1; i < sibs.size(); i++) {
+          AddIfMatch(sibs[i], test, schema, out);
+        }
+      } else {
+        for (size_t i = 0; i < self_idx; i++) {
+          AddIfMatch(sibs[i], test, schema, out);
+        }
+      }
+      return;
+    }
+    case Axis::kFollowing:
+    case Axis::kPreceding: {
+      // All nodes in the tree strictly after (before) this node in document
+      // order, excluding ancestors/descendants per XPath; implemented via a
+      // full traversal from the root using document-order ids.
+      Node* root = n->Root();
+      Sequence all;
+      ItemTest any;  // item() matches everything; filter below
+      AddIfMatch(Shared(root), any, schema, &all);
+      Descendants(Shared(root), any, schema, &all);
+      for (const Item& cand : all) {
+        const NodePtr& c = cand.node();
+        if (c->kind == NodeKind::kAttribute) continue;
+        bool is_anc = false;
+        for (Node* a = n->parent; a != nullptr; a = a->parent) {
+          if (a == c.get()) is_anc = true;
+        }
+        bool is_desc = false;
+        for (Node* a = c->parent; a != nullptr; a = a->parent) {
+          if (a == n.get()) is_desc = true;
+        }
+        if (is_anc || is_desc || c.get() == n.get()) continue;
+        bool after = c->order > n->order;
+        if ((axis == Axis::kFollowing) == after) {
+          AddIfMatch(c, test, schema, out);
+        }
+      }
+      return;
+    }
+  }
+}
+
+Result<Sequence> TreeJoin(const Sequence& input, Axis axis,
+                          const ItemTest& test, const Schema* schema) {
+  Sequence out;
+  for (const Item& it : input) {
+    if (!it.IsNode()) {
+      return Status::XQueryError("XPTY0004",
+                                 "axis step applied to an atomic value");
+    }
+    ApplyAxis(it.node(), axis, test, schema, &out);
+  }
+  return DistinctDocOrder(out);
+}
+
+}  // namespace xqc

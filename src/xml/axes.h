@@ -1,0 +1,46 @@
+// XPath axes: the navigation primitive behind the TreeJoin operator.
+// TreeJoin is set-at-a-time: it takes nodes in document order and returns
+// the axis/test result in document order with duplicates removed.
+#ifndef XQC_XML_AXES_H_
+#define XQC_XML_AXES_H_
+
+#include <string>
+
+#include "src/base/status.h"
+#include "src/types/seqtype.h"
+#include "src/xml/item.h"
+
+namespace xqc {
+
+enum class Axis : uint8_t {
+  kChild,
+  kDescendant,
+  kAttribute,
+  kSelf,
+  kDescendantOrSelf,
+  kParent,
+  kAncestor,
+  kAncestorOrSelf,
+  kFollowingSibling,
+  kPrecedingSibling,
+  kFollowing,
+  kPreceding,
+};
+
+const char* AxisName(Axis a);  // "child", "descendant", ...
+bool AxisFromName(std::string_view name, Axis* out);
+
+/// Applies `axis` from a single node, appending matches of `test` to `out`
+/// in axis order.
+void ApplyAxis(const NodePtr& n, Axis axis, const ItemTest& test,
+               const Schema* schema, Sequence* out);
+
+/// The TreeJoin operator: applies the axis step to every node of `input`
+/// and returns the result in document order without duplicates.
+/// Error XPTY0004 if an input item is not a node.
+Result<Sequence> TreeJoin(const Sequence& input, Axis axis,
+                          const ItemTest& test, const Schema* schema);
+
+}  // namespace xqc
+
+#endif  // XQC_XML_AXES_H_

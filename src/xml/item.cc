@@ -1,0 +1,110 @@
+#include "src/xml/item.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace xqc {
+
+std::string Item::StringValue() const {
+  if (IsAtomic()) return atomic().Lexical();
+  return node()->StringValue();
+}
+
+void Extend(Sequence* dst, const Sequence& src) {
+  dst->insert(dst->end(), src.begin(), src.end());
+}
+
+void Extend(Sequence* dst, Sequence&& src) {
+  for (Item& it : src) dst->push_back(std::move(it));
+}
+
+Result<Sequence> Atomize(const Sequence& s) {
+  Sequence out;
+  out.reserve(s.size());
+  for (const Item& it : s) {
+    if (it.IsAtomic()) {
+      out.push_back(it);
+      continue;
+    }
+    const Node& n = *it.node();
+    AtomicType t;
+    if (!n.type_annotation.empty() &&
+        AtomicTypeFromName(n.type_annotation.str(), &t)) {
+      XQC_ASSIGN_OR_RETURN(AtomicValue v,
+                           AtomicValue::FromLexical(t, n.StringValue()));
+      out.push_back(std::move(v));
+    } else {
+      out.push_back(AtomicValue::Untyped(n.StringValue()));
+    }
+  }
+  return out;
+}
+
+Result<bool> EffectiveBooleanValue(const Sequence& s) {
+  if (s.empty()) return false;
+  if (s[0].IsNode()) return true;  // non-empty sequence starting with a node
+  if (s.size() != 1) {
+    return Status::XQueryError(
+        "FORG0006", "effective boolean value of a multi-item atomic sequence");
+  }
+  const AtomicValue& a = s[0].atomic();
+  switch (a.type()) {
+    case AtomicType::kBoolean:
+      return a.AsBool();
+    case AtomicType::kString:
+    case AtomicType::kUntypedAtomic:
+    case AtomicType::kAnyURI:
+      return !a.AsString().empty();
+    case AtomicType::kInteger:
+      return a.AsInt() != 0;
+    case AtomicType::kDecimal:
+    case AtomicType::kFloat:
+    case AtomicType::kDouble: {
+      double d = a.AsDouble();
+      return d != 0.0 && !std::isnan(d);
+    }
+    default:
+      return Status::XQueryError(
+          "FORG0006", std::string("no effective boolean value for ") +
+                          AtomicTypeName(a.type()));
+  }
+}
+
+Result<Sequence> DistinctDocOrder(const Sequence& s) {
+  std::vector<NodePtr> nodes;
+  nodes.reserve(s.size());
+  for (const Item& it : s) {
+    if (!it.IsNode()) {
+      return Status::XQueryError("XPTY0004",
+                                 "path step applied to an atomic value");
+    }
+    nodes.push_back(it.node());
+  }
+  std::sort(nodes.begin(), nodes.end(), [](const NodePtr& a, const NodePtr& b) {
+    return DocOrderLess(a.get(), b.get());
+  });
+  nodes.erase(std::unique(nodes.begin(), nodes.end(),
+                          [](const NodePtr& a, const NodePtr& b) {
+                            return a.get() == b.get();
+                          }),
+              nodes.end());
+  Sequence out;
+  out.reserve(nodes.size());
+  for (NodePtr& n : nodes) out.push_back(std::move(n));
+  return out;
+}
+
+bool DeepEqualsIdentity(const Sequence& a, const Sequence& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); i++) {
+    if (a[i].IsNode() != b[i].IsNode()) return false;
+    if (a[i].IsNode()) {
+      if (a[i].node().get() != b[i].node().get()) return false;
+    } else if (!a[i].atomic().StrictEquals(b[i].atomic())) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace xqc

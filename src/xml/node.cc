@@ -1,0 +1,126 @@
+#include "src/xml/node.h"
+
+#include <atomic>
+
+namespace xqc {
+namespace {
+
+std::atomic<uint64_t> g_order_counter{1};
+
+void CollectText(const Node& n, std::string* out) {
+  if (n.kind == NodeKind::kText) {
+    *out += n.value;
+    return;
+  }
+  for (const NodePtr& c : n.children) CollectText(*c, out);
+}
+
+void FinalizeRec(Node* n, Node* parent) {
+  n->parent = parent;
+  n->order = g_order_counter.fetch_add(1, std::memory_order_relaxed);
+  for (const NodePtr& a : n->attributes) {
+    a->parent = n;
+    a->order = g_order_counter.fetch_add(1, std::memory_order_relaxed);
+  }
+  for (const NodePtr& c : n->children) FinalizeRec(c.get(), n);
+}
+
+}  // namespace
+
+std::string Node::StringValue() const {
+  switch (kind) {
+    case NodeKind::kDocument:
+    case NodeKind::kElement: {
+      std::string out;
+      CollectText(*this, &out);
+      return out;
+    }
+    default:
+      return value;
+  }
+}
+
+Node* Node::Root() {
+  Node* n = this;
+  while (n->parent != nullptr) n = n->parent;
+  return n;
+}
+
+NodePtr NewDocument() {
+  auto n = std::make_shared<Node>();
+  n->kind = NodeKind::kDocument;
+  return n;
+}
+
+NodePtr NewElement(Symbol name) {
+  auto n = std::make_shared<Node>();
+  n->kind = NodeKind::kElement;
+  n->name = name;
+  return n;
+}
+
+NodePtr NewAttribute(Symbol name, std::string value) {
+  auto n = std::make_shared<Node>();
+  n->kind = NodeKind::kAttribute;
+  n->name = name;
+  n->value = std::move(value);
+  return n;
+}
+
+NodePtr NewText(std::string value) {
+  auto n = std::make_shared<Node>();
+  n->kind = NodeKind::kText;
+  n->value = std::move(value);
+  return n;
+}
+
+NodePtr NewComment(std::string value) {
+  auto n = std::make_shared<Node>();
+  n->kind = NodeKind::kComment;
+  n->value = std::move(value);
+  return n;
+}
+
+NodePtr NewPI(Symbol target, std::string value) {
+  auto n = std::make_shared<Node>();
+  n->kind = NodeKind::kPI;
+  n->name = target;
+  n->value = std::move(value);
+  return n;
+}
+
+void Append(const NodePtr& parent, NodePtr child) {
+  child->parent = parent.get();
+  if (child->kind == NodeKind::kAttribute) {
+    parent->attributes.push_back(std::move(child));
+  } else {
+    parent->children.push_back(std::move(child));
+  }
+}
+
+void FinalizeTree(const NodePtr& root) { FinalizeRec(root.get(), nullptr); }
+
+NodePtr DeepCopy(const Node& node, bool keep_types) {
+  auto n = std::make_shared<Node>();
+  n->kind = node.kind;
+  n->name = node.name;
+  n->value = node.value;
+  if (keep_types) n->type_annotation = node.type_annotation;
+  n->attributes.reserve(node.attributes.size());
+  for (const NodePtr& a : node.attributes) {
+    NodePtr c = DeepCopy(*a, keep_types);
+    c->parent = n.get();
+    n->attributes.push_back(std::move(c));
+  }
+  n->children.reserve(node.children.size());
+  for (const NodePtr& k : node.children) {
+    NodePtr c = DeepCopy(*k, keep_types);
+    c->parent = n.get();
+    n->children.push_back(std::move(c));
+  }
+  return n;
+}
+
+bool DocOrderLess(const Node* a, const Node* b) { return a->order < b->order; }
+
+}  // namespace xqc

@@ -1,0 +1,78 @@
+// XML node trees: the node half of the XQuery data model.
+//
+// Nodes carry a schema type annotation (set by the Validate operator) that
+// TypeMatches / TypeAssert consume — this is what lets the paper's Q8
+// variant write `count($a/element(*,USSeller))`.
+#ifndef XQC_XML_NODE_H_
+#define XQC_XML_NODE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/base/symbol.h"
+
+namespace xqc {
+
+enum class NodeKind : uint8_t {
+  kDocument,
+  kElement,
+  kAttribute,
+  kText,
+  kComment,
+  kPI,
+};
+
+struct Node;
+using NodePtr = std::shared_ptr<Node>;
+
+/// A node in an XML tree. Children and attributes are owned via shared_ptr;
+/// the parent link is a raw back-pointer (valid while the tree is alive).
+struct Node : std::enable_shared_from_this<Node> {
+  NodeKind kind = NodeKind::kElement;
+  Symbol name;             // element name / attribute name / PI target
+  std::string value;       // text / comment / attribute / PI content
+  Symbol type_annotation;  // schema type (empty = untyped)
+  Node* parent = nullptr;
+  std::vector<NodePtr> attributes;  // elements only
+  std::vector<NodePtr> children;    // document / element only
+  uint64_t order = 0;  // global document-order id (0 = unassigned)
+
+  /// The typed-value-relevant string value: concatenation of descendant
+  /// text for documents/elements; `value` otherwise.
+  std::string StringValue() const;
+
+  /// Root of the tree containing this node.
+  Node* Root();
+};
+
+/// Builders. The returned nodes are detached; call FinalizeTree on the root
+/// to fix parent pointers and assign global document order.
+NodePtr NewDocument();
+NodePtr NewElement(Symbol name);
+NodePtr NewAttribute(Symbol name, std::string value);
+NodePtr NewText(std::string value);
+NodePtr NewComment(std::string value);
+NodePtr NewPI(Symbol target, std::string value);
+
+/// Appends a child (or attribute node) under `parent`, setting the back
+/// pointer. Attribute nodes go to `attributes`, all others to `children`.
+void Append(const NodePtr& parent, NodePtr child);
+
+/// Walks the tree in document order, setting parent pointers and assigning
+/// fresh globally increasing order ids (attributes numbered after their
+/// element, before its children). Safe to call repeatedly.
+void FinalizeTree(const NodePtr& root);
+
+/// Deep copy of a subtree. The copy is detached and unfinalized; type
+/// annotations are preserved iff `keep_types`.
+NodePtr DeepCopy(const Node& node, bool keep_types);
+
+/// Total order on nodes consistent with document order; nodes from distinct
+/// trees compare by their tree's creation order.
+bool DocOrderLess(const Node* a, const Node* b);
+
+}  // namespace xqc
+
+#endif  // XQC_XML_NODE_H_

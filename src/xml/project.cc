@@ -1,0 +1,174 @@
+#include "src/xml/project.h"
+
+#include "src/base/strutil.h"
+
+namespace xqc {
+
+Result<ProjectionPath> ParseProjectionPath(const std::string& text) {
+  ProjectionPath path;
+  size_t i = 0;
+  while (i < text.size()) {
+    ProjectionPath::Step step;
+    if (text.compare(i, 2, "//") == 0) {
+      step.descendant = true;
+      i += 2;
+    } else if (text[i] == '/') {
+      i += 1;
+    }
+    if (i >= text.size()) {
+      return Status::ParseError("projection path ends with '/': " + text);
+    }
+    if (text[i] == '@') {
+      step.attribute = true;
+      i++;
+    }
+    size_t start = i;
+    while (i < text.size() && text[i] != '/') i++;
+    std::string name = text.substr(start, i - start);
+    if (name.empty()) {
+      return Status::ParseError("empty step in projection path: " + text);
+    }
+    if (name != "*") step.name = Symbol(name);
+    path.steps.push_back(step);
+    if (step.attribute && i < text.size()) {
+      return Status::ParseError("attribute step must be last: " + text);
+    }
+  }
+  if (path.steps.empty()) {
+    return Status::ParseError("empty projection path");
+  }
+  return path;
+}
+
+namespace {
+
+struct PathState {
+  const ProjectionPath* path;
+  size_t next_step;  // index of the step to match at this level
+};
+
+bool StepMatches(const ProjectionPath::Step& step, const Node& n) {
+  if (step.attribute) return false;  // attributes handled separately
+  if (n.kind != NodeKind::kElement) return false;
+  return step.name.empty() || step.name == n.name;
+}
+
+/// Recursively copies `n` keeping only children/attributes on some active
+/// path. Returns null when nothing under `n` is needed.
+NodePtr ProjectRec(const Node& n, const std::vector<PathState>& active) {
+  // If any path is fully matched at this node, keep the whole subtree.
+  std::vector<PathState> next_states;
+  bool keep_all = false;
+  std::vector<Symbol> keep_attrs;  // named attribute steps matched here
+  bool keep_all_attrs = false;
+  for (const PathState& st : active) {
+    if (st.next_step >= st.path->steps.size()) {
+      keep_all = true;
+      continue;
+    }
+    const ProjectionPath::Step& step = st.path->steps[st.next_step];
+    if (step.attribute) {
+      if (step.name.empty()) {
+        keep_all_attrs = true;
+      } else {
+        keep_attrs.push_back(step.name);
+      }
+      continue;
+    }
+    next_states.push_back(st);
+  }
+  if (keep_all) return DeepCopy(n, /*keep_types=*/true);
+
+  // Compute which states apply to each child.
+  NodePtr copy = std::make_shared<Node>();
+  copy->kind = n.kind;
+  copy->name = n.name;
+  copy->value = n.value;
+  copy->type_annotation = n.type_annotation;
+  for (const NodePtr& a : n.attributes) {
+    bool keep = keep_all_attrs;
+    for (Symbol k : keep_attrs) {
+      if (a->name == k) keep = true;
+    }
+    if (keep) {
+      NodePtr ac = DeepCopy(*a, /*keep_types=*/true);
+      ac->parent = copy.get();
+      copy->attributes.push_back(std::move(ac));
+    }
+  }
+  bool any_child = false;
+  for (const NodePtr& c : n.children) {
+    std::vector<PathState> child_states;
+    for (const PathState& st : next_states) {
+      const ProjectionPath::Step& step = st.path->steps[st.next_step];
+      if (StepMatches(step, *c)) {
+        child_states.push_back({st.path, st.next_step + 1});
+      }
+      if (step.descendant && c->kind == NodeKind::kElement) {
+        // '//' steps stay active below non-matching elements too.
+        child_states.push_back(st);
+      }
+    }
+    if (child_states.empty()) continue;
+    NodePtr cc = ProjectRec(*c, child_states);
+    if (cc != nullptr) {
+      cc->parent = copy.get();
+      copy->children.push_back(std::move(cc));
+      any_child = true;
+    }
+  }
+  if (!any_child && copy->attributes.empty() && !active.empty()) {
+    // Keep interior nodes only if they lie on a still-matchable path —
+    // a node whose subtree yielded nothing is kept only when it itself
+    // completed a path (handled by keep_all above).
+    bool completed_here = false;
+    for (const PathState& st : active) {
+      if (st.next_step >= st.path->steps.size()) completed_here = true;
+    }
+    if (!completed_here) return nullptr;
+  }
+  return copy;
+}
+
+}  // namespace
+
+Result<NodePtr> ProjectTree(const NodePtr& root,
+                            const std::vector<std::string>& paths) {
+  std::vector<ProjectionPath> parsed;
+  parsed.reserve(paths.size());
+  for (const std::string& p : paths) {
+    XQC_ASSIGN_OR_RETURN(ProjectionPath pp, ParseProjectionPath(p));
+    parsed.push_back(std::move(pp));
+  }
+  const Node* start = root.get();
+  std::vector<PathState> states;
+  for (const ProjectionPath& p : parsed) {
+    states.push_back({&p, 0});
+  }
+  // A document node passes states through to its element child.
+  NodePtr out;
+  if (start->kind == NodeKind::kDocument) {
+    out = NewDocument();
+    for (const NodePtr& c : start->children) {
+      if (c->kind != NodeKind::kElement) continue;
+      std::vector<PathState> child_states;
+      for (const PathState& st : states) {
+        const ProjectionPath::Step& step = st.path->steps[0];
+        if (StepMatches(step, *c)) {
+          child_states.push_back({st.path, 1});
+        }
+        if (step.descendant) child_states.push_back(st);
+      }
+      if (child_states.empty()) continue;
+      NodePtr cc = ProjectRec(*c, child_states);
+      if (cc != nullptr) Append(out, std::move(cc));
+    }
+  } else {
+    out = ProjectRec(*start, states);
+    if (out == nullptr) out = NewDocument();
+  }
+  FinalizeTree(out);
+  return out;
+}
+
+}  // namespace xqc

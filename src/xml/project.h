@@ -1,0 +1,42 @@
+// Tree projection (the TreeProject[paths] operator of Table 1, in the
+// style of Marian & Siméon's "Projecting XML Documents"): prunes a document
+// tree down to the nodes reachable by a set of projection paths, so that
+// queries touching a small part of a large document keep a small tree.
+#ifndef XQC_XML_PROJECT_H_
+#define XQC_XML_PROJECT_H_
+
+#include <string>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/xml/node.h"
+
+namespace xqc {
+
+/// One projection path: a '/'-separated list of steps. Each step is an
+/// element name, '*' (any element), '@name' (an attribute), or '//' may
+/// prefix a step to make it a descendant step, e.g.
+/// "site/people/person/@id" or "//closed_auction/price". The final step's
+/// whole subtree is kept.
+struct ProjectionPath {
+  struct Step {
+    bool descendant = false;  // step preceded by //
+    bool attribute = false;   // @name
+    Symbol name;              // empty = '*'
+  };
+  std::vector<Step> steps;
+};
+
+/// Parses the textual path syntax above. Error on malformed paths.
+Result<ProjectionPath> ParseProjectionPath(const std::string& text);
+
+/// Projects `root` to the union of the given paths: returns a fresh tree
+/// containing, for every path, all nodes on the path plus the full subtree
+/// under each path's final match. Nodes not on any path are dropped.
+/// The copy is finalized (fresh document order).
+Result<NodePtr> ProjectTree(const NodePtr& root,
+                            const std::vector<std::string>& paths);
+
+}  // namespace xqc
+
+#endif  // XQC_XML_PROJECT_H_

@@ -1,0 +1,102 @@
+#include "src/xml/serializer.h"
+
+#include "src/base/strutil.h"
+
+namespace xqc {
+namespace {
+
+void SerializeRec(const Node& n, const SerializeOptions& o, int depth,
+                  std::string* out) {
+  auto indent = [&](int d) {
+    if (o.indent) {
+      out->push_back('\n');
+      out->append(static_cast<size_t>(d) * 2, ' ');
+    }
+  };
+  switch (n.kind) {
+    case NodeKind::kDocument:
+      for (size_t i = 0; i < n.children.size(); i++) {
+        if (o.indent && i > 0) out->push_back('\n');
+        SerializeRec(*n.children[i], o, depth, out);
+      }
+      return;
+    case NodeKind::kElement: {
+      out->push_back('<');
+      out->append(n.name.str());
+      for (const NodePtr& a : n.attributes) {
+        out->push_back(' ');
+        out->append(a->name.str());
+        out->append("=\"");
+        out->append(XmlEscape(a->value, /*in_attribute=*/true));
+        out->push_back('"');
+      }
+      if (n.children.empty()) {
+        out->append("/>");
+        return;
+      }
+      out->push_back('>');
+      bool text_only = true;
+      for (const NodePtr& c : n.children) {
+        if (c->kind != NodeKind::kText) text_only = false;
+      }
+      for (const NodePtr& c : n.children) {
+        if (!text_only) indent(depth + 1);
+        SerializeRec(*c, o, depth + 1, out);
+      }
+      if (!text_only) indent(depth);
+      out->append("</");
+      out->append(n.name.str());
+      out->push_back('>');
+      return;
+    }
+    case NodeKind::kAttribute:
+      out->append(n.name.str());
+      out->append("=\"");
+      out->append(XmlEscape(n.value, /*in_attribute=*/true));
+      out->push_back('"');
+      return;
+    case NodeKind::kText:
+      out->append(XmlEscape(n.value, /*in_attribute=*/false));
+      return;
+    case NodeKind::kComment:
+      out->append("<!--");
+      out->append(n.value);
+      out->append("-->");
+      return;
+    case NodeKind::kPI:
+      out->append("<?");
+      out->append(n.name.str());
+      if (!n.value.empty()) {
+        out->push_back(' ');
+        out->append(n.value);
+      }
+      out->append("?>");
+      return;
+  }
+}
+
+}  // namespace
+
+std::string SerializeNode(const Node& node, const SerializeOptions& o) {
+  std::string out;
+  SerializeRec(node, o, 0, &out);
+  return out;
+}
+
+std::string SerializeSequence(const Sequence& s, const SerializeOptions& o) {
+  std::string out;
+  bool prev_atomic = false;
+  for (const Item& it : s) {
+    if (it.IsAtomic()) {
+      if (prev_atomic) out.push_back(' ');
+      out.append(XmlEscape(it.atomic().Lexical(), /*in_attribute=*/false));
+      prev_atomic = true;
+    } else {
+      SerializeRec(*it.node(), o, 0, &out);
+      prev_atomic = false;
+    }
+  }
+  return out;
+}
+
+}  // namespace xqc

@@ -1,0 +1,24 @@
+// XML serialization (the paper's Serialize operator).
+#ifndef XQC_XML_SERIALIZER_H_
+#define XQC_XML_SERIALIZER_H_
+
+#include <string>
+
+#include "src/xml/item.h"
+
+namespace xqc {
+
+struct SerializeOptions {
+  bool indent = false;  // pretty-print with 2-space indentation
+};
+
+/// Serializes one node subtree.
+std::string SerializeNode(const Node& node, const SerializeOptions& o = {});
+
+/// Serializes a sequence per XQuery serialization: adjacent atomic values
+/// are separated by single spaces; nodes serialize as XML.
+std::string SerializeSequence(const Sequence& s, const SerializeOptions& o = {});
+
+}  // namespace xqc
+
+#endif  // XQC_XML_SERIALIZER_H_

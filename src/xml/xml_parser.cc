@@ -1,0 +1,298 @@
+#include "src/xml/xml_parser.h"
+
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "src/base/strutil.h"
+
+namespace xqc {
+namespace {
+
+class Parser {
+ public:
+  Parser(std::string_view text, const XmlParseOptions& options)
+      : s_(text), options_(options) {}
+
+  Result<NodePtr> Parse() {
+    NodePtr doc = NewDocument();
+    XQC_RETURN_IF_ERROR(SkipProlog());
+    // Document content: exactly one element, plus misc (comments/PIs).
+    bool seen_root = false;
+    while (!AtEnd()) {
+      SkipSpace();
+      if (AtEnd()) break;
+      if (Peek() != '<') {
+        return Err("text content outside the document element");
+      }
+      if (Lookahead("<!--")) {
+        XQC_RETURN_IF_ERROR(ParseComment(doc));
+      } else if (Lookahead("<?")) {
+        XQC_RETURN_IF_ERROR(ParsePI(doc));
+      } else {
+        if (seen_root) return Err("multiple document elements");
+        XQC_ASSIGN_OR_RETURN(NodePtr root, ParseElement());
+        Append(doc, std::move(root));
+        seen_root = true;
+      }
+    }
+    if (!seen_root) return Err("no document element");
+    FinalizeTree(doc);
+    return doc;
+  }
+
+ private:
+  bool AtEnd() const { return pos_ >= s_.size(); }
+  char Peek() const { return s_[pos_]; }
+  bool Lookahead(std::string_view t) const {
+    return s_.compare(pos_, t.size(), t) == 0;
+  }
+  bool Consume(std::string_view t) {
+    if (!Lookahead(t)) return false;
+    pos_ += t.size();
+    return true;
+  }
+  void SkipSpace() {
+    while (!AtEnd() && IsXmlSpace(s_[pos_])) pos_++;
+  }
+
+  Status Err(const std::string& msg) const {
+    size_t line = 1;
+    for (size_t i = 0; i < pos_ && i < s_.size(); i++) {
+      if (s_[i] == '\n') line++;
+    }
+    return Status::ParseError("XML parse error at line " +
+                              std::to_string(line) + ": " + msg);
+  }
+
+  static bool IsNameStart(char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+           c == ':' || static_cast<unsigned char>(c) >= 0x80;
+  }
+  static bool IsNameChar(char c) {
+    return IsNameStart(c) || (c >= '0' && c <= '9') || c == '-' || c == '.';
+  }
+
+  Result<std::string_view> ParseName() {
+    if (AtEnd() || !IsNameStart(Peek())) return Err("expected a name");
+    size_t start = pos_;
+    while (!AtEnd() && IsNameChar(Peek())) pos_++;
+    return s_.substr(start, pos_ - start);
+  }
+
+  Status SkipProlog() {
+    SkipSpace();
+    if (Consume("<?xml")) {
+      size_t end = s_.find("?>", pos_);
+      if (end == std::string_view::npos) return Err("unterminated XML decl");
+      pos_ = end + 2;
+    }
+    while (true) {
+      SkipSpace();
+      if (Lookahead("<!--")) {
+        NodePtr sink = NewDocument();
+        XQC_RETURN_IF_ERROR(ParseComment(sink));
+        continue;
+      }
+      if (Consume("<!DOCTYPE")) {
+        // Skip to the matching '>' accounting for an internal subset.
+        int depth = 1;
+        while (!AtEnd() && depth > 0) {
+          char c = s_[pos_++];
+          if (c == '<') depth++;
+          if (c == '>') depth--;
+        }
+        if (depth != 0) return Err("unterminated DOCTYPE");
+        continue;
+      }
+      break;
+    }
+    return Status::OK();
+  }
+
+  Status ParseComment(const NodePtr& parent) {
+    if (!Consume("<!--")) return Err("expected comment");
+    size_t end = s_.find("-->", pos_);
+    if (end == std::string_view::npos) return Err("unterminated comment");
+    if (options_.keep_comments_and_pis) {
+      Append(parent, NewComment(std::string(s_.substr(pos_, end - pos_))));
+    }
+    pos_ = end + 3;
+    return Status::OK();
+  }
+
+  Status ParsePI(const NodePtr& parent) {
+    if (!Consume("<?")) return Err("expected processing instruction");
+    XQC_ASSIGN_OR_RETURN(std::string_view target, ParseName());
+    size_t end = s_.find("?>", pos_);
+    if (end == std::string_view::npos) return Err("unterminated PI");
+    std::string content(TrimXmlSpace(s_.substr(pos_, end - pos_)));
+    if (options_.keep_comments_and_pis) {
+      Append(parent, NewPI(Symbol(target), std::move(content)));
+    }
+    pos_ = end + 2;
+    return Status::OK();
+  }
+
+  Status AppendDecodedText(std::string_view raw, std::string* out) {
+    size_t i = 0;
+    while (i < raw.size()) {
+      char c = raw[i];
+      // XML 1.0 forbids control characters other than tab/CR/LF.
+      if (static_cast<unsigned char>(c) < 0x20 && c != '\t' && c != '\r' &&
+          c != '\n') {
+        return Err("control character in character data");
+      }
+      if (c != '&') {
+        out->push_back(c);
+        i++;
+        continue;
+      }
+      size_t semi = raw.find(';', i);
+      if (semi == std::string_view::npos) return Err("unterminated entity");
+      std::string_view ent = raw.substr(i + 1, semi - i - 1);
+      if (ent == "lt") {
+        out->push_back('<');
+      } else if (ent == "gt") {
+        out->push_back('>');
+      } else if (ent == "amp") {
+        out->push_back('&');
+      } else if (ent == "quot") {
+        out->push_back('"');
+      } else if (ent == "apos") {
+        out->push_back('\'');
+      } else if (!ent.empty() && ent[0] == '#') {
+        long code = 0;
+        if (ent.size() > 1 && (ent[1] == 'x' || ent[1] == 'X')) {
+          code = strtol(std::string(ent.substr(2)).c_str(), nullptr, 16);
+        } else {
+          code = strtol(std::string(ent.substr(1)).c_str(), nullptr, 10);
+        }
+        // Encode as UTF-8.
+        if (code < 0x80) {
+          out->push_back(static_cast<char>(code));
+        } else if (code < 0x800) {
+          out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+          out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+        } else {
+          out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+          out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+          out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+        }
+      } else {
+        return Err("unknown entity '&" + std::string(ent) + ";'");
+      }
+      i = semi + 1;
+    }
+    return Status::OK();
+  }
+
+  Result<NodePtr> ParseElement() {
+    if (!Consume("<")) return Err("expected '<'");
+    XQC_ASSIGN_OR_RETURN(std::string_view name, ParseName());
+    NodePtr elem = NewElement(Symbol(name));
+    // Attributes.
+    while (true) {
+      SkipSpace();
+      if (AtEnd()) return Err("unterminated start tag");
+      if (Consume("/>")) return elem;
+      if (Consume(">")) break;
+      XQC_ASSIGN_OR_RETURN(std::string_view aname, ParseName());
+      SkipSpace();
+      if (!Consume("=")) return Err("expected '=' in attribute");
+      SkipSpace();
+      if (AtEnd() || (Peek() != '"' && Peek() != '\'')) {
+        return Err("expected quoted attribute value");
+      }
+      char quote = Peek();
+      pos_++;
+      size_t end = s_.find(quote, pos_);
+      if (end == std::string_view::npos) {
+        return Err("unterminated attribute value");
+      }
+      std::string decoded;
+      XQC_RETURN_IF_ERROR(
+          AppendDecodedText(s_.substr(pos_, end - pos_), &decoded));
+      pos_ = end + 1;
+      Append(elem, NewAttribute(Symbol(aname), std::move(decoded)));
+    }
+    // Content.
+    std::string text;
+    bool has_element_child = false;
+    std::vector<std::pair<size_t, NodePtr>> pending;  // placeholder order
+    auto flush_text = [&](bool force_keep) {
+      if (text.empty()) return;
+      if (force_keep || !options_.strip_boundary_whitespace ||
+          !IsAllXmlSpace(text)) {
+        Append(elem, NewText(std::move(text)));
+      }
+      text.clear();
+    };
+    (void)pending;
+    (void)has_element_child;
+    while (true) {
+      if (AtEnd()) return Err("unterminated element <" + std::string(name) + ">");
+      if (Peek() == '<') {
+        if (Consume("</")) {
+          flush_text(false);
+          XQC_ASSIGN_OR_RETURN(std::string_view ename, ParseName());
+          if (ename != name) {
+            return Err("mismatched end tag </" + std::string(ename) +
+                       "> for <" + std::string(name) + ">");
+          }
+          SkipSpace();
+          if (!Consume(">")) return Err("malformed end tag");
+          return elem;
+        }
+        if (Lookahead("<!--")) {
+          flush_text(false);
+          XQC_RETURN_IF_ERROR(ParseComment(elem));
+          continue;
+        }
+        if (Consume("<![CDATA[")) {
+          size_t end = s_.find("]]>", pos_);
+          if (end == std::string_view::npos) return Err("unterminated CDATA");
+          text.append(s_.substr(pos_, end - pos_));
+          pos_ = end + 3;
+          continue;
+        }
+        if (Lookahead("<?")) {
+          flush_text(false);
+          XQC_RETURN_IF_ERROR(ParsePI(elem));
+          continue;
+        }
+        flush_text(false);
+        XQC_ASSIGN_OR_RETURN(NodePtr child, ParseElement());
+        Append(elem, std::move(child));
+        continue;
+      }
+      size_t next = s_.find('<', pos_);
+      if (next == std::string_view::npos) next = s_.size();
+      XQC_RETURN_IF_ERROR(AppendDecodedText(s_.substr(pos_, next - pos_), &text));
+      pos_ = next;
+    }
+  }
+
+  std::string_view s_;
+  size_t pos_ = 0;
+  XmlParseOptions options_;
+};
+
+}  // namespace
+
+Result<NodePtr> ParseXml(std::string_view text, const XmlParseOptions& options) {
+  Parser p(text, options);
+  return p.Parse();
+}
+
+Result<NodePtr> ParseXmlFile(const std::string& path,
+                             const XmlParseOptions& options) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open file: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  std::string text = buf.str();
+  return ParseXml(text, options);
+}
+
+}  // namespace xqc

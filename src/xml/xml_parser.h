@@ -1,0 +1,35 @@
+// A from-scratch non-validating XML parser (the paper's Parse operator).
+#ifndef XQC_XML_XML_PARSER_H_
+#define XQC_XML_XML_PARSER_H_
+
+#include <string_view>
+
+#include "src/base/status.h"
+#include "src/xml/node.h"
+
+namespace xqc {
+
+struct XmlParseOptions {
+  /// Drop whitespace-only text nodes between elements (data-oriented
+  /// documents). Text inside mixed content is preserved either way.
+  bool strip_boundary_whitespace = true;
+  /// Keep comments and processing instructions as nodes.
+  bool keep_comments_and_pis = true;
+};
+
+/// Parses an XML document. The returned document node is finalized
+/// (parent pointers set, global document order assigned).
+///
+/// Supported: elements, attributes, character data, CDATA sections,
+/// comments, PIs, the five predefined entities and numeric character
+/// references, XML declaration and DOCTYPE (skipped, no external DTDs).
+Result<NodePtr> ParseXml(std::string_view text,
+                         const XmlParseOptions& options = {});
+
+/// Reads the file at `path` and parses it.
+Result<NodePtr> ParseXmlFile(const std::string& path,
+                             const XmlParseOptions& options = {});
+
+}  // namespace xqc
+
+#endif  // XQC_XML_XML_PARSER_H_

@@ -1,0 +1,230 @@
+#include "src/xquery/lexer.h"
+
+#include "src/base/strutil.h"
+
+namespace xqc {
+namespace {
+
+bool IsNameStart(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+         static_cast<unsigned char>(c) >= 0x80;
+}
+bool IsNameChar(char c) {
+  return IsNameStart(c) || (c >= '0' && c <= '9') || c == '-' || c == '.';
+}
+bool IsDigit(char c) { return c >= '0' && c <= '9'; }
+
+}  // namespace
+
+int Lexer::LineOf(size_t offset) const {
+  int line = 1;
+  for (size_t i = 0; i < offset && i < s_.size(); i++) {
+    if (s_[i] == '\n') line++;
+  }
+  return line;
+}
+
+Status Lexer::SkipSpaceAndComments() {
+  while (pos_ < s_.size()) {
+    char c = s_[pos_];
+    if (IsXmlSpace(c)) {
+      pos_++;
+      continue;
+    }
+    if (c == '(' && pos_ + 1 < s_.size() && s_[pos_ + 1] == ':') {
+      size_t start = pos_;
+      int depth = 1;
+      pos_ += 2;
+      while (pos_ + 1 < s_.size() && depth > 0) {
+        if (s_[pos_] == '(' && s_[pos_ + 1] == ':') {
+          depth++;
+          pos_ += 2;
+        } else if (s_[pos_] == ':' && s_[pos_ + 1] == ')') {
+          depth--;
+          pos_ += 2;
+        } else {
+          pos_++;
+        }
+      }
+      if (depth != 0) {
+        return Status::ParseError("unterminated comment at line " +
+                                  std::to_string(LineOf(start)));
+      }
+      continue;
+    }
+    break;
+  }
+  return Status::OK();
+}
+
+Result<Token> Lexer::Next() {
+  XQC_RETURN_IF_ERROR(SkipSpaceAndComments());
+  Token t;
+  t.offset = pos_;
+  if (pos_ >= s_.size()) {
+    t.kind = TokKind::kEOF;
+    return t;
+  }
+  char c = s_[pos_];
+
+  // Names (QNames, keywords).
+  if (IsNameStart(c)) {
+    size_t start = pos_;
+    while (pos_ < s_.size() && IsNameChar(s_[pos_])) pos_++;
+    // QName: name ':' name, but not '::' (axis separator).
+    if (pos_ + 1 < s_.size() && s_[pos_] == ':' && s_[pos_ + 1] != ':' &&
+        IsNameStart(s_[pos_ + 1])) {
+      pos_++;
+      while (pos_ < s_.size() && IsNameChar(s_[pos_])) pos_++;
+    }
+    t.kind = TokKind::kName;
+    t.text = std::string(s_.substr(start, pos_ - start));
+    return t;
+  }
+
+  // Numbers.
+  if (IsDigit(c) || (c == '.' && pos_ + 1 < s_.size() && IsDigit(s_[pos_ + 1]))) {
+    size_t start = pos_;
+    bool has_dot = false, has_exp = false;
+    while (pos_ < s_.size()) {
+      char d = s_[pos_];
+      if (IsDigit(d)) {
+        pos_++;
+      } else if (d == '.' && !has_dot && !has_exp) {
+        // A '.' not followed by a digit ends the number ("1." is invalid
+        // but "$x/1 ." style input is tokenized leniently).
+        if (pos_ + 1 >= s_.size() || !IsDigit(s_[pos_ + 1])) break;
+        has_dot = true;
+        pos_++;
+      } else if ((d == 'e' || d == 'E') && !has_exp) {
+        size_t save = pos_;
+        pos_++;
+        if (pos_ < s_.size() && (s_[pos_] == '+' || s_[pos_] == '-')) pos_++;
+        if (pos_ >= s_.size() || !IsDigit(s_[pos_])) {
+          pos_ = save;
+          break;
+        }
+        has_exp = true;
+      } else {
+        break;
+      }
+    }
+    std::string text(s_.substr(start, pos_ - start));
+    if (has_exp) {
+      t.kind = TokKind::kDouble;
+      double d;
+      ParseDouble(text, &d);
+      t.number = AtomicValue::Double(d);
+    } else if (has_dot) {
+      t.kind = TokKind::kDecimal;
+      double d;
+      ParseDouble(text, &d);
+      t.number = AtomicValue::Decimal(d);
+    } else {
+      t.kind = TokKind::kInteger;
+      int64_t i;
+      if (!ParseInt(text, &i)) {
+        return Status::ParseError("integer literal out of range: " + text);
+      }
+      t.number = AtomicValue::Integer(i);
+    }
+    return t;
+  }
+
+  // String literals.
+  if (c == '"' || c == '\'') {
+    char quote = c;
+    pos_++;
+    std::string out;
+    while (true) {
+      if (pos_ >= s_.size()) {
+        return Status::ParseError("unterminated string literal at line " +
+                                  std::to_string(LineOf(t.offset)));
+      }
+      char d = s_[pos_];
+      if (d == quote) {
+        if (pos_ + 1 < s_.size() && s_[pos_ + 1] == quote) {
+          out.push_back(quote);  // doubled quote escape
+          pos_ += 2;
+          continue;
+        }
+        pos_++;
+        break;
+      }
+      if (d == '&') {
+        // Predefined entity references inside string literals.
+        size_t semi = s_.find(';', pos_);
+        if (semi == std::string_view::npos) {
+          return Status::ParseError("unterminated entity in string literal");
+        }
+        std::string_view ent = s_.substr(pos_ + 1, semi - pos_ - 1);
+        if (ent == "lt") out.push_back('<');
+        else if (ent == "gt") out.push_back('>');
+        else if (ent == "amp") out.push_back('&');
+        else if (ent == "quot") out.push_back('"');
+        else if (ent == "apos") out.push_back('\'');
+        else return Status::ParseError("unknown entity '&" + std::string(ent) + ";'");
+        pos_ = semi + 1;
+        continue;
+      }
+      out.push_back(d);
+      pos_++;
+    }
+    t.kind = TokKind::kString;
+    t.text = std::move(out);
+    return t;
+  }
+
+  auto two = [&](char c2) {
+    return pos_ + 1 < s_.size() && s_[pos_ + 1] == c2;
+  };
+  switch (c) {
+    case '(': t.kind = TokKind::kLParen; pos_++; return t;
+    case ')': t.kind = TokKind::kRParen; pos_++; return t;
+    case '[': t.kind = TokKind::kLBracket; pos_++; return t;
+    case ']': t.kind = TokKind::kRBracket; pos_++; return t;
+    case '{': t.kind = TokKind::kLBrace; pos_++; return t;
+    case '}': t.kind = TokKind::kRBrace; pos_++; return t;
+    case ',': t.kind = TokKind::kComma; pos_++; return t;
+    case ';': t.kind = TokKind::kSemicolon; pos_++; return t;
+    case '$': t.kind = TokKind::kDollar; pos_++; return t;
+    case '@': t.kind = TokKind::kAt; pos_++; return t;
+    case '|': t.kind = TokKind::kBar; pos_++; return t;
+    case '?': t.kind = TokKind::kQuestion; pos_++; return t;
+    case '*': t.kind = TokKind::kStar; pos_++; return t;
+    case '+': t.kind = TokKind::kPlus; pos_++; return t;
+    case '-': t.kind = TokKind::kMinus; pos_++; return t;
+    case '=': t.kind = TokKind::kEq; pos_++; return t;
+    case '/':
+      if (two('/')) { t.kind = TokKind::kSlashSlash; pos_ += 2; }
+      else { t.kind = TokKind::kSlash; pos_++; }
+      return t;
+    case '.':
+      if (two('.')) { t.kind = TokKind::kDotDot; pos_ += 2; }
+      else { t.kind = TokKind::kDot; pos_++; }
+      return t;
+    case ':':
+      if (two(':')) { t.kind = TokKind::kColonColon; pos_ += 2; return t; }
+      if (two('=')) { t.kind = TokKind::kAssign; pos_ += 2; return t; }
+      break;
+    case '!':
+      if (two('=')) { t.kind = TokKind::kNe; pos_ += 2; return t; }
+      break;
+    case '<':
+      if (two('<')) { t.kind = TokKind::kLtLt; pos_ += 2; }
+      else if (two('=')) { t.kind = TokKind::kLe; pos_ += 2; }
+      else { t.kind = TokKind::kLt; pos_++; }
+      return t;
+    case '>':
+      if (two('>')) { t.kind = TokKind::kGtGt; pos_ += 2; }
+      else if (two('=')) { t.kind = TokKind::kGe; pos_ += 2; }
+      else { t.kind = TokKind::kGt; pos_++; }
+      return t;
+    default:
+      break;
+  }
+  return Status::ParseError("unexpected character '" + std::string(1, c) +
+                            "' at line " + std::to_string(LineOf(pos_)));
+}
+
+}  // namespace xqc

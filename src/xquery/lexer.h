@@ -1,0 +1,64 @@
+// XQuery tokenizer. Keywords are contextual in XQuery (every keyword is a
+// legal element name), so the lexer emits them as kName tokens and the
+// parser decides. Direct XML constructors are parsed at the character level
+// by the parser, which uses pos()/SetPos() to hand control back and forth.
+#ifndef XQC_XQUERY_LEXER_H_
+#define XQC_XQUERY_LEXER_H_
+
+#include <string>
+#include <string_view>
+
+#include "src/base/status.h"
+#include "src/xml/atomic.h"
+
+namespace xqc {
+
+enum class TokKind : uint8_t {
+  kEOF,
+  kError,  // lazily-reported scan error (see parser lookahead)
+  kName,     // NCName or QName (including keywords)
+  kInteger,  // 42
+  kDecimal,  // 4.2
+  kDouble,   // 4.2e1
+  kString,   // "..." or '...'
+  kLParen, kRParen, kLBracket, kRBracket, kLBrace, kRBrace,
+  kComma, kSemicolon, kDollar, kAt, kBar,
+  kSlash, kSlashSlash, kDot, kDotDot, kColonColon,
+  kStar, kPlus, kMinus,
+  kEq, kNe, kLt, kLe, kGt, kGe,  // = != < <= > >=
+  kLtLt, kGtGt,                  // << >>
+  kAssign,                       // :=
+  kQuestion,
+};
+
+struct Token {
+  TokKind kind = TokKind::kEOF;
+  std::string text;    // name spelling / string value
+  AtomicValue number;  // numeric literals
+  size_t offset = 0;   // start offset in the input
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view input) : s_(input) {}
+
+  /// Scans the next token. On malformed input returns a ParseError.
+  Result<Token> Next();
+
+  size_t pos() const { return pos_; }
+  void SetPos(size_t p) { pos_ = p; }
+  std::string_view input() const { return s_; }
+
+  /// 1-based line number of an offset (for error messages).
+  int LineOf(size_t offset) const;
+
+ private:
+  Status SkipSpaceAndComments();
+
+  std::string_view s_;
+  size_t pos_ = 0;
+};
+
+}  // namespace xqc
+
+#endif  // XQC_XQUERY_LEXER_H_

@@ -1,0 +1,33 @@
+// Recursive-descent XQuery 1.0 parser.
+//
+// Covers the language surface the paper's compiler handles: prologs with
+// (recursive) function and variable declarations, FLWOR with for/at/let/
+// where/(stable) order by, quantified expressions, typeswitch, if, the full
+// operator grammar (or/and, general/value/node comparisons, range,
+// additive/multiplicative, union/intersect/except, instance of / treat as /
+// castable as / cast as, unary), path expressions with all supported axes,
+// abbreviated steps (@, //, .., .), predicates, direct and computed
+// constructors with enclosed expressions, and validate expressions.
+#ifndef XQC_XQUERY_PARSER_H_
+#define XQC_XQUERY_PARSER_H_
+
+#include <string_view>
+
+#include "src/base/status.h"
+#include "src/xquery/ast.h"
+
+namespace xqc {
+
+/// Parses a full query module (prolog + body).
+Result<Query> ParseXQuery(std::string_view text);
+
+/// Parses a standalone expression (no prolog) — convenience for tests.
+Result<ExprPtr> ParseXQueryExpr(std::string_view text);
+
+/// Parses a sequence type, e.g. "element(*,Auction)*" — used by tests and
+/// by plan construction helpers.
+Result<SequenceType> ParseSequenceTypeString(std::string_view text);
+
+}  // namespace xqc
+
+#endif  // XQC_XQUERY_PARSER_H_

@@ -1,0 +1,146 @@
+// Tests for the base substrate: Status/Result, symbols, string utilities.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/base/status.h"
+#include "src/base/strutil.h"
+#include "src/base/symbol.h"
+
+namespace xqc {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, XQueryErrorCarriesCode) {
+  Status s = Status::XQueryError("XPTY0004", "bad type");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), "XPTY0004");
+  EXPECT_EQ(s.ToString(), "[XPTY0004] bad type");
+}
+
+TEST(StatusTest, ResultHoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(StatusTest, ResultHoldsError) {
+  Result<int> r(Status::ParseError("nope"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), "XPST0003");
+}
+
+Result<int> Half(int x) {
+  if (x % 2 != 0) return Status::Internal("odd");
+  return x / 2;
+}
+
+Result<int> Quarter(int x) {
+  XQC_ASSIGN_OR_RETURN(int h, Half(x));
+  XQC_ASSIGN_OR_RETURN(int q, Half(h));
+  return q;
+}
+
+TEST(StatusTest, AssignOrReturnPropagates) {
+  EXPECT_EQ(Quarter(8).value(), 2);
+  EXPECT_FALSE(Quarter(6).ok());  // 6/2=3 is odd
+  EXPECT_FALSE(Quarter(5).ok());
+}
+
+TEST(SymbolTest, InterningIsIdempotent) {
+  Symbol a("person");
+  Symbol b("person");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.id(), b.id());
+  EXPECT_EQ(a.str(), "person");
+}
+
+TEST(SymbolTest, DistinctNamesDistinctIds) {
+  Symbol a("alpha"), b("beta");
+  EXPECT_NE(a, b);
+  EXPECT_NE(a.id(), b.id());
+}
+
+TEST(SymbolTest, EmptySymbol) {
+  Symbol e;
+  EXPECT_TRUE(e.empty());
+  EXPECT_EQ(e.str(), "");
+  EXPECT_EQ(e, Symbol(""));
+}
+
+TEST(StrUtilTest, TrimXmlSpace) {
+  EXPECT_EQ(TrimXmlSpace("  a b \t\n"), "a b");
+  EXPECT_EQ(TrimXmlSpace(""), "");
+  EXPECT_EQ(TrimXmlSpace(" \r\n "), "");
+}
+
+TEST(StrUtilTest, NormalizeSpace) {
+  EXPECT_EQ(NormalizeSpace("  a   b\t c  "), "a b c");
+  EXPECT_EQ(NormalizeSpace(""), "");
+}
+
+TEST(StrUtilTest, FormatDoubleIntegral) {
+  EXPECT_EQ(FormatDouble(3.0), "3");
+  EXPECT_EQ(FormatDouble(-2.0), "-2");
+  EXPECT_EQ(FormatDouble(0.0), "0");
+}
+
+TEST(StrUtilTest, FormatDoubleSpecials) {
+  EXPECT_EQ(FormatDouble(std::nan("")), "NaN");
+  EXPECT_EQ(FormatDouble(HUGE_VAL), "INF");
+  EXPECT_EQ(FormatDouble(-HUGE_VAL), "-INF");
+}
+
+TEST(StrUtilTest, FormatDoubleRoundTrips) {
+  for (double d : {0.1, 1.5, 3.14159265358979, -42.25, 1e-7, 123456.789}) {
+    double back;
+    ASSERT_TRUE(ParseDouble(FormatDouble(d), &back));
+    EXPECT_EQ(back, d) << FormatDouble(d);
+  }
+}
+
+TEST(StrUtilTest, ParseDoubleSpecials) {
+  double d;
+  ASSERT_TRUE(ParseDouble("INF", &d));
+  EXPECT_TRUE(std::isinf(d) && d > 0);
+  ASSERT_TRUE(ParseDouble("-INF", &d));
+  EXPECT_TRUE(std::isinf(d) && d < 0);
+  ASSERT_TRUE(ParseDouble("NaN", &d));
+  EXPECT_TRUE(std::isnan(d));
+  EXPECT_FALSE(ParseDouble("1.2.3", &d));
+  EXPECT_FALSE(ParseDouble("", &d));
+}
+
+TEST(StrUtilTest, ParseInt) {
+  int64_t v;
+  ASSERT_TRUE(ParseInt(" 42 ", &v));
+  EXPECT_EQ(v, 42);
+  ASSERT_TRUE(ParseInt("-7", &v));
+  EXPECT_EQ(v, -7);
+  ASSERT_TRUE(ParseInt("+9", &v));
+  EXPECT_EQ(v, 9);
+  EXPECT_FALSE(ParseInt("4.2", &v));
+  EXPECT_FALSE(ParseInt("abc", &v));
+}
+
+TEST(StrUtilTest, XmlEscape) {
+  EXPECT_EQ(XmlEscape("a<b&c>d", false), "a&lt;b&amp;c&gt;d");
+  EXPECT_EQ(XmlEscape("say \"hi\"", true), "say &quot;hi&quot;");
+  EXPECT_EQ(XmlEscape("say \"hi\"", false), "say \"hi\"");
+}
+
+TEST(StrUtilTest, Split) {
+  auto parts = Split("a/b//c", '/');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+}
+
+}  // namespace
+}  // namespace xqc

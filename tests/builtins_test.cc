@@ -1,0 +1,162 @@
+// Tests for the built-in function library: registry sanity, arity
+// enforcement, and edge-case semantics of the fn:/op:/fs: functions (the
+// paper notes the built-ins are required for algebra completeness).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/runtime/builtins.h"
+#include "src/xml/serializer.h"
+#include "test_util.h"
+
+namespace xqc {
+namespace {
+
+using testutil::InterpToString;
+
+TEST(BuiltinRegistry, LookupAndEnumeration) {
+  EXPECT_TRUE(IsBuiltinFunction(Symbol("fn:count")));
+  EXPECT_TRUE(IsBuiltinFunction(Symbol("op:general-eq")));
+  EXPECT_TRUE(IsBuiltinFunction(Symbol("fs:distinct-docorder")));
+  EXPECT_FALSE(IsBuiltinFunction(Symbol("fn:no-such-thing")));
+  // Completeness floor: the library is substantial.
+  EXPECT_GE(AllBuiltinFunctions().size(), 60u);
+}
+
+TEST(BuiltinRegistry, ArityEnforced) {
+  DynamicContext ctx;
+  Result<Sequence> r = CallBuiltin(Symbol("fn:count"), {}, &ctx);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), "XPST0017");
+  r = CallBuiltin(Symbol("fn:count"), {{}, {}}, &ctx);
+  EXPECT_FALSE(r.ok());
+  // fn:concat is variadic (>= 2).
+  r = CallBuiltin(Symbol("fn:concat"),
+                  {{AtomicValue::String("a")},
+                   {AtomicValue::String("b")},
+                   {AtomicValue::String("c")},
+                   {AtomicValue::String("d")}},
+                  &ctx);
+  ASSERT_OK(r);
+  EXPECT_EQ(r.value()[0].atomic().AsString(), "abcd");
+}
+
+TEST(BuiltinNumerics, ArithmeticTypeRules) {
+  // integer op integer stays integer; div goes to decimal.
+  EXPECT_EQ(InterpToString("3 + 4"), "7");
+  EXPECT_EQ(InterpToString("(6 div 3) instance of xs:decimal"), "true");
+  EXPECT_EQ(InterpToString("(6 div 4)"), "1.5");
+  EXPECT_EQ(InterpToString("(1 + 0.5) instance of xs:decimal"), "true");
+  EXPECT_EQ(InterpToString("(1 + 1e0) instance of xs:double"), "true");
+  EXPECT_EQ(InterpToString("-7 idiv 2"), "-3");  // truncating
+  EXPECT_EQ(InterpToString("-7 mod 2"), "-1");
+  EXPECT_EQ(InterpToString("1e0 div 0"), "INF");
+  EXPECT_EQ(InterpToString("-1e0 div 0"), "-INF");
+  EXPECT_EQ(InterpToString("0e0 div 0"), "NaN");
+  EXPECT_EQ(InterpToString("1.0 div 0"), "ERROR:FOAR0001");  // decimal
+}
+
+TEST(BuiltinNumerics, UntypedOperandsCastToDouble) {
+  DynamicContext ctx;
+  ctx.RegisterDocument("d.xml", testutil::MustParseXml("<a><n>4</n></a>"));
+  EXPECT_EQ(InterpToString("doc(\"d.xml\")/a/n + 1", &ctx), "5");
+  EXPECT_EQ(InterpToString(
+                "(doc(\"d.xml\")/a/n + 1) instance of xs:double", &ctx),
+            "true");
+}
+
+TEST(BuiltinAggregates, EmptyAndMixed) {
+  EXPECT_EQ(InterpToString("sum(())"), "0");
+  EXPECT_EQ(InterpToString("sum((1, 2.5))"), "3.5");
+  EXPECT_EQ(InterpToString("sum((1,2,3)) instance of xs:integer"), "true");
+  EXPECT_EQ(InterpToString("avg((1,2)) instance of xs:decimal"), "true");
+  EXPECT_EQ(InterpToString("min(())"), "");
+  EXPECT_EQ(InterpToString("max((1, 2.5, 2))"), "2.5");
+  EXPECT_EQ(InterpToString("min((\"b\",\"a\"))"), "a");
+  EXPECT_EQ(InterpToString("sum((\"x\"))"), "ERROR:XPTY0004");
+}
+
+TEST(BuiltinStrings, EdgeCases) {
+  EXPECT_EQ(InterpToString("substring(\"hello\", 0)"), "hello");
+  EXPECT_EQ(InterpToString("substring(\"hello\", 2)"), "ello");
+  EXPECT_EQ(InterpToString("substring(\"hello\", 1.5, 2.6)"), "ell");
+  EXPECT_EQ(InterpToString("substring(\"\", 1)"), "");
+  EXPECT_EQ(InterpToString("substring-before(\"a-b\", \"-\")"), "a");
+  EXPECT_EQ(InterpToString("substring-after(\"a-b\", \"-\")"), "b");
+  EXPECT_EQ(InterpToString("substring-before(\"ab\", \"x\")"), "");
+  EXPECT_EQ(InterpToString("contains(\"abc\", \"\")"), "true");
+  EXPECT_EQ(InterpToString("upper-case(\"aBc\")"), "ABC");
+  EXPECT_EQ(InterpToString("lower-case(\"AbC\")"), "abc");
+  EXPECT_EQ(InterpToString("translate(\"abcabc\", \"abc\", \"AB\")"), "ABAB");
+  EXPECT_EQ(InterpToString("normalize-space(\"  a   b \")"), "a b");
+  EXPECT_EQ(InterpToString("string-join((), \"-\")"), "");
+  EXPECT_EQ(InterpToString("string(())"), "");
+}
+
+TEST(BuiltinSequences, PositionalFunctions) {
+  EXPECT_EQ(InterpToString("subsequence((1,2,3,4,5), 2)"), "2 3 4 5");
+  EXPECT_EQ(InterpToString("subsequence((1,2,3), 0, 2)"), "1");
+  EXPECT_EQ(InterpToString("insert-before((1,2), 1, (9))"), "9 1 2");
+  EXPECT_EQ(InterpToString("insert-before((1,2), 9, (9))"), "1 2 9");
+  EXPECT_EQ(InterpToString("remove((1,2,3), 2)"), "1 3");
+  EXPECT_EQ(InterpToString("remove((1,2,3), 9)"), "1 2 3");
+  EXPECT_EQ(InterpToString("index-of((), 1)"), "");
+  EXPECT_EQ(InterpToString("reverse(())"), "");
+}
+
+TEST(BuiltinSequences, DistinctValuesSemantics) {
+  // Cross-type numeric equality dedups; untyped dedups as string vs
+  // numeric per promotion; NaN kept once.
+  EXPECT_EQ(InterpToString("distinct-values((1, 1.0, 1e0))"), "1");
+  EXPECT_EQ(InterpToString("count(distinct-values((number(\"NaN\"), "
+                           "number(\"NaN\"))))"),
+            "1");
+  EXPECT_EQ(InterpToString("distinct-values((\"a\", \"a\", \"b\"))"), "a b");
+}
+
+TEST(BuiltinCardinality, CheckFunctions) {
+  EXPECT_EQ(InterpToString("zero-or-one(())"), "");
+  EXPECT_EQ(InterpToString("zero-or-one((1))"), "1");
+  EXPECT_EQ(InterpToString("zero-or-one((1,2))"), "ERROR:FORG0003");
+  EXPECT_EQ(InterpToString("one-or-more(())"), "ERROR:FORG0004");
+  EXPECT_EQ(InterpToString("exactly-one((1,2))"), "ERROR:FORG0005");
+  EXPECT_EQ(InterpToString("exactly-one((7))"), "7");
+}
+
+TEST(BuiltinNodes, NamesAndRoots) {
+  DynamicContext ctx;
+  ctx.RegisterDocument("d.xml",
+                       testutil::MustParseXml("<root><kid a=\"1\"/></root>"));
+  EXPECT_EQ(InterpToString("name(doc(\"d.xml\")/root/kid)", &ctx), "kid");
+  EXPECT_EQ(InterpToString("local-name(doc(\"d.xml\")/root/kid/@a)", &ctx),
+            "a");
+  EXPECT_EQ(InterpToString("name(())"), "");
+  EXPECT_EQ(InterpToString(
+                "count(root(doc(\"d.xml\")//kid)/root)", &ctx),
+            "1");
+}
+
+TEST(BuiltinErrors, FnError) {
+  EXPECT_EQ(InterpToString("error()"), "ERROR:FOER0000");
+  EXPECT_EQ(InterpToString("if (false()) then error() else 1"), "1");
+}
+
+TEST(BuiltinFs, ConvertOperandExposed) {
+  // fs:convert-operand is callable directly (used by the formal-semantics
+  // tests): untyped + numeric second operand -> double.
+  EXPECT_EQ(InterpToString(
+                "fs:convert-operand(\"3\" cast as xdt:untypedAtomic, 1) "
+                "instance of xs:double"),
+            "true");
+  EXPECT_EQ(InterpToString(
+                "fs:convert-operand(\"3\" cast as xdt:untypedAtomic, \"s\") "
+                "instance of xs:string"),
+            "true");
+}
+
+TEST(BuiltinDocs, DocFailsOnMissingFile) {
+  EXPECT_EQ(InterpToString("doc(\"/no/such/file.xml\")"), "ERROR:FODC0002");
+}
+
+}  // namespace
+}  // namespace xqc

@@ -1,0 +1,131 @@
+// Clio substrate tests: generator structure, the N2/N3/N4 mapping queries
+// differentially across configurations, and the unnesting behaviour the
+// paper's Table 5 depends on (nested blocks inside constructors become
+// GroupBy + join plans).
+#include <gtest/gtest.h>
+
+#include "src/clio/clio.h"
+#include "src/engine/engine.h"
+#include "test_util.h"
+
+namespace xqc {
+namespace {
+
+TEST(ClioGenerator, DeterministicAndSized) {
+  ClioOptions opts;
+  opts.target_bytes = 64 * 1024;
+  std::string a = GenerateDblpXml(opts);
+  EXPECT_EQ(a, GenerateDblpXml(opts));
+  EXPECT_GT(a.size(), opts.target_bytes / 2);
+  EXPECT_LT(a.size(), opts.target_bytes * 2);
+}
+
+TEST(ClioGenerator, KeysAreConsistent) {
+  ClioOptions opts;
+  opts.target_bytes = 32 * 1024;
+  Result<NodePtr> doc = GenerateDblpDocument(opts);
+  ASSERT_OK(doc);
+  DynamicContext ctx;
+  ctx.BindVariable(Symbol("dblp"), {Item(doc.value())});
+  Engine engine;
+  auto truth = [&](const std::string& body) {
+    auto q = engine.Prepare("declare variable $dblp external; " + body);
+    EXPECT_TRUE(q.ok()) << q.status().ToString();
+    auto r = q.value().ExecuteToString(&ctx);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return r.ok() ? r.value() : std::string();
+  };
+  // Every inproceedings booktitle has a proceedings entry for its year.
+  EXPECT_EQ(truth("every $p in $dblp/dblp/inproceedings satisfies "
+                  "exists($dblp/dblp/proceedings[booktitle = $p/booktitle]"
+                  "[year = $p/year])"),
+            "true");
+  // Every paper author appears in the author registry.
+  EXPECT_EQ(truth("every $p in $dblp/dblp/inproceedings/author satisfies "
+                  "exists($dblp/dblp/authorinfo[name = $p/text()])"),
+            "true");
+  // Every proceedings publisher exists.
+  EXPECT_EQ(truth("every $pr in $dblp/dblp/proceedings satisfies "
+                  "exists($dblp/dblp/publisher[pname = $pr/pubname])"),
+            "true");
+}
+
+class ClioQueryTest : public ::testing::TestWithParam<int> {
+ protected:
+  static void SetUpTestSuite() {
+    ClioOptions opts;
+    opts.target_bytes = 24 * 1024;
+    Result<NodePtr> doc = GenerateDblpDocument(opts);
+    ASSERT_TRUE(doc.ok());
+    doc_ = new NodePtr(doc.take());
+  }
+  static void TearDownTestSuite() {
+    delete doc_;
+    doc_ = nullptr;
+  }
+  static NodePtr* doc_;
+};
+
+NodePtr* ClioQueryTest::doc_ = nullptr;
+
+TEST_P(ClioQueryTest, AllConfigsAgree) {
+  int level = GetParam();
+  DynamicContext ctx;
+  ctx.BindVariable(Symbol("dblp"), {Item(*doc_)});
+  Engine engine;
+  const EngineOptions kConfigs[] = {
+      {false, false, JoinImpl::kNestedLoop},
+      {true, false, JoinImpl::kNestedLoop},
+      {true, true, JoinImpl::kNestedLoop},
+      {true, true, JoinImpl::kHash},
+      {true, true, JoinImpl::kSort},
+  };
+  std::string reference;
+  for (size_t i = 0; i < std::size(kConfigs); i++) {
+    Result<PreparedQuery> q = engine.Prepare(ClioQuery(level), kConfigs[i]);
+    ASSERT_TRUE(q.ok()) << "N" << level << ": " << q.status().ToString();
+    Result<std::string> r = q.value().ExecuteToString(&ctx);
+    ASSERT_TRUE(r.ok()) << "N" << level << " config " << i << ": "
+                        << r.status().ToString();
+    if (i == 0) {
+      reference = r.value();
+    } else {
+      ASSERT_EQ(r.value(), reference) << "N" << level << " config " << i;
+    }
+  }
+  EXPECT_NE(reference.find("<authorDB>"), std::string::npos);
+  EXPECT_NE(reference.find("<pubs>"), std::string::npos);
+}
+
+INSTANTIATE_TEST_SUITE_P(Mappings, ClioQueryTest, ::testing::Values(2, 3, 4),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return "N" + std::to_string(info.param);
+                         });
+
+TEST(ClioPlans, NestedConstructorBlocksUnnestIntoJoins) {
+  // The whole point of Table 5: Clio-style queries whose nested FLWORs sit
+  // inside element constructors must still reach GroupBy + join plans.
+  Engine engine;
+  for (int level : {2, 3, 4}) {
+    Result<PreparedQuery> q = engine.Prepare(ClioQuery(level));
+    ASSERT_OK(q);
+    std::string plan = q.value().ExplainPlan(false);
+    EXPECT_NE(plan.find("GroupBy"), std::string::npos)
+        << "N" << level << ": " << plan;
+    EXPECT_NE(plan.find("LOuterJoin"), std::string::npos)
+        << "N" << level << ": " << plan;
+    const OptimizerStats& s = q.value().optimizer_stats();
+    EXPECT_GE(s.insert_group_by, level - 1) << "N" << level;
+    EXPECT_GE(s.insert_outer_join, 1) << "N" << level;
+  }
+  // N4 must produce strictly more joins than N2.
+  Result<PreparedQuery> q2 = engine.Prepare(ClioQuery(2));
+  Result<PreparedQuery> q4 = engine.Prepare(ClioQuery(4));
+  ASSERT_OK(q2);
+  ASSERT_OK(q4);
+  EXPECT_GT(q4.value().optimizer_stats().insert_outer_join,
+            q2.value().optimizer_stats().insert_outer_join);
+}
+
+}  // namespace
+}  // namespace xqc

@@ -1,0 +1,244 @@
+// Tests for the XQuery-specific GroupBy operator (Section 5): its
+// two-dependent-operator semantics, null-flag handling, index-field
+// partitioning — including an exact reproduction of the Figure 4
+// input/output table.
+#include <gtest/gtest.h>
+
+#include "src/algebra/op.h"
+#include "src/runtime/eval.h"
+#include "src/xml/serializer.h"
+#include "test_util.h"
+
+namespace xqc {
+namespace {
+
+/// Runs a table-producing plan and returns the result table.
+Result<Table> RunTable(const OpPtr& plan, DynamicContext* ctx) {
+  CompiledQuery q;
+  q.plan = plan;  // not used for table eval, but Run needs a plan
+  PlanEvaluator eval(&q, ctx, {});
+  return eval.EvalTable(*plan, EvalCtx{});
+}
+
+/// Builds the Figure 4 input table:
+///   x  y  index null
+///   1  1  1     false
+///   1  2  1     false
+///   1  1  2     false
+///   1  2  2     false
+///   3  () 3     true
+Table Figure4Input() {
+  Table t;
+  auto row = [&](int x, int y, int index, bool null_flag, bool has_y) {
+    Tuple tup;
+    tup.Set(Symbol("x"), {AtomicValue::Integer(x)});
+    if (has_y) tup.Set(Symbol("y"), {AtomicValue::Integer(y)});
+    tup.Set(Symbol("index"), {AtomicValue::Integer(index)});
+    tup.Set(Symbol("null"), {AtomicValue::Boolean(null_flag)});
+    t.push_back(std::move(tup));
+  };
+  row(1, 1, 1, false, true);
+  row(1, 2, 1, false, true);
+  row(1, 1, 2, false, true);
+  row(1, 2, 2, false, true);
+  row(3, 0, 3, true, false);
+  return t;
+}
+
+/// Wraps a table literal as an input operator by materializing it through a
+/// constant plan: we cheat by building the table with MapFromItem over a
+/// sequence is cumbersome, so tests call EvalGroupBy via a custom input.
+class TableSource {
+ public:
+  // Build the GroupBy over a pre-built input by evaluating the pieces
+  // manually: we construct the plan with the input replaced by ([]) and
+  // instead drive PlanEvaluator::EvalTable on a GroupBy whose input was
+  // already evaluated. Simplest robust route: rebuild the input as a
+  // sequence of MapConcat'd tuple constructors.
+  static OpPtr AsPlan(const Table& t) {
+    // Produce a plan evaluating to exactly `t`: chain of appends using
+    // Map over MapFromItem is overkill; we build
+    //   [f1:..]++ per row via MapFromItem over integers then Select.
+    // Instead: build Sequence of row indices, MapFromItem binds i, and a
+    // Map dep constructs each row... that needs literals per row anyway.
+    // We go direct: a plan of kind kEmptyTuples replaced below.
+    (void)t;
+    return nullptr;
+  }
+};
+
+/// The Figure 4 GroupBy: GroupBy[a, index, null]{avg(IN)}{IN#y * 10}.
+OpPtr Figure4GroupBy(OpPtr input) {
+  OpPtr pre = OpCall(Symbol("op:times"),
+                     {OpInField(Symbol("y")),
+                      OpScalar(AtomicValue::Integer(10))});
+  OpPtr post = OpCall(Symbol("fn:avg"), {OpIn()});
+  return OpGroupBy(Symbol("a"), {Symbol("index")}, {Symbol("null")},
+                   std::move(post), std::move(pre), std::move(input));
+}
+
+/// Builds a plan that evaluates to the Figure 4 input table, from scratch
+/// with algebra operators: MapIndexStep over MapFromItem gives (x, index),
+/// LOuterJoin with the <= predicate gives (null, y).
+OpPtr Figure4InputPlan() {
+  OpPtr xs = MakeOp(OpKind::kSequence);
+  OpPtr xs_inner = MakeOp(OpKind::kSequence);
+  xs_inner->inputs = {OpScalar(AtomicValue::Integer(1)),
+                      OpScalar(AtomicValue::Integer(1))};
+  xs->inputs = {xs_inner, OpScalar(AtomicValue::Integer(3))};
+  OpPtr ys = MakeOp(OpKind::kSequence);
+  ys->inputs = {OpScalar(AtomicValue::Integer(1)),
+                OpScalar(AtomicValue::Integer(2))};
+  OpPtr left = OpMapIndexStep(
+      Symbol("index"),
+      OpMapFromItem(OpTupleConstruct({Symbol("x")}, {OpIn()}), xs));
+  OpPtr right = OpMapFromItem(OpTupleConstruct({Symbol("y")}, {OpIn()}), ys);
+  OpPtr pred = OpCall(Symbol("op:general-le"),
+                      {OpInField(Symbol("x")), OpInField(Symbol("y"))});
+  return OpLOuterJoin(Symbol("null"), std::move(pred), std::move(left),
+                      std::move(right));
+}
+
+TEST(GroupByTest, Figure4InputTableIsReproduced) {
+  DynamicContext ctx;
+  Result<Table> input = RunTable(Figure4InputPlan(), &ctx);
+  ASSERT_OK(input);
+  const Table& t = input.value();
+  const Table expected = Figure4Input();
+  ASSERT_EQ(t.size(), expected.size());
+  for (size_t i = 0; i < t.size(); i++) {
+    for (const char* f : {"x", "y", "index", "null"}) {
+      // An absent field reads as the empty sequence (the paper models null
+      // by the empty sequence, not a special value — Section 3).
+      static const Sequence kEmpty;
+      const Sequence* got = t[i].Get(Symbol(f));
+      const Sequence* want = expected[i].Get(Symbol(f));
+      if (got == nullptr) got = &kEmpty;
+      if (want == nullptr) want = &kEmpty;
+      ASSERT_EQ(got->size(), want->size()) << "row " << i << " field " << f;
+      for (size_t k = 0; k < got->size(); k++) {
+        EXPECT_TRUE((*got)[k].atomic().StrictEquals((*want)[k].atomic()))
+            << "row " << i << " field " << f;
+      }
+    }
+  }
+}
+
+TEST(GroupByTest, Figure4OutputTable) {
+  // Output (Figure 4): (x=1, a=15), (x=1, a=15), (x=3, a=()).
+  DynamicContext ctx;
+  Result<Table> out = RunTable(Figure4GroupBy(Figure4InputPlan()), &ctx);
+  ASSERT_OK(out);
+  const Table& t = out.value();
+  ASSERT_EQ(t.size(), 3u);
+  auto x_of = [&](size_t i) {
+    return (*t[i].Get(Symbol("x")))[0].atomic().AsInt();
+  };
+  auto a_of = [&](size_t i) { return *t[i].Get(Symbol("a")); };
+  EXPECT_EQ(x_of(0), 1);
+  ASSERT_EQ(a_of(0).size(), 1u);
+  EXPECT_EQ(a_of(0)[0].atomic().AsDouble(), 15.0);
+  EXPECT_EQ(x_of(1), 1);
+  ASSERT_EQ(a_of(1).size(), 1u);
+  EXPECT_EQ(a_of(1)[0].atomic().AsDouble(), 15.0);
+  EXPECT_EQ(x_of(2), 3);
+  EXPECT_TRUE(a_of(2).empty());  // avg over the empty (null) partition
+}
+
+TEST(GroupByTest, PreGroupingSkippedForNullTuples) {
+  // The pre-grouping operator must NOT be applied to null-flagged tuples
+  // (IN#y * 10 on an empty y would not error here, so use a post check:
+  // the partition items of the null row stay empty).
+  DynamicContext ctx;
+  OpPtr post = OpCall(Symbol("fn:count"), {OpIn()});
+  OpPtr pre = OpInField(Symbol("y"));
+  OpPtr gb = OpGroupBy(Symbol("c"), {Symbol("index")}, {Symbol("null")},
+                       std::move(post), std::move(pre), Figure4InputPlan());
+  Result<Table> out = RunTable(gb, &ctx);
+  ASSERT_OK(out);
+  ASSERT_EQ(out.value().size(), 3u);
+  EXPECT_EQ((*out.value()[0].Get(Symbol("c")))[0].atomic().AsInt(), 2);
+  EXPECT_EQ((*out.value()[2].Get(Symbol("c")))[0].atomic().AsInt(), 0);
+}
+
+TEST(GroupByTest, EmptyIndexListMakesOnePartition) {
+  // GroupBy[x,[],[null]] (the trivial group-by of (insert group-by)):
+  // all input tuples form one partition.
+  DynamicContext ctx;
+  OpPtr input = OpOMap(
+      Symbol("null"),
+      OpMapFromItem(OpTupleConstruct({Symbol("y")}, {OpIn()}),
+                    [] {
+                      OpPtr s = MakeOp(OpKind::kSequence);
+                      s->inputs = {OpScalar(AtomicValue::Integer(4)),
+                                   OpScalar(AtomicValue::Integer(5))};
+                      return s;
+                    }()));
+  OpPtr gb = OpGroupBy(Symbol("a"), {}, {Symbol("null")},
+                       OpCall(Symbol("fn:sum"), {OpIn()}),
+                       OpInField(Symbol("y")), std::move(input));
+  Result<Table> out = RunTable(gb, &ctx);
+  ASSERT_OK(out);
+  ASSERT_EQ(out.value().size(), 1u);
+  EXPECT_EQ((*out.value()[0].Get(Symbol("a")))[0].atomic().AsInt(), 9);
+}
+
+TEST(GroupByTest, PartitionsSortStablyAscendingByIndex) {
+  // Input arrives with index values out of order; output partitions are
+  // emitted in ascending index order.
+  DynamicContext ctx;
+  OpPtr seq = MakeOp(OpKind::kSequence);
+  OpPtr seq_inner = MakeOp(OpKind::kSequence);
+  seq_inner->inputs = {OpScalar(AtomicValue::Integer(30)),
+                       OpScalar(AtomicValue::Integer(10))};
+  seq->inputs = {seq_inner, OpScalar(AtomicValue::Integer(20))};
+  // index := the value itself (via a Map over tuple construct).
+  OpPtr stream = OpMapFromItem(
+      OpTupleConstruct({Symbol("index")}, {OpIn()}), seq);
+  OpPtr flagged = OpOMap(Symbol("null"), std::move(stream));
+  OpPtr gb = OpGroupBy(Symbol("a"), {Symbol("index")}, {Symbol("null")},
+                       OpCall(Symbol("fn:count"), {OpIn()}),
+                       OpInField(Symbol("index")), std::move(flagged));
+  Result<Table> out = RunTable(gb, &ctx);
+  ASSERT_OK(out);
+  ASSERT_EQ(out.value().size(), 3u);
+  std::vector<int64_t> order;
+  for (const Tuple& t : out.value()) {
+    order.push_back((*t.Get(Symbol("index")))[0].atomic().AsInt());
+  }
+  EXPECT_EQ(order, (std::vector<int64_t>{10, 20, 30}));
+}
+
+TEST(GroupByTest, MultipleIndexFieldsPartitionJointly) {
+  DynamicContext ctx;
+  // Build tuples (i, j) for i in 1..2, j in 1..2 via product.
+  auto stream = [](const char* f, int a, int b) {
+    OpPtr s = MakeOp(OpKind::kSequence);
+    s->inputs = {OpScalar(AtomicValue::Integer(a)),
+                 OpScalar(AtomicValue::Integer(b))};
+    return OpMapFromItem(OpTupleConstruct({Symbol(f)}, {OpIn()}), s);
+  };
+  OpPtr prod = OpProduct(stream("i", 1, 2), stream("j", 1, 2));
+  OpPtr flagged = OpOMap(Symbol("null"), std::move(prod));
+  OpPtr gb = OpGroupBy(Symbol("a"), {Symbol("i"), Symbol("j")},
+                       {Symbol("null")},
+                       OpCall(Symbol("fn:count"), {OpIn()}),
+                       OpInField(Symbol("i")), std::move(flagged));
+  Result<Table> out = RunTable(gb, &ctx);
+  ASSERT_OK(out);
+  EXPECT_EQ(out.value().size(), 4u);  // four (i,j) partitions
+}
+
+TEST(GroupByTest, StatsCountGroupBys) {
+  DynamicContext ctx;
+  CompiledQuery q;
+  q.plan = OpCall(Symbol("fn:count"),
+                  {OpMapToItem(OpInField(Symbol("a")),
+                               Figure4GroupBy(Figure4InputPlan()))});
+  PlanEvaluator eval(&q, &ctx, {});
+  ASSERT_OK(eval.Run());
+  EXPECT_EQ(eval.stats().group_bys, 1);
+}
+
+}  // namespace
+}  // namespace xqc

@@ -1,0 +1,408 @@
+// End-to-end tests of the front end (lexer/parser/normalizer) through the
+// baseline Core interpreter: the oracle every other engine configuration is
+// differentially tested against.
+#include <gtest/gtest.h>
+
+#include "src/runtime/context.h"
+#include "src/xml/xml_parser.h"
+#include "test_util.h"
+
+namespace xqc {
+namespace {
+
+using testutil::InterpToString;
+using testutil::MustParseXml;
+
+// ---- literals, arithmetic, comparisons --------------------------------------
+
+TEST(InterpBasics, Literals) {
+  EXPECT_EQ(InterpToString("42"), "42");
+  EXPECT_EQ(InterpToString("4.5"), "4.5");
+  EXPECT_EQ(InterpToString("1e2"), "100");
+  EXPECT_EQ(InterpToString("\"hi\""), "hi");
+  EXPECT_EQ(InterpToString("'it''s'"), "it's");
+  EXPECT_EQ(InterpToString("()"), "");
+}
+
+TEST(InterpBasics, Arithmetic) {
+  EXPECT_EQ(InterpToString("1 + 2 * 3"), "7");
+  EXPECT_EQ(InterpToString("(1 + 2) * 3"), "9");
+  EXPECT_EQ(InterpToString("7 idiv 2"), "3");
+  EXPECT_EQ(InterpToString("7 mod 2"), "1");
+  EXPECT_EQ(InterpToString("1 div 2"), "0.5");
+  EXPECT_EQ(InterpToString("-3 + 1"), "-2");
+  EXPECT_EQ(InterpToString("1 idiv 0"), "ERROR:FOAR0001");
+  EXPECT_EQ(InterpToString("1.0 + 2"), "3");
+  EXPECT_EQ(InterpToString("() + 1"), "");
+}
+
+TEST(InterpBasics, Comparisons) {
+  EXPECT_EQ(InterpToString("1 eq 1"), "true");
+  EXPECT_EQ(InterpToString("1 lt 2"), "true");
+  EXPECT_EQ(InterpToString("'a' ne 'b'"), "true");
+  EXPECT_EQ(InterpToString("(1,2,3) = 2"), "true");
+  EXPECT_EQ(InterpToString("(1,2,3) = 9"), "false");
+  EXPECT_EQ(InterpToString("() = ()"), "false");
+  EXPECT_EQ(InterpToString("1 = 1.0"), "true");
+  EXPECT_EQ(InterpToString("2 > 10"), "false");
+  EXPECT_EQ(InterpToString("'2' eq 2"), "ERROR:XPTY0004");
+}
+
+TEST(InterpBasics, Logic) {
+  EXPECT_EQ(InterpToString("1 = 1 and 2 = 2"), "true");
+  EXPECT_EQ(InterpToString("1 = 2 or 2 = 2"), "true");
+  EXPECT_EQ(InterpToString("not(1 = 2)"), "true");
+  EXPECT_EQ(InterpToString("if (1 = 1) then 'y' else 'n'"), "y");
+  EXPECT_EQ(InterpToString("if (()) then 'y' else 'n'"), "n");
+}
+
+TEST(InterpBasics, SequencesAndRanges) {
+  EXPECT_EQ(InterpToString("(1, 2, 3)"), "1 2 3");
+  EXPECT_EQ(InterpToString("1 to 4"), "1 2 3 4");
+  EXPECT_EQ(InterpToString("3 to 1"), "");
+  EXPECT_EQ(InterpToString("count((1 to 10, 20))"), "11");
+  EXPECT_EQ(InterpToString("(1, (2, 3), ())"), "1 2 3");
+}
+
+// ---- FLWOR -------------------------------------------------------------------
+
+TEST(InterpFLWOR, ForAndReturn) {
+  EXPECT_EQ(InterpToString("for $x in (1,2,3) return $x * 10"), "10 20 30");
+}
+
+TEST(InterpFLWOR, MultipleBindingsAreCartesian) {
+  EXPECT_EQ(InterpToString("for $x in (1,2), $y in (10,20) return $x + $y"),
+            "11 21 12 22");
+}
+
+TEST(InterpFLWOR, LetAndWhere) {
+  EXPECT_EQ(InterpToString(
+                "for $x in 1 to 5 let $y := $x * $x where $y > 5 return $y"),
+            "9 16 25");
+}
+
+TEST(InterpFLWOR, AtClause) {
+  EXPECT_EQ(InterpToString("for $x at $i in ('a','b','c') return $i"), "1 2 3");
+}
+
+TEST(InterpFLWOR, OrderBy) {
+  EXPECT_EQ(InterpToString("for $x in (3,1,2) order by $x return $x"), "1 2 3");
+  EXPECT_EQ(InterpToString("for $x in (3,1,2) order by $x descending return $x"),
+            "3 2 1");
+  EXPECT_EQ(InterpToString(
+                "for $x in ('b','a','c') stable order by $x return $x"),
+            "a b c");
+}
+
+TEST(InterpFLWOR, OrderByMultipleKeys) {
+  EXPECT_EQ(InterpToString("for $x in (12, 21, 11, 22) "
+                           "order by $x mod 10, $x idiv 10 return $x"),
+            "11 21 12 22");
+}
+
+TEST(InterpFLWOR, NestedFLWOR) {
+  EXPECT_EQ(InterpToString("for $x in (1,2) return (for $y in (1 to $x) "
+                           "return 10 * $x + $y)"),
+            "11 21 22");
+}
+
+TEST(InterpFLWOR, TheGroupByPaperExample) {
+  // The exact query from Section 5 / Figure 4 of the paper.
+  EXPECT_EQ(InterpToString(
+                "for $x in (1,1,3) "
+                "let $a := avg(for $y in (1,2) where $x <= $y return $y * 10) "
+                "return ($x, $a)"),
+            "1 15 1 15 3");
+}
+
+// ---- quantifiers ----------------------------------------------------------
+
+TEST(InterpQuant, SomeAndEvery) {
+  EXPECT_EQ(InterpToString("some $x in (1,2,3) satisfies $x > 2"), "true");
+  EXPECT_EQ(InterpToString("every $x in (1,2,3) satisfies $x > 2"), "false");
+  EXPECT_EQ(InterpToString("some $x in () satisfies $x > 2"), "false");
+  EXPECT_EQ(InterpToString("every $x in () satisfies $x > 2"), "true");
+  EXPECT_EQ(InterpToString(
+                "some $x in (1,2), $y in (2,3) satisfies $x = $y"), "true");
+}
+
+// ---- paths -------------------------------------------------------------------
+
+class InterpPathTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ctx_.RegisterDocument("auction.xml", MustParseXml(R"(
+      <site>
+        <people>
+          <person id="person0"><name>Ann</name><age>31</age></person>
+          <person id="person1"><name>Bob</name><age>25</age></person>
+          <person id="person2"><name>Cyd</name><age>31</age></person>
+        </people>
+        <closed_auctions>
+          <closed_auction><buyer person="person0"/><price>10</price></closed_auction>
+          <closed_auction><buyer person="person0"/><price>20</price></closed_auction>
+          <closed_auction><buyer person="person2"/><price>30</price></closed_auction>
+        </closed_auctions>
+      </site>)"));
+  }
+  std::string Run(const std::string& q) {
+    return InterpToString("let $doc := doc(\"auction.xml\") return " + q, &ctx_);
+  }
+  DynamicContext ctx_;
+};
+
+TEST_F(InterpPathTest, ChildSteps) {
+  EXPECT_EQ(Run("count($doc/site/people/person)"), "3");
+  EXPECT_EQ(Run("$doc/site/people/person[1]/name/text()"), "Ann");
+}
+
+TEST_F(InterpPathTest, DescendantSteps) {
+  EXPECT_EQ(Run("count($doc//person)"), "3");
+  EXPECT_EQ(Run("count($doc//text())"), "9");
+}
+
+TEST_F(InterpPathTest, AttributeSteps) {
+  EXPECT_EQ(Run("string($doc//person[2]/@id)"), "person1");
+  EXPECT_EQ(Run("count($doc//@person)"), "3");
+}
+
+TEST_F(InterpPathTest, PositionalPredicates) {
+  EXPECT_EQ(Run("$doc//person[position() = 2]/name/text()"), "Bob");
+  EXPECT_EQ(Run("$doc//person[last()]/name/text()"), "Cyd");
+  EXPECT_EQ(Run("$doc//person[3]/name/text()"), "Cyd");
+}
+
+TEST_F(InterpPathTest, ValuePredicates) {
+  EXPECT_EQ(Run("$doc//person[age = 31][2]/name/text()"), "Cyd");
+  EXPECT_EQ(Run("count($doc//closed_auction[price > 15])"), "2");
+  EXPECT_EQ(Run("$doc//person[@id = \"person1\"]/name/text()"), "Bob");
+}
+
+TEST_F(InterpPathTest, PathJoinsViaPredicate) {
+  EXPECT_EQ(Run("count($doc//closed_auction[buyer/@person = "
+                "$doc//person[age = 31]/@id])"),
+            "3");
+}
+
+TEST_F(InterpPathTest, ParentStep) {
+  EXPECT_EQ(Run("name($doc//name[text() = \"Bob\"]/../@id/..)"), "person");
+  EXPECT_EQ(Run("string($doc//age[. = 25]/../@id)"), "person1");
+}
+
+TEST_F(InterpPathTest, PathResultIsDocOrderedAndDeduped) {
+  // Both person[1] and person[2] descendants overlap via //; dedup needed.
+  EXPECT_EQ(Run("count(($doc//person, $doc//person)/name)"), "3");
+}
+
+TEST_F(InterpPathTest, StarAndNodeTests) {
+  EXPECT_EQ(Run("count($doc/site/*)"), "2");
+  EXPECT_EQ(Run("count($doc/site/people/person/node())"), "6");
+}
+
+// ---- constructors -----------------------------------------------------------
+
+TEST(InterpConstruct, DirectElement) {
+  EXPECT_EQ(InterpToString("<a x=\"1\"><b>hi</b></a>"),
+            "<a x=\"1\"><b>hi</b></a>");
+}
+
+TEST(InterpConstruct, EnclosedExpressions) {
+  EXPECT_EQ(InterpToString("<a>{1 + 1}</a>"), "<a>2</a>");
+  EXPECT_EQ(InterpToString("<a>{1, 2}</a>"), "<a>1 2</a>");
+  EXPECT_EQ(InterpToString("<a b=\"{1+1}\"/>"), "<a b=\"2\"/>");
+  EXPECT_EQ(InterpToString("<a b=\"n{1+1}x\"/>"), "<a b=\"n2x\"/>");
+}
+
+TEST(InterpConstruct, NestedAndIterated) {
+  EXPECT_EQ(InterpToString("<r>{for $i in 1 to 3 return <x>{$i}</x>}</r>"),
+            "<r><x>1</x><x>2</x><x>3</x></r>");
+}
+
+TEST(InterpConstruct, ComputedConstructors) {
+  EXPECT_EQ(InterpToString("element foo { 1 + 2 }"), "<foo>3</foo>");
+  EXPECT_EQ(InterpToString("element {concat(\"f\",\"oo\")} { () }"), "<foo/>");
+  EXPECT_EQ(InterpToString("<a>{attribute x { \"v\" }, \"t\"}</a>"),
+            "<a x=\"v\">t</a>");
+  EXPECT_EQ(InterpToString("text { \"plain\" }"), "plain");
+  EXPECT_EQ(InterpToString("comment { \"c\" }"), "<!--c-->");
+}
+
+TEST(InterpConstruct, ConstructedNodesAreNavigable) {
+  // Compositionality (the paper's critique of the Ξ operator): constructed
+  // elements are real nodes that later operators can navigate.
+  EXPECT_EQ(InterpToString(
+                "let $e := <a><b>1</b><b>2</b></a> return count($e/b)"),
+            "2");
+  EXPECT_EQ(InterpToString("string((<a x=\"7\"/>)/@x)"), "7");
+}
+
+TEST(InterpConstruct, AttributeAfterContentIsError) {
+  EXPECT_EQ(InterpToString("<a>{\"t\", attribute x { 1 }}</a>"),
+            "ERROR:XQTY0024");
+}
+
+TEST(InterpConstruct, EscapedBraces) {
+  EXPECT_EQ(InterpToString("<a>{{literal}}</a>"), "<a>{literal}</a>");
+}
+
+// ---- functions ----------------------------------------------------------------
+
+TEST(InterpFunctions, UserDeclared) {
+  EXPECT_EQ(InterpToString(
+                "declare function local:sq($x as xs:integer) as xs:integer "
+                "{ $x * $x }; local:sq(7)"),
+            "49");
+}
+
+TEST(InterpFunctions, Recursion) {
+  EXPECT_EQ(InterpToString(
+                "declare function local:fact($n) { if ($n le 1) then 1 else "
+                "$n * local:fact($n - 1) }; local:fact(10)"),
+            "3628800");
+}
+
+TEST(InterpFunctions, MutualRecursion) {
+  EXPECT_EQ(InterpToString(
+                "declare function local:odd($n) { if ($n = 0) then false() "
+                "else local:even($n - 1) }; "
+                "declare function local:even($n) { if ($n = 0) then true() "
+                "else local:odd($n - 1) }; "
+                "local:even(10)"),
+            "true");
+}
+
+TEST(InterpFunctions, PrologVariables) {
+  EXPECT_EQ(InterpToString("declare variable $n := 4; $n + 1"), "5");
+  EXPECT_EQ(InterpToString(
+                "declare variable $n := 4; "
+                "declare function local:f() { $n * 2 }; local:f()"),
+            "8");
+}
+
+TEST(InterpFunctions, ArgumentTypeViolation) {
+  EXPECT_EQ(InterpToString(
+                "declare function local:f($x as xs:integer) { $x }; "
+                "local:f(\"s\")"),
+            "ERROR:XPTY0004");
+}
+
+TEST(InterpFunctions, Builtins) {
+  EXPECT_EQ(InterpToString("sum((1,2,3))"), "6");
+  EXPECT_EQ(InterpToString("avg((1,2,3,4))"), "2.5");
+  EXPECT_EQ(InterpToString("min((3,1,2))"), "1");
+  EXPECT_EQ(InterpToString("max((3,1,2))"), "3");
+  EXPECT_EQ(InterpToString("sum(())"), "0");
+  EXPECT_EQ(InterpToString("avg(())"), "");
+  EXPECT_EQ(InterpToString("string-length(\"hello\")"), "5");
+  EXPECT_EQ(InterpToString("concat(\"a\",\"b\",\"c\")"), "abc");
+  EXPECT_EQ(InterpToString("contains(\"hello\",\"ell\")"), "true");
+  EXPECT_EQ(InterpToString("starts-with(\"hello\",\"he\")"), "true");
+  EXPECT_EQ(InterpToString("substring(\"hello\", 2, 3)"), "ell");
+  EXPECT_EQ(InterpToString("distinct-values((1, 2, 1, 2.0, \"a\", \"a\"))"),
+            "1 2 a");
+  EXPECT_EQ(InterpToString("reverse((1,2,3))"), "3 2 1");
+  EXPECT_EQ(InterpToString("subsequence((1,2,3,4), 2, 2)"), "2 3");
+  EXPECT_EQ(InterpToString("string-join((\"a\",\"b\"), \"-\")"), "a-b");
+  EXPECT_EQ(InterpToString("empty(())"), "true");
+  EXPECT_EQ(InterpToString("exists(())"), "false");
+  EXPECT_EQ(InterpToString("number(\"2.5\")"), "2.5");
+  EXPECT_EQ(InterpToString("number(\"zzz\")"), "NaN");
+  EXPECT_EQ(InterpToString("abs(-4)"), "4");
+  EXPECT_EQ(InterpToString("floor(2.7)"), "2");
+  EXPECT_EQ(InterpToString("ceiling(2.1)"), "3");
+  EXPECT_EQ(InterpToString("round(2.5)"), "3");
+  EXPECT_EQ(InterpToString("index-of((10,20,10), 10)"), "1 3");
+  EXPECT_EQ(InterpToString("deep-equal(<a><b>1</b></a>, <a><b>1</b></a>)"),
+            "true");
+  EXPECT_EQ(InterpToString("deep-equal(<a><b>1</b></a>, <a><b>2</b></a>)"),
+            "false");
+}
+
+TEST(InterpFunctions, UnknownFunctionError) {
+  EXPECT_EQ(InterpToString("no-such-fn(1)"), "ERROR:XPST0017");
+  EXPECT_EQ(InterpToString("count(1, 2)"), "ERROR:XPST0017");
+}
+
+// ---- type expressions -----------------------------------------------------
+
+TEST(InterpTypes, InstanceOf) {
+  EXPECT_EQ(InterpToString("1 instance of xs:integer"), "true");
+  EXPECT_EQ(InterpToString("1 instance of xs:string"), "false");
+  EXPECT_EQ(InterpToString("1 instance of xs:decimal"), "true");  // derived
+  EXPECT_EQ(InterpToString("(1,2) instance of xs:integer*"), "true");
+  EXPECT_EQ(InterpToString("() instance of xs:integer?"), "true");
+  EXPECT_EQ(InterpToString("() instance of xs:integer+"), "false");
+  EXPECT_EQ(InterpToString("<a/> instance of element(a)"), "true");
+  EXPECT_EQ(InterpToString("<a/> instance of element(b)"), "false");
+  EXPECT_EQ(InterpToString("<a/> instance of node()"), "true");
+  EXPECT_EQ(InterpToString("() instance of empty-sequence()"), "true");
+}
+
+TEST(InterpTypes, CastAndCastable) {
+  EXPECT_EQ(InterpToString("\"42\" cast as xs:integer"), "42");
+  EXPECT_EQ(InterpToString("3.7 cast as xs:integer"), "3");
+  EXPECT_EQ(InterpToString("\"x\" castable as xs:integer"), "false");
+  EXPECT_EQ(InterpToString("\"7\" castable as xs:integer"), "true");
+  EXPECT_EQ(InterpToString("\"x\" cast as xs:integer"), "ERROR:FORG0001");
+  EXPECT_EQ(InterpToString("() cast as xs:integer?"), "");
+  EXPECT_EQ(InterpToString("() cast as xs:integer"), "ERROR:XPTY0004");
+}
+
+TEST(InterpTypes, TreatAs) {
+  EXPECT_EQ(InterpToString("(1,2) treat as xs:integer*"), "1 2");
+  EXPECT_EQ(InterpToString("\"s\" treat as xs:integer"), "ERROR:XPTY0004");
+}
+
+TEST(InterpTypes, Typeswitch) {
+  const char* q =
+      "typeswitch (%s) "
+      "case $i as xs:integer return concat(\"int:\", $i) "
+      "case $s as xs:string return concat(\"str:\", $s) "
+      "default $d return \"other\"";
+  char buf[512];
+  snprintf(buf, sizeof(buf), q, "42");
+  EXPECT_EQ(InterpToString(buf), "int:42");
+  snprintf(buf, sizeof(buf), q, "\"hi\"");
+  EXPECT_EQ(InterpToString(buf), "str:hi");
+  snprintf(buf, sizeof(buf), q, "3.5");
+  EXPECT_EQ(InterpToString(buf), "other");
+}
+
+TEST(InterpTypes, ForClauseTypeAssertion) {
+  EXPECT_EQ(InterpToString("for $x as xs:integer in (1,2) return $x"), "1 2");
+  EXPECT_EQ(InterpToString("for $x as xs:string in (1,2) return $x"),
+            "ERROR:XPTY0004");
+}
+
+// ---- node set operators -----------------------------------------------------
+
+TEST(InterpNodeOps, UnionIntersectExcept) {
+  DynamicContext ctx;
+  ctx.RegisterDocument("d.xml",
+                       MustParseXml("<r><a/><b/><c/></r>"));
+  auto run = [&](const std::string& q) {
+    return InterpToString("let $r := doc(\"d.xml\")/r return " + q, &ctx);
+  };
+  EXPECT_EQ(run("count($r/a union $r/b)"), "2");
+  EXPECT_EQ(run("count(($r/a, $r/b) intersect $r/a)"), "1");
+  EXPECT_EQ(run("count(($r/a, $r/b) except $r/a)"), "1");
+  EXPECT_EQ(run("count($r/* union $r/a)"), "3");
+}
+
+TEST(InterpNodeOps, NodeIdentity) {
+  DynamicContext ctx;
+  ctx.RegisterDocument("d.xml", MustParseXml("<r><a/><a/></r>"));
+  auto run = [&](const std::string& q) {
+    return InterpToString("let $r := doc(\"d.xml\")/r return " + q, &ctx);
+  };
+  EXPECT_EQ(run("$r/a[1] is $r/a[1]"), "true");
+  EXPECT_EQ(run("$r/a[1] is $r/a[2]"), "false");
+  EXPECT_EQ(run("$r/a[1] << $r/a[2]"), "true");
+  EXPECT_EQ(run("$r/a[2] >> $r/a[1]"), "true");
+  // Constructed nodes are new identities.
+  EXPECT_EQ(InterpToString("let $a := <a/> return $a is $a"), "true");
+  EXPECT_EQ(InterpToString("<a/> is <a/>"), "false");
+}
+
+}  // namespace
+}  // namespace xqc

@@ -1,0 +1,293 @@
+// Tests for the XQuery lexer and parser: token-level behaviour, operator
+// precedence, contextual keywords, direct constructors, prologs, sequence
+// types, and error reporting.
+#include <gtest/gtest.h>
+
+#include "src/xquery/lexer.h"
+#include "src/xquery/parser.h"
+#include "test_util.h"
+
+namespace xqc {
+namespace {
+
+// ---- lexer ------------------------------------------------------------------
+
+std::vector<Token> LexAll(const std::string& text) {
+  Lexer lex(text);
+  std::vector<Token> out;
+  while (true) {
+    Result<Token> t = lex.Next();
+    EXPECT_TRUE(t.ok()) << t.status().ToString();
+    if (!t.ok() || t.value().kind == TokKind::kEOF) break;
+    out.push_back(t.take());
+  }
+  return out;
+}
+
+TEST(LexerTest, NumbersAndNames) {
+  auto toks = LexAll("42 4.5 1e3 .5 foo fn:count");
+  ASSERT_EQ(toks.size(), 6u);
+  EXPECT_EQ(toks[0].kind, TokKind::kInteger);
+  EXPECT_EQ(toks[0].number.AsInt(), 42);
+  EXPECT_EQ(toks[1].kind, TokKind::kDecimal);
+  EXPECT_EQ(toks[2].kind, TokKind::kDouble);
+  EXPECT_EQ(toks[3].kind, TokKind::kDecimal);
+  EXPECT_EQ(toks[3].number.AsDouble(), 0.5);
+  EXPECT_EQ(toks[4].kind, TokKind::kName);
+  EXPECT_EQ(toks[5].text, "fn:count");
+}
+
+TEST(LexerTest, StringsWithEscapes) {
+  auto toks = LexAll("\"he said \"\"hi\"\"\" 'don''t' \"&lt;&amp;\"");
+  ASSERT_EQ(toks.size(), 3u);
+  EXPECT_EQ(toks[0].text, "he said \"hi\"");
+  EXPECT_EQ(toks[1].text, "don't");
+  EXPECT_EQ(toks[2].text, "<&");
+}
+
+TEST(LexerTest, MultiCharOperators) {
+  auto toks = LexAll(":= :: // .. << >> <= >= != |");
+  std::vector<TokKind> kinds;
+  for (const Token& t : toks) kinds.push_back(t.kind);
+  EXPECT_EQ(kinds, (std::vector<TokKind>{
+                       TokKind::kAssign, TokKind::kColonColon,
+                       TokKind::kSlashSlash, TokKind::kDotDot, TokKind::kLtLt,
+                       TokKind::kGtGt, TokKind::kLe, TokKind::kGe,
+                       TokKind::kNe, TokKind::kBar}));
+}
+
+TEST(LexerTest, NestedComments) {
+  auto toks = LexAll("1 (: outer (: inner :) still :) 2");
+  ASSERT_EQ(toks.size(), 2u);
+  EXPECT_EQ(toks[1].number.AsInt(), 2);
+}
+
+TEST(LexerTest, Errors) {
+  Lexer unterminated("\"abc");
+  EXPECT_FALSE(unterminated.Next().ok());
+  Lexer comment("(: never closed");
+  EXPECT_FALSE(comment.Next().ok());
+  Lexer bad("#");
+  EXPECT_FALSE(bad.Next().ok());
+}
+
+// ---- parser: precedence -------------------------------------------------------
+
+std::string ParsePrint(const std::string& text) {
+  Result<ExprPtr> e = ParseXQueryExpr(text);
+  EXPECT_TRUE(e.ok()) << e.status().ToString() << " for: " << text;
+  if (!e.ok()) return "";
+  return ExprToString(*e.value());
+}
+
+TEST(ParserPrecedence, ArithmeticBindsTighterThanComparison) {
+  EXPECT_EQ(ParsePrint("1 + 2 * 3"), "(1 plus (2 times 3))");
+  EXPECT_EQ(ParsePrint("1 + 2 = 3"), "((1 plus 2) =[eq] 3)");
+  EXPECT_EQ(ParsePrint("1 < 2 and 3 > 2"), "((1 =[lt] 2) and (3 =[gt] 2))");
+  EXPECT_EQ(ParsePrint("1 = 1 or 2 = 2 and 3 = 3"),
+            "((1 =[eq] 1) or ((2 =[eq] 2) and (3 =[eq] 3)))");
+}
+
+TEST(ParserPrecedence, RangeAndUnary) {
+  EXPECT_EQ(ParsePrint("1 to 2 + 3"), "1 to (2 plus 3)");
+  EXPECT_EQ(ParsePrint("-1 + 2"), "(-(1) plus 2)");
+  EXPECT_EQ(ParsePrint("2 + -3"), "(2 plus -(3))");
+}
+
+TEST(ParserPrecedence, StarIsMultiplicationAfterOperand) {
+  EXPECT_EQ(ParsePrint("2 * 3"), "(2 times 3)");
+  // ...and a wildcard in step position.
+  EXPECT_EQ(ParsePrint("$x/*"), "$x/child::element()");
+}
+
+TEST(ParserPrecedence, TypeExpressionsChain) {
+  EXPECT_EQ(ParsePrint("1 instance of xs:integer"),
+            "1 instance of xs:integer");
+  EXPECT_EQ(ParsePrint("\"1\" cast as xs:integer + 1"),
+            "(\"1\" cast as xs:integer plus 1)");
+}
+
+// ---- parser: contextual keywords ----------------------------------------------
+
+TEST(ParserKeywords, KeywordsAreValidElementNames) {
+  // 'for', 'if', 'element' etc. in step position are name tests.
+  EXPECT_EQ(ParsePrint("$x/for"), "$x/child::element(for)");
+  EXPECT_EQ(ParsePrint("$x/return"), "$x/child::element(return)");
+  EXPECT_EQ(ParsePrint("$x/if"), "$x/child::element(if)");
+}
+
+TEST(ParserKeywords, IfWithoutParenIsAName) {
+  // `if` only starts a conditional when followed by '('.
+  Result<ExprPtr> e = ParseXQueryExpr("if (1) then 2 else 3");
+  ASSERT_OK(e);
+  EXPECT_EQ(e.value()->kind, ExprKind::kIf);
+}
+
+// ---- parser: paths -------------------------------------------------------------
+
+TEST(ParserPaths, AxesAndAbbreviations) {
+  EXPECT_EQ(ParsePrint("$x/child::a"), "$x/child::element(a)");
+  EXPECT_EQ(ParsePrint("$x/@id"), "$x/attribute::attribute(id)");
+  EXPECT_EQ(ParsePrint("$x/.."), "$x/parent::node()");
+  EXPECT_EQ(ParsePrint("$x/descendant-or-self::node()"),
+            "$x/descendant-or-self::node()");
+  EXPECT_EQ(ParsePrint("$x//a"),
+            "$x/descendant-or-self::node()/child::element(a)");
+  EXPECT_EQ(ParsePrint("$x/ancestor::b"), "$x/ancestor::element(b)");
+  EXPECT_EQ(ParsePrint("$x/following-sibling::*"),
+            "$x/following-sibling::element()");
+}
+
+TEST(ParserPaths, KindTests) {
+  EXPECT_EQ(ParsePrint("$x/text()"), "$x/child::text()");
+  EXPECT_EQ(ParsePrint("$x/node()"), "$x/child::node()");
+  EXPECT_EQ(ParsePrint("$x/comment()"), "$x/child::comment()");
+  EXPECT_EQ(ParsePrint("$x/element(*,Auction)"),
+            "$x/child::element(*,Auction)");
+  EXPECT_EQ(ParsePrint("$x/element(person)"), "$x/child::element(person)");
+}
+
+TEST(ParserPaths, PredicatesAttachToSteps) {
+  Result<ExprPtr> e = ParseXQueryExpr("$x/a[1][@k = 2]");
+  ASSERT_OK(e);
+  const Expr& path = *e.value();
+  ASSERT_EQ(path.kind, ExprKind::kPath);
+  const Expr& step = *path.children[1];
+  ASSERT_EQ(step.kind, ExprKind::kAxisStep);
+  EXPECT_EQ(step.children.size(), 2u);  // two predicates on the step
+}
+
+TEST(ParserPaths, FilterOnPrimary) {
+  Result<ExprPtr> e = ParseXQueryExpr("(1,2,3)[2]");
+  ASSERT_OK(e);
+  EXPECT_EQ(e.value()->kind, ExprKind::kFilter);
+}
+
+TEST(ParserPaths, LeadingSlash) {
+  EXPECT_EQ(ParsePrint("/a"), "fn:root(.)/child::element(a)");
+  EXPECT_EQ(ParsePrint("//a"),
+            "fn:root(.)/descendant-or-self::node()/child::element(a)");
+}
+
+// ---- parser: constructors -------------------------------------------------------
+
+TEST(ParserConstructors, DirectNested) {
+  EXPECT_EQ(ParsePrint("<a x=\"1\"><b/>{2}</a>"),
+            "element a {attribute x {\"1\"}, element b {}, 2}");
+}
+
+TEST(ParserConstructors, BoundaryWhitespaceStripped) {
+  EXPECT_EQ(ParsePrint("<a>\n  <b/>\n</a>"), "element a {element b {}}");
+  // Non-whitespace text is kept.
+  EXPECT_EQ(ParsePrint("<a> x <b/></a>"),
+            "element a {text {\" x \"}, element b {}}");
+}
+
+TEST(ParserConstructors, EntityAndCharRefs) {
+  EXPECT_EQ(ParsePrint("<a>&lt;&amp;&gt;</a>"),
+            "element a {text {\"<&>\"}}");
+}
+
+TEST(ParserConstructors, OperatorAmbiguityWithLess) {
+  // '<' in operand position is a comparison; in expression-start position
+  // it opens a constructor.
+  EXPECT_EQ(ParsePrint("1 < 2"), "(1 =[lt] 2)");
+  Result<ExprPtr> e = ParseXQueryExpr("<a/>");
+  ASSERT_OK(e);
+  EXPECT_EQ(e.value()->kind, ExprKind::kCompElement);
+}
+
+TEST(ParserConstructors, CommentAndCdataInContent) {
+  EXPECT_EQ(ParsePrint("<a><!--c--><![CDATA[<raw>]]></a>"),
+            "element a {comment {\"c\"}, text {\"<raw>\"}}");
+}
+
+// ---- parser: FLWOR odds and ends -------------------------------------------------
+
+TEST(ParserFLWOR, MultipleClauses) {
+  Result<ExprPtr> e = ParseXQueryExpr(
+      "for $a in 1 to 3, $b at $i in (4,5) let $c := $a + $b "
+      "where $c > 5 order by $c descending empty least return $c");
+  ASSERT_OK(e);
+  const Expr& f = *e.value();
+  ASSERT_EQ(f.kind, ExprKind::kFLWOR);
+  ASSERT_EQ(f.clauses.size(), 5u);
+  EXPECT_EQ(f.clauses[0].kind, Clause::Kind::kFor);
+  EXPECT_EQ(f.clauses[1].pos_var.str(), "i");
+  EXPECT_EQ(f.clauses[2].kind, Clause::Kind::kLet);
+  EXPECT_EQ(f.clauses[3].kind, Clause::Kind::kWhere);
+  ASSERT_EQ(f.clauses[4].specs.size(), 1u);
+  EXPECT_TRUE(f.clauses[4].specs[0].descending);
+  EXPECT_FALSE(f.clauses[4].specs[0].empty_greatest);
+}
+
+TEST(ParserFLWOR, InterleavedForAndLet) {
+  Result<ExprPtr> e = ParseXQueryExpr(
+      "for $a in (1) let $b := 2 for $c in (3) return $a");
+  ASSERT_OK(e);
+  ASSERT_EQ(e.value()->clauses.size(), 3u);
+  EXPECT_EQ(e.value()->clauses[2].kind, Clause::Kind::kFor);
+}
+
+// ---- parser: prolog ---------------------------------------------------------------
+
+TEST(ParserProlog, FunctionsVariablesAndIgnorables) {
+  Result<Query> q = ParseXQuery(
+      "declare namespace foo = \"http://example.org\"; "
+      "declare boundary-space strip; "
+      "import schema \"x\"; "
+      "declare variable $v as xs:integer := 5; "
+      "declare variable $ext external; "
+      "declare function local:f($x as xs:integer*, $y) as xs:integer "
+      "{ count($x) + $y }; "
+      "local:f((1,2), $v)");
+  ASSERT_OK(q);
+  ASSERT_EQ(q.value().variables.size(), 2u);
+  EXPECT_NE(q.value().variables[0].expr, nullptr);
+  EXPECT_EQ(q.value().variables[1].expr, nullptr);  // external
+  ASSERT_EQ(q.value().functions.size(), 1u);
+  const FunctionDecl& f = q.value().functions[0];
+  EXPECT_EQ(f.name.str(), "local:f");
+  ASSERT_EQ(f.params.size(), 2u);
+  ASSERT_TRUE(f.params[0].second.has_value());
+  EXPECT_EQ(f.params[0].second->ToString(), "xs:integer*");
+  EXPECT_FALSE(f.params[1].second.has_value());
+  ASSERT_TRUE(f.return_type.has_value());
+}
+
+// ---- sequence types -----------------------------------------------------------------
+
+TEST(ParserSequenceTypes, AllForms) {
+  EXPECT_EQ(ParseSequenceTypeString("xs:integer").value().ToString(),
+            "xs:integer");
+  EXPECT_EQ(ParseSequenceTypeString("xs:string?").value().ToString(),
+            "xs:string?");
+  EXPECT_EQ(ParseSequenceTypeString("item()*").value().ToString(), "item()*");
+  EXPECT_EQ(ParseSequenceTypeString("node()+").value().ToString(), "node()+");
+  EXPECT_EQ(ParseSequenceTypeString("element(*,Auction)*").value().ToString(),
+            "element(*,Auction)*");
+  EXPECT_EQ(ParseSequenceTypeString("attribute(id)").value().ToString(),
+            "attribute(id)");
+  EXPECT_EQ(ParseSequenceTypeString("empty-sequence()").value().ToString(),
+            "empty-sequence()");
+  EXPECT_FALSE(ParseSequenceTypeString("wibble").ok());
+}
+
+// ---- error reporting ------------------------------------------------------------------
+
+TEST(ParserErrors, ReportLineAndAreStatusNotCrash) {
+  for (const char* bad :
+       {"for $x in", "1 +", "<a>", "<a></b>", "if (1) then 2",
+        "some $x satisfies 1", "typeswitch (1) case xs:integer return 2",
+        "declare function f() { 1 }", "$", "let $x 5 return $x",
+        "for x in (1) return x", "((((", "1 )", "element {1", "validate {"}) {
+    Result<Query> q = ParseXQuery(bad);
+    EXPECT_FALSE(q.ok()) << "should fail: " << bad;
+    if (!q.ok()) {
+      EXPECT_EQ(q.status().code(), "XPST0003") << bad;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace xqc

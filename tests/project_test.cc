@@ -1,0 +1,132 @@
+// Tests for TreeProject (Table 1's projection operator): path parsing,
+// pruning semantics, and end-to-end equivalence — queries over a projected
+// document must return the same result as over the full document when the
+// projection covers the query's paths.
+#include <gtest/gtest.h>
+
+#include "src/engine/engine.h"
+#include "src/xml/project.h"
+#include "src/xml/serializer.h"
+#include "src/xmark/xmark.h"
+#include "test_util.h"
+
+namespace xqc {
+namespace {
+
+using testutil::MustParseXml;
+
+TEST(ProjectionPathTest, Parsing) {
+  Result<ProjectionPath> p = ParseProjectionPath("site/people/person/@id");
+  ASSERT_OK(p);
+  ASSERT_EQ(p.value().steps.size(), 4u);
+  EXPECT_FALSE(p.value().steps[0].descendant);
+  EXPECT_TRUE(p.value().steps[3].attribute);
+  EXPECT_EQ(p.value().steps[3].name.str(), "id");
+
+  Result<ProjectionPath> d = ParseProjectionPath("//closed_auction/price");
+  ASSERT_OK(d);
+  EXPECT_TRUE(d.value().steps[0].descendant);
+
+  Result<ProjectionPath> star = ParseProjectionPath("site/*/person");
+  ASSERT_OK(star);
+  EXPECT_TRUE(star.value().steps[1].name.empty());
+
+  EXPECT_FALSE(ParseProjectionPath("").ok());
+  EXPECT_FALSE(ParseProjectionPath("a/@id/b").ok());
+  EXPECT_FALSE(ParseProjectionPath("a/").ok());
+}
+
+TEST(ProjectTest, KeepsOnlyMatchingSubtrees) {
+  NodePtr doc = MustParseXml(
+      "<site><people><person id=\"p0\"><name>A</name><age>3</age></person>"
+      "</people><junk><big>stuff</big></junk></site>");
+  Result<NodePtr> proj = ProjectTree(doc, {"site/people/person/name"});
+  ASSERT_OK(proj);
+  EXPECT_EQ(SerializeNode(*proj.value()),
+            "<site><people><person><name>A</name></person></people></site>");
+}
+
+TEST(ProjectTest, AttributeSteps) {
+  NodePtr doc = MustParseXml(
+      "<site><person id=\"p0\" x=\"y\"><name>A</name></person></site>");
+  Result<NodePtr> proj = ProjectTree(doc, {"site/person/@id"});
+  ASSERT_OK(proj);
+  EXPECT_EQ(SerializeNode(*proj.value()),
+            "<site><person id=\"p0\"/></site>");
+}
+
+TEST(ProjectTest, DescendantSteps) {
+  NodePtr doc = MustParseXml(
+      "<a><b><c><price>1</price></c></b><d><price>2</price></d>"
+      "<other>x</other></a>");
+  Result<NodePtr> proj = ProjectTree(doc, {"//price"});
+  ASSERT_OK(proj);
+  EXPECT_EQ(SerializeNode(*proj.value()),
+            "<a><b><c><price>1</price></c></b><d><price>2</price></d></a>");
+}
+
+TEST(ProjectTest, UnionOfPaths) {
+  NodePtr doc = MustParseXml(
+      "<s><a><x>1</x></a><b><y>2</y></b><c><z>3</z></c></s>");
+  Result<NodePtr> proj = ProjectTree(doc, {"s/a", "s/c/z"});
+  ASSERT_OK(proj);
+  EXPECT_EQ(SerializeNode(*proj.value()),
+            "<s><a><x>1</x></a><c><z>3</z></c></s>");
+}
+
+TEST(ProjectTest, EmptyResultWhenNothingMatches) {
+  NodePtr doc = MustParseXml("<a><b/></a>");
+  Result<NodePtr> proj = ProjectTree(doc, {"nope/nothing"});
+  ASSERT_OK(proj);
+  EXPECT_EQ(proj.value()->children.size(), 0u);
+}
+
+TEST(ProjectTest, QueryEquivalenceOnProjectedXMark) {
+  // A query whose paths are covered by the projection returns identical
+  // results on the projected document — with a much smaller tree.
+  XMarkOptions opts;
+  opts.target_bytes = 64 * 1024;
+  Result<NodePtr> doc = GenerateXMarkDocument(opts);
+  ASSERT_OK(doc);
+  Result<NodePtr> proj = ProjectTree(
+      doc.value(), {"site/people/person/@id", "site/people/person/name",
+                    "//closed_auction/buyer/@person",
+                    "//closed_auction/price"});
+  ASSERT_OK(proj);
+
+  auto count_nodes = [](const NodePtr& n) {
+    std::function<size_t(const Node&)> rec = [&](const Node& x) {
+      size_t c = 1 + x.attributes.size();
+      for (const NodePtr& k : x.children) c += rec(*k);
+      return c;
+    };
+    return rec(*n);
+  };
+  EXPECT_LT(count_nodes(proj.value()), count_nodes(doc.value()) / 2);
+
+  Engine engine;
+  const std::string query =
+      "declare variable $auction external; "
+      "for $p in $auction/site/people/person "
+      "let $a := for $t in $auction//closed_auction "
+      "          where $t/buyer/@person = $p/@id return $t "
+      "order by count($a) descending, $p/name "
+      "return <r n=\"{$p/name/text()}\" c=\"{count($a)}\" "
+      "s=\"{sum(for $t in $a return number($t/price))}\"/>";
+  std::string full, projected;
+  for (int which = 0; which < 2; which++) {
+    DynamicContext ctx;
+    ctx.BindVariable(Symbol("auction"),
+                     {Item(which == 0 ? doc.value() : proj.value())});
+    Result<PreparedQuery> q = engine.Prepare(query);
+    ASSERT_OK(q);
+    Result<std::string> r = q.value().ExecuteToString(&ctx);
+    ASSERT_OK(r);
+    (which == 0 ? full : projected) = r.value();
+  }
+  EXPECT_EQ(full, projected);
+  EXPECT_FALSE(full.empty());
+}
+
+}  // namespace
+}  // namespace xqc

@@ -1,0 +1,147 @@
+// Tests for static projection-path inference: inferred paths, conservative
+// failure cases, and the key soundness property — every projectable XMark
+// query returns identical results over the projected document.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/engine/engine.h"
+#include "src/opt/projection_infer.h"
+#include "src/xml/project.h"
+#include "src/xmark/xmark.h"
+#include "src/xquery/parser.h"
+#include "test_util.h"
+
+namespace xqc {
+namespace {
+
+ProjectionAnalysis Infer(const std::string& query) {
+  Result<Query> q = ParseXQuery(query);
+  EXPECT_TRUE(q.ok()) << q.status().ToString();
+  return InferProjectionPaths(q.value());
+}
+
+bool HasPath(const ProjectionAnalysis& a, const char* var, const char* path) {
+  auto it = a.paths_by_var.find(Symbol(var));
+  if (it == a.paths_by_var.end()) return false;
+  return std::find(it->second.begin(), it->second.end(), path) !=
+         it->second.end();
+}
+
+TEST(ProjectionInfer, SimplePathQuery) {
+  ProjectionAnalysis a = Infer(
+      "declare variable $d external; count($d/site/people/person)");
+  ASSERT_TRUE(a.projectable);
+  EXPECT_TRUE(HasPath(a, "d", "site/people/person")) << "missing path";
+}
+
+TEST(ProjectionInfer, DescendantAndAttributePaths) {
+  ProjectionAnalysis a = Infer(
+      "declare variable $d external; "
+      "for $p in $d//person return string($p/@id)");
+  ASSERT_TRUE(a.projectable);
+  EXPECT_TRUE(HasPath(a, "d", "//person/@id"));
+}
+
+TEST(ProjectionInfer, ReturnedNodesKeepSubtrees) {
+  ProjectionAnalysis a = Infer(
+      "declare variable $d external; "
+      "for $p in $d/site/person return <x>{$p}</x>");
+  ASSERT_TRUE(a.projectable);
+  // $p is copied into output: its whole subtree is an end.
+  EXPECT_TRUE(HasPath(a, "d", "site/person"));
+}
+
+TEST(ProjectionInfer, JoinQueryCollectsBothSides) {
+  ProjectionAnalysis a = Infer(
+      "declare variable $auction external; "
+      "for $p in $auction//person "
+      "let $t := for $c in $auction//closed_auction "
+      "          where $c/buyer/@person = $p/@id return $c "
+      "return count($t)");
+  ASSERT_TRUE(a.projectable);
+  EXPECT_TRUE(HasPath(a, "auction", "//person/@id"));
+  EXPECT_TRUE(HasPath(a, "auction", "//closed_auction/buyer/@person"));
+  EXPECT_TRUE(HasPath(a, "auction", "//closed_auction"));
+}
+
+TEST(ProjectionInfer, PredicatePathsAreCollected) {
+  ProjectionAnalysis a = Infer(
+      "declare variable $d external; $d//person[age = 31]/name");
+  ASSERT_TRUE(a.projectable);
+  EXPECT_TRUE(HasPath(a, "d", "//person/age"));
+  EXPECT_TRUE(HasPath(a, "d", "//person/name"));
+}
+
+TEST(ProjectionInfer, ParentAxisIsNotProjectable) {
+  EXPECT_FALSE(Infer("declare variable $d external; $d//name/..").projectable);
+  EXPECT_FALSE(Infer("declare variable $d external; "
+                     "$d//person/ancestor::site").projectable);
+}
+
+TEST(ProjectionInfer, RootFunctionIsNotProjectable) {
+  EXPECT_FALSE(Infer("declare variable $d external; "
+                     "root($d//person)").projectable);
+  EXPECT_FALSE(Infer("declare variable $d external; "
+                     "for $p in $d//person return /site").projectable);
+}
+
+TEST(ProjectionInfer, NodesEscapingToUserFunctionsNotProjectable) {
+  EXPECT_FALSE(Infer("declare variable $d external; "
+                     "declare function local:f($n) { $n/.. }; "
+                     "local:f($d//person)").projectable);
+  // ...but functions over atomics are fine.
+  ProjectionAnalysis a = Infer(
+      "declare variable $d external; "
+      "declare function local:dbl($x) { $x * 2 }; "
+      "local:dbl(count($d//person))");
+  EXPECT_TRUE(a.projectable);
+}
+
+TEST(ProjectionInfer, UnnavigatedVariableNeedsNoProjection) {
+  ProjectionAnalysis a = Infer("declare variable $n external; $n + 1");
+  ASSERT_TRUE(a.projectable);
+  // Used directly (atomized whole) -> "whole document" -> no path entry.
+  EXPECT_EQ(a.paths_by_var.count(Symbol("n")), 0u);
+}
+
+// ---- end-to-end soundness over XMark --------------------------------------------
+
+TEST(ProjectionInfer, XMarkQueriesAgreeOnProjectedDocument) {
+  XMarkOptions opts;
+  opts.target_bytes = 48 * 1024;
+  Result<NodePtr> doc = GenerateXMarkDocument(opts);
+  ASSERT_OK(doc);
+  Engine engine;
+  int projectable = 0;
+  for (int qn = 1; qn <= 20; qn++) {
+    Result<Query> parsed = ParseXQuery(XMarkQuery(qn));
+    ASSERT_OK(parsed);
+    ProjectionAnalysis a = InferProjectionPaths(parsed.value());
+    if (!a.projectable) continue;
+    auto it = a.paths_by_var.find(Symbol("auction"));
+    if (it == a.paths_by_var.end()) continue;
+    projectable++;
+
+    Result<NodePtr> projected = ProjectTree(doc.value(), it->second);
+    ASSERT_OK(projected);
+
+    Result<PreparedQuery> q = engine.Prepare(XMarkQuery(qn));
+    ASSERT_OK(q);
+    std::string full, pruned;
+    for (int which = 0; which < 2; which++) {
+      DynamicContext ctx;
+      ctx.BindVariable(Symbol("auction"),
+                       {Item(which == 0 ? doc.value() : projected.value())});
+      Result<std::string> r = q.value().ExecuteToString(&ctx);
+      ASSERT_TRUE(r.ok()) << "Q" << qn << ": " << r.status().ToString();
+      (which == 0 ? full : pruned) = r.value();
+    }
+    EXPECT_EQ(full, pruned) << "Q" << qn << " differs on projected document";
+  }
+  // Most of the suite should be projectable.
+  EXPECT_GE(projectable, 12);
+}
+
+}  // namespace
+}  // namespace xqc

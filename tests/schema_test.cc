@@ -1,0 +1,172 @@
+// Tests for the lightweight schema facility: element/attribute typing
+// rules, derivation, validation annotation, and the interaction with the
+// algebra's type operators (Validate / TypeMatches / TypeAssert /
+// element(*,Type) tests) — the machinery behind the paper's Q8 variant.
+#include <gtest/gtest.h>
+
+#include "src/engine/engine.h"
+#include "src/types/schema.h"
+#include "src/xmark/xmark.h"
+#include "test_util.h"
+
+namespace xqc {
+namespace {
+
+using testutil::MustParseXml;
+
+Schema TestSchema() {
+  Schema s;
+  s.AddElementRule(Symbol("closed_auction"), Symbol("Auction"));
+  s.AddElementRule(Symbol("seller"), Symbol("Seller"));
+  s.AddElementRule(Symbol("seller"), Symbol("USSeller"), Symbol("country"),
+                   "US");
+  s.AddDerivation(Symbol("USSeller"), Symbol("Seller"));
+  s.AddAttributeRule(Symbol("closed_auction"), Symbol("price"),
+                     AtomicType::kDecimal);
+  return s;
+}
+
+TEST(SchemaTest, DerivationIsReflexiveAndTransitive) {
+  Schema s;
+  s.AddDerivation(Symbol("C"), Symbol("B"));
+  s.AddDerivation(Symbol("B"), Symbol("A"));
+  EXPECT_TRUE(s.DerivesFrom(Symbol("A"), Symbol("A")));
+  EXPECT_TRUE(s.DerivesFrom(Symbol("C"), Symbol("B")));
+  EXPECT_TRUE(s.DerivesFrom(Symbol("C"), Symbol("A")));
+  EXPECT_FALSE(s.DerivesFrom(Symbol("A"), Symbol("C")));
+  EXPECT_FALSE(s.DerivesFrom(Symbol("X"), Symbol("A")));
+}
+
+TEST(SchemaTest, DerivationCycleGuard) {
+  Schema s;
+  s.AddDerivation(Symbol("A"), Symbol("B"));
+  s.AddDerivation(Symbol("B"), Symbol("A"));
+  EXPECT_FALSE(s.DerivesFrom(Symbol("A"), Symbol("Z")));  // terminates
+}
+
+TEST(SchemaTest, AttributeRefinedRuleWins) {
+  Schema s = TestSchema();
+  NodePtr us = MustParseXml("<seller country=\"US\"/>")->children[0];
+  NodePtr de = MustParseXml("<seller country=\"DE\"/>")->children[0];
+  NodePtr plain = MustParseXml("<seller/>")->children[0];
+  EXPECT_EQ(s.TypeForElement(*us).str(), "USSeller");
+  EXPECT_EQ(s.TypeForElement(*de).str(), "Seller");
+  EXPECT_EQ(s.TypeForElement(*plain).str(), "Seller");
+}
+
+TEST(SchemaTest, ValidateAnnotatesRecursively) {
+  Schema s = TestSchema();
+  NodePtr doc = MustParseXml(
+      "<closed_auction price=\"9.5\"><seller country=\"US\"/>"
+      "<seller country=\"JP\"/></closed_auction>");
+  Result<NodePtr> v = s.Validate(doc->children[0]);
+  ASSERT_OK(v);
+  const Node& ca = *v.value();
+  EXPECT_EQ(ca.type_annotation.str(), "Auction");
+  EXPECT_EQ(ca.children[0]->type_annotation.str(), "USSeller");
+  EXPECT_EQ(ca.children[1]->type_annotation.str(), "Seller");
+  // Attribute typed as xs:decimal -> typed atomization.
+  EXPECT_EQ(ca.attributes[0]->type_annotation.str(), "xs:decimal");
+  Sequence atoms = Atomize({Item(ca.attributes[0])}).value();
+  EXPECT_EQ(atoms[0].atomic().type(), AtomicType::kDecimal);
+  EXPECT_EQ(atoms[0].atomic().AsDouble(), 9.5);
+}
+
+TEST(SchemaTest, ValidateIsACopy) {
+  Schema s = TestSchema();
+  NodePtr orig = MustParseXml("<closed_auction/>")->children[0];
+  Result<NodePtr> v = s.Validate(orig);
+  ASSERT_OK(v);
+  EXPECT_NE(v.value().get(), orig.get());
+  EXPECT_TRUE(orig->type_annotation.empty());  // source untouched
+}
+
+// ---- through the engine -------------------------------------------------------
+
+class SchemaQueryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    schema_ = TestSchema();
+    ctx_.set_schema(&schema_);
+    ctx_.RegisterDocument("a.xml", MustParseXml(R"(
+      <auctions>
+        <closed_auction price="10"><seller country="US"/></closed_auction>
+        <closed_auction price="20"><seller country="DE"/></closed_auction>
+        <closed_auction price="30"><seller country="US"/></closed_auction>
+      </auctions>)"));
+  }
+  std::string Run(const std::string& q) {
+    return testutil::InterpToString("let $d := doc(\"a.xml\") return " + q,
+                                    &ctx_);
+  }
+  Schema schema_;
+  DynamicContext ctx_;
+};
+
+TEST_F(SchemaQueryTest, ValidateThenTypeTest) {
+  EXPECT_EQ(Run("count(validate { $d//closed_auction })"), "3");
+  EXPECT_EQ(Run("count((validate { $d//closed_auction })/element(*,USSeller))"),
+            "2");
+  EXPECT_EQ(Run("count((validate { $d//closed_auction })/element(*,Seller))"),
+            "3");  // USSeller derives from Seller
+  // Without validation there are no annotations to match.
+  EXPECT_EQ(Run("count($d//closed_auction/element(*,USSeller))"), "0");
+}
+
+TEST_F(SchemaQueryTest, InstanceOfWithSchemaTypes) {
+  EXPECT_EQ(Run("(validate { ($d//closed_auction)[1] }) instance of "
+                "element(*,Auction)"),
+            "true");
+  EXPECT_EQ(Run("(validate { ($d//closed_auction)[1] }) instance of "
+                "element(*,USSeller)"),
+            "false");
+}
+
+TEST_F(SchemaQueryTest, TypeAssertionInLetClause) {
+  // The paper's `let $a as element(*,Auction)* := ...` pattern.
+  EXPECT_EQ(
+      Run("let $a as element(*,Auction)* := validate { $d//closed_auction } "
+          "return count($a)"),
+      "3");
+  EXPECT_EQ(Run("let $a as element(*,USSeller)+ := validate "
+                "{ $d//closed_auction } return count($a)"),
+            "ERROR:XPTY0004");
+}
+
+TEST_F(SchemaQueryTest, ValidateWithoutSchemaIsIdentity) {
+  DynamicContext bare;
+  bare.RegisterDocument("a.xml", MustParseXml("<a><b/></a>"));
+  EXPECT_EQ(testutil::InterpToString(
+                "count(validate { doc(\"a.xml\")//b })", &bare),
+            "1");
+}
+
+TEST(XMarkSchemaTest, MatchesGeneratedData) {
+  Schema s = XMarkSchema();
+  XMarkOptions opts;
+  opts.target_bytes = 32 * 1024;
+  Result<NodePtr> doc = GenerateXMarkDocument(opts);
+  ASSERT_OK(doc);
+  DynamicContext ctx;
+  ctx.set_schema(&s);
+  ctx.BindVariable(Symbol("auction"), {Item(doc.value())});
+  Engine engine;
+  auto run = [&](const std::string& q) {
+    auto pq = engine.Prepare("declare variable $auction external; " + q);
+    EXPECT_TRUE(pq.ok()) << pq.status().ToString();
+    if (!pq.ok()) return std::string();
+    auto r = pq.value().ExecuteToString(&ctx);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return r.ok() ? r.value() : std::string();
+  };
+  // Some but not all sellers are US sellers.
+  std::string total = run("count((validate { $auction//closed_auction })"
+                          "/element(*,Seller))");
+  std::string us = run("count((validate { $auction//closed_auction })"
+                       "/element(*,USSeller))");
+  EXPECT_NE(total, "0");
+  EXPECT_NE(us, total);
+}
+
+}  // namespace
+}  // namespace xqc

@@ -1,0 +1,226 @@
+// Additional cross-configuration semantics tests: filter expressions over
+// atomic sequences, context-item predicates, order-by edge cases, document
+// identity, non-equality join predicates, and sequence-order guarantees —
+// each checked across all five engine configurations.
+#include <gtest/gtest.h>
+
+#include "src/engine/engine.h"
+#include "test_util.h"
+
+namespace xqc {
+namespace {
+
+using testutil::MustParseXml;
+
+void Check(const std::string& query, DynamicContext* ctx,
+           const char* expected) {
+  Engine engine;
+  const EngineOptions kConfigs[] = {
+      {false, false, JoinImpl::kNestedLoop},
+      {true, false, JoinImpl::kNestedLoop},
+      {true, true, JoinImpl::kNestedLoop},
+      {true, true, JoinImpl::kHash},
+      {true, true, JoinImpl::kSort},
+  };
+  for (size_t i = 0; i < std::size(kConfigs); i++) {
+    Result<PreparedQuery> q = engine.Prepare(query, kConfigs[i]);
+    ASSERT_TRUE(q.ok()) << q.status().ToString() << "\n" << query;
+    Result<std::string> r = q.value().ExecuteToString(ctx);
+    ASSERT_TRUE(r.ok()) << "config " << i << ": " << r.status().ToString()
+                        << "\n" << query;
+    EXPECT_EQ(r.value(), expected) << "config " << i << "\n" << query;
+  }
+}
+
+void Check(const std::string& query, const char* expected) {
+  DynamicContext ctx;
+  Check(query, &ctx, expected);
+}
+
+TEST(FilterSemantics, PositionalOnAtomicSequences) {
+  Check("(5,6,7)[2]", "6");
+  Check("(5,6,7)[4]", "");
+  Check("(5,6,7)[last()]", "7");
+  Check("(5,6,7)[position() > 1]", "6 7");
+  Check("(1 to 10)[position() = (2 to 4)]", "2 3 4");
+}
+
+TEST(FilterSemantics, ContextItemPredicates) {
+  Check("(5,6,7)[. > 5]", "6 7");
+  Check("(\"a\",\"\",\"b\")[.]", "a b");  // EBV of strings
+  Check("(1,2,3)[. mod 2 = 1]", "1 3");
+}
+
+TEST(FilterSemantics, ChainedFilters) {
+  Check("(1 to 10)[. > 3][2]", "5");
+  Check("(1 to 10)[2][. > 3]", "");
+}
+
+TEST(OrderBySemantics, EmptyKeys) {
+  DynamicContext ctx;
+  ctx.RegisterDocument("d.xml", MustParseXml(
+      "<r><i><k>2</k></i><i/><i><k>1</k></i></r>"));
+  // Default: empty least.
+  Check("let $r := doc(\"d.xml\")/r "
+        "for $i in $r/i order by zero-or-one($i/k) return count($i/k)",
+        &ctx, "0 1 1");
+  Check("let $r := doc(\"d.xml\")/r "
+        "for $i in $r/i order by zero-or-one($i/k) empty greatest "
+        "return count($i/k)",
+        &ctx, "1 1 0");
+}
+
+TEST(OrderBySemantics, StableOrderPreservesInputOrderOnTies) {
+  Check("for $x in (\"b1\",\"a2\",\"b2\",\"a1\") "
+        "stable order by substring($x, 1, 1) return $x",
+        "a2 a1 b1 b2");
+}
+
+TEST(OrderBySemantics, UntypedKeysSortAsStrings) {
+  DynamicContext ctx;
+  ctx.RegisterDocument("d.xml", MustParseXml(
+      "<r><v>10</v><v>9</v><v>100</v></r>"));
+  // Untyped order keys compare as strings: "10" < "100" < "9".
+  Check("for $v in doc(\"d.xml\")/r/v order by zero-or-one($v/text()) "
+        "return $v/text()",
+        &ctx, "101009");
+  // Casting gives numeric order.
+  Check("for $v in doc(\"d.xml\")/r/v order by number($v) return $v/text()",
+        &ctx, "910100");
+}
+
+TEST(JoinSemantics, NotEqualsPredicate) {
+  // != is existential and not index-supported; must agree everywhere.
+  DynamicContext ctx;
+  ctx.RegisterDocument("d.xml", MustParseXml(
+      "<r><a k=\"1\"/><a k=\"2\"/><b k=\"2\"/></r>"));
+  Check("let $r := doc(\"d.xml\")/r "
+        "return count(for $a in $r/a, $b in $r/b "
+        "where $a/@k != $b/@k return 1)",
+        &ctx, "1");
+}
+
+TEST(JoinSemantics, InequalityJoinAgreesAcrossConfigs) {
+  DynamicContext ctx;
+  ctx.RegisterDocument("d.xml", MustParseXml(
+      "<r><a v=\"1\"/><a v=\"5\"/><a v=\"9\"/>"
+      "<b v=\"3\"/><b v=\"7\"/></r>"));
+  Check("let $r := doc(\"d.xml\")/r "
+        "return for $a in $r/a, $b in $r/b where $a/@v < $b/@v "
+        "return concat($a/@v, \"<\", $b/@v)",
+        &ctx, "1&lt;3 1&lt;7 5&lt;7");
+}
+
+TEST(JoinSemantics, SelfJoinOrderAndIdentity) {
+  DynamicContext ctx;
+  ctx.RegisterDocument("d.xml", MustParseXml(
+      "<r><e k=\"x\"/><e k=\"y\"/><e k=\"x\"/></r>"));
+  Check("let $r := doc(\"d.xml\")/r "
+        "return for $a at $i in $r/e, $b at $j in $r/e "
+        "where $a/@k = $b/@k return concat($i, $j)",
+        &ctx, "11 13 22 31 33");
+}
+
+TEST(DocumentSemantics, DocIsCachedByUri) {
+  DynamicContext ctx;
+  ctx.RegisterDocument("d.xml", MustParseXml("<a><b/></a>"));
+  Check("doc(\"d.xml\")/a/b is doc(\"d.xml\")/a/b", &ctx, "true");
+}
+
+TEST(DocumentSemantics, MultipleDocumentsHaveStableOrder) {
+  DynamicContext ctx;
+  ctx.RegisterDocument("one.xml", MustParseXml("<one><x/></one>"));
+  ctx.RegisterDocument("two.xml", MustParseXml("<two><y/></two>"));
+  // Union across documents is deterministic (global document order).
+  Check("count(doc(\"one.xml\")//x union doc(\"two.xml\")//y)", &ctx, "2");
+  Check("doc(\"one.xml\")//x is doc(\"two.xml\")//y", &ctx, "false");
+}
+
+TEST(SequenceSemantics, ForPreservesOrderThroughJoins) {
+  DynamicContext ctx;
+  ctx.RegisterDocument("d.xml", MustParseXml(
+      "<r><p id=\"3\"/><p id=\"1\"/><p id=\"2\"/>"
+      "<q ref=\"2\"/><q ref=\"3\"/><q ref=\"3\"/></r>"));
+  // Results follow the LEFT (p) document order, not key order.
+  Check("let $r := doc(\"d.xml\")/r "
+        "return for $p in $r/p "
+        "return <c id=\"{$p/@id}\">{count($r/q[@ref = $p/@id])}</c>",
+        &ctx,
+        "<c id=\"3\">2</c><c id=\"1\">0</c><c id=\"2\">1</c>");
+}
+
+TEST(ConstructorSemantics, DocumentNodeConstructor) {
+  Check("count(document { <a/>, <b/> }/*)", "2");
+  Check("document { <a><b/></a> }//b instance of element(b)", "true");
+}
+
+TEST(ConstructorSemantics, NestedTypeswitchInFLWOR) {
+  Check(
+      "for $v in (<a/>, 1, \"s\", <b/>) return "
+      "typeswitch ($v) "
+      "case $e as element(a) return \"elem-a\" "
+      "case $n as xs:integer return $n * 2 "
+      "case $s as xs:string return upper-case($s) "
+      "default $d return \"other\"",
+      "elem-a 2 S other");
+}
+
+TEST(QuantifierSemantics, NestedQuantifiersWithJoins) {
+  DynamicContext ctx;
+  ctx.RegisterDocument("d.xml", MustParseXml(
+      "<r><s><v>1</v><v>2</v></s><s><v>2</v><v>3</v></s></r>"));
+  Check("let $r := doc(\"d.xml\")/r return "
+        "every $s1 in $r/s satisfies some $s2 in $r/s satisfies "
+        "($s1/v = $s2/v and not($s1 is $s2))",
+        &ctx, "true");
+}
+
+TEST(TypePromotion, MixedNumericArithmeticAgrees) {
+  Check("(1 + 0.5) * 2e0", "3");
+  Check("(0.1 + 0.2) < 0.30000001", "true");
+  Check("sum((1, 2.5, 1e1))", "13.5");
+  Check("max((1, 2.5)) instance of xs:decimal", "true");
+}
+
+TEST(SurfaceSyntax, ConstructorFunctions) {
+  // xs:TYPE(value) constructor functions behave as casts.
+  Check("xs:integer(\"5\") + 1", "6");
+  Check("xs:double(1) instance of xs:double", "true");
+  Check("xs:string(42)", "42");
+  Check("xdt:untypedAtomic(\"x\") instance of xdt:untypedAtomic", "true");
+  Check("xs:integer(()) ", "");  // optional occurrence: empty passes
+  DynamicContext ctx;
+  Check("xs:boolean(\"true\")", &ctx, "true");
+}
+
+TEST(SurfaceSyntax, ZeroArityContextFunctions) {
+  Check("(1,2,3)[number() > 1]", "2 3");
+  Check("(\"a\",\"\",\"bc\")[string() != \"\"]", "a bc");
+  DynamicContext ctx;
+  ctx.RegisterDocument("d.xml",
+                       MustParseXml("<r><a>x</a><b>y</b></r>"));
+  Check("doc(\"d.xml\")/r/*[name() = \"b\"]/text()", &ctx, "y");
+  Check("string-join(for $n in doc(\"d.xml\")/r/* return local-name($n), "
+        "\",\")",
+        &ctx, "a,b");
+}
+
+TEST(SurfaceSyntax, BoundarySpaceDeclaration) {
+  // Default (and explicit strip): whitespace-only text dropped.
+  Check("<a> <b/> </a>", "<a><b/></a>");
+  Check("declare boundary-space strip; <a> <b/> </a>", "<a><b/></a>");
+  Check("declare boundary-space preserve; <a> <b/> </a>", "<a> <b/> </a>");
+}
+
+TEST(UntypedData, AttributeComparisonSemantics) {
+  DynamicContext ctx;
+  ctx.RegisterDocument("d.xml", MustParseXml(
+      "<r><e v=\"07\"/><e v=\"7\"/></r>"));
+  // untyped = integer compares numerically: both match.
+  Check("count(doc(\"d.xml\")/r/e[@v = 7])", &ctx, "2");
+  // untyped = string compares textually: one match.
+  Check("count(doc(\"d.xml\")/r/e[@v = \"7\"])", &ctx, "1");
+}
+
+}  // namespace
+}  // namespace xqc

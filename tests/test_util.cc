@@ -1,0 +1,41 @@
+#include "test_util.h"
+
+#include <gtest/gtest.h>
+
+#include "src/interp/interpreter.h"
+#include "src/xml/serializer.h"
+#include "src/xml/xml_parser.h"
+#include "src/xquery/normalize.h"
+#include "src/xquery/parser.h"
+
+namespace xqc {
+namespace testutil {
+
+NodePtr MustParseXml(const std::string& xml) {
+  Result<NodePtr> r = ParseXml(xml);
+  EXPECT_TRUE(r.ok()) << r.status().ToString() << " for: " << xml;
+  return r.ok() ? r.take() : nullptr;
+}
+
+Result<Sequence> Interp(const std::string& query, DynamicContext* ctx) {
+  Result<Query> parsed = ParseXQuery(query);
+  if (!parsed.ok()) return parsed.status();
+  Result<Query> core = NormalizeQuery(parsed.value());
+  if (!core.ok()) return core.status();
+  Interpreter interp(&core.value(), ctx);
+  return interp.Run();
+}
+
+std::string InterpToString(const std::string& query, DynamicContext* ctx) {
+  Result<Sequence> r = Interp(query, ctx);
+  if (!r.ok()) return "ERROR:" + r.status().code();
+  return SerializeSequence(r.value());
+}
+
+std::string InterpToString(const std::string& query) {
+  DynamicContext ctx;
+  return InterpToString(query, &ctx);
+}
+
+}  // namespace testutil
+}  // namespace xqc

@@ -1,0 +1,42 @@
+// Shared helpers for the xqc test suites.
+#ifndef XQC_TESTS_TEST_UTIL_H_
+#define XQC_TESTS_TEST_UTIL_H_
+
+#include <string>
+
+#include "src/base/status.h"
+#include "src/runtime/context.h"
+#include "src/xml/item.h"
+
+#define ASSERT_OK(expr)                                      \
+  do {                                                       \
+    const auto& _st = (expr);                                \
+    ASSERT_TRUE(_st.ok()) << _st.status().ToString();        \
+  } while (0)
+
+#define EXPECT_OK(expr)                                      \
+  do {                                                       \
+    const auto& _st = (expr);                                \
+    EXPECT_TRUE(_st.ok()) << _st.status().ToString();        \
+  } while (0)
+
+namespace xqc {
+namespace testutil {
+
+/// Parses XML, asserting success.
+NodePtr MustParseXml(const std::string& xml);
+
+/// Runs a query through the BASELINE interpreter against a context.
+/// Asserts parse/normalize success; returns the evaluation result.
+Result<Sequence> Interp(const std::string& query, DynamicContext* ctx);
+
+/// Same but serializes the result; errors return "ERROR:<code>".
+std::string InterpToString(const std::string& query, DynamicContext* ctx);
+
+/// Convenience: query with no context.
+std::string InterpToString(const std::string& query);
+
+}  // namespace testutil
+}  // namespace xqc
+
+#endif  // XQC_TESTS_TEST_UTIL_H_

@@ -1,0 +1,271 @@
+// Tests for the type system: atomic values, casting, fs:convert-operand
+// (exhaustively reproducing Table 2 of the paper), op:equal / op:compare
+// with promotion, general comparison, and promoteToSimpleTypes (Figure 6).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/types/compare.h"
+#include "src/xml/atomic.h"
+#include "test_util.h"
+
+namespace xqc {
+namespace {
+
+TEST(AtomicTest, TypeNamesRoundTrip) {
+  for (int i = 0; i < kNumAtomicTypes; i++) {
+    AtomicType t = static_cast<AtomicType>(i);
+    AtomicType back;
+    ASSERT_TRUE(AtomicTypeFromName(AtomicTypeName(t), &back))
+        << AtomicTypeName(t);
+    EXPECT_EQ(back, t);
+  }
+}
+
+TEST(AtomicTest, TypeNameWithoutPrefix) {
+  AtomicType t;
+  ASSERT_TRUE(AtomicTypeFromName("double", &t));
+  EXPECT_EQ(t, AtomicType::kDouble);
+  ASSERT_TRUE(AtomicTypeFromName("xs:integer", &t));
+  EXPECT_EQ(t, AtomicType::kInteger);
+  EXPECT_FALSE(AtomicTypeFromName("Auction", &t));
+}
+
+TEST(AtomicTest, NineteenPrimitivesPlusDerived) {
+  // The paper (Section 6) relies on there being 19 primitive XML Schema
+  // types; we add xs:integer and xdt:untypedAtomic.
+  EXPECT_EQ(kNumAtomicTypes, 21);
+}
+
+TEST(AtomicTest, FromLexicalNumbers) {
+  ASSERT_OK(AtomicValue::FromLexical(AtomicType::kInteger, " 42 "));
+  EXPECT_EQ(AtomicValue::FromLexical(AtomicType::kInteger, "42").value().AsInt(), 42);
+  EXPECT_EQ(AtomicValue::FromLexical(AtomicType::kDouble, "1e3").value().AsDouble(), 1000.0);
+  EXPECT_FALSE(AtomicValue::FromLexical(AtomicType::kInteger, "4.5").ok());
+  EXPECT_FALSE(AtomicValue::FromLexical(AtomicType::kDecimal, "NaN").ok());
+  EXPECT_TRUE(std::isnan(
+      AtomicValue::FromLexical(AtomicType::kDouble, "NaN").value().AsDouble()));
+}
+
+TEST(AtomicTest, FromLexicalBoolean) {
+  EXPECT_TRUE(AtomicValue::FromLexical(AtomicType::kBoolean, "true").value().AsBool());
+  EXPECT_TRUE(AtomicValue::FromLexical(AtomicType::kBoolean, "1").value().AsBool());
+  EXPECT_FALSE(AtomicValue::FromLexical(AtomicType::kBoolean, "false").value().AsBool());
+  EXPECT_FALSE(AtomicValue::FromLexical(AtomicType::kBoolean, "maybe").ok());
+}
+
+TEST(AtomicTest, LexicalForms) {
+  EXPECT_EQ(AtomicValue::Integer(-3).Lexical(), "-3");
+  EXPECT_EQ(AtomicValue::Boolean(true).Lexical(), "true");
+  EXPECT_EQ(AtomicValue::Double(2.5).Lexical(), "2.5");
+  EXPECT_EQ(AtomicValue::String("hi").Lexical(), "hi");
+}
+
+TEST(AtomicTest, FloatRoundsThroughSinglePrecision) {
+  AtomicValue f = AtomicValue::Float(0.1);
+  EXPECT_EQ(f.AsDouble(), static_cast<double>(0.1f));
+}
+
+TEST(AtomicTest, StrictEquals) {
+  EXPECT_TRUE(AtomicValue::Integer(1).StrictEquals(AtomicValue::Integer(1)));
+  EXPECT_FALSE(AtomicValue::Integer(1).StrictEquals(AtomicValue::Double(1)));
+  EXPECT_TRUE(AtomicValue::Double(std::nan(""))
+                  .StrictEquals(AtomicValue::Double(std::nan(""))));
+}
+
+// ---- Table 2: fs:convert-operand -------------------------------------------
+
+TEST(ConvertOperandTest, UntypedVsUntypedOrString) {
+  // Row 1 of Table 2: untyped/string x untyped/string -> xs:string.
+  EXPECT_EQ(ConvertOperandTarget(AtomicType::kUntypedAtomic,
+                                 AtomicType::kUntypedAtomic),
+            AtomicType::kString);
+  EXPECT_EQ(ConvertOperandTarget(AtomicType::kUntypedAtomic, AtomicType::kString),
+            AtomicType::kString);
+  // A typed xs:string first operand stays xs:string.
+  EXPECT_EQ(ConvertOperandTarget(AtomicType::kString, AtomicType::kUntypedAtomic),
+            AtomicType::kString);
+}
+
+TEST(ConvertOperandTest, UntypedVsNumeric) {
+  // Row 2: untyped x numeric -> xs:double.
+  for (AtomicType num : {AtomicType::kInteger, AtomicType::kDecimal,
+                         AtomicType::kFloat, AtomicType::kDouble}) {
+    EXPECT_EQ(ConvertOperandTarget(AtomicType::kUntypedAtomic, num),
+              AtomicType::kDouble);
+  }
+}
+
+TEST(ConvertOperandTest, UntypedVsOtherType) {
+  // Row 3: untyped x T -> T.
+  for (AtomicType t : {AtomicType::kBoolean, AtomicType::kDate,
+                       AtomicType::kAnyURI, AtomicType::kHexBinary}) {
+    EXPECT_EQ(ConvertOperandTarget(AtomicType::kUntypedAtomic, t), t);
+  }
+}
+
+TEST(ConvertOperandTest, TypedFirstOperandUnchanged) {
+  // Row 4: a typed first operand is never converted.
+  for (int i = 0; i < kNumAtomicTypes; i++) {
+    AtomicType t = static_cast<AtomicType>(i);
+    if (t == AtomicType::kUntypedAtomic) continue;
+    for (int j = 0; j < kNumAtomicTypes; j++) {
+      EXPECT_EQ(ConvertOperandTarget(t, static_cast<AtomicType>(j)), t);
+    }
+  }
+}
+
+TEST(ConvertOperandTest, AppliesCast) {
+  AtomicValue u = AtomicValue::Untyped("1.5");
+  AtomicValue conv = ConvertOperand(u, AtomicType::kInteger).value();
+  EXPECT_EQ(conv.type(), AtomicType::kDouble);  // numeric -> double
+  EXPECT_EQ(conv.AsDouble(), 1.5);
+  AtomicValue s = ConvertOperand(u, AtomicType::kString).value();
+  EXPECT_EQ(s.type(), AtomicType::kString);
+  EXPECT_FALSE(ConvertOperand(AtomicValue::Untyped("abc"),
+                              AtomicType::kDouble).ok());
+}
+
+TEST(ConvertOperandTest, CompatibilityCheck) {
+  // The allMatches "in Table 2" check (Figure 6 line 25).
+  EXPECT_TRUE(ConvertCompatible(AtomicType::kUntypedAtomic, AtomicType::kDate));
+  EXPECT_TRUE(ConvertCompatible(AtomicType::kInteger, AtomicType::kDouble));
+  EXPECT_TRUE(ConvertCompatible(AtomicType::kString, AtomicType::kAnyURI));
+  EXPECT_TRUE(ConvertCompatible(AtomicType::kDate, AtomicType::kDate));
+  EXPECT_FALSE(ConvertCompatible(AtomicType::kInteger, AtomicType::kString));
+  EXPECT_FALSE(ConvertCompatible(AtomicType::kDate, AtomicType::kTime));
+  EXPECT_FALSE(ConvertCompatible(AtomicType::kBoolean, AtomicType::kDouble));
+}
+
+// ---- comparisons ------------------------------------------------------------
+
+TEST(CompareTest, NumericPromotion) {
+  EXPECT_TRUE(AtomicCompare(CompOp::kEq, AtomicValue::Integer(1),
+                            AtomicValue::Double(1.0)).value());
+  EXPECT_TRUE(AtomicCompare(CompOp::kLt, AtomicValue::Decimal(1.5),
+                            AtomicValue::Integer(2)).value());
+  EXPECT_TRUE(AtomicCompare(CompOp::kGe, AtomicValue::Float(2.0),
+                            AtomicValue::Integer(2)).value());
+}
+
+TEST(CompareTest, NaNSemantics) {
+  AtomicValue nan = AtomicValue::Double(std::nan(""));
+  EXPECT_FALSE(AtomicCompare(CompOp::kEq, nan, nan).value());
+  EXPECT_TRUE(AtomicCompare(CompOp::kNe, nan, nan).value());
+  EXPECT_FALSE(AtomicCompare(CompOp::kLt, nan, AtomicValue::Double(1)).value());
+  EXPECT_FALSE(AtomicCompare(CompOp::kGe, nan, AtomicValue::Double(1)).value());
+}
+
+TEST(CompareTest, StringsAndBooleans) {
+  EXPECT_TRUE(AtomicCompare(CompOp::kLt, AtomicValue::String("abc"),
+                            AtomicValue::String("abd")).value());
+  EXPECT_TRUE(AtomicCompare(CompOp::kLt, AtomicValue::Boolean(false),
+                            AtomicValue::Boolean(true)).value());
+  EXPECT_FALSE(AtomicCompare(CompOp::kEq, AtomicValue::String("1"),
+                             AtomicValue::Integer(1)).ok());
+}
+
+TEST(CompareTest, ValueCompareConvertsUntypedBothWays) {
+  // untyped "2" = integer 2 (untyped -> double).
+  EXPECT_TRUE(ValueCompareAtomic(CompOp::kEq, AtomicValue::Untyped("2"),
+                                 AtomicValue::Integer(2)).value());
+  EXPECT_TRUE(ValueCompareAtomic(CompOp::kEq, AtomicValue::Integer(2),
+                                 AtomicValue::Untyped("2")).value());
+  // untyped vs untyped compares as string: "1" != "1.0".
+  EXPECT_FALSE(ValueCompareAtomic(CompOp::kEq, AtomicValue::Untyped("1"),
+                                  AtomicValue::Untyped("1.0")).value());
+  EXPECT_TRUE(ValueCompareAtomic(CompOp::kEq, AtomicValue::Untyped("x"),
+                                 AtomicValue::Untyped("x")).value());
+}
+
+TEST(CompareTest, GeneralCompareIsExistential) {
+  Sequence xs = {AtomicValue::Integer(1), AtomicValue::Integer(5)};
+  Sequence ys = {AtomicValue::Integer(3), AtomicValue::Integer(5)};
+  EXPECT_TRUE(GeneralCompare(CompOp::kEq, xs, ys).value());
+  EXPECT_TRUE(GeneralCompare(CompOp::kLt, xs, ys).value());
+  EXPECT_FALSE(GeneralCompare(CompOp::kEq, xs, {AtomicValue::Integer(2)}).value());
+  EXPECT_FALSE(GeneralCompare(CompOp::kEq, {}, ys).value());
+  // The classic XQuery oddity: (1,3) both < and > (2,2).
+  Sequence a = {AtomicValue::Integer(1), AtomicValue::Integer(3)};
+  Sequence b = {AtomicValue::Integer(2)};
+  EXPECT_TRUE(GeneralCompare(CompOp::kLt, a, b).value());
+  EXPECT_TRUE(GeneralCompare(CompOp::kGt, a, b).value());
+}
+
+TEST(CompareTest, CastBetweenNumericsAndStrings) {
+  EXPECT_EQ(CastTo(AtomicValue::Integer(3), AtomicType::kDouble).value().AsDouble(), 3.0);
+  EXPECT_EQ(CastTo(AtomicValue::Double(3.7), AtomicType::kInteger).value().AsInt(), 3);
+  EXPECT_EQ(CastTo(AtomicValue::Integer(3), AtomicType::kString).value().AsString(), "3");
+  EXPECT_EQ(CastTo(AtomicValue::String("2.5"), AtomicType::kDouble).value().AsDouble(), 2.5);
+  EXPECT_TRUE(CastTo(AtomicValue::Boolean(true), AtomicType::kInteger).value().AsInt() == 1);
+  EXPECT_FALSE(CastTo(AtomicValue::String("abc"), AtomicType::kInteger).ok());
+  EXPECT_FALSE(CastTo(AtomicValue::Double(std::nan("")), AtomicType::kInteger).ok());
+  EXPECT_TRUE(CastableTo(AtomicValue::String("1"), AtomicType::kInteger));
+  EXPECT_FALSE(CastableTo(AtomicValue::String(""), AtomicType::kInteger));
+}
+
+// ---- promoteToSimpleTypes (Figure 6) ----------------------------------------
+
+TEST(PromoteTest, UntypedGetsStringAndDoubleEntries) {
+  auto keys = PromoteToSimpleTypes(AtomicValue::Untyped("42"));
+  ASSERT_EQ(keys.size(), 2u);  // the paper's "reduced to two" case
+  EXPECT_EQ(keys[0].type, AtomicType::kString);
+  EXPECT_EQ(keys[1].type, AtomicType::kDouble);
+}
+
+TEST(PromoteTest, UntypedNonNumericGetsOnlyString) {
+  auto keys = PromoteToSimpleTypes(AtomicValue::Untyped("person0"));
+  ASSERT_EQ(keys.size(), 1u);
+  EXPECT_EQ(keys[0].type, AtomicType::kString);
+}
+
+TEST(PromoteTest, IntegerPromotesUpTheNumericTower) {
+  auto keys = PromoteToSimpleTypes(AtomicValue::Integer(7));
+  ASSERT_EQ(keys.size(), 4u);  // integer, decimal, float, double
+  EXPECT_EQ(keys[0].type, AtomicType::kInteger);
+  EXPECT_EQ(keys[3].type, AtomicType::kDouble);
+}
+
+TEST(PromoteTest, DoubleHasSingleEntry) {
+  auto keys = PromoteToSimpleTypes(AtomicValue::Double(7));
+  ASSERT_EQ(keys.size(), 1u);
+  EXPECT_EQ(keys[0].type, AtomicType::kDouble);
+}
+
+TEST(PromoteTest, CrossTypeNumericKeysCollide) {
+  auto a = PromoteToSimpleTypes(AtomicValue::Integer(7));
+  auto b = PromoteToSimpleTypes(AtomicValue::Decimal(7.0));
+  bool collide = false;
+  for (const auto& ka : a) {
+    for (const auto& kb : b) {
+      if (ka == kb) collide = true;
+    }
+  }
+  EXPECT_TRUE(collide);
+}
+
+TEST(PromoteTest, NaNProducesNoKeys) {
+  EXPECT_TRUE(PromoteToSimpleTypes(AtomicValue::Double(std::nan(""))).empty());
+}
+
+TEST(PromoteTest, NegativeZeroFoldsToZero) {
+  auto a = PromoteToSimpleTypes(AtomicValue::Double(0.0));
+  auto b = PromoteToSimpleTypes(AtomicValue::Double(-0.0));
+  ASSERT_EQ(a.size(), 1u);
+  ASSERT_EQ(b.size(), 1u);
+  EXPECT_TRUE(a[0] == b[0]);
+}
+
+TEST(PromoteTest, LexicalTypesKeyOnOriginalTypePlusStringBridge) {
+  auto keys = PromoteToSimpleTypes(
+      AtomicValue::Lexical(AtomicType::kDate, "2026-07-06"));
+  ASSERT_EQ(keys.size(), 2u);
+  EXPECT_EQ(keys[0].type, AtomicType::kDate);
+  EXPECT_EQ(keys[0].canon, "2026-07-06");
+  // The bridge entry lets untyped probes find typed lexical values.
+  EXPECT_EQ(keys[1].type, AtomicType::kString);
+  EXPECT_EQ(keys[1].canon, "2026-07-06");
+}
+
+}  // namespace
+}  // namespace xqc

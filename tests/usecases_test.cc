@@ -1,0 +1,280 @@
+// Integration tests in the style of the W3C XML Query Use Cases — the
+// suite the paper's compiler regression-tests against (Section 7 cites the
+// Use Cases as part of its 1000+ test regression suite). Queries run in all
+// engine configurations and check exact expected output.
+#include <gtest/gtest.h>
+
+#include "src/engine/engine.h"
+#include "test_util.h"
+
+namespace xqc {
+namespace {
+
+using testutil::MustParseXml;
+
+class UseCaseTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // The classic bibliography document (Use Case "XMP"), abridged.
+    ctx_.RegisterDocument("bib.xml", MustParseXml(R"(
+      <bib>
+        <book year="1994">
+          <title>TCP/IP Illustrated</title>
+          <author><last>Stevens</last><first>W.</first></author>
+          <publisher>Addison-Wesley</publisher>
+          <price>65.95</price>
+        </book>
+        <book year="1992">
+          <title>Advanced Programming in the Unix environment</title>
+          <author><last>Stevens</last><first>W.</first></author>
+          <publisher>Addison-Wesley</publisher>
+          <price>65.95</price>
+        </book>
+        <book year="2000">
+          <title>Data on the Web</title>
+          <author><last>Abiteboul</last><first>Serge</first></author>
+          <author><last>Buneman</last><first>Peter</first></author>
+          <author><last>Suciu</last><first>Dan</first></author>
+          <publisher>Morgan Kaufmann Publishers</publisher>
+          <price>39.95</price>
+        </book>
+        <book year="1999">
+          <title>The Economics of Technology and Content for Digital TV</title>
+          <editor><last>Gerbarg</last><first>Darcy</first></editor>
+          <publisher>Kluwer Academic Publishers</publisher>
+          <price>129.95</price>
+        </book>
+      </bib>)"));
+    ctx_.RegisterDocument("reviews.xml", MustParseXml(R"(
+      <reviews>
+        <entry>
+          <title>Data on the Web</title>
+          <price>34.95</price>
+          <review>A very good discussion of semi-structured database
+           systems and XML.</review>
+        </entry>
+        <entry>
+          <title>Advanced Programming in the Unix environment</title>
+          <price>65.95</price>
+          <review>A clear and detailed discussion of UNIX programming.</review>
+        </entry>
+        <entry>
+          <title>TCP/IP Illustrated</title>
+          <price>65.95</price>
+          <review>One of the best books on TCP/IP.</review>
+        </entry>
+      </reviews>)"));
+  }
+
+  void Check(const std::string& query, const std::string& expected) {
+    Engine engine;
+    const EngineOptions kConfigs[] = {
+        {false, false, JoinImpl::kNestedLoop},
+        {true, false, JoinImpl::kNestedLoop},
+        {true, true, JoinImpl::kNestedLoop},
+        {true, true, JoinImpl::kHash},
+        {true, true, JoinImpl::kSort},
+    };
+    for (size_t i = 0; i < std::size(kConfigs); i++) {
+      Result<PreparedQuery> q = engine.Prepare(query, kConfigs[i]);
+      ASSERT_TRUE(q.ok()) << q.status().ToString() << "\n" << query;
+      Result<std::string> r = q.value().ExecuteToString(&ctx_);
+      ASSERT_TRUE(r.ok()) << "config " << i << ": " << r.status().ToString()
+                          << "\n" << query;
+      EXPECT_EQ(r.value(), expected) << "config " << i << "\n" << query;
+    }
+  }
+
+  DynamicContext ctx_;
+};
+
+TEST_F(UseCaseTest, Q1_BooksAfter1991ByPublisher) {
+  // XMP Q1: titles of books published by Addison-Wesley after 1991.
+  Check(
+      "let $bib := doc(\"bib.xml\") return "
+      "<bib>{ for $b in $bib/bib/book "
+      "       where $b/publisher = \"Addison-Wesley\" and $b/@year > 1991 "
+      "       return <book year=\"{$b/@year}\">{$b/title}</book> }</bib>",
+      "<bib><book year=\"1994\"><title>TCP/IP Illustrated</title></book>"
+      "<book year=\"1992\"><title>Advanced Programming in the Unix "
+      "environment</title></book></bib>");
+}
+
+TEST_F(UseCaseTest, Q2_FlattenedTitleAuthorPairs) {
+  // XMP Q2: flat list of (title, author) pairs.
+  Check(
+      "let $bib := doc(\"bib.xml\") return "
+      "<results>{ for $b in $bib/bib/book, $t in $b/title, $a in $b/author "
+      "           return <result>{$t}{$a/last}</result> }</results>",
+      "<results>"
+      "<result><title>TCP/IP Illustrated</title><last>Stevens</last></result>"
+      "<result><title>Advanced Programming in the Unix environment</title>"
+      "<last>Stevens</last></result>"
+      "<result><title>Data on the Web</title><last>Abiteboul</last></result>"
+      "<result><title>Data on the Web</title><last>Buneman</last></result>"
+      "<result><title>Data on the Web</title><last>Suciu</last></result>"
+      "</results>");
+}
+
+TEST_F(UseCaseTest, Q3_TitleAndAuthorsGrouped) {
+  // XMP Q3: each book's title with all its authors.
+  Check(
+      "let $bib := doc(\"bib.xml\") return "
+      "<results>{ for $b in $bib/bib/book "
+      "           return <result>{$b/title}{count($b/author)}</result> "
+      "}</results>",
+      "<results><result><title>TCP/IP Illustrated</title>1</result>"
+      "<result><title>Advanced Programming in the Unix environment</title>"
+      "1</result><result><title>Data on the Web</title>3</result>"
+      "<result><title>The Economics of Technology and Content for Digital "
+      "TV</title>0</result></results>");
+}
+
+TEST_F(UseCaseTest, Q5_JoinWithReviews) {
+  // XMP Q5: join books with review prices by title — the classic document
+  // join the paper's hash join targets.
+  Check(
+      "let $bib := doc(\"bib.xml\") "
+      "let $reviews := doc(\"reviews.xml\") return "
+      "<books-with-prices>{ "
+      "  for $b in $bib//book, $a in $reviews//entry "
+      "  where $b/title = $a/title "
+      "  return <book-with-prices>{$b/title}"
+      "<price-review>{$a/price/text()}</price-review>"
+      "<price>{$b/price/text()}</price></book-with-prices> }"
+      "</books-with-prices>",
+      "<books-with-prices>"
+      "<book-with-prices><title>TCP/IP Illustrated</title>"
+      "<price-review>65.95</price-review><price>65.95</price>"
+      "</book-with-prices>"
+      "<book-with-prices><title>Advanced Programming in the Unix "
+      "environment</title><price-review>65.95</price-review>"
+      "<price>65.95</price></book-with-prices>"
+      "<book-with-prices><title>Data on the Web</title>"
+      "<price-review>34.95</price-review><price>39.95</price>"
+      "</book-with-prices></books-with-prices>");
+}
+
+TEST_F(UseCaseTest, Q6_BooksWithMoreThanOneAuthor) {
+  Check(
+      "let $bib := doc(\"bib.xml\") return "
+      "<bib>{ for $b in $bib//book where count($b/author) > 1 "
+      "       return <book>{$b/title}</book> }</bib>",
+      "<bib><book><title>Data on the Web</title></book></bib>");
+}
+
+TEST_F(UseCaseTest, Q7_SortedByTitle) {
+  Check(
+      "let $bib := doc(\"bib.xml\") return "
+      "<bib>{ for $b in $bib//book where $b/@year > 1991 "
+      "       order by $b/title return <t>{$b/title/text()}</t> }</bib>",
+      "<bib><t>Advanced Programming in the Unix environment</t>"
+      "<t>Data on the Web</t><t>TCP/IP Illustrated</t>"
+      "<t>The Economics of Technology and Content for Digital TV</t></bib>");
+}
+
+TEST_F(UseCaseTest, Q10_PriceBands) {
+  // Conditional grouping by price (typeswitch-style branching via if).
+  Check(
+      "let $bib := doc(\"bib.xml\") return "
+      "for $b in $bib//book order by number($b/price), $b/title return "
+      "<book expensive=\"{if (number($b/price) > 100) then \"yes\" else "
+      "\"no\"}\">{$b/title/text()}</book>",
+      "<book expensive=\"no\">Data on the Web</book>"
+      "<book expensive=\"no\">Advanced Programming in the Unix "
+      "environment</book>"
+      "<book expensive=\"no\">TCP/IP Illustrated</book>"
+      "<book expensive=\"yes\">The Economics of Technology and Content for "
+      "Digital TV</book>");
+}
+
+TEST_F(UseCaseTest, Q11_BooksWithoutAuthorsViaEmpty) {
+  Check(
+      "let $bib := doc(\"bib.xml\") return "
+      "for $b in $bib//book where empty($b/author) "
+      "return $b/editor/last/text()",
+      "Gerbarg");
+}
+
+TEST_F(UseCaseTest, Q12_DistinctAuthorsWithTheirBooks) {
+  // Grouping by author name: the distinct-values + correlated-filter shape
+  // (XMP Q4 / XMark Q10 family).
+  Check(
+      "let $bib := doc(\"bib.xml\") return "
+      "<results>{ "
+      "for $last in distinct-values($bib//author/last/text()) "
+      "order by $last return "
+      "<author name=\"{$last}\">{ "
+      "  count(for $b in $bib//book where $b/author/last = $last return $b) "
+      "}</author> }</results>",
+      "<results><author name=\"Abiteboul\">1</author>"
+      "<author name=\"Buneman\">1</author>"
+      "<author name=\"Stevens\">2</author>"
+      "<author name=\"Suciu\">1</author></results>");
+}
+
+TEST_F(UseCaseTest, SEQ_PositionalSlices) {
+  Check("let $bib := doc(\"bib.xml\") return "
+        "($bib//book[2]/title/text(), subsequence($bib//book, 3, 2)/@year)",
+        "Advanced Programming in the Unix environmentyear=\"2000\""
+        "year=\"1999\"");
+}
+
+TEST_F(UseCaseTest, TREE_RecursiveTableOfContents) {
+  // A recursive function over the tree (the TREE use case's toc pattern).
+  DynamicContext ctx;
+  ctx.RegisterDocument("book.xml", MustParseXml(
+      "<book><section><title>A</title><section><title>A.1</title>"
+      "</section></section><section><title>B</title></section></book>"));
+  Engine engine;
+  Result<PreparedQuery> q = engine.Prepare(
+      "declare function local:toc($s) { "
+      "  for $c in $s/section return "
+      "  <toc title=\"{$c/title/text()}\">{local:toc($c)}</toc> }; "
+      "let $b := doc(\"book.xml\")/book return <toc>{local:toc($b)}</toc>");
+  ASSERT_OK(q);
+  Result<std::string> r = q.value().ExecuteToString(&ctx);
+  ASSERT_OK(r);
+  EXPECT_EQ(r.value(),
+            "<toc><toc title=\"A\"><toc title=\"A.1\"/></toc>"
+            "<toc title=\"B\"/></toc>");
+}
+
+TEST_F(UseCaseTest, R_RelationalStyleReport) {
+  // The "R" use case: relational-style data with a 3-way join.
+  DynamicContext ctx;
+  ctx.RegisterDocument("users.xml", MustParseXml(
+      "<users><user><id>U1</id><name>Tom</name></user>"
+      "<user><id>U2</id><name>Mary</name></user></users>"));
+  ctx.RegisterDocument("items.xml", MustParseXml(
+      "<items><itm><no>I1</no><descr>Bicycle</descr><seller>U1</seller></itm>"
+      "<itm><no>I2</no><descr>Helmet</descr><seller>U2</seller></itm></items>"));
+  ctx.RegisterDocument("bids.xml", MustParseXml(
+      "<bids><bid><user>U2</user><item>I1</item><amount>50</amount></bid>"
+      "<bid><user>U1</user><item>I2</item><amount>15</amount></bid>"
+      "<bid><user>U2</user><item>I1</item><amount>55</amount></bid></bids>"));
+  Engine engine;
+  Result<PreparedQuery> q = engine.Prepare(
+      "let $users := doc(\"users.xml\") "
+      "let $items := doc(\"items.xml\") "
+      "let $bids := doc(\"bids.xml\") return "
+      "<report>{ "
+      "for $i in $items//itm "
+      "let $seller := for $u in $users//user where $u/id = $i/seller "
+      "               return $u/name/text() "
+      "let $high := max(for $b in $bids//bid where $b/item = $i/no "
+      "                 return number($b/amount)) "
+      "return <item d=\"{$i/descr/text()}\" seller=\"{$seller}\" "
+      "high=\"{$high}\"/> }</report>");
+  ASSERT_OK(q);
+  Result<std::string> r = q.value().ExecuteToString(&ctx);
+  ASSERT_OK(r);
+  EXPECT_EQ(r.value(),
+            "<report><item d=\"Bicycle\" seller=\"Tom\" high=\"55\"/>"
+            "<item d=\"Helmet\" seller=\"Mary\" high=\"15\"/></report>");
+  // Both nested blocks should have unnested into joins.
+  EXPECT_GE(q.value().optimizer_stats().insert_outer_join, 2);
+}
+
+}  // namespace
+}  // namespace xqc

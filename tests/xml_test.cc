@@ -1,0 +1,274 @@
+// Tests for the XML data model, parser, serializer, axes, and item helpers.
+#include <gtest/gtest.h>
+
+#include "src/xml/axes.h"
+#include "src/xml/item.h"
+#include "src/xml/serializer.h"
+#include "src/xml/xml_parser.h"
+#include "test_util.h"
+
+namespace xqc {
+namespace {
+
+using testutil::MustParseXml;
+
+TEST(XmlParserTest, SimpleDocument) {
+  NodePtr doc = MustParseXml("<a><b x=\"1\">hi</b><c/></a>");
+  ASSERT_NE(doc, nullptr);
+  EXPECT_EQ(doc->kind, NodeKind::kDocument);
+  ASSERT_EQ(doc->children.size(), 1u);
+  const Node& a = *doc->children[0];
+  EXPECT_EQ(a.name.str(), "a");
+  ASSERT_EQ(a.children.size(), 2u);
+  EXPECT_EQ(a.children[0]->name.str(), "b");
+  ASSERT_EQ(a.children[0]->attributes.size(), 1u);
+  EXPECT_EQ(a.children[0]->attributes[0]->value, "1");
+  EXPECT_EQ(a.children[0]->StringValue(), "hi");
+}
+
+TEST(XmlParserTest, DocumentOrderAssigned) {
+  NodePtr doc = MustParseXml("<a><b/><c><d/></c></a>");
+  const Node& a = *doc->children[0];
+  EXPECT_LT(doc->order, a.order);
+  EXPECT_LT(a.order, a.children[0]->order);
+  EXPECT_LT(a.children[0]->order, a.children[1]->order);
+  EXPECT_LT(a.children[1]->order, a.children[1]->children[0]->order);
+}
+
+TEST(XmlParserTest, AttributesOrderedBeforeChildren) {
+  NodePtr doc = MustParseXml("<a x=\"1\"><b/></a>");
+  const Node& a = *doc->children[0];
+  EXPECT_LT(a.order, a.attributes[0]->order);
+  EXPECT_LT(a.attributes[0]->order, a.children[0]->order);
+}
+
+TEST(XmlParserTest, EntitiesAndCdata) {
+  NodePtr doc = MustParseXml("<a>&lt;x&gt; &amp; <![CDATA[<raw>]]> &#65;</a>");
+  EXPECT_EQ(doc->children[0]->StringValue(), "<x> & <raw> A");
+}
+
+TEST(XmlParserTest, NumericCharacterReferences) {
+  NodePtr doc = MustParseXml("<a>&#x41;&#233;</a>");
+  EXPECT_EQ(doc->children[0]->StringValue(), "A\xC3\xA9");
+}
+
+TEST(XmlParserTest, CommentsAndPIs) {
+  NodePtr doc = MustParseXml("<a><!--note--><?target data?></a>");
+  const Node& a = *doc->children[0];
+  ASSERT_EQ(a.children.size(), 2u);
+  EXPECT_EQ(a.children[0]->kind, NodeKind::kComment);
+  EXPECT_EQ(a.children[0]->value, "note");
+  EXPECT_EQ(a.children[1]->kind, NodeKind::kPI);
+  EXPECT_EQ(a.children[1]->name.str(), "target");
+  EXPECT_EQ(a.children[1]->value, "data");
+}
+
+TEST(XmlParserTest, StripsBoundaryWhitespaceByDefault) {
+  NodePtr doc = MustParseXml("<a>\n  <b>x</b>\n</a>");
+  EXPECT_EQ(doc->children[0]->children.size(), 1u);
+}
+
+TEST(XmlParserTest, PreserveWhitespaceOption) {
+  XmlParseOptions opts;
+  opts.strip_boundary_whitespace = false;
+  Result<NodePtr> r = ParseXml("<a>\n  <b>x</b>\n</a>", opts);
+  ASSERT_OK(r);
+  EXPECT_EQ(r.value()->children[0]->children.size(), 3u);
+}
+
+TEST(XmlParserTest, XmlDeclAndDoctypeSkipped) {
+  NodePtr doc = MustParseXml(
+      "<?xml version=\"1.0\"?><!DOCTYPE a [<!ELEMENT a ANY>]><a/>");
+  EXPECT_EQ(doc->children[0]->name.str(), "a");
+}
+
+TEST(XmlParserTest, Errors) {
+  EXPECT_FALSE(ParseXml("<a>").ok());
+  EXPECT_FALSE(ParseXml("<a></b>").ok());
+  EXPECT_FALSE(ParseXml("no root").ok());
+  EXPECT_FALSE(ParseXml("<a/><b/>").ok());
+  EXPECT_FALSE(ParseXml("<a x=1/>").ok());
+  EXPECT_FALSE(ParseXml("<a>&unknown;</a>").ok());
+}
+
+TEST(SerializerTest, RoundTrip) {
+  const std::string xml = "<a x=\"1&quot;\"><b>t&lt;t</b><c/></a>";
+  NodePtr doc = MustParseXml(xml);
+  EXPECT_EQ(SerializeNode(*doc), xml);
+}
+
+TEST(SerializerTest, SequenceWithAtomics) {
+  Sequence s = {AtomicValue::Integer(1), AtomicValue::String("a"),
+                MustParseXml("<x/>")->children[0]};
+  EXPECT_EQ(SerializeSequence(s), "1 a<x/>");
+}
+
+TEST(ItemTest, AtomizeUntypedNode) {
+  NodePtr doc = MustParseXml("<a>42</a>");
+  Sequence s = {doc->children[0]};
+  Sequence atoms = Atomize(s).value();
+  ASSERT_EQ(atoms.size(), 1u);
+  EXPECT_EQ(atoms[0].atomic().type(), AtomicType::kUntypedAtomic);
+  EXPECT_EQ(atoms[0].atomic().AsString(), "42");
+}
+
+TEST(ItemTest, AtomizeTypedAttribute) {
+  NodePtr doc = MustParseXml("<a p=\"3.5\"/>");
+  NodePtr attr = doc->children[0]->attributes[0];
+  attr->type_annotation = Symbol("xs:decimal");
+  Sequence atoms = Atomize({Item(attr)}).value();
+  EXPECT_EQ(atoms[0].atomic().type(), AtomicType::kDecimal);
+  EXPECT_EQ(atoms[0].atomic().AsDouble(), 3.5);
+}
+
+TEST(ItemTest, EffectiveBooleanValue) {
+  EXPECT_FALSE(EffectiveBooleanValue({}).value());
+  EXPECT_TRUE(EffectiveBooleanValue({AtomicValue::Boolean(true)}).value());
+  EXPECT_FALSE(EffectiveBooleanValue({AtomicValue::Integer(0)}).value());
+  EXPECT_TRUE(EffectiveBooleanValue({AtomicValue::String("x")}).value());
+  EXPECT_FALSE(EffectiveBooleanValue({AtomicValue::Untyped("")}).value());
+  NodePtr doc = MustParseXml("<a/>");
+  EXPECT_TRUE(EffectiveBooleanValue({Item(doc)}).value());
+  // Multi-item atomic sequence has no EBV.
+  EXPECT_FALSE(EffectiveBooleanValue(
+                   {AtomicValue::Integer(1), AtomicValue::Integer(2)}).ok());
+  // Date has no EBV.
+  EXPECT_FALSE(EffectiveBooleanValue(
+                   {AtomicValue::Lexical(AtomicType::kDate, "2026-01-01")}).ok());
+}
+
+TEST(ItemTest, DistinctDocOrder) {
+  NodePtr doc = MustParseXml("<a><b/><c/></a>");
+  NodePtr a = doc->children[0];
+  Sequence s = {a->children[1], a->children[0], a->children[1]};
+  Sequence d = DistinctDocOrder(s).value();
+  ASSERT_EQ(d.size(), 2u);
+  EXPECT_EQ(d[0].node()->name.str(), "b");
+  EXPECT_EQ(d[1].node()->name.str(), "c");
+  EXPECT_FALSE(DistinctDocOrder({AtomicValue::Integer(1)}).ok());
+}
+
+TEST(NodeTest, DeepCopyDetachesAndPreservesTypes) {
+  NodePtr doc = MustParseXml("<a x=\"1\"><b>t</b></a>");
+  NodePtr a = doc->children[0];
+  a->type_annotation = Symbol("T");
+  NodePtr copy_keep = DeepCopy(*a, /*keep_types=*/true);
+  EXPECT_EQ(copy_keep->type_annotation.str(), "T");
+  EXPECT_EQ(copy_keep->parent, nullptr);
+  EXPECT_EQ(copy_keep->children[0]->parent, copy_keep.get());
+  NodePtr copy_strip = DeepCopy(*a, /*keep_types=*/false);
+  EXPECT_TRUE(copy_strip->type_annotation.empty());
+  // Mutating the copy leaves the original untouched.
+  copy_keep->children[0]->children[0]->value = "changed";
+  EXPECT_EQ(a->StringValue(), "t");
+}
+
+// ---- axes -------------------------------------------------------------------
+
+class AxesTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    doc_ = MustParseXml(
+        "<root><p id=\"1\"><q/><r><q/></r></p><p id=\"2\"/><s/></root>");
+    root_ = doc_->children[0];
+  }
+  NodePtr doc_, root_;
+};
+
+TEST_F(AxesTest, ChildAxis) {
+  Sequence out = TreeJoin({Item(root_)}, Axis::kChild,
+                          ItemTest::Element(Symbol("p")), nullptr).value();
+  EXPECT_EQ(out.size(), 2u);
+}
+
+TEST_F(AxesTest, DescendantAxis) {
+  Sequence out = TreeJoin({Item(root_)}, Axis::kDescendant,
+                          ItemTest::Element(Symbol("q")), nullptr).value();
+  EXPECT_EQ(out.size(), 2u);
+  EXPECT_TRUE(DocOrderLess(out[0].node().get(), out[1].node().get()));
+}
+
+TEST_F(AxesTest, DescendantOrSelf) {
+  Sequence out = TreeJoin({Item(root_)}, Axis::kDescendantOrSelf,
+                          ItemTest::AnyNode(), nullptr).value();
+  EXPECT_EQ(out.size(), 7u);  // root, p, q, r, q, p, s
+}
+
+TEST_F(AxesTest, AttributeAxis) {
+  Sequence ps = TreeJoin({Item(root_)}, Axis::kChild,
+                         ItemTest::Element(Symbol("p")), nullptr).value();
+  Sequence out = TreeJoin(ps, Axis::kAttribute,
+                          ItemTest::Attribute(Symbol("id")), nullptr).value();
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].node()->value, "1");
+  EXPECT_EQ(out[1].node()->value, "2");
+}
+
+TEST_F(AxesTest, ParentAndAncestor) {
+  Sequence qs = TreeJoin({Item(root_)}, Axis::kDescendant,
+                         ItemTest::Element(Symbol("q")), nullptr).value();
+  Sequence parents = TreeJoin(qs, Axis::kParent, ItemTest::AnyNode(), nullptr).value();
+  EXPECT_EQ(parents.size(), 2u);  // p and r
+  Sequence ancestors =
+      TreeJoin({qs[1]}, Axis::kAncestor, ItemTest::AnyNode(), nullptr).value();
+  EXPECT_EQ(ancestors.size(), 4u);  // doc, root, p, r
+  // Ancestors arrive in document order (doc first).
+  EXPECT_EQ(ancestors[0].node()->kind, NodeKind::kDocument);
+}
+
+TEST_F(AxesTest, Siblings) {
+  Sequence ps = TreeJoin({Item(root_)}, Axis::kChild,
+                         ItemTest::Element(Symbol("p")), nullptr).value();
+  Sequence foll = TreeJoin({ps[0]}, Axis::kFollowingSibling,
+                           ItemTest::AnyNode(), nullptr).value();
+  EXPECT_EQ(foll.size(), 2u);  // second p and s
+  Sequence prec = TreeJoin({ps[1]}, Axis::kPrecedingSibling,
+                           ItemTest::AnyNode(), nullptr).value();
+  EXPECT_EQ(prec.size(), 1u);
+}
+
+TEST_F(AxesTest, FollowingAndPreceding) {
+  Sequence qs = TreeJoin({Item(root_)}, Axis::kDescendant,
+                         ItemTest::Element(Symbol("q")), nullptr).value();
+  // following of first q: r, q (inside r), p#2, s.
+  Sequence foll = TreeJoin({qs[0]}, Axis::kFollowing,
+                           ItemTest::AnyNode(), nullptr).value();
+  EXPECT_EQ(foll.size(), 4u);
+  Sequence prec = TreeJoin({qs[1]}, Axis::kPreceding,
+                           ItemTest::AnyNode(), nullptr).value();
+  EXPECT_EQ(prec.size(), 1u);  // the first q only (ancestors excluded)
+}
+
+TEST_F(AxesTest, SelfAxisFiltersByTest) {
+  Sequence out = TreeJoin({Item(root_)}, Axis::kSelf,
+                          ItemTest::Element(Symbol("nope")), nullptr).value();
+  EXPECT_TRUE(out.empty());
+}
+
+TEST_F(AxesTest, TreeJoinDeduplicates) {
+  // Both p elements' descendants include overlapping sets when queried from
+  // duplicated inputs.
+  Sequence in = {Item(root_), Item(root_)};
+  Sequence out = TreeJoin(in, Axis::kDescendant,
+                          ItemTest::Element(Symbol("q")), nullptr).value();
+  EXPECT_EQ(out.size(), 2u);
+}
+
+TEST_F(AxesTest, TreeJoinRejectsAtomics) {
+  EXPECT_FALSE(TreeJoin({AtomicValue::Integer(1)}, Axis::kChild,
+                        ItemTest::AnyNode(), nullptr).ok());
+}
+
+TEST(AxisNameTest, RoundTrip) {
+  for (int i = 0; i <= static_cast<int>(Axis::kPreceding); i++) {
+    Axis a = static_cast<Axis>(i);
+    Axis back;
+    ASSERT_TRUE(AxisFromName(AxisName(a), &back));
+    EXPECT_EQ(back, a);
+  }
+  Axis a;
+  EXPECT_FALSE(AxisFromName("sideways", &a));
+}
+
+}  // namespace
+}  // namespace xqc
