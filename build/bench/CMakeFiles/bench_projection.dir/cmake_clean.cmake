@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_projection.dir/bench_projection.cc.o"
+  "CMakeFiles/bench_projection.dir/bench_projection.cc.o.d"
+  "bench_projection"
+  "bench_projection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_projection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rewrites.dir/bench_rewrites.cc.o"
+  "CMakeFiles/bench_rewrites.dir/bench_rewrites.cc.o.d"
+  "bench_rewrites"
+  "bench_rewrites.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rewrites.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

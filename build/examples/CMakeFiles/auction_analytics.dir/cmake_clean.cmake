@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/auction_analytics.dir/auction_analytics.cc.o"
+  "CMakeFiles/auction_analytics.dir/auction_analytics.cc.o.d"
+  "auction_analytics"
+  "auction_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/auction_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

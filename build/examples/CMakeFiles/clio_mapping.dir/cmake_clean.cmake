@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clio_mapping.dir/clio_mapping.cc.o"
+  "CMakeFiles/clio_mapping.dir/clio_mapping.cc.o.d"
+  "clio_mapping"
+  "clio_mapping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clio_mapping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

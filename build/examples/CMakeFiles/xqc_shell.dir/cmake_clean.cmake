@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xqc_shell.dir/xqc_shell.cc.o"
+  "CMakeFiles/xqc_shell.dir/xqc_shell.cc.o.d"
+  "xqc_shell"
+  "xqc_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xqc_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,48 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/algebra/op.cc" "src/CMakeFiles/xqc.dir/algebra/op.cc.o" "gcc" "src/CMakeFiles/xqc.dir/algebra/op.cc.o.d"
+  "/root/repo/src/base/strutil.cc" "src/CMakeFiles/xqc.dir/base/strutil.cc.o" "gcc" "src/CMakeFiles/xqc.dir/base/strutil.cc.o.d"
+  "/root/repo/src/base/symbol.cc" "src/CMakeFiles/xqc.dir/base/symbol.cc.o" "gcc" "src/CMakeFiles/xqc.dir/base/symbol.cc.o.d"
+  "/root/repo/src/clio/clio.cc" "src/CMakeFiles/xqc.dir/clio/clio.cc.o" "gcc" "src/CMakeFiles/xqc.dir/clio/clio.cc.o.d"
+  "/root/repo/src/compile/compiler.cc" "src/CMakeFiles/xqc.dir/compile/compiler.cc.o" "gcc" "src/CMakeFiles/xqc.dir/compile/compiler.cc.o.d"
+  "/root/repo/src/engine/engine.cc" "src/CMakeFiles/xqc.dir/engine/engine.cc.o" "gcc" "src/CMakeFiles/xqc.dir/engine/engine.cc.o.d"
+  "/root/repo/src/interp/interpreter.cc" "src/CMakeFiles/xqc.dir/interp/interpreter.cc.o" "gcc" "src/CMakeFiles/xqc.dir/interp/interpreter.cc.o.d"
+  "/root/repo/src/opt/key_class.cc" "src/CMakeFiles/xqc.dir/opt/key_class.cc.o" "gcc" "src/CMakeFiles/xqc.dir/opt/key_class.cc.o.d"
+  "/root/repo/src/opt/optimizer.cc" "src/CMakeFiles/xqc.dir/opt/optimizer.cc.o" "gcc" "src/CMakeFiles/xqc.dir/opt/optimizer.cc.o.d"
+  "/root/repo/src/opt/projection_infer.cc" "src/CMakeFiles/xqc.dir/opt/projection_infer.cc.o" "gcc" "src/CMakeFiles/xqc.dir/opt/projection_infer.cc.o.d"
+  "/root/repo/src/runtime/builtins.cc" "src/CMakeFiles/xqc.dir/runtime/builtins.cc.o" "gcc" "src/CMakeFiles/xqc.dir/runtime/builtins.cc.o.d"
+  "/root/repo/src/runtime/construct.cc" "src/CMakeFiles/xqc.dir/runtime/construct.cc.o" "gcc" "src/CMakeFiles/xqc.dir/runtime/construct.cc.o.d"
+  "/root/repo/src/runtime/context.cc" "src/CMakeFiles/xqc.dir/runtime/context.cc.o" "gcc" "src/CMakeFiles/xqc.dir/runtime/context.cc.o.d"
+  "/root/repo/src/runtime/eval.cc" "src/CMakeFiles/xqc.dir/runtime/eval.cc.o" "gcc" "src/CMakeFiles/xqc.dir/runtime/eval.cc.o.d"
+  "/root/repo/src/runtime/joins.cc" "src/CMakeFiles/xqc.dir/runtime/joins.cc.o" "gcc" "src/CMakeFiles/xqc.dir/runtime/joins.cc.o.d"
+  "/root/repo/src/types/compare.cc" "src/CMakeFiles/xqc.dir/types/compare.cc.o" "gcc" "src/CMakeFiles/xqc.dir/types/compare.cc.o.d"
+  "/root/repo/src/types/schema.cc" "src/CMakeFiles/xqc.dir/types/schema.cc.o" "gcc" "src/CMakeFiles/xqc.dir/types/schema.cc.o.d"
+  "/root/repo/src/types/seqtype.cc" "src/CMakeFiles/xqc.dir/types/seqtype.cc.o" "gcc" "src/CMakeFiles/xqc.dir/types/seqtype.cc.o.d"
+  "/root/repo/src/xmark/xmark.cc" "src/CMakeFiles/xqc.dir/xmark/xmark.cc.o" "gcc" "src/CMakeFiles/xqc.dir/xmark/xmark.cc.o.d"
+  "/root/repo/src/xml/atomic.cc" "src/CMakeFiles/xqc.dir/xml/atomic.cc.o" "gcc" "src/CMakeFiles/xqc.dir/xml/atomic.cc.o.d"
+  "/root/repo/src/xml/axes.cc" "src/CMakeFiles/xqc.dir/xml/axes.cc.o" "gcc" "src/CMakeFiles/xqc.dir/xml/axes.cc.o.d"
+  "/root/repo/src/xml/item.cc" "src/CMakeFiles/xqc.dir/xml/item.cc.o" "gcc" "src/CMakeFiles/xqc.dir/xml/item.cc.o.d"
+  "/root/repo/src/xml/node.cc" "src/CMakeFiles/xqc.dir/xml/node.cc.o" "gcc" "src/CMakeFiles/xqc.dir/xml/node.cc.o.d"
+  "/root/repo/src/xml/project.cc" "src/CMakeFiles/xqc.dir/xml/project.cc.o" "gcc" "src/CMakeFiles/xqc.dir/xml/project.cc.o.d"
+  "/root/repo/src/xml/serializer.cc" "src/CMakeFiles/xqc.dir/xml/serializer.cc.o" "gcc" "src/CMakeFiles/xqc.dir/xml/serializer.cc.o.d"
+  "/root/repo/src/xml/xml_parser.cc" "src/CMakeFiles/xqc.dir/xml/xml_parser.cc.o" "gcc" "src/CMakeFiles/xqc.dir/xml/xml_parser.cc.o.d"
+  "/root/repo/src/xquery/ast.cc" "src/CMakeFiles/xqc.dir/xquery/ast.cc.o" "gcc" "src/CMakeFiles/xqc.dir/xquery/ast.cc.o.d"
+  "/root/repo/src/xquery/lexer.cc" "src/CMakeFiles/xqc.dir/xquery/lexer.cc.o" "gcc" "src/CMakeFiles/xqc.dir/xquery/lexer.cc.o.d"
+  "/root/repo/src/xquery/normalize.cc" "src/CMakeFiles/xqc.dir/xquery/normalize.cc.o" "gcc" "src/CMakeFiles/xqc.dir/xquery/normalize.cc.o.d"
+  "/root/repo/src/xquery/parser.cc" "src/CMakeFiles/xqc.dir/xquery/parser.cc.o" "gcc" "src/CMakeFiles/xqc.dir/xquery/parser.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/algebra_test.dir/algebra_test.cc.o"
+  "CMakeFiles/algebra_test.dir/algebra_test.cc.o.d"
+  "CMakeFiles/algebra_test.dir/test_util.cc.o"
+  "CMakeFiles/algebra_test.dir/test_util.cc.o.d"
+  "algebra_test"
+  "algebra_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/algebra_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

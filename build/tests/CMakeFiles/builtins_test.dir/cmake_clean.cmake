@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/builtins_test.dir/builtins_test.cc.o"
+  "CMakeFiles/builtins_test.dir/builtins_test.cc.o.d"
+  "CMakeFiles/builtins_test.dir/test_util.cc.o"
+  "CMakeFiles/builtins_test.dir/test_util.cc.o.d"
+  "builtins_test"
+  "builtins_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/builtins_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

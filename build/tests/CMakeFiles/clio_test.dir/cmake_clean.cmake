@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clio_test.dir/clio_test.cc.o"
+  "CMakeFiles/clio_test.dir/clio_test.cc.o.d"
+  "CMakeFiles/clio_test.dir/test_util.cc.o"
+  "CMakeFiles/clio_test.dir/test_util.cc.o.d"
+  "clio_test"
+  "clio_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clio_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compile_test.dir/compile_test.cc.o"
+  "CMakeFiles/compile_test.dir/compile_test.cc.o.d"
+  "CMakeFiles/compile_test.dir/test_util.cc.o"
+  "CMakeFiles/compile_test.dir/test_util.cc.o.d"
+  "compile_test"
+  "compile_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compile_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

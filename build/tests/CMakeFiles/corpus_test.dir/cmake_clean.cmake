@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/corpus_test.dir/corpus_test.cc.o"
+  "CMakeFiles/corpus_test.dir/corpus_test.cc.o.d"
+  "CMakeFiles/corpus_test.dir/test_util.cc.o"
+  "CMakeFiles/corpus_test.dir/test_util.cc.o.d"
+  "corpus_test"
+  "corpus_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/corpus_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/groupby_test.dir/groupby_test.cc.o"
+  "CMakeFiles/groupby_test.dir/groupby_test.cc.o.d"
+  "CMakeFiles/groupby_test.dir/test_util.cc.o"
+  "CMakeFiles/groupby_test.dir/test_util.cc.o.d"
+  "groupby_test"
+  "groupby_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/groupby_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interp_test.dir/interp_test.cc.o"
+  "CMakeFiles/interp_test.dir/interp_test.cc.o.d"
+  "CMakeFiles/interp_test.dir/test_util.cc.o"
+  "CMakeFiles/interp_test.dir/test_util.cc.o.d"
+  "interp_test"
+  "interp_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

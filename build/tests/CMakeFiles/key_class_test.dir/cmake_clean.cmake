@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/key_class_test.dir/key_class_test.cc.o"
+  "CMakeFiles/key_class_test.dir/key_class_test.cc.o.d"
+  "CMakeFiles/key_class_test.dir/test_util.cc.o"
+  "CMakeFiles/key_class_test.dir/test_util.cc.o.d"
+  "key_class_test"
+  "key_class_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/key_class_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

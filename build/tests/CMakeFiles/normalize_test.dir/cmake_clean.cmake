@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/normalize_test.dir/normalize_test.cc.o"
+  "CMakeFiles/normalize_test.dir/normalize_test.cc.o.d"
+  "CMakeFiles/normalize_test.dir/test_util.cc.o"
+  "CMakeFiles/normalize_test.dir/test_util.cc.o.d"
+  "normalize_test"
+  "normalize_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/normalize_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optimizer_test.dir/optimizer_test.cc.o"
+  "CMakeFiles/optimizer_test.dir/optimizer_test.cc.o.d"
+  "CMakeFiles/optimizer_test.dir/test_util.cc.o"
+  "CMakeFiles/optimizer_test.dir/test_util.cc.o.d"
+  "optimizer_test"
+  "optimizer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optimizer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/project_test.dir/project_test.cc.o"
+  "CMakeFiles/project_test.dir/project_test.cc.o.d"
+  "CMakeFiles/project_test.dir/test_util.cc.o"
+  "CMakeFiles/project_test.dir/test_util.cc.o.d"
+  "project_test"
+  "project_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/project_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/projection_infer_test.dir/projection_infer_test.cc.o"
+  "CMakeFiles/projection_infer_test.dir/projection_infer_test.cc.o.d"
+  "CMakeFiles/projection_infer_test.dir/test_util.cc.o"
+  "CMakeFiles/projection_infer_test.dir/test_util.cc.o.d"
+  "projection_infer_test"
+  "projection_infer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/projection_infer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/schema_test.dir/schema_test.cc.o"
+  "CMakeFiles/schema_test.dir/schema_test.cc.o.d"
+  "CMakeFiles/schema_test.dir/test_util.cc.o"
+  "CMakeFiles/schema_test.dir/test_util.cc.o.d"
+  "schema_test"
+  "schema_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/schema_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/semantics_test.cc" "tests/CMakeFiles/semantics_test.dir/semantics_test.cc.o" "gcc" "tests/CMakeFiles/semantics_test.dir/semantics_test.cc.o.d"
+  "/root/repo/tests/test_util.cc" "tests/CMakeFiles/semantics_test.dir/test_util.cc.o" "gcc" "tests/CMakeFiles/semantics_test.dir/test_util.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/xqc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

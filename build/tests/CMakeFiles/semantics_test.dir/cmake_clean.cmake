@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/semantics_test.dir/semantics_test.cc.o"
+  "CMakeFiles/semantics_test.dir/semantics_test.cc.o.d"
+  "CMakeFiles/semantics_test.dir/test_util.cc.o"
+  "CMakeFiles/semantics_test.dir/test_util.cc.o.d"
+  "semantics_test"
+  "semantics_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/semantics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

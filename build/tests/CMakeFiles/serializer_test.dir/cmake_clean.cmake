@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serializer_test.dir/serializer_test.cc.o"
+  "CMakeFiles/serializer_test.dir/serializer_test.cc.o.d"
+  "CMakeFiles/serializer_test.dir/test_util.cc.o"
+  "CMakeFiles/serializer_test.dir/test_util.cc.o.d"
+  "serializer_test"
+  "serializer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serializer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

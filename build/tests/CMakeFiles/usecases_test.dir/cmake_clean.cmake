@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/usecases_test.dir/test_util.cc.o"
+  "CMakeFiles/usecases_test.dir/test_util.cc.o.d"
+  "CMakeFiles/usecases_test.dir/usecases_test.cc.o"
+  "CMakeFiles/usecases_test.dir/usecases_test.cc.o.d"
+  "usecases_test"
+  "usecases_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/usecases_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
