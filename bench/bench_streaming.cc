@@ -1,0 +1,150 @@
+// Iterator vs materializing execution (ExecMode) on early-terminating
+// query heads: fn:exists, positional [1], fn:subsequence prefixes, and
+// quantifiers over a large document.
+//
+// Expected shapes:
+//  - streaming cost for the early-exit queries is O(prefix) and independent
+//    of the document size, materializing is O(n): the gap grows linearly
+//    and is far beyond 10x at the default scale (~20k items);
+//  - both modes report identical results (checked here, not just timed);
+//  - the full-scan control query shows stream-vs-materialize parity, i.e.
+//    the iterator layer itself adds no asymptotic overhead.
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "bench/bench_util.h"
+#include "src/xml/xml_parser.h"
+
+namespace xqc {
+namespace {
+
+constexpr size_t kDefaultItems = 20000;
+
+size_t ScaledItems() { return bench::Scaled(kDefaultItems); }
+
+const std::string& DocXml() {
+  static const std::string* xml = [] {
+    std::string* s = new std::string("<doc>");
+    for (size_t i = 1; i <= ScaledItems(); i++) {
+      std::string id = std::to_string(i);
+      *s += "<item><id>" + id + "</id><grp>" + std::to_string(i % 7) +
+            "</grp></item>";
+    }
+    *s += "</doc>";
+    return s;
+  }();
+  return *xml;
+}
+
+NodePtr ParsedDoc() {
+  static const NodePtr doc = [] {
+    Result<NodePtr> r = ParseXml(DocXml());
+    if (!r.ok()) std::abort();
+    return r.value();
+  }();
+  return doc;
+}
+
+struct EarlyExitQuery {
+  const char* name;
+  const char* query;
+};
+
+const EarlyExitQuery kQueries[] = {
+    {"Exists", "exists(for $x in $D//item return $x)"},
+    {"ExistsWhere",
+     "exists(for $x in $D//item where number($x/id) >= 1 return $x)"},
+    {"FirstItem", "(for $x in $D//item return string($x/id))[1]"},
+    {"SubsequencePrefix",
+     "subsequence(for $x in $D//item return string($x/id), 1, 3)"},
+    {"SomeQuantifier", "some $x in $D//item satisfies number($x/id) = 2"},
+    // Control: consumes everything; both modes must touch all tuples.
+    {"FullCount", "count(for $x in $D//item return $x)"},
+};
+
+void BM_ExecMode(benchmark::State& state, const char* query_text,
+                 ExecMode mode) {
+  Engine engine;
+  EngineOptions options;
+  options.exec_mode = mode;
+  std::string query =
+      std::string("declare variable $D external; ") + query_text;
+  Result<PreparedQuery> q = engine.Prepare(query, options);
+  if (!q.ok()) {
+    state.SkipWithError(q.status().ToString().c_str());
+    return;
+  }
+  DynamicContext ctx;
+  ctx.BindVariable(Symbol("D"), {Item(ParsedDoc())});
+  int64_t tuples = 0;
+  for (auto _ : state) {
+    Result<std::string> r = q.value().ExecuteToString(&ctx);
+    if (!r.ok()) {
+      state.SkipWithError(r.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(r.value().size());
+    tuples = q.value().last_exec_stats().source_tuples;
+  }
+  state.counters["source_tuples"] =
+      benchmark::Counter(static_cast<double>(tuples));
+}
+
+// Sanity check outside the timed region: both modes agree on every query.
+bool VerifyModesAgree() {
+  Engine engine;
+  for (const EarlyExitQuery& q : kQueries) {
+    std::string query =
+        std::string("declare variable $D external; ") + q.query;
+    std::string results[2];
+    for (int m = 0; m < 2; m++) {
+      EngineOptions options;
+      options.exec_mode = m == 0 ? ExecMode::kStreaming : ExecMode::kMaterialize;
+      DynamicContext ctx;
+      ctx.BindVariable(Symbol("D"), {Item(ParsedDoc())});
+      Result<PreparedQuery> p = engine.Prepare(query, options);
+      if (!p.ok()) return false;
+      Result<std::string> r = p.value().ExecuteToString(&ctx);
+      if (!r.ok()) return false;
+      results[m] = r.value();
+    }
+    if (results[0] != results[1]) {
+      fprintf(stderr, "MODE MISMATCH on %s:\n  streaming:   %s\n  "
+              "materialize: %s\n", q.name, results[0].c_str(),
+              results[1].c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+void RegisterAll() {
+  struct Mode {
+    const char* name;
+    ExecMode mode;
+  };
+  const Mode kModes[] = {{"Streaming", ExecMode::kStreaming},
+                         {"Materialize", ExecMode::kMaterialize}};
+  for (const EarlyExitQuery& q : kQueries) {
+    for (const Mode& m : kModes) {
+      const char* text = q.query;
+      ExecMode mode = m.mode;
+      benchmark::RegisterBenchmark(
+          (std::string("Streaming/") + q.name + "/" + m.name).c_str(),
+          [text, mode](benchmark::State& st) { BM_ExecMode(st, text, mode); })
+          ->Unit(benchmark::kMicrosecond);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace xqc
+
+int main(int argc, char** argv) {
+  if (!xqc::VerifyModesAgree()) return 1;
+  xqc::RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

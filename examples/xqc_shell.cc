@@ -13,6 +13,7 @@
 //   --no-optimize        disable the Figure 5 rewritings
 //   --interpret          use the baseline Core interpreter
 //   --join nl|hash|sort  physical join algorithm (default hash)
+//   --exec stream|mat    iterator vs materializing execution (default stream)
 //   --project            statically project bound documents (TreeProject)
 //   --stats              print optimizer/executor statistics
 #include <fstream>
@@ -88,6 +89,13 @@ int main(int argc, char** argv) {
       else if (j == "hash") options.join_impl = xqc::JoinImpl::kHash;
       else if (j == "sort") options.join_impl = xqc::JoinImpl::kSort;
       else return Fail("unknown join algorithm: " + j);
+    } else if (arg == "--exec") {
+      const char* v = next();
+      if (v == nullptr) return Fail("--exec needs stream|mat");
+      std::string e = v;
+      if (e == "stream") options.exec_mode = xqc::ExecMode::kStreaming;
+      else if (e == "mat") options.exec_mode = xqc::ExecMode::kMaterialize;
+      else return Fail("unknown exec mode: " + e);
     } else {
       return Fail("unknown option: " + arg);
     }
@@ -143,7 +151,9 @@ int main(int argc, char** argv) {
               << " range-joins=" << es.range_joins
               << " nl-joins=" << es.nested_loop_joins
               << " group-bys=" << es.group_bys
-              << " index-reuses=" << es.join_index_reuses << "\n";
+              << " index-reuses=" << es.join_index_reuses
+              << " source-tuples=" << es.source_tuples
+              << " early-stops=" << es.streaming_early_stops << "\n";
   }
   return 0;
 }

@@ -124,4 +124,20 @@ std::string XmlEscape(std::string_view s, bool in_attribute) {
   return out;
 }
 
+size_t Utf8Next(std::string_view s, size_t i) {
+  if (i >= s.size()) return s.size();
+  i++;
+  while (i < s.size() &&
+         (static_cast<unsigned char>(s[i]) & 0xC0) == 0x80) {
+    i++;
+  }
+  return i;
+}
+
+size_t Utf8Length(std::string_view s) {
+  size_t n = 0;
+  for (size_t i = 0; i < s.size(); i = Utf8Next(s, i)) n++;
+  return n;
+}
+
 }  // namespace xqc

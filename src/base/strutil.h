@@ -43,6 +43,19 @@ std::vector<std::string_view> Split(std::string_view s, char sep);
 /// XML-escapes text content (& < >) or attribute values (also " ).
 std::string XmlEscape(std::string_view s, bool in_attribute);
 
+// ---- UTF-8 codepoint helpers ------------------------------------------------
+// The XQuery string model counts characters (Unicode codepoints), not
+// bytes; fn:string-length / fn:substring index by codepoint. Continuation
+// bytes have the form 10xxxxxx; malformed bytes count as one codepoint
+// each so every walk terminates.
+
+/// Given the byte offset `i` of a codepoint start in `s`, returns the byte
+/// offset one past that codepoint (the next boundary), at most s.size().
+size_t Utf8Next(std::string_view s, size_t i);
+
+/// Number of Unicode codepoints in `s`.
+size_t Utf8Length(std::string_view s);
+
 }  // namespace xqc
 
 #endif  // XQC_BASE_STRUTIL_H_

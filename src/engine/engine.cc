@@ -6,17 +6,97 @@
 
 namespace xqc {
 
+namespace {
+
+ExecOptions ToExecOptions(const EngineOptions& o) {
+  ExecOptions exec;
+  exec.join_impl = o.join_impl;
+  exec.streaming = o.exec_mode == ExecMode::kStreaming;
+  return exec;
+}
+
+}  // namespace
+
 Result<Sequence> PreparedQuery::Execute(DynamicContext* ctx) const {
   if (!options_.use_algebra) {
     Interpreter interp(core_.get(), ctx);
     return interp.Run();
   }
-  ExecOptions exec;
-  exec.join_impl = options_.join_impl;
-  PlanEvaluator eval(compiled_.get(), ctx, exec);
+  PlanEvaluator eval(compiled_.get(), ctx, ToExecOptions(options_));
   Result<Sequence> r = eval.Run();
   exec_stats_ = eval.stats();
   return r;
+}
+
+struct ResultStream::Impl {
+  Impl(std::shared_ptr<CompiledQuery> q, DynamicContext* ctx,
+       const ExecOptions& opt)
+      : query(std::move(q)), eval(query.get(), ctx, opt) {}
+
+  std::shared_ptr<CompiledQuery> query;  // keeps the plan alive
+  PlanEvaluator eval;
+  bool streaming = false;
+  TupleIteratorPtr iter;                 // streaming: the top tuple stream
+  const Op* per_tuple = nullptr;         // streaming: MapToItem's item plan
+  Sequence buf;                          // current tuple's items / full result
+  size_t pos = 0;
+  bool done = false;
+  ExecStats buffered_stats;              // fallback (non-streaming) stats
+};
+
+Result<bool> ResultStream::Next(Item* out) {
+  Impl& im = *impl_;
+  while (im.pos >= im.buf.size()) {
+    if (!im.streaming || im.done) return false;
+    Tuple t;
+    XQC_ASSIGN_OR_RETURN(bool has, im.iter->Next(&t));
+    if (!has) {
+      im.done = true;
+      return false;
+    }
+    EvalCtx dc;
+    dc.tuple = &t;
+    XQC_ASSIGN_OR_RETURN(im.buf, im.eval.EvalItems(*im.per_tuple, dc));
+    im.pos = 0;
+  }
+  *out = im.buf[im.pos++];
+  return true;
+}
+
+Result<Sequence> ResultStream::Drain() {
+  Sequence out;
+  Item item;
+  while (true) {
+    XQC_ASSIGN_OR_RETURN(bool has, Next(&item));
+    if (!has) return out;
+    out.push_back(std::move(item));
+  }
+}
+
+const ExecStats& ResultStream::stats() const {
+  return impl_->streaming ? impl_->eval.stats() : impl_->buffered_stats;
+}
+
+Result<ResultStream> PreparedQuery::ExecuteStream(DynamicContext* ctx) const {
+  ResultStream rs;
+  rs.impl_ = std::make_shared<ResultStream::Impl>(compiled_, ctx,
+                                                  ToExecOptions(options_));
+  // Incremental pulling needs an algebraic MapToItem top: anything else
+  // (interpreter mode, materializing mode, a non-tuple top plan) computes
+  // the full result now and serves it from the buffer.
+  if (options_.use_algebra && options_.exec_mode == ExecMode::kStreaming &&
+      compiled_->plan->kind == OpKind::kMapToItem) {
+    rs.impl_->streaming = true;
+    XQC_RETURN_IF_ERROR(rs.impl_->eval.PrepareGlobals());
+    XQC_ASSIGN_OR_RETURN(
+        rs.impl_->iter,
+        rs.impl_->eval.OpenTable(*compiled_->plan->inputs[0], EvalCtx{}));
+    rs.impl_->per_tuple = compiled_->plan->deps[0].get();
+    return rs;
+  }
+  XQC_ASSIGN_OR_RETURN(rs.impl_->buf, Execute(ctx));
+  rs.impl_->buffered_stats = exec_stats_;
+  return rs;
 }
 
 Result<std::string> PreparedQuery::ExecuteToString(DynamicContext* ctx) const {

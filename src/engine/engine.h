@@ -10,6 +10,10 @@
 //   optimize, join=kNestedLoop             "Optim + nested-loop joins"
 //   optimize, join=kHash (default)         "Optim + XQuery joins"
 //
+// Orthogonally, exec_mode picks the physical iteration model for the tuple
+// algebra: kStreaming (pull-based iterators with early termination, the
+// default) or kMaterialize (full table per operator). Results are identical.
+//
 // Example:
 //   xqc::Engine engine;
 //   auto q = engine.Prepare("for $x in (1,2,3) return $x * 2");
@@ -30,6 +34,16 @@
 
 namespace xqc {
 
+/// Physical execution mode for the tuple algebra.
+enum class ExecMode {
+  /// Pull-based iterator execution (iterator.h): operators stream tuple
+  /// at a time and early-terminating consumers (fn:exists, [1] heads,
+  /// fn:subsequence, quantifiers) stop pulling the input.
+  kStreaming,
+  /// The original mode: every operator materializes its full table.
+  kMaterialize,
+};
+
 struct EngineOptions {
   /// false: evaluate the normalized Core AST directly (baseline).
   bool use_algebra = true;
@@ -37,6 +51,31 @@ struct EngineOptions {
   bool optimize = true;
   /// Physical join algorithm for Join / LOuterJoin.
   JoinImpl join_impl = JoinImpl::kHash;
+  /// Iterator vs materializing execution (results are identical; see
+  /// ExecOptions::streaming for the error-laziness caveat).
+  ExecMode exec_mode = ExecMode::kStreaming;
+};
+
+/// An incrementally pulled query result (PreparedQuery::ExecuteStream).
+/// Holds the executing plan; the DynamicContext passed to ExecuteStream
+/// must outlive it. Pulling fewer items than the full result leaves the
+/// unconsumed remainder unevaluated in streaming mode.
+class ResultStream {
+ public:
+  /// Produces the next result item. Returns false at end of stream.
+  Result<bool> Next(Item* out);
+
+  /// Pulls and returns every remaining item.
+  Result<Sequence> Drain();
+
+  /// Statistics accumulated so far (partial until the stream ends).
+  const ExecStats& stats() const;
+
+ private:
+  friend class PreparedQuery;
+  ResultStream() = default;
+  struct Impl;
+  std::shared_ptr<Impl> impl_;
 };
 
 /// A compiled, optimized, executable query.
@@ -47,6 +86,11 @@ class PreparedQuery {
 
   /// Evaluates and serializes the result.
   Result<std::string> ExecuteToString(DynamicContext* ctx) const;
+
+  /// Opens a pull-based result cursor. With ExecMode::kStreaming and an
+  /// algebraic plan the result is computed on demand; otherwise the full
+  /// result is computed here and buffered behind the same interface.
+  Result<ResultStream> ExecuteStream(DynamicContext* ctx) const;
 
   /// The (optimized, if enabled) algebraic plan in the paper's notation.
   std::string ExplainPlan(bool pretty = true) const;

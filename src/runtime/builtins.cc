@@ -12,6 +12,12 @@
 #include "src/xml/xml_parser.h"
 
 namespace xqc {
+
+double XQueryRound(double d) {
+  if (std::isnan(d) || std::isinf(d)) return d;
+  return std::floor(d + 0.5);
+}
+
 namespace {
 
 using Args = std::vector<Sequence>;
@@ -277,13 +283,21 @@ Result<Sequence> Substring(const Args& args) {
   double dlen = args.size() == 3 ? 0 : HUGE_VAL;
   if (args.size() == 3) {
     XQC_ASSIGN_OR_RETURN(dlen, DoubleArg(args[2], "fn:substring"));
+    if (std::isnan(dlen)) return One(AtomicValue::String(""));
   }
-  double from = std::round(dstart);
-  double to = args.size() == 3 ? from + std::round(dlen) : HUGE_VAL;
+  // F&O 7.4.3: positions are codepoints counted from 1 and round with
+  // fn:round; a NaN start or length selects nothing.
+  if (std::isnan(dstart)) return One(AtomicValue::String(""));
+  double from = XQueryRound(dstart);
+  // from + len can be NaN (-INF start with INF length): pos < NaN is false
+  // for every position, which is exactly the spec's empty result.
+  double to = args.size() == 3 ? from + XQueryRound(dlen) : HUGE_VAL;
   std::string out;
-  for (size_t i = 0; i < s.size(); i++) {
-    double pos = static_cast<double>(i) + 1.0;
-    if (pos >= from && pos < to) out.push_back(s[i]);
+  double pos = 1.0;
+  for (size_t i = 0; i < s.size(); pos += 1.0) {
+    size_t next = Utf8Next(s, i);
+    if (pos >= from && pos < to) out.append(s, i, next - i);
+    i = next;
   }
   return One(AtomicValue::String(std::move(out)));
 }
@@ -374,7 +388,8 @@ const std::map<std::string, Builtin>& Registry() {
     add("fn:string-length", 1, 1,
         [](const Args& a, DynamicContext*) -> Result<Sequence> {
           XQC_ASSIGN_OR_RETURN(std::string s, StringArg(a[0], "fn:string-length"));
-          return One(AtomicValue::Integer(static_cast<int64_t>(s.size())));
+          // Codepoints, not UTF-8 bytes: string-length("déjà vu") is 7.
+          return One(AtomicValue::Integer(static_cast<int64_t>(Utf8Length(s))));
         });
     add("fn:concat", 2, -1,
         [](const Args& a, DynamicContext*) -> Result<Sequence> {
@@ -497,8 +512,7 @@ const std::map<std::string, Builtin>& Registry() {
     };
     add("fn:floor", 1, 1, rounder(+[](double d) { return std::floor(d); }, "fn:floor"));
     add("fn:ceiling", 1, 1, rounder(+[](double d) { return std::ceil(d); }, "fn:ceiling"));
-    add("fn:round", 1, 1,
-        rounder(+[](double d) { return std::floor(d + 0.5); }, "fn:round"));
+    add("fn:round", 1, 1, rounder(&XQueryRound, "fn:round"));
 
     // -- sequences --
     add("fn:distinct-values", 1, 1,
@@ -535,8 +549,8 @@ const std::map<std::string, Builtin>& Registry() {
           if (a.size() == 3) {
             XQC_ASSIGN_OR_RETURN(dlen, DoubleArg(a[2], "fn:subsequence"));
           }
-          double from = std::round(dstart);
-          double to = a.size() == 3 ? from + std::round(dlen) : HUGE_VAL;
+          double from = XQueryRound(dstart);
+          double to = a.size() == 3 ? from + XQueryRound(dlen) : HUGE_VAL;
           Sequence out;
           for (size_t i = 0; i < a[0].size(); i++) {
             double pos = static_cast<double>(i) + 1.0;

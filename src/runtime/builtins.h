@@ -24,6 +24,12 @@ Result<Sequence> CallBuiltin(Symbol name, const std::vector<Sequence>& args,
 /// Lists all built-in function names (for documentation and tests).
 std::vector<Symbol> AllBuiltinFunctions();
 
+/// fn:round semantics — half toward positive infinity, floor(x + 0.5) — with
+/// NaN and ±INF passing through (F&O 6.4.4). fn:substring / fn:subsequence
+/// position arguments round with this, NOT half-away-from-zero std::round;
+/// they differ at -N.5. Also used by the streaming subsequence prefix bound.
+double XQueryRound(double d);
+
 }  // namespace xqc
 
 #endif  // XQC_RUNTIME_BUILTINS_H_

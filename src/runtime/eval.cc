@@ -65,23 +65,17 @@ CompOp MirrorOp(CompOp op) {
 
 /// Is `op` a general-comparison call whose two argument plans partition
 /// into left-side / right-side key expressions? (The join recognizer
-/// feeding the Section 6 algorithms.) On success sets the operator as seen
-/// from `left_key OP right_key` (mirrored if the arguments were swapped).
-bool IsIndexableComparison(const Op& pred, const Table& left,
-                           const Table& right, const Op** left_key,
+/// feeding the Section 6 algorithms.) `lf` / `rf` are the field layouts of
+/// a representative tuple from each side. On success sets the operator as
+/// seen from `left_key OP right_key` (mirrored if the arguments were
+/// swapped).
+bool IsIndexableComparison(const Op& pred, const std::set<Symbol>& lf,
+                           const std::set<Symbol>& rf, const Op** left_key,
                            const Op** right_key, CompOp* comp) {
   if (pred.kind != OpKind::kCall || pred.inputs.size() != 2 ||
       !GeneralCompName(pred.name, comp)) {
     return false;
   }
-  auto fields_of = [](const Table& t) {
-    std::set<Symbol> fs;
-    if (!t.empty()) {
-      for (const auto& [f, v] : t[0].entries()) fs.insert(f);
-    }
-    return fs;
-  };
-  std::set<Symbol> lf = fields_of(left), rf = fields_of(right);
   auto side_of = [&](const Op& key) -> int {
     std::vector<Symbol> used;
     CollectOuterFieldUses(key, &used);
@@ -117,7 +111,7 @@ PlanEvaluator::PlanEvaluator(const CompiledQuery* query, DynamicContext* ctx,
                              const ExecOptions& options)
     : query_(query), ctx_(ctx), options_(options) {}
 
-Result<Sequence> PlanEvaluator::Run() {
+Status PlanEvaluator::PrepareGlobals() {
   for (const auto& [name, plan] : query_->globals) {
     if (plan == nullptr) {
       Sequence v;
@@ -131,6 +125,11 @@ Result<Sequence> PlanEvaluator::Run() {
     XQC_ASSIGN_OR_RETURN(Sequence v, EvalItems(*plan, EvalCtx{}));
     globals_[name] = std::move(v);
   }
+  return Status::OK();
+}
+
+Result<Sequence> PlanEvaluator::Run() {
+  XQC_RETURN_IF_ERROR(PrepareGlobals());
   return EvalItems(*query_->plan, EvalCtx{});
 }
 
@@ -139,8 +138,59 @@ Result<bool> PlanEvaluator::EvalPredicate(const Op& pred, const Tuple& t,
   EvalCtx pc = c;
   pc.tuple = &t;
   pc.items = nullptr;
-  XQC_ASSIGN_OR_RETURN(Sequence v, EvalItems(pred, pc));
+  // The effective boolean value is decidable from a 2-item prefix (empty,
+  // first-item-node, or the >1-atomics error), so streaming mode bounds
+  // the predicate's evaluation.
+  XQC_ASSIGN_OR_RETURN(Sequence v, EvalItemsLimited(pred, pc, 2));
   return EffectiveBooleanValue(v);
+}
+
+Result<Sequence> PlanEvaluator::EvalItemsLimited(const Op& op, const EvalCtx& c,
+                                                 size_t limit) {
+  if (!options_.streaming || limit == kEvalNoLimit) return EvalItems(op, c);
+  switch (op.kind) {
+    case OpKind::kMapToItem:
+      return EvalMapToItem(op, c, limit);
+    case OpKind::kSequence: {
+      Sequence out;
+      for (const OpPtr& i : op.inputs) {
+        if (out.size() >= limit) {
+          stats_.streaming_early_stops++;
+          break;
+        }
+        XQC_ASSIGN_OR_RETURN(Sequence v,
+                             EvalItemsLimited(*i, c, limit - out.size()));
+        Extend(&out, std::move(v));
+      }
+      return out;
+    }
+    case OpKind::kCond: {
+      XQC_ASSIGN_OR_RETURN(Sequence cond, EvalItemsLimited(*op.inputs[0], c, 2));
+      XQC_ASSIGN_OR_RETURN(bool b, EffectiveBooleanValue(cond));
+      return EvalItemsLimited(b ? *op.deps[0] : *op.deps[1], c, limit);
+    }
+    default:
+      return EvalItems(op, c);
+  }
+}
+
+Result<Sequence> PlanEvaluator::EvalMapToItem(const Op& op, const EvalCtx& c,
+                                              size_t limit) {
+  XQC_ASSIGN_OR_RETURN(TupleIteratorPtr input, OpenTable(*op.inputs[0], c));
+  Sequence out;
+  Tuple t;
+  while (out.size() < limit) {
+    XQC_ASSIGN_OR_RETURN(bool has, input->Next(&t));
+    if (!has) return out;
+    EvalCtx dc = c;
+    dc.tuple = &t;
+    dc.items = nullptr;
+    XQC_ASSIGN_OR_RETURN(Sequence v, EvalItems(*op.deps[0], dc));
+    Extend(&out, std::move(v));
+  }
+  input->Close();
+  stats_.streaming_early_stops++;
+  return out;
 }
 
 Result<Sequence> PlanEvaluator::EvalItems(const Op& op, const EvalCtx& c) {
@@ -255,7 +305,8 @@ Result<Sequence> PlanEvaluator::EvalItems(const Op& op, const EvalCtx& c) {
     case OpKind::kCall:
       return EvalCall(op, c);
     case OpKind::kCond: {
-      XQC_ASSIGN_OR_RETURN(Sequence cond, EvalItems(*op.inputs[0], c));
+      // A condition is consumed by EBV only: a 2-item prefix suffices.
+      XQC_ASSIGN_OR_RETURN(Sequence cond, EvalItemsLimited(*op.inputs[0], c, 2));
       XQC_ASSIGN_OR_RETURN(bool b, EffectiveBooleanValue(cond));
       return EvalItems(b ? *op.deps[0] : *op.deps[1], c);
     }
@@ -292,6 +343,7 @@ Result<Sequence> PlanEvaluator::EvalItems(const Op& op, const EvalCtx& c) {
       return *v;
     }
     case OpKind::kMapToItem: {
+      if (options_.streaming) return EvalMapToItem(op, c, kEvalNoLimit);
       XQC_ASSIGN_OR_RETURN(Table table, EvalTable(*op.inputs[0], c));
       Sequence out;
       for (const Tuple& t : table) {
@@ -305,8 +357,26 @@ Result<Sequence> PlanEvaluator::EvalItems(const Op& op, const EvalCtx& c) {
     }
     case OpKind::kMapSome:
     case OpKind::kMapEvery: {
-      XQC_ASSIGN_OR_RETURN(Table table, EvalTable(*op.inputs[0], c));
       bool want = op.kind == OpKind::kMapSome;
+      if (options_.streaming) {
+        // Quantifier short-circuit: stop pulling the binding stream at the
+        // first deciding tuple.
+        XQC_ASSIGN_OR_RETURN(TupleIteratorPtr input,
+                             OpenTable(*op.inputs[0], c));
+        Tuple t;
+        while (true) {
+          XQC_ASSIGN_OR_RETURN(bool has, input->Next(&t));
+          if (!has) break;
+          XQC_ASSIGN_OR_RETURN(bool b, EvalPredicate(*op.deps[0], t, c));
+          if (b == want) {
+            input->Close();
+            stats_.streaming_early_stops++;
+            return Sequence{AtomicValue::Boolean(want)};
+          }
+        }
+        return Sequence{AtomicValue::Boolean(!want)};
+      }
+      XQC_ASSIGN_OR_RETURN(Table table, EvalTable(*op.inputs[0], c));
       for (const Tuple& t : table) {
         XQC_ASSIGN_OR_RETURN(bool b, EvalPredicate(*op.deps[0], t, c));
         if (b == want) return Sequence{AtomicValue::Boolean(want)};
@@ -475,6 +545,7 @@ Result<Table> PlanEvaluator::EvalTable(const Op& op, const EvalCtx& c) {
         XQC_ASSIGN_OR_RETURN(Tuple t, EvalTuple(*op.deps[0], dc));
         out.push_back(std::move(t));
       }
+      stats_.source_tuples += static_cast<int64_t>(out.size());
       return out;
     }
     default:
@@ -504,30 +575,27 @@ void FlattenConjuncts(const Op* pred, std::vector<const Op*>* out) {
 
 }  // namespace
 
-Result<Table> PlanEvaluator::EvalJoin(const Op& op, const EvalCtx& c,
-                                      bool outer) {
-  XQC_ASSIGN_OR_RETURN(Table left, EvalTable(*op.inputs[0], c));
-
+Result<std::shared_ptr<const Table>> PlanEvaluator::MaterializeJoinRight(
+    const Op& op, const EvalCtx& c, bool* cacheable) {
   // The inner (right) side of a correlated subplan's join re-evaluates per
   // outer tuple; when it is independent of IN (and of function parameters)
-  // its materialization — and below, its Figure 6 index — is cached.
-  const bool right_cacheable =
-      c.params == nullptr && !FreeIn(*op.inputs[1]);
-  std::shared_ptr<const Table> right_shared;
-  Table right_local;
-  if (right_cacheable) {
+  // its materialization — and in PlanJoinStrategy, its Figure 6 index — is
+  // cached.
+  *cacheable = c.params == nullptr && !FreeIn(*op.inputs[1]);
+  if (*cacheable) {
     auto it = table_cache_.find(op.inputs[1].get());
-    if (it != table_cache_.end()) {
-      right_shared = it->second;
-    } else {
-      XQC_ASSIGN_OR_RETURN(Table t, EvalTable(*op.inputs[1], c));
-      right_shared = std::make_shared<const Table>(std::move(t));
-      table_cache_[op.inputs[1].get()] = right_shared;
-    }
-  } else {
-    XQC_ASSIGN_OR_RETURN(right_local, EvalTable(*op.inputs[1], c));
+    if (it != table_cache_.end()) return it->second;
   }
-  const Table& right = right_cacheable ? *right_shared : right_local;
+  XQC_ASSIGN_OR_RETURN(Table t, EvalTable(*op.inputs[1], c));
+  auto shared = std::make_shared<const Table>(std::move(t));
+  if (*cacheable) table_cache_[op.inputs[1].get()] = shared;
+  return shared;
+}
+
+Result<JoinStrategy> PlanEvaluator::PlanJoinStrategy(
+    const Op& op, const EvalCtx& c, const Tuple& first_left,
+    const std::shared_ptr<const Table>& right, bool right_cacheable) {
+  JoinStrategy s;
   const Op& pred = *op.deps[0];
 
   // Multi-predicate joins (Section 6: "this algorithm handles one key
@@ -535,6 +603,11 @@ Result<Table> PlanEvaluator::EvalJoin(const Op& op, const EvalCtx& c,
   // pick the first hashable equality conjunct as the index key and apply
   // the remaining conjuncts as a residual filter.
   if (options_.join_impl != JoinImpl::kNestedLoop) {
+    std::set<Symbol> lf, rf;
+    for (const auto& [f, v] : first_left.entries()) lf.insert(f);
+    if (!right->empty()) {
+      for (const auto& [f, v] : (*right)[0].entries()) rf.insert(f);
+    }
     std::vector<const Op*> conjuncts;
     FlattenConjuncts(&pred, &conjuncts);
     const Op* lkey = nullptr;
@@ -547,7 +620,7 @@ Result<Table> PlanEvaluator::EvalJoin(const Op& op, const EvalCtx& c,
       CompOp cand;
       const Op* lk;
       const Op* rk;
-      if (IsIndexableComparison(*conjuncts[i], left, right, &lk, &rk, &cand) &&
+      if (IsIndexableComparison(*conjuncts[i], lf, rf, &lk, &rk, &cand) &&
           cand == CompOp::kEq) {
         key_idx = i;
         lkey = lk;
@@ -561,8 +634,7 @@ Result<Table> PlanEvaluator::EvalJoin(const Op& op, const EvalCtx& c,
         CompOp cand;
         const Op* lk;
         const Op* rk;
-        if (IsIndexableComparison(*conjuncts[i], left, right, &lk, &rk,
-                                  &cand) &&
+        if (IsIndexableComparison(*conjuncts[i], lf, rf, &lk, &rk, &cand) &&
             (cand == CompOp::kLt || cand == CompOp::kLe ||
              cand == CompOp::kGt || cand == CompOp::kGe)) {
           key_idx = i;
@@ -574,27 +646,18 @@ Result<Table> PlanEvaluator::EvalJoin(const Op& op, const EvalCtx& c,
       }
     }
     if (key_idx < conjuncts.size()) {
-      auto key_fn = [this, &c](const Op* key) {
-        return [this, key, &c](const Tuple& t) -> Result<Sequence> {
-          EvalCtx kc = c;
-          kc.tuple = &t;
-          kc.items = nullptr;
-          XQC_ASSIGN_OR_RETURN(Sequence v, EvalItems(*key, kc));
-          return Atomize(v);  // fn:data, Figure 6 line 7
-        };
+      auto rkey_fn = [this, rkey, &c](const Tuple& t) -> Result<Sequence> {
+        EvalCtx kc = c;
+        kc.tuple = &t;
+        kc.items = nullptr;
+        XQC_ASSIGN_OR_RETURN(Sequence v, EvalItems(*rkey, kc));
+        return Atomize(v);  // fn:data, Figure 6 line 7
       };
-      std::vector<const Op*> rest;
       for (size_t i = 0; i < conjuncts.size(); i++) {
-        if (i != key_idx) rest.push_back(conjuncts[i]);
+        if (i != key_idx) s.residual.push_back(conjuncts[i]);
       }
-      PredFn residual = [this, rest, &c](const Tuple& t) -> Result<bool> {
-        for (const Op* conj : rest) {
-          XQC_ASSIGN_OR_RETURN(bool b, EvalPredicate(*conj, t, c));
-          if (!b) return false;
-        }
-        return true;
-      };
-      const PredFn* residual_ptr = rest.empty() ? nullptr : &residual;
+      s.left_key = lkey;
+      s.comp = comp;
 
       if (comp == CompOp::kEq) {
         bool ordered = options_.join_impl == JoinImpl::kSort;
@@ -613,67 +676,116 @@ Result<Table> PlanEvaluator::EvalJoin(const Op& op, const EvalCtx& c,
         if (mode == KeyMode::kNoMatch) {
           // Statically incompatible key types: nothing ever matches.
           stats_.specialized_joins++;
-          Table out;
-          if (outer) {
-            for (const Tuple& l : left) {
-              Tuple flag;
-              flag.Set(op.name, {AtomicValue::Boolean(true)});
-              out.push_back(Tuple::Concat(flag, l));
-            }
-          }
-          return out;
+          s.kind = JoinStrategy::Kind::kNoMatch;
+          return s;
         }
         if (mode != KeyMode::kGeneralKeys) stats_.specialized_joins++;
-        std::shared_ptr<const MaterializedInner> inner;
+        s.kind = JoinStrategy::Kind::kEquality;
         if (right_cacheable) {
           auto it = inner_cache_.find(&op);
-          if (it != inner_cache_.end() && it->second.table == right_shared) {
-            inner = std::static_pointer_cast<const MaterializedInner>(
+          if (it != inner_cache_.end() && it->second.table == right) {
+            s.eq_index = std::static_pointer_cast<const MaterializedInner>(
                 it->second.index);
             stats_.join_index_reuses++;
           }
         }
-        if (inner == nullptr) {
+        if (s.eq_index == nullptr) {
           XQC_ASSIGN_OR_RETURN(
-              inner, MaterializeInner(right, key_fn(rkey), ordered, mode));
+              s.eq_index, MaterializeInner(*right, rkey_fn, ordered, mode));
           if (right_cacheable) {
             inner_cache_[&op] = CachedInner{
-                right_shared, std::static_pointer_cast<const void>(inner)};
+                right, std::static_pointer_cast<const void>(s.eq_index)};
           }
         }
-        return EqualityJoinWithIndex(left, key_fn(lkey), right, *inner, outer,
-                                     op.name, residual_ptr);
+        return s;
       }
 
       // Inequality: the range variant of the sort join (Section 6's "the
       // same approach can be used to implement a sort join").
       stats_.range_joins++;
-      std::shared_ptr<const MaterializedRangeInner> inner;
+      s.kind = JoinStrategy::Kind::kInequality;
       if (right_cacheable) {
         auto it = inner_cache_.find(&op);
-        if (it != inner_cache_.end() && it->second.table == right_shared) {
-          inner = std::static_pointer_cast<const MaterializedRangeInner>(
-              it->second.index);
+        if (it != inner_cache_.end() && it->second.table == right) {
+          s.range_index =
+              std::static_pointer_cast<const MaterializedRangeInner>(
+                  it->second.index);
           stats_.join_index_reuses++;
         }
       }
-      if (inner == nullptr) {
-        XQC_ASSIGN_OR_RETURN(inner, MaterializeRangeInner(right, key_fn(rkey)));
+      if (s.range_index == nullptr) {
+        XQC_ASSIGN_OR_RETURN(s.range_index,
+                             MaterializeRangeInner(*right, rkey_fn));
         if (right_cacheable) {
           inner_cache_[&op] = CachedInner{
-              right_shared, std::static_pointer_cast<const void>(inner)};
+              right, std::static_pointer_cast<const void>(s.range_index)};
         }
       }
-      return InequalityJoinWithIndex(left, key_fn(lkey), right, *inner, comp,
-                                     outer, op.name, residual_ptr);
+      return s;
     }
   }
 
   stats_.nested_loop_joins++;
-  PredFn pred_fn = [this, &pred, &c](const Tuple& t) {
-    return EvalPredicate(pred, t, c);
+  s.kind = JoinStrategy::Kind::kNestedLoop;
+  return s;
+}
+
+Status PlanEvaluator::ProbeJoinTuple(const Op& op, const JoinStrategy& s,
+                                     const EvalCtx& c, const Tuple& left,
+                                     const Table& right, bool outer,
+                                     Table* out) {
+  switch (s.kind) {
+    case JoinStrategy::Kind::kNoMatch:
+      if (outer) out->push_back(OuterNullRow(op.name, left));
+      return Status::OK();
+    case JoinStrategy::Kind::kNestedLoop: {
+      const Op& pred = *op.deps[0];
+      PredFn pred_fn = [this, &pred, &c](const Tuple& t) {
+        return EvalPredicate(pred, t, c);
+      };
+      return NestedLoopProbe(left, right, pred_fn, outer, op.name, out);
+    }
+    default:
+      break;
+  }
+  // Indexed probes: evaluate and atomize the left key (Figure 6 line 7).
+  EvalCtx kc = c;
+  kc.tuple = &left;
+  kc.items = nullptr;
+  XQC_ASSIGN_OR_RETURN(Sequence kv, EvalItems(*s.left_key, kc));
+  XQC_ASSIGN_OR_RETURN(Sequence keys, Atomize(kv));
+  PredFn residual = [this, &s, &c](const Tuple& t) -> Result<bool> {
+    for (const Op* conj : s.residual) {
+      XQC_ASSIGN_OR_RETURN(bool b, EvalPredicate(*conj, t, c));
+      if (!b) return false;
+    }
+    return true;
   };
-  return NestedLoopJoin(left, right, pred_fn, outer, op.name);
+  const PredFn* residual_ptr = s.residual.empty() ? nullptr : &residual;
+  if (s.kind == JoinStrategy::Kind::kEquality) {
+    return EqualityProbe(left, keys, right, *s.eq_index, outer, op.name,
+                         residual_ptr, out);
+  }
+  return InequalityProbe(left, keys, right, *s.range_index, s.comp, outer,
+                         op.name, residual_ptr, out);
+}
+
+Result<Table> PlanEvaluator::EvalJoin(const Op& op, const EvalCtx& c,
+                                      bool outer) {
+  XQC_ASSIGN_OR_RETURN(Table left, EvalTable(*op.inputs[0], c));
+  bool cacheable = false;
+  XQC_ASSIGN_OR_RETURN(std::shared_ptr<const Table> right,
+                       MaterializeJoinRight(op, c, &cacheable));
+  XQC_ASSIGN_OR_RETURN(
+      JoinStrategy strategy,
+      PlanJoinStrategy(op, c, left.empty() ? Tuple() : left[0], right,
+                       cacheable));
+  Table out;
+  for (const Tuple& l : left) {
+    XQC_RETURN_IF_ERROR(
+        ProbeJoinTuple(op, strategy, c, l, *right, outer, &out));
+  }
+  return out;
 }
 
 Result<Table> PlanEvaluator::EvalGroupBy(const Op& op, const EvalCtx& c) {
@@ -792,14 +904,60 @@ Result<Table> PlanEvaluator::EvalOrderBy(const Op& op, const EvalCtx& c) {
   return out;
 }
 
-Result<Sequence> PlanEvaluator::EvalCall(const Op& op, const EvalCtx& c) {
-  std::vector<Sequence> args;
-  args.reserve(op.inputs.size());
-  for (const OpPtr& a : op.inputs) {
-    XQC_ASSIGN_OR_RETURN(Sequence v, EvalItems(*a, c));
-    args.push_back(std::move(v));
+namespace {
+
+/// A single atomic numeric value (no untyped casting — callers that want
+/// full F&O coercion must not rely on this).
+bool SingletonNumeric(const Sequence& v, double* out) {
+  if (v.size() != 1 || !v[0].IsAtomic() || !v[0].atomic().is_numeric()) {
+    return false;
   }
+  *out = v[0].atomic().AsDouble();
+  return true;
+}
+
+}  // namespace
+
+Result<Sequence> PlanEvaluator::EvalCall(const Op& op, const EvalCtx& c) {
   auto it = query_->functions.find(op.name);
+  std::vector<Sequence> args(op.inputs.size());
+  std::vector<bool> have(op.inputs.size(), false);
+  // Early-terminating built-ins: in streaming mode their first argument
+  // only needs a bounded prefix (argument evaluation order is
+  // implementation-defined, so fn:subsequence's bounds evaluate first).
+  size_t first_limit = kEvalNoLimit;
+  if (options_.streaming && it == query_->functions.end() &&
+      !op.inputs.empty()) {
+    const std::string& n = op.name.str();
+    if (n == "fn:exists" || n == "fn:empty") {
+      first_limit = 1;
+    } else if (n == "fn:boolean" || n == "fn:not") {
+      first_limit = 2;  // EBV is decidable from a 2-item prefix
+    } else if (n == "fn:subsequence" && op.inputs.size() == 3) {
+      for (size_t i = 1; i < op.inputs.size(); i++) {
+        XQC_ASSIGN_OR_RETURN(args[i], EvalItems(*op.inputs[i], c));
+        have[i] = true;
+      }
+      double dstart, dlen;
+      if (SingletonNumeric(args[1], &dstart) &&
+          SingletonNumeric(args[2], &dlen)) {
+        // Positions >= round(start)+round(len) are excluded, so only the
+        // prefix before that bound is needed. NaN bounds select nothing.
+        double to = XQueryRound(dstart) + XQueryRound(dlen);
+        if (std::isnan(to) || to < 1) {
+          first_limit = 0;
+        } else if (to <= 1e15) {
+          first_limit = static_cast<size_t>(to) - 1;
+        }
+      }
+    }
+  }
+  for (size_t i = 0; i < op.inputs.size(); i++) {
+    if (have[i]) continue;
+    XQC_ASSIGN_OR_RETURN(
+        args[i], EvalItemsLimited(*op.inputs[i], c,
+                                  i == 0 ? first_limit : kEvalNoLimit));
+  }
   if (it != query_->functions.end()) {
     const CompiledFunction& f = it->second;
     if (args.size() != f.params.size()) {

@@ -1,14 +1,21 @@
 // The algebra evaluator: interprets Table 1 plans over the physical data
-// model (materialized tables), with pluggable join algorithms (Section 6).
+// model, with pluggable join algorithms (Section 6) and two execution
+// modes: the original materializing mode (every operator computes its
+// full table) and a pull-based iterator mode (iterator.h) that streams
+// table-side operators and terminates early under fn:exists / fn:empty /
+// positional heads / fn:subsequence / quantifiers.
 #ifndef XQC_RUNTIME_EVAL_H_
 #define XQC_RUNTIME_EVAL_H_
 
 #include <unordered_map>
+#include <vector>
 
 #include "src/algebra/op.h"
 #include "src/compile/compiler.h"
 #include "src/runtime/context.h"
+#include "src/runtime/iterator.h"
 #include "src/runtime/tuple.h"
+#include "src/types/compare.h"
 
 namespace xqc {
 
@@ -22,7 +29,15 @@ enum class JoinImpl {
 
 struct ExecOptions {
   JoinImpl join_impl = JoinImpl::kHash;
+  /// Pull-based iterator execution with early termination. Results are
+  /// identical to the materializing mode except that early termination
+  /// may skip errors in input suffixes a limited consumer never needs
+  /// (permitted by XQuery's evaluation-order rules).
+  bool streaming = false;
 };
+
+/// "No limit" for the limited evaluation entry points.
+inline constexpr size_t kEvalNoLimit = static_cast<size_t>(-1);
 
 /// Execution statistics (observable by tests and benches).
 struct ExecStats {
@@ -33,6 +48,8 @@ struct ExecStats {
   int64_t group_bys = 0;
   int64_t join_index_reuses = 0;   // cached inner-index hits
   int64_t specialized_joins = 0;   // statically typed key modes used
+  int64_t source_tuples = 0;       // tuples produced by MapFromItem
+  int64_t streaming_early_stops = 0;  // limited consumers that cut input
 };
 
 /// Evaluation context threaded through a plan: the dependent inputs (tuple
@@ -43,6 +60,29 @@ struct EvalCtx {
   const std::unordered_map<Symbol, Sequence>* params = nullptr;
 };
 
+class MaterializedInner;       // joins.h: Figure 6 equality index
+class MaterializedRangeInner;  // joins.h: ordered range index
+
+/// The physical plan chosen for one Join / LOuterJoin execution: which
+/// conjunct (if any) drives an index, the prebuilt inner index, and the
+/// residual conjuncts. Built once per join execution (PlanJoinStrategy)
+/// and then probed per left tuple (ProbeJoinTuple) — the same machinery
+/// backs the materializing and the streaming join.
+struct JoinStrategy {
+  enum class Kind {
+    kNestedLoop,  // full predicate per concatenated tuple
+    kNoMatch,     // statically incompatible key types: nothing matches
+    kEquality,    // Figure 6 hash / ordered-index equality join
+    kInequality,  // range sort join
+  };
+  Kind kind = Kind::kNestedLoop;
+  const Op* left_key = nullptr;
+  CompOp comp = CompOp::kEq;
+  std::vector<const Op*> residual;  // non-key conjuncts
+  std::shared_ptr<const MaterializedInner> eq_index;
+  std::shared_ptr<const MaterializedRangeInner> range_index;
+};
+
 class PlanEvaluator {
  public:
   PlanEvaluator(const CompiledQuery* query, DynamicContext* ctx,
@@ -51,12 +91,47 @@ class PlanEvaluator {
   /// Evaluates prolog globals (in order) and then the main plan.
   Result<Sequence> Run();
 
+  /// Evaluates just the prolog globals (for callers that then pull the
+  /// main plan incrementally through OpenTable).
+  Status PrepareGlobals();
+
   /// Typed evaluation entry points (IN resolves per expected type).
   Result<Sequence> EvalItems(const Op& op, const EvalCtx& c);
   Result<Table> EvalTable(const Op& op, const EvalCtx& c);
   Result<Tuple> EvalTuple(const Op& op, const EvalCtx& c);
 
+  /// Like EvalItems, but in streaming mode the caller promises it only
+  /// inspects a prefix: evaluation may stop once `limit` items exist
+  /// (the result can still be longer). Falls back to EvalItems when not
+  /// streaming or limit is kEvalNoLimit.
+  Result<Sequence> EvalItemsLimited(const Op& op, const EvalCtx& c,
+                                    size_t limit);
+
+  /// Opens a pull iterator over a table-side operator (iterator.cc).
+  /// The EvalCtx's pointees must outlive the iterator. GroupBy/OrderBy
+  /// and non-table operators materialize behind the iterator.
+  Result<TupleIteratorPtr> OpenTable(const Op& op, const EvalCtx& c);
+
+  /// Effective boolean value of a dependent predicate on tuple `t`.
+  Result<bool> EvalPredicate(const Op& pred, const Tuple& t, const EvalCtx& c);
+
+  /// Join machinery shared by EvalJoin and the streaming JoinIter.
+  /// MaterializeJoinRight evaluates (or fetches from cache) the inner
+  /// side; PlanJoinStrategy picks the physical algorithm using the field
+  /// layout of a representative left tuple; ProbeJoinTuple appends all
+  /// output rows for one left tuple.
+  Result<std::shared_ptr<const Table>> MaterializeJoinRight(
+      const Op& op, const EvalCtx& c, bool* cacheable);
+  Result<JoinStrategy> PlanJoinStrategy(
+      const Op& op, const EvalCtx& c, const Tuple& first_left,
+      const std::shared_ptr<const Table>& right, bool right_cacheable);
+  Status ProbeJoinTuple(const Op& op, const JoinStrategy& strategy,
+                        const EvalCtx& c, const Tuple& left,
+                        const Table& right, bool outer, Table* out);
+
   const ExecStats& stats() const { return stats_; }
+  ExecStats* mutable_stats() { return &stats_; }
+  const ExecOptions& options() const { return options_; }
 
  private:
   Result<Table> EvalJoin(const Op& op, const EvalCtx& c, bool outer);
@@ -64,7 +139,10 @@ class PlanEvaluator {
   Result<Table> EvalOrderBy(const Op& op, const EvalCtx& c);
   Result<Sequence> EvalCall(const Op& op, const EvalCtx& c);
   Result<Sequence> EvalConstructor(const Op& op, const EvalCtx& c);
-  Result<bool> EvalPredicate(const Op& pred, const Tuple& t, const EvalCtx& c);
+  /// Streaming MapToItem: pulls input tuples on demand, stopping once
+  /// `limit` items have been produced.
+  Result<Sequence> EvalMapToItem(const Op& op, const EvalCtx& c,
+                                 size_t limit);
 
   const CompiledQuery* query_;
   DynamicContext* ctx_;

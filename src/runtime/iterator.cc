@@ -1,0 +1,535 @@
+// Iterator (open/next/close) implementations for the tuple algebra and
+// PlanEvaluator::OpenTable, the physical-plan factory for streaming mode.
+//
+// Streaming operators: Select (with a positional early-stop bound),
+// Product (build right, stream left), Map, OMap, MapConcat/OMapConcat,
+// MapIndex/MapIndexStep, MapFromItem, and Join/LOuterJoin (Figure 6
+// build side materialized once, probe side streamed). GroupBy and
+// OrderBy need their whole input before emitting anything, so they —
+// like all non-table operators — materialize behind a TableIter.
+#include "src/runtime/iterator.h"
+
+#include <string_view>
+#include <utility>
+
+#include "src/runtime/eval.h"
+
+namespace xqc {
+namespace {
+
+/// Materialized fallback: yields the tuples of a precomputed table.
+class TableIter : public TupleIterator {
+ public:
+  explicit TableIter(Table table) : table_(std::move(table)) {}
+  Status Open() override { return Status::OK(); }
+  Result<bool> Next(Tuple* out) override {
+    if (idx_ >= table_.size()) return false;
+    *out = std::move(table_[idx_++]);
+    return true;
+  }
+  void Close() override {
+    table_.clear();
+    idx_ = 0;
+  }
+
+ private:
+  Table table_;
+  size_t idx_ = 0;
+};
+
+/// The largest input position that can still satisfy a positional
+/// predicate over `pos_field`, or -1 when the predicate has no such
+/// bound. Recognizes the normalized [N] / [position() <= N] shapes:
+/// op:(general-)?{eq,le,lt}(#pos_field(In), Scalar N) and the mirrored
+/// Scalar-first {eq,ge,gt} forms. A wrong -1 only costs the early stop;
+/// the Select predicate itself still filters every tuple.
+int64_t PositionalBound(const Op& pred, Symbol pos_field) {
+  if (pred.kind != OpKind::kCall || pred.inputs.size() != 2) return -1;
+  std::string_view n(pred.name.str());
+  if (n.rfind("op:general-", 0) == 0) {
+    n.remove_prefix(11);
+  } else if (n.rfind("op:", 0) == 0) {
+    n.remove_prefix(3);
+  } else {
+    return -1;
+  }
+  auto is_pos = [&](const Op& o) {
+    return o.kind == OpKind::kFieldAccess && o.name == pos_field &&
+           o.inputs.size() == 1 && o.inputs[0]->kind == OpKind::kIn;
+  };
+  auto int_lit = [](const Op& o, int64_t* v) {
+    if (o.kind != OpKind::kScalar ||
+        o.literal.type() != AtomicType::kInteger) {
+      return false;
+    }
+    *v = o.literal.AsInt();
+    return true;
+  };
+  int64_t lit = 0;
+  if (is_pos(*pred.inputs[0]) && int_lit(*pred.inputs[1], &lit)) {
+    // pos OP lit
+  } else if (is_pos(*pred.inputs[1]) && int_lit(*pred.inputs[0], &lit)) {
+    // lit OP pos  =>  pos MIRROR(OP) lit
+    if (n == "ge") {
+      n = "le";
+    } else if (n == "gt") {
+      n = "lt";
+    } else if (n != "eq") {
+      return -1;
+    }
+  } else {
+    return -1;
+  }
+  int64_t bound;
+  if (n == "eq" || n == "le") {
+    bound = lit;
+  } else if (n == "lt") {
+    bound = lit - 1;
+  } else {
+    return -1;
+  }
+  return bound < 0 ? 0 : bound;
+}
+
+/// Select{pred}: filters the child stream. When the child is a
+/// MapIndex[q] and the predicate bounds q above, stops pulling once no
+/// later position can match — this is the [1] / [position() <= N] early
+/// exit.
+class SelectIter : public TupleIterator {
+ public:
+  SelectIter(PlanEvaluator* ev, const Op* op, const EvalCtx& c,
+             TupleIteratorPtr child, int64_t bound)
+      : ev_(ev), op_(op), c_(c), child_(std::move(child)), bound_(bound) {}
+  Status Open() override { return Status::OK(); }
+  Result<bool> Next(Tuple* out) override {
+    if (stopped_) return false;
+    Tuple t;
+    while (true) {
+      if (bound_ >= 0 && pulled_ >= bound_) {
+        stopped_ = true;
+        ev_->mutable_stats()->streaming_early_stops++;
+        child_->Close();
+        return false;
+      }
+      XQC_ASSIGN_OR_RETURN(bool has, child_->Next(&t));
+      if (!has) return false;
+      pulled_++;
+      XQC_ASSIGN_OR_RETURN(bool b, ev_->EvalPredicate(*op_->deps[0], t, c_));
+      if (b) {
+        *out = std::move(t);
+        return true;
+      }
+    }
+  }
+  void Close() override { child_->Close(); }
+
+ private:
+  PlanEvaluator* ev_;
+  const Op* op_;
+  EvalCtx c_;
+  TupleIteratorPtr child_;
+  int64_t bound_;  // input pulls that can still match; -1 = unbounded
+  int64_t pulled_ = 0;
+  bool stopped_ = false;
+};
+
+/// Product: materializes the right side once, streams the left.
+// The left side is materialized (it is almost always the singleton IN or a
+// small outer binding) so the big right side — the generator in compiled
+// quantifier/FLWOR shapes like Product(IN, MapFromItem{...}) — can stream.
+// Output stays left-major: the right stream is replayed from a buffer for
+// every left tuple after the first, and the buffer is skipped entirely when
+// the left is a singleton.
+class ProductIter : public TupleIterator {
+ public:
+  ProductIter(PlanEvaluator* ev, const Op* op, const EvalCtx& c)
+      : ev_(ev), op_(op), c_(c) {}
+  Status Open() override {
+    XQC_ASSIGN_OR_RETURN(left_, ev_->EvalTable(*op_->inputs[0], c_));
+    if (left_.empty()) return Status::OK();
+    XQC_ASSIGN_OR_RETURN(right_, ev_->OpenTable(*op_->inputs[1], c_));
+    return Status::OK();
+  }
+  Result<bool> Next(Tuple* out) override {
+    if (left_.empty()) return false;
+    while (true) {
+      if (lidx_ == 0 && !right_done_) {
+        Tuple r;
+        XQC_ASSIGN_OR_RETURN(bool has, right_->Next(&r));
+        if (has) {
+          *out = Tuple::Concat(left_[0], r);
+          if (left_.size() > 1) replay_.push_back(std::move(r));
+          return true;
+        }
+        right_done_ = true;
+        lidx_ = 1;
+        ridx_ = 0;
+        continue;
+      }
+      if (lidx_ >= left_.size()) return false;
+      if (ridx_ < replay_.size()) {
+        *out = Tuple::Concat(left_[lidx_], replay_[ridx_++]);
+        return true;
+      }
+      lidx_++;
+      ridx_ = 0;
+    }
+  }
+  void Close() override {
+    if (right_ != nullptr) right_->Close();
+  }
+
+ private:
+  PlanEvaluator* ev_;
+  const Op* op_;
+  EvalCtx c_;
+  Table left_;
+  TupleIteratorPtr right_;
+  Table replay_;  // right tuples, kept only if they must repeat
+  bool right_done_ = false;
+  size_t lidx_ = 0;
+  size_t ridx_ = 0;
+};
+
+/// Map{f}: one output tuple per input tuple.
+class MapIter : public TupleIterator {
+ public:
+  MapIter(PlanEvaluator* ev, const Op* op, const EvalCtx& c,
+          TupleIteratorPtr child)
+      : ev_(ev), op_(op), c_(c), child_(std::move(child)) {}
+  Status Open() override { return Status::OK(); }
+  Result<bool> Next(Tuple* out) override {
+    Tuple t;
+    XQC_ASSIGN_OR_RETURN(bool has, child_->Next(&t));
+    if (!has) return false;
+    EvalCtx dc = c_;
+    dc.tuple = &t;
+    dc.items = nullptr;
+    XQC_ASSIGN_OR_RETURN(*out, ev_->EvalTuple(*op_->deps[0], dc));
+    return true;
+  }
+  void Close() override { child_->Close(); }
+
+ private:
+  PlanEvaluator* ev_;
+  const Op* op_;
+  EvalCtx c_;
+  TupleIteratorPtr child_;
+};
+
+/// OMap[q]: prepends [q:false] to each tuple; an empty input becomes the
+/// single tuple [q:true].
+class OMapIter : public TupleIterator {
+ public:
+  OMapIter(const Op* op, TupleIteratorPtr child)
+      : op_(op), child_(std::move(child)) {}
+  Status Open() override { return Status::OK(); }
+  Result<bool> Next(Tuple* out) override {
+    if (done_) return false;
+    Tuple t;
+    XQC_ASSIGN_OR_RETURN(bool has, child_->Next(&t));
+    if (!has) {
+      done_ = true;
+      if (first_) {
+        Tuple flag;
+        flag.Set(op_->name, {AtomicValue::Boolean(true)});
+        *out = std::move(flag);
+        return true;
+      }
+      return false;
+    }
+    first_ = false;
+    Tuple flag;
+    flag.Set(op_->name, {AtomicValue::Boolean(false)});
+    *out = Tuple::Concat(flag, t);
+    return true;
+  }
+  void Close() override { child_->Close(); }
+
+ private:
+  const Op* op_;
+  TupleIteratorPtr child_;
+  bool first_ = true;
+  bool done_ = false;
+};
+
+/// MapConcat{f} / OMapConcat[q]{f}: per outer tuple, streams the
+/// dependent table f(t) and concatenates. The outer variant prepends the
+/// [q:bool] null flag and emits [q:true]++t when f(t) is empty.
+class MapConcatIter : public TupleIterator {
+ public:
+  MapConcatIter(PlanEvaluator* ev, const Op* op, const EvalCtx& c,
+                TupleIteratorPtr child, bool outer)
+      : ev_(ev), op_(op), c_(c), child_(std::move(child)), outer_(outer) {}
+  Status Open() override { return Status::OK(); }
+  Result<bool> Next(Tuple* out) override {
+    while (true) {
+      if (inner_ != nullptr) {
+        Tuple s;
+        XQC_ASSIGN_OR_RETURN(bool has, inner_->Next(&s));
+        if (has) {
+          inner_matched_ = true;
+          Tuple joined = Tuple::Concat(current_, s);
+          if (outer_) {
+            Tuple flag;
+            flag.Set(op_->name, {AtomicValue::Boolean(false)});
+            joined = Tuple::Concat(flag, joined);
+          }
+          *out = std::move(joined);
+          return true;
+        }
+        bool unmatched = outer_ && !inner_matched_;
+        inner_.reset();  // before current_ is overwritten below
+        if (unmatched) {
+          Tuple flag;
+          flag.Set(op_->name, {AtomicValue::Boolean(true)});
+          *out = Tuple::Concat(flag, current_);
+          return true;
+        }
+      }
+      XQC_ASSIGN_OR_RETURN(bool has, child_->Next(&current_));
+      if (!has) return false;
+      // The dependent iterator sees current_ (stable member storage) as
+      // its IN tuple for its whole lifetime.
+      EvalCtx dc = c_;
+      dc.tuple = &current_;
+      dc.items = nullptr;
+      XQC_ASSIGN_OR_RETURN(inner_, ev_->OpenTable(*op_->deps[0], dc));
+      inner_matched_ = false;
+    }
+  }
+  void Close() override {
+    inner_.reset();
+    child_->Close();
+  }
+
+ private:
+  PlanEvaluator* ev_;
+  const Op* op_;
+  EvalCtx c_;
+  TupleIteratorPtr child_;
+  bool outer_;
+  Tuple current_;
+  TupleIteratorPtr inner_;
+  bool inner_matched_ = false;
+};
+
+/// MapIndex[q] / MapIndexStep[q]: appends [q:i] with i = 1, 2, ...
+class MapIndexIter : public TupleIterator {
+ public:
+  MapIndexIter(const Op* op, TupleIteratorPtr child)
+      : op_(op), child_(std::move(child)) {}
+  Status Open() override { return Status::OK(); }
+  Result<bool> Next(Tuple* out) override {
+    Tuple t;
+    XQC_ASSIGN_OR_RETURN(bool has, child_->Next(&t));
+    if (!has) return false;
+    Tuple idx;
+    idx.Set(op_->name, {AtomicValue::Integer(++i_)});
+    *out = Tuple::Concat(t, idx);
+    return true;
+  }
+  void Close() override { child_->Close(); }
+
+ private:
+  const Op* op_;
+  TupleIteratorPtr child_;
+  int64_t i_ = 0;
+};
+
+/// MapFromItem{f}: one tuple per input item. When the input is itself a
+/// MapToItem (a nested FLWOR body), its tuple stream is pulled
+/// incrementally — the full item sequence is never materialized;
+/// otherwise the items materialize once and tuples are still produced on
+/// demand. Every produced tuple counts toward stats().source_tuples,
+/// the "input tuples touched" measure of streaming's early termination.
+class MapFromItemIter : public TupleIterator {
+ public:
+  MapFromItemIter(PlanEvaluator* ev, const Op* op, const EvalCtx& c)
+      : ev_(ev), op_(op), c_(c) {}
+  Status Open() override {
+    const Op& input = *op_->inputs[0];
+    if (input.kind == OpKind::kMapToItem) {
+      XQC_ASSIGN_OR_RETURN(src_, ev_->OpenTable(*input.inputs[0], c_));
+      item_dep_ = input.deps[0].get();
+      return Status::OK();
+    }
+    XQC_ASSIGN_OR_RETURN(buf_, ev_->EvalItems(input, c_));
+    return Status::OK();
+  }
+  Result<bool> Next(Tuple* out) override {
+    while (true) {
+      if (pos_ < buf_.size()) {
+        Sequence one{buf_[pos_++]};
+        EvalCtx dc = c_;
+        dc.items = &one;
+        dc.tuple = nullptr;
+        XQC_ASSIGN_OR_RETURN(*out, ev_->EvalTuple(*op_->deps[0], dc));
+        ev_->mutable_stats()->source_tuples++;
+        return true;
+      }
+      if (src_ == nullptr) return false;
+      Tuple t;
+      XQC_ASSIGN_OR_RETURN(bool has, src_->Next(&t));
+      if (!has) {
+        src_.reset();
+        return false;
+      }
+      EvalCtx dc = c_;
+      dc.tuple = &t;
+      dc.items = nullptr;
+      XQC_ASSIGN_OR_RETURN(buf_, ev_->EvalItems(*item_dep_, dc));
+      pos_ = 0;
+    }
+  }
+  void Close() override {
+    src_.reset();
+    buf_.clear();
+    pos_ = 0;
+  }
+
+ private:
+  PlanEvaluator* ev_;
+  const Op* op_;
+  EvalCtx c_;
+  TupleIteratorPtr src_;           // tuple source of a MapToItem input
+  const Op* item_dep_ = nullptr;   // its per-tuple item plan
+  Sequence buf_;
+  size_t pos_ = 0;
+};
+
+/// Join / LOuterJoin: materializes and indexes the right (build) side at
+/// Open — reusing the evaluator's table/index caches — then probes with
+/// left tuples as they stream in. The first left tuple is peeked so the
+/// join strategy can inspect its field layout, exactly like the
+/// materializing EvalJoin does with left[0].
+class JoinIter : public TupleIterator {
+ public:
+  JoinIter(PlanEvaluator* ev, const Op* op, const EvalCtx& c,
+           TupleIteratorPtr left, bool outer)
+      : ev_(ev), op_(op), c_(c), left_(std::move(left)), outer_(outer) {}
+  Status Open() override {
+    XQC_ASSIGN_OR_RETURN(has_peeked_, left_->Next(&peeked_));
+    left_done_ = !has_peeked_;
+    bool cacheable = false;
+    XQC_ASSIGN_OR_RETURN(right_,
+                         ev_->MaterializeJoinRight(*op_, c_, &cacheable));
+    XQC_ASSIGN_OR_RETURN(
+        strategy_, ev_->PlanJoinStrategy(*op_, c_,
+                                         has_peeked_ ? peeked_ : Tuple(),
+                                         right_, cacheable));
+    return Status::OK();
+  }
+  Result<bool> Next(Tuple* out) override {
+    while (true) {
+      if (bpos_ < buf_.size()) {
+        *out = std::move(buf_[bpos_++]);
+        return true;
+      }
+      if (left_done_) return false;
+      buf_.clear();
+      bpos_ = 0;
+      Tuple l;
+      if (has_peeked_) {
+        l = std::move(peeked_);
+        has_peeked_ = false;
+      } else {
+        XQC_ASSIGN_OR_RETURN(bool has, left_->Next(&l));
+        if (!has) {
+          left_done_ = true;
+          return false;
+        }
+      }
+      XQC_RETURN_IF_ERROR(
+          ev_->ProbeJoinTuple(*op_, strategy_, c_, l, *right_, outer_, &buf_));
+    }
+  }
+  void Close() override { left_->Close(); }
+
+ private:
+  PlanEvaluator* ev_;
+  const Op* op_;
+  EvalCtx c_;
+  TupleIteratorPtr left_;
+  bool outer_;
+  Tuple peeked_;
+  bool has_peeked_ = false;
+  bool left_done_ = false;
+  std::shared_ptr<const Table> right_;
+  JoinStrategy strategy_;
+  Table buf_;  // output rows of the current probe
+  size_t bpos_ = 0;
+};
+
+}  // namespace
+
+Result<TupleIteratorPtr> PlanEvaluator::OpenTable(const Op& op,
+                                                  const EvalCtx& c) {
+  TupleIteratorPtr it;
+  switch (op.kind) {
+    case OpKind::kSelect: {
+      XQC_ASSIGN_OR_RETURN(TupleIteratorPtr child,
+                           OpenTable(*op.inputs[0], c));
+      const Op& input = *op.inputs[0];
+      int64_t bound = -1;
+      if (input.kind == OpKind::kMapIndex ||
+          input.kind == OpKind::kMapIndexStep) {
+        bound = PositionalBound(*op.deps[0], input.name);
+      }
+      it = std::make_unique<SelectIter>(this, &op, c, std::move(child), bound);
+      break;
+    }
+    case OpKind::kProduct: {
+      it = std::make_unique<ProductIter>(this, &op, c);
+      break;
+    }
+    case OpKind::kJoin:
+    case OpKind::kLOuterJoin: {
+      XQC_ASSIGN_OR_RETURN(TupleIteratorPtr left, OpenTable(*op.inputs[0], c));
+      it = std::make_unique<JoinIter>(this, &op, c, std::move(left),
+                                      op.kind == OpKind::kLOuterJoin);
+      break;
+    }
+    case OpKind::kMap: {
+      XQC_ASSIGN_OR_RETURN(TupleIteratorPtr child,
+                           OpenTable(*op.inputs[0], c));
+      it = std::make_unique<MapIter>(this, &op, c, std::move(child));
+      break;
+    }
+    case OpKind::kOMap: {
+      XQC_ASSIGN_OR_RETURN(TupleIteratorPtr child,
+                           OpenTable(*op.inputs[0], c));
+      it = std::make_unique<OMapIter>(&op, std::move(child));
+      break;
+    }
+    case OpKind::kMapConcat:
+    case OpKind::kOMapConcat: {
+      XQC_ASSIGN_OR_RETURN(TupleIteratorPtr child,
+                           OpenTable(*op.inputs[0], c));
+      it = std::make_unique<MapConcatIter>(this, &op, c, std::move(child),
+                                           op.kind == OpKind::kOMapConcat);
+      break;
+    }
+    case OpKind::kMapIndex:
+    case OpKind::kMapIndexStep: {
+      XQC_ASSIGN_OR_RETURN(TupleIteratorPtr child,
+                           OpenTable(*op.inputs[0], c));
+      it = std::make_unique<MapIndexIter>(&op, std::move(child));
+      break;
+    }
+    case OpKind::kMapFromItem:
+      it = std::make_unique<MapFromItemIter>(this, &op, c);
+      break;
+    default: {
+      // GroupBy / OrderBy (pipeline breakers) and every non-streaming
+      // operator: materialize once, then iterate.
+      XQC_ASSIGN_OR_RETURN(Table t, EvalTable(op, c));
+      it = std::make_unique<TableIter>(std::move(t));
+      break;
+    }
+  }
+  XQC_RETURN_IF_ERROR(it->Open());
+  return it;
+}
+
+}  // namespace xqc

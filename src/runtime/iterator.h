@@ -1,0 +1,42 @@
+// Pull-based (open/next/close) execution of the tuple algebra.
+//
+// The materializing evaluator (eval.h) computes every operator's full
+// table before its consumer runs; a TupleIterator instead yields one
+// tuple per Next() call, so a consumer that needs only a prefix of the
+// result — fn:exists, fn:empty, a positional [1] head, fn:subsequence,
+// a quantified expression — stops pulling and the untouched suffix of
+// the input is never evaluated. Iterators are produced by
+// PlanEvaluator::OpenTable (iterator.cc); GroupBy and OrderBy are
+// pipeline breakers that materialize behind a TableIter.
+#ifndef XQC_RUNTIME_ITERATOR_H_
+#define XQC_RUNTIME_ITERATOR_H_
+
+#include <memory>
+
+#include "src/base/status.h"
+#include "src/runtime/tuple.h"
+
+namespace xqc {
+
+class TupleIterator {
+ public:
+  virtual ~TupleIterator() = default;
+
+  /// Acquires resources (child iterators, the build side of a join).
+  /// Called exactly once, before the first Next().
+  virtual Status Open() = 0;
+
+  /// Produces the next tuple into `*out`. Returns false at end of
+  /// stream; after returning false, behavior of further calls is
+  /// undefined. `*out` is overwritten only on a true return.
+  virtual Result<bool> Next(Tuple* out) = 0;
+
+  /// Releases resources early (optional; the destructor also releases).
+  virtual void Close() {}
+};
+
+using TupleIteratorPtr = std::unique_ptr<TupleIterator>;
+
+}  // namespace xqc
+
+#endif  // XQC_RUNTIME_ITERATOR_H_

@@ -153,28 +153,66 @@ Result<std::vector<size_t>> AllMatches(const MaterializedInner& index,
 
 }  // namespace
 
+Tuple OuterNullRow(Symbol null_field, const Tuple& base) {
+  return NullRow(null_field, true, base);
+}
+
+Status NestedLoopProbe(const Tuple& left, const Table& right,
+                       const PredFn& pred, bool outer, Symbol null_field,
+                       Table* out) {
+  bool matched = false;
+  for (const Tuple& r : right) {
+    Tuple joined = Tuple::Concat(left, r);
+    XQC_ASSIGN_OR_RETURN(bool hit, pred(joined));
+    if (!hit) continue;
+    matched = true;
+    if (outer) {
+      out->push_back(NullRow(null_field, false, joined));
+    } else {
+      out->push_back(std::move(joined));
+    }
+  }
+  if (outer && !matched) {
+    out->push_back(NullRow(null_field, true, left));
+  }
+  return Status::OK();
+}
+
 Result<Table> NestedLoopJoin(const Table& left, const Table& right,
                              const PredFn& pred, bool outer,
                              Symbol null_field) {
   Table out;
   for (const Tuple& l : left) {
-    bool matched = false;
-    for (const Tuple& r : right) {
-      Tuple joined = Tuple::Concat(l, r);
-      XQC_ASSIGN_OR_RETURN(bool hit, pred(joined));
-      if (!hit) continue;
-      matched = true;
-      if (outer) {
-        out.push_back(NullRow(null_field, false, joined));
-      } else {
-        out.push_back(std::move(joined));
-      }
-    }
-    if (outer && !matched) {
-      out.push_back(NullRow(null_field, true, l));
-    }
+    XQC_RETURN_IF_ERROR(NestedLoopProbe(l, right, pred, outer, null_field,
+                                        &out));
   }
   return out;
+}
+
+Status EqualityProbe(const Tuple& left, const Sequence& left_keys,
+                     const Table& right, const MaterializedInner& inner,
+                     bool outer, Symbol null_field, const PredFn* residual,
+                     Table* out) {
+  XQC_ASSIGN_OR_RETURN(std::vector<size_t> matches,
+                       AllMatches(inner, left_keys));
+  bool any = false;
+  for (size_t m : matches) {
+    Tuple joined = Tuple::Concat(left, right[m]);
+    if (residual != nullptr) {
+      XQC_ASSIGN_OR_RETURN(bool keep, (*residual)(joined));
+      if (!keep) continue;
+    }
+    any = true;
+    if (outer) {
+      out->push_back(NullRow(null_field, false, joined));
+    } else {
+      out->push_back(std::move(joined));
+    }
+  }
+  if (outer && !any) {
+    out->push_back(NullRow(null_field, true, left));
+  }
+  return Status::OK();
 }
 
 Result<Table> EqualityJoinWithIndex(const Table& left, const KeyFn& left_key,
@@ -186,24 +224,8 @@ Result<Table> EqualityJoinWithIndex(const Table& left, const KeyFn& left_key,
   Table out;
   for (const Tuple& l : left) {
     XQC_ASSIGN_OR_RETURN(Sequence keys, left_key(l));
-    XQC_ASSIGN_OR_RETURN(std::vector<size_t> matches, AllMatches(inner, keys));
-    bool any = false;
-    for (size_t m : matches) {
-      Tuple joined = Tuple::Concat(l, right[m]);
-      if (residual != nullptr) {
-        XQC_ASSIGN_OR_RETURN(bool keep, (*residual)(joined));
-        if (!keep) continue;
-      }
-      any = true;
-      if (outer) {
-        out.push_back(NullRow(null_field, false, joined));
-      } else {
-        out.push_back(std::move(joined));
-      }
-    }
-    if (outer && !any) {
-      out.push_back(NullRow(null_field, true, l));
-    }
+    XQC_RETURN_IF_ERROR(EqualityProbe(l, keys, right, inner, outer,
+                                      null_field, residual, &out));
   }
   return out;
 }
@@ -304,72 +326,81 @@ void RangeScan(const L& list, CompOp op, const K& key,
 
 }  // namespace
 
+Status InequalityProbe(const Tuple& left, const Sequence& left_keys,
+                       const Table& right, const MaterializedRangeInner& inner,
+                       CompOp op, bool outer, Symbol null_field,
+                       const PredFn* residual, Table* out) {
+  auto lex_list = [&inner](AtomicType t) -> const MaterializedRangeInner::LexList* {
+    auto it = inner.lex.find(t);
+    return it == inner.lex.end() ? nullptr : &it->second;
+  };
+  std::vector<size_t> matches;
+  for (const Item& key : left_keys) {
+    const AtomicValue& v = key.atomic();
+    if (v.is_numeric()) {
+      double d = v.AsDouble();
+      if (std::isnan(d)) continue;
+      // Numeric probe: typed numerics and untyped-cast-to-double.
+      RangeScan(inner.num_typed, op, d, &matches);
+      RangeScan(inner.num_untyped, op, d, &matches);
+      continue;
+    }
+    if (v.type() == AtomicType::kUntypedAtomic) {
+      // Untyped vs numeric inner: cast to double.
+      double d;
+      if (ParseDouble(v.AsString(), &d) && !std::isnan(d)) {
+        RangeScan(inner.num_typed, op, d, &matches);
+      }
+      // Untyped vs any lexical inner type T: convert to T (= trim in our
+      // lexical model) and compare lexically; untyped-vs-untyped is the
+      // xs:string row of Table 2.
+      for (const auto& [t, list] : inner.lex) {
+        RangeScan(list, op, v.AsString(), &matches);
+      }
+      continue;
+    }
+    AtomicType bucket =
+        v.type() == AtomicType::kAnyURI ? AtomicType::kString : v.type();
+    std::string lexv = v.Lexical();
+    if (const auto* same = lex_list(bucket)) {
+      RangeScan(*same, op, lexv, &matches);
+    }
+    if (const auto* unt = lex_list(AtomicType::kUntypedAtomic)) {
+      RangeScan(*unt, op, lexv, &matches);  // untyped inner converts to T
+    }
+  }
+  std::sort(matches.begin(), matches.end());
+  matches.erase(std::unique(matches.begin(), matches.end()), matches.end());
+  bool any = false;
+  for (size_t m : matches) {
+    Tuple joined = Tuple::Concat(left, right[m]);
+    if (residual != nullptr) {
+      XQC_ASSIGN_OR_RETURN(bool keep, (*residual)(joined));
+      if (!keep) continue;
+    }
+    any = true;
+    if (outer) {
+      out->push_back(NullRow(null_field, false, joined));
+    } else {
+      out->push_back(std::move(joined));
+    }
+  }
+  if (outer && !any) {
+    out->push_back(NullRow(null_field, true, left));
+  }
+  return Status::OK();
+}
+
 Result<Table> InequalityJoinWithIndex(const Table& left, const KeyFn& left_key,
                                       const Table& right,
                                       const MaterializedRangeInner& inner,
                                       CompOp op, bool outer, Symbol null_field,
                                       const PredFn* residual) {
-  auto lex_list = [&inner](AtomicType t) -> const MaterializedRangeInner::LexList* {
-    auto it = inner.lex.find(t);
-    return it == inner.lex.end() ? nullptr : &it->second;
-  };
   Table out;
   for (const Tuple& l : left) {
     XQC_ASSIGN_OR_RETURN(Sequence keys, left_key(l));
-    std::vector<size_t> matches;
-    for (const Item& key : keys) {
-      const AtomicValue& v = key.atomic();
-      if (v.is_numeric()) {
-        double d = v.AsDouble();
-        if (std::isnan(d)) continue;
-        // Numeric probe: typed numerics and untyped-cast-to-double.
-        RangeScan(inner.num_typed, op, d, &matches);
-        RangeScan(inner.num_untyped, op, d, &matches);
-        continue;
-      }
-      if (v.type() == AtomicType::kUntypedAtomic) {
-        // Untyped vs numeric inner: cast to double.
-        double d;
-        if (ParseDouble(v.AsString(), &d) && !std::isnan(d)) {
-          RangeScan(inner.num_typed, op, d, &matches);
-        }
-        // Untyped vs any lexical inner type T: convert to T (= trim in our
-        // lexical model) and compare lexically; untyped-vs-untyped is the
-        // xs:string row of Table 2.
-        for (const auto& [t, list] : inner.lex) {
-          RangeScan(list, op, v.AsString(), &matches);
-        }
-        continue;
-      }
-      AtomicType bucket =
-          v.type() == AtomicType::kAnyURI ? AtomicType::kString : v.type();
-      std::string lexv = v.Lexical();
-      if (const auto* same = lex_list(bucket)) {
-        RangeScan(*same, op, lexv, &matches);
-      }
-      if (const auto* unt = lex_list(AtomicType::kUntypedAtomic)) {
-        RangeScan(*unt, op, lexv, &matches);  // untyped inner converts to T
-      }
-    }
-    std::sort(matches.begin(), matches.end());
-    matches.erase(std::unique(matches.begin(), matches.end()), matches.end());
-    bool any = false;
-    for (size_t m : matches) {
-      Tuple joined = Tuple::Concat(l, right[m]);
-      if (residual != nullptr) {
-        XQC_ASSIGN_OR_RETURN(bool keep, (*residual)(joined));
-        if (!keep) continue;
-      }
-      any = true;
-      if (outer) {
-        out.push_back(NullRow(null_field, false, joined));
-      } else {
-        out.push_back(std::move(joined));
-      }
-    }
-    if (outer && !any) {
-      out.push_back(NullRow(null_field, true, l));
-    }
+    XQC_RETURN_IF_ERROR(InequalityProbe(l, keys, right, inner, op, outer,
+                                        null_field, residual, &out));
   }
   return out;
 }

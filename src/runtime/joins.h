@@ -91,6 +91,32 @@ Result<Table> InequalityJoinWithIndex(const Table& left, const KeyFn& left_key,
                                       CompOp op, bool outer, Symbol null_field,
                                       const PredFn* residual = nullptr);
 
+// ---- per-left-tuple probes --------------------------------------------------
+// The whole-table joins above are loops over these: one call appends every
+// output row for a single left tuple. The streaming JoinIter (iterator.cc)
+// materializes only the build side and probes tuple-at-a-time as its left
+// input is pulled, so early-terminating consumers stop the probe stream.
+
+/// The unmatched-left outer-join row: [null_field:true] ++ base.
+Tuple OuterNullRow(Symbol null_field, const Tuple& base);
+
+/// Equality probe with pre-atomized left keys (fn:data already applied).
+Status EqualityProbe(const Tuple& left, const Sequence& left_keys,
+                     const Table& right, const MaterializedInner& inner,
+                     bool outer, Symbol null_field, const PredFn* residual,
+                     Table* out);
+
+/// Range probe with pre-atomized left keys.
+Status InequalityProbe(const Tuple& left, const Sequence& left_keys,
+                       const Table& right, const MaterializedRangeInner& inner,
+                       CompOp op, bool outer, Symbol null_field,
+                       const PredFn* residual, Table* out);
+
+/// Nested-loop probe: the full predicate against every right tuple.
+Status NestedLoopProbe(const Tuple& left, const Table& right,
+                       const PredFn& pred, bool outer, Symbol null_field,
+                       Table* out);
+
 }  // namespace xqc
 
 #endif  // XQC_RUNTIME_JOINS_H_

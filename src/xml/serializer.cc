@@ -5,6 +5,33 @@
 namespace xqc {
 namespace {
 
+// XML forbids "--" inside comments (and a trailing "-", which would form
+// "--->"), so a comment body emitted verbatim may not re-parse. Repair by
+// breaking each "--" with a space; the content is annotation-only, so a
+// lossy repair beats emitting a document no parser will accept.
+std::string RepairCommentText(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '-' && !out.empty() && out.back() == '-') out.push_back(' ');
+    out.push_back(c);
+  }
+  if (!out.empty() && out.back() == '-') out.push_back(' ');
+  return out;
+}
+
+// A processing-instruction body containing "?>" would terminate the PI
+// early; break the pair with a space so the output re-parses.
+std::string RepairPIText(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '>' && !out.empty() && out.back() == '?') out.push_back(' ');
+    out.push_back(c);
+  }
+  return out;
+}
+
 void SerializeRec(const Node& n, const SerializeOptions& o, int depth,
                   std::string* out) {
   auto indent = [&](int d) {
@@ -60,7 +87,12 @@ void SerializeRec(const Node& n, const SerializeOptions& o, int depth,
       return;
     case NodeKind::kComment:
       out->append("<!--");
-      out->append(n.value);
+      if (n.value.find("--") != std::string::npos ||
+          (!n.value.empty() && n.value.back() == '-')) {
+        out->append(RepairCommentText(n.value));
+      } else {
+        out->append(n.value);
+      }
       out->append("-->");
       return;
     case NodeKind::kPI:
@@ -68,7 +100,11 @@ void SerializeRec(const Node& n, const SerializeOptions& o, int depth,
       out->append(n.name.str());
       if (!n.value.empty()) {
         out->push_back(' ');
-        out->append(n.value);
+        if (n.value.find("?>") != std::string::npos) {
+          out->append(RepairPIText(n.value));
+        } else {
+          out->append(n.value);
+        }
       }
       out->append("?>");
       return;

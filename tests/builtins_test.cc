@@ -93,6 +93,43 @@ TEST(BuiltinStrings, EdgeCases) {
   EXPECT_EQ(InterpToString("string(())"), "");
 }
 
+TEST(BuiltinStrings, UnicodeCodepoints) {
+  // string-length/substring count codepoints, not UTF-8 bytes.
+  // 2-byte sequences:
+  EXPECT_EQ(InterpToString("string-length(\"déjà vu\")"), "7");
+  EXPECT_EQ(InterpToString("substring(\"déjà vu\", 5, 2)"), " v");
+  EXPECT_EQ(InterpToString("substring(\"déjà\", 2)"), "éjà");
+  EXPECT_EQ(InterpToString(
+                "concat(substring(\"déjà\", 1, 2), substring(\"déjà\", 3))"),
+            "déjà");
+  // 3-byte sequences:
+  EXPECT_EQ(InterpToString("string-length(\"日本語\")"), "3");
+  EXPECT_EQ(InterpToString("substring(\"日本語\", 2, 1)"), "本");
+  // 4-byte sequences (astral plane):
+  EXPECT_EQ(InterpToString("string-length(\"a\U0001F600b\")"), "3");
+  EXPECT_EQ(InterpToString("substring(\"a\U0001F600b\", 2, 1)"),
+            "\U0001F600");
+  EXPECT_EQ(InterpToString("substring(\"\U0001F600\U0001F601\U0001F602\", "
+                           "2, 2)"),
+            "\U0001F601\U0001F602");
+}
+
+TEST(BuiltinStrings, SubstringRounding) {
+  // F&O 7.4.3: both arguments pass through fn:round, i.e. floor(x + 0.5).
+  EXPECT_EQ(InterpToString("substring(\"abcde\", -0.5, 3)"), "ab");
+  EXPECT_EQ(InterpToString("substring(\"12345\", 1.5, 2.6)"), "234");
+  EXPECT_EQ(InterpToString("substring(\"abc\", number(\"NaN\"), 2)"), "");
+  EXPECT_EQ(InterpToString("substring(\"abc\", 1, number(\"NaN\"))"), "");
+}
+
+TEST(BuiltinNumerics, RoundHalfTowardPositiveInfinity) {
+  EXPECT_EQ(InterpToString("round(2.5)"), "3");
+  EXPECT_EQ(InterpToString("round(-2.5)"), "-2");  // NOT -3 (C round())
+  EXPECT_EQ(InterpToString("round(-3.5)"), "-3");
+  EXPECT_EQ(InterpToString("string(round(number(\"NaN\")))"), "NaN");
+  EXPECT_EQ(InterpToString("subsequence((1,2,3,4,5), -0.5, 3)"), "1 2");
+}
+
 TEST(BuiltinSequences, PositionalFunctions) {
   EXPECT_EQ(InterpToString("subsequence((1,2,3,4,5), 2)"), "2 3 4 5");
   EXPECT_EQ(InterpToString("subsequence((1,2,3), 0, 2)"), "1");

@@ -303,6 +303,19 @@ const CorpusEntry kCorpus[] = {
     {"$D//nothing = $D//n", "false"},
     {"for $x in $D//nothing return 1 idiv 0", ""},  // no bindings, no error
     {"($D//nothing, 5)[1]", "5"},
+    // -- Unicode string functions (codepoints, not UTF-8 bytes) --
+    {"string-length(\"déjà vu\")", "7"},
+    {"substring(\"déjà vu\", 5, 2)", " v"},
+    {"substring(\"déjà\", 2)", "éjà"},
+    {"string-length(\"a\U0001F600b\")", "3"},
+    {"substring(\"a\U0001F600b\", 2, 1)", "\U0001F600"},
+    // -- substring / round F&O semantics --
+    {"substring(\"abcde\", -0.5, 3)", "ab"},    // round(-0.5) = 0
+    {"substring(\"12345\", 1.5, 2.6)", "234"},  // round(1.5)=2, round(2.6)=3
+    {"substring(\"abc\", number(\"NaN\"), 2)", ""},
+    {"round(-2.5)", "-2"},  // half toward +INF, unlike C round()
+    {"round(2.5)", "3"},
+    {"subsequence((1,2,3,4,5), -0.5, 3)", "1 2"},
     // -- errors round 2 --
     {"count()", "ERROR:XPST0017"},
     {"$D//n + 1", "ERROR:XPTY0004"},        // multi-item arithmetic
@@ -320,10 +333,17 @@ TEST_P(CorpusTest, AllConfigsMatchExpected) {
   Engine engine;
   const EngineOptions kConfigs[] = {
       {false, false, JoinImpl::kNestedLoop},
+      // Streaming (iterator) execution, the default:
       {true, false, JoinImpl::kNestedLoop},
       {true, true, JoinImpl::kNestedLoop},
       {true, true, JoinImpl::kHash},
       {true, true, JoinImpl::kSort},
+      // The same algebra configs under materializing execution; iterator
+      // and materialized modes must agree on every corpus entry.
+      {true, false, JoinImpl::kNestedLoop, ExecMode::kMaterialize},
+      {true, true, JoinImpl::kNestedLoop, ExecMode::kMaterialize},
+      {true, true, JoinImpl::kHash, ExecMode::kMaterialize},
+      {true, true, JoinImpl::kSort, ExecMode::kMaterialize},
   };
   for (size_t i = 0; i < std::size(kConfigs); i++) {
     DynamicContext ctx;
@@ -342,7 +362,11 @@ TEST_P(CorpusTest, AllConfigsMatchExpected) {
 INSTANTIATE_TEST_SUITE_P(Sweep, CorpusTest,
                          ::testing::Range<size_t>(0, std::size(kCorpus)),
                          [](const ::testing::TestParamInfo<size_t>& info) {
-                           return "q" + std::to_string(info.param);
+                           // += sidesteps a GCC 12 -Wrestrict false positive
+                           // (PR105329) on operator+(const char*, string&&).
+                           std::string name = "q";
+                           name += std::to_string(info.param);
+                           return name;
                          });
 
 }  // namespace

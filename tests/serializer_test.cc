@@ -60,6 +60,30 @@ TEST(SerializerTest, AttributeNodeAlone) {
   EXPECT_EQ(SerializeNode(*attr), "k=\"v&quot;w\"");
 }
 
+TEST(SerializerTest, RepairsCommentDoubleHyphen) {
+  // "--" is illegal inside an XML comment; the serializer breaks the pair
+  // with a space so the output is well-formed and re-parses.
+  EXPECT_EQ(SerializeNode(*NewComment("a--b")), "<!--a- -b-->");
+  EXPECT_EQ(SerializeNode(*NewComment("a----b")), "<!--a- - - -b-->");
+  // A trailing "-" would produce "--->"; a space is appended.
+  EXPECT_EQ(SerializeNode(*NewComment("ends-")), "<!--ends- -->");
+  EXPECT_EQ(SerializeNode(*NewComment("clean")), "<!--clean-->");
+}
+
+TEST(SerializerTest, RepairsPIEndMarker) {
+  EXPECT_EQ(SerializeNode(*NewPI(Symbol("foo"), "x?>y")), "<?foo x? >y?>");
+  EXPECT_EQ(SerializeNode(*NewPI(Symbol("foo"), "plain")), "<?foo plain?>");
+}
+
+TEST(SerializerTest, RepairedCommentAndPIReparse) {
+  NodePtr doc = MustParseXml("<r/>");
+  doc->children[0]->children.push_back(NewComment("a--b-"));
+  doc->children[0]->children.push_back(NewPI(Symbol("p"), "q?>r"));
+  std::string xml = SerializeNode(*doc);
+  NodePtr again = MustParseXml(xml);
+  EXPECT_EQ(SerializeNode(*again), xml);
+}
+
 TEST(SerializerTest, SequenceSpacingRules) {
   NodePtr doc = MustParseXml("<x/>");
   // atomic atomic -> space; atomic node -> no space; node atomic -> none.
