@@ -16,6 +16,11 @@
 //   --exec stream|mat    iterator vs materializing execution (default stream)
 //   --project            statically project bound documents (TreeProject)
 //   --stats              print optimizer/executor statistics
+//   --timeout-ms <n>         abort with XQC0001 after n milliseconds
+//   --max-mem-mb <n>         memory budget in MiB (XQC0003 when exceeded)
+//   --max-output-items <n>   cap on result items (XQC0004 when exceeded)
+//   --max-steps <n>          eval-step quota (XQC0006 when exceeded)
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -96,6 +101,20 @@ int main(int argc, char** argv) {
       if (e == "stream") options.exec_mode = xqc::ExecMode::kStreaming;
       else if (e == "mat") options.exec_mode = xqc::ExecMode::kMaterialize;
       else return Fail("unknown exec mode: " + e);
+    } else if (arg == "--timeout-ms" || arg == "--max-mem-mb" ||
+               arg == "--max-output-items" || arg == "--max-steps") {
+      const char* v = next();
+      if (v == nullptr) return Fail(arg + " needs a number");
+      char* end = nullptr;
+      long long n = std::strtoll(v, &end, 10);
+      if (end == v || *end != '\0' || n <= 0) {
+        return Fail(arg + " needs a positive number, got: " + v);
+      }
+      if (arg == "--timeout-ms") options.limits.deadline_ms = n;
+      else if (arg == "--max-mem-mb")
+        options.limits.max_memory_bytes = n * (1 << 20);
+      else if (arg == "--max-output-items") options.limits.max_output_items = n;
+      else options.limits.max_eval_steps = n;
     } else {
       return Fail("unknown option: " + arg);
     }
@@ -153,7 +172,9 @@ int main(int argc, char** argv) {
               << " group-bys=" << es.group_bys
               << " index-reuses=" << es.join_index_reuses
               << " source-tuples=" << es.source_tuples
-              << " early-stops=" << es.streaming_early_stops << "\n";
+              << " early-stops=" << es.streaming_early_stops << "\n"
+              << "guard: checks=" << es.guard_checks
+              << " peak-memory-bytes=" << es.peak_memory_bytes << "\n";
   }
   return 0;
 }

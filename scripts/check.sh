@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Full verification sweep: regular build + tests, then the whole suite
+# again under address+undefined sanitizers (-DXQC_SANITIZE).
+#
+# Usage: scripts/check.sh [--sanitize-only]
+#
+# The deep-recursion robustness tests are calibrated for production frame
+# sizes; sanitizer frames are far larger, so the sanitized run raises the
+# stack limit (see the XQC_SANITIZE comment in CMakeLists.txt).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+JOBS=$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)
+
+if [[ "${1:-}" != "--sanitize-only" ]]; then
+  echo "=== regular build + tests (build/) ==="
+  cmake -B build -S . >/dev/null
+  cmake --build build -j "$JOBS"
+  (cd build && ctest --output-on-failure -j "$JOBS")
+fi
+
+echo "=== sanitized build + tests (build-asan/, address+undefined) ==="
+cmake -B build-asan -S . -DXQC_SANITIZE=address,undefined >/dev/null
+cmake --build build-asan -j "$JOBS"
+(
+  ulimit -s 262144 2>/dev/null || echo "warning: could not raise stack limit"
+  cd build-asan && ctest --output-on-failure -j "$JOBS"
+)
+
+echo "=== all checks passed ==="

@@ -1,0 +1,79 @@
+#include "src/base/guard.h"
+
+namespace xqc {
+
+void QueryGuard::Arm() {
+  countdown_ = kCheckInterval;
+  has_deadline_ = limits_.deadline_ms > 0;
+  if (has_deadline_) {
+    deadline_ = std::chrono::steady_clock::now() +
+                std::chrono::milliseconds(limits_.deadline_ms);
+  }
+}
+
+Status QueryGuard::SlowCheck() {
+  countdown_ = kCheckInterval;
+  steps_ += kCheckInterval;
+  return CheckNow();
+}
+
+Status QueryGuard::CheckNow() {
+  checks_++;
+  if (injector_.trip_check_n > 0 && checks_ >= injector_.trip_check_n) {
+    return Status::ResourceExhausted(injector_.trip_code,
+                                     "fault injection: guard check tripped");
+  }
+  if (cancel_.cancelled()) {
+    return Status::ResourceExhausted(kGuardCancelledCode, "query cancelled");
+  }
+  if (has_deadline_ && std::chrono::steady_clock::now() > deadline_) {
+    return Status::ResourceExhausted(
+        kGuardTimeoutCode, "query deadline of " +
+                               std::to_string(limits_.deadline_ms) +
+                               "ms exceeded");
+  }
+  if (limits_.max_eval_steps > 0 && steps_ > limits_.max_eval_steps) {
+    return Status::ResourceExhausted(
+        kGuardStepsCode, "eval step quota of " +
+                             std::to_string(limits_.max_eval_steps) +
+                             " exceeded");
+  }
+  return Status::OK();
+}
+
+Status QueryGuard::AccountMemory(int64_t bytes) {
+  alloc_calls_++;
+  memory_bytes_ += bytes;
+  if (injector_.fail_alloc_n > 0 && alloc_calls_ >= injector_.fail_alloc_n) {
+    return Status::ResourceExhausted(kGuardMemoryCode,
+                                     "fault injection: allocation failed");
+  }
+  if (limits_.max_memory_bytes > 0 &&
+      memory_bytes_ > limits_.max_memory_bytes) {
+    return Status::ResourceExhausted(
+        kGuardMemoryCode,
+        "memory budget of " + std::to_string(limits_.max_memory_bytes) +
+            " bytes exceeded (accounted " + std::to_string(memory_bytes_) +
+            ")");
+  }
+  return Status::OK();
+}
+
+Status QueryGuard::AccountOutput(int64_t n) {
+  output_items_ += n;
+  if (limits_.max_output_items > 0 &&
+      output_items_ > limits_.max_output_items) {
+    return Status::ResourceExhausted(
+        kGuardOutputCode, "output cap of " +
+                              std::to_string(limits_.max_output_items) +
+                              " items exceeded");
+  }
+  return Status::OK();
+}
+
+QueryGuard* UnlimitedGuard() {
+  thread_local QueryGuard guard;
+  return &guard;
+}
+
+}  // namespace xqc

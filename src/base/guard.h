@@ -1,0 +1,191 @@
+// Per-query resource governance: deadlines, cooperative cancellation,
+// memory budgets, output caps, and eval-step quotas.
+//
+// A QueryGuard is armed once per execution and consulted at cheap,
+// amortized points across both engines (the tuple-algebra evaluator and
+// the baseline interpreter) plus the XQuery/XML parsers. The fast path is
+// a single counter decrement; every kCheckInterval steps the guard runs a
+// real check (cancellation flag, wall clock, step quota). Memory is not
+// hooked at the allocator: operators *account* the tuples/items/nodes they
+// materialize through AccountTuples/AccountItems/AccountNodes, which map
+// to byte estimates against the budget. The accounting counter is
+// monotone — it tracks cumulative accounted allocation, which upper-bounds
+// the true high-water mark — so `peak_memory_bytes` in ExecStats is the
+// total accounted footprint, a deliberate over-approximation.
+//
+// Guard trips surface as Status::ResourceExhausted with vendor codes:
+//
+//   XQC0001  wall-clock deadline exceeded
+//   XQC0002  cancelled via CancellationToken
+//   XQC0003  memory budget exceeded
+//   XQC0004  output-size cap exceeded
+//   XQC0005  recursion depth exceeded (issued by the evaluators)
+//   XQC0006  eval-step quota exceeded
+//
+// All limits default to 0 = unlimited; a default QueryGuard never trips.
+// GuardFaultInjector lets tests deterministically trip the Nth check or
+// fail the Nth accounted allocation to exercise every unwind path.
+#ifndef XQC_BASE_GUARD_H_
+#define XQC_BASE_GUARD_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <utility>
+
+#include "src/base/status.h"
+
+namespace xqc {
+
+// Vendor error codes for guard trips (kept together so callers matching on
+// code() have one place to look).
+inline constexpr const char* kGuardTimeoutCode = "XQC0001";
+inline constexpr const char* kGuardCancelledCode = "XQC0002";
+inline constexpr const char* kGuardMemoryCode = "XQC0003";
+inline constexpr const char* kGuardOutputCode = "XQC0004";
+inline constexpr const char* kGuardRecursionCode = "XQC0005";
+inline constexpr const char* kGuardStepsCode = "XQC0006";
+
+/// Per-query resource limits. 0 means unlimited.
+struct GuardLimits {
+  /// Wall-clock deadline, measured from QueryGuard::Arm().
+  int64_t deadline_ms = 0;
+  /// Budget for accounted tuple/item/node allocations (estimates; see the
+  /// file comment). Trips with XQC0003.
+  int64_t max_memory_bytes = 0;
+  /// Cap on result items delivered to the caller. Trips with XQC0004.
+  int64_t max_output_items = 0;
+  /// Quota on amortized eval steps (each step ~ one operator/expression
+  /// visit or one tuple pulled). Trips with XQC0006.
+  int64_t max_eval_steps = 0;
+
+  bool any() const {
+    return deadline_ms > 0 || max_memory_bytes > 0 || max_output_items > 0 ||
+           max_eval_steps > 0;
+  }
+};
+
+/// Shared cancellation flag. Copy the token before starting the query and
+/// call RequestCancel() from any thread; the running query fails with
+/// XQC0002 at its next guard check. A default-constructed token is inert
+/// (never cancelled, RequestCancel is a no-op).
+class CancellationToken {
+ public:
+  CancellationToken() = default;
+
+  /// Creates a live token (default-constructed ones are inert).
+  static CancellationToken Make() {
+    CancellationToken t;
+    t.flag_ = std::make_shared<std::atomic<bool>>(false);
+    return t;
+  }
+
+  void RequestCancel() const {
+    if (flag_ != nullptr) flag_->store(true, std::memory_order_relaxed);
+  }
+  bool cancelled() const {
+    return flag_ != nullptr && flag_->load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+/// Deterministic failure injection for tests: trip the Nth slow-path guard
+/// check, or fail the Nth accounted allocation, regardless of limits.
+struct GuardFaultInjector {
+  /// 1-based index of the slow-path check to trip; 0 = never.
+  int64_t trip_check_n = 0;
+  /// Code to trip with (one of the kGuard*Code constants).
+  const char* trip_code = kGuardCancelledCode;
+  /// 1-based index of the Account{Memory,Items,Tuples,Nodes} call to fail
+  /// with XQC0003; 0 = never.
+  int64_t fail_alloc_n = 0;
+};
+
+/// The per-query guard. Not thread-safe except for the cancellation token;
+/// one guard belongs to one executing query.
+class QueryGuard {
+ public:
+  /// Approximate per-object byte costs used by the Account* helpers.
+  static constexpr int64_t kItemCost = 48;
+  static constexpr int64_t kTupleCost = 96;
+  static constexpr int64_t kNodeCost = 160;
+  /// Steps between slow-path checks. Small enough that a 50ms deadline is
+  /// honored within a few ms of overshoot, large enough that the fast path
+  /// dominates (a single decrement per step).
+  static constexpr int64_t kCheckInterval = 256;
+
+  QueryGuard() { Arm(); }
+  explicit QueryGuard(
+      const GuardLimits& limits,
+      CancellationToken cancel = CancellationToken(),
+      const GuardFaultInjector& injector = GuardFaultInjector())
+      : limits_(limits), cancel_(std::move(cancel)), injector_(injector) {
+    Arm();
+  }
+
+  QueryGuard(const QueryGuard&) = delete;
+  QueryGuard& operator=(const QueryGuard&) = delete;
+
+  /// (Re)starts the deadline clock. Called by the constructor; call again
+  /// to reuse a guard across executions.
+  void Arm();
+
+  /// The amortized per-step check. Fast path: one decrement and branch.
+  Status Check() {
+    if (--countdown_ > 0) return Status::OK();
+    return SlowCheck();
+  }
+
+  /// An unamortized check, for coarse boundaries (e.g. each tuple a
+  /// ResultStream delivers) where cancellation latency matters more than
+  /// throughput. Does not advance the step counter.
+  Status CheckNow();
+
+  /// Charges `bytes` against the memory budget (monotone; see file
+  /// comment). Returns XQC0003 when over budget or fault-injected.
+  Status AccountMemory(int64_t bytes);
+  Status AccountItems(int64_t n) { return AccountMemory(n * kItemCost); }
+  Status AccountTuples(int64_t n) { return AccountMemory(n * kTupleCost); }
+  Status AccountNodes(int64_t n) { return AccountMemory(n * kNodeCost); }
+
+  /// Charges `n` items against the output cap. Returns XQC0004 when over.
+  Status AccountOutput(int64_t n);
+
+  void set_fault_injector(const GuardFaultInjector& fi) { injector_ = fi; }
+
+  const GuardLimits& limits() const { return limits_; }
+  /// Slow-path checks performed (ExecStats::guard_checks).
+  int64_t checks() const { return checks_; }
+  /// Total accounted bytes (ExecStats::peak_memory_bytes).
+  int64_t peak_memory_bytes() const { return memory_bytes_; }
+  int64_t steps() const { return steps_; }
+  int64_t output_items() const { return output_items_; }
+
+ private:
+  Status SlowCheck();
+
+  GuardLimits limits_;
+  CancellationToken cancel_;
+  GuardFaultInjector injector_;
+  std::chrono::steady_clock::time_point deadline_{};
+  bool has_deadline_ = false;
+  int64_t countdown_ = kCheckInterval;
+  int64_t checks_ = 0;
+  int64_t steps_ = 0;
+  int64_t memory_bytes_ = 0;
+  int64_t alloc_calls_ = 0;
+  int64_t output_items_ = 0;
+};
+
+/// A per-thread guard with no limits and an inert cancellation token, used
+/// as a fallback so evaluator hot paths can check unconditionally instead
+/// of branching on "is a guard installed". Its counters are shared across
+/// queries on the thread — never report stats from it.
+QueryGuard* UnlimitedGuard();
+
+}  // namespace xqc
+
+#endif  // XQC_BASE_GUARD_H_

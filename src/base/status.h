@@ -20,6 +20,7 @@ enum class StatusKind {
   kNotImplemented,  // unsupported feature
   kInternal,        // invariant violation inside the engine
   kIOError,         // file / URI access failure
+  kResourceExhausted,  // a query guardrail tripped (see src/base/guard.h)
 };
 
 /// A lightweight status object. Ok statuses allocate nothing.
@@ -42,6 +43,13 @@ class Status {
   }
   static Status IOError(std::string msg) {
     return Status(StatusKind::kIOError, "FODC0002", std::move(msg));
+  }
+  /// A query guardrail tripped (deadline, cancellation, memory budget,
+  /// output cap, step quota, recursion depth). `code` is one of the
+  /// XQC00xx vendor codes in src/base/guard.h.
+  static Status ResourceExhausted(std::string code, std::string msg) {
+    return Status(StatusKind::kResourceExhausted, std::move(code),
+                  std::move(msg));
   }
 
   bool ok() const { return kind_ == StatusKind::kOk; }

@@ -18,22 +18,46 @@ ExecOptions ToExecOptions(const EngineOptions& o) {
 }  // namespace
 
 Result<Sequence> PreparedQuery::Execute(DynamicContext* ctx) const {
-  if (!options_.use_algebra) {
-    Interpreter interp(core_.get(), ctx);
-    return interp.Run();
-  }
-  PlanEvaluator eval(compiled_.get(), ctx, ToExecOptions(options_));
-  Result<Sequence> r = eval.Run();
-  exec_stats_ = eval.stats();
+  // One guard per top-level execution. ScopedGuard installs `local` only if
+  // the context has no guard yet, so a nested Execute (e.g. the buffered
+  // ExecuteStream fallback below) charges the outermost query's budget.
+  QueryGuard local(options_.limits, options_.cancel, options_.fault_injector);
+  ScopedGuard scope(ctx, &local);
+  QueryGuard* guard = ctx->guard();
+  Result<Sequence> r = [&]() -> Result<Sequence> {
+    if (!options_.use_algebra) {
+      exec_stats_ = ExecStats{};
+      Interpreter interp(core_.get(), ctx);
+      return interp.Run();
+    }
+    PlanEvaluator eval(compiled_.get(), ctx, ToExecOptions(options_));
+    Result<Sequence> inner = eval.Run();
+    exec_stats_ = eval.stats();
+    return inner;
+  }();
+  exec_stats_.guard_checks = guard->checks();
+  exec_stats_.peak_memory_bytes = guard->peak_memory_bytes();
+  if (!r.ok()) return r;
+  XQC_RETURN_IF_ERROR(
+      guard->AccountOutput(static_cast<int64_t>(r.value().size())));
   return r;
 }
 
 struct ResultStream::Impl {
+  // Member order matters: the guard must be installed into the context
+  // (scope) before PlanEvaluator caches ctx->guard() in its constructor.
   Impl(std::shared_ptr<CompiledQuery> q, DynamicContext* ctx,
-       const ExecOptions& opt)
-      : query(std::move(q)), eval(query.get(), ctx, opt) {}
+       const EngineOptions& options)
+      : query(std::move(q)),
+        guard(options.limits, options.cancel, options.fault_injector),
+        scope(ctx, &guard),
+        active(ctx->guard()),
+        eval(query.get(), ctx, ToExecOptions(options)) {}
 
   std::shared_ptr<CompiledQuery> query;  // keeps the plan alive
+  QueryGuard guard;                      // lives as long as the stream
+  ScopedGuard scope;                     // installs guard unless one exists
+  QueryGuard* active;                    // the guard actually charged
   PlanEvaluator eval;
   bool streaming = false;
   TupleIteratorPtr iter;                 // streaming: the top tuple stream
@@ -42,12 +66,16 @@ struct ResultStream::Impl {
   size_t pos = 0;
   bool done = false;
   ExecStats buffered_stats;              // fallback (non-streaming) stats
+  ExecStats stats_cache;                 // streaming: merged snapshot
 };
 
 Result<bool> ResultStream::Next(Item* out) {
   Impl& im = *impl_;
   while (im.pos >= im.buf.size()) {
     if (!im.streaming || im.done) return false;
+    // Unamortized check per tuple: a RequestCancel between pulls is honored
+    // on the very next pull, not after kCheckInterval more steps.
+    XQC_RETURN_IF_ERROR(im.active->CheckNow());
     Tuple t;
     XQC_ASSIGN_OR_RETURN(bool has, im.iter->Next(&t));
     if (!has) {
@@ -59,6 +87,8 @@ Result<bool> ResultStream::Next(Item* out) {
     XQC_ASSIGN_OR_RETURN(im.buf, im.eval.EvalItems(*im.per_tuple, dc));
     im.pos = 0;
   }
+  // The buffered fallback already charged the whole result in Execute().
+  if (im.streaming) XQC_RETURN_IF_ERROR(im.active->AccountOutput(1));
   *out = im.buf[im.pos++];
   return true;
 }
@@ -74,13 +104,17 @@ Result<Sequence> ResultStream::Drain() {
 }
 
 const ExecStats& ResultStream::stats() const {
-  return impl_->streaming ? impl_->eval.stats() : impl_->buffered_stats;
+  Impl& im = *impl_;
+  if (!im.streaming) return im.buffered_stats;
+  im.stats_cache = im.eval.stats();
+  im.stats_cache.guard_checks = im.active->checks();
+  im.stats_cache.peak_memory_bytes = im.active->peak_memory_bytes();
+  return im.stats_cache;
 }
 
 Result<ResultStream> PreparedQuery::ExecuteStream(DynamicContext* ctx) const {
   ResultStream rs;
-  rs.impl_ = std::make_shared<ResultStream::Impl>(compiled_, ctx,
-                                                  ToExecOptions(options_));
+  rs.impl_ = std::make_shared<ResultStream::Impl>(compiled_, ctx, options_);
   // Incremental pulling needs an algebraic MapToItem top: anything else
   // (interpreter mode, materializing mode, a non-tuple top plan) computes
   // the full result now and serves it from the buffer.
@@ -124,7 +158,10 @@ Result<std::string> Engine::Execute(const std::string& query_text,
 
 Result<PreparedQuery> Engine::Prepare(const std::string& query_text,
                                       const EngineOptions& options) const {
-  XQC_ASSIGN_OR_RETURN(Query parsed, ParseXQuery(query_text));
+  // Parsing is also guarded (deadline / cancellation, checked per token) so
+  // a hostile query text cannot pin the thread before execution starts.
+  QueryGuard parse_guard(options.limits, options.cancel);
+  XQC_ASSIGN_OR_RETURN(Query parsed, ParseXQuery(query_text, &parse_guard));
   XQC_ASSIGN_OR_RETURN(Query core, NormalizeQuery(parsed));
   HoistLeadingLets(&core);
   if (options.optimize) HoistNestedReturnBlocks(&core);

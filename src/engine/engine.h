@@ -25,6 +25,7 @@
 #include <memory>
 #include <string>
 
+#include "src/base/guard.h"
 #include "src/compile/compiler.h"
 #include "src/interp/interpreter.h"
 #include "src/opt/optimizer.h"
@@ -54,6 +55,16 @@ struct EngineOptions {
   /// Iterator vs materializing execution (results are identical; see
   /// ExecOptions::streaming for the error-laziness caveat).
   ExecMode exec_mode = ExecMode::kStreaming;
+  /// Resource limits enforced during Execute / ExecuteStream (0 fields are
+  /// unlimited). Trips surface as Status::ResourceExhausted with the
+  /// XQC00xx codes in src/base/guard.h.
+  GuardLimits limits = {};
+  /// Cooperative cancellation: create with CancellationToken::Make(), keep
+  /// a copy, and call RequestCancel() from any thread. The running query
+  /// fails with XQC0002 at its next guard check.
+  CancellationToken cancel = {};
+  /// Deterministic guard fault injection (tests only).
+  GuardFaultInjector fault_injector = {};
 };
 
 /// An incrementally pulled query result (PreparedQuery::ExecuteStream).

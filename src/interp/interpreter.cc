@@ -65,7 +65,9 @@ Status CheckSequenceType(const Sequence& v, const SequenceType& t,
 }  // namespace
 
 Interpreter::Interpreter(const Query* query, DynamicContext* ctx)
-    : query_(query), ctx_(ctx) {
+    : query_(query),
+      ctx_(ctx),
+      guard_(ctx->guard() != nullptr ? ctx->guard() : UnlimitedGuard()) {
   for (const FunctionDecl& f : query->functions) {
     functions_[f.name] = &f;
   }
@@ -92,6 +94,7 @@ Result<Sequence> Interpreter::Run() {
 }
 
 Result<Sequence> Interpreter::Eval(const Expr& e, const EnvPtr& env) {
+  XQC_RETURN_IF_ERROR(guard_->Check());
   switch (e.kind) {
     case ExprKind::kLiteral:
       return Sequence{e.literal};
@@ -212,6 +215,8 @@ Result<Sequence> Interpreter::EvalFLWOR(const Expr& e, const EnvPtr& env) {
               XQC_RETURN_IF_ERROR(CheckSequenceType(
                   one, *c.type, ctx_->schema(), "for clause"));
             }
+            XQC_RETURN_IF_ERROR(guard_->Check());
+            XQC_RETURN_IF_ERROR(guard_->AccountTuples(1));
             EnvPtr t2 = BindEnv(t, c.var, std::move(one));
             if (!c.pos_var.empty()) {
               t2 = BindEnv(t2, c.pos_var,
@@ -353,7 +358,8 @@ Result<Sequence> Interpreter::EvalCall(const Expr& e, const EnvPtr& env) {
     }
     if (++depth_ > kMaxRecursionDepth) {
       depth_--;
-      return Status::XQueryError("XQDY0000", "recursion depth exceeded");
+      return Status::ResourceExhausted(kGuardRecursionCode,
+                                       "recursion depth exceeded");
     }
     EnvPtr fenv;  // function bodies see only their parameters + globals
     for (size_t i = 0; i < args.size(); i++) {
@@ -400,29 +406,30 @@ Result<Sequence> Interpreter::EvalConstructor(const Expr& e, const EnvPtr& env) 
   switch (e.kind) {
     case ExprKind::kCompElement: {
       XQC_ASSIGN_OR_RETURN(Symbol name, EvalName(e, env));
-      XQC_ASSIGN_OR_RETURN(NodePtr n, ConstructElement(name, content));
+      XQC_ASSIGN_OR_RETURN(NodePtr n, ConstructElement(name, content, guard_));
       return Sequence{std::move(n)};
     }
     case ExprKind::kCompAttribute: {
       XQC_ASSIGN_OR_RETURN(Symbol name, EvalName(e, env));
-      XQC_ASSIGN_OR_RETURN(NodePtr n, ConstructAttribute(name, content));
+      XQC_ASSIGN_OR_RETURN(NodePtr n,
+                           ConstructAttribute(name, content, guard_));
       return Sequence{std::move(n)};
     }
     case ExprKind::kCompText: {
-      XQC_ASSIGN_OR_RETURN(NodePtr n, ConstructText(content));
+      XQC_ASSIGN_OR_RETURN(NodePtr n, ConstructText(content, guard_));
       if (n == nullptr) return Sequence{};
       return Sequence{std::move(n)};
     }
     case ExprKind::kCompComment: {
-      XQC_ASSIGN_OR_RETURN(NodePtr n, ConstructComment(content));
+      XQC_ASSIGN_OR_RETURN(NodePtr n, ConstructComment(content, guard_));
       return Sequence{std::move(n)};
     }
     case ExprKind::kCompPI: {
-      XQC_ASSIGN_OR_RETURN(NodePtr n, ConstructPI(e.name, content));
+      XQC_ASSIGN_OR_RETURN(NodePtr n, ConstructPI(e.name, content, guard_));
       return Sequence{std::move(n)};
     }
     case ExprKind::kCompDocument: {
-      XQC_ASSIGN_OR_RETURN(NodePtr n, ConstructDocument(content));
+      XQC_ASSIGN_OR_RETURN(NodePtr n, ConstructDocument(content, guard_));
       return Sequence{std::move(n)};
     }
     default:

@@ -741,14 +741,26 @@ const std::map<std::string, Builtin>& Registry() {
       XQC_ASSIGN_OR_RETURN(bool y, EffectiveBooleanValue(a[1]));
       return BoolSeq(x || y);
     });
-    add("op:to", 2, 2, [](const Args& a, DynamicContext*) -> Result<Sequence> {
+    add("op:to", 2, 2,
+        [](const Args& a, DynamicContext* ctx) -> Result<Sequence> {
       XQC_ASSIGN_OR_RETURN(Sequence lo, AtomizeOpt(a[0], "op:to"));
       XQC_ASSIGN_OR_RETURN(Sequence hi, AtomizeOpt(a[1], "op:to"));
       if (lo.empty() || hi.empty()) return None();
       XQC_ASSIGN_OR_RETURN(AtomicValue l, CastTo(lo[0].atomic(), AtomicType::kInteger));
       XQC_ASSIGN_OR_RETURN(AtomicValue h, CastTo(hi[0].atomic(), AtomicType::kInteger));
+      // A range materializes its whole sequence, so huge literals
+      // ("1 to 2000000000") must stay interruptible: charge the budget up
+      // front and keep checking the deadline while filling.
+      QueryGuard* g = ctx != nullptr ? ctx->guard() : nullptr;
+      int64_t first = l.AsInt(), last = h.AsInt();
+      if (g != nullptr && last >= first) {
+        XQC_RETURN_IF_ERROR(g->AccountItems(last - first + 1));
+      }
       Sequence out;
-      for (int64_t i = l.AsInt(); i <= h.AsInt(); i++) {
+      for (int64_t i = first; i <= last; i++) {
+        if (g != nullptr && ((i - first) & 1023) == 0) {
+          XQC_RETURN_IF_ERROR(g->Check());
+        }
         out.push_back(AtomicValue::Integer(i));
       }
       return out;

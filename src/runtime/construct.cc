@@ -16,10 +16,18 @@ Result<std::string> JoinLexical(const Sequence& content) {
   return out;
 }
 
+/// Nodes in the subtree rooted at `n` (for guard accounting of deep
+/// copies; attributes count as nodes).
+int64_t SubtreeNodes(const Node& n) {
+  int64_t count = 1 + static_cast<int64_t>(n.attributes.size());
+  for (const NodePtr& c : n.children) count += SubtreeNodes(*c);
+  return count;
+}
+
 /// Appends `content` items into `parent` children: atomic runs become text
 /// nodes, document nodes splice their children, other nodes are deep-copied.
 Status AppendContent(const NodePtr& parent, const Sequence& content,
-                     bool allow_attributes) {
+                     bool allow_attributes, QueryGuard* guard) {
   std::string text;
   bool prev_atomic = false;
   bool seen_non_attribute = false;
@@ -29,6 +37,11 @@ Status AppendContent(const NodePtr& parent, const Sequence& content,
       text.clear();
     }
     prev_atomic = false;
+  };
+  auto account_copy = [&](const Node& n) -> Status {
+    if (guard == nullptr) return Status::OK();
+    XQC_RETURN_IF_ERROR(guard->Check());
+    return guard->AccountNodes(SubtreeNodes(n));
   };
   for (const Item& it : content) {
     if (it.IsAtomic()) {
@@ -51,11 +64,13 @@ Status AppendContent(const NodePtr& parent, const Sequence& content,
               "XQTY0024",
               "attribute node after non-attribute content in constructor");
         }
+        XQC_RETURN_IF_ERROR(account_copy(n));
         Append(parent, DeepCopy(n, /*keep_types=*/true));
         continue;
       case NodeKind::kDocument:
         // Document nodes splice their children into the content.
         for (const NodePtr& c : n.children) {
+          XQC_RETURN_IF_ERROR(account_copy(*c));
           Append(parent, DeepCopy(*c, /*keep_types=*/true));
         }
         seen_non_attribute = true;
@@ -68,6 +83,7 @@ Status AppendContent(const NodePtr& parent, const Sequence& content,
         seen_non_attribute = true;
         continue;
       default:
+        XQC_RETURN_IF_ERROR(account_copy(n));
         Append(parent, DeepCopy(n, /*keep_types=*/true));
         seen_non_attribute = true;
         continue;
@@ -77,47 +93,68 @@ Status AppendContent(const NodePtr& parent, const Sequence& content,
   return Status::OK();
 }
 
+/// One guard charge for the freshly built wrapper node plus its character
+/// data (no-op without a guard).
+Status AccountNew(QueryGuard* guard, int64_t bytes) {
+  if (guard == nullptr) return Status::OK();
+  XQC_RETURN_IF_ERROR(guard->Check());
+  XQC_RETURN_IF_ERROR(guard->AccountNodes(1));
+  if (bytes > 0) XQC_RETURN_IF_ERROR(guard->AccountMemory(bytes));
+  return Status::OK();
+}
+
 }  // namespace
 
-Result<NodePtr> ConstructElement(Symbol name, const Sequence& content) {
+Result<NodePtr> ConstructElement(Symbol name, const Sequence& content,
+                                 QueryGuard* guard) {
+  XQC_RETURN_IF_ERROR(AccountNew(guard, 0));
   NodePtr elem = NewElement(name);
-  XQC_RETURN_IF_ERROR(AppendContent(elem, content, /*allow_attributes=*/true));
+  XQC_RETURN_IF_ERROR(
+      AppendContent(elem, content, /*allow_attributes=*/true, guard));
   FinalizeTree(elem);
   return elem;
 }
 
-Result<NodePtr> ConstructAttribute(Symbol name, const Sequence& content) {
+Result<NodePtr> ConstructAttribute(Symbol name, const Sequence& content,
+                                   QueryGuard* guard) {
   XQC_ASSIGN_OR_RETURN(std::string value, JoinLexical(content));
+  XQC_RETURN_IF_ERROR(AccountNew(guard, static_cast<int64_t>(value.size())));
   NodePtr attr = NewAttribute(name, std::move(value));
   FinalizeTree(attr);
   return attr;
 }
 
-Result<NodePtr> ConstructText(const Sequence& content) {
+Result<NodePtr> ConstructText(const Sequence& content, QueryGuard* guard) {
   if (content.empty()) return NodePtr();
   XQC_ASSIGN_OR_RETURN(std::string value, JoinLexical(content));
+  XQC_RETURN_IF_ERROR(AccountNew(guard, static_cast<int64_t>(value.size())));
   NodePtr text = NewText(std::move(value));
   FinalizeTree(text);
   return text;
 }
 
-Result<NodePtr> ConstructComment(const Sequence& content) {
+Result<NodePtr> ConstructComment(const Sequence& content, QueryGuard* guard) {
   XQC_ASSIGN_OR_RETURN(std::string value, JoinLexical(content));
+  XQC_RETURN_IF_ERROR(AccountNew(guard, static_cast<int64_t>(value.size())));
   NodePtr c = NewComment(std::move(value));
   FinalizeTree(c);
   return c;
 }
 
-Result<NodePtr> ConstructPI(Symbol target, const Sequence& content) {
+Result<NodePtr> ConstructPI(Symbol target, const Sequence& content,
+                            QueryGuard* guard) {
   XQC_ASSIGN_OR_RETURN(std::string value, JoinLexical(content));
+  XQC_RETURN_IF_ERROR(AccountNew(guard, static_cast<int64_t>(value.size())));
   NodePtr pi = NewPI(target, std::move(value));
   FinalizeTree(pi);
   return pi;
 }
 
-Result<NodePtr> ConstructDocument(const Sequence& content) {
+Result<NodePtr> ConstructDocument(const Sequence& content, QueryGuard* guard) {
+  XQC_RETURN_IF_ERROR(AccountNew(guard, 0));
   NodePtr doc = NewDocument();
-  XQC_RETURN_IF_ERROR(AppendContent(doc, content, /*allow_attributes=*/false));
+  XQC_RETURN_IF_ERROR(
+      AppendContent(doc, content, /*allow_attributes=*/false, guard));
   FinalizeTree(doc);
   return doc;
 }

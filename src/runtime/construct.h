@@ -7,6 +7,7 @@
 #ifndef XQC_RUNTIME_CONSTRUCT_H_
 #define XQC_RUNTIME_CONSTRUCT_H_
 
+#include "src/base/guard.h"
 #include "src/base/status.h"
 #include "src/xml/item.h"
 
@@ -17,18 +18,29 @@ namespace xqc {
 /// runs join into text nodes separated by single spaces; nodes are
 /// deep-copied (construction mode "preserve": type annotations kept). The
 /// result is finalized (fresh document order).
-Result<NodePtr> ConstructElement(Symbol name, const Sequence& content);
+///
+/// The optional guard (non-owning, nullptr = unlimited) is charged for
+/// every node the constructor materializes — including each node of a
+/// deep-copied subtree — so unbounded construction trips the query's
+/// memory budget.
+Result<NodePtr> ConstructElement(Symbol name, const Sequence& content,
+                                 QueryGuard* guard = nullptr);
 
 /// Builds an attribute node; content atomizes and joins with spaces.
-Result<NodePtr> ConstructAttribute(Symbol name, const Sequence& content);
+Result<NodePtr> ConstructAttribute(Symbol name, const Sequence& content,
+                                   QueryGuard* guard = nullptr);
 
 /// Builds a text node; returns empty sequence semantics via nullptr when
 /// the content is empty.
-Result<NodePtr> ConstructText(const Sequence& content);
+Result<NodePtr> ConstructText(const Sequence& content,
+                              QueryGuard* guard = nullptr);
 
-Result<NodePtr> ConstructComment(const Sequence& content);
-Result<NodePtr> ConstructPI(Symbol target, const Sequence& content);
-Result<NodePtr> ConstructDocument(const Sequence& content);
+Result<NodePtr> ConstructComment(const Sequence& content,
+                                 QueryGuard* guard = nullptr);
+Result<NodePtr> ConstructPI(Symbol target, const Sequence& content,
+                            QueryGuard* guard = nullptr);
+Result<NodePtr> ConstructDocument(const Sequence& content,
+                                  QueryGuard* guard = nullptr);
 
 }  // namespace xqc
 

@@ -7,7 +7,9 @@ namespace xqc {
 Result<NodePtr> DynamicContext::ResolveDocument(const std::string& uri) {
   auto it = documents_.find(uri);
   if (it != documents_.end()) return it->second;
-  XQC_ASSIGN_OR_RETURN(NodePtr doc, ParseXmlFile(uri));
+  XmlParseOptions options;
+  options.guard = guard_;
+  XQC_ASSIGN_OR_RETURN(NodePtr doc, ParseXmlFile(uri, options));
   documents_[uri] = doc;
   return doc;
 }

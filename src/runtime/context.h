@@ -7,6 +7,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "src/base/guard.h"
 #include "src/base/status.h"
 #include "src/types/schema.h"
 #include "src/xml/item.h"
@@ -37,10 +38,38 @@ class DynamicContext {
     return true;
   }
 
+  /// The resource guard for the currently executing query, or nullptr for
+  /// unlimited. Non-owning; installed for the duration of an execution
+  /// (normally by PreparedQuery via ScopedGuard below). Both evaluators,
+  /// the builtins, and document parsing (fn:doc) consult it.
+  void set_guard(QueryGuard* guard) { guard_ = guard; }
+  QueryGuard* guard() const { return guard_; }
+
  private:
   std::unordered_map<std::string, NodePtr> documents_;
   std::unordered_map<Symbol, Sequence> variables_;
   const Schema* schema_ = nullptr;
+  QueryGuard* guard_ = nullptr;
+};
+
+/// Installs `guard` on `ctx` for the current scope — unless the context
+/// already has one, in which case the outer guard stays in charge (nested
+/// executions share the outermost query's budget).
+class ScopedGuard {
+ public:
+  ScopedGuard(DynamicContext* ctx, QueryGuard* guard)
+      : ctx_(ctx), installed_(ctx->guard() == nullptr) {
+    if (installed_) ctx_->set_guard(guard);
+  }
+  ~ScopedGuard() {
+    if (installed_) ctx_->set_guard(nullptr);
+  }
+  ScopedGuard(const ScopedGuard&) = delete;
+  ScopedGuard& operator=(const ScopedGuard&) = delete;
+
+ private:
+  DynamicContext* ctx_;
+  bool installed_;
 };
 
 }  // namespace xqc

@@ -109,7 +109,10 @@ bool IsIndexableComparison(const Op& pred, const std::set<Symbol>& lf,
 
 PlanEvaluator::PlanEvaluator(const CompiledQuery* query, DynamicContext* ctx,
                              const ExecOptions& options)
-    : query_(query), ctx_(ctx), options_(options) {}
+    : query_(query),
+      ctx_(ctx),
+      options_(options),
+      guard_(ctx->guard() != nullptr ? ctx->guard() : UnlimitedGuard()) {}
 
 Status PlanEvaluator::PrepareGlobals() {
   for (const auto& [name, plan] : query_->globals) {
@@ -194,6 +197,7 @@ Result<Sequence> PlanEvaluator::EvalMapToItem(const Op& op, const EvalCtx& c,
 }
 
 Result<Sequence> PlanEvaluator::EvalItems(const Op& op, const EvalCtx& c) {
+  XQC_RETURN_IF_ERROR(guard_->Check());
   switch (op.kind) {
     case OpKind::kIn:
       if (c.items != nullptr) return *c.items;
@@ -391,6 +395,7 @@ Result<Sequence> PlanEvaluator::EvalItems(const Op& op, const EvalCtx& c) {
 }
 
 Result<Tuple> PlanEvaluator::EvalTuple(const Op& op, const EvalCtx& c) {
+  XQC_RETURN_IF_ERROR(guard_->Check());
   switch (op.kind) {
     case OpKind::kIn:
       if (c.tuple != nullptr) return *c.tuple;
@@ -415,6 +420,7 @@ Result<Tuple> PlanEvaluator::EvalTuple(const Op& op, const EvalCtx& c) {
 }
 
 Result<Table> PlanEvaluator::EvalTable(const Op& op, const EvalCtx& c) {
+  XQC_RETURN_IF_ERROR(guard_->Check());
   switch (op.kind) {
     case OpKind::kIn: {
       Table t;
@@ -446,9 +452,15 @@ Result<Table> PlanEvaluator::EvalTable(const Op& op, const EvalCtx& c) {
       XQC_ASSIGN_OR_RETURN(Table l, EvalTable(*op.inputs[0], c));
       XQC_ASSIGN_OR_RETURN(Table r, EvalTable(*op.inputs[1], c));
       Table out;
-      out.reserve(l.size() * r.size());
+      // Clamp the reserve: l*r is adversarially large for cross-product
+      // blowups, and the guard must get a chance to trip before one giant
+      // up-front allocation can OOM the process.
+      out.reserve(std::min(l.size() * r.size(), size_t{1} << 20));
       for (const Tuple& a : l) {
+        XQC_RETURN_IF_ERROR(
+            guard_->AccountTuples(static_cast<int64_t>(r.size())));
         for (const Tuple& b : r) {
+          XQC_RETURN_IF_ERROR(guard_->Check());
           out.push_back(Tuple::Concat(a, b));
         }
       }
@@ -498,6 +510,8 @@ Result<Table> PlanEvaluator::EvalTable(const Op& op, const EvalCtx& c) {
         dc.tuple = &t;
         dc.items = nullptr;
         XQC_ASSIGN_OR_RETURN(Table sub, EvalTable(*op.deps[0], dc));
+        XQC_RETURN_IF_ERROR(
+            guard_->AccountTuples(static_cast<int64_t>(sub.size())));
         if (outer && sub.empty()) {
           Tuple flag;
           flag.Set(op.name, {AtomicValue::Boolean(true)});
@@ -535,6 +549,8 @@ Result<Table> PlanEvaluator::EvalTable(const Op& op, const EvalCtx& c) {
       return EvalGroupBy(op, c);
     case OpKind::kMapFromItem: {
       XQC_ASSIGN_OR_RETURN(Sequence items, EvalItems(*op.inputs[0], c));
+      XQC_RETURN_IF_ERROR(
+          guard_->AccountTuples(static_cast<int64_t>(items.size())));
       Table out;
       out.reserve(items.size());
       for (const Item& item : items) {
@@ -691,7 +707,8 @@ Result<JoinStrategy> PlanEvaluator::PlanJoinStrategy(
         }
         if (s.eq_index == nullptr) {
           XQC_ASSIGN_OR_RETURN(
-              s.eq_index, MaterializeInner(*right, rkey_fn, ordered, mode));
+              s.eq_index,
+              MaterializeInner(*right, rkey_fn, ordered, mode, guard_));
           if (right_cacheable) {
             inner_cache_[&op] = CachedInner{
                 right, std::static_pointer_cast<const void>(s.eq_index)};
@@ -715,7 +732,7 @@ Result<JoinStrategy> PlanEvaluator::PlanJoinStrategy(
       }
       if (s.range_index == nullptr) {
         XQC_ASSIGN_OR_RETURN(s.range_index,
-                             MaterializeRangeInner(*right, rkey_fn));
+                             MaterializeRangeInner(*right, rkey_fn, guard_));
         if (right_cacheable) {
           inner_cache_[&op] = CachedInner{
               right, std::static_pointer_cast<const void>(s.range_index)};
@@ -782,8 +799,11 @@ Result<Table> PlanEvaluator::EvalJoin(const Op& op, const EvalCtx& c,
                        cacheable));
   Table out;
   for (const Tuple& l : left) {
+    size_t before = out.size();
     XQC_RETURN_IF_ERROR(
         ProbeJoinTuple(op, strategy, c, l, *right, outer, &out));
+    XQC_RETURN_IF_ERROR(
+        guard_->AccountTuples(static_cast<int64_t>(out.size() - before)));
   }
   return out;
 }
@@ -966,7 +986,8 @@ Result<Sequence> PlanEvaluator::EvalCall(const Op& op, const EvalCtx& c) {
     }
     if (++depth_ > kMaxRecursionDepth) {
       depth_--;
-      return Status::XQueryError("XQDY0000", "recursion depth exceeded");
+      return Status::ResourceExhausted(kGuardRecursionCode,
+                                       "recursion depth exceeded");
     }
     std::unordered_map<Symbol, Sequence> params;
     for (size_t i = 0; i < args.size(); i++) {
@@ -1006,28 +1027,29 @@ Result<Sequence> PlanEvaluator::EvalConstructor(const Op& op,
   }
   switch (op.kind) {
     case OpKind::kElement: {
-      XQC_ASSIGN_OR_RETURN(NodePtr n, ConstructElement(name, content));
+      XQC_ASSIGN_OR_RETURN(NodePtr n, ConstructElement(name, content, guard_));
       return Sequence{std::move(n)};
     }
     case OpKind::kAttribute: {
-      XQC_ASSIGN_OR_RETURN(NodePtr n, ConstructAttribute(name, content));
+      XQC_ASSIGN_OR_RETURN(NodePtr n,
+                           ConstructAttribute(name, content, guard_));
       return Sequence{std::move(n)};
     }
     case OpKind::kText: {
-      XQC_ASSIGN_OR_RETURN(NodePtr n, ConstructText(content));
+      XQC_ASSIGN_OR_RETURN(NodePtr n, ConstructText(content, guard_));
       if (n == nullptr) return Sequence{};
       return Sequence{std::move(n)};
     }
     case OpKind::kComment: {
-      XQC_ASSIGN_OR_RETURN(NodePtr n, ConstructComment(content));
+      XQC_ASSIGN_OR_RETURN(NodePtr n, ConstructComment(content, guard_));
       return Sequence{std::move(n)};
     }
     case OpKind::kPI: {
-      XQC_ASSIGN_OR_RETURN(NodePtr n, ConstructPI(name, content));
+      XQC_ASSIGN_OR_RETURN(NodePtr n, ConstructPI(name, content, guard_));
       return Sequence{std::move(n)};
     }
     case OpKind::kDocumentNode: {
-      XQC_ASSIGN_OR_RETURN(NodePtr n, ConstructDocument(content));
+      XQC_ASSIGN_OR_RETURN(NodePtr n, ConstructDocument(content, guard_));
       return Sequence{std::move(n)};
     }
     default:

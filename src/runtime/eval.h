@@ -50,6 +50,8 @@ struct ExecStats {
   int64_t specialized_joins = 0;   // statically typed key modes used
   int64_t source_tuples = 0;       // tuples produced by MapFromItem
   int64_t streaming_early_stops = 0;  // limited consumers that cut input
+  int64_t guard_checks = 0;        // QueryGuard slow-path checks run
+  int64_t peak_memory_bytes = 0;   // total guard-accounted allocation
 };
 
 /// Evaluation context threaded through a plan: the dependent inputs (tuple
@@ -132,6 +134,10 @@ class PlanEvaluator {
   const ExecStats& stats() const { return stats_; }
   ExecStats* mutable_stats() { return &stats_; }
   const ExecOptions& options() const { return options_; }
+  /// The active resource guard: the context's, or a shared always-
+  /// unlimited guard when none is installed (so check sites are
+  /// unconditional). Never nullptr.
+  QueryGuard* guard() const { return guard_; }
 
  private:
   Result<Table> EvalJoin(const Op& op, const EvalCtx& c, bool outer);
@@ -147,6 +153,7 @@ class PlanEvaluator {
   const CompiledQuery* query_;
   DynamicContext* ctx_;
   ExecOptions options_;
+  QueryGuard* guard_;  // ctx's guard or the shared unlimited fallback
   std::unordered_map<Symbol, Sequence> globals_;
   ExecStats stats_;
   int depth_ = 0;

@@ -105,6 +105,7 @@ class SelectIter : public TupleIterator {
     if (stopped_) return false;
     Tuple t;
     while (true) {
+      XQC_RETURN_IF_ERROR(ev_->guard()->Check());
       if (bound_ >= 0 && pulled_ >= bound_) {
         stopped_ = true;
         ev_->mutable_stats()->streaming_early_stops++;
@@ -153,12 +154,16 @@ class ProductIter : public TupleIterator {
   Result<bool> Next(Tuple* out) override {
     if (left_.empty()) return false;
     while (true) {
+      XQC_RETURN_IF_ERROR(ev_->guard()->Check());
       if (lidx_ == 0 && !right_done_) {
         Tuple r;
         XQC_ASSIGN_OR_RETURN(bool has, right_->Next(&r));
         if (has) {
           *out = Tuple::Concat(left_[0], r);
-          if (left_.size() > 1) replay_.push_back(std::move(r));
+          if (left_.size() > 1) {
+            XQC_RETURN_IF_ERROR(ev_->guard()->AccountTuples(1));
+            replay_.push_back(std::move(r));
+          }
           return true;
         }
         right_done_ = true;
@@ -264,6 +269,7 @@ class MapConcatIter : public TupleIterator {
   Status Open() override { return Status::OK(); }
   Result<bool> Next(Tuple* out) override {
     while (true) {
+      XQC_RETURN_IF_ERROR(ev_->guard()->Check());
       if (inner_ != nullptr) {
         Tuple s;
         XQC_ASSIGN_OR_RETURN(bool has, inner_->Next(&s));
@@ -359,12 +365,14 @@ class MapFromItemIter : public TupleIterator {
   }
   Result<bool> Next(Tuple* out) override {
     while (true) {
+      XQC_RETURN_IF_ERROR(ev_->guard()->Check());
       if (pos_ < buf_.size()) {
         Sequence one{buf_[pos_++]};
         EvalCtx dc = c_;
         dc.items = &one;
         dc.tuple = nullptr;
         XQC_ASSIGN_OR_RETURN(*out, ev_->EvalTuple(*op_->deps[0], dc));
+        XQC_RETURN_IF_ERROR(ev_->guard()->AccountTuples(1));
         ev_->mutable_stats()->source_tuples++;
         return true;
       }
@@ -422,6 +430,7 @@ class JoinIter : public TupleIterator {
   }
   Result<bool> Next(Tuple* out) override {
     while (true) {
+      XQC_RETURN_IF_ERROR(ev_->guard()->Check());
       if (bpos_ < buf_.size()) {
         *out = std::move(buf_[bpos_++]);
         return true;
@@ -442,6 +451,8 @@ class JoinIter : public TupleIterator {
       }
       XQC_RETURN_IF_ERROR(
           ev_->ProbeJoinTuple(*op_, strategy_, c_, l, *right_, outer_, &buf_));
+      XQC_RETURN_IF_ERROR(
+          ev_->guard()->AccountTuples(static_cast<int64_t>(buf_.size())));
     }
   }
   void Close() override { left_->Close(); }

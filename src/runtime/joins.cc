@@ -103,10 +103,14 @@ class MaterializedInner {
 // sequence order.
 Result<std::shared_ptr<const MaterializedInner>> MaterializeInner(
     const Table& right, const KeyFn& right_key, bool use_ordered_index,
-    KeyMode mode) {
+    KeyMode mode, QueryGuard* guard) {
   auto index = std::make_shared<MaterializedInner>(use_ordered_index, mode);
   std::vector<JoinKey> keys;
   for (size_t order = 0; order < right.size(); order++) {
+    if (guard != nullptr) {
+      XQC_RETURN_IF_ERROR(guard->Check());
+      XQC_RETURN_IF_ERROR(guard->AccountItems(1));
+    }
     XQC_ASSIGN_OR_RETURN(Sequence key_vals, right_key(right[order]));
     for (const Item& key : key_vals) {
       const AtomicValue& v = key.atomic();
@@ -264,9 +268,13 @@ class MaterializedRangeInner {
 };
 
 Result<std::shared_ptr<const MaterializedRangeInner>> MaterializeRangeInner(
-    const Table& right, const KeyFn& right_key) {
+    const Table& right, const KeyFn& right_key, QueryGuard* guard) {
   auto inner = std::make_shared<MaterializedRangeInner>();
   for (size_t order = 0; order < right.size(); order++) {
+    if (guard != nullptr) {
+      XQC_RETURN_IF_ERROR(guard->Check());
+      XQC_RETURN_IF_ERROR(guard->AccountItems(1));
+    }
     XQC_ASSIGN_OR_RETURN(Sequence key_vals, right_key(right[order]));
     for (const Item& key : key_vals) {
       const AtomicValue& v = key.atomic();

@@ -19,6 +19,7 @@
 #include <functional>
 #include <memory>
 
+#include "src/base/guard.h"
 #include "src/base/status.h"
 #include "src/opt/key_class.h"
 #include "src/runtime/tuple.h"
@@ -60,9 +61,11 @@ class MaterializedInner;
 /// `mode` selects the key representation (see key_class.h): the general
 /// promoteToSimpleTypes enumeration, or the statically specialized
 /// single-entry string/double keys. Build and probe must use the SAME mode.
+/// The optional guard (non-owning) is checked and charged per indexed key
+/// entry, so adversarially large build sides honor deadlines and budgets.
 Result<std::shared_ptr<const MaterializedInner>> MaterializeInner(
     const Table& right, const KeyFn& right_key, bool use_ordered_index,
-    KeyMode mode = KeyMode::kGeneralKeys);
+    KeyMode mode = KeyMode::kGeneralKeys, QueryGuard* guard = nullptr);
 
 /// EqualityJoin against a prebuilt inner index. `right` must be the table
 /// the index was built from.
@@ -83,7 +86,7 @@ Result<Table> EqualityJoinWithIndex(const Table& left, const KeyFn& left_key,
 class MaterializedRangeInner;
 
 Result<std::shared_ptr<const MaterializedRangeInner>> MaterializeRangeInner(
-    const Table& right, const KeyFn& right_key);
+    const Table& right, const KeyFn& right_key, QueryGuard* guard = nullptr);
 
 Result<Table> InequalityJoinWithIndex(const Table& left, const KeyFn& left_key,
                                       const Table& right,

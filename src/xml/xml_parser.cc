@@ -9,6 +9,10 @@
 namespace xqc {
 namespace {
 
+// Element nesting deeper than this is rejected (XML documents this deep are
+// adversarial; ParseElement recurses, so unbounded depth smashes the stack).
+constexpr int kMaxElementDepth = 4096;
+
 class Parser {
  public:
   Parser(std::string_view text, const XmlParseOptions& options)
@@ -187,10 +191,33 @@ class Parser {
     return Status::OK();
   }
 
+  // Runs an amortized guard check and charges `nodes` constructed nodes
+  // plus `bytes` of character data against the query's budget (no-op when
+  // parsing outside a guarded query).
+  Status Account(int64_t nodes, int64_t bytes = 0) {
+    if (options_.guard == nullptr) return Status::OK();
+    XQC_RETURN_IF_ERROR(options_.guard->Check());
+    if (nodes > 0) XQC_RETURN_IF_ERROR(options_.guard->AccountNodes(nodes));
+    if (bytes > 0) XQC_RETURN_IF_ERROR(options_.guard->AccountMemory(bytes));
+    return Status::OK();
+  }
+
   Result<NodePtr> ParseElement() {
+    if (++depth_ > kMaxElementDepth) {
+      depth_--;
+      return Err("element nesting deeper than " +
+                 std::to_string(kMaxElementDepth));
+    }
+    Result<NodePtr> r = ParseElementInner();
+    depth_--;
+    return r;
+  }
+
+  Result<NodePtr> ParseElementInner() {
     if (!Consume("<")) return Err("expected '<'");
     XQC_ASSIGN_OR_RETURN(std::string_view name, ParseName());
     NodePtr elem = NewElement(Symbol(name));
+    XQC_RETURN_IF_ERROR(Account(1));
     // Attributes.
     while (true) {
       SkipSpace();
@@ -214,6 +241,8 @@ class Parser {
       XQC_RETURN_IF_ERROR(
           AppendDecodedText(s_.substr(pos_, end - pos_), &decoded));
       pos_ = end + 1;
+      XQC_RETURN_IF_ERROR(
+          Account(1, static_cast<int64_t>(decoded.size())));
       Append(elem, NewAttribute(Symbol(aname), std::move(decoded)));
     }
     // Content.
@@ -231,6 +260,7 @@ class Parser {
     (void)pending;
     (void)has_element_child;
     while (true) {
+      XQC_RETURN_IF_ERROR(Account(0));
       if (AtEnd()) return Err("unterminated element <" + std::string(name) + ">");
       if (Peek() == '<') {
         if (Consume("</")) {
@@ -268,6 +298,7 @@ class Parser {
       }
       size_t next = s_.find('<', pos_);
       if (next == std::string_view::npos) next = s_.size();
+      XQC_RETURN_IF_ERROR(Account(1, static_cast<int64_t>(next - pos_)));
       XQC_RETURN_IF_ERROR(AppendDecodedText(s_.substr(pos_, next - pos_), &text));
       pos_ = next;
     }
@@ -276,6 +307,7 @@ class Parser {
   std::string_view s_;
   size_t pos_ = 0;
   XmlParseOptions options_;
+  int depth_ = 0;
 };
 
 }  // namespace

@@ -4,6 +4,7 @@
 
 #include <string_view>
 
+#include "src/base/guard.h"
 #include "src/base/status.h"
 #include "src/xml/node.h"
 
@@ -15,6 +16,10 @@ struct XmlParseOptions {
   bool strip_boundary_whitespace = true;
   /// Keep comments and processing instructions as nodes.
   bool keep_comments_and_pis = true;
+  /// Optional resource guard (non-owning): the parser runs amortized
+  /// checks and accounts constructed nodes against it, so document parsing
+  /// inside a query (fn:doc) honors the query's deadline and budgets.
+  QueryGuard* guard = nullptr;
 };
 
 /// Parses an XML document. The returned document node is finalized

@@ -2,6 +2,7 @@
 
 #include <functional>
 
+#include "src/base/guard.h"
 #include "src/base/strutil.h"
 #include "src/xquery/lexer.h"
 
@@ -19,9 +20,18 @@ bool IsKindTestName(const std::string& n) {
   return false;
 }
 
+// Maximum expression/constructor nesting depth. The parser is recursive-
+// descent, so unbounded nesting (100k of "((((...") would smash the native
+// stack; anything deeper than this is rejected with XPST0003. The limit
+// clears legitimate queries by a wide margin (the deepest query in the
+// test corpus nests ~500 levels) while keeping worst-case stack use a few
+// MB even under sanitizer-sized frames.
+constexpr int kMaxNestingDepth = 1024;
+
 class Parser {
  public:
-  explicit Parser(std::string_view text) : lex_(text) {}
+  explicit Parser(std::string_view text, QueryGuard* guard = nullptr)
+      : lex_(text), guard_(guard) {}
 
   Result<Query> ParseQuery() {
     XQC_RETURN_IF_ERROR(Init());
@@ -74,6 +84,7 @@ class Parser {
   }
 
   Status Advance() {
+    if (guard_ != nullptr) XQC_RETURN_IF_ERROR(guard_->Check());
     cur_ = std::move(peek_);
     if (cur_.kind == TokKind::kError) return peek_status_;
     ScanPeek();
@@ -215,7 +226,22 @@ class Parser {
     return seq;
   }
 
+  // Every recursive cycle in the expression grammar passes through
+  // ParseExprSingle (operators, parens, predicates, FLWOR bodies) or
+  // ParseDirElem (nested direct constructors), so a shared depth counter
+  // at these two entry points bounds total parser recursion.
   Result<ExprPtr> ParseExprSingle() {
+    if (++depth_ > kMaxNestingDepth) {
+      depth_--;
+      return Err("expression nesting deeper than " +
+                 std::to_string(kMaxNestingDepth));
+    }
+    Result<ExprPtr> r = ParseExprSingleImpl();
+    depth_--;
+    return r;
+  }
+
+  Result<ExprPtr> ParseExprSingleImpl() {
     if ((IsName("for") || IsName("let")) && PeekIs(TokKind::kDollar)) {
       return ParseFLWOR();
     }
@@ -965,6 +991,19 @@ class Parser {
   }
 
   Result<ExprPtr> ParseDirElem(size_t* p) {
+    if (++depth_ > kMaxNestingDepth) {
+      depth_--;
+      return Status::ParseError("direct constructor error at line " +
+                                std::to_string(lex_.LineOf(*p)) +
+                                ": element nesting deeper than " +
+                                std::to_string(kMaxNestingDepth));
+    }
+    Result<ExprPtr> r = ParseDirElemImpl(p);
+    depth_--;
+    return r;
+  }
+
+  Result<ExprPtr> ParseDirElemImpl(size_t* p) {
     std::string_view s = lex_.input();
     auto err = [&](const std::string& m) {
       return Status::ParseError("direct constructor error at line " +
@@ -1225,6 +1264,8 @@ class Parser {
   }
 
   Lexer lex_;
+  QueryGuard* guard_ = nullptr;  // optional; checked once per token
+  int depth_ = 0;                // ParseExprSingle + ParseDirElem nesting
   Token cur_;
   Token peek_;
   Status peek_status_;   // deferred scan error for a kError peek token
@@ -1234,8 +1275,8 @@ class Parser {
 
 }  // namespace
 
-Result<Query> ParseXQuery(std::string_view text) {
-  Parser p(text);
+Result<Query> ParseXQuery(std::string_view text, QueryGuard* guard) {
+  Parser p(text, guard);
   return p.ParseQuery();
 }
 

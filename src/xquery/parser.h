@@ -13,13 +13,16 @@
 
 #include <string_view>
 
+#include "src/base/guard.h"
 #include "src/base/status.h"
 #include "src/xquery/ast.h"
 
 namespace xqc {
 
-/// Parses a full query module (prolog + body).
-Result<Query> ParseXQuery(std::string_view text);
+/// Parses a full query module (prolog + body). The optional guard (non-
+/// owning) is checked once per token, so adversarially large query text
+/// honors a caller's deadline/cancellation during parsing.
+Result<Query> ParseXQuery(std::string_view text, QueryGuard* guard = nullptr);
 
 /// Parses a standalone expression (no prolog) — convenience for tests.
 Result<ExprPtr> ParseXQueryExpr(std::string_view text);

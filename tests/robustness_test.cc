@@ -15,11 +15,12 @@ using testutil::InterpToString;
 using testutil::MustParseXml;
 
 TEST(Robustness, InfiniteRecursionIsCaught) {
-  // Both engines guard recursion depth instead of blowing the stack.
+  // Both engines guard recursion depth instead of blowing the stack,
+  // reporting the XQC0005 guardrail code (src/base/guard.h).
   EXPECT_EQ(InterpToString(
                 "declare function local:loop($n) { local:loop($n + 1) }; "
                 "local:loop(0)"),
-            "ERROR:XQDY0000");
+            "ERROR:XQC0005");
   Engine engine;
   DynamicContext ctx;
   Result<PreparedQuery> q = engine.Prepare(
@@ -28,7 +29,8 @@ TEST(Robustness, InfiniteRecursionIsCaught) {
   ASSERT_OK(q);
   Result<Sequence> r = q.value().Execute(&ctx);
   EXPECT_FALSE(r.ok());
-  EXPECT_EQ(r.status().code(), "XQDY0000");
+  EXPECT_EQ(r.status().code(), "XQC0005");
+  EXPECT_EQ(r.status().kind(), StatusKind::kResourceExhausted);
 }
 
 TEST(Robustness, DeepRecursionWithinGuardSucceeds) {
@@ -185,6 +187,105 @@ TEST(Robustness, HugeAttributeValues) {
   Result<NodePtr> doc = ParseXml("<a v=\"" + big + "\"/>");
   ASSERT_OK(doc);
   EXPECT_EQ(doc.value()->children[0]->attributes[0]->value.size(), big.size());
+}
+
+TEST(Robustness, PathologicallyNestedQueriesAreRejected) {
+  // 100k nested parens must hit the parser's nesting-depth guard (a clean
+  // XPST0003), not smash the stack during recursive descent.
+  Engine engine;
+  {
+    std::string q;
+    for (int i = 0; i < 100000; i++) q += "(";
+    q += "1";
+    for (int i = 0; i < 100000; i++) q += ")";
+    Result<PreparedQuery> r = engine.Prepare(q);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), "XPST0003");
+  }
+  {
+    // Deeply nested direct constructors hit the same guard.
+    std::string q;
+    for (int i = 0; i < 5000; i++) q += "<a>";
+    q += "x";
+    for (int i = 0; i < 5000; i++) q += "</a>";
+    Result<PreparedQuery> r = engine.Prepare(q);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), "XPST0003");
+  }
+}
+
+TEST(Robustness, PathologicallyNestedDocumentIsRejected) {
+  // The XML parser has its own (larger) element-depth cap.
+  std::string xml;
+  for (int i = 0; i < 100000; i++) xml += "<d>";
+  Result<NodePtr> doc = ParseXml(xml);
+  EXPECT_FALSE(doc.ok());
+}
+
+TEST(Robustness, TruncatedAndMalformedUtf8Documents) {
+  // Rejection is fine; crashing is not. Accepted documents must also
+  // survive being queried and serialized.
+  const std::string kDocs[] = {
+      std::string("<a>\xC3</a>"),             // truncated 2-byte sequence
+      std::string("<a>\xE2\x82</a>"),         // truncated 3-byte sequence
+      std::string("<a>\xF0\x9F\x92</a>"),     // truncated 4-byte sequence
+      std::string("<a>\xFF\xFE</a>"),         // invalid lead bytes
+      std::string("<a v=\"\xC0\xAF\"/>"),     // overlong encoding
+      std::string("<a>\xED\xA0\x80</a>"),     // lone surrogate half
+      std::string("<a"),                      // truncated mid-tag
+      std::string("<a><b>ok"),                // truncated document
+      std::string("<a><b></a></b>"),          // mismatched tags
+      std::string("<a>&#xD800;</a>"),         // surrogate char ref
+  };
+  for (const std::string& doc : kDocs) {
+    Result<NodePtr> r = ParseXml(doc);
+    if (!r.ok()) continue;
+    DynamicContext ctx;
+    ctx.RegisterDocument("f.xml", r.value());
+    InterpToString("string(doc(\"f.xml\"))", &ctx);  // must not crash
+  }
+}
+
+TEST(Robustness, FuzzCorpusNeverCrashes) {
+  // A mini fuzz corpus swept across both engines and both exec modes under
+  // defensive limits: every entry must produce a value or a coded error,
+  // never a crash or a hang.
+  const char* kCorpus[] = {
+      // Huge numeric literals.
+      "99999999999999999999999999999999999999",
+      "-99999999999999999999999999999999999999 - 1",
+      "1e308 * 1e308",
+      "1.0000000000000000000000000000001 div 3",
+      "xs:double(\"1e400\")",
+      // Deep-but-legal nesting and odd-but-legal expressions.
+      "((((((((((((((((((((1))))))))))))))))))))",
+      "(1 to 100)[. mod 0 = 0]",
+      "string-join(for $i in 1 to 64 "
+      "return codepoints-to-string($i + 64), \"\")",
+      // Cross-product blowups, stopped by the budgets below.
+      "count(for $a in 1 to 10000, $b in 1 to 10000 return 1)",
+      "count(for $a in 1 to 10000, $b in 1 to 10000 return <e/>)",
+  };
+  Engine engine;
+  for (const char* query : kCorpus) {
+    for (bool use_algebra : {true, false}) {
+      for (ExecMode mode : {ExecMode::kStreaming, ExecMode::kMaterialize}) {
+        EngineOptions opts;
+        opts.use_algebra = use_algebra;
+        opts.exec_mode = mode;
+        opts.limits.deadline_ms = 5000;
+        opts.limits.max_memory_bytes = 64 << 20;
+        Result<PreparedQuery> q = engine.Prepare(query, opts);
+        if (!q.ok()) {
+          EXPECT_FALSE(q.status().code().empty()) << query;
+          continue;
+        }
+        DynamicContext ctx;
+        Result<std::string> r = q.value().ExecuteToString(&ctx);
+        if (!r.ok()) EXPECT_FALSE(r.status().code().empty()) << query;
+      }
+    }
+  }
 }
 
 }  // namespace
