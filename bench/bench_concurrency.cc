@@ -1,0 +1,152 @@
+// Concurrency scaling: throughput of a shared-document workload as the
+// thread count grows 1 -> 8, plus the single-thread cost of the
+// thread-safety machinery itself.
+//
+//   * SharedPlan/Threads:N — one immutable PreparedQuery executed by N
+//     benchmark threads, each with a private DynamicContext over the same
+//     shared document tree. The contract says this needs no locks on the
+//     hot path, so throughput should scale near-linearly with cores
+//     (>4x at 8 threads on >=8-core hardware; on fewer cores the ceiling
+//     is the core count).
+//   * QueryService/Workers:N — the same workload pushed through the
+//     serving layer (admission queue + worker pool), measuring the
+//     end-to-end overhead of Submit/future delivery.
+//   * Symbol/{InternHit,Str} — the interner fast paths that PR'd from a
+//     single global mutex to sharded locks + lock-free reads. Compare
+//     single-thread numbers against the pre-change baseline recorded in
+//     EXPERIMENTS.md (<3% regression target, matching the PR 2 guard
+//     budget).
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/service/query_service.h"
+#include "src/xml/xml_parser.h"
+
+namespace xqc {
+namespace {
+
+constexpr size_t kDefaultItems = 2000;
+
+NodePtr SharedDoc() {
+  static const NodePtr doc = [] {
+    std::string xml = "<doc>";
+    for (size_t i = 1; i <= bench::Scaled(kDefaultItems); i++) {
+      std::string id = std::to_string(i);
+      xml += "<item><id>" + id + "</id><grp>" + std::to_string(i % 7) +
+             "</grp></item>";
+    }
+    xml += "</doc>";
+    Result<NodePtr> r = ParseXml(xml);
+    if (!r.ok()) std::abort();
+    return r.value();
+  }();
+  return doc;
+}
+
+// A join whose build side and probe side both scan the shared document:
+// every execution touches the whole tree through the lock-free Symbol::str
+// and shared-NodePtr read paths.
+const char* kWorkloadQuery =
+    "declare variable $D external; "
+    "count(for $x in $D//item, $y in $D//item "
+    "where $x/id = $y/id return 1)";
+
+std::shared_ptr<const PreparedQuery> SharedPlan() {
+  static const std::shared_ptr<const PreparedQuery> plan = [] {
+    Engine engine;
+    Result<PreparedQuery> q = engine.Prepare(kWorkloadQuery);
+    if (!q.ok()) std::abort();
+    return std::make_shared<const PreparedQuery>(q.take());
+  }();
+  return plan;
+}
+
+void BM_SharedPlan(benchmark::State& state) {
+  std::shared_ptr<const PreparedQuery> plan = SharedPlan();
+  DynamicContext ctx;  // thread-private, per the sharing contract
+  ctx.BindVariable(Symbol("D"), {Item(SharedDoc())});
+  for (auto _ : state) {
+    Result<Sequence> r = plan->Execute(&ctx);
+    if (!r.ok()) {
+      state.SkipWithError(r.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(r.value().size());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SharedPlan)
+    ->Threads(1)
+    ->Threads(2)
+    ->Threads(4)
+    ->Threads(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_QueryService(benchmark::State& state) {
+  int workers = static_cast<int>(state.range(0));
+  ServiceOptions opts;
+  opts.num_threads = workers;
+  opts.max_queue = 256;
+  QueryService service(opts);
+  service.BindSharedVariable(Symbol("D"), {Item(SharedDoc())});
+  std::shared_ptr<const PreparedQuery> plan = SharedPlan();
+  // Keep `workers` queries in flight: batches of one per worker.
+  for (auto _ : state) {
+    std::vector<std::future<QueryResponse>> batch;
+    batch.reserve(static_cast<size_t>(workers));
+    for (int i = 0; i < workers; i++) {
+      QueryRequest req;
+      req.prepared = plan;
+      batch.push_back(service.Submit(std::move(req)));
+    }
+    for (auto& f : batch) {
+      QueryResponse resp = f.get();
+      if (!resp.status.ok()) {
+        state.SkipWithError(resp.status.ToString().c_str());
+        return;
+      }
+      benchmark::DoNotOptimize(resp.result.size());
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * workers);
+}
+BENCHMARK(BM_QueryService)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMicrosecond);
+
+// Interner fast paths. InternHit is the Prepare-time path (name -> id on an
+// already-interned spelling: one shard lock + hash probe); Str is the
+// execution/serialization path (id -> name, lock-free two-level load).
+void BM_SymbolInternHit(benchmark::State& state) {
+  Symbol warm("bench-intern-hit-name");
+  benchmark::DoNotOptimize(warm);
+  for (auto _ : state) {
+    Symbol s("bench-intern-hit-name");
+    benchmark::DoNotOptimize(s.id());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SymbolInternHit)->Threads(1)->Threads(4)->UseRealTime();
+
+void BM_SymbolStr(benchmark::State& state) {
+  Symbol s("bench-str-name");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(s.str().size());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SymbolStr)->Threads(1)->Threads(4)->UseRealTime();
+
+}  // namespace
+}  // namespace xqc
+
+BENCHMARK_MAIN();

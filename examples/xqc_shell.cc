@@ -20,12 +20,17 @@
 //   --max-mem-mb <n>         memory budget in MiB (XQC0003 when exceeded)
 //   --max-output-items <n>   cap on result items (XQC0004 when exceeded)
 //   --max-steps <n>          eval-step quota (XQC0006 when exceeded)
+//   --threads <n>        serve the query through a QueryService with n
+//                        worker threads (shared plan, per-worker contexts)
+//   --repeat <n>         with --threads: total executions (default: threads)
 #include <cstdlib>
 #include <fstream>
+#include <future>
 #include <iostream>
 #include <sstream>
 
 #include "src/engine/engine.h"
+#include "src/service/query_service.h"
 #include "src/xml/project.h"
 #include "src/xml/xml_parser.h"
 
@@ -41,7 +46,9 @@ int Fail(const std::string& msg) {
 int main(int argc, char** argv) {
   std::string query;
   bool explain = false, explain_naive = false, stats = false, project = false;
+  int threads = 0, repeat = 0;
   std::vector<std::pair<xqc::Symbol, xqc::NodePtr>> docs;
+  std::vector<std::pair<std::string, xqc::NodePtr>> doc_paths;
   xqc::EngineOptions options;
   xqc::DynamicContext ctx;
 
@@ -74,6 +81,7 @@ int main(int argc, char** argv) {
       ctx.RegisterDocument(path, doc.value());
       ctx.BindVariable(xqc::Symbol(var), {xqc::Item(doc.value())});
       docs.emplace_back(xqc::Symbol(var), doc.value());
+      doc_paths.emplace_back(path, doc.value());
     } else if (arg == "--project") {
       project = true;
     } else if (arg == "--explain") {
@@ -101,7 +109,8 @@ int main(int argc, char** argv) {
       if (e == "stream") options.exec_mode = xqc::ExecMode::kStreaming;
       else if (e == "mat") options.exec_mode = xqc::ExecMode::kMaterialize;
       else return Fail("unknown exec mode: " + e);
-    } else if (arg == "--timeout-ms" || arg == "--max-mem-mb" ||
+    } else if (arg == "--threads" || arg == "--repeat" ||
+               arg == "--timeout-ms" || arg == "--max-mem-mb" ||
                arg == "--max-output-items" || arg == "--max-steps") {
       const char* v = next();
       if (v == nullptr) return Fail(arg + " needs a number");
@@ -114,7 +123,9 @@ int main(int argc, char** argv) {
       else if (arg == "--max-mem-mb")
         options.limits.max_memory_bytes = n * (1 << 20);
       else if (arg == "--max-output-items") options.limits.max_output_items = n;
-      else options.limits.max_eval_steps = n;
+      else if (arg == "--max-steps") options.limits.max_eval_steps = n;
+      else if (arg == "--threads") threads = static_cast<int>(n);
+      else repeat = static_cast<int>(n);
     } else {
       return Fail("unknown option: " + arg);
     }
@@ -153,6 +164,49 @@ int main(int argc, char** argv) {
   }
   if (explain) {
     std::cout << prepared.value().ExplainPlan() << "\n";
+    return 0;
+  }
+  if (threads > 0) {
+    // Serve the query through the concurrent layer: one shared immutable
+    // plan, N workers with private contexts, `repeat` total executions.
+    // Every run must produce the same result — printed once.
+    if (repeat < threads) repeat = threads;
+    xqc::ServiceOptions sopts;
+    sopts.num_threads = threads;
+    sopts.engine_options = options;
+    sopts.default_limits = options.limits;
+    xqc::QueryService service(sopts);
+    for (auto& [path, doc] : doc_paths) service.RegisterDocument(path, doc);
+    for (auto& [var, doc] : docs) {
+      service.BindSharedVariable(var, {xqc::Item(doc)});
+    }
+    auto plan = std::make_shared<const xqc::PreparedQuery>(prepared.take());
+    std::vector<std::future<xqc::QueryResponse>> futures;
+    futures.reserve(repeat);
+    for (int i = 0; i < repeat; i++) {
+      xqc::QueryRequest req;
+      req.prepared = plan;
+      futures.push_back(service.Submit(std::move(req)));
+    }
+    std::string first;
+    int64_t retries = 0;
+    for (int i = 0; i < repeat; i++) {
+      xqc::QueryResponse resp = futures[i].get();
+      if (!resp.status.ok()) return Fail(resp.status.ToString());
+      if (i == 0) {
+        first = resp.result;
+      } else if (resp.result != first) {
+        return Fail("run " + std::to_string(i) +
+                    " disagrees with run 0:\n  " + resp.result + "\nvs\n  " +
+                    first);
+      }
+      if (resp.retried_transient) retries++;
+    }
+    std::cout << first << "\n";
+    if (stats) {
+      std::cerr << "service: threads=" << threads << " runs=" << repeat
+                << " agreed=yes retries=" << retries << "\n";
+    }
     return 0;
   }
   xqc::Result<std::string> result = prepared.value().ExecuteToString(&ctx);

@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # Full verification sweep: regular build + tests, then the whole suite
-# again under address+undefined sanitizers (-DXQC_SANITIZE).
+# again under address+undefined sanitizers (-DXQC_SANITIZE), then the
+# concurrency-sensitive suites under ThreadSanitizer.
 #
 # Usage: scripts/check.sh [--sanitize-only]
 #
@@ -26,6 +27,21 @@ cmake --build build-asan -j "$JOBS"
 (
   ulimit -s 262144 2>/dev/null || echo "warning: could not raise stack limit"
   cd build-asan && ctest --output-on-failure -j "$JOBS"
+)
+
+echo "=== thread-sanitized build + tests (build-tsan/) ==="
+# TSan can't combine with ASan, so it gets its own tree. Run the suites
+# that exercise real parallelism (concurrency_test, the concurrent
+# property oracle) plus the guard and streaming suites whose machinery
+# (cancellation tokens, ScopedGuard, ResultStream) the threaded paths
+# lean on.
+cmake -B build-tsan -S . -DXQC_SANITIZE=thread >/dev/null
+cmake --build build-tsan -j "$JOBS" --target \
+  concurrency_test property_test guard_test streaming_test
+(
+  ulimit -s 262144 2>/dev/null || echo "warning: could not raise stack limit"
+  cd build-tsan && ctest --output-on-failure -j "$JOBS" \
+    -R 'concurrency_test|property_test|guard_test|streaming_test'
 )
 
 echo "=== all checks passed ==="

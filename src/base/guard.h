@@ -46,6 +46,11 @@ inline constexpr const char* kGuardMemoryCode = "XQC0003";
 inline constexpr const char* kGuardOutputCode = "XQC0004";
 inline constexpr const char* kGuardRecursionCode = "XQC0005";
 inline constexpr const char* kGuardStepsCode = "XQC0006";
+/// Issued by QueryService (src/service), not by QueryGuard itself: the
+/// admission queue stayed saturated past the queue-wait timeout, or the
+/// service is shutting down. Kept here so every XQC00xx code is listed in
+/// one place.
+inline constexpr const char* kServiceOverloadedCode = "XQC0007";
 
 /// Per-query resource limits. 0 means unlimited.
 struct GuardLimits {
@@ -87,6 +92,9 @@ class CancellationToken {
   bool cancelled() const {
     return flag_ != nullptr && flag_->load(std::memory_order_relaxed);
   }
+  /// Whether this token was created by Make() (false for the inert
+  /// default-constructed token, whose RequestCancel does nothing).
+  bool live() const { return flag_ != nullptr; }
 
  private:
   std::shared_ptr<std::atomic<bool>> flag_;

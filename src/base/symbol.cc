@@ -1,36 +1,92 @@
 #include "src/base/symbol.h"
 
-#include <deque>
+#include <atomic>
 #include <mutex>
 #include <unordered_map>
 
 namespace xqc {
 namespace {
 
-struct Interner {
-  std::mutex mu;
-  std::unordered_map<std::string_view, uint32_t> map;
-  std::deque<std::string> names;  // deque: stable addresses
+// The global interner, designed for concurrent Prepare()/Execute() calls:
+//
+//  * Interning (write path) is sharded: the name hashes to one of kShards
+//    shard maps, each with its own mutex, so unrelated interns from
+//    different threads do not contend on a single lock.
+//  * Symbol::str() (read path, the hot one — every serialized QName goes
+//    through it) is lock-free: ids index an append-only two-level table of
+//    `const std::string*` published with release stores after the string
+//    is fully constructed. Entries are never moved or freed, so a loaded
+//    pointer stays valid for the process lifetime.
+//
+// Capacity: kBlocks * kBlockSize = 16M distinct symbols; exceeding it is a
+// hard abort (a plausible-only-under-attack condition — symbols are QNames,
+// variable names, and field names, not data values).
+class Interner {
+ public:
+  static constexpr size_t kShards = 16;
+  static constexpr size_t kBlockSize = 4096;
+  static constexpr size_t kBlocks = 4096;
 
   Interner() {
-    names.emplace_back("");
-    map.emplace(std::string_view(names.back()), 0);
+    // Id 0 is the empty symbol, pre-published so Str(0) needs no special
+    // case and default-constructed Symbols print as "".
+    uint32_t id = Intern("");
+    (void)id;
   }
 
   uint32_t Intern(std::string_view name) {
-    std::lock_guard<std::mutex> lock(mu);
-    auto it = map.find(name);
-    if (it != map.end()) return it->second;
-    names.emplace_back(name);
-    uint32_t id = static_cast<uint32_t>(names.size() - 1);
-    map.emplace(std::string_view(names.back()), id);
+    Shard& shard = shards_[Hash(name) % kShards];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.map.find(name);
+    if (it != shard.map.end()) return it->second;
+    const std::string* stored = new std::string(name);
+    uint32_t id = next_id_.fetch_add(1, std::memory_order_relaxed);
+    Publish(id, stored);
+    shard.map.emplace(std::string_view(*stored), id);
     return id;
   }
 
-  const std::string& Str(uint32_t id) {
-    std::lock_guard<std::mutex> lock(mu);
-    return names[id];
+  const std::string& Str(uint32_t id) const {
+    const std::atomic<const std::string*>* block =
+        blocks_[id / kBlockSize].load(std::memory_order_acquire);
+    return *block[id % kBlockSize].load(std::memory_order_acquire);
   }
+
+ private:
+  struct Shard {
+    std::mutex mu;
+    std::unordered_map<std::string_view, uint32_t> map;
+  };
+
+  static size_t Hash(std::string_view s) {
+    return std::hash<std::string_view>()(s);
+  }
+
+  // Makes blocks_[id/kBlockSize][id%kBlockSize] point at `s`. Block
+  // allocation races between shards are resolved with a CAS; the losing
+  // allocation is freed.
+  void Publish(uint32_t id, const std::string* s) {
+    size_t b = id / kBlockSize;
+    if (b >= kBlocks) abort();  // > 16M distinct symbols
+    std::atomic<const std::string*>* block =
+        blocks_[b].load(std::memory_order_acquire);
+    if (block == nullptr) {
+      auto* fresh = new std::atomic<const std::string*>[kBlockSize]();
+      std::atomic<const std::string*>* expected = nullptr;
+      if (blocks_[b].compare_exchange_strong(expected, fresh,
+                                             std::memory_order_acq_rel)) {
+        block = fresh;
+      } else {
+        delete[] fresh;
+        block = expected;
+      }
+    }
+    block[id % kBlockSize].store(s, std::memory_order_release);
+  }
+
+  Shard shards_[kShards];
+  std::atomic<uint32_t> next_id_{0};
+  std::atomic<std::atomic<const std::string*>*> blocks_[kBlocks] = {};
 };
 
 Interner& Pool() {

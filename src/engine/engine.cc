@@ -18,25 +18,39 @@ ExecOptions ToExecOptions(const EngineOptions& o) {
 }  // namespace
 
 Result<Sequence> PreparedQuery::Execute(DynamicContext* ctx) const {
+  return Execute(ctx, options_.limits, options_.cancel,
+                 options_.fault_injector);
+}
+
+Result<Sequence> PreparedQuery::Execute(
+    DynamicContext* ctx, const GuardLimits& limits, CancellationToken cancel,
+    const GuardFaultInjector& injector) const {
   // One guard per top-level execution. ScopedGuard installs `local` only if
   // the context has no guard yet, so a nested Execute (e.g. the buffered
   // ExecuteStream fallback below) charges the outermost query's budget.
-  QueryGuard local(options_.limits, options_.cancel, options_.fault_injector);
+  QueryGuard local(limits, std::move(cancel), injector);
   ScopedGuard scope(ctx, &local);
   QueryGuard* guard = ctx->guard();
+  // Stats are accumulated in a local and published once at the end, so
+  // concurrent Execute calls on a shared PreparedQuery never race on the
+  // shared last_exec_stats slot.
+  ExecStats stats;
   Result<Sequence> r = [&]() -> Result<Sequence> {
     if (!options_.use_algebra) {
-      exec_stats_ = ExecStats{};
       Interpreter interp(core_.get(), ctx);
       return interp.Run();
     }
     PlanEvaluator eval(compiled_.get(), ctx, ToExecOptions(options_));
     Result<Sequence> inner = eval.Run();
-    exec_stats_ = eval.stats();
+    stats = eval.stats();
     return inner;
   }();
-  exec_stats_.guard_checks = guard->checks();
-  exec_stats_.peak_memory_bytes = guard->peak_memory_bytes();
+  stats.guard_checks = guard->checks();
+  stats.peak_memory_bytes = guard->peak_memory_bytes();
+  {
+    std::lock_guard<std::mutex> lock(exec_stats_->mu);
+    exec_stats_->stats = stats;
+  }
   if (!r.ok()) return r;
   XQC_RETURN_IF_ERROR(
       guard->AccountOutput(static_cast<int64_t>(r.value().size())));
@@ -129,7 +143,7 @@ Result<ResultStream> PreparedQuery::ExecuteStream(DynamicContext* ctx) const {
     return rs;
   }
   XQC_ASSIGN_OR_RETURN(rs.impl_->buf, Execute(ctx));
-  rs.impl_->buffered_stats = exec_stats_;
+  rs.impl_->buffered_stats = last_exec_stats();
   return rs;
 }
 

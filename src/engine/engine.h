@@ -23,6 +23,7 @@
 #define XQC_ENGINE_ENGINE_H_
 
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "src/base/guard.h"
@@ -90,10 +91,24 @@ class ResultStream {
 };
 
 /// A compiled, optimized, executable query.
+///
+/// Threading contract (see DESIGN.md "Threading model"): a PreparedQuery is
+/// immutable after Prepare and may be shared freely — Execute /
+/// ExecuteToString / ExecuteStream may be called concurrently from any
+/// number of threads, each with its own DynamicContext. The DynamicContext
+/// and ResultStream themselves are single-thread objects.
 class PreparedQuery {
  public:
   /// Evaluates against a dynamic context (documents, schema, variables).
   Result<Sequence> Execute(DynamicContext* ctx) const;
+
+  /// Evaluates with per-execution guard configuration overriding the
+  /// limits/cancellation baked in at Prepare time. This is the serving
+  /// layer's entry point: one shared immutable plan, per-request budgets
+  /// and a per-request cancellation token.
+  Result<Sequence> Execute(DynamicContext* ctx, const GuardLimits& limits,
+                           CancellationToken cancel,
+                           const GuardFaultInjector& injector = {}) const;
 
   /// Evaluates and serializes the result.
   Result<std::string> ExecuteToString(DynamicContext* ctx) const;
@@ -111,8 +126,14 @@ class PreparedQuery {
   const CompiledQuery& compiled() const { return *compiled_; }
   const Query& core() const { return *core_; }
   const OptimizerStats& optimizer_stats() const { return opt_stats_; }
-  /// Statistics from the most recent Execute call.
-  const ExecStats& last_exec_stats() const { return exec_stats_; }
+  /// Statistics from the most recent completed Execute call (by any thread;
+  /// copies of a PreparedQuery share one stats slot). Returned by value —
+  /// concurrent executors publish whole snapshots under a lock, so a reader
+  /// never observes a half-written ExecStats.
+  ExecStats last_exec_stats() const {
+    std::lock_guard<std::mutex> lock(exec_stats_->mu);
+    return exec_stats_->stats;
+  }
 
   /// Static projection analysis (TreeProject paths per document variable);
   /// apply with ProjectTree to shrink input documents before Execute.
@@ -128,9 +149,20 @@ class PreparedQuery {
   std::shared_ptr<CompiledQuery> unoptimized_;
   EngineOptions options_;
   OptimizerStats opt_stats_;
-  mutable ExecStats exec_stats_;
+  /// Shared across copies; written once per execution under the mutex so
+  /// concurrent Execute calls on a shared plan don't race (the last writer
+  /// wins, as "most recent" implies).
+  struct SyncStats {
+    std::mutex mu;
+    ExecStats stats;
+  };
+  std::shared_ptr<SyncStats> exec_stats_ = std::make_shared<SyncStats>();
 };
 
+/// Stateless facade over the compilation pipeline. Immutable after
+/// construction; Prepare/Execute are const and safe to call concurrently
+/// from any number of threads (each Prepare returns an independent
+/// PreparedQuery).
 class Engine {
  public:
   Engine() = default;

@@ -661,6 +661,14 @@ const std::map<std::string, Builtin>& Registry() {
       XQC_ASSIGN_OR_RETURN(NodePtr doc, ctx->ResolveDocument(uri));
       return One(std::move(doc));
     });
+    add("fn:doc-available", 1, 1,
+        [](const Args& a, DynamicContext* ctx) -> Result<Sequence> {
+          if (a[0].empty()) return BoolSeq(false);
+          XQC_ASSIGN_OR_RETURN(std::string uri,
+                               StringArg(a[0], "fn:doc-available"));
+          XQC_ASSIGN_OR_RETURN(bool ok, ctx->DocumentAvailable(uri));
+          return BoolSeq(ok);
+        });
     add("fn:root", 1, 1, [](const Args& a, DynamicContext*) -> Result<Sequence> {
       if (a[0].empty()) return None();
       if (!a[0][0].IsNode()) {

@@ -7,11 +7,25 @@ namespace xqc {
 Result<NodePtr> DynamicContext::ResolveDocument(const std::string& uri) {
   auto it = documents_.find(uri);
   if (it != documents_.end()) return it->second;
+  auto cached = exec_doc_cache_.find(uri);
+  if (cached != exec_doc_cache_.end()) return cached->second;
   XmlParseOptions options;
   options.guard = guard_;
   XQC_ASSIGN_OR_RETURN(NodePtr doc, ParseXmlFile(uri, options));
-  documents_[uri] = doc;
+  doc_parses_++;
+  exec_doc_cache_[uri] = doc;
   return doc;
+}
+
+Result<bool> DynamicContext::DocumentAvailable(const std::string& uri) {
+  Result<NodePtr> doc = ResolveDocument(uri);
+  if (doc.ok()) return true;
+  // A guard trip (deadline/cancellation mid-parse) is a query failure, not
+  // "document unavailable".
+  if (doc.status().kind() == StatusKind::kResourceExhausted) {
+    return doc.status();
+  }
+  return false;
 }
 
 }  // namespace xqc

@@ -1,6 +1,15 @@
 // The dynamic evaluation context: available documents, the in-scope schema,
 // and external/global variable bindings. Shared by the baseline interpreter
 // and the algebra evaluator (the paper's "algebra context", Section 3).
+//
+// Threading contract (DESIGN.md "Threading model"): a DynamicContext is a
+// single-thread object — one context belongs to one thread at a time. The
+// *payloads* it points at are shareable: registered documents (NodePtr
+// trees), bound variable Sequences, and the Schema are immutable after
+// construction, so many contexts on many threads may reference the same
+// ones (this is how QueryService serves one document to hundreds of
+// concurrent queries). Register/bind everything before sharing the
+// payloads; never mutate a Node tree that another context can see.
 #ifndef XQC_RUNTIME_CONTEXT_H_
 #define XQC_RUNTIME_CONTEXT_H_
 
@@ -17,13 +26,29 @@ namespace xqc {
 class DynamicContext {
  public:
   /// Registers an already-parsed document under a URI (fn:doc / Parse
-  /// resolve here first, then fall back to the filesystem).
+  /// resolve here first, then fall back to the filesystem). The registry is
+  /// caller-managed and persists across executions.
   void RegisterDocument(const std::string& uri, NodePtr doc) {
     documents_[uri] = std::move(doc);
   }
 
-  /// Resolves a document: registry first, filesystem second.
+  /// Resolves a document: registry first, then the per-execution parse
+  /// cache, then the filesystem. A document parsed from disk is cached for
+  /// the rest of the current execution — repeated fn:doc("f.xml") calls in
+  /// one query parse (and charge the guard) once — and is dropped when the
+  /// execution ends, so a long-lived context does not serve stale files.
   Result<NodePtr> ResolveDocument(const std::string& uri);
+
+  /// fn:doc-available: whether ResolveDocument would succeed. An
+  /// unavailable document answers `false` rather than erroring, but guard
+  /// trips (deadline/cancellation while parsing) still propagate. On
+  /// success the parsed document is left in the execution cache, so
+  /// doc-available followed by doc costs one parse.
+  Result<bool> DocumentAvailable(const std::string& uri);
+
+  /// Number of filesystem parses performed by ResolveDocument (registry and
+  /// execution-cache hits don't count). Observable by tests.
+  int64_t doc_parses() const { return doc_parses_; }
 
   void set_schema(const Schema* schema) { schema_ = schema; }
   const Schema* schema() const { return schema_; }
@@ -45,24 +70,38 @@ class DynamicContext {
   void set_guard(QueryGuard* guard) { guard_ = guard; }
   QueryGuard* guard() const { return guard_; }
 
+  /// Marks the start/end of one top-level execution (called by ScopedGuard
+  /// when it installs/uninstalls the outermost guard): resets the
+  /// per-execution document cache.
+  void BeginExecution() { exec_doc_cache_.clear(); }
+  void EndExecution() { exec_doc_cache_.clear(); }
+
  private:
   std::unordered_map<std::string, NodePtr> documents_;
+  std::unordered_map<std::string, NodePtr> exec_doc_cache_;
   std::unordered_map<Symbol, Sequence> variables_;
   const Schema* schema_ = nullptr;
   QueryGuard* guard_ = nullptr;
+  int64_t doc_parses_ = 0;
 };
 
 /// Installs `guard` on `ctx` for the current scope — unless the context
 /// already has one, in which case the outer guard stays in charge (nested
-/// executions share the outermost query's budget).
+/// executions share the outermost query's budget and its document cache).
 class ScopedGuard {
  public:
   ScopedGuard(DynamicContext* ctx, QueryGuard* guard)
       : ctx_(ctx), installed_(ctx->guard() == nullptr) {
-    if (installed_) ctx_->set_guard(guard);
+    if (installed_) {
+      ctx_->set_guard(guard);
+      ctx_->BeginExecution();
+    }
   }
   ~ScopedGuard() {
-    if (installed_) ctx_->set_guard(nullptr);
+    if (installed_) {
+      ctx_->set_guard(nullptr);
+      ctx_->EndExecution();
+    }
   }
   ScopedGuard(const ScopedGuard&) = delete;
   ScopedGuard& operator=(const ScopedGuard&) = delete;

@@ -1,0 +1,264 @@
+#include "src/service/query_service.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "src/xml/serializer.h"
+
+namespace xqc {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+int64_t ElapsedMs(Clock::time_point since) {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(Clock::now() -
+                                                               since)
+      .count();
+}
+
+Status Overloaded(const std::string& why) {
+  return Status::ResourceExhausted(kServiceOverloadedCode, why);
+}
+
+/// Request limits win field-wise; zero (unlimited) fields inherit the
+/// service defaults.
+GuardLimits MergeLimits(const GuardLimits& req, const GuardLimits& def) {
+  GuardLimits out = req;
+  if (out.deadline_ms == 0) out.deadline_ms = def.deadline_ms;
+  if (out.max_memory_bytes == 0) out.max_memory_bytes = def.max_memory_bytes;
+  if (out.max_output_items == 0) out.max_output_items = def.max_output_items;
+  if (out.max_eval_steps == 0) out.max_eval_steps = def.max_eval_steps;
+  return out;
+}
+
+/// xorshift64* — a tiny thread-private jitter source (no shared state, no
+/// locking on the retry path).
+uint64_t NextRand(uint64_t* state) {
+  uint64_t x = *state;
+  x ^= x >> 12;
+  x ^= x << 25;
+  x ^= x >> 27;
+  *state = x;
+  return x * 0x2545f4914f6cdd1dull;
+}
+
+}  // namespace
+
+QueryService::QueryService(ServiceOptions options)
+    : options_(std::move(options)), engine_(options_.engine_options) {
+  options_.num_threads = std::max(1, options_.num_threads);
+  options_.max_queue = std::max<size_t>(1, options_.max_queue);
+  active_.resize(static_cast<size_t>(options_.num_threads));
+  workers_.reserve(static_cast<size_t>(options_.num_threads));
+  for (int i = 0; i < options_.num_threads; i++) {
+    workers_.emplace_back([this, i] { WorkerLoop(static_cast<size_t>(i)); });
+  }
+}
+
+QueryService::~QueryService() { Shutdown(); }
+
+void QueryService::RegisterDocument(const std::string& uri, NodePtr doc) {
+  shared_docs_.emplace_back(uri, std::move(doc));
+}
+
+void QueryService::BindSharedVariable(Symbol name, Sequence value) {
+  shared_vars_.emplace_back(name, std::move(value));
+}
+
+std::future<QueryResponse> QueryService::Submit(QueryRequest req) {
+  auto job = std::make_unique<Job>();
+  job->req = std::move(req);
+  std::future<QueryResponse> future = job->promise.get_future();
+
+  std::unique_lock<std::mutex> lock(mu_);
+  counters_.submitted++;
+  auto reject = [&](const std::string& why) {
+    counters_.rejected++;
+    QueryResponse resp;
+    resp.status = Overloaded(why);
+    resp.queue_wait_ms = ElapsedMs(job->enqueued);
+    job->promise.set_value(std::move(resp));
+  };
+  job->enqueued = Clock::now();
+  if (shutdown_) {
+    reject("service is shut down");
+    return future;
+  }
+  if (queue_.size() >= options_.max_queue && options_.admission_wait_ms > 0) {
+    space_cv_.wait_for(lock,
+                       std::chrono::milliseconds(options_.admission_wait_ms),
+                       [this] {
+                         return shutdown_ || queue_.size() < options_.max_queue;
+                       });
+  }
+  if (shutdown_ || queue_.size() >= options_.max_queue) {
+    reject(shutdown_ ? "service is shut down"
+                     : "admission queue saturated (" +
+                           std::to_string(options_.max_queue) +
+                           " queries queued)");
+    return future;
+  }
+  job->token =
+      job->req.cancel.live() ? job->req.cancel : CancellationToken::Make();
+  queue_.push_back(std::move(job));
+  work_cv_.notify_one();
+  return future;
+}
+
+void QueryService::WorkerLoop(size_t worker_index) {
+  uint64_t jitter_state =
+      options_.jitter_seed ^ (0x9e3779b97f4a7c15ull * (worker_index + 1));
+  while (true) {
+    std::unique_ptr<Job> job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutdown with a drained queue
+      job = std::move(queue_.front());
+      queue_.pop_front();
+      active_[worker_index] = job->token;
+      space_cv_.notify_one();
+    }
+    QueryResponse resp = ExecuteJob(job.get(), &jitter_state);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      active_[worker_index] = CancellationToken();
+      if (resp.status.ok()) {
+        counters_.completed++;
+      } else {
+        counters_.failed++;
+      }
+      if (resp.retried_transient) counters_.retries++;
+    }
+    job->promise.set_value(std::move(resp));
+  }
+}
+
+QueryResponse QueryService::ExecuteOnce(Job* job, const GuardLimits& limits) {
+  QueryResponse resp;
+  DynamicContext ctx;
+  ctx.set_schema(schema_);
+  for (const auto& [uri, doc] : shared_docs_) ctx.RegisterDocument(uri, doc);
+  for (const auto& [name, value] : shared_vars_) ctx.BindVariable(name, value);
+  if (job->req.bind_context) job->req.bind_context(&ctx);
+
+  std::shared_ptr<const PreparedQuery> prepared = job->req.prepared;
+  if (prepared == nullptr) {
+    EngineOptions opts = options_.engine_options;
+    opts.limits = limits;
+    opts.cancel = job->token;
+    Result<PreparedQuery> local = engine_.Prepare(job->req.query_text, opts);
+    if (!local.ok()) {
+      resp.status = local.status();
+      return resp;
+    }
+    prepared = std::make_shared<const PreparedQuery>(local.take());
+  }
+  Result<Sequence> r = prepared->Execute(&ctx, limits, job->token,
+                                         job->req.fault_injector);
+  resp.stats = prepared->last_exec_stats();
+  if (!r.ok()) {
+    resp.status = r.status();
+    return resp;
+  }
+  resp.result = SerializeSequence(r.value());
+  return resp;
+}
+
+QueryResponse QueryService::ExecuteJob(Job* job, uint64_t* jitter_state) {
+  const GuardLimits limits =
+      MergeLimits(job->req.limits, options_.default_limits);
+  const int64_t queue_wait_ms = ElapsedMs(job->enqueued);
+
+  QueryResponse resp;
+  bool queue_exhausted_deadline = false;
+  GuardLimits first_attempt = limits;
+  if (options_.deadline_includes_queue_wait && limits.deadline_ms > 0) {
+    int64_t remaining = limits.deadline_ms - queue_wait_ms;
+    if (remaining <= 0) {
+      // The whole budget was spent waiting for a worker; don't even start.
+      resp.status = Status::ResourceExhausted(
+          kGuardTimeoutCode,
+          "query deadline of " + std::to_string(limits.deadline_ms) +
+              "ms exhausted in the admission queue (waited " +
+              std::to_string(queue_wait_ms) + "ms)");
+      queue_exhausted_deadline = true;
+    } else {
+      first_attempt.deadline_ms = remaining;
+    }
+  }
+  if (!queue_exhausted_deadline) {
+    resp = ExecuteOnce(job, first_attempt);
+  }
+  resp.queue_wait_ms = queue_wait_ms;
+  resp.attempts = 1;
+
+  // Transient classification: the deadline tripped and queue congestion ate
+  // a significant share (>= 25%) of the budget, so the failure says more
+  // about the service's load than about the query. Everything else —
+  // memory/output/step trips, recursion, W3C errors, caller cancellation —
+  // is deterministic and must not be retried.
+  bool transient =
+      options_.retry_transient && options_.deadline_includes_queue_wait &&
+      limits.deadline_ms > 0 && resp.status.code() == kGuardTimeoutCode &&
+      queue_wait_ms * 4 >= limits.deadline_ms;
+  if (!transient) return resp;
+
+  // Jittered backoff in [base, 2*base), interruptible by shutdown.
+  int64_t backoff_ms = options_.retry_backoff_ms +
+                       static_cast<int64_t>(NextRand(jitter_state) %
+                                            (options_.retry_backoff_ms > 0
+                                                 ? options_.retry_backoff_ms
+                                                 : 1));
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    shutdown_cv_.wait_for(lock, std::chrono::milliseconds(backoff_ms),
+                          [this] { return shutdown_; });
+    if (shutdown_) return resp;  // original transient failure stands
+  }
+  if (job->token.cancelled()) return resp;
+
+  QueryResponse retried = ExecuteOnce(job, limits);  // fresh full budget
+  retried.queue_wait_ms = queue_wait_ms;
+  retried.attempts = 2;
+  retried.retried_transient = true;
+  return retried;
+}
+
+void QueryService::Shutdown() {
+  std::deque<std::unique_ptr<Job>> orphaned;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!shutdown_) {
+      shutdown_ = true;
+      orphaned.swap(queue_);
+      counters_.rejected += static_cast<int64_t>(orphaned.size());
+      for (const CancellationToken& token : active_) {
+        if (token.live()) {
+          token.RequestCancel();
+          counters_.cancelled_at_shutdown++;
+        }
+      }
+    }
+    work_cv_.notify_all();
+    space_cv_.notify_all();
+    shutdown_cv_.notify_all();
+  }
+  for (auto& job : orphaned) {
+    QueryResponse resp;
+    resp.status = Overloaded("service shut down before execution");
+    resp.queue_wait_ms = ElapsedMs(job->enqueued);
+    job->promise.set_value(std::move(resp));
+  }
+  for (std::thread& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+}
+
+QueryService::Counters QueryService::counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_;
+}
+
+}  // namespace xqc

@@ -1,0 +1,176 @@
+// QueryService: the concurrent serving layer over the engine.
+//
+// A QueryService owns a pool of worker threads, a bounded admission queue,
+// and the per-query guard configuration, turning the single-query engine
+// into something that can take sustained parallel traffic:
+//
+//   * Admission control: Submit() enqueues into a bounded queue. When the
+//     queue is full it waits up to `admission_wait_ms` for space and then
+//     fast-fails with XQC0007 (kServiceOverloadedCode) instead of queueing
+//     without bound — saturation produces quick, explicit rejections.
+//   * Per-query guards: every execution runs under GuardLimits merged from
+//     the request and the service defaults. With
+//     `deadline_includes_queue_wait` (default), the wall-clock budget is
+//     end-to-end: time spent waiting in the admission queue is deducted
+//     from the execution deadline, so a saturated service cannot silently
+//     stretch latency past the promised bound.
+//   * Transient retry: a query whose deadline tripped *because of queue
+//     congestion* (the queue wait consumed a significant share of the
+//     budget) failed for reasons unrelated to the query itself; the worker
+//     retries it once, after a jittered backoff, with a fresh budget.
+//     Deterministic failures — memory/output/step trips, W3C errors,
+//     caller cancellation — are never retried.
+//   * Shutdown: cancels every in-flight query via its CancellationToken
+//     (honored within one guard-check quantum), fails everything still
+//     queued with XQC0007, and joins the workers.
+//
+// Threading contract: RegisterDocument / BindSharedVariable / set_schema
+// configure state shared by all workers and must be called before the
+// first Submit. Submit / Shutdown / counters are thread-safe. Each worker
+// builds a private DynamicContext per query; the shared documents and
+// variable payloads are immutable and referenced, not copied (see
+// DESIGN.md "Threading model").
+#ifndef XQC_SERVICE_QUERY_SERVICE_H_
+#define XQC_SERVICE_QUERY_SERVICE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "src/engine/engine.h"
+
+namespace xqc {
+
+struct ServiceOptions {
+  /// Worker threads executing queries. Clamped to >= 1.
+  int num_threads = 4;
+  /// Bound on queries admitted but not yet running. Clamped to >= 1.
+  size_t max_queue = 64;
+  /// How long Submit may block waiting for queue space before fast-failing
+  /// with XQC0007. 0 = reject immediately when the queue is full.
+  int64_t admission_wait_ms = 0;
+  /// Per-query defaults; a request's zero (unlimited) fields inherit these.
+  GuardLimits default_limits;
+  /// Deduct queue wait from the execution deadline (end-to-end latency
+  /// bound). Also what makes congestion-caused deadline trips recognizably
+  /// transient.
+  bool deadline_includes_queue_wait = true;
+  /// Retry a transient (congestion-caused) deadline trip once.
+  bool retry_transient = true;
+  /// Base backoff before the retry; the actual wait is uniformly jittered
+  /// in [base, 2*base) to decorrelate retry storms.
+  int64_t retry_backoff_ms = 5;
+  /// Seed for the backoff jitter (deterministic by default for tests).
+  uint64_t jitter_seed = 0x9e3779b97f4a7c15ull;
+  /// Compilation/execution configuration used for every query.
+  EngineOptions engine_options;
+};
+
+struct QueryRequest {
+  /// The query. `prepared` (a shared, immutable plan) takes precedence;
+  /// otherwise `query_text` is compiled on the worker.
+  std::string query_text;
+  std::shared_ptr<const PreparedQuery> prepared;
+  /// Per-request limits; zero fields inherit ServiceOptions::default_limits.
+  GuardLimits limits;
+  /// Optional extra bindings, run on the worker thread against the
+  /// query-private context (after shared documents/variables are installed).
+  std::function<void(DynamicContext*)> bind_context;
+  /// Optional caller-held cancellation token. The service cancels it on
+  /// shutdown; when absent the service makes a private one.
+  CancellationToken cancel;
+  /// Deterministic guard fault injection (tests only).
+  GuardFaultInjector fault_injector;
+};
+
+struct QueryResponse {
+  Status status;          // OK, a W3C error, a guard trip, or XQC0007
+  std::string result;     // serialized result when status is OK
+  ExecStats stats;        // from the final attempt
+  int64_t queue_wait_ms = 0;
+  int attempts = 1;       // 2 when the transient retry ran
+  bool retried_transient = false;
+};
+
+class QueryService {
+ public:
+  explicit QueryService(ServiceOptions options = ServiceOptions());
+  ~QueryService();  // calls Shutdown()
+
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  /// Shared immutable state, installed into every query's context.
+  /// Must be called before the first Submit.
+  void RegisterDocument(const std::string& uri, NodePtr doc);
+  void BindSharedVariable(Symbol name, Sequence value);
+  void set_schema(const Schema* schema) { schema_ = schema; }
+
+  /// Admits a query (possibly waiting admission_wait_ms for queue space)
+  /// and returns a future for its response. Never throws; admission
+  /// failures and post-shutdown submissions complete the future with
+  /// XQC0007.
+  std::future<QueryResponse> Submit(QueryRequest req);
+
+  /// Convenience: Submit and wait.
+  QueryResponse Run(QueryRequest req) { return Submit(std::move(req)).get(); }
+
+  /// Cancels in-flight queries, fails queued ones with XQC0007, and joins
+  /// the workers. Idempotent; called by the destructor.
+  void Shutdown();
+
+  /// Monotonic service counters (all guarded; safe to read any time).
+  struct Counters {
+    int64_t submitted = 0;   // Submit calls
+    int64_t rejected = 0;    // XQC0007 at admission or shutdown
+    int64_t completed = 0;   // finished with OK status
+    int64_t failed = 0;      // finished with any non-OK status
+    int64_t retries = 0;     // transient retries performed
+    int64_t cancelled_at_shutdown = 0;  // in-flight when Shutdown ran
+  };
+  Counters counters() const;
+
+  const ServiceOptions& options() const { return options_; }
+
+ private:
+  struct Job {
+    QueryRequest req;
+    std::promise<QueryResponse> promise;
+    std::chrono::steady_clock::time_point enqueued;
+    CancellationToken token;  // req.cancel, or a service-made one
+  };
+
+  void WorkerLoop(size_t worker_index);
+  QueryResponse ExecuteJob(Job* job, uint64_t* jitter_state);
+  /// One engine execution of the job under `limits`. Fills status/result/
+  /// stats only.
+  QueryResponse ExecuteOnce(Job* job, const GuardLimits& limits);
+
+  ServiceOptions options_;
+  Engine engine_;
+  const Schema* schema_ = nullptr;
+  std::vector<std::pair<std::string, NodePtr>> shared_docs_;
+  std::vector<std::pair<Symbol, Sequence>> shared_vars_;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;   // queue became non-empty / shutdown
+  std::condition_variable space_cv_;  // queue gained space / shutdown
+  std::condition_variable shutdown_cv_;  // interrupts retry backoff
+  std::deque<std::unique_ptr<Job>> queue_;
+  std::vector<CancellationToken> active_;  // per-worker in-flight token
+  std::vector<std::thread> workers_;
+  bool shutdown_ = false;
+  Counters counters_;
+};
+
+}  // namespace xqc
+
+#endif  // XQC_SERVICE_QUERY_SERVICE_H_

@@ -6,7 +6,9 @@
 // algorithms preserve semantics on query shapes nobody hand-wrote.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/engine/engine.h"
@@ -307,6 +309,67 @@ INSTANTIATE_TEST_SUITE_P(Seeds, PropertyTest,
                          [](const ::testing::TestParamInfo<uint64_t>& info) {
                            return "seed" + std::to_string(info.param);
                          });
+
+// The differential oracle extended to the concurrent path: a generated
+// query is prepared once per configuration, a serial reference result is
+// taken, and then every shared plan is executed from N threads with
+// per-thread dynamic contexts over the same shared document. Every
+// concurrent execution must reproduce the serial answer — this is the
+// PreparedQuery-reuse contract (immutable after Prepare) under load.
+TEST(ConcurrentPropertyTest, SharedPlansAgreeAcrossThreads) {
+  NodePtr doc = MustParseXml(R"(
+      <site>
+        <people>
+          <person id="p0"><name>Ann</name><age>31</age></person>
+          <person id="p1"><name>Bob</name><age>25</age></person>
+          <person id="p2"><name>Cyd</name><age>44</age></person>
+        </people>
+        <orders>
+          <order id="o0" buyer="p0"><amount>10</amount></order>
+          <order id="o1" buyer="p2"><amount>25</amount></order>
+          <order id="o2" buyer="p0"><amount>40</amount></order>
+        </orders>
+      </site>)");
+  Engine engine;
+  const EngineOptions kConfigs[] = {
+      {true, true, JoinImpl::kHash, ExecMode::kStreaming},
+      {true, true, JoinImpl::kHash, ExecMode::kMaterialize},
+      {true, true, JoinImpl::kNestedLoop, ExecMode::kStreaming},
+  };
+  constexpr int kThreads = 4;
+  constexpr int kRunsPerThread = 3;
+  for (uint64_t seed = 101; seed < 106; seed++) {
+    Gen gen(seed);
+    // Kinds 1 and 2 generate document/join shapes (the plans that share
+    // caches and symbols most aggressively).
+    std::string query = "declare variable $doc external; " +
+                        gen.Query(1 + static_cast<int>(seed % 2), 3);
+    for (const EngineOptions& config : kConfigs) {
+      Result<PreparedQuery> pq = engine.Prepare(query, config);
+      ASSERT_TRUE(pq.ok()) << pq.status().ToString() << "\nquery: " << query;
+      const PreparedQuery& plan = pq.value();
+      DynamicContext serial_ctx;
+      serial_ctx.BindVariable(Symbol("doc"), {Item(doc)});
+      Result<std::string> serial = plan.ExecuteToString(&serial_ctx);
+      if (!serial.ok()) continue;  // dynamically erroneous shape: skip
+      std::atomic<int> mismatches{0};
+      std::vector<std::thread> threads;
+      for (int t = 0; t < kThreads; t++) {
+        threads.emplace_back([&] {
+          for (int i = 0; i < kRunsPerThread; i++) {
+            DynamicContext ctx;
+            ctx.BindVariable(Symbol("doc"), {Item(doc)});
+            Result<std::string> r = plan.ExecuteToString(&ctx);
+            if (!r.ok() || r.value() != serial.value()) mismatches++;
+          }
+        });
+      }
+      for (auto& th : threads) th.join();
+      EXPECT_EQ(mismatches.load(), 0)
+          << "concurrent executions diverged from serial\nquery: " << query;
+    }
+  }
+}
 
 }  // namespace
 }  // namespace xqc
