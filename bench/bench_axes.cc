@@ -1,0 +1,192 @@
+// Structural-index and sort-free path evaluation benchmarks.
+//
+// Three engine modes per query:
+//   Indexed   (default)          interval numbering + DocumentIndex + DDO
+//                                elision
+//   Walk      (--no-doc-index)   interval numbering + DDO elision, subtree
+//                                walks instead of index range scans
+//   ForceSort (--force-sort)     the pre-index baseline: walk everything and
+//                                always discharge DDO with the full sort
+//
+// Expected shapes:
+//  - descendant::name over the wide document: Indexed >= 2x over Walk (a
+//    binary search + range copy vs a full-subtree visit), and Walk itself
+//    beats ForceSort on multi-step paths (no O(n log n) sorts);
+//  - the deep chain stresses interval pruning for following/preceding;
+//  - the XMark child-only path shows DDO elision alone (index unused).
+//
+// scripts/bench_axes.sh runs this with JSON output into BENCH_axes.json.
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "bench/bench_util.h"
+#include "src/xmark/xmark.h"
+#include "src/xml/doc_index.h"
+#include "src/xml/xml_parser.h"
+
+namespace xqc {
+namespace {
+
+constexpr size_t kWideItems = 20000;
+constexpr size_t kDeepDepth = 400;
+constexpr size_t kXMarkBytes = 1 << 19;
+
+struct Mode {
+  const char* name;
+  bool use_doc_index;
+  bool force_sort;
+};
+
+const Mode kModes[] = {
+    {"Indexed", true, false},
+    {"Walk", false, false},
+    {"ForceSort", false, true},
+};
+
+EngineOptions OptionsFor(const Mode& m) {
+  EngineOptions o;
+  o.force_sort = m.force_sort;
+  o.use_doc_index = m.use_doc_index;
+  return o;
+}
+
+NodePtr MustParse(const std::string& xml) {
+  Result<NodePtr> r = ParseXml(xml);
+  if (!r.ok()) std::abort();
+  return r.value();
+}
+
+/// Flat document: items diluted with pads, so named-descendant steps touch
+/// a third of the nodes and //node() scans touch all of them.
+NodePtr WideDoc() {
+  static const NodePtr doc = [] {
+    std::string s = "<doc>";
+    size_t n = bench::Scaled(kWideItems);
+    for (size_t i = 0; i < n; i++) {
+      s += "<item id=\"" + std::to_string(i) + "\"><v>" +
+           std::to_string(i % 97) + "</v></item><pad/><pad/>";
+    }
+    s += "</doc>";
+    return MustParse(s);
+  }();
+  return doc;
+}
+
+/// One spine of nested <d> elements with a few leaves per level and a
+/// marker <x/> at every tenth level: descendant/following walks must prune
+/// by interval instead of visiting the whole spine per context node.
+NodePtr DeepDoc() {
+  static const NodePtr doc = [] {
+    size_t depth = bench::Scaled(kDeepDepth);
+    std::string s = "<doc>";
+    for (size_t i = 0; i < depth; i++) {
+      s += "<d><leaf/><leaf/>";
+      if (i % 10 == 0) s += "<x/>";
+    }
+    for (size_t i = 0; i < depth; i++) s += "</d>";
+    s += "</doc>";
+    return MustParse(s);
+  }();
+  return doc;
+}
+
+NodePtr XMarkDoc() {
+  static const NodePtr doc = [] {
+    XMarkOptions o;
+    o.target_bytes = bench::Scaled(kXMarkBytes);
+    Result<NodePtr> r = GenerateXMarkDocument(o);
+    if (!r.ok()) std::abort();
+    return r.value();
+  }();
+  return doc;
+}
+
+void RunAxisBench(benchmark::State& state, NodePtr doc,
+                  const std::string& query) {
+  const Mode& mode = kModes[state.range(0)];
+  Engine engine;
+  Result<PreparedQuery> q = engine.Prepare(query, OptionsFor(mode));
+  if (!q.ok()) {
+    state.SkipWithError(q.status().ToString().c_str());
+    return;
+  }
+  DynamicContext ctx;
+  ctx.BindVariable(Symbol("D"), {Item(std::move(doc))});
+  for (auto _ : state) {
+    Result<std::string> r = q.value().ExecuteToString(&ctx);
+    if (!r.ok()) {
+      state.SkipWithError(r.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(r.value().size());
+  }
+  ExecStats s = q.value().last_exec_stats();
+  state.counters["ddo_sorts"] =
+      static_cast<double>(s.tree_join.ddo_sorts);
+  state.counters["index_lookups"] =
+      static_cast<double>(s.tree_join.index_lookups);
+  state.SetLabel(mode.name);
+}
+
+void ArgsForAllModes(benchmark::internal::Benchmark* b) {
+  for (int m = 0; m < 3; m++) b->Arg(m);
+}
+
+// -- wide document ----------------------------------------------------------
+
+void BM_Wide_DescendantNamed(benchmark::State& state) {
+  RunAxisBench(state, WideDoc(), "count($D//item)");
+}
+BENCHMARK(BM_Wide_DescendantNamed)->Apply(ArgsForAllModes);
+
+void BM_Wide_DescendantValueScan(benchmark::State& state) {
+  RunAxisBench(state, WideDoc(), "count($D//v[. = \"13\"])");
+}
+BENCHMARK(BM_Wide_DescendantValueScan)->Apply(ArgsForAllModes);
+
+void BM_Wide_MultiStepPath(benchmark::State& state) {
+  RunAxisBench(state, WideDoc(), "count($D/doc/item/v)");
+}
+BENCHMARK(BM_Wide_MultiStepPath)->Apply(ArgsForAllModes);
+
+// -- deep document ----------------------------------------------------------
+
+void BM_Deep_DescendantMarker(benchmark::State& state) {
+  RunAxisBench(state, DeepDoc(), "count($D//x)");
+}
+BENCHMARK(BM_Deep_DescendantMarker)->Apply(ArgsForAllModes);
+
+void BM_Deep_FollowingFromMarker(benchmark::State& state) {
+  RunAxisBench(state, DeepDoc(), "count(($D//x)[1]/following::leaf)");
+}
+BENCHMARK(BM_Deep_FollowingFromMarker)->Apply(ArgsForAllModes);
+
+void BM_Deep_PrecedingFromLast(benchmark::State& state) {
+  RunAxisBench(state, DeepDoc(), "count(($D//leaf)[last()]/preceding::x)");
+}
+BENCHMARK(BM_Deep_PrecedingFromLast)->Apply(ArgsForAllModes);
+
+// -- XMark ------------------------------------------------------------------
+
+void BM_XMark_DescendantListitem(benchmark::State& state) {
+  RunAxisBench(state, XMarkDoc(), "count($D//listitem)");
+}
+BENCHMARK(BM_XMark_DescendantListitem)->Apply(ArgsForAllModes);
+
+void BM_XMark_ChildOnlyPath(benchmark::State& state) {
+  RunAxisBench(state, XMarkDoc(),
+               "count($D/site/people/person/name)");
+}
+BENCHMARK(BM_XMark_ChildOnlyPath)->Apply(ArgsForAllModes);
+
+void BM_XMark_DescendantThenChild(benchmark::State& state) {
+  RunAxisBench(state, XMarkDoc(),
+               "count($D//closed_auction/annotation/description)");
+}
+BENCHMARK(BM_XMark_DescendantThenChild)->Apply(ArgsForAllModes);
+
+}  // namespace
+}  // namespace xqc
+
+BENCHMARK_MAIN();

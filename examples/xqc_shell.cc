@@ -15,6 +15,8 @@
 //   --join nl|hash|sort  physical join algorithm (default hash)
 //   --exec stream|mat    iterator vs materializing execution (default stream)
 //   --project            statically project bound documents (TreeProject)
+//   --force-sort         always sort TreeJoin output (DDO-elision baseline)
+//   --no-doc-index       disable per-document structural indexes
 //   --stats              print optimizer/executor statistics
 //   --timeout-ms <n>         abort with XQC0001 after n milliseconds
 //   --max-mem-mb <n>         memory budget in MiB (XQC0003 when exceeded)
@@ -94,6 +96,10 @@ int main(int argc, char** argv) {
       options.use_algebra = false;
     } else if (arg == "--stats") {
       stats = true;
+    } else if (arg == "--force-sort") {
+      options.force_sort = true;
+    } else if (arg == "--no-doc-index") {
+      options.use_doc_index = false;
     } else if (arg == "--join") {
       const char* v = next();
       if (v == nullptr) return Fail("--join needs nl|hash|sort");
@@ -227,6 +233,12 @@ int main(int argc, char** argv) {
               << " index-reuses=" << es.join_index_reuses
               << " source-tuples=" << es.source_tuples
               << " early-stops=" << es.streaming_early_stops << "\n"
+              << "tree-join: sorts=" << es.tree_join.ddo_sorts
+              << " dedups=" << es.tree_join.ddo_dedups
+              << " skip-static=" << es.tree_join.ddo_skip_static
+              << " skip-singleton=" << es.tree_join.ddo_skip_singleton
+              << " skip-verified=" << es.tree_join.ddo_skip_verified
+              << " index-lookups=" << es.tree_join.index_lookups << "\n"
               << "guard: checks=" << es.guard_checks
               << " peak-memory-bytes=" << es.peak_memory_bytes << "\n";
   }

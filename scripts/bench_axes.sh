@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Runs the structural-index / sort-free path benchmarks (bench/bench_axes.cc)
+# and writes the results to BENCH_axes.json at the repo root.
+#
+# Usage: scripts/bench_axes.sh [extra benchmark flags...]
+#   XQC_SCALE=<float>  scales document sizes (see bench/bench_util.h)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+JOBS=$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)
+
+cmake -B build -S . >/dev/null
+cmake --build build -j "$JOBS" --target bench_axes
+
+./build/bench/bench_axes \
+  --benchmark_out=BENCH_axes.json \
+  --benchmark_out_format=json \
+  --benchmark_repetitions="${XQC_BENCH_REPS:-1}" \
+  "$@"
+
+echo "wrote BENCH_axes.json"

@@ -19,6 +19,13 @@ if [[ "${1:-}" != "--sanitize-only" ]]; then
   cmake -B build -S . >/dev/null
   cmake --build build -j "$JOBS"
   (cd build && ctest --output-on-failure -j "$JOBS")
+
+  echo "=== bench smoke run (bench_axes, minimal time) ==="
+  # One short pass over the axis benchmarks so index/DDO regressions that
+  # only show up in the bench harness are caught here, not at bench time.
+  # (benchmark 1.7.x: --benchmark_min_time takes seconds, not "1x".)
+  XQC_SCALE="${XQC_BENCH_SMOKE_SCALE:-0.1}" ./build/bench/bench_axes \
+    --benchmark_min_time=0.01 >/dev/null
 fi
 
 echo "=== sanitized build + tests (build-asan/, address+undefined) ==="

@@ -119,6 +119,7 @@ struct Op {
   SequenceType stype;
   Axis axis = Axis::kChild;
   ItemTest ntest;
+  DdoMode ddo = DdoMode::kSort;  // kTreeJoin: inferred by AnnotateDdo
   std::vector<std::string> paths;
   std::vector<OpPtr> deps;
   std::vector<OpPtr> inputs;

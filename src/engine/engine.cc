@@ -1,5 +1,6 @@
 #include "src/engine/engine.h"
 
+#include "src/opt/ddo_infer.h"
 #include "src/xml/serializer.h"
 #include "src/xquery/normalize.h"
 #include "src/xquery/parser.h"
@@ -12,6 +13,8 @@ ExecOptions ToExecOptions(const EngineOptions& o) {
   ExecOptions exec;
   exec.join_impl = o.join_impl;
   exec.streaming = o.exec_mode == ExecMode::kStreaming;
+  exec.force_sort = o.force_sort;
+  exec.use_doc_index = o.use_doc_index;
   return exec;
 }
 
@@ -201,6 +204,10 @@ Result<PreparedQuery> Engine::Prepare(const std::string& query_text,
   if (options.optimize) {
     OptimizeQuery(&opt, &out.opt_stats_);
   }
+  // Sound regardless of the rewritings above (runs on whatever plan shape
+  // reaches execution); force_sort is honored at runtime, so annotating is
+  // harmless there too.
+  AnnotateDdoQuery(&opt);
   out.compiled_ = std::make_shared<CompiledQuery>(std::move(opt));
   return out;
 }

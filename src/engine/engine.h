@@ -56,6 +56,12 @@ struct EngineOptions {
   /// Iterator vs materializing execution (results are identical; see
   /// ExecOptions::streaming for the error-laziness caveat).
   ExecMode exec_mode = ExecMode::kStreaming;
+  /// Baseline / oracle mode: TreeJoin always sorts its output, disabling
+  /// both the static DDO annotations and the runtime sort elisions.
+  bool force_sort = false;
+  /// Lazily build and use per-document structural indexes (doc_index.h)
+  /// for descendant / following / preceding axis steps.
+  bool use_doc_index = true;
   /// Resource limits enforced during Execute / ExecuteStream (0 fields are
   /// unlimited). Trips surface as Status::ResourceExhausted with the
   /// XQC00xx codes in src/base/guard.h.

@@ -1,0 +1,49 @@
+// Distinct-doc-order inference: annotates every kTreeJoin in a compiled
+// query with the cheapest statically sound way to discharge its
+// distinct-doc-order postcondition (Op::ddo, consumed by the evaluator).
+//
+// The pass runs a bottom-up abstract interpretation over plans with a small
+// ordering lattice per operator output:
+//   singleton   at most one item
+//   ddo         distinct nodes, document order
+//   no_overlap  no result node is an ancestor of another
+//   same_depth  all result nodes have equal tree depth
+// Sources: Parse / fn:doc / fn:root / constructors are singletons,
+// fs:distinct-docorder establishes ddo, type assertions pass properties
+// through. Transitions capture the classic structural-join facts, e.g.
+// child/attribute/descendant steps from non-overlapping ordered inputs
+// emit ordered distinct output (DdoMode::kSkip), and a parent step from a
+// same-depth ordered input emits ordered output whose duplicates are
+// adjacent (DdoMode::kDedup — a linear pass replaces the sort).
+#ifndef XQC_OPT_DDO_INFER_H_
+#define XQC_OPT_DDO_INFER_H_
+
+#include "src/algebra/op.h"
+#include "src/compile/compiler.h"
+
+namespace xqc {
+
+/// Output-ordering facts for one operator (all-false = unknown).
+struct DdoProps {
+  bool singleton = false;
+  bool ddo = false;
+  bool no_overlap = false;
+  bool same_depth = false;
+};
+
+struct DdoStats {
+  int skip = 0;   // TreeJoins annotated kSkip
+  int dedup = 0;  // TreeJoins annotated kDedup
+  int sort = 0;   // TreeJoins left at kSort
+};
+
+/// Annotates every kTreeJoin reachable from `op` and returns the inferred
+/// properties of `op`'s own output.
+DdoProps AnnotateDdoPlan(Op* op, DdoStats* stats = nullptr);
+
+/// Annotates the main plan, all function bodies, and global initializers.
+void AnnotateDdoQuery(CompiledQuery* query, DdoStats* stats = nullptr);
+
+}  // namespace xqc
+
+#endif  // XQC_OPT_DDO_INFER_H_

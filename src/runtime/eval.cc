@@ -172,6 +172,32 @@ Result<Sequence> PlanEvaluator::EvalItemsLimited(const Op& op, const EvalCtx& c,
       XQC_ASSIGN_OR_RETURN(bool b, EffectiveBooleanValue(cond));
       return EvalItemsLimited(b ? *op.deps[0] : *op.deps[1], c, limit);
     }
+    case OpKind::kTreeJoin: {
+      if (options_.force_sort || op.ddo != DdoMode::kSkip) {
+        return EvalItems(op, c);
+      }
+      // Sort-free step: each input node's result is already final output,
+      // so the step can stop as soon as `limit` items exist. The input is
+      // pulled whole — acceptable because the win here is skipping axis
+      // application (e.g. //huge-subtree[1]), not input evaluation.
+      XQC_ASSIGN_OR_RETURN(Sequence in, EvalItems(*op.inputs[0], c));
+      TreeJoinOpts tj{op.ddo, false, options_.use_doc_index};
+      Sequence out;
+      for (const Item& it : in) {
+        if (out.size() >= limit) {
+          stats_.streaming_early_stops++;
+          break;
+        }
+        if (!it.IsNode()) {
+          return Status::XQueryError("XPTY0004",
+                                     "path step applied to an atomic value");
+        }
+        ApplyAxis(it.node(), op.axis, op.ntest, ctx_->schema(), &out, tj,
+                  &stats_.tree_join);
+      }
+      stats_.tree_join.ddo_skip_static++;
+      return out;
+    }
     default:
       return EvalItems(op, c);
   }
@@ -237,7 +263,9 @@ Result<Sequence> PlanEvaluator::EvalItems(const Op& op, const EvalCtx& c) {
       return EvalConstructor(op, c);
     case OpKind::kTreeJoin: {
       XQC_ASSIGN_OR_RETURN(Sequence in, EvalItems(*op.inputs[0], c));
-      return TreeJoin(in, op.axis, op.ntest, ctx_->schema());
+      TreeJoinOpts tj{op.ddo, options_.force_sort, options_.use_doc_index};
+      return TreeJoin(in, op.axis, op.ntest, ctx_->schema(), tj,
+                      &stats_.tree_join);
     }
     case OpKind::kTreeProject: {
       // TreeProject[paths]: prune each document/element tree to the nodes

@@ -34,6 +34,12 @@ struct ExecOptions {
   /// may skip errors in input suffixes a limited consumer never needs
   /// (permitted by XQuery's evaluation-order rules).
   bool streaming = false;
+  /// Always discharge TreeJoin's distinct-doc-order postcondition with the
+  /// full sort, ignoring static/dynamic elision (baseline / oracle mode).
+  bool force_sort = false;
+  /// Consult (and lazily build) per-document structural indexes for
+  /// descendant / following / preceding steps.
+  bool use_doc_index = true;
 };
 
 /// "No limit" for the limited evaluation entry points.
@@ -52,6 +58,7 @@ struct ExecStats {
   int64_t streaming_early_stops = 0;  // limited consumers that cut input
   int64_t guard_checks = 0;        // QueryGuard slow-path checks run
   int64_t peak_memory_bytes = 0;   // total guard-accounted allocation
+  TreeJoinStats tree_join;         // sort elisions / index use (axes.h)
 };
 
 /// Evaluation context threaded through a plan: the dependent inputs (tuple

@@ -54,12 +54,20 @@ bool ItemTest::Matches(const Item& item, const Schema* schema) const {
       AtomicType t = item.atomic().type();
       return t == atomic || NumericSubtype(t, atomic);
     }
+    default:
+      return item.IsNode() && Matches(*item.node(), schema);
+  }
+}
+
+bool ItemTest::Matches(const Node& n, const Schema* schema) const {
+  switch (kind) {
+    case Kind::kAnyItem:
     case Kind::kAnyNode:
-      return item.IsNode();
+      return true;
+    case Kind::kAtomic:
+      return false;
     case Kind::kElement:
     case Kind::kAttribute: {
-      if (!item.IsNode()) return false;
-      const Node& n = *item.node();
       NodeKind want =
           kind == Kind::kElement ? NodeKind::kElement : NodeKind::kAttribute;
       if (n.kind != want) return false;
@@ -74,13 +82,13 @@ bool ItemTest::Matches(const Item& item, const Schema* schema) const {
       return true;
     }
     case Kind::kText:
-      return item.IsNode() && item.node()->kind == NodeKind::kText;
+      return n.kind == NodeKind::kText;
     case Kind::kComment:
-      return item.IsNode() && item.node()->kind == NodeKind::kComment;
+      return n.kind == NodeKind::kComment;
     case Kind::kPI:
-      return item.IsNode() && item.node()->kind == NodeKind::kPI;
+      return n.kind == NodeKind::kPI;
     case Kind::kDocument:
-      return item.IsNode() && item.node()->kind == NodeKind::kDocument;
+      return n.kind == NodeKind::kDocument;
   }
   return false;
 }

@@ -44,6 +44,10 @@ struct ItemTest {
   /// (may be null: then type names must match exactly)?
   bool Matches(const Item& item, const Schema* schema) const;
 
+  /// Node-only variant: lets axis scans test before constructing an Item
+  /// (and its shared_ptr refcount traffic) for non-matching nodes.
+  bool Matches(const Node& node, const Schema* schema) const;
+
   std::string ToString() const;
 
   bool operator==(const ItemTest& o) const {

@@ -2,13 +2,19 @@
 
 #include <cstring>
 
+#include "src/xml/doc_index.h"
+
 namespace xqc {
 namespace {
 
-void AddIfMatch(const NodePtr& n, const ItemTest& test, const Schema* schema,
-                Sequence* out) {
-  Item it(n);
-  if (test.Matches(it, schema)) out->push_back(std::move(it));
+inline void AddIfMatch(const NodePtr& n, const ItemTest& test,
+                       const Schema* schema, Sequence* out) {
+  if (test.Matches(*n, schema)) out->push_back(Item(n));
+}
+
+inline bool MatchesAllNodes(const ItemTest& test) {
+  return test.kind == ItemTest::Kind::kAnyItem ||
+         test.kind == ItemTest::Kind::kAnyNode;
 }
 
 void Descendants(const NodePtr& n, const ItemTest& test, const Schema* schema,
@@ -19,7 +25,125 @@ void Descendants(const NodePtr& n, const ItemTest& test, const Schema* schema,
   }
 }
 
+/// Appends every matching node of `c`'s subtree (self included, attributes
+/// excluded) in document order.
+void AddSubtree(const NodePtr& c, const ItemTest& test, const Schema* schema,
+                Sequence* out) {
+  AddIfMatch(c, test, schema, out);
+  Descendants(c, test, schema, out);
+}
+
+/// following(ref): nodes with start > ref.end, minus attributes. The walk
+/// prunes on intervals: a subtree entirely at or before ref.end contributes
+/// nothing; one entirely after contributes wholesale; only the O(depth)
+/// ancestors of ref straddle the boundary and recurse.
+void FollowingWalk(const NodePtr& c, const Node& ref, const ItemTest& test,
+                   const Schema* schema, Sequence* out) {
+  if (c->end <= ref.end) return;  // subtree entirely at/before the boundary
+  if (c->start > ref.end) {
+    AddSubtree(c, test, schema, out);
+    return;
+  }
+  for (const NodePtr& child : c->children) {
+    FollowingWalk(child, ref, test, schema, out);
+  }
+}
+
+/// preceding(ref): nodes with end < ref.start — everything strictly before
+/// ref that is not one of its ancestors (an ancestor's interval covers
+/// ref.start, so the end < ref.start test excludes it for free).
+void PrecedingWalk(const NodePtr& c, const Node& ref, const ItemTest& test,
+                   const Schema* schema, Sequence* out) {
+  if (c->start >= ref.start) return;  // subtree entirely at/after ref
+  if (c->end < ref.start) {
+    AddSubtree(c, test, schema, out);
+    return;
+  }
+  for (const NodePtr& child : c->children) {
+    PrecedingWalk(child, ref, test, schema, out);
+  }
+}
+
 NodePtr Shared(Node* n) { return n == nullptr ? nullptr : n->shared_from_this(); }
+
+/// The tree's structural index if this step should use one: never for
+/// unfinalized trees, lazily built for trees of at least
+/// kMinIndexedTreeSize nodes, and always when one is already built.
+const DocumentIndex* IndexFor(const NodePtr& n, const TreeJoinOpts& opts) {
+  if (!opts.use_index || n->start == 0) return nullptr;
+  Node* root = n->Root();
+  if (const DocumentIndex* idx = GetDocumentIndex(root)) return idx;
+  if (root->SubtreeSize() < kMinIndexedTreeSize) return nullptr;
+  return GetOrBuildDocumentIndex(root);
+}
+
+/// The narrowest index partition that is a superset of `test`'s matches
+/// among non-attribute nodes, or false when the index cannot serve `test`.
+/// Candidates from the partition are still filtered through test.Matches
+/// (e.g. for schema-type element tests).
+bool PartitionFor(const DocumentIndex& idx, const ItemTest& test,
+                  const std::vector<NodePtr>** out) {
+  static const std::vector<NodePtr> kNone;
+  switch (test.kind) {
+    case ItemTest::Kind::kAnyItem:
+    case ItemTest::Kind::kAnyNode:
+      *out = &idx.AllNodes();
+      return true;
+    case ItemTest::Kind::kElement: {
+      if (test.name.empty()) {
+        *out = &idx.Elements();
+        return true;
+      }
+      const std::vector<NodePtr>* named = idx.ElementsByName(test.name);
+      *out = named == nullptr ? &kNone : named;
+      return true;
+    }
+    case ItemTest::Kind::kText:
+      *out = &idx.Texts();
+      return true;
+    case ItemTest::Kind::kComment:
+      *out = &idx.Comments();
+      return true;
+    case ItemTest::Kind::kPI:
+      *out = &idx.PIs();
+      return true;
+    case ItemTest::Kind::kAttribute:
+    case ItemTest::Kind::kAtomic:
+      // Neither ever matches a non-attribute axis result.
+      *out = &kNone;
+      return true;
+    case ItemTest::Kind::kDocument:
+      return false;  // rare; the walk handles it
+  }
+  return false;
+}
+
+/// Index of `n` among its parent's children (post-finalize children are
+/// start-ordered, so this is a binary search), or children.size() if not
+/// found (unfinalized fallback: linear scan).
+size_t SelfIndexAmongSiblings(const std::vector<NodePtr>& sibs,
+                              const Node* n) {
+  if (n->start != 0) {
+    size_t lo = 0, hi = sibs.size();
+    while (lo < hi) {
+      size_t mid = (lo + hi) / 2;
+      if (sibs[mid]->start < n->start) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    if (lo < sibs.size() && sibs[lo].get() == n) return lo;
+  }
+  for (size_t i = 0; i < sibs.size(); i++) {
+    if (sibs[i].get() == n) return i;
+  }
+  return sibs.size();
+}
+
+inline void CountIndexLookup(TreeJoinStats* stats) {
+  if (stats != nullptr) stats->index_lookups++;
+}
 
 }  // namespace
 
@@ -53,23 +177,39 @@ bool AxisFromName(std::string_view name, Axis* out) {
 }
 
 void ApplyAxis(const NodePtr& n, Axis axis, const ItemTest& test,
-               const Schema* schema, Sequence* out) {
+               const Schema* schema, Sequence* out, const TreeJoinOpts& opts,
+               TreeJoinStats* stats) {
   switch (axis) {
     case Axis::kChild:
+      if (MatchesAllNodes(test)) out->reserve(out->size() + n->children.size());
       for (const NodePtr& c : n->children) AddIfMatch(c, test, schema, out);
       return;
     case Axis::kDescendant:
+    case Axis::kDescendantOrSelf: {
+      if (axis == Axis::kDescendantOrSelf) AddIfMatch(n, test, schema, out);
+      const DocumentIndex* idx = IndexFor(n, opts);
+      const std::vector<NodePtr>* part = nullptr;
+      if (idx != nullptr && PartitionFor(*idx, test, &part)) {
+        CountIndexLookup(stats);
+        auto it = LowerBoundByStart(*part, n->start);
+        auto last = LowerBoundByStart(*part, n->end);
+        out->reserve(out->size() + static_cast<size_t>(last - it));
+        for (; it != last; ++it) AddIfMatch(*it, test, schema, out);
+        return;
+      }
+      if (MatchesAllNodes(test) && n->start != 0) {
+        // Full-subtree scans (//node()) are the one case where the interval
+        // gives a useful a-priori output bound.
+        out->reserve(out->size() + n->SubtreeSize() - n->attributes.size());
+      }
       Descendants(n, test, schema, out);
       return;
+    }
     case Axis::kAttribute:
       for (const NodePtr& a : n->attributes) AddIfMatch(a, test, schema, out);
       return;
     case Axis::kSelf:
       AddIfMatch(n, test, schema, out);
-      return;
-    case Axis::kDescendantOrSelf:
-      AddIfMatch(n, test, schema, out);
-      Descendants(n, test, schema, out);
       return;
     case Axis::kParent: {
       NodePtr p = Shared(n->parent);
@@ -95,19 +235,13 @@ void ApplyAxis(const NodePtr& n, Axis axis, const ItemTest& test,
       Node* p = n->parent;
       if (p == nullptr || n->kind == NodeKind::kAttribute) return;
       const auto& sibs = p->children;
-      size_t self_idx = sibs.size();
-      for (size_t i = 0; i < sibs.size(); i++) {
-        if (sibs[i].get() == n.get()) {
-          self_idx = i;
-          break;
-        }
-      }
+      size_t self_idx = SelfIndexAmongSiblings(sibs, n.get());
       if (axis == Axis::kFollowingSibling) {
         for (size_t i = self_idx + 1; i < sibs.size(); i++) {
           AddIfMatch(sibs[i], test, schema, out);
         }
       } else {
-        for (size_t i = 0; i < self_idx; i++) {
+        for (size_t i = 0; i < self_idx && i < sibs.size(); i++) {
           AddIfMatch(sibs[i], test, schema, out);
         }
       }
@@ -115,30 +249,34 @@ void ApplyAxis(const NodePtr& n, Axis axis, const ItemTest& test,
     }
     case Axis::kFollowing:
     case Axis::kPreceding: {
-      // All nodes in the tree strictly after (before) this node in document
-      // order, excluding ancestors/descendants per XPath; implemented via a
-      // full traversal from the root using document-order ids.
-      Node* root = n->Root();
-      Sequence all;
-      ItemTest any;  // item() matches everything; filter below
-      AddIfMatch(Shared(root), any, schema, &all);
-      Descendants(Shared(root), any, schema, &all);
-      for (const Item& cand : all) {
-        const NodePtr& c = cand.node();
-        if (c->kind == NodeKind::kAttribute) continue;
-        bool is_anc = false;
-        for (Node* a = n->parent; a != nullptr; a = a->parent) {
-          if (a == c.get()) is_anc = true;
+      // All non-attribute nodes strictly after (before) this node in
+      // document order, excluding ancestors/descendants per XPath. With
+      // interval numbering: following = {c : c.start > n.end},
+      // preceding = {c : c.end < n.start} — ancestor/descendant exclusion
+      // falls out of the interval tests.
+      NodePtr root = Shared(n->Root());
+      const DocumentIndex* idx = IndexFor(n, opts);
+      const std::vector<NodePtr>* part = nullptr;
+      if (idx != nullptr && PartitionFor(*idx, test, &part)) {
+        CountIndexLookup(stats);
+        if (axis == Axis::kFollowing) {
+          for (auto it = LowerBoundByStart(*part, n->end); it != part->end();
+               ++it) {
+            AddIfMatch(*it, test, schema, out);
+          }
+        } else {
+          auto last = LowerBoundByStart(*part, n->start - 1);
+          for (auto it = part->begin(); it != last; ++it) {
+            if ((*it)->end >= n->start) continue;  // ancestor of n
+            AddIfMatch(*it, test, schema, out);
+          }
         }
-        bool is_desc = false;
-        for (Node* a = c->parent; a != nullptr; a = a->parent) {
-          if (a == n.get()) is_desc = true;
-        }
-        if (is_anc || is_desc || c.get() == n.get()) continue;
-        bool after = c->order > n->order;
-        if ((axis == Axis::kFollowing) == after) {
-          AddIfMatch(c, test, schema, out);
-        }
+        return;
+      }
+      if (axis == Axis::kFollowing) {
+        FollowingWalk(root, *n, test, schema, out);
+      } else {
+        PrecedingWalk(root, *n, test, schema, out);
       }
       return;
     }
@@ -146,15 +284,65 @@ void ApplyAxis(const NodePtr& n, Axis axis, const ItemTest& test,
 }
 
 Result<Sequence> TreeJoin(const Sequence& input, Axis axis,
-                          const ItemTest& test, const Schema* schema) {
+                          const ItemTest& test, const Schema* schema,
+                          const TreeJoinOpts& opts, TreeJoinStats* stats) {
   Sequence out;
   for (const Item& it : input) {
     if (!it.IsNode()) {
       return Status::XQueryError("XPTY0004",
                                  "axis step applied to an atomic value");
     }
-    ApplyAxis(it.node(), axis, test, schema, &out);
+    ApplyAxis(it.node(), axis, test, schema, &out, opts, stats);
   }
+  TreeJoinStats local;
+  TreeJoinStats* s = stats != nullptr ? stats : &local;
+  if (opts.force_sort) {
+    s->ddo_sorts++;
+    return DistinctDocOrder(out);
+  }
+  if (opts.ddo == DdoMode::kSkip) {
+    s->ddo_skip_static++;
+    return out;
+  }
+  if (input.size() <= 1) {
+    // Every axis emits a single context node's result already in document
+    // order and duplicate-free.
+    s->ddo_skip_singleton++;
+    return out;
+  }
+  if (opts.ddo == DdoMode::kDedup) {
+    // Provably ordered with (provably adjacent) duplicates: one linear
+    // pass instead of a sort.
+    s->ddo_dedups++;
+    Sequence deduped;
+    deduped.reserve(out.size());
+    const Node* prev = nullptr;
+    for (Item& item : out) {
+      if (item.node().get() == prev) continue;
+      prev = item.node().get();
+      deduped.push_back(std::move(item));
+    }
+    return deduped;
+  }
+  // Dynamic elision: concatenated per-node results are very often already
+  // strictly increasing (e.g. child steps over non-overlapping inputs);
+  // a strictly increasing start sequence is distinct and ordered, since
+  // finalized trees draw their ids from disjoint blocks.
+  bool sorted = true;
+  uint64_t prev_start = 0;
+  for (const Item& item : out) {
+    uint64_t start = item.node()->start;
+    if (start == 0 || start <= prev_start) {
+      sorted = false;
+      break;
+    }
+    prev_start = start;
+  }
+  if (sorted) {
+    s->ddo_skip_verified++;
+    return out;
+  }
+  s->ddo_sorts++;
   return DistinctDocOrder(out);
 }
 

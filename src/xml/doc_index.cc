@@ -1,0 +1,67 @@
+#include "src/xml/doc_index.h"
+
+#include <mutex>
+
+namespace xqc {
+namespace {
+
+/// Build locks, sharded by root pointer so unrelated documents never
+/// contend. Only the build path locks; lookups go through the published
+/// atomic hint.
+constexpr size_t kBuildLockShards = 16;
+std::mutex g_build_locks[kBuildLockShards];
+
+std::mutex& BuildLockFor(const Node* root) {
+  return g_build_locks[(reinterpret_cast<uintptr_t>(root) >> 4) %
+                       kBuildLockShards];
+}
+
+}  // namespace
+
+void DocumentIndex::Add(const NodePtr& n) {
+  all_.push_back(n);
+  switch (n->kind) {
+    case NodeKind::kElement:
+      elements_.push_back(n);
+      by_name_[n->name].push_back(n);
+      break;
+    case NodeKind::kText:
+      texts_.push_back(n);
+      break;
+    case NodeKind::kComment:
+      comments_.push_back(n);
+      break;
+    case NodeKind::kPI:
+      pis_.push_back(n);
+      break;
+    default:
+      break;  // document root stays in all_ only; attributes never enter
+  }
+  for (const NodePtr& c : n->children) Add(c);
+}
+
+DocumentIndex::DocumentIndex(const Node& root) {
+  // Skipping the root keeps the index free of a NodePtr back to its own
+  // owner (root->doc_index -> all_ -> root would leak the whole tree).
+  all_.reserve(root.SubtreeSize());
+  for (const NodePtr& c : root.children) Add(c);
+}
+
+const DocumentIndex* GetOrBuildDocumentIndex(Node* root) {
+  const DocumentIndex* hint =
+      root->doc_index_hint.load(std::memory_order_acquire);
+  if (hint != nullptr) return hint;
+  std::lock_guard<std::mutex> lock(BuildLockFor(root));
+  if (root->doc_index == nullptr) {
+    root->doc_index = std::make_shared<const DocumentIndex>(*root);
+    root->doc_index_hint.store(root->doc_index.get(),
+                               std::memory_order_release);
+  }
+  return root->doc_index.get();
+}
+
+const DocumentIndex* GetDocumentIndex(const Node* root) {
+  return root->doc_index_hint.load(std::memory_order_acquire);
+}
+
+}  // namespace xqc

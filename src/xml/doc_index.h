@@ -1,0 +1,104 @@
+// Per-document structural indexes for sort-free path evaluation.
+//
+// A DocumentIndex is built once per finalized tree (lazily, at the first
+// axis step that can use it) and holds name- and kind-partitioned node
+// tables in document order. Combined with the interval numbering assigned
+// by FinalizeTree (Node::start/end), a `descendant::x` step becomes a
+// binary search for the context node's interval inside the `x` partition
+// instead of a full subtree walk, and `following`/`preceding` become
+// range scans with O(1) containment filters.
+//
+// Lifetime and thread safety: the index is owned by the tree's root node
+// (Node::doc_index) and is immutable after construction, so it is shared
+// across threads exactly like the document itself (DESIGN.md "Threading
+// model"). Concurrent first uses build under a pointer-sharded lock; the
+// built index is then published through an acquire/release pointer, so
+// steady-state lookups are lock-free. FinalizeTree invalidates the index
+// (it renumbers the tree), which is legal only while no other thread reads
+// the tree — the same contract all tree mutation already has.
+#ifndef XQC_XML_DOC_INDEX_H_
+#define XQC_XML_DOC_INDEX_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "src/base/symbol.h"
+#include "src/xml/node.h"
+
+namespace xqc {
+
+/// Trees smaller than this are walked directly: building an index costs one
+/// traversal, so it only pays for trees that are large or queried often.
+/// (An already built index is used regardless of size.)
+inline constexpr uint64_t kMinIndexedTreeSize = 64;
+
+class DocumentIndex {
+ public:
+  /// Builds the index for the finalized tree rooted at `root`. The root
+  /// itself is not indexed: it can never be a descendant/following/
+  /// preceding result of a context inside its own tree, and the index is
+  /// owned by the root, so holding the root's NodePtr would be an
+  /// ownership cycle.
+  explicit DocumentIndex(const Node& root);
+
+  DocumentIndex(const DocumentIndex&) = delete;
+  DocumentIndex& operator=(const DocumentIndex&) = delete;
+
+  /// Elements with the given name, in document order (null if none).
+  const std::vector<NodePtr>* ElementsByName(Symbol name) const {
+    auto it = by_name_.find(name);
+    return it == by_name_.end() ? nullptr : &it->second;
+  }
+
+  /// All elements / text nodes / comments / PIs, in document order.
+  const std::vector<NodePtr>& Elements() const { return elements_; }
+  const std::vector<NodePtr>& Texts() const { return texts_; }
+  const std::vector<NodePtr>& Comments() const { return comments_; }
+  const std::vector<NodePtr>& PIs() const { return pis_; }
+
+  /// Every non-attribute node (the axis universe of following/preceding),
+  /// in document order, excluding the tree root (see constructor).
+  const std::vector<NodePtr>& AllNodes() const { return all_; }
+
+  /// Total nodes indexed (diagnostics).
+  size_t size() const { return all_.size(); }
+
+ private:
+  void Add(const NodePtr& n);
+
+  std::unordered_map<Symbol, std::vector<NodePtr>> by_name_;  // elements
+  std::vector<NodePtr> elements_;
+  std::vector<NodePtr> texts_;
+  std::vector<NodePtr> comments_;
+  std::vector<NodePtr> pis_;
+  std::vector<NodePtr> all_;
+};
+
+/// Returns the tree's DocumentIndex, building and caching it on the root if
+/// this is the first use. `root` must be a finalized tree root (start != 0,
+/// parent == nullptr). Thread-safe; steady state is one acquire load.
+const DocumentIndex* GetOrBuildDocumentIndex(Node* root);
+
+/// The already built index for this root, or null. Never builds.
+const DocumentIndex* GetDocumentIndex(const Node* root);
+
+/// First element of `v` whose start id lies in (after, through], i.e. the
+/// begin of the subtree range (after = context start, through = context
+/// end). Shared helper for the indexed axis scans.
+inline std::vector<NodePtr>::const_iterator LowerBoundByStart(
+    const std::vector<NodePtr>& v, uint64_t start_exclusive) {
+  size_t lo = 0, hi = v.size();
+  while (lo < hi) {
+    size_t mid = (lo + hi) / 2;
+    if (v[mid]->start <= start_exclusive) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return v.begin() + static_cast<ptrdiff_t>(lo);
+}
+
+}  // namespace xqc
+
+#endif  // XQC_XML_DOC_INDEX_H_

@@ -73,13 +73,21 @@ Result<bool> EffectiveBooleanValue(const Sequence& s) {
 Result<Sequence> DistinctDocOrder(const Sequence& s) {
   std::vector<NodePtr> nodes;
   nodes.reserve(s.size());
+  bool sorted = true;
+  uint64_t prev_start = 0;
   for (const Item& it : s) {
     if (!it.IsNode()) {
       return Status::XQueryError("XPTY0004",
                                  "path step applied to an atomic value");
     }
+    // Strictly increasing nonzero start ids mean already distinct and in
+    // document order (finalized trees use globally disjoint id blocks).
+    uint64_t start = it.node()->start;
+    if (start == 0 || start <= prev_start) sorted = false;
+    prev_start = start;
     nodes.push_back(it.node());
   }
+  if (sorted) return s;
   std::sort(nodes.begin(), nodes.end(), [](const NodePtr& a, const NodePtr& b) {
     return DocOrderLess(a.get(), b.get());
   });

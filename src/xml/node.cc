@@ -15,14 +15,38 @@ void CollectText(const Node& n, std::string* out) {
   for (const NodePtr& c : n.children) CollectText(*c, out);
 }
 
-void FinalizeRec(Node* n, Node* parent) {
+uint64_t CountNodes(const Node& n) {
+  uint64_t total = 1 + n.attributes.size();
+  for (const NodePtr& c : n.children) total += CountNodes(*c);
+  return total;
+}
+
+/// Assigns preorder ids from `*next` and returns the subtree's `end` (the
+/// largest id assigned within it). Also clears stale DocumentIndex slots:
+/// a node that used to be a tree root may now be interior.
+uint64_t FinalizeRec(Node* n, Node* parent, uint64_t* next) {
   n->parent = parent;
-  n->order = g_order_counter.fetch_add(1, std::memory_order_relaxed);
+  n->start = (*next)++;
+  if (n->doc_index != nullptr) {
+    n->doc_index_hint.store(nullptr, std::memory_order_relaxed);
+    n->doc_index.reset();
+  }
+  uint64_t last = n->start;
   for (const NodePtr& a : n->attributes) {
     a->parent = n;
-    a->order = g_order_counter.fetch_add(1, std::memory_order_relaxed);
+    a->start = (*next)++;
+    a->end = a->start;
+    last = a->start;
+    if (a->doc_index != nullptr) {
+      a->doc_index_hint.store(nullptr, std::memory_order_relaxed);
+      a->doc_index.reset();
+    }
   }
-  for (const NodePtr& c : n->children) FinalizeRec(c.get(), n);
+  for (const NodePtr& c : n->children) {
+    last = FinalizeRec(c.get(), n, next);
+  }
+  n->end = last;
+  return last;
 }
 
 }  // namespace
@@ -98,7 +122,14 @@ void Append(const NodePtr& parent, NodePtr child) {
   }
 }
 
-void FinalizeTree(const NodePtr& root) { FinalizeRec(root.get(), nullptr); }
+void FinalizeTree(const NodePtr& root) {
+  // Reserve a contiguous id block for the whole tree so every node's
+  // subtree is one interval and blocks from distinct trees never overlap.
+  uint64_t count = CountNodes(*root);
+  uint64_t next =
+      g_order_counter.fetch_add(count, std::memory_order_relaxed);
+  FinalizeRec(root.get(), nullptr, &next);
+}
 
 NodePtr DeepCopy(const Node& node, bool keep_types) {
   auto n = std::make_shared<Node>();
@@ -121,6 +152,6 @@ NodePtr DeepCopy(const Node& node, bool keep_types) {
   return n;
 }
 
-bool DocOrderLess(const Node* a, const Node* b) { return a->order < b->order; }
+bool DocOrderLess(const Node* a, const Node* b) { return a->start < b->start; }
 
 }  // namespace xqc

@@ -6,6 +6,7 @@
 #ifndef XQC_XML_NODE_H_
 #define XQC_XML_NODE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -26,6 +27,7 @@ enum class NodeKind : uint8_t {
 
 struct Node;
 using NodePtr = std::shared_ptr<Node>;
+class DocumentIndex;  // doc_index.h: lazily built structural index
 
 /// A node in an XML tree. Children and attributes are owned via shared_ptr;
 /// the parent link is a raw back-pointer (valid while the tree is alive).
@@ -37,7 +39,25 @@ struct Node : std::enable_shared_from_this<Node> {
   Node* parent = nullptr;
   std::vector<NodePtr> attributes;  // elements only
   std::vector<NodePtr> children;    // document / element only
-  uint64_t order = 0;  // global document-order id (0 = unassigned)
+
+  /// Interval numbering (set by FinalizeTree; 0 = unassigned). Each
+  /// finalized tree occupies a contiguous, globally unique id block:
+  /// `start` is the node's preorder id (attributes numbered after their
+  /// element, before its children) and `end` is the largest `start` in the
+  /// node's subtree (inclusive; == start for leaves and attributes). This
+  /// makes document-order comparison (`a.start < b.start`, valid across
+  /// trees) and ancestor/descendant containment
+  /// (`a.start < d.start && d.start <= a.end`) O(1) integer tests.
+  uint64_t start = 0;
+  uint64_t end = 0;
+
+  /// Root-only slots for the lazily built DocumentIndex (doc_index.h).
+  /// `doc_index` owns the index; `doc_index_hint` is the double-checked
+  /// fast-path pointer (acquire-load; set once, after the owner slot, under
+  /// the build lock). Cleared by FinalizeTree. Treat as private to
+  /// doc_index.cc / node.cc.
+  std::shared_ptr<const DocumentIndex> doc_index;
+  std::atomic<const DocumentIndex*> doc_index_hint{nullptr};
 
   /// The typed-value-relevant string value: concatenation of descendant
   /// text for documents/elements; `value` otherwise.
@@ -45,6 +65,17 @@ struct Node : std::enable_shared_from_this<Node> {
 
   /// Root of the tree containing this node.
   Node* Root();
+
+  /// O(1) containment: is `d` a strict descendant of this node? Both nodes
+  /// must belong to the same finalized tree (or any finalized trees —
+  /// blocks are globally disjoint, so cross-tree queries answer false).
+  bool ContainsStrict(const Node& d) const {
+    return start < d.start && d.start <= end;
+  }
+
+  /// Number of nodes in this subtree (self + attributes + descendants);
+  /// meaningful only after FinalizeTree.
+  uint64_t SubtreeSize() const { return end - start + 1; }
 };
 
 /// Builders. The returned nodes are detached; call FinalizeTree on the root
@@ -61,8 +92,10 @@ NodePtr NewPI(Symbol target, std::string value);
 void Append(const NodePtr& parent, NodePtr child);
 
 /// Walks the tree in document order, setting parent pointers and assigning
-/// fresh globally increasing order ids (attributes numbered after their
-/// element, before its children). Safe to call repeatedly.
+/// fresh interval numbers (see Node::start/end) from a contiguous, globally
+/// increasing id block, so nodes of distinct trees compare by their tree's
+/// finalization order. Invalidates any DocumentIndex built for the tree.
+/// Safe to call repeatedly; must not race with readers of the tree.
 void FinalizeTree(const NodePtr& root);
 
 /// Deep copy of a subtree. The copy is detached and unfinalized; type
@@ -70,7 +103,7 @@ void FinalizeTree(const NodePtr& root);
 NodePtr DeepCopy(const Node& node, bool keep_types);
 
 /// Total order on nodes consistent with document order; nodes from distinct
-/// trees compare by their tree's creation order.
+/// trees compare by their tree's finalization order.
 bool DocOrderLess(const Node* a, const Node* b);
 
 }  // namespace xqc

@@ -1,0 +1,446 @@
+// Axis evaluation: interval numbering, the DocumentIndex, and the sort-free
+// TreeJoin. Every long-axis result is cross-checked against a naive
+// reference implementation that classifies candidate nodes by parent-chain
+// walks and sorts by document order.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "src/xml/axes.h"
+#include "src/xml/doc_index.h"
+#include "src/xml/item.h"
+#include "src/xml/xml_parser.h"
+#include "test_util.h"
+
+namespace xqc {
+namespace {
+
+using testutil::MustParseXml;
+
+// ---- naive reference ------------------------------------------------------
+
+void CollectTree(const NodePtr& n, bool with_attrs, std::vector<NodePtr>* out) {
+  out->push_back(n);
+  if (with_attrs) {
+    for (const NodePtr& a : n->attributes) out->push_back(a);
+  }
+  for (const NodePtr& c : n->children) CollectTree(c, with_attrs, out);
+}
+
+bool IsAncestorOf(const Node* a, const Node* n) {
+  for (const Node* p = n->parent; p != nullptr; p = p->parent) {
+    if (p == a) return true;
+  }
+  return false;
+}
+
+/// Document-order position by structure alone (no interval ids): the
+/// root-to-node child-index path, with attributes ordered directly after
+/// their element.
+std::vector<size_t> PathOf(const Node* n) {
+  std::vector<size_t> path;
+  const Node* cur = n;
+  while (cur->parent != nullptr) {
+    const Node* p = cur->parent;
+    size_t pos = 0;
+    bool found = false;
+    for (size_t i = 0; i < p->attributes.size() && !found; i++) {
+      if (p->attributes[i].get() == cur) {
+        pos = 1 + i;
+        found = true;
+      }
+    }
+    for (size_t i = 0; i < p->children.size() && !found; i++) {
+      if (p->children[i].get() == cur) {
+        pos = 1 + p->attributes.size() + i;
+        found = true;
+      }
+    }
+    EXPECT_TRUE(found) << "broken parent link";
+    path.push_back(pos);
+    cur = p;
+  }
+  path.push_back(0);
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+/// Reference axis semantics defined by parent-chain relationships only.
+bool InAxis(Axis axis, const Node* ctx, const Node* cand) {
+  if (cand == ctx) {
+    return axis == Axis::kSelf || axis == Axis::kDescendantOrSelf ||
+           axis == Axis::kAncestorOrSelf;
+  }
+  bool cand_is_attr = cand->kind == NodeKind::kAttribute;
+  switch (axis) {
+    case Axis::kSelf:
+      return false;
+    case Axis::kChild:
+      return cand->parent == ctx && !cand_is_attr;
+    case Axis::kAttribute:
+      return cand->parent == ctx && cand_is_attr;
+    case Axis::kParent:
+      return ctx->parent == cand;
+    case Axis::kDescendant:
+    case Axis::kDescendantOrSelf:
+      // Attributes are reachable only through the attribute axis.
+      return !cand_is_attr && IsAncestorOf(ctx, cand);
+    case Axis::kAncestor:
+    case Axis::kAncestorOrSelf:
+      return IsAncestorOf(cand, ctx);
+    case Axis::kFollowingSibling:
+      return cand->parent == ctx->parent && ctx->parent != nullptr &&
+             !cand_is_attr && ctx->kind != NodeKind::kAttribute &&
+             PathOf(ctx) < PathOf(cand);
+    case Axis::kPrecedingSibling:
+      return cand->parent == ctx->parent && ctx->parent != nullptr &&
+             !cand_is_attr && ctx->kind != NodeKind::kAttribute &&
+             PathOf(cand) < PathOf(ctx);
+    case Axis::kFollowing:
+      return !cand_is_attr && !IsAncestorOf(ctx, cand) &&
+             !IsAncestorOf(cand, ctx) && PathOf(ctx) < PathOf(cand);
+    case Axis::kPreceding:
+      return !cand_is_attr && !IsAncestorOf(ctx, cand) &&
+             !IsAncestorOf(cand, ctx) && PathOf(cand) < PathOf(ctx);
+  }
+  return false;
+}
+
+Sequence NaiveAxis(const NodePtr& root, const NodePtr& ctx, Axis axis,
+                   const ItemTest& test) {
+  std::vector<NodePtr> all;
+  CollectTree(root, /*with_attrs=*/true, &all);
+  std::vector<NodePtr> hits;
+  for (const NodePtr& cand : all) {
+    if (InAxis(axis, ctx.get(), cand.get()) && test.Matches(*cand, nullptr)) {
+      hits.push_back(cand);
+    }
+  }
+  std::sort(hits.begin(), hits.end(), [](const NodePtr& a, const NodePtr& b) {
+    return PathOf(a.get()) < PathOf(b.get());
+  });
+  Sequence out;
+  for (NodePtr& n : hits) out.push_back(std::move(n));
+  return out;
+}
+
+std::vector<const Node*> Ptrs(const Sequence& s) {
+  std::vector<const Node*> out;
+  for (const Item& it : s) out.push_back(it.node().get());
+  return out;
+}
+
+const std::vector<Axis> kAllAxes = {
+    Axis::kChild,           Axis::kDescendant,       Axis::kAttribute,
+    Axis::kSelf,            Axis::kDescendantOrSelf, Axis::kParent,
+    Axis::kAncestor,        Axis::kAncestorOrSelf,   Axis::kFollowingSibling,
+    Axis::kPrecedingSibling, Axis::kFollowing,       Axis::kPreceding,
+};
+
+std::vector<ItemTest> SomeTests() {
+  return {ItemTest::AnyNode(),
+          ItemTest::Element(),
+          ItemTest::Element(Symbol("b")),
+          ItemTest::Element(Symbol("nosuch")),
+          ItemTest::Attribute(),
+          ItemTest::Attribute(Symbol("x")),
+          ItemTest::OfKind(ItemTest::Kind::kText),
+          ItemTest::OfKind(ItemTest::Kind::kComment),
+          ItemTest::OfKind(ItemTest::Kind::kDocument)};
+}
+
+/// Checks ApplyAxis (walk and indexed) against the reference for every
+/// context node of the tree, every axis, and a spread of node tests.
+void CrossCheckTree(const NodePtr& root) {
+  std::vector<NodePtr> contexts;
+  CollectTree(root, /*with_attrs=*/true, &contexts);
+  for (const NodePtr& ctx : contexts) {
+    for (Axis axis : kAllAxes) {
+      for (const ItemTest& test : SomeTests()) {
+        Sequence expect = NaiveAxis(root, ctx, axis, test);
+        for (bool use_index : {false, true}) {
+          TreeJoinOpts opts;
+          opts.use_index = use_index;
+          Sequence got;
+          ApplyAxis(ctx, axis, test, nullptr, &got, opts);
+          EXPECT_EQ(Ptrs(got), Ptrs(expect))
+              << AxisName(axis) << "::" << test.ToString()
+              << " from node start=" << ctx->start
+              << " use_index=" << use_index;
+        }
+      }
+    }
+  }
+}
+
+NodePtr BuildWideTree(int fanout, int depth, int* counter) {
+  NodePtr e = NewElement(Symbol(depth % 2 == 0 ? "b" : "c"));
+  Append(e, NewAttribute(Symbol("x"), std::to_string((*counter)++)));
+  if (depth > 0) {
+    for (int i = 0; i < fanout; i++) {
+      Append(e, BuildWideTree(fanout, depth - 1, counter));
+      if (i % 2 == 0) Append(e, NewText("t"));
+    }
+  }
+  return e;
+}
+
+// ---- interval invariants --------------------------------------------------
+
+TEST(IntervalTest, NestingAndDisjointness) {
+  NodePtr doc = MustParseXml(
+      "<a p=\"0\"><b x=\"1\"><d/>txt<e y=\"2\"/></b><!--c--><b><?pi z?></b></a>");
+  std::vector<NodePtr> all;
+  CollectTree(doc, true, &all);
+  for (const NodePtr& n : all) {
+    ASSERT_GT(n->start, 0u);
+    EXPECT_LE(n->start, n->end);
+    for (const NodePtr& m : all) {
+      if (m.get() == n.get()) continue;
+      bool anc = IsAncestorOf(n.get(), m.get());
+      EXPECT_EQ(n->ContainsStrict(*m), anc)
+          << "interval containment must equal ancestorship";
+    }
+  }
+  // Preorder ids are exactly the CollectTree visit order.
+  for (size_t i = 1; i < all.size(); i++) {
+    EXPECT_LT(all[i - 1]->start, all[i]->start);
+  }
+  EXPECT_EQ(doc->SubtreeSize(), all.size());
+}
+
+TEST(IntervalTest, DistinctTreesUseDisjointBlocks) {
+  NodePtr d1 = MustParseXml("<a><b/><b/></a>");
+  NodePtr d2 = MustParseXml("<a><b/><b/></a>");
+  // Blocks are contiguous and ordered by finalization, so doc-order
+  // comparison works across trees.
+  EXPECT_LT(d1->end, d2->start);
+  EXPECT_TRUE(DocOrderLess(d1->children[0].get(), d2->children[0].get()));
+  EXPECT_FALSE(d1->ContainsStrict(*d2->children[0]));
+}
+
+TEST(IntervalTest, RefinalizeRenumbers) {
+  NodePtr doc = MustParseXml("<a><b/></a>");
+  uint64_t first = doc->start;
+  FinalizeTree(doc);
+  EXPECT_GT(doc->start, first) << "re-finalizing draws a fresh id block";
+  EXPECT_EQ(doc->SubtreeSize(), 3u);
+}
+
+// ---- cross-checks ---------------------------------------------------------
+
+TEST(AxesCrossCheckTest, SmallDocument) {
+  CrossCheckTree(MustParseXml(
+      "<a p=\"0\" q=\"1\"><b x=\"1\">one<d/><e y=\"2\">two</e></b>"
+      "<!--c--><b><d><d/></d><?pi z?></b>tail</a>"));
+}
+
+TEST(AxesCrossCheckTest, DeepChain) {
+  std::string xml;
+  for (int i = 0; i < 30; i++) xml += i % 2 == 0 ? "<b u=\"1\">" : "<c>";
+  xml += "leaf";
+  for (int i = 29; i >= 0; i--) xml += i % 2 == 0 ? "</b>" : "</c>";
+  CrossCheckTree(MustParseXml(xml));
+}
+
+TEST(AxesCrossCheckTest, IndexedTreeAboveThreshold) {
+  // Large enough that IndexFor builds the DocumentIndex, so the indexed
+  // descendant/following/preceding paths execute for real.
+  int counter = 0;
+  NodePtr doc = NewDocument();
+  Append(doc, BuildWideTree(3, 3, &counter));
+  FinalizeTree(doc);
+  ASSERT_GE(doc->SubtreeSize(), kMinIndexedTreeSize);
+  CrossCheckTree(doc);
+  EXPECT_NE(GetDocumentIndex(doc.get()), nullptr)
+      << "cross-check should have triggered the lazy index build";
+}
+
+TEST(AxesCrossCheckTest, ConstructedTreeAndRenumbering) {
+  // Build by hand, finalize, mutate, re-finalize: axes must follow the
+  // fresh numbering and the stale index must be dropped.
+  NodePtr root = NewElement(Symbol("r"));
+  int counter = 0;
+  Append(root, BuildWideTree(2, 2, &counter));
+  Append(root, NewComment("note"));
+  FinalizeTree(root);
+  CrossCheckTree(root);
+
+  Append(root, BuildWideTree(2, 3, &counter));
+  FinalizeTree(root);
+  EXPECT_EQ(GetDocumentIndex(root.get()), nullptr)
+      << "FinalizeTree must invalidate the index";
+  CrossCheckTree(root);
+}
+
+// ---- DocumentIndex --------------------------------------------------------
+
+TEST(DocIndexTest, PartitionsAreDocOrdered) {
+  int counter = 0;
+  NodePtr doc = NewDocument();
+  Append(doc, BuildWideTree(3, 3, &counter));
+  FinalizeTree(doc);
+  const DocumentIndex* idx = GetOrBuildDocumentIndex(doc.get());
+  ASSERT_NE(idx, nullptr);
+  // counter == #attrs; the root itself is excluded (it is never an indexed
+  // axis result, and indexing it would cycle the ownership: root owns idx).
+  EXPECT_EQ(idx->size(), doc->SubtreeSize() - counter - 1)
+      << "all_ holds every non-attribute node except the root";
+  for (const NodePtr& n : idx->AllNodes()) {
+    EXPECT_NE(n.get(), doc.get());
+  }
+  auto check_sorted = [](const std::vector<NodePtr>& v) {
+    for (size_t i = 1; i < v.size(); i++) {
+      EXPECT_LT(v[i - 1]->start, v[i]->start);
+    }
+  };
+  check_sorted(idx->AllNodes());
+  check_sorted(idx->Elements());
+  check_sorted(idx->Texts());
+  ASSERT_NE(idx->ElementsByName(Symbol("b")), nullptr);
+  check_sorted(*idx->ElementsByName(Symbol("b")));
+  EXPECT_EQ(idx->ElementsByName(Symbol("nosuch")), nullptr);
+  // Second call returns the cached instance.
+  EXPECT_EQ(GetOrBuildDocumentIndex(doc.get()), idx);
+  EXPECT_EQ(GetDocumentIndex(doc.get()), idx);
+}
+
+TEST(DocIndexTest, IndexDoesNotKeepItsTreeAlive) {
+  // Regression: the index lives on the root, so a root entry in its tables
+  // would be a shared_ptr cycle and the whole tree would leak.
+  int counter = 0;
+  NodePtr doc = NewDocument();
+  Append(doc, BuildWideTree(3, 3, &counter));
+  FinalizeTree(doc);
+  ASSERT_NE(GetOrBuildDocumentIndex(doc.get()), nullptr);
+  std::weak_ptr<Node> w = doc;
+  doc.reset();
+  EXPECT_TRUE(w.expired());
+}
+
+TEST(DocIndexTest, LowerBoundByStart) {
+  int counter = 0;
+  NodePtr doc = NewDocument();
+  Append(doc, BuildWideTree(2, 2, &counter));
+  FinalizeTree(doc);
+  const DocumentIndex* idx = GetOrBuildDocumentIndex(doc.get());
+  const std::vector<NodePtr>& all = idx->AllNodes();
+  // For every node: [LowerBound(start), LowerBound(end)) is exactly its
+  // non-attribute strict-descendant range.
+  for (const NodePtr& n : all) {
+    auto first = LowerBoundByStart(all, n->start);
+    auto last = LowerBoundByStart(all, n->end);
+    for (auto it = first; it != last; ++it) {
+      EXPECT_TRUE(n->ContainsStrict(**it));
+    }
+    size_t expected = 0;
+    for (const NodePtr& m : all) {
+      if (n->ContainsStrict(*m)) expected++;
+    }
+    EXPECT_EQ(static_cast<size_t>(last - first), expected);
+  }
+}
+
+// ---- TreeJoin: multi-node inputs and the DDO discharge chain -------------
+
+TEST(TreeJoinTest, MultiDocumentInputStaysSorted) {
+  NodePtr d1 = MustParseXml("<a><b/><b/></a>");
+  NodePtr d2 = MustParseXml("<a><b/></a>");
+  Sequence input{Item(d1->children[0]), Item(d2->children[0])};
+  TreeJoinStats stats;
+  auto r = TreeJoin(input, Axis::kChild, ItemTest::Element(Symbol("b")),
+                    nullptr, {}, &stats);
+  ASSERT_OK(r);
+  ASSERT_EQ(r.value().size(), 3u);
+  EXPECT_EQ(r.value()[0].node(), d1->children[0]->children[0]);
+  EXPECT_EQ(r.value()[2].node(), d2->children[0]->children[0]);
+  // Disjoint id blocks in finalization order: the concatenation is already
+  // sorted, so the linear verify elides the sort.
+  EXPECT_EQ(stats.ddo_skip_verified, 1);
+  EXPECT_EQ(stats.ddo_sorts, 0);
+}
+
+TEST(TreeJoinTest, OverlappingInputNeedsSort) {
+  NodePtr doc = MustParseXml("<a><b><c/></b><b><c/></b></a>");
+  const NodePtr& a = doc->children[0];
+  // parent:: over two cousins duplicates nothing, but ancestor:: over
+  // {second b, first c} emits out-of-order output that must be sorted.
+  Sequence input{Item(a->children[1]), Item(a->children[0]->children[0])};
+  TreeJoinStats stats;
+  auto r = TreeJoin(input, Axis::kAncestorOrSelf, ItemTest::AnyNode(), nullptr,
+                    {}, &stats);
+  ASSERT_OK(r);
+  EXPECT_EQ(stats.ddo_sorts, 1);
+  // doc, a, first b, c, second b — duplicates (doc, a) removed.
+  ASSERT_EQ(r.value().size(), 5u);
+  EXPECT_EQ(r.value()[0].node(), doc);
+  for (size_t i = 1; i < r.value().size(); i++) {
+    EXPECT_TRUE(DocOrderLess(r.value()[i - 1].node().get(),
+                             r.value()[i].node().get()));
+  }
+}
+
+TEST(TreeJoinTest, StaticSkipAndDedupModes) {
+  NodePtr doc = MustParseXml("<a><b><c/><c/></b><b><c/></b></a>");
+  const NodePtr& a = doc->children[0];
+  auto cs_r = TreeJoin({Item(a)}, Axis::kDescendant,
+                       ItemTest::Element(Symbol("c")), nullptr);
+  ASSERT_OK(cs_r);
+  Sequence cs = cs_r.take();
+  ASSERT_EQ(cs.size(), 3u);
+
+  // kSkip: trust the static annotation, no verify pass.
+  TreeJoinStats stats;
+  TreeJoinOpts skip;
+  skip.ddo = DdoMode::kSkip;
+  auto r = TreeJoin(cs, Axis::kSelf, ItemTest::AnyNode(), nullptr, skip,
+                    &stats);
+  ASSERT_OK(r);
+  EXPECT_EQ(stats.ddo_skip_static, 1);
+  EXPECT_EQ(r.value().size(), 3u);
+
+  // kDedup: parent over same-depth input — ordered, adjacent duplicates.
+  stats = {};
+  TreeJoinOpts dedup;
+  dedup.ddo = DdoMode::kDedup;
+  r = TreeJoin(cs, Axis::kParent, ItemTest::AnyNode(), nullptr, dedup, &stats);
+  ASSERT_OK(r);
+  EXPECT_EQ(stats.ddo_dedups, 1);
+  EXPECT_EQ(stats.ddo_sorts, 0);
+  ASSERT_EQ(r.value().size(), 2u);
+  EXPECT_EQ(r.value()[0].node(), a->children[0]);
+  EXPECT_EQ(r.value()[1].node(), a->children[1]);
+
+  // force_sort overrides everything.
+  stats = {};
+  TreeJoinOpts forced;
+  forced.ddo = DdoMode::kSkip;
+  forced.force_sort = true;
+  r = TreeJoin(cs, Axis::kSelf, ItemTest::AnyNode(), nullptr, forced, &stats);
+  ASSERT_OK(r);
+  EXPECT_EQ(stats.ddo_sorts, 1);
+  EXPECT_EQ(r.value().size(), 3u);
+}
+
+TEST(TreeJoinTest, SingletonInputSkipsWithoutAnnotation) {
+  NodePtr doc = MustParseXml("<a><b/><b/></a>");
+  TreeJoinStats stats;
+  auto r = TreeJoin({Item(doc)}, Axis::kDescendant, ItemTest::AnyNode(),
+                    nullptr, {}, &stats);
+  ASSERT_OK(r);
+  EXPECT_EQ(stats.ddo_skip_singleton, 1);
+  EXPECT_EQ(stats.ddo_sorts, 0);
+  EXPECT_EQ(r.value().size(), 3u);
+}
+
+TEST(TreeJoinTest, AtomicInputIsTypeError) {
+  Sequence input{Item(AtomicValue::Integer(1))};
+  auto r = TreeJoin(input, Axis::kChild, ItemTest::AnyNode(), nullptr);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), "XPTY0004");
+}
+
+}  // namespace
+}  // namespace xqc

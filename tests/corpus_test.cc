@@ -344,6 +344,15 @@ TEST_P(CorpusTest, AllConfigsMatchExpected) {
       {true, true, JoinImpl::kNestedLoop, ExecMode::kMaterialize},
       {true, true, JoinImpl::kHash, ExecMode::kMaterialize},
       {true, true, JoinImpl::kSort, ExecMode::kMaterialize},
+      // Force-sort oracle for the DDO elision machinery, both exec modes:
+      // always sorting TreeJoin output must reproduce every entry exactly.
+      {true, true, JoinImpl::kHash, ExecMode::kStreaming,
+       /*force_sort=*/true},
+      {true, true, JoinImpl::kHash, ExecMode::kMaterialize,
+       /*force_sort=*/true},
+      // And so must running without structural indexes.
+      {true, true, JoinImpl::kHash, ExecMode::kStreaming,
+       /*force_sort=*/false, /*use_doc_index=*/false},
   };
   for (size_t i = 0; i < std::size(kConfigs); i++) {
     DynamicContext ctx;

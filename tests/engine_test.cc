@@ -307,6 +307,53 @@ TEST(EngineApi, ExecStatsCountJoinAlgorithms) {
   }
 }
 
+TEST(EngineApi, SortFreePathsSkipDistinctDocOrder) {
+  Engine engine;
+  DynamicContext ctx;
+  std::string xml = "<site><people>";
+  for (int i = 0; i < 40; i++) {
+    xml += "<person id=\"p" + std::to_string(i) +
+           "\"><name>n</name><age>3</age></person>";
+  }
+  xml += "</people></site>";
+  ctx.RegisterDocument("d.xml", MustParseXml(xml));
+
+  // Child/attribute-only path from a statically known singleton (fn:doc):
+  // every step is annotated kSkip and no DistinctDocOrder sort runs.
+  {
+    Result<PreparedQuery> q =
+        engine.Prepare("doc(\"d.xml\")/site/people/person/@id");
+    ASSERT_OK(q);
+    ASSERT_OK(q.value().ExecuteToString(&ctx));
+    ExecStats s = q.value().last_exec_stats();
+    EXPECT_EQ(s.tree_join.ddo_sorts, 0);
+    EXPECT_GT(s.tree_join.ddo_skip_static, 0);
+  }
+  // Descendant step over an indexed tree: sort-free and index-served.
+  {
+    Result<PreparedQuery> q = engine.Prepare("count(doc(\"d.xml\")//person)");
+    ASSERT_OK(q);
+    Result<std::string> r = q.value().ExecuteToString(&ctx);
+    ASSERT_OK(r);
+    EXPECT_EQ(r.value(), "40");
+    ExecStats s = q.value().last_exec_stats();
+    EXPECT_EQ(s.tree_join.ddo_sorts, 0);
+    EXPECT_GT(s.tree_join.index_lookups, 0);
+  }
+  // force_sort baseline: identical answer, sorts reinstated.
+  {
+    EngineOptions opts;
+    opts.force_sort = true;
+    Result<PreparedQuery> q =
+        engine.Prepare("count(doc(\"d.xml\")//person)", opts);
+    ASSERT_OK(q);
+    Result<std::string> r = q.value().ExecuteToString(&ctx);
+    ASSERT_OK(r);
+    EXPECT_EQ(r.value(), "40");
+    EXPECT_GT(q.value().last_exec_stats().tree_join.ddo_sorts, 0);
+  }
+}
+
 TEST(EngineApi, OneShotExecute) {
   Engine engine;
   DynamicContext ctx;

@@ -268,6 +268,15 @@ TEST_P(PropertyTest, AllConfigurationsAgree) {
       {true, true, JoinImpl::kNestedLoop},
       {true, true, JoinImpl::kHash},
       {true, true, JoinImpl::kSort},
+      // Sort-elision oracle: forcing every TreeJoin through the full
+      // DistinctDocOrder sort must not change a byte, in either exec mode;
+      // nor may disabling the structural indexes.
+      {true, true, JoinImpl::kHash, ExecMode::kStreaming,
+       /*force_sort=*/true},
+      {true, true, JoinImpl::kHash, ExecMode::kMaterialize,
+       /*force_sort=*/true},
+      {true, true, JoinImpl::kHash, ExecMode::kMaterialize,
+       /*force_sort=*/false, /*use_doc_index=*/false},
   };
   int errored = 0;
   const int kQueriesPerSeed = 8;

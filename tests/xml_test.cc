@@ -29,17 +29,25 @@ TEST(XmlParserTest, SimpleDocument) {
 TEST(XmlParserTest, DocumentOrderAssigned) {
   NodePtr doc = MustParseXml("<a><b/><c><d/></c></a>");
   const Node& a = *doc->children[0];
-  EXPECT_LT(doc->order, a.order);
-  EXPECT_LT(a.order, a.children[0]->order);
-  EXPECT_LT(a.children[0]->order, a.children[1]->order);
-  EXPECT_LT(a.children[1]->order, a.children[1]->children[0]->order);
+  EXPECT_LT(doc->start, a.start);
+  EXPECT_LT(a.start, a.children[0]->start);
+  EXPECT_LT(a.children[0]->start, a.children[1]->start);
+  EXPECT_LT(a.children[1]->start, a.children[1]->children[0]->start);
+  // Interval nesting: every node's (start, end] contains its subtree.
+  EXPECT_EQ(doc->end, a.end);
+  EXPECT_TRUE(doc->ContainsStrict(*a.children[1]->children[0]));
+  EXPECT_TRUE(a.children[1]->ContainsStrict(*a.children[1]->children[0]));
+  EXPECT_FALSE(a.children[0]->ContainsStrict(*a.children[1]));
+  EXPECT_EQ(a.children[0]->start, a.children[0]->end);  // leaf
 }
 
 TEST(XmlParserTest, AttributesOrderedBeforeChildren) {
   NodePtr doc = MustParseXml("<a x=\"1\"><b/></a>");
   const Node& a = *doc->children[0];
-  EXPECT_LT(a.order, a.attributes[0]->order);
-  EXPECT_LT(a.attributes[0]->order, a.children[0]->order);
+  EXPECT_LT(a.start, a.attributes[0]->start);
+  EXPECT_LT(a.attributes[0]->start, a.children[0]->start);
+  // Attributes live inside their element's interval.
+  EXPECT_TRUE(a.ContainsStrict(*a.attributes[0]));
 }
 
 TEST(XmlParserTest, EntitiesAndCdata) {
