@@ -17,6 +17,11 @@
 //   --project            statically project bound documents (TreeProject)
 //   --force-sort         always sort TreeJoin output (DDO-elision baseline)
 //   --no-doc-index       disable per-document structural indexes
+//   --no-doc-store       bypass the shared document store (fn:doc parses
+//                        directly from disk each execution)
+//   --doc-store-mb <n>   document store byte budget in MiB (default 256)
+//   --invalidate <uri>   drop <uri> from the document store before running
+//                        (cache entry, quarantine verdict, negative cache)
 //   --stats              print optimizer/executor statistics
 //   --timeout-ms <n>         abort with XQC0001 after n milliseconds
 //   --max-mem-mb <n>         memory budget in MiB (XQC0003 when exceeded)
@@ -33,6 +38,7 @@
 
 #include "src/engine/engine.h"
 #include "src/service/query_service.h"
+#include "src/store/document_store.h"
 #include "src/xml/project.h"
 #include "src/xml/xml_parser.h"
 
@@ -49,6 +55,7 @@ int main(int argc, char** argv) {
   std::string query;
   bool explain = false, explain_naive = false, stats = false, project = false;
   int threads = 0, repeat = 0;
+  std::vector<std::string> invalidate_uris;
   std::vector<std::pair<xqc::Symbol, xqc::NodePtr>> docs;
   std::vector<std::pair<std::string, xqc::NodePtr>> doc_paths;
   xqc::EngineOptions options;
@@ -100,6 +107,12 @@ int main(int argc, char** argv) {
       options.force_sort = true;
     } else if (arg == "--no-doc-index") {
       options.use_doc_index = false;
+    } else if (arg == "--no-doc-store") {
+      options.use_doc_store = false;
+    } else if (arg == "--invalidate") {
+      const char* v = next();
+      if (v == nullptr) return Fail("--invalidate needs a URI");
+      invalidate_uris.emplace_back(v);
     } else if (arg == "--join") {
       const char* v = next();
       if (v == nullptr) return Fail("--join needs nl|hash|sort");
@@ -117,7 +130,8 @@ int main(int argc, char** argv) {
       else return Fail("unknown exec mode: " + e);
     } else if (arg == "--threads" || arg == "--repeat" ||
                arg == "--timeout-ms" || arg == "--max-mem-mb" ||
-               arg == "--max-output-items" || arg == "--max-steps") {
+               arg == "--max-output-items" || arg == "--max-steps" ||
+               arg == "--doc-store-mb") {
       const char* v = next();
       if (v == nullptr) return Fail(arg + " needs a number");
       char* end = nullptr;
@@ -130,6 +144,8 @@ int main(int argc, char** argv) {
         options.limits.max_memory_bytes = n * (1 << 20);
       else if (arg == "--max-output-items") options.limits.max_output_items = n;
       else if (arg == "--max-steps") options.limits.max_eval_steps = n;
+      else if (arg == "--doc-store-mb")
+        xqc::DocumentStore::Global()->set_max_bytes(n * (1 << 20));
       else if (arg == "--threads") threads = static_cast<int>(n);
       else repeat = static_cast<int>(n);
     } else {
@@ -139,6 +155,13 @@ int main(int argc, char** argv) {
   if (query.empty()) {
     return Fail("no query (use -q or --query-file); try:\n"
                 "  xqc_shell -q 'for $x in (1,2,3) return $x * 2'");
+  }
+  for (const std::string& uri : invalidate_uris) {
+    bool dropped = xqc::DocumentStore::Global()->Invalidate(uri);
+    if (stats) {
+      std::cerr << "invalidate " << uri << ": "
+                << (dropped ? "dropped" : "not cached") << "\n";
+    }
   }
 
   xqc::Engine engine;
@@ -240,7 +263,23 @@ int main(int argc, char** argv) {
               << " skip-verified=" << es.tree_join.ddo_skip_verified
               << " index-lookups=" << es.tree_join.index_lookups << "\n"
               << "guard: checks=" << es.guard_checks
-              << " peak-memory-bytes=" << es.peak_memory_bytes << "\n";
+              << " peak-memory-bytes=" << es.peak_memory_bytes << "\n"
+              << "doc-store: hits=" << es.doc_store.hits
+              << " misses=" << es.doc_store.misses
+              << " evictions=" << es.doc_store.evictions
+              << " retries=" << es.doc_store.retries
+              << " quarantine-hits=" << es.doc_store.quarantine_hits
+              << " negative-hits=" << es.doc_store.negative_hits
+              << " stale-reloads=" << es.doc_store.stale_reloads
+              << " singleflight-waits=" << es.doc_store.singleflight_waits
+              << " uncached-oversize=" << es.doc_store.uncached_oversize
+              << "\n";
+    xqc::DocumentStore::Counters sc = xqc::DocumentStore::Global()->counters();
+    std::cerr << "doc-store-global: entries=" << sc.entries
+              << " bytes=" << sc.bytes_cached
+              << " quarantined=" << sc.quarantined
+              << " hits=" << sc.totals.hits << " misses=" << sc.totals.misses
+              << " evictions=" << sc.totals.evictions << "\n";
   }
   return 0;
 }

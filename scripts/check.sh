@@ -26,6 +26,16 @@ if [[ "${1:-}" != "--sanitize-only" ]]; then
   # (benchmark 1.7.x: --benchmark_min_time takes seconds, not "1x".)
   XQC_SCALE="${XQC_BENCH_SMOKE_SCALE:-0.1}" ./build/bench/bench_axes \
     --benchmark_min_time=0.01 >/dev/null
+
+  echo "=== document-store fault matrix (IoFaultInjector modes) ==="
+  # The FaultMatrix suite asserts mode-specific outcomes (recovery within
+  # the retry budget, quarantine on truncation, deadline cuts) under each
+  # injected I/O fault; sweep every mode the injector supports.
+  for mode in none fail-open short-read slow-read flaky; do
+    echo "--- XQC_IO_FAULT_MODE=$mode ---"
+    XQC_IO_FAULT_MODE="$mode" ./build/tests/store_test \
+      --gtest_filter='FaultMatrix*' --gtest_brief=1
+  done
 fi
 
 echo "=== sanitized build + tests (build-asan/, address+undefined) ==="
@@ -39,16 +49,17 @@ cmake --build build-asan -j "$JOBS"
 echo "=== thread-sanitized build + tests (build-tsan/) ==="
 # TSan can't combine with ASan, so it gets its own tree. Run the suites
 # that exercise real parallelism (concurrency_test, the concurrent
-# property oracle) plus the guard and streaming suites whose machinery
-# (cancellation tokens, ScopedGuard, ResultStream) the threaded paths
-# lean on.
+# property oracle, the DocumentStore singleflight/eviction/quarantine
+# stress in store_test) plus the guard and streaming suites whose
+# machinery (cancellation tokens, ScopedGuard, ResultStream) the threaded
+# paths lean on.
 cmake -B build-tsan -S . -DXQC_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "$JOBS" --target \
-  concurrency_test property_test guard_test streaming_test
+  concurrency_test property_test guard_test streaming_test store_test
 (
   ulimit -s 262144 2>/dev/null || echo "warning: could not raise stack limit"
   cd build-tsan && ctest --output-on-failure -j "$JOBS" \
-    -R 'concurrency_test|property_test|guard_test|streaming_test'
+    -R 'concurrency_test|property_test|guard_test|streaming_test|store_test'
 )
 
 echo "=== all checks passed ==="

@@ -51,6 +51,14 @@ inline constexpr const char* kGuardStepsCode = "XQC0006";
 /// service is shutting down. Kept here so every XQC00xx code is listed in
 /// one place.
 inline constexpr const char* kServiceOverloadedCode = "XQC0007";
+/// Issued by DocumentStore (src/store): a transient I/O failure persisted
+/// through the whole retry budget (StatusKind::kIOError).
+inline constexpr const char* kStoreRetriesExhaustedCode = "XQC0008";
+/// Issued by DocumentStore: the document is quarantined — its cached
+/// parse/validation failure is replayed without re-reading or re-parsing,
+/// until the file changes or Invalidate(uri) is called. The status kind
+/// mirrors the original failure's kind.
+inline constexpr const char* kStoreQuarantinedCode = "XQC0009";
 
 /// Per-query resource limits. 0 means unlimited.
 struct GuardLimits {
@@ -163,6 +171,17 @@ class QueryGuard {
   Status AccountOutput(int64_t n);
 
   void set_fault_injector(const GuardFaultInjector& fi) { injector_ = fi; }
+
+  /// Milliseconds left until the armed deadline (clamped at 0), or -1 when
+  /// no deadline is set. Lets waiting/retrying layers (DocumentStore) bound
+  /// their sleeps by the caller's remaining budget.
+  int64_t remaining_deadline_ms() const {
+    if (!has_deadline_) return -1;
+    auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                    deadline_ - std::chrono::steady_clock::now())
+                    .count();
+    return left > 0 ? left : 0;
+  }
 
   const GuardLimits& limits() const { return limits_; }
   /// Slow-path checks performed (ExecStats::guard_checks).

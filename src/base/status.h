@@ -51,6 +51,13 @@ class Status {
     return Status(StatusKind::kResourceExhausted, std::move(code),
                   std::move(msg));
   }
+  /// A status with an explicit kind and code, for layers that classify
+  /// errors beyond the canned factories (e.g. the document store's
+  /// XQC0008 retry-exhaustion and XQC0009 quarantine-replay taxonomy).
+  static Status WithCode(StatusKind kind, std::string code, std::string msg) {
+    assert(kind != StatusKind::kOk && "WithCode needs a non-OK kind");
+    return Status(kind, std::move(code), std::move(msg));
+  }
 
   bool ok() const { return kind_ == StatusKind::kOk; }
   StatusKind kind() const { return kind_; }

@@ -32,7 +32,7 @@ Result<Sequence> PreparedQuery::Execute(
   // the context has no guard yet, so a nested Execute (e.g. the buffered
   // ExecuteStream fallback below) charges the outermost query's budget.
   QueryGuard local(limits, std::move(cancel), injector);
-  ScopedGuard scope(ctx, &local);
+  ScopedGuard scope(ctx, &local, options_.use_doc_store);
   QueryGuard* guard = ctx->guard();
   // Stats are accumulated in a local and published once at the end, so
   // concurrent Execute calls on a shared PreparedQuery never race on the
@@ -50,6 +50,7 @@ Result<Sequence> PreparedQuery::Execute(
   }();
   stats.guard_checks = guard->checks();
   stats.peak_memory_bytes = guard->peak_memory_bytes();
+  stats.doc_store = ctx->doc_store_stats();
   {
     std::lock_guard<std::mutex> lock(exec_stats_->mu);
     exec_stats_->stats = stats;
@@ -67,14 +68,16 @@ struct ResultStream::Impl {
        const EngineOptions& options)
       : query(std::move(q)),
         guard(options.limits, options.cancel, options.fault_injector),
-        scope(ctx, &guard),
+        scope(ctx, &guard, options.use_doc_store),
         active(ctx->guard()),
+        context(ctx),
         eval(query.get(), ctx, ToExecOptions(options)) {}
 
   std::shared_ptr<CompiledQuery> query;  // keeps the plan alive
   QueryGuard guard;                      // lives as long as the stream
   ScopedGuard scope;                     // installs guard unless one exists
   QueryGuard* active;                    // the guard actually charged
+  DynamicContext* context;               // for per-execution store stats
   PlanEvaluator eval;
   bool streaming = false;
   TupleIteratorPtr iter;                 // streaming: the top tuple stream
@@ -126,6 +129,7 @@ const ExecStats& ResultStream::stats() const {
   im.stats_cache = im.eval.stats();
   im.stats_cache.guard_checks = im.active->checks();
   im.stats_cache.peak_memory_bytes = im.active->peak_memory_bytes();
+  im.stats_cache.doc_store = im.context->doc_store_stats();
   return im.stats_cache;
 }
 

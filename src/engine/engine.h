@@ -62,6 +62,10 @@ struct EngineOptions {
   /// Lazily build and use per-document structural indexes (doc_index.h)
   /// for descendant / following / preceding axis steps.
   bool use_doc_index = true;
+  /// Resolve fn:doc through the shared DocumentStore (bounded LRU cache,
+  /// singleflight loading, retry, quarantine — src/store). Off = oracle
+  /// ablation: every execution parses documents directly from disk.
+  bool use_doc_store = true;
   /// Resource limits enforced during Execute / ExecuteStream (0 fields are
   /// unlimited). Trips surface as Status::ResourceExhausted with the
   /// XQC00xx codes in src/base/guard.h.

@@ -166,7 +166,9 @@ Result<Sequence> Interpreter::Eval(const Expr& e, const EnvPtr& env) {
       if (!LookupEnv(env, Symbol("fs:dot"), &dot)) {
         return Status::XQueryError("XPDY0002", "axis step with no context item");
       }
-      return TreeJoin(dot, e.axis, e.node_test, ctx_->schema());
+      TreeJoinOpts tj;
+      tj.guard = ctx_->guard();
+      return TreeJoin(dot, e.axis, e.node_test, ctx_->schema(), tj);
     }
     case ExprKind::kFunctionCall:
       return EvalCall(e, env);

@@ -4,11 +4,26 @@
 
 namespace xqc {
 
-Result<NodePtr> DynamicContext::ResolveDocument(const std::string& uri) {
+Result<NodePtr> DynamicContext::ResolveDocument(const std::string& raw_uri) {
+  const std::string uri = NormalizeDocUri(raw_uri);
   auto it = documents_.find(uri);
   if (it != documents_.end()) return it->second;
   auto cached = exec_doc_cache_.find(uri);
   if (cached != exec_doc_cache_.end()) return cached->second;
+
+  DocumentStore* store = document_store();
+  if (store != nullptr) {
+    DocumentStore::LoadOptions load;
+    load.guard = guard_;
+    load.stats = &doc_store_stats_;
+    bool performed_parse = false;
+    load.performed_parse = &performed_parse;
+    XQC_ASSIGN_OR_RETURN(NodePtr doc, store->Load(uri, load));
+    if (performed_parse) doc_parses_++;
+    exec_doc_cache_[uri] = doc;
+    return doc;
+  }
+
   XmlParseOptions options;
   options.guard = guard_;
   XQC_ASSIGN_OR_RETURN(NodePtr doc, ParseXmlFile(uri, options));
@@ -21,7 +36,9 @@ Result<bool> DynamicContext::DocumentAvailable(const std::string& uri) {
   Result<NodePtr> doc = ResolveDocument(uri);
   if (doc.ok()) return true;
   // A guard trip (deadline/cancellation mid-parse) is a query failure, not
-  // "document unavailable".
+  // "document unavailable". Store-layer verdicts — quarantine replays,
+  // negative-cache hits, retry exhaustion — all mean the document cannot be
+  // retrieved right now, which per F&O is `false`.
   if (doc.status().kind() == StatusKind::kResourceExhausted) {
     return doc.status();
   }

@@ -9,7 +9,8 @@
 // construction, so many contexts on many threads may reference the same
 // ones (this is how QueryService serves one document to hundreds of
 // concurrent queries). Register/bind everything before sharing the
-// payloads; never mutate a Node tree that another context can see.
+// payloads; never mutate a Node tree that another context can see. The
+// DocumentStore a context resolves through is itself thread-safe.
 #ifndef XQC_RUNTIME_CONTEXT_H_
 #define XQC_RUNTIME_CONTEXT_H_
 
@@ -18,6 +19,7 @@
 
 #include "src/base/guard.h"
 #include "src/base/status.h"
+#include "src/store/document_store.h"
 #include "src/types/schema.h"
 #include "src/xml/item.h"
 
@@ -26,17 +28,24 @@ namespace xqc {
 class DynamicContext {
  public:
   /// Registers an already-parsed document under a URI (fn:doc / Parse
-  /// resolve here first, then fall back to the filesystem). The registry is
-  /// caller-managed and persists across executions.
+  /// resolve here first, before the store and the filesystem). The URI is
+  /// normalized (NormalizeDocUri) so "a.xml" and "./a.xml" are one
+  /// registration. The registry is caller-managed and persists across
+  /// executions.
   void RegisterDocument(const std::string& uri, NodePtr doc) {
-    documents_[uri] = std::move(doc);
+    documents_[NormalizeDocUri(uri)] = std::move(doc);
   }
 
-  /// Resolves a document: registry first, then the per-execution parse
-  /// cache, then the filesystem. A document parsed from disk is cached for
-  /// the rest of the current execution — repeated fn:doc("f.xml") calls in
-  /// one query parse (and charge the guard) once — and is dropped when the
+  /// Resolves a document through the chain:
+  ///   registry → per-execution cache → DocumentStore → direct parse.
+  /// The per-execution cache pins the first tree seen for a URI until the
+  /// execution ends, so one query observes a stable snapshot even if the
+  /// store hot-reloads the file mid-query; it is dropped when the
   /// execution ends, so a long-lived context does not serve stale files.
+  /// The store layer (shared across executions and threads) adds bounded
+  /// LRU caching, singleflight loading, retry, and quarantine — see
+  /// src/store/document_store.h. With the store disabled (EngineOptions
+  /// ablation) documents are parsed directly from disk as before.
   Result<NodePtr> ResolveDocument(const std::string& uri);
 
   /// fn:doc-available: whether ResolveDocument would succeed. An
@@ -46,9 +55,26 @@ class DynamicContext {
   /// doc-available followed by doc costs one parse.
   Result<bool> DocumentAvailable(const std::string& uri);
 
-  /// Number of filesystem parses performed by ResolveDocument (registry and
-  /// execution-cache hits don't count). Observable by tests.
+  /// Number of filesystem parses performed on behalf of this context
+  /// (registry, execution-cache, and store-cache hits don't count; a
+  /// singleflight wait served by another query's parse doesn't either).
+  /// Observable by tests.
   int64_t doc_parses() const { return doc_parses_; }
+
+  /// The DocumentStore used by ResolveDocument, or nullptr when disabled.
+  /// Defaults to the process-wide store; QueryService and tests may point
+  /// a context at a private store.
+  void set_document_store(DocumentStore* store) { store_ = store; }
+  DocumentStore* document_store() const {
+    return store_enabled_ ? store_ : nullptr;
+  }
+  /// Ablation toggle (EngineOptions::use_doc_store): with the store off,
+  /// resolution falls back to direct per-execution parsing.
+  void set_store_enabled(bool enabled) { store_enabled_ = enabled; }
+
+  /// Per-execution DocumentStore counters, reset by BeginExecution and
+  /// merged into ExecStats::doc_store by the engine.
+  const DocStoreStats& doc_store_stats() const { return doc_store_stats_; }
 
   void set_schema(const Schema* schema) { schema_ = schema; }
   const Schema* schema() const { return schema_; }
@@ -72,8 +98,11 @@ class DynamicContext {
 
   /// Marks the start/end of one top-level execution (called by ScopedGuard
   /// when it installs/uninstalls the outermost guard): resets the
-  /// per-execution document cache.
-  void BeginExecution() { exec_doc_cache_.clear(); }
+  /// per-execution document cache and store counters.
+  void BeginExecution() {
+    exec_doc_cache_.clear();
+    doc_store_stats_ = DocStoreStats{};
+  }
   void EndExecution() { exec_doc_cache_.clear(); }
 
  private:
@@ -82,24 +111,30 @@ class DynamicContext {
   std::unordered_map<Symbol, Sequence> variables_;
   const Schema* schema_ = nullptr;
   QueryGuard* guard_ = nullptr;
+  DocumentStore* store_ = DocumentStore::Global();
+  bool store_enabled_ = true;
+  DocStoreStats doc_store_stats_;
   int64_t doc_parses_ = 0;
 };
 
 /// Installs `guard` on `ctx` for the current scope — unless the context
 /// already has one, in which case the outer guard stays in charge (nested
-/// executions share the outermost query's budget and its document cache).
+/// executions share the outermost query's budget, its document cache, and
+/// its store setting).
 class ScopedGuard {
  public:
-  ScopedGuard(DynamicContext* ctx, QueryGuard* guard)
+  ScopedGuard(DynamicContext* ctx, QueryGuard* guard, bool use_store = true)
       : ctx_(ctx), installed_(ctx->guard() == nullptr) {
     if (installed_) {
       ctx_->set_guard(guard);
+      ctx_->set_store_enabled(use_store);
       ctx_->BeginExecution();
     }
   }
   ~ScopedGuard() {
     if (installed_) {
       ctx_->set_guard(nullptr);
+      ctx_->set_store_enabled(true);
       ctx_->EndExecution();
     }
   }

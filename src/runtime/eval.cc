@@ -181,7 +181,7 @@ Result<Sequence> PlanEvaluator::EvalItemsLimited(const Op& op, const EvalCtx& c,
       // pulled whole — acceptable because the win here is skipping axis
       // application (e.g. //huge-subtree[1]), not input evaluation.
       XQC_ASSIGN_OR_RETURN(Sequence in, EvalItems(*op.inputs[0], c));
-      TreeJoinOpts tj{op.ddo, false, options_.use_doc_index};
+      TreeJoinOpts tj{op.ddo, false, options_.use_doc_index, guard_};
       Sequence out;
       for (const Item& it : in) {
         if (out.size() >= limit) {
@@ -192,8 +192,9 @@ Result<Sequence> PlanEvaluator::EvalItemsLimited(const Op& op, const EvalCtx& c,
           return Status::XQueryError("XPTY0004",
                                      "path step applied to an atomic value");
         }
-        ApplyAxis(it.node(), op.axis, op.ntest, ctx_->schema(), &out, tj,
-                  &stats_.tree_join);
+        XQC_RETURN_IF_ERROR(ApplyAxis(it.node(), op.axis, op.ntest,
+                                      ctx_->schema(), &out, tj,
+                                      &stats_.tree_join));
       }
       stats_.tree_join.ddo_skip_static++;
       return out;
@@ -263,7 +264,8 @@ Result<Sequence> PlanEvaluator::EvalItems(const Op& op, const EvalCtx& c) {
       return EvalConstructor(op, c);
     case OpKind::kTreeJoin: {
       XQC_ASSIGN_OR_RETURN(Sequence in, EvalItems(*op.inputs[0], c));
-      TreeJoinOpts tj{op.ddo, options_.force_sort, options_.use_doc_index};
+      TreeJoinOpts tj{op.ddo, options_.force_sort, options_.use_doc_index,
+                      guard_};
       return TreeJoin(in, op.axis, op.ntest, ctx_->schema(), tj,
                       &stats_.tree_join);
     }

@@ -59,6 +59,7 @@ struct ExecStats {
   int64_t guard_checks = 0;        // QueryGuard slow-path checks run
   int64_t peak_memory_bytes = 0;   // total guard-accounted allocation
   TreeJoinStats tree_join;         // sort elisions / index use (axes.h)
+  DocStoreStats doc_store;         // fn:doc resolution (document_store.h)
 };
 
 /// Evaluation context threaded through a plan: the dependent inputs (tuple

@@ -138,6 +138,9 @@ void QueryService::WorkerLoop(size_t worker_index) {
 QueryResponse QueryService::ExecuteOnce(Job* job, const GuardLimits& limits) {
   QueryResponse resp;
   DynamicContext ctx;
+  if (options_.document_store != nullptr) {
+    ctx.set_document_store(options_.document_store);
+  }
   ctx.set_schema(schema_);
   for (const auto& [uri, doc] : shared_docs_) ctx.RegisterDocument(uri, doc);
   for (const auto& [name, value] : shared_vars_) ctx.BindVariable(name, value);

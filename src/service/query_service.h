@@ -72,6 +72,10 @@ struct ServiceOptions {
   uint64_t jitter_seed = 0x9e3779b97f4a7c15ull;
   /// Compilation/execution configuration used for every query.
   EngineOptions engine_options;
+  /// DocumentStore serving the workers' fn:doc resolution (non-owning;
+  /// must outlive the service). nullptr = the process-wide store. Whether
+  /// the store is consulted at all is engine_options.use_doc_store.
+  DocumentStore* document_store = nullptr;
 };
 
 struct QueryRequest {

@@ -1,0 +1,475 @@
+#include "src/store/document_store.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "src/xml/xml_parser.h"
+
+namespace xqc {
+
+namespace {
+
+/// Whether an errno from open/read is worth retrying. Everything else
+/// (ENOENT, ENOTDIR, EACCES, EISDIR, ...) is a permanent verdict for the
+/// current file state and is negative-cached instead.
+bool ErrnoIsTransient(int e) {
+  return e == EINTR || e == EAGAIN || e == EWOULDBLOCK || e == EIO ||
+         e == EMFILE || e == ENFILE || e == ENOMEM || e == EBUSY;
+}
+
+void SleepMs(int64_t ms) {
+  std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+}  // namespace
+
+std::string NormalizeDocUri(const std::string& uri) {
+  if (uri.empty() || uri.find("://") != std::string::npos) return uri;
+  const bool absolute = uri[0] == '/';
+  std::vector<std::string> parts;
+  size_t i = 0;
+  while (i <= uri.size()) {
+    size_t j = uri.find('/', i);
+    if (j == std::string::npos) j = uri.size();
+    std::string seg = uri.substr(i, j - i);
+    i = j + 1;
+    if (seg.empty() || seg == ".") continue;
+    if (seg == "..") {
+      if (!parts.empty() && parts.back() != "..") {
+        parts.pop_back();
+      } else if (!absolute) {
+        // A relative path may legitimately start above its base directory.
+        parts.push_back("..");
+      }
+      // Absolute paths can't climb above "/": drop the segment.
+      continue;
+    }
+    parts.push_back(std::move(seg));
+  }
+  std::string out;
+  if (absolute) out += '/';
+  for (size_t k = 0; k < parts.size(); ++k) {
+    if (k > 0) out += '/';
+    out += parts[k];
+  }
+  if (out.empty()) out = absolute ? "/" : ".";
+  return out;
+}
+
+DocumentStore::DocumentStore(DocumentStoreOptions options)
+    : options_(options),
+      max_bytes_(options.max_bytes),
+      jitter_state_(options.jitter_seed) {}
+
+DocumentStore::~DocumentStore() = default;
+
+DocumentStore* DocumentStore::Global() {
+  // Leaked deliberately: documents may be referenced by results that
+  // outlive static destruction order.
+  static DocumentStore* g = new DocumentStore();
+  return g;
+}
+
+bool DocumentStore::StatFile(const std::string& path, Fingerprint* fp) {
+  struct stat sb;
+  if (::stat(path.c_str(), &sb) != 0 || !S_ISREG(sb.st_mode)) return false;
+  fp->inode = static_cast<uint64_t>(sb.st_ino);
+  fp->size = static_cast<int64_t>(sb.st_size);
+  fp->mtime_sec = static_cast<int64_t>(sb.st_mtim.tv_sec);
+  fp->mtime_nsec = static_cast<int64_t>(sb.st_mtim.tv_nsec);
+  return true;
+}
+
+uint64_t DocumentStore::NextRand() {
+  // splitmix64 over an atomically advanced state: contention-free and
+  // deterministic for a fixed seed and call order.
+  uint64_t x = jitter_state_.fetch_add(0x9e3779b97f4a7c15ull,
+                                       std::memory_order_relaxed);
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ull;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  return x;
+}
+
+void DocumentStore::CountGlobal(int64_t DocStoreStats::*field, int64_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  totals_.*field += n;
+}
+
+Result<NodePtr> DocumentStore::Load(const std::string& raw_uri,
+                                    const LoadOptions& opts) {
+  const std::string uri = NormalizeDocUri(raw_uri);
+  QueryGuard* guard = opts.guard != nullptr ? opts.guard : UnlimitedGuard();
+  if (opts.performed_parse != nullptr) *opts.performed_parse = false;
+
+  for (;;) {
+    std::shared_ptr<InFlight> slot;
+    bool leader = false;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+
+      auto q = quarantine_.find(uri);
+      if (q != quarantine_.end()) {
+        Fingerprint fp;
+        if (StatFile(uri, &fp) && fp == q->second.fp) {
+          totals_.quarantine_hits++;
+          Bump(opts.stats, &DocStoreStats::quarantine_hits);
+          return Status::WithCode(
+              q->second.status.kind(), kStoreQuarantinedCode,
+              "quarantined document '" + uri +
+                  "' (invalidate or fix the file to retry): " +
+                  q->second.status.ToString());
+        }
+        // The file changed (or vanished): the cached verdict is stale.
+        quarantine_.erase(q);
+      }
+
+      auto neg = negative_.find(uri);
+      if (neg != negative_.end()) {
+        if (std::chrono::steady_clock::now() < neg->second.expires) {
+          totals_.negative_hits++;
+          Bump(opts.stats, &DocStoreStats::negative_hits);
+          return neg->second.status;
+        }
+        negative_.erase(neg);
+      }
+
+      auto c = cache_.find(uri);
+      if (c != cache_.end()) {
+        Fingerprint fp;
+        if (StatFile(uri, &fp) && fp == c->second->fp) {
+          lru_.splice(lru_.begin(), lru_, c->second);
+          totals_.hits++;
+          Bump(opts.stats, &DocStoreStats::hits);
+          return c->second->doc;
+        }
+        // Stale: drop the entry and fall through to a fresh load, which
+        // swaps the new tree in atomically. Holders of the old tree keep
+        // a consistent snapshot via shared ownership.
+        totals_.stale_reloads++;
+        Bump(opts.stats, &DocStoreStats::stale_reloads);
+        bytes_cached_ -= c->second->bytes;
+        lru_.erase(c->second);
+        cache_.erase(c);
+      }
+
+      auto f = inflight_.find(uri);
+      if (f != inflight_.end()) {
+        slot = f->second;
+      } else {
+        slot = std::make_shared<InFlight>();
+        inflight_[uri] = slot;
+        leader = true;
+      }
+    }
+
+    if (leader) {
+      bool leader_trip = false;
+      Result<NodePtr> result =
+          LoadAsLeader(uri, guard, opts.stats, &leader_trip);
+      {
+        std::lock_guard<std::mutex> sl(slot->mu);
+        slot->done = true;
+        slot->leader_trip = leader_trip;
+        if (result.ok()) {
+          slot->doc = result.value();
+        } else {
+          slot->status = result.status();
+        }
+      }
+      slot->cv.notify_all();
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto f = inflight_.find(uri);
+        if (f != inflight_.end() && f->second == slot) inflight_.erase(f);
+      }
+      if (result.ok() && opts.performed_parse != nullptr) {
+        *opts.performed_parse = true;
+      }
+      return result;
+    }
+
+    // Waiter: block in short slices so our own deadline/cancellation is
+    // honored while the leader works. Abandoning the wait (by returning)
+    // is safe — the slot is jointly owned and the leader completes it.
+    Bump(opts.stats, &DocStoreStats::singleflight_waits);
+    CountGlobal(&DocStoreStats::singleflight_waits);
+    bool retry = false;
+    {
+      std::unique_lock<std::mutex> sl(slot->mu);
+      while (!slot->done) {
+        XQC_RETURN_IF_ERROR(guard->CheckNow());
+        slot->cv.wait_for(sl, std::chrono::milliseconds(1));
+      }
+      if (slot->doc != nullptr) return slot->doc;
+      if (!slot->leader_trip) return slot->status;
+      // The leader failed on its *own* guard (deadline/cancel mid-parse).
+      // That verdict isn't ours to inherit: loop and retry, possibly
+      // becoming the new leader.
+      retry = true;
+    }
+    (void)retry;
+  }
+}
+
+Result<NodePtr> DocumentStore::LoadAsLeader(const std::string& uri,
+                                            QueryGuard* guard,
+                                            DocStoreStats* stats,
+                                            bool* leader_trip) {
+  Bump(stats, &DocStoreStats::misses);
+  CountGlobal(&DocStoreStats::misses);
+
+  ReadOutcome out;
+  for (int attempt = 0;; ++attempt) {
+    out = ReadFile(uri, guard);
+    if (out.status.ok()) break;
+    if (out.status.kind() == StatusKind::kResourceExhausted) {
+      *leader_trip = true;
+      return out.status;
+    }
+    if (!out.transient) {
+      Status st = out.status;
+      std::lock_guard<std::mutex> lock(mu_);
+      negative_[uri] = Negative{
+          st, std::chrono::steady_clock::now() +
+                  std::chrono::milliseconds(options_.negative_ttl_ms)};
+      return st;
+    }
+    if (attempt >= options_.max_retries) {
+      return Status::WithCode(
+          StatusKind::kIOError, kStoreRetriesExhaustedCode,
+          "transient I/O failure persisted through " +
+              std::to_string(attempt + 1) + " attempts for '" + uri +
+              "': " + out.status.message());
+    }
+    Bump(stats, &DocStoreStats::retries);
+    CountGlobal(&DocStoreStats::retries);
+    // Jittered exponential backoff in [b, 2b) with b = base << attempt,
+    // bounded by the caller's remaining deadline, slept in 1ms slices so
+    // cancellation still lands promptly.
+    int64_t base = std::max<int64_t>(options_.retry_backoff_ms, 1) << attempt;
+    int64_t wait = base + static_cast<int64_t>(
+                              NextRand() % static_cast<uint64_t>(base));
+    int64_t remaining = guard->remaining_deadline_ms();
+    if (remaining >= 0) wait = std::min(wait, remaining);
+    for (int64_t slept = 0; slept < wait; ++slept) {
+      Status st = guard->CheckNow();
+      if (!st.ok()) {
+        *leader_trip = true;
+        return st;
+      }
+      SleepMs(1);
+    }
+    Status st = guard->CheckNow();
+    if (!st.ok()) {
+      *leader_trip = true;
+      return st;
+    }
+  }
+
+  XmlParseOptions popts;
+  popts.guard = guard;
+  Result<NodePtr> parsed = ParseXml(out.content, popts);
+  if (!parsed.ok()) {
+    if (parsed.status().kind() == StatusKind::kResourceExhausted) {
+      // The caller's budget tripped mid-parse: a per-query verdict, never
+      // cached and never shared with waiters.
+      *leader_trip = true;
+      return parsed.status();
+    }
+    // Poisoned document: cache the verdict against the file's fingerprint
+    // so replays cost a stat, not a parse. The first loader sees the
+    // original error; replays are marked XQC0009.
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      quarantine_[uri] = Quarantined{parsed.status(), out.fp};
+    }
+    return parsed.status();
+  }
+
+  NodePtr doc = parsed.take();
+  int64_t bytes = static_cast<int64_t>(out.content.size()) +
+                  static_cast<int64_t>(doc->SubtreeSize()) *
+                      QueryGuard::kNodeCost;
+  if (bytes > max_bytes_.load(std::memory_order_relaxed)) {
+    // Larger than the whole budget: serve uncached. The parse was already
+    // charged to the requesting query's guard by the parser.
+    Bump(stats, &DocStoreStats::uncached_oversize);
+    CountGlobal(&DocStoreStats::uncached_oversize);
+  } else {
+    InsertCached(uri, doc, static_cast<int64_t>(out.content.size()), out.fp,
+                 stats);
+  }
+  return doc;
+}
+
+DocumentStore::ReadOutcome DocumentStore::ReadFile(const std::string& uri,
+                                                   QueryGuard* guard) {
+  ReadOutcome out;
+  IoFaultInjector* inj = fault_injector_.load(std::memory_order_acquire);
+  int64_t attempt_no = 0;
+  if (inj != nullptr) {
+    attempt_no = inj->attempts.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+
+  if (inj != nullptr && inj->mode == IoFaultMode::kFailOpen &&
+      (inj->fail_n <= 0 || attempt_no <= inj->fail_n)) {
+    out.transient = inj->transient;
+    out.status = Status::IOError(
+        std::string("injected ") +
+        (inj->transient ? "transient" : "permanent") +
+        " open failure for document '" + uri + "'");
+    return out;
+  }
+  if (inj != nullptr && inj->mode == IoFaultMode::kFlakyThenSucceed &&
+      attempt_no <= inj->fail_n) {
+    out.transient = true;
+    out.status = Status::IOError("injected flaky read failure for document '" +
+                                 uri + "' (attempt " +
+                                 std::to_string(attempt_no) + ")");
+    return out;
+  }
+
+  int fd = ::open(uri.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    int e = errno;
+    out.transient = ErrnoIsTransient(e);
+    out.status = Status::IOError("cannot open document '" + uri +
+                                 "': " + std::strerror(e));
+    return out;
+  }
+  struct stat sb;
+  if (::fstat(fd, &sb) != 0 || !S_ISREG(sb.st_mode)) {
+    ::close(fd);
+    out.status =
+        Status::IOError("document '" + uri + "' is not a regular file");
+    return out;
+  }
+  out.fp.inode = static_cast<uint64_t>(sb.st_ino);
+  out.fp.size = static_cast<int64_t>(sb.st_size);
+  out.fp.mtime_sec = static_cast<int64_t>(sb.st_mtim.tv_sec);
+  out.fp.mtime_nsec = static_cast<int64_t>(sb.st_mtim.tv_nsec);
+
+  if (inj != nullptr && inj->mode == IoFaultMode::kSlowRead) {
+    // A crawling device: let the caller's deadline/cancellation trip
+    // mid-load, deterministically.
+    for (int64_t i = 0; i < inj->delay_ms; ++i) {
+      Status st = guard->CheckNow();
+      if (!st.ok()) {
+        ::close(fd);
+        out.status = st;
+        return out;
+      }
+      SleepMs(1);
+    }
+  }
+
+  std::string content(static_cast<size_t>(sb.st_size), '\0');
+  size_t off = 0;
+  while (off < content.size()) {
+    ssize_t n = ::read(fd, &content[off], content.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      int e = errno;
+      ::close(fd);
+      out.transient = ErrnoIsTransient(e);
+      out.status = Status::IOError("error reading document '" + uri +
+                                   "': " + std::strerror(e));
+      return out;
+    }
+    if (n == 0) break;  // truncated since fstat; parse what we have
+    off += static_cast<size_t>(n);
+  }
+  ::close(fd);
+  content.resize(off);
+
+  if (inj != nullptr && inj->mode == IoFaultMode::kShortRead) {
+    content.resize(content.size() / 2);
+  }
+
+  out.content = std::move(content);
+  out.status = Status::OK();
+  return out;
+}
+
+void DocumentStore::InsertCached(const std::string& uri, const NodePtr& doc,
+                                 int64_t content_bytes, const Fingerprint& fp,
+                                 DocStoreStats* stats) {
+  int64_t bytes = content_bytes + static_cast<int64_t>(doc->SubtreeSize()) *
+                                      QueryGuard::kNodeCost;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto existing = cache_.find(uri);
+  if (existing != cache_.end()) {
+    bytes_cached_ -= existing->second->bytes;
+    lru_.erase(existing->second);
+    cache_.erase(existing);
+  }
+  lru_.push_front(CacheEntry{uri, doc, bytes, fp});
+  cache_[uri] = lru_.begin();
+  bytes_cached_ += bytes;
+  EvictToBudgetLocked(stats);
+}
+
+void DocumentStore::EvictToBudgetLocked(DocStoreStats* stats) {
+  const int64_t budget = max_bytes_.load(std::memory_order_relaxed);
+  while (bytes_cached_ > budget && !lru_.empty()) {
+    CacheEntry& victim = lru_.back();
+    bytes_cached_ -= victim.bytes;
+    cache_.erase(victim.uri);
+    lru_.pop_back();
+    totals_.evictions++;
+    Bump(stats, &DocStoreStats::evictions);
+  }
+}
+
+bool DocumentStore::Invalidate(const std::string& raw_uri) {
+  const std::string uri = NormalizeDocUri(raw_uri);
+  std::lock_guard<std::mutex> lock(mu_);
+  bool dropped = false;
+  auto c = cache_.find(uri);
+  if (c != cache_.end()) {
+    bytes_cached_ -= c->second->bytes;
+    lru_.erase(c->second);
+    cache_.erase(c);
+    dropped = true;
+  }
+  dropped |= quarantine_.erase(uri) > 0;
+  dropped |= negative_.erase(uri) > 0;
+  return dropped;
+}
+
+void DocumentStore::InvalidateAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  lru_.clear();
+  cache_.clear();
+  quarantine_.clear();
+  negative_.clear();
+  bytes_cached_ = 0;
+}
+
+void DocumentStore::set_max_bytes(int64_t max_bytes) {
+  max_bytes_.store(max_bytes, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mu_);
+  EvictToBudgetLocked(nullptr);
+}
+
+DocumentStore::Counters DocumentStore::counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Counters c;
+  c.totals = totals_;
+  c.bytes_cached = bytes_cached_;
+  c.entries = static_cast<int64_t>(cache_.size());
+  c.quarantined = static_cast<int64_t>(quarantine_.size());
+  return c;
+}
+
+}  // namespace xqc

@@ -1,0 +1,283 @@
+// DocumentStore: the fault-tolerant shared home of parsed documents.
+//
+// The paper's Parse operator is the boundary where the engine meets the
+// outside world; this layer makes every failure mode at that boundary
+// explicit and cheap, so fn:doc under heavy concurrent traffic behaves
+// like managed storage instead of a per-query side effect:
+//
+//   * Bounded caching. Parsed+finalized trees live in a memory-accounted
+//     LRU keyed by *normalized* URI (NormalizeDocUri) under a configurable
+//     byte budget. A document larger than the whole budget degrades
+//     gracefully: it is served as an uncached parse charged to the
+//     requesting query's own guard, never a failure.
+//   * Singleflight loading. Concurrent loads of one URI share a single
+//     parse. Waiters honor their own deadlines/cancellation tokens (each
+//     waits in guard-checked slices) and may abandon the wait at any time
+//     without leaking the in-flight slot — the slot is jointly owned and
+//     the leader always completes it.
+//   * Retry with backoff. I/O failures are classified transient (EINTR,
+//     EIO, EAGAIN, fd exhaustion, injected flakiness) or permanent
+//     (ENOENT, EACCES, ...). Transient failures retry with jittered
+//     exponential backoff bounded by the caller's remaining deadline;
+//     exhaustion surfaces as XQC0008. Permanent misses are negative-cached
+//     with a TTL so a missing document doesn't cost a syscall per request.
+//   * Quarantine. A document that fails to parse is quarantined: the
+//     original failure is cached against the file's fingerprint and
+//     replayed as XQC0009 (same status kind) without re-reading the file,
+//     so a malformed "parse bomb" burns CPU once, not per request. The
+//     quarantine lifts automatically when the file changes, or explicitly
+//     via Invalidate(uri).
+//   * Staleness. Cache hits validate an (inode, size, mtime) fingerprint;
+//     a changed file is re-parsed and swapped in atomically (queries
+//     holding the old tree keep it alive via shared_ptr).
+//
+// Guard interplay: the *performing* query's guard is threaded through the
+// read and the parse, so deadlines, cancellation, and memory budgets all
+// apply mid-load; a guard trip is returned to that caller and is never
+// cached or shared with waiters (they retry, possibly becoming the new
+// leader).
+//
+// Thread safety: all public methods are safe to call from any thread. The
+// store mutex guards only map/list manipulation; reads and parses run
+// unlocked.
+#ifndef XQC_STORE_DOCUMENT_STORE_H_
+#define XQC_STORE_DOCUMENT_STORE_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "src/base/guard.h"
+#include "src/base/status.h"
+#include "src/store/io_fault.h"
+#include "src/xml/node.h"
+
+namespace xqc {
+
+/// Lexically normalizes a document URI so that "a.xml", "./a.xml", and
+/// "dir/../a.xml" name one cache entry: collapses "." and ".." segments
+/// and duplicate slashes, preserving a leading "/" and leading ".."s of
+/// relative paths. URIs with a scheme ("http://...") pass through
+/// unchanged. This is the cache-key function for the DocumentStore and
+/// DynamicContext's document registry.
+std::string NormalizeDocUri(const std::string& uri);
+
+/// Per-execution DocumentStore counters (merged into ExecStats::doc_store;
+/// observable via PreparedQuery::last_exec_stats and xqc_shell --stats).
+struct DocStoreStats {
+  int64_t hits = 0;               // served from the LRU cache
+  int64_t misses = 0;             // parsed from disk by this execution
+  int64_t evictions = 0;          // entries evicted to make room
+  int64_t retries = 0;            // transient-failure retries performed
+  int64_t quarantine_hits = 0;    // cached failures replayed (XQC0009)
+  int64_t negative_hits = 0;      // TTL'd missing-document replays
+  int64_t stale_reloads = 0;      // fingerprint mismatches -> re-parse
+  int64_t singleflight_waits = 0; // loads served by another query's parse
+  int64_t uncached_oversize = 0;  // docs larger than the whole budget
+
+  void Add(const DocStoreStats& o) {
+    hits += o.hits;
+    misses += o.misses;
+    evictions += o.evictions;
+    retries += o.retries;
+    quarantine_hits += o.quarantine_hits;
+    negative_hits += o.negative_hits;
+    stale_reloads += o.stale_reloads;
+    singleflight_waits += o.singleflight_waits;
+    uncached_oversize += o.uncached_oversize;
+  }
+};
+
+struct DocumentStoreOptions {
+  /// Byte budget for cached trees (estimated as file bytes + node count *
+  /// QueryGuard::kNodeCost). 0 disables caching entirely (every load is an
+  /// uncached parse — singleflight, retry, and quarantine still apply).
+  int64_t max_bytes = 256 << 20;
+  /// How long a missing-document verdict is replayed without re-probing
+  /// the filesystem.
+  int64_t negative_ttl_ms = 250;
+  /// Transient-failure retries per load (on top of the first attempt).
+  int max_retries = 3;
+  /// Base backoff before retry k is base << (k-1), jittered into
+  /// [b, 2b), and always bounded by the caller's remaining deadline.
+  int64_t retry_backoff_ms = 2;
+  /// Seed for backoff jitter (deterministic by default for tests).
+  uint64_t jitter_seed = 0x9e3779b97f4a7c15ull;
+};
+
+class DocumentStore {
+ public:
+  explicit DocumentStore(DocumentStoreOptions options = {});
+  ~DocumentStore();
+
+  DocumentStore(const DocumentStore&) = delete;
+  DocumentStore& operator=(const DocumentStore&) = delete;
+
+  /// The process-wide store used by DynamicContext unless overridden.
+  static DocumentStore* Global();
+
+  struct LoadOptions {
+    /// The requesting query's guard: its deadline/cancellation bound the
+    /// read, the singleflight wait, and the retry backoff, and its memory
+    /// budget is charged for the parse. nullptr = unlimited.
+    QueryGuard* guard = nullptr;
+    /// Per-execution counters to bump (may be nullptr).
+    DocStoreStats* stats = nullptr;
+    /// Out: set true iff this call parsed the document from disk (cache /
+    /// singleflight servings leave it false). May be nullptr.
+    bool* performed_parse = nullptr;
+  };
+
+  /// Resolves `uri` (normalized internally) to a parsed, finalized,
+  /// shareable document. Errors:
+  ///   XQC0001/XQC0002/XQC0003  caller's guard tripped mid-load
+  ///   XQC0008                  transient I/O failure survived all retries
+  ///   XQC0009                  quarantined document (cached failure)
+  ///   FODC0002                 document does not exist / permanent I/O
+  ///   XPST0003 (kParseError)   first parse of a malformed document
+  Result<NodePtr> Load(const std::string& uri, const LoadOptions& opts);
+  Result<NodePtr> Load(const std::string& uri) {
+    return Load(uri, LoadOptions());
+  }
+
+  /// Drops `uri`'s cache entry, quarantine verdict, and negative-cache
+  /// entry. Returns true if anything was dropped. Queries already holding
+  /// the old tree keep it; the next Load re-reads the file.
+  bool Invalidate(const std::string& uri);
+
+  /// Invalidate every URI.
+  void InvalidateAll();
+
+  /// Reconfigures the byte budget, evicting immediately if over. Intended
+  /// for startup configuration (xqc_shell --doc-store-mb).
+  void set_max_bytes(int64_t max_bytes);
+
+  /// Test-only deterministic I/O faults (see io_fault.h). Not owned; pass
+  /// nullptr to clear. Safe to set from any thread between loads.
+  void set_fault_injector(IoFaultInjector* injector) {
+    fault_injector_.store(injector, std::memory_order_release);
+  }
+
+  /// Cumulative whole-store counters plus current cache occupancy.
+  struct Counters {
+    DocStoreStats totals;
+    int64_t bytes_cached = 0;
+    int64_t entries = 0;
+    int64_t quarantined = 0;
+  };
+  Counters counters() const;
+
+  DocumentStoreOptions options() const {
+    DocumentStoreOptions o = options_;
+    o.max_bytes = max_bytes_.load(std::memory_order_relaxed);
+    return o;
+  }
+
+ private:
+  /// (inode, size, mtime) identity of a file at read time.
+  struct Fingerprint {
+    uint64_t inode = 0;
+    int64_t size = -1;
+    int64_t mtime_sec = 0;
+    int64_t mtime_nsec = 0;
+    bool operator==(const Fingerprint& o) const {
+      return inode == o.inode && size == o.size && mtime_sec == o.mtime_sec &&
+             mtime_nsec == o.mtime_nsec;
+    }
+  };
+
+  struct CacheEntry {
+    std::string uri;
+    NodePtr doc;
+    int64_t bytes = 0;
+    Fingerprint fp;
+  };
+
+  /// Jointly owned singleflight slot: the leader parses and publishes; any
+  /// number of waiters block on `cv` in guard-checked slices and may
+  /// abandon at any time (shared ownership means no leak either way).
+  struct InFlight {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    Status status;            // when done
+    NodePtr doc;              // when done && status.ok()
+    bool leader_trip = false; // failure was the leader's own guard trip
+  };
+
+  struct Quarantined {
+    Status status;  // the original parse/validation failure
+    Fingerprint fp;
+  };
+
+  struct Negative {
+    Status status;  // the original not-found / permanent I/O failure
+    std::chrono::steady_clock::time_point expires;
+  };
+
+  /// One full read+retry+parse cycle, performed by a singleflight leader
+  /// outside the store lock. On success also inserts into the cache /
+  /// quarantine / negative maps.
+  Result<NodePtr> LoadAsLeader(const std::string& uri, QueryGuard* guard,
+                               DocStoreStats* stats, bool* leader_trip);
+
+  /// Reads the file, applying injected faults and classifying errors.
+  struct ReadOutcome {
+    Status status;
+    bool transient = false;
+    std::string content;
+    Fingerprint fp;
+  };
+  ReadOutcome ReadFile(const std::string& uri, QueryGuard* guard);
+
+  /// Inserts a parsed doc, evicting LRU entries while over budget.
+  void InsertCached(const std::string& uri, const NodePtr& doc,
+                    int64_t content_bytes, const Fingerprint& fp,
+                    DocStoreStats* stats);
+
+  /// Evicts LRU entries until bytes_cached_ <= options_.max_bytes.
+  /// Caller holds mu_.
+  void EvictToBudgetLocked(DocStoreStats* stats);
+
+  /// Fills `fp` from the file's metadata; false when the file is missing
+  /// or not a regular file.
+  static bool StatFile(const std::string& path, Fingerprint* fp);
+
+  /// Thread-safe splitmix64 stream for backoff jitter.
+  uint64_t NextRand();
+
+  /// Bumps a per-execution counter (null-safe; per-exec stats are owned by
+  /// one query and need no lock).
+  static void Bump(DocStoreStats* stats, int64_t DocStoreStats::*field,
+                   int64_t n = 1) {
+    if (stats != nullptr) stats->*field += n;
+  }
+  /// Bumps a whole-store counter (takes mu_; call only when it isn't held).
+  void CountGlobal(int64_t DocStoreStats::*field, int64_t n = 1);
+
+  /// Immutable after construction, except max_bytes which lives in the
+  /// atomic mirror below (set_max_bytes).
+  DocumentStoreOptions options_;
+  std::atomic<int64_t> max_bytes_;
+  std::atomic<IoFaultInjector*> fault_injector_{nullptr};
+  std::atomic<uint64_t> jitter_state_;
+
+  mutable std::mutex mu_;
+  std::list<CacheEntry> lru_;  // front = most recent
+  std::unordered_map<std::string, std::list<CacheEntry>::iterator> cache_;
+  std::unordered_map<std::string, std::shared_ptr<InFlight>> inflight_;
+  std::unordered_map<std::string, Quarantined> quarantine_;
+  std::unordered_map<std::string, Negative> negative_;
+  int64_t bytes_cached_ = 0;
+  DocStoreStats totals_;
+};
+
+}  // namespace xqc
+
+#endif  // XQC_STORE_DOCUMENT_STORE_H_

@@ -1,0 +1,66 @@
+// Deterministic I/O fault injection for the document store, extending the
+// PR 2 guard-fault substrate (GuardFaultInjector) down to the filesystem
+// boundary. Every DocumentStore failure path — transient open failures,
+// truncated reads that poison a document, slow reads that let a deadline
+// expire mid-load, flaky devices that recover after a few attempts — is
+// drivable from tests without touching the real filesystem's behavior.
+//
+// An injector is installed on a DocumentStore (set_fault_injector) and
+// consulted once per physical read attempt. It is safe to share across
+// threads: the attempt counter is atomic, so concurrent singleflight
+// leaders draw distinct attempt numbers.
+#ifndef XQC_STORE_IO_FAULT_H_
+#define XQC_STORE_IO_FAULT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string_view>
+
+namespace xqc {
+
+enum class IoFaultMode : uint8_t {
+  kNone,
+  /// open() fails. `transient` picks the error class: transient failures
+  /// are retried with backoff; permanent ones are negative-cached.
+  kFailOpen,
+  /// The read returns only the first half of the file — the parse fails
+  /// and the document is quarantined.
+  kShortRead,
+  /// The read sleeps `delay_ms` in 1ms slices, checking the caller's guard
+  /// between slices — a deadline/cancellation trips mid-load.
+  kSlowRead,
+  /// The first `fail_n` read attempts fail transiently, then reads
+  /// succeed — the retry/backoff path recovers.
+  kFlakyThenSucceed,
+};
+
+struct IoFaultInjector {
+  IoFaultMode mode = IoFaultMode::kNone;
+  /// kFailOpen: whether the injected failure is classified transient
+  /// (retryable) or permanent (negative-cached).
+  bool transient = true;
+  /// kFlakyThenSucceed: attempts to fail before succeeding.
+  /// kFailOpen: 0 = every attempt fails; otherwise only the first n.
+  int64_t fail_n = 2;
+  /// kSlowRead: total injected delay per read.
+  int64_t delay_ms = 50;
+  /// Physical read attempts observed (diagnostics; shared across threads).
+  std::atomic<int64_t> attempts{0};
+};
+
+/// Parses a mode name ("none", "fail-open", "short-read", "slow-read",
+/// "flaky") — used by the scripts/check.sh fault-matrix sweep, which
+/// selects modes via the XQC_IO_FAULT_MODE environment variable.
+inline bool IoFaultModeFromName(std::string_view name, IoFaultMode* out) {
+  if (name == "none") *out = IoFaultMode::kNone;
+  else if (name == "fail-open") *out = IoFaultMode::kFailOpen;
+  else if (name == "short-read") *out = IoFaultMode::kShortRead;
+  else if (name == "slow-read") *out = IoFaultMode::kSlowRead;
+  else if (name == "flaky") *out = IoFaultMode::kFlakyThenSucceed;
+  else return false;
+  return true;
+}
+
+}  // namespace xqc
+
+#endif  // XQC_STORE_IO_FAULT_H_

@@ -69,12 +69,16 @@ NodePtr Shared(Node* n) { return n == nullptr ? nullptr : n->shared_from_this();
 /// The tree's structural index if this step should use one: never for
 /// unfinalized trees, lazily built for trees of at least
 /// kMinIndexedTreeSize nodes, and always when one is already built.
-const DocumentIndex* IndexFor(const NodePtr& n, const TreeJoinOpts& opts) {
-  if (!opts.use_index || n->start == 0) return nullptr;
+/// A null value is a valid "no index, walk the tree" answer; an error is
+/// opts.guard tripping during a lazy build.
+Result<const DocumentIndex*> IndexFor(const NodePtr& n,
+                                      const TreeJoinOpts& opts) {
+  const DocumentIndex* none = nullptr;
+  if (!opts.use_index || n->start == 0) return none;
   Node* root = n->Root();
   if (const DocumentIndex* idx = GetDocumentIndex(root)) return idx;
-  if (root->SubtreeSize() < kMinIndexedTreeSize) return nullptr;
-  return GetOrBuildDocumentIndex(root);
+  if (root->SubtreeSize() < kMinIndexedTreeSize) return none;
+  return GetOrBuildDocumentIndex(root, opts.guard);
 }
 
 /// The narrowest index partition that is a superset of `test`'s matches
@@ -176,18 +180,18 @@ bool AxisFromName(std::string_view name, Axis* out) {
   return false;
 }
 
-void ApplyAxis(const NodePtr& n, Axis axis, const ItemTest& test,
-               const Schema* schema, Sequence* out, const TreeJoinOpts& opts,
-               TreeJoinStats* stats) {
+Status ApplyAxis(const NodePtr& n, Axis axis, const ItemTest& test,
+                 const Schema* schema, Sequence* out, const TreeJoinOpts& opts,
+                 TreeJoinStats* stats) {
   switch (axis) {
     case Axis::kChild:
       if (MatchesAllNodes(test)) out->reserve(out->size() + n->children.size());
       for (const NodePtr& c : n->children) AddIfMatch(c, test, schema, out);
-      return;
+      return Status::OK();
     case Axis::kDescendant:
     case Axis::kDescendantOrSelf: {
       if (axis == Axis::kDescendantOrSelf) AddIfMatch(n, test, schema, out);
-      const DocumentIndex* idx = IndexFor(n, opts);
+      XQC_ASSIGN_OR_RETURN(const DocumentIndex* idx, IndexFor(n, opts));
       const std::vector<NodePtr>* part = nullptr;
       if (idx != nullptr && PartitionFor(*idx, test, &part)) {
         CountIndexLookup(stats);
@@ -195,7 +199,7 @@ void ApplyAxis(const NodePtr& n, Axis axis, const ItemTest& test,
         auto last = LowerBoundByStart(*part, n->end);
         out->reserve(out->size() + static_cast<size_t>(last - it));
         for (; it != last; ++it) AddIfMatch(*it, test, schema, out);
-        return;
+        return Status::OK();
       }
       if (MatchesAllNodes(test) && n->start != 0) {
         // Full-subtree scans (//node()) are the one case where the interval
@@ -203,18 +207,18 @@ void ApplyAxis(const NodePtr& n, Axis axis, const ItemTest& test,
         out->reserve(out->size() + n->SubtreeSize() - n->attributes.size());
       }
       Descendants(n, test, schema, out);
-      return;
+      return Status::OK();
     }
     case Axis::kAttribute:
       for (const NodePtr& a : n->attributes) AddIfMatch(a, test, schema, out);
-      return;
+      return Status::OK();
     case Axis::kSelf:
       AddIfMatch(n, test, schema, out);
-      return;
+      return Status::OK();
     case Axis::kParent: {
       NodePtr p = Shared(n->parent);
       if (p != nullptr) AddIfMatch(p, test, schema, out);
-      return;
+      return Status::OK();
     }
     case Axis::kAncestor:
     case Axis::kAncestorOrSelf: {
@@ -228,12 +232,12 @@ void ApplyAxis(const NodePtr& n, Axis axis, const ItemTest& test,
       for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
         AddIfMatch(*it, test, schema, out);
       }
-      return;
+      return Status::OK();
     }
     case Axis::kFollowingSibling:
     case Axis::kPrecedingSibling: {
       Node* p = n->parent;
-      if (p == nullptr || n->kind == NodeKind::kAttribute) return;
+      if (p == nullptr || n->kind == NodeKind::kAttribute) return Status::OK();
       const auto& sibs = p->children;
       size_t self_idx = SelfIndexAmongSiblings(sibs, n.get());
       if (axis == Axis::kFollowingSibling) {
@@ -245,7 +249,7 @@ void ApplyAxis(const NodePtr& n, Axis axis, const ItemTest& test,
           AddIfMatch(sibs[i], test, schema, out);
         }
       }
-      return;
+      return Status::OK();
     }
     case Axis::kFollowing:
     case Axis::kPreceding: {
@@ -255,7 +259,7 @@ void ApplyAxis(const NodePtr& n, Axis axis, const ItemTest& test,
       // preceding = {c : c.end < n.start} — ancestor/descendant exclusion
       // falls out of the interval tests.
       NodePtr root = Shared(n->Root());
-      const DocumentIndex* idx = IndexFor(n, opts);
+      XQC_ASSIGN_OR_RETURN(const DocumentIndex* idx, IndexFor(n, opts));
       const std::vector<NodePtr>* part = nullptr;
       if (idx != nullptr && PartitionFor(*idx, test, &part)) {
         CountIndexLookup(stats);
@@ -271,16 +275,17 @@ void ApplyAxis(const NodePtr& n, Axis axis, const ItemTest& test,
             AddIfMatch(*it, test, schema, out);
           }
         }
-        return;
+        return Status::OK();
       }
       if (axis == Axis::kFollowing) {
         FollowingWalk(root, *n, test, schema, out);
       } else {
         PrecedingWalk(root, *n, test, schema, out);
       }
-      return;
+      return Status::OK();
     }
   }
+  return Status::OK();
 }
 
 Result<Sequence> TreeJoin(const Sequence& input, Axis axis,
@@ -292,7 +297,8 @@ Result<Sequence> TreeJoin(const Sequence& input, Axis axis,
       return Status::XQueryError("XPTY0004",
                                  "axis step applied to an atomic value");
     }
-    ApplyAxis(it.node(), axis, test, schema, &out, opts, stats);
+    XQC_RETURN_IF_ERROR(
+        ApplyAxis(it.node(), axis, test, schema, &out, opts, stats));
   }
   TreeJoinStats local;
   TreeJoinStats* s = stats != nullptr ? stats : &local;

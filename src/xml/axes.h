@@ -15,6 +15,7 @@
 
 #include <string>
 
+#include "src/base/guard.h"
 #include "src/base/status.h"
 #include "src/types/seqtype.h"
 #include "src/xml/item.h"
@@ -72,13 +73,18 @@ struct TreeJoinOpts {
   DdoMode ddo = DdoMode::kSort;  // static annotation of this step
   bool force_sort = false;       // always sort (baseline / oracle mode)
   bool use_index = true;         // consult/build the DocumentIndex
+  /// The executing query's guard, checked during a lazy DocumentIndex
+  /// build so a deadline/cancellation can trip mid-build on a large tree.
+  /// nullptr = unlimited.
+  QueryGuard* guard = nullptr;
 };
 
 /// Applies `axis` from a single node, appending matches of `test` to `out`
-/// in document order.
-void ApplyAxis(const NodePtr& n, Axis axis, const ItemTest& test,
-               const Schema* schema, Sequence* out,
-               const TreeJoinOpts& opts = {}, TreeJoinStats* stats = nullptr);
+/// in document order. Fails only when a lazy index build trips
+/// `opts.guard` (Status::ResourceExhausted).
+Status ApplyAxis(const NodePtr& n, Axis axis, const ItemTest& test,
+                 const Schema* schema, Sequence* out,
+                 const TreeJoinOpts& opts = {}, TreeJoinStats* stats = nullptr);
 
 /// The TreeJoin operator: applies the axis step to every node of `input`
 /// and returns the result in document order without duplicates.

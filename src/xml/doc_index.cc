@@ -16,9 +16,15 @@ std::mutex& BuildLockFor(const Node* root) {
                        kBuildLockShards];
 }
 
+/// Approximate bytes the index holds per node (~3 NodePtr refs across
+/// all_/kind vectors/by_name_), charged to the building query's budget.
+constexpr int64_t kIndexEntryCost = 48;
+
 }  // namespace
 
-void DocumentIndex::Add(const NodePtr& n) {
+Status DocumentIndex::Add(const NodePtr& n, QueryGuard* guard) {
+  XQC_RETURN_IF_ERROR(guard->Check());
+  XQC_RETURN_IF_ERROR(guard->AccountMemory(kIndexEntryCost));
   all_.push_back(n);
   switch (n->kind) {
     case NodeKind::kElement:
@@ -37,27 +43,55 @@ void DocumentIndex::Add(const NodePtr& n) {
     default:
       break;  // document root stays in all_ only; attributes never enter
   }
-  for (const NodePtr& c : n->children) Add(c);
+  for (const NodePtr& c : n->children) {
+    XQC_RETURN_IF_ERROR(Add(c, guard));
+  }
+  return Status::OK();
 }
 
 DocumentIndex::DocumentIndex(const Node& root) {
   // Skipping the root keeps the index free of a NodePtr back to its own
   // owner (root->doc_index -> all_ -> root would leak the whole tree).
   all_.reserve(root.SubtreeSize());
-  for (const NodePtr& c : root.children) Add(c);
+  for (const NodePtr& c : root.children) {
+    // UnlimitedGuard never trips, so this cannot fail.
+    (void)Add(c, UnlimitedGuard());
+  }
 }
 
-const DocumentIndex* GetOrBuildDocumentIndex(Node* root) {
+Result<std::shared_ptr<const DocumentIndex>> DocumentIndex::Build(
+    const Node& root, QueryGuard* guard) {
+  if (guard == nullptr) guard = UnlimitedGuard();
+  std::shared_ptr<DocumentIndex> idx(new DocumentIndex());
+  idx->all_.reserve(root.SubtreeSize());
+  for (const NodePtr& c : root.children) {
+    XQC_RETURN_IF_ERROR(idx->Add(c, guard));
+  }
+  return std::shared_ptr<const DocumentIndex>(std::move(idx));
+}
+
+Result<const DocumentIndex*> GetOrBuildDocumentIndex(Node* root,
+                                                     QueryGuard* guard) {
   const DocumentIndex* hint =
       root->doc_index_hint.load(std::memory_order_acquire);
   if (hint != nullptr) return hint;
   std::lock_guard<std::mutex> lock(BuildLockFor(root));
   if (root->doc_index == nullptr) {
-    root->doc_index = std::make_shared<const DocumentIndex>(*root);
+    // A failed build (guard trip midway) is returned, not published: the
+    // tree stays index-less and a later query can build it within its own
+    // budget.
+    XQC_ASSIGN_OR_RETURN(std::shared_ptr<const DocumentIndex> built,
+                         DocumentIndex::Build(*root, guard));
+    root->doc_index = std::move(built);
     root->doc_index_hint.store(root->doc_index.get(),
                                std::memory_order_release);
   }
   return root->doc_index.get();
+}
+
+const DocumentIndex* GetOrBuildDocumentIndex(Node* root) {
+  Result<const DocumentIndex*> r = GetOrBuildDocumentIndex(root, nullptr);
+  return r.value();  // an unguarded build cannot fail
 }
 
 const DocumentIndex* GetDocumentIndex(const Node* root) {

@@ -19,9 +19,12 @@
 #ifndef XQC_XML_DOC_INDEX_H_
 #define XQC_XML_DOC_INDEX_H_
 
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
+#include "src/base/guard.h"
+#include "src/base/status.h"
 #include "src/base/symbol.h"
 #include "src/xml/node.h"
 
@@ -40,6 +43,13 @@ class DocumentIndex {
   /// owned by the root, so holding the root's NodePtr would be an
   /// ownership cycle.
   explicit DocumentIndex(const Node& root);
+
+  /// Guarded build: runs the caller's amortized guard checks during the
+  /// traversal, so a deadline/cancellation/step quota can trip midway
+  /// through indexing a large tree. Nothing is published on failure.
+  /// `guard` may be nullptr (unlimited).
+  static Result<std::shared_ptr<const DocumentIndex>> Build(const Node& root,
+                                                            QueryGuard* guard);
 
   DocumentIndex(const DocumentIndex&) = delete;
   DocumentIndex& operator=(const DocumentIndex&) = delete;
@@ -64,7 +74,9 @@ class DocumentIndex {
   size_t size() const { return all_.size(); }
 
  private:
-  void Add(const NodePtr& n);
+  DocumentIndex() = default;
+
+  Status Add(const NodePtr& n, QueryGuard* guard);
 
   std::unordered_map<Symbol, std::vector<NodePtr>> by_name_;  // elements
   std::vector<NodePtr> elements_;
@@ -77,6 +89,11 @@ class DocumentIndex {
 /// Returns the tree's DocumentIndex, building and caching it on the root if
 /// this is the first use. `root` must be a finalized tree root (start != 0,
 /// parent == nullptr). Thread-safe; steady state is one acquire load.
+/// The guarded form lets the build trip on `guard` (deadline, cancellation,
+/// step quota); a failed build is not cached, so a later query with budget
+/// left can still build the index. `guard` may be nullptr (unlimited).
+Result<const DocumentIndex*> GetOrBuildDocumentIndex(Node* root,
+                                                     QueryGuard* guard);
 const DocumentIndex* GetOrBuildDocumentIndex(Node* root);
 
 /// The already built index for this root, or null. Never builds.

@@ -164,7 +164,7 @@ void CrossCheckTree(const NodePtr& root) {
           TreeJoinOpts opts;
           opts.use_index = use_index;
           Sequence got;
-          ApplyAxis(ctx, axis, test, nullptr, &got, opts);
+          ASSERT_TRUE(ApplyAxis(ctx, axis, test, nullptr, &got, opts).ok());
           EXPECT_EQ(Ptrs(got), Ptrs(expect))
               << AxisName(axis) << "::" << test.ToString()
               << " from node start=" << ctx->start

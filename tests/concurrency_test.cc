@@ -27,6 +27,8 @@
 
 #include "src/engine/engine.h"
 #include "src/service/query_service.h"
+#include "src/store/document_store.h"
+#include "src/store/io_fault.h"
 #include "src/xml/serializer.h"
 #include "src/xml/xml_parser.h"
 #include "test_util.h"
@@ -331,13 +333,20 @@ class DocCacheTest : public ::testing::Test {
     path_ = ::testing::TempDir() + "xqc_doccache_test.xml";
     std::ofstream out(path_);
     out << "<r><a/><a/><a/></r>";
+    out.close();
+    // Keep tests independent of what earlier tests left in the
+    // process-wide store.
+    DocumentStore::Global()->Invalidate(path_);
   }
   void TearDown() override { std::remove(path_.c_str()); }
   std::string path_;
 };
 
 TEST_F(DocCacheTest, RepeatedDocCallsParseOncePerExecution) {
-  Engine engine;
+  // Store off: this exercises the per-execution cache layer on its own.
+  EngineOptions opts;
+  opts.use_doc_store = false;
+  Engine engine(opts);
   std::string query = "count((doc(\"" + path_ + "\")//a, doc(\"" + path_ +
                       "\")//a, doc(\"" + path_ + "\")//a))";
   Result<PreparedQuery> q = engine.Prepare(query);
@@ -350,6 +359,21 @@ TEST_F(DocCacheTest, RepeatedDocCallsParseOncePerExecution) {
   // The cache is per-execution: a second run re-parses (no stale files).
   ASSERT_OK(q.value().ExecuteToString(&ctx));
   EXPECT_EQ(ctx.doc_parses(), 2);
+}
+
+TEST_F(DocCacheTest, StoreCachesParsesAcrossExecutions) {
+  // Store on (the default): the second execution is served from the
+  // shared DocumentStore without re-parsing.
+  Engine engine;
+  std::string query = "count(doc(\"" + path_ + "\")//a)";
+  Result<PreparedQuery> q = engine.Prepare(query);
+  ASSERT_OK(q);
+  DynamicContext ctx;
+  ASSERT_OK(q.value().ExecuteToString(&ctx));
+  EXPECT_EQ(ctx.doc_parses(), 1);
+  ASSERT_OK(q.value().ExecuteToString(&ctx));
+  EXPECT_EQ(ctx.doc_parses(), 1);  // store hit, no second parse
+  EXPECT_EQ(ctx.doc_store_stats().hits, 1);
 }
 
 TEST_F(DocCacheTest, RegisteredDocumentsBypassTheParser) {
@@ -382,11 +406,132 @@ TEST_F(DocCacheTest, DocAvailable) {
                            "\")//a) else 0";
   Result<PreparedQuery> q2 = engine.Prepare(pair_query);
   ASSERT_OK(q2);
+  DocumentStore::Global()->Invalidate(path_);  // force a real parse
   DynamicContext ctx2;
   Result<std::string> r2 = q2.value().ExecuteToString(&ctx2);
   ASSERT_OK(r2);
   EXPECT_EQ(r2.value(), "3");
   EXPECT_EQ(ctx2.doc_parses(), 1);
+}
+
+// ---- DocumentStore under concurrency (run under TSan by check.sh) ----------
+
+// Hammers one private store from many threads with a mix of good,
+// malformed, and missing documents while invalidations and budget changes
+// race in: singleflight, LRU eviction, quarantine, and negative caching
+// all interleave. Every outcome must be a document or a classified error;
+// TSan checks the synchronization.
+TEST(Concurrency, DocumentStoreStressMixedTraffic) {
+  DocumentStoreOptions sopts;
+  sopts.max_bytes = 2048;  // tight: constant eviction pressure
+  sopts.retry_backoff_ms = 1;
+  sopts.negative_ttl_ms = 5;
+  DocumentStore store(sopts);
+
+  const std::string dir = ::testing::TempDir();
+  std::vector<std::string> good;
+  for (int i = 0; i < 4; ++i) {
+    std::string p = dir + "xqc_stress_good_" + std::to_string(i) + ".xml";
+    std::ofstream out(p);
+    out << "<r><a/><a/><a n='" << i << "'/></r>";
+    good.push_back(p);
+  }
+  std::string poison = dir + "xqc_stress_poison.xml";
+  {
+    std::ofstream out(poison);
+    out << "<r><unclosed></r>";
+  }
+  std::string missing = dir + "xqc_stress_missing.xml";
+
+  constexpr int kThreads = 8;
+  constexpr int kIters = 60;
+  std::atomic<int> bad_outcomes{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kIters; ++i) {
+        int pick = (t * kIters + i) % 6;
+        if (pick < 4) {
+          Result<NodePtr> r = store.Load(good[pick]);
+          if (!r.ok() || r.value() == nullptr) bad_outcomes.fetch_add(1);
+        } else if (pick == 4) {
+          Result<NodePtr> r = store.Load(poison);
+          if (r.ok() || r.status().kind() != StatusKind::kParseError) {
+            bad_outcomes.fetch_add(1);
+          }
+        } else {
+          Result<NodePtr> r = store.Load(missing);
+          if (r.ok() || r.status().kind() != StatusKind::kIOError) {
+            bad_outcomes.fetch_add(1);
+          }
+        }
+        if (i % 16 == t) store.Invalidate(good[t % 4]);
+        if (i % 32 == t) store.counters();
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(bad_outcomes.load(), 0);
+
+  // The store is still coherent after the storm.
+  DocumentStore::Counters c = store.counters();
+  EXPECT_LE(c.bytes_cached, sopts.max_bytes);
+  for (const std::string& p : good) ASSERT_OK(store.Load(p));
+  for (const std::string& p : good) std::remove(p.c_str());
+  std::remove(poison.c_str());
+}
+
+// Many threads singleflight onto one slow document while others' guards
+// expire mid-wait: abandonment must never leak the in-flight slot or
+// deadlock the leader.
+TEST(Concurrency, DocumentStoreSingleflightAbandonmentStress) {
+  DocumentStoreOptions sopts;
+  sopts.retry_backoff_ms = 1;
+  DocumentStore store(sopts);
+  const std::string path = ::testing::TempDir() + "xqc_stress_slow.xml";
+  {
+    std::ofstream out(path);
+    out << "<r><a/></r>";
+  }
+
+  IoFaultInjector slow;
+  slow.mode = IoFaultMode::kSlowRead;
+  slow.delay_ms = 80;
+  store.set_fault_injector(&slow);
+
+  constexpr int kThreads = 8;
+  std::atomic<int> ok{0}, timed_out{0}, other{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      GuardLimits limits;
+      // Half the threads give up mid-flight, half ride it out.
+      limits.deadline_ms = (t % 2 == 0) ? 20 : 0;
+      QueryGuard guard(limits);
+      DocumentStore::LoadOptions opts;
+      opts.guard = &guard;
+      Result<NodePtr> r = store.Load(path, opts);
+      if (r.ok()) {
+        ok.fetch_add(1);
+      } else if (r.status().code() == kGuardTimeoutCode) {
+        timed_out.fetch_add(1);
+      } else {
+        other.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  store.set_fault_injector(nullptr);
+
+  EXPECT_EQ(other.load(), 0);
+  EXPECT_GE(ok.load(), 1) << "someone must have completed the load";
+  // No slot leaked: a fresh load is a plain cache hit.
+  DocStoreStats stats;
+  DocumentStore::LoadOptions opts;
+  opts.stats = &stats;
+  ASSERT_OK(store.Load(path, opts));
+  EXPECT_EQ(stats.hits + stats.misses, 1);
+  std::remove(path.c_str());
 }
 
 // ---- QueryService ----------------------------------------------------------

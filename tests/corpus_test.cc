@@ -4,6 +4,9 @@
 // prefixed with "ERROR:" assert the W3C error code instead.
 #include <gtest/gtest.h>
 
+#include <fstream>
+#include <string>
+
 #include "src/engine/engine.h"
 #include "test_util.h"
 
@@ -366,6 +369,45 @@ TEST_P(CorpusTest, AllConfigsMatchExpected) {
     EXPECT_EQ(got, entry.expected)
         << "config " << i << "\nquery: " << entry.query;
   }
+}
+
+// The DocumentStore ablation sweep: every corpus entry, with the corpus
+// document reached through fn:doc instead of a bound variable, must
+// produce byte-identical results with the store enabled and disabled
+// (and match the bound-variable expectation).
+TEST_P(CorpusTest, DocStoreOnAndOffAgree) {
+  static const std::string* doc_path = [] {
+    auto* p = new std::string(::testing::TempDir() + "xqc_corpus_doc.xml");
+    std::ofstream out(*p, std::ios::trunc);
+    out << kCorpusDoc;
+    return p;
+  }();
+
+  const CorpusEntry& entry = kCorpus[GetParam()];
+  // Rewrite every `$D` reference into a doc() call on the temp file.
+  std::string query = entry.query;
+  const std::string call = "doc(\"" + *doc_path + "\")";
+  for (size_t pos = 0; (pos = query.find("$D", pos)) != std::string::npos;
+       pos += call.size()) {
+    query.replace(pos, 2, call);
+  }
+
+  Engine engine;
+  EngineOptions store_on;
+  EngineOptions store_off;
+  store_off.use_doc_store = false;
+  std::string results[2];
+  const EngineOptions* configs[2] = {&store_on, &store_off};
+  for (int i = 0; i < 2; i++) {
+    DynamicContext ctx;
+    Result<PreparedQuery> q = engine.Prepare(query, *configs[i]);
+    ASSERT_TRUE(q.ok()) << q.status().ToString() << "\n" << query;
+    Result<std::string> r = q.value().ExecuteToString(&ctx);
+    results[i] = r.ok() ? r.value() : "ERROR:" + r.status().code();
+  }
+  EXPECT_EQ(results[0], results[1])
+      << "store-on and store-off disagree\nquery: " << query;
+  EXPECT_EQ(results[0], entry.expected) << "query: " << query;
 }
 
 INSTANTIATE_TEST_SUITE_P(Sweep, CorpusTest,

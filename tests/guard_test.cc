@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "src/engine/engine.h"
+#include "src/xml/doc_index.h"
 #include "src/xml/xml_parser.h"
 #include "test_util.h"
 
@@ -297,6 +298,49 @@ TEST(Guard, GuardedXmlParseHonorsBudget) {
   EXPECT_EQ(r.status().code(), "XQC0003");
   // The same document parses fine without a budget.
   EXPECT_OK(ParseXml(xml));
+}
+
+TEST(Guard, DocumentIndexBuildHonorsGuard) {
+  // Lazy structural-index construction (PR 4) runs under the requesting
+  // query's guard: a trip during the build aborts it, and the failed
+  // build is NOT published — the next query retries and succeeds.
+  std::string xml = "<r>";
+  for (int i = 0; i < 1000; i++) xml += "<e/>";
+  xml += "</r>";
+  NodePtr doc = testutil::MustParseXml(xml);
+
+  GuardFaultInjector inject;
+  inject.trip_check_n = 1;
+  inject.trip_code = kGuardCancelledCode;
+  QueryGuard tripped(GuardLimits{}, CancellationToken(), inject);
+  Result<const DocumentIndex*> r =
+      GetOrBuildDocumentIndex(doc.get(), &tripped);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), "XQC0002");
+
+  QueryGuard clean;
+  Result<const DocumentIndex*> ok = GetOrBuildDocumentIndex(doc.get(), &clean);
+  ASSERT_OK(ok);
+  EXPECT_NE(ok.value(), nullptr);
+}
+
+TEST(Guard, DocumentIndexBuildHonorsMemoryBudget) {
+  // The guard's memory budget also covers index construction: a budget
+  // that admits the parse but not the index trips with XQC0003.
+  std::string xml = "<r>";
+  for (int i = 0; i < 2000; i++) xml += "<e/>";
+  xml += "</r>";
+  NodePtr doc = testutil::MustParseXml(xml);
+
+  GuardLimits limits;
+  limits.max_memory_bytes = 1;
+  QueryGuard tight(limits);
+  Result<const DocumentIndex*> r = GetOrBuildDocumentIndex(doc.get(), &tight);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), "XQC0003");
+
+  QueryGuard clean;
+  EXPECT_OK(GetOrBuildDocumentIndex(doc.get(), &clean));
 }
 
 TEST(Guard, GuardedXmlParseHonorsCancellation) {

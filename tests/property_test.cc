@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <fstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -230,10 +231,8 @@ class Gen {
   std::vector<std::string> num_vars_;
 };
 
-class PropertyTest : public ::testing::TestWithParam<uint64_t> {
- protected:
-  static void SetUpTestSuite() {
-    doc_ = new NodePtr(MustParseXml(R"(
+// The shared input document ($doc in every generated query).
+const char* kPropertyDoc = R"(
       <site>
         <people>
           <person id="p0"><name>Ann</name><age>31</age></person>
@@ -247,7 +246,12 @@ class PropertyTest : public ::testing::TestWithParam<uint64_t> {
           <order id="o2" buyer="p0"><amount>40</amount></order>
           <order id="o3" buyer="p9"><amount>5</amount></order>
         </orders>
-      </site>)"));
+      </site>)";
+
+class PropertyTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  static void SetUpTestSuite() {
+    doc_ = new NodePtr(MustParseXml(kPropertyDoc));
   }
   static void TearDownTestSuite() {
     delete doc_;
@@ -311,6 +315,46 @@ TEST_P(PropertyTest, AllConfigurationsAgree) {
   }
   // The generator should produce mostly well-typed queries.
   EXPECT_LE(errored, kQueriesPerSeed / 2) << "seed " << seed;
+}
+
+// DocumentStore ablation: the same generated queries with $doc rewritten
+// into fn:doc calls must be byte-identical with the store enabled and
+// disabled (and cheap on the store side — one parse total, then hits).
+TEST_P(PropertyTest, DocStoreOnAndOffAgree) {
+  static const std::string* doc_path = [] {
+    auto* p = new std::string(::testing::TempDir() + "xqc_property_doc.xml");
+    std::ofstream out(*p, std::ios::trunc);
+    out << kPropertyDoc;
+    return p;
+  }();
+
+  uint64_t seed = GetParam();
+  Gen gen(seed);
+  Engine engine;
+  EngineOptions store_on;
+  EngineOptions store_off;
+  store_off.use_doc_store = false;
+  const std::string call = "doc(\"" + *doc_path + "\")";
+  const int kQueriesPerSeed = 4;
+  for (int qi = 0; qi < kQueriesPerSeed; qi++) {
+    std::string query = gen.Query(qi, 3);
+    for (size_t pos = 0; (pos = query.find("$doc", pos)) != std::string::npos;
+         pos += call.size()) {
+      query.replace(pos, 4, call);
+    }
+
+    std::string results[2];
+    const EngineOptions* configs[2] = {&store_on, &store_off};
+    for (int i = 0; i < 2; i++) {
+      DynamicContext ctx;
+      Result<PreparedQuery> pq = engine.Prepare(query, *configs[i]);
+      ASSERT_TRUE(pq.ok()) << pq.status().ToString() << "\nquery: " << query;
+      Result<std::string> r = pq.value().ExecuteToString(&ctx);
+      results[i] = r.ok() ? r.value() : "ERROR:" + r.status().code();
+    }
+    ASSERT_EQ(results[0], results[1])
+        << "store-on and store-off disagree\nquery: " << query;
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, PropertyTest,

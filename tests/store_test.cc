@@ -1,0 +1,697 @@
+// Tests for the fault-tolerant shared DocumentStore (src/store): URI
+// normalization, bounded LRU caching, singleflight loading, retry/backoff
+// under injected I/O faults, quarantine, negative caching, staleness, and
+// the store-on/store-off ablation. The FaultMatrix suite at the bottom is
+// additionally swept by scripts/check.sh with XQC_IO_FAULT_MODE set to
+// each injector mode.
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/base/guard.h"
+#include "src/base/status.h"
+#include "src/engine/engine.h"
+#include "src/runtime/context.h"
+#include "src/store/document_store.h"
+#include "src/store/io_fault.h"
+#include "tests/test_util.h"
+
+namespace xqc {
+namespace {
+
+// ---------------------------------------------------------------------------
+// NormalizeDocUri (satellite: fn:doc cache-key aliasing regression)
+// ---------------------------------------------------------------------------
+
+TEST(NormalizeDocUriTest, AliasesCollapseToOneKey) {
+  // The original aliasing bug: these three spellings of one file used to
+  // occupy three distinct cache entries.
+  EXPECT_EQ(NormalizeDocUri("a.xml"), "a.xml");
+  EXPECT_EQ(NormalizeDocUri("./a.xml"), "a.xml");
+  EXPECT_EQ(NormalizeDocUri("dir/../a.xml"), "a.xml");
+}
+
+TEST(NormalizeDocUriTest, LexicalRules) {
+  EXPECT_EQ(NormalizeDocUri("/a/b/../c"), "/a/c");
+  EXPECT_EQ(NormalizeDocUri("a//b/./c"), "a/b/c");
+  EXPECT_EQ(NormalizeDocUri("/a/./b/"), "/a/b");
+  // Relative paths keep leading ".."s (they are resolved by the OS, not
+  // by us); absolute paths cannot climb above the root.
+  EXPECT_EQ(NormalizeDocUri("../x.xml"), "../x.xml");
+  EXPECT_EQ(NormalizeDocUri("a/../../x.xml"), "../x.xml");
+  EXPECT_EQ(NormalizeDocUri("/../x.xml"), "/x.xml");
+  // Degenerate inputs.
+  EXPECT_EQ(NormalizeDocUri(""), "");
+  EXPECT_EQ(NormalizeDocUri("."), ".");
+  EXPECT_EQ(NormalizeDocUri("a/.."), ".");
+  EXPECT_EQ(NormalizeDocUri("/"), "/");
+  // Anything with a scheme passes through untouched.
+  EXPECT_EQ(NormalizeDocUri("http://host/a/../b"), "http://host/a/../b");
+}
+
+// ---------------------------------------------------------------------------
+// Store fixture: a private store plus scratch files under TempDir.
+// ---------------------------------------------------------------------------
+
+class StoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "xqc_store_test/";
+    std::system(("mkdir -p " + dir_).c_str());
+  }
+  void TearDown() override {
+    for (const std::string& p : files_) std::remove(p.c_str());
+  }
+
+  std::string WriteDoc(const std::string& name, const std::string& content) {
+    std::string path = dir_ + name;
+    std::ofstream out(path, std::ios::trunc);
+    out << content;
+    out.close();
+    files_.push_back(path);
+    return path;
+  }
+
+  static DocumentStoreOptions FastOptions() {
+    DocumentStoreOptions o;
+    o.retry_backoff_ms = 1;  // keep injected-fault tests fast
+    return o;
+  }
+
+  std::string dir_;
+  std::vector<std::string> files_;
+};
+
+TEST_F(StoreTest, SecondLoadHitsCacheAndSharesTheTree) {
+  DocumentStore store(FastOptions());
+  std::string path = WriteDoc("hit.xml", "<r><a/><a/></r>");
+
+  DocStoreStats stats;
+  bool parsed = false;
+  DocumentStore::LoadOptions opts;
+  opts.stats = &stats;
+  opts.performed_parse = &parsed;
+
+  Result<NodePtr> first = store.Load(path, opts);
+  ASSERT_OK(first);
+  EXPECT_TRUE(parsed);
+  EXPECT_EQ(stats.misses, 1);
+
+  parsed = false;
+  Result<NodePtr> second = store.Load(path, opts);
+  ASSERT_OK(second);
+  EXPECT_FALSE(parsed);
+  EXPECT_EQ(stats.hits, 1);
+  EXPECT_EQ(first.value().get(), second.value().get());
+  EXPECT_EQ(store.counters().entries, 1);
+}
+
+TEST_F(StoreTest, AliasedUrisShareOneCacheEntry) {
+  DocumentStore store(FastOptions());
+  std::string path = WriteDoc("alias.xml", "<r/>");
+
+  ASSERT_OK(store.Load(path));
+  // "dir/../alias.xml" and "dir/./alias.xml" style respellings of the same
+  // absolute path must hit the same entry, not parse three copies.
+  std::string dotted = dir_ + "." + "/alias.xml";
+  std::string climbed = dir_ + "sub/../alias.xml";
+
+  DocStoreStats stats;
+  DocumentStore::LoadOptions opts;
+  opts.stats = &stats;
+  ASSERT_OK(store.Load(dotted, opts));
+  ASSERT_OK(store.Load(climbed, opts));
+  EXPECT_EQ(stats.hits, 2);
+  EXPECT_EQ(stats.misses, 0);
+  EXPECT_EQ(store.counters().entries, 1);
+}
+
+TEST_F(StoreTest, EvictsLeastRecentlyUsedUnderByteBudget) {
+  // Each doc costs ~content + nodes * kNodeCost; budget fits roughly one.
+  DocumentStoreOptions options = FastOptions();
+  options.max_bytes = 1200;
+  DocumentStore store(options);
+
+  std::string a = WriteDoc("evict_a.xml", "<r><a/><a/></r>");
+  std::string b = WriteDoc("evict_b.xml", "<r><b/><b/></r>");
+
+  DocStoreStats stats;
+  DocumentStore::LoadOptions opts;
+  opts.stats = &stats;
+  ASSERT_OK(store.Load(a, opts));
+  ASSERT_OK(store.Load(b, opts));  // evicts a
+  EXPECT_GE(stats.evictions, 1);
+  EXPECT_LE(store.counters().bytes_cached, options.max_bytes);
+
+  bool parsed = false;
+  opts.performed_parse = &parsed;
+  ASSERT_OK(store.Load(a, opts));  // a was evicted: parses again
+  EXPECT_TRUE(parsed);
+}
+
+TEST_F(StoreTest, OversizedDocumentServedUncached) {
+  DocumentStoreOptions options = FastOptions();
+  options.max_bytes = 16;  // smaller than any parsed tree
+  DocumentStore store(options);
+  std::string path = WriteDoc("big.xml", "<r><a/><b/><c/></r>");
+
+  DocStoreStats stats;
+  DocumentStore::LoadOptions opts;
+  opts.stats = &stats;
+  Result<NodePtr> r = store.Load(path, opts);
+  ASSERT_OK(r);
+  EXPECT_EQ(stats.uncached_oversize, 1);
+  EXPECT_EQ(store.counters().entries, 0);
+  EXPECT_EQ(store.counters().bytes_cached, 0);
+
+  // Still served (degradation, not failure) — just re-parsed each time.
+  bool parsed = false;
+  opts.performed_parse = &parsed;
+  ASSERT_OK(store.Load(path, opts));
+  EXPECT_TRUE(parsed);
+}
+
+TEST_F(StoreTest, ZeroBudgetDisablesCachingButNotService) {
+  DocumentStoreOptions options = FastOptions();
+  options.max_bytes = 0;
+  DocumentStore store(options);
+  std::string path = WriteDoc("nocache.xml", "<r/>");
+  ASSERT_OK(store.Load(path));
+  ASSERT_OK(store.Load(path));
+  EXPECT_EQ(store.counters().entries, 0);
+}
+
+TEST_F(StoreTest, InvalidateDropsTheEntry) {
+  DocumentStore store(FastOptions());
+  std::string path = WriteDoc("inval.xml", "<r/>");
+  ASSERT_OK(store.Load(path));
+  EXPECT_EQ(store.counters().entries, 1);
+
+  EXPECT_TRUE(store.Invalidate(path));
+  EXPECT_FALSE(store.Invalidate(path));  // nothing left to drop
+  EXPECT_EQ(store.counters().entries, 0);
+  EXPECT_EQ(store.counters().bytes_cached, 0);
+
+  bool parsed = false;
+  DocumentStore::LoadOptions opts;
+  opts.performed_parse = &parsed;
+  ASSERT_OK(store.Load(path, opts));
+  EXPECT_TRUE(parsed);
+}
+
+TEST_F(StoreTest, HotReloadSwapsStaleEntryAtomically) {
+  DocumentStore store(FastOptions());
+  std::string path = WriteDoc("stale.xml", "<r><old/></r>");
+
+  Result<NodePtr> first = store.Load(path);
+  ASSERT_OK(first);
+  NodePtr held = first.value();  // a query still holding the old tree
+
+  // Rewrite with different content (size change guarantees a fingerprint
+  // mismatch even on coarse-mtime filesystems).
+  WriteDoc("stale.xml", "<r><brand_new/><brand_new/></r>");
+
+  DocStoreStats stats;
+  DocumentStore::LoadOptions opts;
+  opts.stats = &stats;
+  Result<NodePtr> second = store.Load(path, opts);
+  ASSERT_OK(second);
+  EXPECT_EQ(stats.stale_reloads, 1);
+  EXPECT_NE(held.get(), second.value().get());
+  // The old tree stays alive and intact for its holder.
+  ASSERT_FALSE(held->children.empty());
+  ASSERT_FALSE(held->children[0]->children.empty());
+  EXPECT_EQ(held->children[0]->children[0]->name.str(), "old");
+}
+
+// ---------------------------------------------------------------------------
+// Error classification: retries, exhaustion, negative cache, quarantine.
+// ---------------------------------------------------------------------------
+
+TEST_F(StoreTest, FlakyReadsRecoverThroughRetries) {
+  DocumentStore store(FastOptions());
+  std::string path = WriteDoc("flaky.xml", "<r><ok/></r>");
+
+  IoFaultInjector fault;
+  fault.mode = IoFaultMode::kFlakyThenSucceed;
+  fault.fail_n = 2;
+  store.set_fault_injector(&fault);
+
+  DocStoreStats stats;
+  DocumentStore::LoadOptions opts;
+  opts.stats = &stats;
+  Result<NodePtr> r = store.Load(path, opts);
+  ASSERT_OK(r);
+  EXPECT_EQ(stats.retries, 2);
+  EXPECT_EQ(fault.attempts.load(), 3);
+  store.set_fault_injector(nullptr);
+}
+
+TEST_F(StoreTest, TransientFailuresExhaustRetriesWithXQC0008) {
+  DocumentStoreOptions options = FastOptions();
+  options.max_retries = 2;
+  DocumentStore store(options);
+  std::string path = WriteDoc("downdev.xml", "<r/>");
+
+  IoFaultInjector fault;
+  fault.mode = IoFaultMode::kFailOpen;
+  fault.transient = true;
+  fault.fail_n = 0;  // every attempt fails
+  store.set_fault_injector(&fault);
+
+  DocStoreStats stats;
+  DocumentStore::LoadOptions opts;
+  opts.stats = &stats;
+  Result<NodePtr> r = store.Load(path, opts);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().kind(), StatusKind::kIOError);
+  EXPECT_EQ(r.status().code(), kStoreRetriesExhaustedCode);
+  EXPECT_EQ(stats.retries, 2);
+  EXPECT_EQ(fault.attempts.load(), 3);  // initial attempt + 2 retries
+
+  // Retry exhaustion is not negative-cached: once the device recovers the
+  // next load succeeds immediately.
+  store.set_fault_injector(nullptr);
+  ASSERT_OK(store.Load(path));
+}
+
+TEST_F(StoreTest, PermanentFailureIsNegativeCachedWithTtl) {
+  DocumentStoreOptions options = FastOptions();
+  options.negative_ttl_ms = 60 * 1000;  // long enough to observe the replay
+  DocumentStore store(options);
+  std::string path = dir_ + "does_not_exist.xml";
+
+  DocStoreStats stats;
+  DocumentStore::LoadOptions opts;
+  opts.stats = &stats;
+  Result<NodePtr> first = store.Load(path, opts);
+  ASSERT_FALSE(first.ok());
+  EXPECT_EQ(first.status().kind(), StatusKind::kIOError);
+  EXPECT_EQ(first.status().code(), "FODC0002");
+  EXPECT_EQ(stats.negative_hits, 0);
+
+  Result<NodePtr> second = store.Load(path, opts);
+  ASSERT_FALSE(second.ok());
+  EXPECT_EQ(second.status().code(), "FODC0002");
+  EXPECT_EQ(stats.negative_hits, 1);  // replayed without touching the FS
+
+  // Invalidate clears the verdict; creating the file makes it loadable.
+  EXPECT_TRUE(store.Invalidate(path));
+  WriteDoc("does_not_exist.xml", "<r/>");
+  ASSERT_OK(store.Load(path, opts));
+}
+
+TEST_F(StoreTest, NegativeVerdictExpiresAfterTtl) {
+  DocumentStoreOptions options = FastOptions();
+  options.negative_ttl_ms = 20;
+  DocumentStore store(options);
+  std::string path = dir_ + "late_arrival.xml";
+
+  ASSERT_FALSE(store.Load(path).ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(40));
+  WriteDoc("late_arrival.xml", "<r/>");
+  ASSERT_OK(store.Load(path));  // TTL expired: the FS is re-probed
+}
+
+TEST_F(StoreTest, MalformedDocumentIsQuarantinedAndReplayed) {
+  DocumentStore store(FastOptions());
+  std::string path = WriteDoc("poison.xml", "<r><unclosed></r>");
+
+  DocStoreStats stats;
+  DocumentStore::LoadOptions opts;
+  opts.stats = &stats;
+  Result<NodePtr> first = store.Load(path, opts);
+  ASSERT_FALSE(first.ok());
+  EXPECT_EQ(first.status().kind(), StatusKind::kParseError);
+  EXPECT_EQ(stats.quarantine_hits, 0);
+
+  // Subsequent loads replay the cached failure (XQC0009, same kind)
+  // without re-reading or re-parsing the file.
+  Result<NodePtr> second = store.Load(path, opts);
+  ASSERT_FALSE(second.ok());
+  EXPECT_EQ(second.status().kind(), StatusKind::kParseError);
+  EXPECT_EQ(second.status().code(), kStoreQuarantinedCode);
+  EXPECT_EQ(stats.quarantine_hits, 1);
+  EXPECT_EQ(store.counters().quarantined, 1);
+}
+
+TEST_F(StoreTest, QuarantineLiftsViaInvalidate) {
+  DocumentStore store(FastOptions());
+  std::string path = WriteDoc("poison2.xml", "<r><unclosed></r>");
+  ASSERT_FALSE(store.Load(path).ok());
+  ASSERT_EQ(store.Load(path).status().code(), kStoreQuarantinedCode);
+
+  EXPECT_TRUE(store.Invalidate(path));
+  // The file is still malformed: a fresh parse attempt, fresh verdict.
+  Result<NodePtr> r = store.Load(path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().code(), kStoreQuarantinedCode);
+}
+
+TEST_F(StoreTest, QuarantineLiftsWhenTheFileIsFixed) {
+  DocumentStore store(FastOptions());
+  std::string path = WriteDoc("fixed.xml", "<r><unclosed></r>");
+  ASSERT_FALSE(store.Load(path).ok());
+  ASSERT_EQ(store.Load(path).status().code(), kStoreQuarantinedCode);
+
+  // Fixing the file changes its fingerprint; the quarantine lifts on its
+  // own, no Invalidate needed.
+  WriteDoc("fixed.xml", "<r><all_better_now/></r>");
+  ASSERT_OK(store.Load(path));
+  EXPECT_EQ(store.counters().quarantined, 0);
+}
+
+TEST_F(StoreTest, GuardTripsAreNeverCached) {
+  DocumentStore store(FastOptions());
+  std::string path = WriteDoc("budget.xml", "<r><a/><b/><c/><d/></r>");
+
+  GuardLimits limits;
+  limits.max_memory_bytes = 64;  // far below the parse's node accounting
+  QueryGuard tight(limits);
+  DocumentStore::LoadOptions opts;
+  opts.guard = &tight;
+  Result<NodePtr> r = store.Load(path, opts);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().kind(), StatusKind::kResourceExhausted);
+  EXPECT_EQ(r.status().code(), kGuardMemoryCode);
+
+  // The trip belonged to that caller, not the document: an unlimited
+  // caller succeeds immediately (nothing was quarantined).
+  ASSERT_OK(store.Load(path));
+}
+
+// ---------------------------------------------------------------------------
+// Singleflight: shared parses, waiter deadlines/cancellation, abandonment.
+// ---------------------------------------------------------------------------
+
+TEST_F(StoreTest, ConcurrentLoadsShareOneParse) {
+  DocumentStore store(FastOptions());
+  std::string path = WriteDoc("shared.xml", "<r><a/><a/><a/></r>");
+
+  IoFaultInjector slow;
+  slow.mode = IoFaultMode::kSlowRead;
+  slow.delay_ms = 100;  // a window for every thread to pile in
+  store.set_fault_injector(&slow);
+
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  std::vector<DocStoreStats> stats(kThreads);
+  std::vector<NodePtr> docs(kThreads);
+  std::atomic<int> failures{0};
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&, i] {
+      DocumentStore::LoadOptions opts;
+      opts.stats = &stats[i];
+      Result<NodePtr> r = store.Load(path, opts);
+      if (r.ok()) {
+        docs[i] = r.value();
+      } else {
+        failures.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  store.set_fault_injector(nullptr);
+
+  EXPECT_EQ(failures.load(), 0);
+  int64_t misses = 0, waits = 0, hits = 0;
+  for (const DocStoreStats& s : stats) {
+    misses += s.misses;
+    waits += s.singleflight_waits;
+    hits += s.hits;
+  }
+  EXPECT_EQ(misses, 1) << "exactly one thread should have parsed";
+  // Every other thread either waited on the leader or (if it started late)
+  // hit the already-published cache entry.
+  EXPECT_EQ(waits + hits, kThreads - 1);
+  EXPECT_EQ(slow.attempts.load(), 1) << "one physical read for all threads";
+  for (int i = 1; i < kThreads; ++i) {
+    EXPECT_EQ(docs[0].get(), docs[i].get());
+  }
+}
+
+TEST_F(StoreTest, WaiterHonorsItsOwnDeadline) {
+  DocumentStore store(FastOptions());
+  std::string path = WriteDoc("slowload.xml", "<r/>");
+
+  IoFaultInjector slow;
+  slow.mode = IoFaultMode::kSlowRead;
+  slow.delay_ms = 400;
+  store.set_fault_injector(&slow);
+
+  // Leader: no deadline, rides out the slow read.
+  std::thread leader([&] { ASSERT_OK(store.Load(path)); });
+  // Give the leader time to claim the in-flight slot.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  // Waiter: a 30ms deadline expires long before the leader finishes. The
+  // waiter must abandon the wait with ITS OWN timeout, not block 400ms.
+  GuardLimits limits;
+  limits.deadline_ms = 30;
+  QueryGuard guard(limits);
+  DocumentStore::LoadOptions opts;
+  opts.guard = &guard;
+  auto t0 = std::chrono::steady_clock::now();
+  Result<NodePtr> r = store.Load(path, opts);
+  auto waited = std::chrono::duration_cast<std::chrono::milliseconds>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), kGuardTimeoutCode);
+  EXPECT_LT(waited, 300) << "waiter must not ride out the leader's read";
+
+  leader.join();
+  store.set_fault_injector(nullptr);
+  // Abandonment leaked nothing: the leader published and later loads hit.
+  DocStoreStats stats;
+  DocumentStore::LoadOptions hit;
+  hit.stats = &stats;
+  ASSERT_OK(store.Load(path, hit));
+  EXPECT_EQ(stats.hits, 1);
+}
+
+TEST_F(StoreTest, WaiterHonorsCancellation) {
+  DocumentStore store(FastOptions());
+  std::string path = WriteDoc("cancelload.xml", "<r/>");
+
+  IoFaultInjector slow;
+  slow.mode = IoFaultMode::kSlowRead;
+  slow.delay_ms = 400;
+  store.set_fault_injector(&slow);
+
+  std::thread leader([&] { ASSERT_OK(store.Load(path)); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  CancellationToken token = CancellationToken::Make();
+  QueryGuard guard(GuardLimits{}, token);
+  std::thread canceller([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    token.RequestCancel();
+  });
+  DocumentStore::LoadOptions opts;
+  opts.guard = &guard;
+  Result<NodePtr> r = store.Load(path, opts);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), kGuardCancelledCode);
+
+  canceller.join();
+  leader.join();
+  store.set_fault_injector(nullptr);
+  ASSERT_OK(store.Load(path));
+}
+
+TEST_F(StoreTest, WaitersRetryWhenLeaderTripsItsOwnGuard) {
+  DocumentStore store(FastOptions());
+  std::string path = WriteDoc("tripped_leader.xml", "<r/>");
+
+  IoFaultInjector slow;
+  slow.mode = IoFaultMode::kSlowRead;
+  slow.delay_ms = 200;
+  store.set_fault_injector(&slow);
+
+  // Leader trips its own deadline mid-read. Its failure must not be
+  // shared with the waiter, which retries (becoming the new leader) and
+  // succeeds once the injector is cleared.
+  GuardLimits tight;
+  tight.deadline_ms = 40;
+  QueryGuard leader_guard(tight);
+  std::atomic<bool> leader_failed{false};
+  std::thread leader([&] {
+    DocumentStore::LoadOptions opts;
+    opts.guard = &leader_guard;
+    Result<NodePtr> r = store.Load(path, opts);
+    leader_failed.store(!r.ok());
+    store.set_fault_injector(nullptr);  // device "recovers"
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+
+  DocStoreStats stats;
+  DocumentStore::LoadOptions opts;
+  opts.stats = &stats;
+  Result<NodePtr> r = store.Load(path, opts);
+  leader.join();
+  ASSERT_TRUE(leader_failed.load());
+  ASSERT_OK(r);
+  EXPECT_GE(stats.misses, 1) << "the waiter re-led the load itself";
+}
+
+// ---------------------------------------------------------------------------
+// Ablation: store-on and store-off must be byte-identical.
+// ---------------------------------------------------------------------------
+
+TEST_F(StoreTest, StoreOnAndOffProduceIdenticalResults) {
+  std::string path = WriteDoc("diff.xml",
+                              "<site><a id='1'>x</a><a id='2'>y</a></site>");
+  const std::string query =
+      "for $a in doc(\"" + path + "\")//a return string($a)";
+
+  EngineOptions on;
+  on.use_doc_store = true;
+  EngineOptions off;
+  off.use_doc_store = false;
+
+  DynamicContext ctx_on, ctx_off;
+  // Private store so the test doesn't touch the process-wide cache.
+  DocumentStore store(FastOptions());
+  ctx_on.set_document_store(&store);
+
+  Result<std::string> r_on = Engine(on).Execute(query, &ctx_on);
+  Result<std::string> r_off = Engine(off).Execute(query, &ctx_off);
+  ASSERT_OK(r_on);
+  ASSERT_OK(r_off);
+  EXPECT_EQ(r_on.value(), r_off.value());
+  EXPECT_EQ(store.counters().totals.misses, 1);
+  EXPECT_EQ(ctx_off.doc_store_stats().misses, 0)
+      << "store-off execution must not touch the store";
+}
+
+// ---------------------------------------------------------------------------
+// FaultMatrix: swept by scripts/check.sh over XQC_IO_FAULT_MODE. Under
+// every injected fault the store must return either a document or a
+// classified, coded error — never crash, hang, or corrupt the cache.
+// ---------------------------------------------------------------------------
+
+class FaultMatrixTest : public StoreTest {
+ protected:
+  static IoFaultMode ModeFromEnv() {
+    const char* name = std::getenv("XQC_IO_FAULT_MODE");
+    IoFaultMode mode = IoFaultMode::kNone;
+    if (name != nullptr) {
+      EXPECT_TRUE(IoFaultModeFromName(name, &mode))
+          << "unknown XQC_IO_FAULT_MODE '" << name << "'";
+    }
+    return mode;
+  }
+};
+
+TEST_F(FaultMatrixTest, LoadsSurviveInjectedFaults) {
+  DocumentStoreOptions options = FastOptions();
+  options.max_retries = 3;
+  DocumentStore store(options);
+  std::string path = WriteDoc("matrix.xml", "<r><a/><b/></r>");
+
+  IoFaultInjector fault;
+  fault.mode = ModeFromEnv();
+  fault.fail_n = 2;     // flaky/fail-open: recover within the retry budget
+  fault.delay_ms = 20;  // slow-read: short enough for an un-deadlined load
+  store.set_fault_injector(&fault);
+
+  for (int round = 0; round < 3; ++round) {
+    DocStoreStats stats;
+    DocumentStore::LoadOptions opts;
+    opts.stats = &stats;
+    Result<NodePtr> r = store.Load(path, opts);
+    switch (fault.mode) {
+      case IoFaultMode::kNone:
+      case IoFaultMode::kSlowRead:
+        ASSERT_OK(r);
+        break;
+      case IoFaultMode::kFailOpen:
+      case IoFaultMode::kFlakyThenSucceed:
+        // First load retries through the flaky window and succeeds;
+        // later rounds hit the cache.
+        ASSERT_OK(r);
+        if (round == 0) {
+          EXPECT_EQ(stats.retries, 2);
+        }
+        break;
+      case IoFaultMode::kShortRead: {
+        // Truncated reads poison the parse: a coded failure, then cheap
+        // quarantine replays.
+        ASSERT_FALSE(r.ok());
+        EXPECT_EQ(r.status().kind(), StatusKind::kParseError);
+        if (round > 0) {
+          EXPECT_EQ(r.status().code(), kStoreQuarantinedCode);
+        }
+        break;
+      }
+    }
+  }
+  store.set_fault_injector(nullptr);
+
+  // Whatever the fault did, the store must still serve clean loads after
+  // the device recovers (short-read's quarantine lifts via Invalidate).
+  store.Invalidate(path);
+  ASSERT_OK(store.Load(path));
+}
+
+TEST_F(FaultMatrixTest, DeadlinedLoadsFailWithGuardCodesNotHangs) {
+  DocumentStoreOptions options = FastOptions();
+  DocumentStore store(options);
+  std::string path = WriteDoc("matrix_deadline.xml", "<r/>");
+
+  IoFaultInjector fault;
+  fault.mode = ModeFromEnv();
+  fault.fail_n = 0;      // fail-open: never recovers
+  fault.delay_ms = 400;  // slow-read: far beyond the deadline
+  store.set_fault_injector(&fault);
+
+  GuardLimits limits;
+  limits.deadline_ms = 50;
+  QueryGuard guard(limits);
+  DocumentStore::LoadOptions opts;
+  opts.guard = &guard;
+  auto t0 = std::chrono::steady_clock::now();
+  Result<NodePtr> r = store.Load(path, opts);
+  auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                     std::chrono::steady_clock::now() - t0)
+                     .count();
+  EXPECT_LT(elapsed, 350) << "a 50ms deadline must cut every fault short";
+
+  switch (fault.mode) {
+    case IoFaultMode::kNone:
+      ASSERT_OK(r);
+      break;
+    case IoFaultMode::kSlowRead:
+      ASSERT_FALSE(r.ok());
+      EXPECT_EQ(r.status().code(), kGuardTimeoutCode);
+      break;
+    case IoFaultMode::kFailOpen:
+      // Either the deadline cuts the backoff short (XQC0001) or the retry
+      // budget runs out first (XQC0008) — both are classified failures.
+      ASSERT_FALSE(r.ok());
+      EXPECT_TRUE(r.status().code() == kGuardTimeoutCode ||
+                  r.status().code() == kStoreRetriesExhaustedCode)
+          << r.status().ToString();
+      break;
+    case IoFaultMode::kShortRead:
+      ASSERT_FALSE(r.ok());
+      EXPECT_EQ(r.status().kind(), StatusKind::kParseError);
+      break;
+    case IoFaultMode::kFlakyThenSucceed:
+      // fail_n=0 means every attempt succeeds immediately.
+      ASSERT_OK(r);
+      break;
+  }
+  store.set_fault_injector(nullptr);
+}
+
+}  // namespace
+}  // namespace xqc
