@@ -14,6 +14,8 @@
 //   --interpret          use the baseline Core interpreter
 //   --join nl|hash|sort  physical join algorithm (default hash)
 //   --exec stream|mat    iterator vs materializing execution (default stream)
+//   --batch-size <n>     tuples per streaming batch (default 1024;
+//                        1 = tuple-at-a-time oracle)
 //   --project            statically project bound documents (TreeProject)
 //   --force-sort         always sort TreeJoin output (DDO-elision baseline)
 //   --no-doc-index       disable per-document structural indexes
@@ -131,7 +133,7 @@ int main(int argc, char** argv) {
     } else if (arg == "--threads" || arg == "--repeat" ||
                arg == "--timeout-ms" || arg == "--max-mem-mb" ||
                arg == "--max-output-items" || arg == "--max-steps" ||
-               arg == "--doc-store-mb") {
+               arg == "--doc-store-mb" || arg == "--batch-size") {
       const char* v = next();
       if (v == nullptr) return Fail(arg + " needs a number");
       char* end = nullptr;
@@ -146,6 +148,7 @@ int main(int argc, char** argv) {
       else if (arg == "--max-steps") options.limits.max_eval_steps = n;
       else if (arg == "--doc-store-mb")
         xqc::DocumentStore::Global()->set_max_bytes(n * (1 << 20));
+      else if (arg == "--batch-size") options.batch_size = static_cast<int>(n);
       else if (arg == "--threads") threads = static_cast<int>(n);
       else repeat = static_cast<int>(n);
     } else {
@@ -263,6 +266,7 @@ int main(int argc, char** argv) {
               << " skip-verified=" << es.tree_join.ddo_skip_verified
               << " index-lookups=" << es.tree_join.index_lookups << "\n"
               << "guard: checks=" << es.guard_checks
+              << " steps=" << es.guard_steps
               << " peak-memory-bytes=" << es.peak_memory_bytes << "\n"
               << "doc-store: hits=" << es.doc_store.hits
               << " misses=" << es.doc_store.misses

@@ -27,6 +27,20 @@ if [[ "${1:-}" != "--sanitize-only" ]]; then
   XQC_SCALE="${XQC_BENCH_SMOKE_SCALE:-0.1}" ./build/bench/bench_axes \
     --benchmark_min_time=0.01 >/dev/null
 
+  echo "=== batched-execution parity sweep + bench_batch smoke ==="
+  # The batch-size ablations: corpus + property byte-parity sweeps over
+  # {1,2,3,7,1024}, the ExecStats invariance check, and the guard
+  # trip/allocation/early-exit parity suites, then a short pass over the
+  # batch benchmarks so bench-harness regressions surface here.
+  ./build/tests/corpus_test --gtest_brief=1
+  ./build/tests/property_test --gtest_filter='*BatchSizesAgree*' \
+    --gtest_brief=1
+  ./build/tests/engine_test --gtest_filter='*BatchSizeInvariant*' \
+    --gtest_brief=1
+  ./build/tests/guard_test --gtest_filter='*Batched*' --gtest_brief=1
+  XQC_SCALE="${XQC_BENCH_SMOKE_SCALE:-0.1}" ./build/bench/bench_batch \
+    --benchmark_min_time=0.01 >/dev/null
+
   echo "=== document-store fault matrix (IoFaultInjector modes) ==="
   # The FaultMatrix suite asserts mode-specific outcomes (recovery within
   # the retry budget, quarantine on truncation, deadline cuts) under each

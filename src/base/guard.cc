@@ -17,6 +17,20 @@ Status QueryGuard::SlowCheck() {
   return CheckNow();
 }
 
+Status QueryGuard::SlowCheckSteps(int64_t n) {
+  // Mirrors n sequential Check() calls: every time the remaining credit
+  // covers the countdown, a slow check fires and the countdown resets to
+  // kCheckInterval; the tail is absorbed by the counter. Loop bound is
+  // n / kCheckInterval — the same number of slow checks n fast-path
+  // decrements would have triggered.
+  while (n >= countdown_) {
+    n -= countdown_;
+    XQC_RETURN_IF_ERROR(SlowCheck());
+  }
+  countdown_ -= n;
+  return Status::OK();
+}
+
 Status QueryGuard::CheckNow() {
   checks_++;
   if (injector_.trip_check_n > 0 && checks_ >= injector_.trip_check_n) {

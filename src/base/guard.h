@@ -155,6 +155,20 @@ class QueryGuard {
     return SlowCheck();
   }
 
+  /// Credits `n` steps at once — exactly equivalent to n sequential
+  /// Check() calls (same steps_/checks_ totals, same slow-check cadence,
+  /// so injector trips and the XQC0006 quota fire at the same logical
+  /// step) but with one call. Batched iterators use this to amortize
+  /// per-tuple guard traffic while keeping the tuple-at-a-time oracle's
+  /// accounting bit-for-bit. n = 0 is a no-op.
+  Status CheckSteps(int64_t n) {
+    if (n < countdown_) {
+      countdown_ -= n;
+      return Status::OK();
+    }
+    return SlowCheckSteps(n);
+  }
+
   /// An unamortized check, for coarse boundaries (e.g. each tuple a
   /// ResultStream delivers) where cancellation latency matters more than
   /// throughput. Does not advance the step counter.
@@ -193,6 +207,7 @@ class QueryGuard {
 
  private:
   Status SlowCheck();
+  Status SlowCheckSteps(int64_t n);
 
   GuardLimits limits_;
   CancellationToken cancel_;

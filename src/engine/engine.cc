@@ -15,6 +15,7 @@ ExecOptions ToExecOptions(const EngineOptions& o) {
   exec.streaming = o.exec_mode == ExecMode::kStreaming;
   exec.force_sort = o.force_sort;
   exec.use_doc_index = o.use_doc_index;
+  exec.batch_size = o.batch_size < 1 ? 1 : o.batch_size;
   return exec;
 }
 
@@ -49,6 +50,7 @@ Result<Sequence> PreparedQuery::Execute(
     return inner;
   }();
   stats.guard_checks = guard->checks();
+  stats.guard_steps = guard->steps();
   stats.peak_memory_bytes = guard->peak_memory_bytes();
   stats.doc_store = ctx->doc_store_stats();
   {
@@ -93,6 +95,10 @@ Result<bool> ResultStream::Next(Item* out) {
   Impl& im = *impl_;
   while (im.pos >= im.buf.size()) {
     if (!im.streaming || im.done) return false;
+    // The incremental cursor always pulls tuple-at-a-time, whatever
+    // EngineOptions::batch_size says: its demand is one tuple, and
+    // prefetching a batch here would evaluate input a caller that stops
+    // early never asked for (and delay cancellation by a batch).
     // Unamortized check per tuple: a RequestCancel between pulls is honored
     // on the very next pull, not after kCheckInterval more steps.
     XQC_RETURN_IF_ERROR(im.active->CheckNow());
@@ -128,6 +134,7 @@ const ExecStats& ResultStream::stats() const {
   if (!im.streaming) return im.buffered_stats;
   im.stats_cache = im.eval.stats();
   im.stats_cache.guard_checks = im.active->checks();
+  im.stats_cache.guard_steps = im.active->steps();
   im.stats_cache.peak_memory_bytes = im.active->peak_memory_bytes();
   im.stats_cache.doc_store = im.context->doc_store_stats();
   return im.stats_cache;

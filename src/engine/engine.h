@@ -66,6 +66,14 @@ struct EngineOptions {
   /// singleflight loading, retry, quarantine — src/store). Off = oracle
   /// ablation: every execution parses documents directly from disk.
   bool use_doc_store = true;
+  /// Tuples moved per batch through the streaming iterators
+  /// (ExecOptions::batch_size). 1 = the tuple-at-a-time oracle; larger
+  /// values amortize virtual dispatch and guard checks over full-
+  /// consumption pipelines while producing byte-identical results,
+  /// identical ExecStats counters, and identical guard trip points.
+  /// Values < 1 are treated as 1. Ignored by ExecMode::kMaterialize and
+  /// the interpreter.
+  int batch_size = 1024;
   /// Resource limits enforced during Execute / ExecuteStream (0 fields are
   /// unlimited). Trips surface as Status::ResourceExhausted with the
   /// XQC00xx codes in src/base/guard.h.

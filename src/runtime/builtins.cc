@@ -277,6 +277,25 @@ Result<Sequence> NodeSetOp(const Args& args, const char* what, char mode) {
 
 // ---- string helpers ----------------------------------------------------------
 
+/// The only collation this engine implements (F&O 7.3.1): the Unicode
+/// codepoint collation.
+constexpr const char* kCodepointCollation =
+    "http://www.w3.org/2005/xpath-functions/collation/codepoint";
+
+/// Validates an optional trailing collation argument: the codepoint
+/// collation is accepted, anything else is FOCH0002 (F&O 7.4).
+Status CheckCollationArg(const Args& args, size_t idx, const char* what) {
+  if (args.size() <= idx) return Status::OK();
+  Result<std::string> c = StringArg(args[idx], what);
+  if (!c.ok()) return c.status();
+  if (c.value() != kCodepointCollation) {
+    return Status::XQueryError(
+        "FOCH0002", std::string(what) + ": unsupported collation \"" +
+                        c.value() + "\"");
+  }
+  return Status::OK();
+}
+
 Result<Sequence> Substring(const Args& args) {
   XQC_ASSIGN_OR_RETURN(std::string s, StringArg(args[0], "fn:substring"));
   XQC_ASSIGN_OR_RETURN(double dstart, DoubleArg(args[1], "fn:substring"));
@@ -422,16 +441,22 @@ const std::map<std::string, Builtin>& Registry() {
     add("fn:substring", 2, 3, [](const Args& a, DynamicContext*) {
       return Substring(a);
     });
-    add("fn:substring-before", 2, 2,
+    // The 3-arity forms take a collation (F&O 7.4.7/7.4.9); only the
+    // codepoint collation is supported, others raise FOCH0002. Byte-wise
+    // find is correct for the codepoint collation: UTF-8 is
+    // self-synchronizing, so a byte match is a codepoint match.
+    add("fn:substring-before", 2, 3,
         [](const Args& a, DynamicContext*) -> Result<Sequence> {
+          XQC_RETURN_IF_ERROR(CheckCollationArg(a, 2, "substring-before"));
           XQC_ASSIGN_OR_RETURN(std::string s, StringArg(a[0], "substring-before"));
           XQC_ASSIGN_OR_RETURN(std::string t, StringArg(a[1], "substring-before"));
           size_t p = s.find(t);
           if (p == std::string::npos) return One(AtomicValue::String(""));
           return One(AtomicValue::String(s.substr(0, p)));
         });
-    add("fn:substring-after", 2, 2,
+    add("fn:substring-after", 2, 3,
         [](const Args& a, DynamicContext*) -> Result<Sequence> {
+          XQC_RETURN_IF_ERROR(CheckCollationArg(a, 2, "substring-after"));
           XQC_ASSIGN_OR_RETURN(std::string s, StringArg(a[0], "substring-after"));
           XQC_ASSIGN_OR_RETURN(std::string t, StringArg(a[1], "substring-after"));
           size_t p = s.find(t);

@@ -192,6 +192,7 @@ Result<Sequence> PlanEvaluator::EvalItemsLimited(const Op& op, const EvalCtx& c,
           return Status::XQueryError("XPTY0004",
                                      "path step applied to an atomic value");
         }
+        XQC_RETURN_IF_ERROR(guard_->CheckSteps(1));
         XQC_RETURN_IF_ERROR(ApplyAxis(it.node(), op.axis, op.ntest,
                                       ctx_->schema(), &out, tj,
                                       &stats_.tree_join));
@@ -207,6 +208,25 @@ Result<Sequence> PlanEvaluator::EvalItemsLimited(const Op& op, const EvalCtx& c,
 Result<Sequence> PlanEvaluator::EvalMapToItem(const Op& op, const EvalCtx& c,
                                               size_t limit) {
   XQC_ASSIGN_OR_RETURN(TupleIteratorPtr input, OpenTable(*op.inputs[0], c));
+  // Full consumption drives the pipeline in batches; a limited pull stays
+  // tuple-at-a-time below (its demand is a handful of tuples, and the
+  // oracle's early-exit accounting must be preserved exactly).
+  if (limit == kEvalNoLimit && options_.batch_size > 1) {
+    Sequence out;
+    TupleBatch b;
+    while (true) {
+      XQC_RETURN_IF_ERROR(
+          input->NextBatch(&b, static_cast<size_t>(options_.batch_size)));
+      if (b.empty()) return out;
+      for (size_t i = 0; i < b.size(); i++) {
+        EvalCtx dc = c;
+        dc.tuple = &b[i];
+        dc.items = nullptr;
+        XQC_ASSIGN_OR_RETURN(Sequence v, EvalItems(*op.deps[0], dc));
+        Extend(&out, std::move(v));
+      }
+    }
+  }
   Sequence out;
   Tuple t;
   while (out.size() < limit) {
@@ -264,6 +284,10 @@ Result<Sequence> PlanEvaluator::EvalItems(const Op& op, const EvalCtx& c) {
       return EvalConstructor(op, c);
     case OpKind::kTreeJoin: {
       XQC_ASSIGN_OR_RETURN(Sequence in, EvalItems(*op.inputs[0], c));
+      // One amortized step per context node: a huge axis step cannot run
+      // unbounded between slow checks. Credited identically at every
+      // batch size (TreeJoin is item-space; batching happens around it).
+      XQC_RETURN_IF_ERROR(guard_->CheckSteps(static_cast<int64_t>(in.size())));
       TreeJoinOpts tj{op.ddo, options_.force_sort, options_.use_doc_index,
                       guard_};
       return TreeJoin(in, op.axis, op.ntest, ctx_->schema(), tj,

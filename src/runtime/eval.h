@@ -40,6 +40,14 @@ struct ExecOptions {
   /// Consult (and lazily build) per-document structural indexes for
   /// descendant / following / preceding steps.
   bool use_doc_index = true;
+  /// Tuples moved per NextBatch() call in streaming mode. 1 = the
+  /// tuple-at-a-time oracle (every operator pulls through Next());
+  /// values > 1 drive full-consumption pipelines through TupleBatch.
+  /// Limited consumers (fn:exists, EBV prefixes, fn:subsequence,
+  /// quantifiers) always run tuple-at-a-time — their demand is inherently
+  /// one tuple — so early-exit behavior and stats match the oracle
+  /// exactly. Ignored in materializing mode.
+  int batch_size = 1024;
 };
 
 /// "No limit" for the limited evaluation entry points.
@@ -57,6 +65,7 @@ struct ExecStats {
   int64_t source_tuples = 0;       // tuples produced by MapFromItem
   int64_t streaming_early_stops = 0;  // limited consumers that cut input
   int64_t guard_checks = 0;        // QueryGuard slow-path checks run
+  int64_t guard_steps = 0;         // amortized eval steps credited
   int64_t peak_memory_bytes = 0;   // total guard-accounted allocation
   TreeJoinStats tree_join;         // sort elisions / index use (axes.h)
   DocStoreStats doc_store;         // fn:doc resolution (document_store.h)

@@ -15,6 +15,26 @@
 #include "src/runtime/eval.h"
 
 namespace xqc {
+
+// Default batched pull: loops Next() until the batch is full or the
+// stream ends, latching end-of-stream so further calls return the empty
+// batch (Next() after false is undefined). Guard accounting is whatever
+// Next() does — exactly the oracle's, since this IS the oracle loop.
+Status TupleIterator::NextBatch(TupleBatch* out, size_t max) {
+  out->clear();
+  if (default_batch_eos_) return Status::OK();
+  Tuple t;
+  while (out->size() < max) {
+    XQC_ASSIGN_OR_RETURN(bool has, Next(&t));
+    if (!has) {
+      default_batch_eos_ = true;
+      break;
+    }
+    out->push(std::move(t));
+  }
+  return Status::OK();
+}
+
 namespace {
 
 /// Materialized fallback: yields the tuples of a precomputed table.
@@ -26,6 +46,13 @@ class TableIter : public TupleIterator {
     if (idx_ >= table_.size()) return false;
     *out = std::move(table_[idx_++]);
     return true;
+  }
+  Status NextBatch(TupleBatch* out, size_t max) override {
+    out->clear();
+    while (out->size() < max && idx_ < table_.size()) {
+      out->push(std::move(table_[idx_++]));
+    }
+    return Status::OK();
   }
   void Close() override {
     table_.clear();
@@ -122,6 +149,46 @@ class SelectIter : public TupleIterator {
       }
     }
   }
+  // Batched filter. Guard parity with Next(): the oracle checks once per
+  // loop iteration — one per input tuple pulled, plus one for the
+  // iteration that discovers end-of-stream or the positional stop. The
+  // positional bound clamps the demand passed down, so a [N] head over a
+  // batched pipeline pulls exactly N input tuples, like the oracle.
+  Status NextBatch(TupleBatch* out, size_t max) override {
+    out->clear();
+    if (stopped_ || eos_) return Status::OK();
+    while (out->size() < max) {
+      size_t want = max - out->size();
+      if (bound_ >= 0) {
+        int64_t left = bound_ - pulled_;
+        if (left <= 0) {
+          XQC_RETURN_IF_ERROR(ev_->guard()->CheckSteps(1));
+          stopped_ = true;
+          ev_->mutable_stats()->streaming_early_stops++;
+          child_->Close();
+          break;
+        }
+        if (static_cast<int64_t>(want) > left) {
+          want = static_cast<size_t>(left);
+        }
+      }
+      XQC_RETURN_IF_ERROR(child_->NextBatch(&in_, want));
+      if (in_.empty()) {
+        XQC_RETURN_IF_ERROR(ev_->guard()->CheckSteps(1));
+        eos_ = true;
+        break;
+      }
+      XQC_RETURN_IF_ERROR(
+          ev_->guard()->CheckSteps(static_cast<int64_t>(in_.size())));
+      pulled_ += static_cast<int64_t>(in_.size());
+      for (size_t i = 0; i < in_.size(); i++) {
+        XQC_ASSIGN_OR_RETURN(bool b,
+                             ev_->EvalPredicate(*op_->deps[0], in_[i], c_));
+        if (b) out->push(std::move(in_[i]));
+      }
+    }
+    return Status::OK();
+  }
   void Close() override { child_->Close(); }
 
  private:
@@ -132,6 +199,8 @@ class SelectIter : public TupleIterator {
   int64_t bound_;  // input pulls that can still match; -1 = unbounded
   int64_t pulled_ = 0;
   bool stopped_ = false;
+  bool eos_ = false;
+  TupleBatch in_;
 };
 
 /// Product: materializes the right side once, streams the left.
@@ -180,6 +249,31 @@ class ProductIter : public TupleIterator {
       ridx_ = 0;
     }
   }
+  // Batched product. The dominant shape is a singleton left (the IN
+  // tuple of a compiled FLWOR/quantifier): the right stream passes
+  // through in batches with one Concat per tuple. Guard parity with
+  // Next(): one check per emitted tuple, plus two for the end (the
+  // right-exhausted transition iteration and the final return). The
+  // multi-left replay shape falls back to the oracle loop.
+  Status NextBatch(TupleBatch* out, size_t max) override {
+    if (left_.size() != 1) return TupleIterator::NextBatch(out, max);
+    out->clear();
+    if (eos_) return Status::OK();
+    while (out->size() < max) {
+      XQC_RETURN_IF_ERROR(right_->NextBatch(&in_, max - out->size()));
+      if (in_.empty()) {
+        XQC_RETURN_IF_ERROR(ev_->guard()->CheckSteps(2));
+        eos_ = true;
+        break;
+      }
+      XQC_RETURN_IF_ERROR(
+          ev_->guard()->CheckSteps(static_cast<int64_t>(in_.size())));
+      for (size_t i = 0; i < in_.size(); i++) {
+        out->push(Tuple::Concat(left_[0], in_[i]));
+      }
+    }
+    return Status::OK();
+  }
   void Close() override {
     if (right_ != nullptr) right_->Close();
   }
@@ -192,8 +286,10 @@ class ProductIter : public TupleIterator {
   TupleIteratorPtr right_;
   Table replay_;  // right tuples, kept only if they must repeat
   bool right_done_ = false;
+  bool eos_ = false;
   size_t lidx_ = 0;
   size_t ridx_ = 0;
+  TupleBatch in_;
 };
 
 /// Map{f}: one output tuple per input tuple.
@@ -213,6 +309,25 @@ class MapIter : public TupleIterator {
     XQC_ASSIGN_OR_RETURN(*out, ev_->EvalTuple(*op_->deps[0], dc));
     return true;
   }
+  // Batched 1:1 map; a short child batch passes through short. MapIter
+  // itself checks nothing (EvalTuple checks on entry), same as Next().
+  Status NextBatch(TupleBatch* out, size_t max) override {
+    out->clear();
+    if (eos_) return Status::OK();
+    XQC_RETURN_IF_ERROR(child_->NextBatch(&in_, max));
+    if (in_.empty()) {
+      eos_ = true;
+      return Status::OK();
+    }
+    for (size_t i = 0; i < in_.size(); i++) {
+      EvalCtx dc = c_;
+      dc.tuple = &in_[i];
+      dc.items = nullptr;
+      XQC_ASSIGN_OR_RETURN(Tuple r, ev_->EvalTuple(*op_->deps[0], dc));
+      out->push(std::move(r));
+    }
+    return Status::OK();
+  }
   void Close() override { child_->Close(); }
 
  private:
@@ -220,6 +335,8 @@ class MapIter : public TupleIterator {
   const Op* op_;
   EvalCtx c_;
   TupleIteratorPtr child_;
+  bool eos_ = false;
+  TupleBatch in_;
 };
 
 /// OMap[q]: prepends [q:false] to each tuple; an empty input becomes the
@@ -304,6 +421,62 @@ class MapConcatIter : public TupleIterator {
       inner_matched_ = false;
     }
   }
+  // Batched dependent concat. The inner (dependent) stream is drained in
+  // batches; outer tuples are prefetched into a demand-bounded buffer and
+  // opened one inner at a time, so `current_` keeps the stable-storage
+  // contract. Guard parity with Next(): one check per emitted inner
+  // tuple, one per unmatched outer emission, one per outer advance (the
+  // oracle's inner-EOS + outer-pull iteration), one at outer EOS.
+  Status NextBatch(TupleBatch* out, size_t max) override {
+    out->clear();
+    if (eos_) return Status::OK();
+    while (out->size() < max) {
+      if (inner_ != nullptr) {
+        XQC_RETURN_IF_ERROR(inner_->NextBatch(&in_, max - out->size()));
+        if (!in_.empty()) {
+          XQC_RETURN_IF_ERROR(
+              ev_->guard()->CheckSteps(static_cast<int64_t>(in_.size())));
+          inner_matched_ = true;
+          for (size_t i = 0; i < in_.size(); i++) {
+            Tuple joined = Tuple::Concat(current_, in_[i]);
+            if (outer_) {
+              Tuple flag;
+              flag.Set(op_->name, {AtomicValue::Boolean(false)});
+              joined = Tuple::Concat(flag, joined);
+            }
+            out->push(std::move(joined));
+          }
+          continue;
+        }
+        bool unmatched = outer_ && !inner_matched_;
+        inner_.reset();
+        if (unmatched) {
+          XQC_RETURN_IF_ERROR(ev_->guard()->CheckSteps(1));
+          Tuple flag;
+          flag.Set(op_->name, {AtomicValue::Boolean(true)});
+          out->push(Tuple::Concat(flag, current_));
+          continue;
+        }
+      }
+      if (opos_ >= ob_.size()) {
+        XQC_RETURN_IF_ERROR(child_->NextBatch(&ob_, max - out->size()));
+        opos_ = 0;
+        if (ob_.empty()) {
+          XQC_RETURN_IF_ERROR(ev_->guard()->CheckSteps(1));
+          eos_ = true;
+          break;
+        }
+      }
+      XQC_RETURN_IF_ERROR(ev_->guard()->CheckSteps(1));
+      current_ = std::move(ob_[opos_++]);
+      EvalCtx dc = c_;
+      dc.tuple = &current_;
+      dc.items = nullptr;
+      XQC_ASSIGN_OR_RETURN(inner_, ev_->OpenTable(*op_->deps[0], dc));
+      inner_matched_ = false;
+    }
+    return Status::OK();
+  }
   void Close() override {
     inner_.reset();
     child_->Close();
@@ -318,6 +491,10 @@ class MapConcatIter : public TupleIterator {
   Tuple current_;
   TupleIteratorPtr inner_;
   bool inner_matched_ = false;
+  bool eos_ = false;
+  TupleBatch in_;   // inner tuples of the current outer
+  TupleBatch ob_;   // prefetched outer tuples
+  size_t opos_ = 0;
 };
 
 /// MapIndex[q] / MapIndexStep[q]: appends [q:i] with i = 1, 2, ...
@@ -335,12 +512,32 @@ class MapIndexIter : public TupleIterator {
     *out = Tuple::Concat(t, idx);
     return true;
   }
+  // Batched 1:1 position numbering; checks nothing, like Next(). The
+  // demand bound passes straight through, which lets a positional
+  // Select above clamp how much source is evaluated below.
+  Status NextBatch(TupleBatch* out, size_t max) override {
+    out->clear();
+    if (eos_) return Status::OK();
+    XQC_RETURN_IF_ERROR(child_->NextBatch(&in_, max));
+    if (in_.empty()) {
+      eos_ = true;
+      return Status::OK();
+    }
+    for (size_t i = 0; i < in_.size(); i++) {
+      Tuple idx;
+      idx.Set(op_->name, {AtomicValue::Integer(++i_)});
+      out->push(Tuple::Concat(in_[i], idx));
+    }
+    return Status::OK();
+  }
   void Close() override { child_->Close(); }
 
  private:
   const Op* op_;
   TupleIteratorPtr child_;
   int64_t i_ = 0;
+  bool eos_ = false;
+  TupleBatch in_;
 };
 
 /// MapFromItem{f}: one tuple per input item. When the input is itself a
@@ -390,6 +587,56 @@ class MapFromItemIter : public TupleIterator {
       pos_ = 0;
     }
   }
+  // Batched tuple production. Guard parity with Next(): one check per
+  // produced tuple, one per source-tuple pull, one for the iteration
+  // that discovers the end. AccountTuples stays per tuple (not chunked)
+  // so the fault injector's Nth-allocation trip point is unchanged.
+  Status NextBatch(TupleBatch* out, size_t max) override {
+    out->clear();
+    if (eos_) return Status::OK();
+    while (out->size() < max) {
+      if (pos_ < buf_.size()) {
+        size_t k = buf_.size() - pos_;
+        if (k > max - out->size()) k = max - out->size();
+        XQC_RETURN_IF_ERROR(
+            ev_->guard()->CheckSteps(static_cast<int64_t>(k)));
+        for (size_t i = 0; i < k; i++) {
+          Sequence one{buf_[pos_++]};
+          EvalCtx dc = c_;
+          dc.items = &one;
+          dc.tuple = nullptr;
+          XQC_ASSIGN_OR_RETURN(Tuple r, ev_->EvalTuple(*op_->deps[0], dc));
+          XQC_RETURN_IF_ERROR(ev_->guard()->AccountTuples(1));
+          ev_->mutable_stats()->source_tuples++;
+          out->push(std::move(r));
+        }
+        continue;
+      }
+      if (src_ == nullptr) {
+        XQC_RETURN_IF_ERROR(ev_->guard()->CheckSteps(1));
+        eos_ = true;
+        break;
+      }
+      if (spos_ >= sb_.size()) {
+        XQC_RETURN_IF_ERROR(src_->NextBatch(&sb_, max - out->size()));
+        spos_ = 0;
+        if (sb_.empty()) {
+          XQC_RETURN_IF_ERROR(ev_->guard()->CheckSteps(1));
+          src_.reset();
+          eos_ = true;
+          break;
+        }
+      }
+      XQC_RETURN_IF_ERROR(ev_->guard()->CheckSteps(1));
+      cur_ = std::move(sb_[spos_++]);
+      EvalCtx dc = c_;
+      dc.tuple = &cur_;
+      dc.items = nullptr;
+      XQC_ASSIGN_OR_RETURN(buf_, ev_->EvalItems(*item_dep_, dc));
+      pos_ = 0;
+    }
+    return Status::OK();
+  }
   void Close() override {
     src_.reset();
     buf_.clear();
@@ -404,6 +651,10 @@ class MapFromItemIter : public TupleIterator {
   const Op* item_dep_ = nullptr;   // its per-tuple item plan
   Sequence buf_;
   size_t pos_ = 0;
+  bool eos_ = false;
+  TupleBatch sb_;   // prefetched source tuples
+  size_t spos_ = 0;
+  Tuple cur_;       // stable storage for the current source tuple
 };
 
 /// Join / LOuterJoin: materializes and indexes the right (build) side at
@@ -455,6 +706,65 @@ class JoinIter : public TupleIterator {
           ev_->guard()->AccountTuples(static_cast<int64_t>(buf_.size())));
     }
   }
+  // Batched probe: left tuples are prefetched in demand-bounded batches
+  // and probed one at a time as the output buffer drains (a probe's
+  // whole match set is buffered either way, exactly like Next()). Guard
+  // parity: one check per emitted row, one per probed left tuple, one at
+  // left end-of-stream; AccountTuples stays once-per-probe with the
+  // probe's row count, as in Next().
+  Status NextBatch(TupleBatch* out, size_t max) override {
+    out->clear();
+    if (eos_) return Status::OK();
+    while (out->size() < max) {
+      if (bpos_ < buf_.size()) {
+        size_t k = buf_.size() - bpos_;
+        if (k > max - out->size()) k = max - out->size();
+        XQC_RETURN_IF_ERROR(
+            ev_->guard()->CheckSteps(static_cast<int64_t>(k)));
+        if (out->empty() && bpos_ == 0 && k == buf_.size()) {
+          // Whole probe result fits the demand: make it the batch in
+          // O(1) and return it as a short batch (the contract allows
+          // short non-empty batches) — zero per-row moves, one batch
+          // per probe.
+          out->adopt(&buf_);
+          return Status::OK();
+        }
+        for (size_t i = 0; i < k; i++) {
+          out->push(std::move(buf_[bpos_++]));
+        }
+        continue;
+      }
+      Tuple l;
+      if (has_peeked_) {
+        l = std::move(peeked_);
+        has_peeked_ = false;
+      } else if (left_done_) {
+        XQC_RETURN_IF_ERROR(ev_->guard()->CheckSteps(1));
+        eos_ = true;
+        break;
+      } else {
+        if (lpos_ >= lb_.size()) {
+          XQC_RETURN_IF_ERROR(left_->NextBatch(&lb_, max - out->size()));
+          lpos_ = 0;
+          if (lb_.empty()) {
+            left_done_ = true;
+            XQC_RETURN_IF_ERROR(ev_->guard()->CheckSteps(1));
+            eos_ = true;
+            break;
+          }
+        }
+        l = std::move(lb_[lpos_++]);
+      }
+      XQC_RETURN_IF_ERROR(ev_->guard()->CheckSteps(1));
+      buf_.clear();
+      bpos_ = 0;
+      XQC_RETURN_IF_ERROR(
+          ev_->ProbeJoinTuple(*op_, strategy_, c_, l, *right_, outer_, &buf_));
+      XQC_RETURN_IF_ERROR(
+          ev_->guard()->AccountTuples(static_cast<int64_t>(buf_.size())));
+    }
+    return Status::OK();
+  }
   void Close() override { left_->Close(); }
 
  private:
@@ -466,10 +776,13 @@ class JoinIter : public TupleIterator {
   Tuple peeked_;
   bool has_peeked_ = false;
   bool left_done_ = false;
+  bool eos_ = false;
   std::shared_ptr<const Table> right_;
   JoinStrategy strategy_;
   Table buf_;  // output rows of the current probe
   size_t bpos_ = 0;
+  TupleBatch lb_;  // prefetched left (probe-side) tuples
+  size_t lpos_ = 0;
 };
 
 }  // namespace

@@ -108,7 +108,17 @@ Result<std::shared_ptr<const MaterializedInner>> MaterializeInner(
   std::vector<JoinKey> keys;
   for (size_t order = 0; order < right.size(); order++) {
     if (guard != nullptr) {
-      XQC_RETURN_IF_ERROR(guard->Check());
+      // One step per indexed row, credited a check-interval at a time
+      // (same totals and slow-check cadence as the per-row Check this
+      // replaces); memory accounting stays per row so the Nth-allocation
+      // injector point is unchanged.
+      if (order % static_cast<size_t>(QueryGuard::kCheckInterval) == 0) {
+        int64_t chunk = static_cast<int64_t>(right.size() - order);
+        if (chunk > QueryGuard::kCheckInterval) {
+          chunk = QueryGuard::kCheckInterval;
+        }
+        XQC_RETURN_IF_ERROR(guard->CheckSteps(chunk));
+      }
       XQC_RETURN_IF_ERROR(guard->AccountItems(1));
     }
     XQC_ASSIGN_OR_RETURN(Sequence key_vals, right_key(right[order]));
@@ -272,7 +282,14 @@ Result<std::shared_ptr<const MaterializedRangeInner>> MaterializeRangeInner(
   auto inner = std::make_shared<MaterializedRangeInner>();
   for (size_t order = 0; order < right.size(); order++) {
     if (guard != nullptr) {
-      XQC_RETURN_IF_ERROR(guard->Check());
+      // Chunked step crediting, as in MaterializeInner above.
+      if (order % static_cast<size_t>(QueryGuard::kCheckInterval) == 0) {
+        int64_t chunk = static_cast<int64_t>(right.size() - order);
+        if (chunk > QueryGuard::kCheckInterval) {
+          chunk = QueryGuard::kCheckInterval;
+        }
+        XQC_RETURN_IF_ERROR(guard->CheckSteps(chunk));
+      }
       XQC_RETURN_IF_ERROR(guard->AccountItems(1));
     }
     XQC_ASSIGN_OR_RETURN(Sequence key_vals, right_key(right[order]));

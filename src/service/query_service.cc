@@ -151,6 +151,7 @@ QueryResponse QueryService::ExecuteOnce(Job* job, const GuardLimits& limits) {
     EngineOptions opts = options_.engine_options;
     opts.limits = limits;
     opts.cancel = job->token;
+    if (job->req.batch_size > 0) opts.batch_size = job->req.batch_size;
     Result<PreparedQuery> local = engine_.Prepare(job->req.query_text, opts);
     if (!local.ok()) {
       resp.status = local.status();

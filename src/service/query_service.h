@@ -85,6 +85,11 @@ struct QueryRequest {
   std::shared_ptr<const PreparedQuery> prepared;
   /// Per-request limits; zero fields inherit ServiceOptions::default_limits.
   GuardLimits limits;
+  /// Per-request streaming batch size (EngineOptions::batch_size); 0
+  /// inherits the service's engine_options. Applies only when the service
+  /// compiles `query_text` — a `prepared` plan's options were baked in at
+  /// Prepare time.
+  int batch_size = 0;
   /// Optional extra bindings, run on the worker thread against the
   /// query-private context (after shared documents/variables are installed).
   std::function<void(DynamicContext*)> bind_context;

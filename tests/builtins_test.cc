@@ -93,6 +93,83 @@ TEST(BuiltinStrings, EdgeCases) {
   EXPECT_EQ(InterpToString("string(())"), "");
 }
 
+// F&O 7.4.3: every edge case of fn:substring's positional arithmetic —
+// fn:round semantics, NaN/±INF start or length, start < 1, and
+// overflowing start+length all resolve through IEEE double comparisons
+// against the 1-based codepoint position.
+TEST(BuiltinStrings, SubstringSpecEdgeCases) {
+  // The spec's own examples.
+  EXPECT_EQ(InterpToString("substring(\"motor car\", 6)"), " car");
+  EXPECT_EQ(InterpToString("substring(\"metadata\", 4, 3)"), "ada");
+  EXPECT_EQ(InterpToString("substring(\"12345\", 1.5, 2.6)"), "234");
+  EXPECT_EQ(InterpToString("substring(\"12345\", 0, 3)"), "12");
+  EXPECT_EQ(InterpToString("substring(\"12345\", 5, -3)"), "");
+  EXPECT_EQ(InterpToString("substring(\"12345\", -3, 5)"), "1");
+  EXPECT_EQ(InterpToString("substring(\"12345\", 0 div 0e0, 3)"), "");
+  EXPECT_EQ(InterpToString("substring(\"12345\", 1, 0 div 0e0)"), "");
+  EXPECT_EQ(InterpToString("substring(\"12345\", -42, 1 div 0e0)"), "12345");
+  // -INF start with INF length: round(-INF) + round(INF) is NaN, and
+  // position < NaN holds for no position — empty, not the whole string.
+  EXPECT_EQ(InterpToString("substring(\"12345\", -1 div 0e0, 1 div 0e0)"),
+            "");
+  // 2-argument form with infinite/negative starts.
+  EXPECT_EQ(InterpToString("substring(\"12345\", -1 div 0e0)"), "12345");
+  EXPECT_EQ(InterpToString("substring(\"12345\", 1 div 0e0)"), "");
+  EXPECT_EQ(InterpToString("substring(\"12345\", 0 div 0e0)"), "");
+  // fn:round rounds .5 toward positive infinity, including negatives.
+  EXPECT_EQ(InterpToString("substring(\"12345\", 0.5)"), "12345");
+  EXPECT_EQ(InterpToString("substring(\"12345\", -0.5, 3.5)"), "123");
+  EXPECT_EQ(InterpToString("substring(\"12345\", 2.5, 0.4)"), "");
+  // start+length overflowing past the end selects to the end.
+  EXPECT_EQ(InterpToString("substring(\"12345\", 4, 1000000)"), "45");
+  EXPECT_EQ(InterpToString("substring(\"12345\", 2, 1e308)"), "2345");
+  // Empty-sequence first argument behaves as "".
+  EXPECT_EQ(InterpToString("substring((), 1, 3)"), "");
+  // Non-numeric start/length is a type error.
+  EXPECT_EQ(InterpToString("substring(\"12345\", \"2\")"),
+            "ERROR:XPTY0004");
+  EXPECT_EQ(InterpToString("substring(\"12345\", 1, \"2\")"),
+            "ERROR:XPTY0004");
+}
+
+// F&O 7.4.7 / 7.4.9: fn:substring-before / fn:substring-after edges, and
+// their 3-arity collation forms (codepoint supported, others FOCH0002).
+TEST(BuiltinStrings, SubstringBeforeAfterSpecEdgeCases) {
+  // Zero-length search string: before -> "", after -> the whole string.
+  EXPECT_EQ(InterpToString("substring-before(\"tattoo\", \"\")"), "");
+  EXPECT_EQ(InterpToString("substring-after(\"tattoo\", \"\")"), "tattoo");
+  // No match: both return "".
+  EXPECT_EQ(InterpToString("substring-before(\"tattoo\", \"x\")"), "");
+  EXPECT_EQ(InterpToString("substring-after(\"tattoo\", \"x\")"), "");
+  // First occurrence wins.
+  EXPECT_EQ(InterpToString("substring-before(\"tattoo\", \"t\")"), "");
+  EXPECT_EQ(InterpToString("substring-after(\"tattoo\", \"tat\")"), "too");
+  EXPECT_EQ(InterpToString("substring-after(\"tattoo\", \"o\")"), "o");
+  // Empty-sequence arguments behave as "".
+  EXPECT_EQ(InterpToString("substring-before((), \"a\")"), "");
+  EXPECT_EQ(InterpToString("substring-after(\"ab\", ())"), "ab");
+  // Multi-codepoint (UTF-8) needles match whole codepoints.
+  EXPECT_EQ(InterpToString("substring-before(\"déjà\", \"à\")"), "déj");
+  EXPECT_EQ(InterpToString("substring-after(\"déjà vu\", \"à\")"), " vu");
+  // The codepoint collation is accepted; any other collation is FOCH0002.
+  EXPECT_EQ(
+      InterpToString("substring-before(\"a-b\", \"-\", \"http://www.w3.org/"
+                     "2005/xpath-functions/collation/codepoint\")"),
+      "a");
+  EXPECT_EQ(
+      InterpToString("substring-after(\"a-b\", \"-\", \"http://www.w3.org/"
+                     "2005/xpath-functions/collation/codepoint\")"),
+      "b");
+  EXPECT_EQ(InterpToString(
+                "substring-before(\"a-b\", \"-\", \"http://example.com/"
+                "collation\")"),
+            "ERROR:FOCH0002");
+  EXPECT_EQ(InterpToString(
+                "substring-after(\"a-b\", \"-\", \"http://example.com/"
+                "collation\")"),
+            "ERROR:FOCH0002");
+}
+
 TEST(BuiltinStrings, UnicodeCodepoints) {
   // string-length/substring count codepoints, not UTF-8 bytes.
   // 2-byte sequences:

@@ -369,6 +369,23 @@ TEST_P(CorpusTest, AllConfigsMatchExpected) {
     EXPECT_EQ(got, entry.expected)
         << "config " << i << "\nquery: " << entry.query;
   }
+  // Batch-size sweep over the default streaming config: batch_size=1 is
+  // the tuple-at-a-time oracle (the configs above, whose default is 1024,
+  // already covered the batched side); tiny sizes force every
+  // partial-batch / carry-over path through the vectorized iterators.
+  for (int batch : {1, 2, 3, 7}) {
+    EngineOptions opts;
+    opts.batch_size = batch;
+    DynamicContext ctx;
+    NodePtr doc = MustParseXml(kCorpusDoc);
+    ctx.BindVariable(Symbol("D"), {Item(doc)});
+    Result<PreparedQuery> q = engine.Prepare(query, opts);
+    ASSERT_TRUE(q.ok()) << q.status().ToString() << "\n" << entry.query;
+    Result<std::string> r = q.value().ExecuteToString(&ctx);
+    std::string got = r.ok() ? r.value() : "ERROR:" + r.status().code();
+    EXPECT_EQ(got, entry.expected)
+        << "batch_size=" << batch << "\nquery: " << entry.query;
+  }
 }
 
 // The DocumentStore ablation sweep: every corpus entry, with the corpus

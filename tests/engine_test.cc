@@ -354,6 +354,100 @@ TEST(EngineApi, SortFreePathsSkipDistinctDocOrder) {
   }
 }
 
+// Batched execution is an internal amortization, not a semantic change:
+// every observable ExecStats counter — guard checks/steps, peak memory,
+// source tuples, early stops, join/tree-join counters — must be identical
+// whether the pipeline runs tuple-at-a-time (batch_size=1, the oracle) or
+// with the default 1024-tuple batches.
+void ExpectStatsEqual(const ExecStats& a, const ExecStats& b,
+                      const std::string& what) {
+  EXPECT_EQ(a.hash_joins, b.hash_joins) << what;
+  EXPECT_EQ(a.sort_joins, b.sort_joins) << what;
+  EXPECT_EQ(a.range_joins, b.range_joins) << what;
+  EXPECT_EQ(a.nested_loop_joins, b.nested_loop_joins) << what;
+  EXPECT_EQ(a.group_bys, b.group_bys) << what;
+  EXPECT_EQ(a.join_index_reuses, b.join_index_reuses) << what;
+  EXPECT_EQ(a.specialized_joins, b.specialized_joins) << what;
+  EXPECT_EQ(a.source_tuples, b.source_tuples) << what;
+  EXPECT_EQ(a.streaming_early_stops, b.streaming_early_stops) << what;
+  EXPECT_EQ(a.guard_checks, b.guard_checks) << what;
+  EXPECT_EQ(a.guard_steps, b.guard_steps) << what;
+  EXPECT_EQ(a.peak_memory_bytes, b.peak_memory_bytes) << what;
+  EXPECT_EQ(a.tree_join.ddo_sorts, b.tree_join.ddo_sorts) << what;
+  EXPECT_EQ(a.tree_join.ddo_dedups, b.tree_join.ddo_dedups) << what;
+  EXPECT_EQ(a.tree_join.ddo_skip_static, b.tree_join.ddo_skip_static) << what;
+  EXPECT_EQ(a.tree_join.ddo_skip_singleton, b.tree_join.ddo_skip_singleton)
+      << what;
+  EXPECT_EQ(a.tree_join.ddo_skip_verified, b.tree_join.ddo_skip_verified)
+      << what;
+  EXPECT_EQ(a.tree_join.index_lookups, b.tree_join.index_lookups) << what;
+}
+
+TEST(EngineApi, ExecStatsBatchSizeInvariant) {
+  DynamicContext ctx;
+  std::string xml = "<r>";
+  for (int i = 0; i < 500; i++) {
+    xml += "<e k=\"" + std::to_string(i % 7) + "\"><v>" + std::to_string(i) +
+           "</v></e>";
+  }
+  xml += "</r>";
+  ctx.RegisterDocument("d.xml", MustParseXml(xml));
+
+  const char* kQueries[] = {
+      // Full consumption through scan / select / map / aggregation.
+      "sum(for $e in doc(\"d.xml\")/r/e where $e/@k = \"3\" "
+      "return xs:integer($e/v))",
+      // Descendant axis + positional predicate (demand-bounded pipeline).
+      "string((doc(\"d.xml\")//v)[3])",
+      // Early exit: exists() cuts the source stream mid-way.
+      "exists(doc(\"d.xml\")//e[v = \"250\"])",
+      // Quantifier early exit.
+      "some $e in doc(\"d.xml\")/r/e satisfies $e/@k = \"5\"",
+      // Join-heavy FLWOR.
+      "count(for $a in doc(\"d.xml\")/r/e, $b in doc(\"d.xml\")/r/e "
+      "where $a/@k = $b/@k and $a/v = \"7\" return $b)",
+      // subsequence over an unbounded generator.
+      "sum(subsequence(for $e in doc(\"d.xml\")/r/e return "
+      "xs:integer($e/v), 2, 5))",
+  };
+
+  Engine engine;
+  // Warm the lazy per-document structural index first: its one-time build
+  // cost is guard-accounted by whichever execution triggers it, which would
+  // otherwise skew the first run's peak_memory_bytes.
+  {
+    Result<std::string> warm =
+        engine.Execute("count(doc(\"d.xml\")//v)", &ctx);
+    ASSERT_OK(warm);
+  }
+  for (ExecMode mode : {ExecMode::kStreaming, ExecMode::kMaterialize}) {
+    for (const char* query : kQueries) {
+      ExecStats oracle;
+      std::string oracle_out;
+      for (int batch : {1, 1024}) {
+        EngineOptions opts;
+        opts.exec_mode = mode;
+        opts.batch_size = batch;
+        Result<PreparedQuery> q = engine.Prepare(query, opts);
+        ASSERT_OK(q);
+        Result<std::string> r = q.value().ExecuteToString(&ctx);
+        ASSERT_OK(r);
+        const std::string what =
+            std::string(mode == ExecMode::kStreaming ? "streaming"
+                                                     : "materialize") +
+            " batch=" + std::to_string(batch) + "\nquery: " + query;
+        if (batch == 1) {
+          oracle = q.value().last_exec_stats();
+          oracle_out = r.value();
+        } else {
+          EXPECT_EQ(r.value(), oracle_out) << what;
+          ExpectStatsEqual(q.value().last_exec_stats(), oracle, what);
+        }
+      }
+    }
+  }
+}
+
 TEST(EngineApi, OneShotExecute) {
   Engine engine;
   DynamicContext ctx;

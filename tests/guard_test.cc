@@ -250,6 +250,184 @@ TEST(Guard, FaultInjectorTripsMidStream) {
   EXPECT_GT(delivered, 0);
 }
 
+// ---------------------------------------------------------------------------
+// Batched-execution parity. batch_size=1 runs the tuple-at-a-time Next()
+// loops unchanged (the oracle); larger batches amortize virtual dispatch
+// but must trip the same guard faults at the same logical step, account
+// the same memory, and honor cancellation with the same latency.
+// ---------------------------------------------------------------------------
+
+TEST(Guard, BatchedTripParityWithOracle) {
+  // Every injected trip point must produce a byte-identical outcome
+  // (same items delivered or same error code) at batch 1 and batch 1024:
+  // NextBatch credits guard steps per tuple, never per batch, so the Nth
+  // slow-path check fires at the same logical step either way.
+  const char* kQueries[] = {
+      "count(for $i in 1 to 100000 return $i + 0)",
+      "count(for $i in 1 to 300 where $i mod 3 = 0 return $i)",
+      "count(for $a in 1 to 200, $b in 1 to 200 where $a = $b return $a)",
+      "string-join(for $i in 1 to 500 return string($i), \",\")",
+  };
+  for (const char* query : kQueries) {
+    for (int64_t trip_n : {1, 2, 3, 5, 17, 50, 200}) {
+      std::string oracle;
+      for (int batch : {1, 1024}) {
+        EngineOptions opts;
+        opts.batch_size = batch;
+        opts.fault_injector.trip_check_n = trip_n;
+        opts.fault_injector.trip_code = kGuardStepsCode;
+        DynamicContext ctx;
+        std::string got = RunQuery(query, opts, &ctx);
+        if (batch == 1) {
+          oracle = got;
+        } else {
+          EXPECT_EQ(got, oracle)
+              << "trip_check_n=" << trip_n << " query: " << query;
+        }
+      }
+    }
+  }
+}
+
+TEST(Guard, BatchedAllocationFaultParity) {
+  // fail_alloc_n targets the Nth accounted allocation. Batched operators
+  // keep the oracle's per-tuple Account* call granularity, so the same
+  // allocation fails — same code, same partial work torn down.
+  const char* kQueries[] = {
+      "<r>{for $i in 1 to 100 return <e>{$i}</e>}</r>",
+      "count(for $a in (1,2,3), $b in 1 to 50 where $a <= $b return $b)",
+  };
+  for (const char* query : kQueries) {
+    for (int64_t alloc_n : {1, 2, 5, 20, 60}) {
+      std::string oracle;
+      for (int batch : {1, 1024}) {
+        EngineOptions opts;
+        opts.batch_size = batch;
+        opts.fault_injector.fail_alloc_n = alloc_n;
+        DynamicContext ctx;
+        std::string got = RunQuery(query, opts, &ctx);
+        if (batch == 1) {
+          oracle = got;
+        } else {
+          EXPECT_EQ(got, oracle)
+              << "fail_alloc_n=" << alloc_n << " query: " << query;
+        }
+      }
+    }
+  }
+}
+
+TEST(Guard, BatchedEarlyExitMemoryParity) {
+  // Early-exit consumers (exists, [1], quantifiers, subsequence) must not
+  // cause a batched pipeline to pull ahead of demand: peak accounted
+  // memory — a proxy for work actually performed — matches the oracle.
+  const char* kQueries[] = {
+      "exists(for $i in 1 to 100000 return <e>{$i}</e>)",
+      "string((for $i in 1 to 100000 return <e>{$i}</e>)[1])",
+      "some $i in 1 to 100000 satisfies $i = 40",
+      "count(subsequence(for $i in 1 to 100000 return <e>{$i}</e>, 2, 4))",
+  };
+  for (const char* query : kQueries) {
+    ExecStats oracle;
+    for (int batch : {1, 1024}) {
+      EngineOptions opts;
+      opts.batch_size = batch;
+      Engine engine;
+      Result<PreparedQuery> q = engine.Prepare(query, opts);
+      ASSERT_OK(q);
+      DynamicContext ctx;
+      ASSERT_OK(q.value().ExecuteToString(&ctx));
+      const ExecStats& s = q.value().last_exec_stats();
+      if (batch == 1) {
+        oracle = s;
+      } else {
+        EXPECT_EQ(s.peak_memory_bytes, oracle.peak_memory_bytes) << query;
+        EXPECT_EQ(s.guard_steps, oracle.guard_steps) << query;
+        EXPECT_EQ(s.guard_checks, oracle.guard_checks) << query;
+        EXPECT_EQ(s.streaming_early_stops, oracle.streaming_early_stops)
+            << query;
+      }
+    }
+  }
+}
+
+TEST(Guard, BatchedNoBudgetLeakAcrossExecutions) {
+  // Each execution runs under a fresh ScopedGuard; batch buffers
+  // abandoned by an early exit or a dropped mid-stream cursor must not
+  // leak accounted budget into later executions. Re-running under a
+  // tight memory limit stays within budget every time, and the peak
+  // reported by the last run equals the first run's.
+  EngineOptions opts;
+  opts.batch_size = 1024;
+  // Roomy enough for one execution (the `1 to 100000` source range is
+  // materialized at Open, ~4.8MB accounted) but far too small for even
+  // two executions' worth of leaked accounting.
+  opts.limits.max_memory_bytes = 8 << 20;
+  Engine engine;
+  Result<PreparedQuery> early = engine.Prepare(
+      "exists(for $i in 1 to 100000 return <e>{$i}</e>)", opts);
+  ASSERT_OK(early);
+  DynamicContext ctx;
+  int64_t first_peak = -1;
+  for (int run = 0; run < 20; run++) {
+    Result<std::string> r = early.value().ExecuteToString(&ctx);
+    // A trip here means accounted memory leaked across executions.
+    ASSERT_OK(r);
+    EXPECT_EQ(r.value(), "true");
+    int64_t peak = early.value().last_exec_stats().peak_memory_bytes;
+    if (run == 0) {
+      first_peak = peak;
+    } else {
+      EXPECT_EQ(peak, first_peak) << "run " << run;
+    }
+  }
+  // Abandon a batched stream mid-way, repeatedly; the dropped cursor's
+  // buffered tuples must be released with its guard, not carried over.
+  Result<PreparedQuery> streamed =
+      engine.Prepare("for $i in 1 to 100000 return <e>{$i}</e>", opts);
+  ASSERT_OK(streamed);
+  for (int run = 0; run < 20; run++) {
+    Result<ResultStream> rs = streamed.value().ExecuteStream(&ctx);
+    ASSERT_OK(rs);
+    Item item;
+    for (int i = 0; i < 5; i++) {
+      Result<bool> has = rs.value().Next(&item);
+      ASSERT_OK(has);
+      ASSERT_TRUE(has.value());
+    }
+    // rs drops here with ~99995 tuples unconsumed.
+  }
+  Result<std::string> after = early.value().ExecuteToString(&ctx);
+  ASSERT_OK(after);
+  EXPECT_EQ(early.value().last_exec_stats().peak_memory_bytes, first_peak);
+}
+
+TEST(Guard, BatchedMidStreamCancellationLatency) {
+  // The result cursor always pulls tuple-at-a-time regardless of
+  // batch_size, so cancellation is honored on the very next pull — a
+  // batched pipeline must not have buffered the rest of the stream.
+  EngineOptions opts;
+  opts.batch_size = 1024;
+  opts.cancel = CancellationToken::Make();
+  Engine engine;
+  Result<PreparedQuery> q =
+      engine.Prepare("for $x in 1 to 100000 return $x", opts);
+  ASSERT_OK(q);
+  DynamicContext ctx;
+  Result<ResultStream> rs = q.value().ExecuteStream(&ctx);
+  ASSERT_OK(rs);
+  Item item;
+  for (int i = 0; i < 10; i++) {
+    Result<bool> has = rs.value().Next(&item);
+    ASSERT_OK(has);
+    ASSERT_TRUE(has.value());
+  }
+  opts.cancel.RequestCancel();
+  Result<bool> has = rs.value().Next(&item);
+  ASSERT_FALSE(has.ok());
+  EXPECT_EQ(has.status().code(), "XQC0002");
+}
+
 TEST(Guard, StatsReportGuardActivity) {
   EngineOptions opts;
   opts.limits.deadline_ms = 60000;

@@ -317,6 +317,43 @@ TEST_P(PropertyTest, AllConfigurationsAgree) {
   EXPECT_LE(errored, kQueriesPerSeed / 2) << "seed " << seed;
 }
 
+// Batch-size ablation: the streaming engine's vectorized iterators are an
+// internal amortization only. Sweeping batch_size over 1 (the
+// tuple-at-a-time oracle), tiny sizes that force every partial-batch and
+// carry-over path (2, 3, 7), and the default 1024 must be byte-identical
+// on every generated query — including ones that error.
+TEST_P(PropertyTest, BatchSizesAgree) {
+  uint64_t seed = GetParam();
+  Gen gen(seed);
+  Engine engine;
+  const int kBatchSizes[] = {1, 2, 3, 7, 1024};
+  const int kQueriesPerSeed = 6;
+  for (int qi = 0; qi < kQueriesPerSeed; qi++) {
+    std::string query =
+        "declare variable $doc external; " + gen.Query(qi, 3);
+    DynamicContext ctx;
+    ctx.BindVariable(Symbol("doc"), {Item(*doc_)});
+
+    std::string reference;
+    for (size_t i = 0; i < std::size(kBatchSizes); i++) {
+      EngineOptions opts;  // streaming algebra, optimized (the default)
+      opts.batch_size = kBatchSizes[i];
+      Result<PreparedQuery> pq = engine.Prepare(query, opts);
+      ASSERT_TRUE(pq.ok()) << pq.status().ToString() << "\nquery: " << query;
+      Result<std::string> r = pq.value().ExecuteToString(&ctx);
+      std::string got = r.ok() ? r.value() : "ERROR:" + r.status().code();
+      if (i == 0) {
+        reference = got;
+      } else {
+        ASSERT_EQ(got, reference)
+            << "batch_size=" << kBatchSizes[i]
+            << " disagrees with the tuple-at-a-time oracle\nquery: " << query
+            << "\nplan: " << pq.value().ExplainPlan();
+      }
+    }
+  }
+}
+
 // DocumentStore ablation: the same generated queries with $doc rewritten
 // into fn:doc calls must be byte-identical with the store enabled and
 // disabled (and cheap on the store side — one parse total, then hits).
