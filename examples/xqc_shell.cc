@@ -32,6 +32,15 @@
 //   --threads <n>        serve the query through a QueryService with n
 //                        worker threads (shared plan, per-worker contexts)
 //   --repeat <n>         with --threads: total executions (default: threads)
+//   --tenant <name>      with --threads: submit under this tenant name
+//   --tenant-quota <n>   with --threads: per-tenant in-flight cap; over-quota
+//                        submissions fail fast with XQC0010 (counted, not
+//                        fatal)
+//   --breaker-threshold <n>  open the document store's per-prefix circuit
+//                        breaker after n consecutive transient I/O failures
+//                        (fn:doc then fails fast with XQC0011)
+//   --brownout           while a breaker is open, serve the stale cached
+//                        document instead of failing (flagged in stats)
 #include <cstdlib>
 #include <fstream>
 #include <future>
@@ -57,6 +66,8 @@ int main(int argc, char** argv) {
   std::string query;
   bool explain = false, explain_naive = false, stats = false, project = false;
   int threads = 0, repeat = 0;
+  long long tenant_quota = 0;
+  std::string tenant;
   std::vector<std::string> invalidate_uris;
   std::vector<std::pair<xqc::Symbol, xqc::NodePtr>> docs;
   std::vector<std::pair<std::string, xqc::NodePtr>> doc_paths;
@@ -115,6 +126,12 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) return Fail("--invalidate needs a URI");
       invalidate_uris.emplace_back(v);
+    } else if (arg == "--tenant") {
+      const char* v = next();
+      if (v == nullptr) return Fail("--tenant needs a name");
+      tenant = v;
+    } else if (arg == "--brownout") {
+      xqc::DocumentStore::Global()->set_brownout(true);
     } else if (arg == "--join") {
       const char* v = next();
       if (v == nullptr) return Fail("--join needs nl|hash|sort");
@@ -133,7 +150,8 @@ int main(int argc, char** argv) {
     } else if (arg == "--threads" || arg == "--repeat" ||
                arg == "--timeout-ms" || arg == "--max-mem-mb" ||
                arg == "--max-output-items" || arg == "--max-steps" ||
-               arg == "--doc-store-mb" || arg == "--batch-size") {
+               arg == "--doc-store-mb" || arg == "--batch-size" ||
+               arg == "--tenant-quota" || arg == "--breaker-threshold") {
       const char* v = next();
       if (v == nullptr) return Fail(arg + " needs a number");
       char* end = nullptr;
@@ -150,6 +168,10 @@ int main(int argc, char** argv) {
         xqc::DocumentStore::Global()->set_max_bytes(n * (1 << 20));
       else if (arg == "--batch-size") options.batch_size = static_cast<int>(n);
       else if (arg == "--threads") threads = static_cast<int>(n);
+      else if (arg == "--tenant-quota") tenant_quota = n;
+      else if (arg == "--breaker-threshold")
+        xqc::DocumentStore::Global()->set_breaker_threshold(
+            static_cast<int>(n));
       else repeat = static_cast<int>(n);
     } else {
       return Fail("unknown option: " + arg);
@@ -207,6 +229,10 @@ int main(int argc, char** argv) {
     sopts.num_threads = threads;
     sopts.engine_options = options;
     sopts.default_limits = options.limits;
+    if (tenant_quota > 0) {
+      sopts.tenant_max_in_flight = tenant_quota;
+      sopts.fair_dequeue = true;
+    }
     xqc::QueryService service(sopts);
     for (auto& [path, doc] : doc_paths) service.RegisterDocument(path, doc);
     for (auto& [var, doc] : docs) {
@@ -218,15 +244,28 @@ int main(int argc, char** argv) {
     for (int i = 0; i < repeat; i++) {
       xqc::QueryRequest req;
       req.prepared = plan;
+      req.tenant = tenant;
       futures.push_back(service.Submit(std::move(req)));
     }
     std::string first;
-    int64_t retries = 0;
+    bool have_first = false;
+    int64_t retries = 0, over_quota = 0, overloaded = 0;
     for (int i = 0; i < repeat; i++) {
       xqc::QueryResponse resp = futures[i].get();
+      if (resp.status.code() == xqc::kTenantOverQuotaCode) {
+        // Quota rejections are the feature working, not a failure: count
+        // them and keep going with whatever was admitted.
+        over_quota++;
+        continue;
+      }
+      if (resp.status.code() == xqc::kServiceOverloadedCode) {
+        overloaded++;
+        continue;
+      }
       if (!resp.status.ok()) return Fail(resp.status.ToString());
-      if (i == 0) {
+      if (!have_first) {
         first = resp.result;
+        have_first = true;
       } else if (resp.result != first) {
         return Fail("run " + std::to_string(i) +
                     " disagrees with run 0:\n  " + resp.result + "\nvs\n  " +
@@ -234,10 +273,28 @@ int main(int argc, char** argv) {
       }
       if (resp.retried_transient) retries++;
     }
+    if (!have_first) {
+      return Fail("every submission was rejected (" +
+                  std::to_string(over_quota) + " over quota, " +
+                  std::to_string(overloaded) + " overloaded)");
+    }
     std::cout << first << "\n";
     if (stats) {
+      xqc::QueryService::Counters sc = service.counters();
       std::cerr << "service: threads=" << threads << " runs=" << repeat
-                << " agreed=yes retries=" << retries << "\n";
+                << " agreed=yes retries=" << retries
+                << " over-quota=" << over_quota
+                << " overloaded=" << overloaded << "\n"
+                << "service-counters: submitted=" << sc.submitted
+                << " completed=" << sc.completed << " failed=" << sc.failed
+                << " rejected=" << sc.rejected
+                << " shed-in-queue=" << sc.shed_in_queue
+                << " rejected-predicted=" << sc.rejected_predicted
+                << " tenant-rejected=" << sc.tenant_rejected << "\n";
+      for (const auto& [name, n] : sc.tenant_rejections) {
+        std::cerr << "tenant-rejections: " << (name.empty() ? "<anon>" : name)
+                  << "=" << n << "\n";
+      }
     }
     return 0;
   }
@@ -277,13 +334,21 @@ int main(int argc, char** argv) {
               << " stale-reloads=" << es.doc_store.stale_reloads
               << " singleflight-waits=" << es.doc_store.singleflight_waits
               << " uncached-oversize=" << es.doc_store.uncached_oversize
+              << " breaker-fast-fails=" << es.doc_store.breaker_fast_fails
+              << " brownout-serves=" << es.doc_store.brownout_serves
               << "\n";
     xqc::DocumentStore::Counters sc = xqc::DocumentStore::Global()->counters();
     std::cerr << "doc-store-global: entries=" << sc.entries
               << " bytes=" << sc.bytes_cached
               << " quarantined=" << sc.quarantined
               << " hits=" << sc.totals.hits << " misses=" << sc.totals.misses
-              << " evictions=" << sc.totals.evictions << "\n";
+              << " evictions=" << sc.totals.evictions
+              << " breaker-opens=" << sc.breaker_opens
+              << " breaker-half-opens=" << sc.breaker_half_opens
+              << " breaker-closes=" << sc.breaker_closes
+              << " breakers-open=" << sc.breakers_open
+              << " breaker-fast-fails=" << sc.totals.breaker_fast_fails
+              << " brownout-serves=" << sc.totals.brownout_serves << "\n";
   }
   return 0;
 }

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Runs the overload-resilience chaos harness (bench/bench_service.cc) at
+# full length and writes the results to BENCH_service.json at the repo
+# root: p50/p99 latency per outcome class (ok, XQC0001 shed, XQC0002
+# guard trip, XQC0007 overloaded, XQC0008 retries exhausted, XQC0010
+# tenant over quota, XQC0011 breaker open) plus service and store
+# counters. The harness drives mixed hot/cold multi-tenant traffic at
+# saturation with a mid-run I/O fault window and asserts its own
+# invariants — a non-zero exit means an invariant was violated.
+#
+# Usage: scripts/bench_service.sh
+#   XQC_CHAOS_MS=<n>       run length in ms (default 6000 here)
+#   XQC_CHAOS_THREADS=<n>  client threads (default 8)
+#   XQC_CHAOS_SEED=<n>     traffic-mix RNG seed
+#   XQC_CHAOS_FAST_MS=<n>  fast-fail p99 bound in ms (default 25)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+JOBS=$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)
+
+cmake -B build -S . >/dev/null
+cmake --build build -j "$JOBS" --target bench_service
+
+XQC_CHAOS_MS="${XQC_CHAOS_MS:-6000}" \
+  XQC_CHAOS_OUT=BENCH_service.json ./build/bench/bench_service
+
+echo "wrote BENCH_service.json"

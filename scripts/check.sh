@@ -50,6 +50,16 @@ if [[ "${1:-}" != "--sanitize-only" ]]; then
     XQC_IO_FAULT_MODE="$mode" ./build/tests/store_test \
       --gtest_filter='FaultMatrix*' --gtest_brief=1
   done
+
+  echo "=== overload chaos smoke (bench_service, short run) ==="
+  # A short sustained-load pass through the whole overload-resilience
+  # stack (per-tenant quotas, fair dequeue, shedding, circuit breaker,
+  # composed I/O + guard fault injection). The harness asserts its own
+  # invariants — no deadlock, explicit fast rejection codes, bounded
+  # accepted p99, breaker open + recovery — and exits non-zero on any
+  # violation. scripts/bench_service.sh runs the full-length version.
+  XQC_CHAOS_MS="${XQC_CHAOS_SMOKE_MS:-2000}" \
+    XQC_CHAOS_OUT=build/BENCH_service_smoke.json ./build/bench/bench_service
 fi
 
 echo "=== sanitized build + tests (build-asan/, address+undefined) ==="
@@ -62,18 +72,20 @@ cmake --build build-asan -j "$JOBS"
 
 echo "=== thread-sanitized build + tests (build-tsan/) ==="
 # TSan can't combine with ASan, so it gets its own tree. Run the suites
-# that exercise real parallelism (concurrency_test, the concurrent
-# property oracle, the DocumentStore singleflight/eviction/quarantine
-# stress in store_test) plus the guard and streaming suites whose
-# machinery (cancellation tokens, ScopedGuard, ResultStream) the threaded
-# paths lean on.
+# that exercise real parallelism (concurrency_test, service_test's tenant
+# queue/shedding bookkeeping, the concurrent property oracle, the
+# DocumentStore singleflight/eviction/quarantine/breaker stress in
+# store_test) plus the guard and streaming suites whose machinery
+# (cancellation tokens, ScopedGuard, ResultStream) the threaded paths
+# lean on.
 cmake -B build-tsan -S . -DXQC_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "$JOBS" --target \
-  concurrency_test property_test guard_test streaming_test store_test
+  concurrency_test service_test property_test guard_test streaming_test \
+  store_test
 (
   ulimit -s 262144 2>/dev/null || echo "warning: could not raise stack limit"
   cd build-tsan && ctest --output-on-failure -j "$JOBS" \
-    -R 'concurrency_test|property_test|guard_test|streaming_test|store_test'
+    -R 'concurrency_test|service_test|property_test|guard_test|streaming_test|store_test'
 )
 
 echo "=== all checks passed ==="

@@ -59,6 +59,15 @@ inline constexpr const char* kStoreRetriesExhaustedCode = "XQC0008";
 /// until the file changes or Invalidate(uri) is called. The status kind
 /// mirrors the original failure's kind.
 inline constexpr const char* kStoreQuarantinedCode = "XQC0009";
+/// Issued by QueryService: the request's tenant is over its admission
+/// quota (per-tenant in-flight or queued cap). Fast-failed at Submit so
+/// one tenant's burst cannot starve the rest of the queue.
+inline constexpr const char* kTenantOverQuotaCode = "XQC0010";
+/// Issued by DocumentStore: the circuit breaker for the document's URI
+/// prefix is open after repeated transient I/O failures — the load fails
+/// immediately (StatusKind::kIOError) instead of burning a retry/backoff
+/// cycle, until a half-open probe observes recovery.
+inline constexpr const char* kStoreBreakerOpenCode = "XQC0011";
 
 /// Per-query resource limits. 0 means unlimited.
 struct GuardLimits {

@@ -45,10 +45,17 @@ uint64_t NextRand(uint64_t* state) {
 
 }  // namespace
 
+int64_t JitteredBackoffMs(int64_t base_ms, uint64_t* state) {
+  return base_ms + static_cast<int64_t>(
+                       NextRand(state) %
+                       static_cast<uint64_t>(base_ms > 0 ? base_ms : 1));
+}
+
 QueryService::QueryService(ServiceOptions options)
     : options_(std::move(options)), engine_(options_.engine_options) {
   options_.num_threads = std::max(1, options_.num_threads);
   options_.max_queue = std::max<size_t>(1, options_.max_queue);
+  ewma_exec_ms_ = std::max(0.0, options_.ewma_seed_ms);
   active_.resize(static_cast<size_t>(options_.num_threads));
   workers_.reserve(static_cast<size_t>(options_.num_threads));
   for (int i = 0; i < options_.num_threads; i++) {
@@ -73,26 +80,71 @@ std::future<QueryResponse> QueryService::Submit(QueryRequest req) {
 
   std::unique_lock<std::mutex> lock(mu_);
   counters_.submitted++;
-  auto reject = [&](const std::string& why) {
+  auto fail = [&](Status status) {
     counters_.rejected++;
     QueryResponse resp;
-    resp.status = Overloaded(why);
+    resp.status = std::move(status);
     resp.queue_wait_ms = ElapsedMs(job->enqueued);
     job->promise.set_value(std::move(resp));
   };
+  auto reject = [&](const std::string& why) { fail(Overloaded(why)); };
   job->enqueued = Clock::now();
   if (shutdown_) {
     reject("service is shut down");
     return future;
   }
-  if (queue_.size() >= options_.max_queue && options_.admission_wait_ms > 0) {
-    space_cv_.wait_for(lock,
-                       std::chrono::milliseconds(options_.admission_wait_ms),
-                       [this] {
-                         return shutdown_ || queue_.size() < options_.max_queue;
-                       });
+
+  // Per-tenant quotas: a hot tenant's burst fails fast with XQC0010
+  // before it can occupy global queue capacity.
+  if (tenant_tracking()) {
+    const std::string& tenant = job->req.tenant;
+    TenantState& ts = tenants_[tenant];
+    const bool over_queued = options_.tenant_max_queued > 0 &&
+                             ts.queued >= options_.tenant_max_queued;
+    const bool over_in_flight =
+        options_.tenant_max_in_flight > 0 &&
+        ts.queued + ts.running >= options_.tenant_max_in_flight;
+    if (over_queued || over_in_flight) {
+      counters_.tenant_rejected++;
+      counters_.tenant_rejections[tenant]++;
+      fail(Status::ResourceExhausted(
+          kTenantOverQuotaCode,
+          "tenant '" + tenant + "' over " +
+              (over_queued ? "queued" : "in-flight") + " quota (" +
+              std::to_string(ts.queued) + " queued, " +
+              std::to_string(ts.running) + " running)"));
+      return future;
+    }
   }
-  if (shutdown_ || queue_.size() >= options_.max_queue) {
+
+  // Admission-time shedding: when the predicted queue wait alone already
+  // exceeds the request's end-to-end budget, admitting it only
+  // manufactures a future corpse — reject it now, in microseconds.
+  if (options_.predict_admission && options_.deadline_includes_queue_wait &&
+      ewma_exec_ms_ > 0) {
+    GuardLimits merged = MergeLimits(job->req.limits, options_.default_limits);
+    if (merged.deadline_ms > 0) {
+      double predicted_wait_ms = static_cast<double>(QueueSizeLocked()) *
+                                 ewma_exec_ms_ / options_.num_threads;
+      if (predicted_wait_ms > static_cast<double>(merged.deadline_ms)) {
+        counters_.rejected_predicted++;
+        reject("predicted queue wait " +
+               std::to_string(static_cast<int64_t>(predicted_wait_ms)) +
+               "ms exceeds the request deadline of " +
+               std::to_string(merged.deadline_ms) + "ms");
+        return future;
+      }
+    }
+  }
+
+  if (QueueSizeLocked() >= options_.max_queue &&
+      options_.admission_wait_ms > 0) {
+    space_cv_.wait_for(
+        lock, std::chrono::milliseconds(options_.admission_wait_ms), [this] {
+          return shutdown_ || QueueSizeLocked() < options_.max_queue;
+        });
+  }
+  if (shutdown_ || QueueSizeLocked() >= options_.max_queue) {
     reject(shutdown_ ? "service is shut down"
                      : "admission queue saturated (" +
                            std::to_string(options_.max_queue) +
@@ -101,9 +153,85 @@ std::future<QueryResponse> QueryService::Submit(QueryRequest req) {
   }
   job->token =
       job->req.cancel.live() ? job->req.cancel : CancellationToken::Make();
-  queue_.push_back(std::move(job));
+  EnqueueLocked(std::move(job));
   work_cv_.notify_one();
   return future;
+}
+
+size_t QueryService::QueueSizeLocked() const {
+  return options_.fair_dequeue ? fair_queued_ : queue_.size();
+}
+
+void QueryService::EnqueueLocked(std::unique_ptr<Job> job) {
+  if (tenant_tracking()) tenants_[job->req.tenant].queued++;
+  if (options_.fair_dequeue) {
+    TenantState& ts = tenants_[job->req.tenant];
+    if (ts.fifo.empty()) rr_.push_back(job->req.tenant);
+    ts.fifo.push_back(std::move(job));
+    fair_queued_++;
+  } else {
+    queue_.push_back(std::move(job));
+  }
+}
+
+std::unique_ptr<QueryService::Job> QueryService::DequeueLocked() {
+  std::unique_ptr<Job> job;
+  if (options_.fair_dequeue) {
+    // Round-robin across tenants with queued work; each tenant's own jobs
+    // stay FIFO. A tenant with a deep backlog gets one slot per cycle, so
+    // the others' shallow queues drain at the same per-tenant rate.
+    if (rr_.empty()) return nullptr;
+    std::string tenant = std::move(rr_.front());
+    rr_.pop_front();
+    TenantState& ts = tenants_[tenant];
+    job = std::move(ts.fifo.front());
+    ts.fifo.pop_front();
+    fair_queued_--;
+    if (!ts.fifo.empty()) rr_.push_back(std::move(tenant));
+  } else {
+    if (queue_.empty()) return nullptr;
+    job = std::move(queue_.front());
+    queue_.pop_front();
+  }
+  if (tenant_tracking()) {
+    TenantState& ts = tenants_[job->req.tenant];
+    ts.queued--;
+    ts.running++;
+  }
+  return job;
+}
+
+void QueryService::DrainQueueLocked(std::deque<std::unique_ptr<Job>>* out) {
+  if (options_.fair_dequeue) {
+    while (!rr_.empty()) {
+      TenantState& ts = tenants_[rr_.front()];
+      while (!ts.fifo.empty()) {
+        out->push_back(std::move(ts.fifo.front()));
+        ts.fifo.pop_front();
+      }
+      rr_.pop_front();
+    }
+    fair_queued_ = 0;
+  } else {
+    out->swap(queue_);
+  }
+  if (tenant_tracking()) {
+    for (auto& [tenant, ts] : tenants_) ts.queued = 0;
+  }
+}
+
+void QueryService::UpdateEwma(int64_t exec_ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  double sample = static_cast<double>(exec_ms);
+  ewma_exec_ms_ = ewma_exec_ms_ <= 0
+                      ? sample
+                      : options_.ewma_alpha * sample +
+                            (1 - options_.ewma_alpha) * ewma_exec_ms_;
+}
+
+double QueryService::ewma_exec_ms() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ewma_exec_ms_;
 }
 
 void QueryService::WorkerLoop(size_t worker_index) {
@@ -113,10 +241,10 @@ void QueryService::WorkerLoop(size_t worker_index) {
     std::unique_ptr<Job> job;
     {
       std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // shutdown with a drained queue
-      job = std::move(queue_.front());
-      queue_.pop_front();
+      work_cv_.wait(lock,
+                    [this] { return shutdown_ || QueueSizeLocked() > 0; });
+      if (QueueSizeLocked() == 0) return;  // shutdown with a drained queue
+      job = DequeueLocked();
       active_[worker_index] = job->token;
       space_cv_.notify_one();
     }
@@ -124,6 +252,7 @@ void QueryService::WorkerLoop(size_t worker_index) {
     {
       std::lock_guard<std::mutex> lock(mu_);
       active_[worker_index] = CancellationToken();
+      if (tenant_tracking()) tenants_[job->req.tenant].running--;
       if (resp.status.ok()) {
         counters_.completed++;
       } else {
@@ -177,23 +306,52 @@ QueryResponse QueryService::ExecuteJob(Job* job, uint64_t* jitter_state) {
 
   QueryResponse resp;
   bool queue_exhausted_deadline = false;
+  bool ewma_shed = false;
   GuardLimits first_attempt = limits;
   if (options_.deadline_includes_queue_wait && limits.deadline_ms > 0) {
     int64_t remaining = limits.deadline_ms - queue_wait_ms;
     if (remaining <= 0) {
-      // The whole budget was spent waiting for a worker; don't even start.
+      // The whole budget was spent waiting for a worker; fail fast before
+      // any engine setup (no context build, no Prepare, no bind_context).
       resp.status = Status::ResourceExhausted(
           kGuardTimeoutCode,
           "query deadline of " + std::to_string(limits.deadline_ms) +
               "ms exhausted in the admission queue (waited " +
               std::to_string(queue_wait_ms) + "ms)");
       queue_exhausted_deadline = true;
-    } else {
+    } else if (options_.shed_on_dequeue) {
+      // Deadline-aware shedding: the budget left is below what queries
+      // have recently been costing, so this job would almost certainly
+      // trip the deadline mid-flight — a corpse. Shed it now instead of
+      // burning a worker discovering that the slow way.
+      double estimate;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        estimate = ewma_exec_ms_;
+      }
+      if (estimate > 0 && estimate > static_cast<double>(remaining)) {
+        resp.status = Status::ResourceExhausted(
+            kGuardTimeoutCode,
+            "shed at dispatch: " + std::to_string(remaining) +
+                "ms of the deadline remains but recent queries averaged " +
+                std::to_string(static_cast<int64_t>(estimate)) +
+                "ms (waited " + std::to_string(queue_wait_ms) +
+                "ms in queue)");
+        ewma_shed = true;
+      }
+    }
+    if (!queue_exhausted_deadline && !ewma_shed) {
       first_attempt.deadline_ms = remaining;
     }
   }
-  if (!queue_exhausted_deadline) {
+  if (options_.shed_on_dequeue && (queue_exhausted_deadline || ewma_shed)) {
+    std::lock_guard<std::mutex> lock(mu_);
+    counters_.shed_in_queue++;
+  }
+  if (!queue_exhausted_deadline && !ewma_shed) {
+    Clock::time_point exec_start = Clock::now();
     resp = ExecuteOnce(job, first_attempt);
+    UpdateEwma(ElapsedMs(exec_start));
   }
   resp.queue_wait_ms = queue_wait_ms;
   resp.attempts = 1;
@@ -202,19 +360,19 @@ QueryResponse QueryService::ExecuteJob(Job* job, uint64_t* jitter_state) {
   // a significant share (>= 25%) of the budget, so the failure says more
   // about the service's load than about the query. Everything else —
   // memory/output/step trips, recursion, W3C errors, caller cancellation —
-  // is deterministic and must not be retried.
+  // is deterministic and must not be retried. EWMA sheds are also never
+  // retried: shedding exists to unload the service, and re-queueing the
+  // work it dropped would cancel the relief.
   bool transient =
-      options_.retry_transient && options_.deadline_includes_queue_wait &&
-      limits.deadline_ms > 0 && resp.status.code() == kGuardTimeoutCode &&
+      !ewma_shed && options_.retry_transient &&
+      options_.deadline_includes_queue_wait && limits.deadline_ms > 0 &&
+      resp.status.code() == kGuardTimeoutCode &&
       queue_wait_ms * 4 >= limits.deadline_ms;
   if (!transient) return resp;
 
   // Jittered backoff in [base, 2*base), interruptible by shutdown.
-  int64_t backoff_ms = options_.retry_backoff_ms +
-                       static_cast<int64_t>(NextRand(jitter_state) %
-                                            (options_.retry_backoff_ms > 0
-                                                 ? options_.retry_backoff_ms
-                                                 : 1));
+  int64_t backoff_ms = JitteredBackoffMs(options_.retry_backoff_ms,
+                                         jitter_state);
   {
     std::unique_lock<std::mutex> lock(mu_);
     shutdown_cv_.wait_for(lock, std::chrono::milliseconds(backoff_ms),
@@ -223,7 +381,9 @@ QueryResponse QueryService::ExecuteJob(Job* job, uint64_t* jitter_state) {
   }
   if (job->token.cancelled()) return resp;
 
+  Clock::time_point retry_start = Clock::now();
   QueryResponse retried = ExecuteOnce(job, limits);  // fresh full budget
+  UpdateEwma(ElapsedMs(retry_start));
   retried.queue_wait_ms = queue_wait_ms;
   retried.attempts = 2;
   retried.retried_transient = true;
@@ -236,7 +396,7 @@ void QueryService::Shutdown() {
     std::lock_guard<std::mutex> lock(mu_);
     if (!shutdown_) {
       shutdown_ = true;
-      orphaned.swap(queue_);
+      DrainQueueLocked(&orphaned);
       counters_.rejected += static_cast<int64_t>(orphaned.size());
       for (const CancellationToken& token : active_) {
         if (token.live()) {

@@ -8,6 +8,17 @@
 //     queue is full it waits up to `admission_wait_ms` for space and then
 //     fast-fails with XQC0007 (kServiceOverloadedCode) instead of queueing
 //     without bound — saturation produces quick, explicit rejections.
+//   * Per-tenant quotas (opt-in): QueryRequest::tenant names the traffic
+//     source; per-tenant in-flight and queued caps fast-fail a hot
+//     tenant's burst with XQC0010 (kTenantOverQuotaCode) at Submit, and
+//     the weighted-fair dequeue serves tenants round-robin so one
+//     tenant's backlog cannot starve the others.
+//   * Deadline-aware load shedding (opt-in): the service keeps an EWMA of
+//     recent execution times. On dequeue, a job whose remaining
+//     end-to-end budget is below that estimate is a corpse — it is failed
+//     fast with XQC0001 instead of burning a worker; at admission, a
+//     request whose predicted queue wait already exceeds its budget is
+//     rejected with XQC0007 before it ever queues.
 //   * Per-query guards: every execution runs under GuardLimits merged from
 //     the request and the service defaults. With
 //     `deadline_includes_queue_wait` (default), the wall-clock budget is
@@ -42,6 +53,7 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -76,6 +88,34 @@ struct ServiceOptions {
   /// must outlive the service). nullptr = the process-wide store. Whether
   /// the store is consulted at all is engine_options.use_doc_store.
   DocumentStore* document_store = nullptr;
+
+  // --- Overload resilience (all default-off; with every knob at its
+  // --- default the service behaves exactly like the pre-quota layer).
+
+  /// Per-tenant cap on admitted-but-not-finished queries (queued +
+  /// running). Exceeding it fast-fails Submit with XQC0010. 0 = unlimited.
+  int64_t tenant_max_in_flight = 0;
+  /// Per-tenant cap on the queued portion alone. 0 = unlimited.
+  int64_t tenant_max_queued = 0;
+  /// Dequeue round-robin across tenants (each tenant's own jobs stay
+  /// FIFO) instead of one global FIFO, so a burst from one tenant cannot
+  /// starve the others' queued work.
+  bool fair_dequeue = false;
+  /// On dequeue, fail jobs fast with XQC0001 when the remaining
+  /// end-to-end budget is below the EWMA of recent execution times
+  /// (never burn a worker on a corpse). Requires
+  /// deadline_includes_queue_wait.
+  bool shed_on_dequeue = false;
+  /// At admission, reject with XQC0007 when the predicted queue wait
+  /// (queued jobs x EWMA / workers) already exceeds the request's
+  /// deadline. Requires deadline_includes_queue_wait.
+  bool predict_admission = false;
+  /// EWMA smoothing factor for the execution-time estimate.
+  double ewma_alpha = 0.2;
+  /// Initial EWMA value in ms (0 = no estimate until the first completed
+  /// execution). Lets tests and restarts seed the shedding predicate
+  /// deterministically.
+  double ewma_seed_ms = 0;
 };
 
 struct QueryRequest {
@@ -83,6 +123,9 @@ struct QueryRequest {
   /// otherwise `query_text` is compiled on the worker.
   std::string query_text;
   std::shared_ptr<const PreparedQuery> prepared;
+  /// Traffic source for per-tenant quotas and fair dequeue. Empty = the
+  /// anonymous default tenant (still a tenant under quotas/fairness).
+  std::string tenant;
   /// Per-request limits; zero fields inherit ServiceOptions::default_limits.
   GuardLimits limits;
   /// Per-request streaming batch size (EngineOptions::batch_size); 0
@@ -139,13 +182,23 @@ class QueryService {
   /// Monotonic service counters (all guarded; safe to read any time).
   struct Counters {
     int64_t submitted = 0;   // Submit calls
-    int64_t rejected = 0;    // XQC0007 at admission or shutdown
+    int64_t rejected = 0;    // XQC0007/XQC0010 at admission or shutdown
     int64_t completed = 0;   // finished with OK status
     int64_t failed = 0;      // finished with any non-OK status
     int64_t retries = 0;     // transient retries performed
     int64_t cancelled_at_shutdown = 0;  // in-flight when Shutdown ran
+    // Overload-resilience counters (all zero with the features off).
+    int64_t shed_in_queue = 0;         // corpse jobs failed fast at dequeue
+    int64_t rejected_predicted = 0;    // admission rejections by wait
+                                       // prediction (XQC0007)
+    int64_t tenant_rejected = 0;       // total XQC0010 rejections
+    std::unordered_map<std::string, int64_t> tenant_rejections;  // per tenant
   };
   Counters counters() const;
+
+  /// Current execution-time estimate in ms (0 until the first completed
+  /// execution unless seeded); drives shedding and admission prediction.
+  double ewma_exec_ms() const;
 
   const ServiceOptions& options() const { return options_; }
 
@@ -157,11 +210,35 @@ class QueryService {
     CancellationToken token;  // req.cancel, or a service-made one
   };
 
+  /// Per-tenant admission/fairness bookkeeping (tracked only when quotas
+  /// or fair dequeue are enabled; the map stays empty otherwise so the
+  /// default configuration adds no per-submit work).
+  struct TenantState {
+    int64_t queued = 0;   // admitted, still in the queue
+    int64_t running = 0;  // dequeued, executing on a worker
+    std::deque<std::unique_ptr<Job>> fifo;  // fair_dequeue: this tenant's
+                                            // own FIFO
+  };
+
   void WorkerLoop(size_t worker_index);
   QueryResponse ExecuteJob(Job* job, uint64_t* jitter_state);
   /// One engine execution of the job under `limits`. Fills status/result/
   /// stats only.
   QueryResponse ExecuteOnce(Job* job, const GuardLimits& limits);
+
+  /// Whether per-tenant bookkeeping is on (any quota or fair dequeue).
+  bool tenant_tracking() const {
+    return options_.tenant_max_in_flight > 0 ||
+           options_.tenant_max_queued > 0 || options_.fair_dequeue;
+  }
+  /// Queue primitives spanning the global FIFO and the fair per-tenant
+  /// FIFOs. Callers hold mu_.
+  size_t QueueSizeLocked() const;
+  void EnqueueLocked(std::unique_ptr<Job> job);
+  std::unique_ptr<Job> DequeueLocked();
+  void DrainQueueLocked(std::deque<std::unique_ptr<Job>>* out);
+  /// Folds a completed execution's duration into the EWMA (takes mu_).
+  void UpdateEwma(int64_t exec_ms);
 
   ServiceOptions options_;
   Engine engine_;
@@ -173,12 +250,22 @@ class QueryService {
   std::condition_variable work_cv_;   // queue became non-empty / shutdown
   std::condition_variable space_cv_;  // queue gained space / shutdown
   std::condition_variable shutdown_cv_;  // interrupts retry backoff
-  std::deque<std::unique_ptr<Job>> queue_;
+  std::deque<std::unique_ptr<Job>> queue_;  // global FIFO (!fair_dequeue)
+  std::unordered_map<std::string, TenantState> tenants_;
+  std::deque<std::string> rr_;   // fair_dequeue: tenants awaiting service
+  size_t fair_queued_ = 0;       // total jobs across tenant FIFOs
+  double ewma_exec_ms_ = 0;      // 0 = no estimate yet
   std::vector<CancellationToken> active_;  // per-worker in-flight token
   std::vector<std::thread> workers_;
   bool shutdown_ = false;
   Counters counters_;
 };
+
+/// The service's retry-backoff jitter: a wait uniformly distributed in
+/// [base, 2*base) drawn from the xorshift64* stream `state`. Exposed so
+/// tests can pin the jitter contract (range and determinism for a fixed
+/// seed) against the exact sequence the workers use.
+int64_t JitteredBackoffMs(int64_t base_ms, uint64_t* state);
 
 }  // namespace xqc
 

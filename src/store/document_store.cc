@@ -66,6 +66,8 @@ std::string NormalizeDocUri(const std::string& uri) {
 DocumentStore::DocumentStore(DocumentStoreOptions options)
     : options_(options),
       max_bytes_(options.max_bytes),
+      breaker_threshold_(options.breaker_threshold),
+      brownout_(options.brownout),
       jitter_state_(options.jitter_seed) {}
 
 DocumentStore::~DocumentStore() = default;
@@ -114,6 +116,7 @@ Result<NodePtr> DocumentStore::Load(const std::string& raw_uri,
   for (;;) {
     std::shared_ptr<InFlight> slot;
     bool leader = false;
+    bool probe = false;  // this load is the breaker's single half-open probe
     {
       std::unique_lock<std::mutex> lock(mu_);
 
@@ -144,6 +147,7 @@ Result<NodePtr> DocumentStore::Load(const std::string& raw_uri,
       }
 
       auto c = cache_.find(uri);
+      bool have_stale = false;
       if (c != cache_.end()) {
         Fingerprint fp;
         if (StatFile(uri, &fp) && fp == c->second->fp) {
@@ -152,20 +156,49 @@ Result<NodePtr> DocumentStore::Load(const std::string& raw_uri,
           Bump(opts.stats, &DocStoreStats::hits);
           return c->second->doc;
         }
-        // Stale: drop the entry and fall through to a fresh load, which
-        // swaps the new tree in atomically. Holders of the old tree keep
-        // a consistent snapshot via shared ownership.
-        totals_.stale_reloads++;
-        Bump(opts.stats, &DocStoreStats::stale_reloads);
-        bytes_cached_ -= c->second->bytes;
-        lru_.erase(c->second);
-        cache_.erase(c);
+        // Stale (or currently unstattable). Deferred-dropped below: if the
+        // prefix's breaker is open and brownout is on, this is exactly the
+        // tree we degrade onto instead of failing.
+        have_stale = true;
       }
 
       auto f = inflight_.find(uri);
       if (f != inflight_.end()) {
+        // Another query is already performing this load; joining its wait
+        // causes no new I/O, so the breaker is not consulted.
         slot = f->second;
       } else {
+        switch (BreakerAdmitLocked(BreakerPrefix(uri))) {
+          case BreakerVerdict::kOpen:
+            if (brownout_.load(std::memory_order_relaxed) && have_stale) {
+              lru_.splice(lru_.begin(), lru_, c->second);
+              totals_.brownout_serves++;
+              Bump(opts.stats, &DocStoreStats::brownout_serves);
+              return c->second->doc;
+            }
+            totals_.breaker_fast_fails++;
+            Bump(opts.stats, &DocStoreStats::breaker_fast_fails);
+            return Status::WithCode(
+                StatusKind::kIOError, kStoreBreakerOpenCode,
+                "circuit breaker open for '" + BreakerPrefix(uri) +
+                    "': repeated transient I/O failures; load of '" + uri +
+                    "' failed fast (retrying after the cooldown)");
+          case BreakerVerdict::kProbe:
+            probe = true;
+            break;
+          case BreakerVerdict::kProceed:
+            break;
+        }
+        if (have_stale) {
+          // Now really drop the stale entry; the fresh load swaps the new
+          // tree in atomically. Holders of the old tree keep a consistent
+          // snapshot via shared ownership.
+          totals_.stale_reloads++;
+          Bump(opts.stats, &DocStoreStats::stale_reloads);
+          bytes_cached_ -= c->second->bytes;
+          lru_.erase(c->second);
+          cache_.erase(c);
+        }
         slot = std::make_shared<InFlight>();
         inflight_[uri] = slot;
         leader = true;
@@ -175,7 +208,7 @@ Result<NodePtr> DocumentStore::Load(const std::string& raw_uri,
     if (leader) {
       bool leader_trip = false;
       Result<NodePtr> result =
-          LoadAsLeader(uri, guard, opts.stats, &leader_trip);
+          LoadAsLeader(uri, guard, opts.stats, &leader_trip, probe);
       {
         std::lock_guard<std::mutex> sl(slot->mu);
         slot->done = true;
@@ -224,9 +257,10 @@ Result<NodePtr> DocumentStore::Load(const std::string& raw_uri,
 Result<NodePtr> DocumentStore::LoadAsLeader(const std::string& uri,
                                             QueryGuard* guard,
                                             DocStoreStats* stats,
-                                            bool* leader_trip) {
+                                            bool* leader_trip, bool probe) {
   Bump(stats, &DocStoreStats::misses);
   CountGlobal(&DocStoreStats::misses);
+  const std::string prefix = BreakerPrefix(uri);
 
   ReadOutcome out;
   for (int attempt = 0;; ++attempt) {
@@ -234,9 +268,14 @@ Result<NodePtr> DocumentStore::LoadAsLeader(const std::string& uri,
     if (out.status.ok()) break;
     if (out.status.kind() == StatusKind::kResourceExhausted) {
       *leader_trip = true;
+      if (probe) BreakerRecordAbort(prefix);
       return out.status;
     }
     if (!out.transient) {
+      // A definitive filesystem answer (ENOENT, EACCES, ...): the I/O tier
+      // responded, so it counts as breaker success even though the load
+      // fails and is negative-cached.
+      BreakerRecordSuccess(prefix);
       Status st = out.status;
       std::lock_guard<std::mutex> lock(mu_);
       negative_[uri] = Negative{
@@ -244,6 +283,7 @@ Result<NodePtr> DocumentStore::LoadAsLeader(const std::string& uri,
                   std::chrono::milliseconds(options_.negative_ttl_ms)};
       return st;
     }
+    BreakerRecordFailure(prefix);
     if (attempt >= options_.max_retries) {
       return Status::WithCode(
           StatusKind::kIOError, kStoreRetriesExhaustedCode,
@@ -265,6 +305,7 @@ Result<NodePtr> DocumentStore::LoadAsLeader(const std::string& uri,
       Status st = guard->CheckNow();
       if (!st.ok()) {
         *leader_trip = true;
+        if (probe) BreakerRecordAbort(prefix);
         return st;
       }
       SleepMs(1);
@@ -272,9 +313,14 @@ Result<NodePtr> DocumentStore::LoadAsLeader(const std::string& uri,
     Status st = guard->CheckNow();
     if (!st.ok()) {
       *leader_trip = true;
+      if (probe) BreakerRecordAbort(prefix);
       return st;
     }
   }
+
+  // The read completed: the I/O tier is healthy for this prefix (closes a
+  // half-open breaker, resets the consecutive-failure count).
+  BreakerRecordSuccess(prefix);
 
   XmlParseOptions popts;
   popts.guard = guard;
@@ -453,6 +499,7 @@ void DocumentStore::InvalidateAll() {
   cache_.clear();
   quarantine_.clear();
   negative_.clear();
+  breakers_.clear();
   bytes_cached_ = 0;
 }
 
@@ -462,6 +509,101 @@ void DocumentStore::set_max_bytes(int64_t max_bytes) {
   EvictToBudgetLocked(nullptr);
 }
 
+void DocumentStore::set_breaker_threshold(int threshold) {
+  breaker_threshold_.store(threshold, std::memory_order_relaxed);
+  if (threshold <= 0) {
+    std::lock_guard<std::mutex> lock(mu_);
+    breakers_.clear();
+  }
+}
+
+void DocumentStore::set_brownout(bool brownout) {
+  brownout_.store(brownout, std::memory_order_relaxed);
+}
+
+std::string DocumentStore::BreakerPrefix(const std::string& uri) {
+  size_t slash = uri.rfind('/');
+  return slash == std::string::npos ? std::string() : uri.substr(0, slash);
+}
+
+DocumentStore::BreakerVerdict DocumentStore::BreakerAdmitLocked(
+    const std::string& prefix) {
+  if (breaker_threshold_.load(std::memory_order_relaxed) <= 0) {
+    return BreakerVerdict::kProceed;
+  }
+  auto it = breakers_.find(prefix);
+  if (it == breakers_.end()) return BreakerVerdict::kProceed;
+  Breaker& b = it->second;
+  switch (b.state) {
+    case Breaker::State::kClosed:
+      return BreakerVerdict::kProceed;
+    case Breaker::State::kOpen:
+      if (std::chrono::steady_clock::now() - b.opened_at >=
+          std::chrono::milliseconds(options_.breaker_cooldown_ms)) {
+        b.state = Breaker::State::kHalfOpen;
+        b.probe_in_flight = true;
+        breaker_half_opens_++;
+        return BreakerVerdict::kProbe;
+      }
+      return BreakerVerdict::kOpen;
+    case Breaker::State::kHalfOpen:
+      // The single probe is already out; everyone else still fails fast.
+      return BreakerVerdict::kOpen;
+  }
+  return BreakerVerdict::kProceed;  // unreachable
+}
+
+void DocumentStore::BreakerRecordFailure(const std::string& prefix) {
+  const int threshold = breaker_threshold_.load(std::memory_order_relaxed);
+  if (threshold <= 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  Breaker& b = breakers_[prefix];
+  b.consecutive_failures++;
+  if (b.state == Breaker::State::kHalfOpen) {
+    // The probe failed: straight back to open, cooldown restarted.
+    b.state = Breaker::State::kOpen;
+    b.opened_at = std::chrono::steady_clock::now();
+    b.probe_in_flight = false;
+    breaker_opens_++;
+  } else if (b.state == Breaker::State::kClosed &&
+             b.consecutive_failures >= threshold) {
+    b.state = Breaker::State::kOpen;
+    b.opened_at = std::chrono::steady_clock::now();
+    breaker_opens_++;
+  }
+}
+
+void DocumentStore::BreakerRecordSuccess(const std::string& prefix) {
+  if (breaker_threshold_.load(std::memory_order_relaxed) <= 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = breakers_.find(prefix);
+  if (it == breakers_.end()) return;
+  Breaker& b = it->second;
+  b.consecutive_failures = 0;
+  if (b.state == Breaker::State::kHalfOpen) {
+    b.state = Breaker::State::kClosed;
+    b.probe_in_flight = false;
+    breaker_closes_++;
+  }
+  // kOpen stays open: in-progress loads admitted before the breaker opened
+  // don't close it — the half-open probe is the designated recovery test.
+}
+
+void DocumentStore::BreakerRecordAbort(const std::string& prefix) {
+  if (breaker_threshold_.load(std::memory_order_relaxed) <= 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = breakers_.find(prefix);
+  if (it == breakers_.end()) return;
+  Breaker& b = it->second;
+  if (b.state == Breaker::State::kHalfOpen) {
+    // The probe died on its caller's guard, proving nothing about the I/O
+    // tier. Re-open with the original opened_at so the next caller may
+    // probe immediately.
+    b.state = Breaker::State::kOpen;
+    b.probe_in_flight = false;
+  }
+}
+
 DocumentStore::Counters DocumentStore::counters() const {
   std::lock_guard<std::mutex> lock(mu_);
   Counters c;
@@ -469,6 +611,12 @@ DocumentStore::Counters DocumentStore::counters() const {
   c.bytes_cached = bytes_cached_;
   c.entries = static_cast<int64_t>(cache_.size());
   c.quarantined = static_cast<int64_t>(quarantine_.size());
+  c.breaker_opens = breaker_opens_;
+  c.breaker_half_opens = breaker_half_opens_;
+  c.breaker_closes = breaker_closes_;
+  for (const auto& [prefix, b] : breakers_) {
+    if (b.state != Breaker::State::kClosed) c.breakers_open++;
+  }
   return c;
 }
 

@@ -30,6 +30,15 @@
 //   * Staleness. Cache hits validate an (inode, size, mtime) fingerprint;
 //     a changed file is re-parsed and swapped in atomically (queries
 //     holding the old tree keep it alive via shared_ptr).
+//   * Circuit breaker (opt-in: breaker_threshold > 0). Consecutive
+//     transient-I/O failures against one URI prefix (its directory) past
+//     the threshold open a per-prefix breaker: further loads fail
+//     immediately with XQC0011 — no read, no retry/backoff burn — until
+//     the cooldown elapses and a single half-open probe tests recovery
+//     (success closes the breaker, failure re-opens it). With the
+//     optional brownout policy, an open breaker serves the stale cached
+//     tree (flagged in the stats) instead of failing, trading freshness
+//     for availability while the I/O tier is sick.
 //
 // Guard interplay: the *performing* query's guard is threaded through the
 // read and the parse, so deadlines, cancellation, and memory budgets all
@@ -80,6 +89,8 @@ struct DocStoreStats {
   int64_t stale_reloads = 0;      // fingerprint mismatches -> re-parse
   int64_t singleflight_waits = 0; // loads served by another query's parse
   int64_t uncached_oversize = 0;  // docs larger than the whole budget
+  int64_t breaker_fast_fails = 0; // loads failed XQC0011 by an open breaker
+  int64_t brownout_serves = 0;    // stale trees served under brownout
 
   void Add(const DocStoreStats& o) {
     hits += o.hits;
@@ -91,6 +102,8 @@ struct DocStoreStats {
     stale_reloads += o.stale_reloads;
     singleflight_waits += o.singleflight_waits;
     uncached_oversize += o.uncached_oversize;
+    breaker_fast_fails += o.breaker_fast_fails;
+    brownout_serves += o.brownout_serves;
   }
 };
 
@@ -109,6 +122,17 @@ struct DocumentStoreOptions {
   int64_t retry_backoff_ms = 2;
   /// Seed for backoff jitter (deterministic by default for tests).
   uint64_t jitter_seed = 0x9e3779b97f4a7c15ull;
+  /// Circuit breaker: consecutive transient-I/O failures against one URI
+  /// prefix before its breaker opens and loads fail fast with XQC0011.
+  /// 0 disables the breaker entirely (the PR-6 oracle behavior).
+  int breaker_threshold = 0;
+  /// How long an open breaker blocks loads before a single half-open
+  /// probe is allowed to test recovery.
+  int64_t breaker_cooldown_ms = 100;
+  /// Brownout policy: while a prefix's breaker is open, serve the stale
+  /// cached tree for a URI (if one exists) instead of failing XQC0011.
+  /// Serves are flagged in DocStoreStats::brownout_serves.
+  bool brownout = false;
 };
 
 class DocumentStore {
@@ -139,6 +163,7 @@ class DocumentStore {
   ///   XQC0001/XQC0002/XQC0003  caller's guard tripped mid-load
   ///   XQC0008                  transient I/O failure survived all retries
   ///   XQC0009                  quarantined document (cached failure)
+  ///   XQC0011                  circuit breaker open for the URI's prefix
   ///   FODC0002                 document does not exist / permanent I/O
   ///   XPST0003 (kParseError)   first parse of a malformed document
   Result<NodePtr> Load(const std::string& uri, const LoadOptions& opts);
@@ -158,6 +183,12 @@ class DocumentStore {
   /// for startup configuration (xqc_shell --doc-store-mb).
   void set_max_bytes(int64_t max_bytes);
 
+  /// Reconfigures the circuit breaker threshold / brownout policy at
+  /// runtime (xqc_shell --breaker-threshold / --brownout). Threshold <= 0
+  /// disables the breaker and resets all per-prefix breaker state.
+  void set_breaker_threshold(int threshold);
+  void set_brownout(bool brownout);
+
   /// Test-only deterministic I/O faults (see io_fault.h). Not owned; pass
   /// nullptr to clear. Safe to set from any thread between loads.
   void set_fault_injector(IoFaultInjector* injector) {
@@ -170,12 +201,19 @@ class DocumentStore {
     int64_t bytes_cached = 0;
     int64_t entries = 0;
     int64_t quarantined = 0;
+    /// Breaker state-machine transitions (cumulative) and current opens.
+    int64_t breaker_opens = 0;       // closed/half-open -> open
+    int64_t breaker_half_opens = 0;  // open -> half-open (probe granted)
+    int64_t breaker_closes = 0;      // half-open -> closed (probe succeeded)
+    int64_t breakers_open = 0;       // prefixes currently open or half-open
   };
   Counters counters() const;
 
   DocumentStoreOptions options() const {
     DocumentStoreOptions o = options_;
     o.max_bytes = max_bytes_.load(std::memory_order_relaxed);
+    o.breaker_threshold = breaker_threshold_.load(std::memory_order_relaxed);
+    o.brownout = brownout_.load(std::memory_order_relaxed);
     return o;
   }
 
@@ -221,11 +259,42 @@ class DocumentStore {
     std::chrono::steady_clock::time_point expires;
   };
 
+  /// Per-URI-prefix circuit breaker (see the file comment). All state is
+  /// guarded by mu_; the read/parse itself still runs unlocked.
+  struct Breaker {
+    enum class State { kClosed, kOpen, kHalfOpen };
+    State state = State::kClosed;
+    int consecutive_failures = 0;
+    std::chrono::steady_clock::time_point opened_at;
+    bool probe_in_flight = false;  // kHalfOpen: the single granted probe
+  };
+
+  /// The breaker grouping key: the URI's directory ("" for bare names),
+  /// so one sick mount/device opens one breaker, not one per file.
+  static std::string BreakerPrefix(const std::string& uri);
+
+  /// Admission decision for `uri` under its prefix's breaker. Caller
+  /// holds mu_. kProbe means the caller was granted the single half-open
+  /// probe and MUST report its outcome (success/failure/abort).
+  enum class BreakerVerdict { kProceed, kProbe, kOpen };
+  BreakerVerdict BreakerAdmitLocked(const std::string& prefix);
+
+  /// Outcome reporting from the leader's read attempts (lock taken
+  /// inside). A transient failure feeds the failure counter and can open
+  /// the breaker; a successful read closes a half-open breaker and resets
+  /// the counter; an aborted probe (the leader's own guard tripped)
+  /// returns the breaker to kOpen so the next caller may probe.
+  void BreakerRecordFailure(const std::string& prefix);
+  void BreakerRecordSuccess(const std::string& prefix);
+  void BreakerRecordAbort(const std::string& prefix);
+
   /// One full read+retry+parse cycle, performed by a singleflight leader
   /// outside the store lock. On success also inserts into the cache /
-  /// quarantine / negative maps.
+  /// quarantine / negative maps. `probe` marks the breaker's half-open
+  /// probe, whose outcome must be reported back to the breaker.
   Result<NodePtr> LoadAsLeader(const std::string& uri, QueryGuard* guard,
-                               DocStoreStats* stats, bool* leader_trip);
+                               DocStoreStats* stats, bool* leader_trip,
+                               bool probe);
 
   /// Reads the file, applying injected faults and classifying errors.
   struct ReadOutcome {
@@ -261,10 +330,12 @@ class DocumentStore {
   /// Bumps a whole-store counter (takes mu_; call only when it isn't held).
   void CountGlobal(int64_t DocStoreStats::*field, int64_t n = 1);
 
-  /// Immutable after construction, except max_bytes which lives in the
-  /// atomic mirror below (set_max_bytes).
+  /// Immutable after construction, except max_bytes / breaker_threshold /
+  /// brownout which live in the atomic mirrors below (runtime setters).
   DocumentStoreOptions options_;
   std::atomic<int64_t> max_bytes_;
+  std::atomic<int> breaker_threshold_;
+  std::atomic<bool> brownout_;
   std::atomic<IoFaultInjector*> fault_injector_{nullptr};
   std::atomic<uint64_t> jitter_state_;
 
@@ -274,8 +345,12 @@ class DocumentStore {
   std::unordered_map<std::string, std::shared_ptr<InFlight>> inflight_;
   std::unordered_map<std::string, Quarantined> quarantine_;
   std::unordered_map<std::string, Negative> negative_;
+  std::unordered_map<std::string, Breaker> breakers_;
   int64_t bytes_cached_ = 0;
   DocStoreStats totals_;
+  int64_t breaker_opens_ = 0;
+  int64_t breaker_half_opens_ = 0;
+  int64_t breaker_closes_ = 0;
 };
 
 }  // namespace xqc

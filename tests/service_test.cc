@@ -1,0 +1,404 @@
+// Overload-resilience tests for QueryService (see DESIGN.md "Overload
+// policy"): per-tenant admission quotas (XQC0010), weighted-fair dequeue,
+// deadline-aware load shedding at dispatch and admission, the zero-deadline
+// dispatch edge, retry-backoff jitter, and prompt shutdown during backoff.
+//
+// Everything here runs under TSan in scripts/check.sh alongside
+// concurrency_test, so the new queue bookkeeping is race-checked too.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/service/query_service.h"
+
+namespace xqc {
+namespace {
+
+// Runs effectively forever unless a guard or cancellation stops it — used
+// to pin a worker so queue behavior can be observed deterministically.
+const char* kUnboundedQuery =
+    "count(for $a in 1 to 1000000, $b in 1 to 1000000 return 1)";
+
+/// Submits `query` under a caller-held token and blocks until a worker has
+/// picked it up (bind_context runs on the worker thread before execution).
+std::future<QueryResponse> SubmitAndWaitStart(QueryService* service,
+                                              const std::string& query,
+                                              CancellationToken token,
+                                              const std::string& tenant = "") {
+  auto started = std::make_shared<std::promise<void>>();
+  std::future<void> started_future = started->get_future();
+  QueryRequest req;
+  req.query_text = query;
+  req.tenant = tenant;
+  req.cancel = std::move(token);
+  req.bind_context = [started,
+                      fired = std::make_shared<std::atomic<bool>>(false)](
+                         DynamicContext*) {
+    if (!fired->exchange(true)) started->set_value();
+  };
+  std::future<QueryResponse> f = service->Submit(std::move(req));
+  if (f.wait_for(std::chrono::milliseconds(0)) != std::future_status::ready) {
+    started_future.wait();
+  }
+  return f;
+}
+
+// ---- per-tenant quotas -----------------------------------------------------
+
+TEST(ServiceTenantQuota, OverQuotaTenantFailsFastOthersAdmitted) {
+  ServiceOptions opts;
+  opts.num_threads = 1;
+  opts.max_queue = 16;
+  opts.tenant_max_in_flight = 2;  // queued + running per tenant
+  opts.retry_transient = false;
+  QueryService service(opts);
+
+  // Tenant A: one running (pins the worker), one queued — at quota.
+  CancellationToken pin = CancellationToken::Make();
+  auto running = SubmitAndWaitStart(&service, kUnboundedQuery, pin, "A");
+  QueryRequest queued;
+  queued.query_text = "1 + 1";
+  queued.tenant = "A";
+  auto waiting = service.Submit(std::move(queued));
+
+  // A third request from A is over quota: it must fail synchronously
+  // (future already ready) with XQC0010, without touching the queue.
+  auto t0 = std::chrono::steady_clock::now();
+  QueryRequest over;
+  over.query_text = "2 + 2";
+  over.tenant = "A";
+  auto rejected = service.Submit(std::move(over));
+  ASSERT_EQ(rejected.wait_for(std::chrono::milliseconds(0)),
+            std::future_status::ready);
+  QueryResponse resp = rejected.get();
+  int64_t reject_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+  EXPECT_EQ(resp.status.code(), kTenantOverQuotaCode);
+  EXPECT_LT(reject_ms, 5);
+
+  // Tenant B is unaffected by A's saturation.
+  QueryRequest other;
+  other.query_text = "3 + 3";
+  other.tenant = "B";
+  auto admitted = service.Submit(std::move(other));
+
+  pin.RequestCancel();
+  EXPECT_FALSE(running.get().status.ok());
+  EXPECT_EQ(waiting.get().result, "2");
+  EXPECT_EQ(admitted.get().result, "6");
+
+  // Quota slots are released by completion: A fits again.
+  QueryRequest again;
+  again.query_text = "4 + 4";
+  again.tenant = "A";
+  EXPECT_EQ(service.Run(std::move(again)).result, "8");
+
+  QueryService::Counters c = service.counters();
+  EXPECT_EQ(c.tenant_rejected, 1);
+  EXPECT_EQ(c.tenant_rejections.at("A"), 1);
+  EXPECT_EQ(c.tenant_rejections.count("B"), 0u);
+}
+
+TEST(ServiceTenantQuota, QueuedQuotaCapsBacklogOnly) {
+  ServiceOptions opts;
+  opts.num_threads = 1;
+  opts.max_queue = 16;
+  opts.tenant_max_queued = 1;
+  opts.retry_transient = false;
+  QueryService service(opts);
+
+  CancellationToken pin = CancellationToken::Make();
+  auto running = SubmitAndWaitStart(&service, kUnboundedQuery, pin, "A");
+
+  QueryRequest first;
+  first.query_text = "1";
+  first.tenant = "A";
+  auto q1 = service.Submit(std::move(first));  // 1 queued: at cap
+  QueryRequest second;
+  second.query_text = "2";
+  second.tenant = "A";
+  auto q2 = service.Submit(std::move(second));
+  EXPECT_EQ(q2.get().status.code(), kTenantOverQuotaCode);
+
+  pin.RequestCancel();
+  EXPECT_EQ(q1.get().result, "1");
+  running.get();
+}
+
+// ---- weighted-fair dequeue -------------------------------------------------
+
+TEST(ServiceFairDequeue, RoundRobinAcrossTenantsFifoWithin) {
+  ServiceOptions opts;
+  opts.num_threads = 1;
+  opts.max_queue = 16;
+  opts.fair_dequeue = true;
+  opts.retry_transient = false;
+  QueryService service(opts);
+
+  CancellationToken pin = CancellationToken::Make();
+  auto running = SubmitAndWaitStart(&service, kUnboundedQuery, pin, "Z");
+
+  // Backlog while the worker is pinned: A floods, B and C each queue one.
+  std::mutex mu;
+  std::vector<std::string> pickup_order;
+  std::vector<std::future<QueryResponse>> futures;
+  auto enqueue = [&](const std::string& tenant, const std::string& tag) {
+    QueryRequest req;
+    req.query_text = "'" + tag + "'";
+    req.tenant = tenant;
+    req.bind_context = [&mu, &pickup_order, tag](DynamicContext*) {
+      std::lock_guard<std::mutex> lock(mu);
+      pickup_order.push_back(tag);
+    };
+    futures.push_back(service.Submit(std::move(req)));
+  };
+  enqueue("A", "a1");
+  enqueue("A", "a2");
+  enqueue("A", "a3");
+  enqueue("B", "b1");
+  enqueue("C", "c1");
+
+  pin.RequestCancel();
+  running.get();
+  for (auto& f : futures) EXPECT_TRUE(f.get().status.ok());
+
+  // One slot per tenant per cycle (A, B, C, then A's remaining backlog),
+  // and A's own jobs stay in submission order.
+  std::vector<std::string> want = {"a1", "b1", "c1", "a2", "a3"};
+  EXPECT_EQ(pickup_order, want);
+}
+
+// ---- deadline-aware shedding -----------------------------------------------
+
+TEST(ServiceShedding, EwmaShedsCorpseJobsFastWithDeadlineCode) {
+  ServiceOptions opts;
+  opts.num_threads = 1;
+  opts.max_queue = 16;
+  opts.shed_on_dequeue = true;
+  opts.ewma_seed_ms = 60'000;  // "queries have been taking a minute"
+  opts.retry_transient = false;
+  QueryService service(opts);
+  EXPECT_DOUBLE_EQ(service.ewma_exec_ms(), 60'000.0);
+
+  CancellationToken pin = CancellationToken::Make();
+  auto running = SubmitAndWaitStart(&service, kUnboundedQuery, pin, "");
+
+  // 5s of budget remains when this dequeues, far below the 60s estimate:
+  // a corpse. It must fail with the deadline code without executing.
+  std::atomic<bool> engine_touched{false};
+  QueryRequest doomed;
+  doomed.query_text = "1 + 1";
+  doomed.limits.deadline_ms = 5'000;
+  doomed.bind_context = [&engine_touched](DynamicContext*) {
+    engine_touched = true;
+  };
+  auto shed = service.Submit(std::move(doomed));
+
+  pin.RequestCancel();
+  running.get();
+  QueryResponse resp = shed.get();
+  EXPECT_EQ(resp.status.code(), kGuardTimeoutCode);
+  EXPECT_NE(resp.status.message().find("shed at dispatch"), std::string::npos);
+  EXPECT_EQ(resp.attempts, 1);
+  EXPECT_FALSE(resp.retried_transient);
+  EXPECT_FALSE(engine_touched.load());
+  EXPECT_EQ(service.counters().shed_in_queue, 1);
+}
+
+TEST(ServiceShedding, PredictedQueueWaitRejectsAtAdmission) {
+  ServiceOptions opts;
+  opts.num_threads = 1;
+  opts.max_queue = 32;
+  opts.predict_admission = true;
+  opts.ewma_seed_ms = 10'000;  // each queued job predicts 10s of wait
+  opts.retry_transient = false;
+  QueryService service(opts);
+
+  CancellationToken pin = CancellationToken::Make();
+  auto running = SubmitAndWaitStart(&service, kUnboundedQuery, pin, "");
+
+  // Backlog of deadline-less jobs (never rejected by prediction).
+  std::vector<std::future<QueryResponse>> backlog;
+  for (int i = 0; i < 4; i++) {
+    QueryRequest req;
+    req.query_text = kUnboundedQuery;
+    req.cancel = pin;  // all released together
+    backlog.push_back(service.Submit(std::move(req)));
+  }
+
+  // Predicted wait is 4 x 10s / 1 worker = 40s >> the 100ms budget:
+  // reject at Submit, synchronously, with the overload code.
+  QueryRequest hopeless;
+  hopeless.query_text = "1";
+  hopeless.limits.deadline_ms = 100;
+  auto rejected = service.Submit(std::move(hopeless));
+  ASSERT_EQ(rejected.wait_for(std::chrono::milliseconds(0)),
+            std::future_status::ready);
+  QueryResponse resp = rejected.get();
+  EXPECT_EQ(resp.status.code(), kServiceOverloadedCode);
+  EXPECT_NE(resp.status.message().find("predicted queue wait"),
+            std::string::npos);
+  EXPECT_EQ(service.counters().rejected_predicted, 1);
+
+  pin.RequestCancel();
+  service.Shutdown();  // queued backlog fails XQC0007; that's fine here
+  running.get();
+  for (auto& f : backlog) f.get();
+}
+
+// ---- the zero-deadline dispatch edge ---------------------------------------
+
+TEST(ServiceShedding, BudgetExhaustedInQueueFailsBeforeEngineSetup) {
+  // When the queue wait consumed the entire end-to-end budget, the job
+  // must fail before ANY engine setup: bind_context (which ExecuteOnce
+  // invokes before Prepare) is the sentinel — it must never fire.
+  ServiceOptions opts;
+  opts.num_threads = 1;
+  opts.max_queue = 16;
+  opts.retry_transient = false;  // isolate the dispatch path
+  QueryService service(opts);
+
+  CancellationToken pin = CancellationToken::Make();
+  auto running = SubmitAndWaitStart(&service, kUnboundedQuery, pin, "");
+
+  std::atomic<bool> engine_touched{false};
+  QueryRequest req;
+  req.query_text = "1 + 1";
+  req.limits.deadline_ms = 1;  // gone by the time a worker frees up
+  req.bind_context = [&engine_touched](DynamicContext*) {
+    engine_touched = true;
+  };
+  auto f = service.Submit(std::move(req));
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  pin.RequestCancel();
+  running.get();
+  QueryResponse resp = f.get();
+  EXPECT_EQ(resp.status.code(), kGuardTimeoutCode);
+  EXPECT_NE(resp.status.message().find("exhausted in the admission queue"),
+            std::string::npos);
+  EXPECT_GE(resp.queue_wait_ms, 1);
+  EXPECT_FALSE(engine_touched.load());
+  // Not an EWMA shed: with shedding off the counter stays zero.
+  EXPECT_EQ(service.counters().shed_in_queue, 0);
+}
+
+// ---- retry-backoff jitter --------------------------------------------------
+
+TEST(ServiceJitter, BackoffStaysInHalfOpenRange) {
+  uint64_t state = 0x9e3779b97f4a7c15ull;
+  for (int i = 0; i < 10'000; i++) {
+    int64_t wait = JitteredBackoffMs(8, &state);
+    EXPECT_GE(wait, 8);
+    EXPECT_LT(wait, 16);
+  }
+}
+
+TEST(ServiceJitter, DeterministicForFixedSeedDistinctAcrossSeeds) {
+  uint64_t a = 42, b = 42, c = 43;
+  bool diverged = false;
+  for (int i = 0; i < 256; i++) {
+    int64_t wa = JitteredBackoffMs(100, &a);
+    EXPECT_EQ(wa, JitteredBackoffMs(100, &b));  // same seed, same stream
+    if (wa != JitteredBackoffMs(100, &c)) diverged = true;
+  }
+  EXPECT_TRUE(diverged);  // different seeds decorrelate
+}
+
+TEST(ServiceJitter, ShutdownInterruptsBackoffPromptly) {
+  // Force a transient (congestion-caused) deadline trip so the worker
+  // enters its retry backoff, sized at a full minute — Shutdown must cut
+  // through it immediately and the original failure must stand.
+  ServiceOptions opts;
+  opts.num_threads = 1;
+  opts.max_queue = 16;
+  opts.retry_transient = true;
+  opts.retry_backoff_ms = 60'000;
+  QueryService service(opts);
+
+  CancellationToken pin = CancellationToken::Make();
+  auto running = SubmitAndWaitStart(&service, kUnboundedQuery, pin, "");
+
+  QueryRequest req;
+  req.query_text = "1 + 1";
+  req.limits.deadline_ms = 5;  // consumed in queue => transient trip
+  auto f = service.Submit(std::move(req));
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  pin.RequestCancel();
+  running.get();
+  // Give the worker a moment to land inside the backoff wait.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  auto t0 = std::chrono::steady_clock::now();
+  service.Shutdown();
+  int64_t shutdown_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
+  EXPECT_LT(shutdown_ms, 5'000);  // nowhere near the 60s backoff
+
+  QueryResponse resp = f.get();
+  EXPECT_EQ(resp.status.code(), kGuardTimeoutCode);
+  EXPECT_EQ(resp.attempts, 1);
+  EXPECT_FALSE(resp.retried_transient);
+}
+
+// ---- EWMA plumbing ---------------------------------------------------------
+
+TEST(ServiceEwma, TracksCompletedExecutions) {
+  ServiceOptions opts;
+  opts.num_threads = 1;
+  opts.retry_transient = false;
+  QueryService service(opts);
+  EXPECT_DOUBLE_EQ(service.ewma_exec_ms(), 0.0);
+
+  QueryRequest req;
+  req.query_text = "sum(1 to 1000)";
+  EXPECT_EQ(service.Run(std::move(req)).result, "500500");
+  // A completed execution seeds the estimate (>= 0; typically sub-ms
+  // rounds to 0ms, so only check that seeding from options still works).
+  ServiceOptions seeded;
+  seeded.ewma_seed_ms = 25;
+  QueryService seeded_service(seeded);
+  EXPECT_DOUBLE_EQ(seeded_service.ewma_exec_ms(), 25.0);
+}
+
+// ---- ablation parity -------------------------------------------------------
+
+TEST(ServiceAblation, DefaultOptionsLeaveNewCountersUntouched) {
+  // With every overload knob at its default the service must behave like
+  // the pre-quota layer: tenants are accepted but untracked, nothing is
+  // shed or predicted, and the new counters stay zero.
+  ServiceOptions opts;
+  opts.num_threads = 2;
+  opts.retry_transient = false;
+  QueryService service(opts);
+
+  for (int i = 0; i < 8; i++) {
+    QueryRequest req;
+    req.query_text = std::to_string(i) + " * 2";
+    req.tenant = (i % 2 == 0) ? "A" : "B";  // ignored without quotas
+    req.limits.deadline_ms = 60'000;
+    QueryResponse resp = service.Run(std::move(req));
+    EXPECT_TRUE(resp.status.ok()) << resp.status.message();
+    EXPECT_EQ(resp.result, std::to_string(i * 2));
+  }
+
+  QueryService::Counters c = service.counters();
+  EXPECT_EQ(c.submitted, 8);
+  EXPECT_EQ(c.completed, 8);
+  EXPECT_EQ(c.rejected, 0);
+  EXPECT_EQ(c.shed_in_queue, 0);
+  EXPECT_EQ(c.rejected_predicted, 0);
+  EXPECT_EQ(c.tenant_rejected, 0);
+  EXPECT_TRUE(c.tenant_rejections.empty());
+}
+
+}  // namespace
+}  // namespace xqc

@@ -573,6 +573,209 @@ TEST_F(StoreTest, StoreOnAndOffProduceIdenticalResults) {
 }
 
 // ---------------------------------------------------------------------------
+// Circuit breaker + brownout (see DESIGN.md "Overload policy"). All tests
+// use max_retries=0 so one Load is exactly one I/O attempt and the
+// consecutive-failure count is deterministic.
+// ---------------------------------------------------------------------------
+
+TEST_F(StoreTest, BreakerOpensAfterThresholdAndFailsFastWithoutIo) {
+  DocumentStoreOptions options = FastOptions();
+  options.max_retries = 0;
+  options.breaker_threshold = 2;
+  options.breaker_cooldown_ms = 60 * 1000;  // stays open for this test
+  DocumentStore store(options);
+  std::string path = WriteDoc("sick.xml", "<r/>");
+
+  IoFaultInjector fault;
+  fault.mode = IoFaultMode::kFailOpen;
+  fault.transient = true;
+  fault.fail_n = 0;  // every attempt fails
+  store.set_fault_injector(&fault);
+
+  // Two real attempts trip the threshold.
+  EXPECT_EQ(store.Load(path).status().code(), kStoreRetriesExhaustedCode);
+  EXPECT_EQ(store.Load(path).status().code(), kStoreRetriesExhaustedCode);
+  EXPECT_EQ(fault.attempts.load(), 2);
+
+  // The third load fails in microseconds with XQC0011 — crucially, the
+  // injector (i.e. the sick device) is never touched again.
+  DocStoreStats stats;
+  DocumentStore::LoadOptions opts;
+  opts.stats = &stats;
+  Result<NodePtr> r = store.Load(path, opts);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().kind(), StatusKind::kIOError);
+  EXPECT_EQ(r.status().code(), kStoreBreakerOpenCode);
+  EXPECT_EQ(fault.attempts.load(), 2);
+  EXPECT_EQ(stats.breaker_fast_fails, 1);
+  EXPECT_EQ(stats.retries, 0);
+
+  DocumentStore::Counters c = store.counters();
+  EXPECT_EQ(c.breaker_opens, 1);
+  EXPECT_EQ(c.breakers_open, 1);
+  store.set_fault_injector(nullptr);
+}
+
+TEST_F(StoreTest, BreakerSharedAcrossPrefixNotAcrossDirectories) {
+  DocumentStoreOptions options = FastOptions();
+  options.max_retries = 0;
+  options.breaker_threshold = 1;
+  options.breaker_cooldown_ms = 60 * 1000;
+  DocumentStore store(options);
+  std::string sick = WriteDoc("sick_a.xml", "<r/>");
+  std::string sibling = WriteDoc("sick_b.xml", "<r/>");
+
+  IoFaultInjector fault;
+  fault.mode = IoFaultMode::kFailOpen;
+  fault.transient = true;
+  fault.fail_n = 0;
+  store.set_fault_injector(&fault);
+  EXPECT_EQ(store.Load(sick).status().code(), kStoreRetriesExhaustedCode);
+  store.set_fault_injector(nullptr);
+
+  // The sibling shares the directory, hence the breaker: it fails fast
+  // even though its own file is perfectly healthy.
+  EXPECT_EQ(store.Load(sibling).status().code(), kStoreBreakerOpenCode);
+
+  // A different directory has its own (closed) breaker.
+  std::string other_dir = dir_ + "healthy/";
+  std::system(("mkdir -p " + other_dir).c_str());
+  std::string healthy = other_dir + "ok.xml";
+  {
+    std::ofstream out(healthy, std::ios::trunc);
+    out << "<r/>";
+  }
+  files_.push_back(healthy);
+  ASSERT_OK(store.Load(healthy));
+}
+
+TEST_F(StoreTest, HalfOpenProbeClosesBreakerOnRecovery) {
+  DocumentStoreOptions options = FastOptions();
+  options.max_retries = 0;
+  options.breaker_threshold = 1;
+  options.breaker_cooldown_ms = 5;
+  DocumentStore store(options);
+  std::string path = WriteDoc("recovering.xml", "<r><ok/></r>");
+
+  IoFaultInjector fault;
+  fault.mode = IoFaultMode::kFailOpen;
+  fault.transient = true;
+  fault.fail_n = 0;
+  store.set_fault_injector(&fault);
+  EXPECT_EQ(store.Load(path).status().code(), kStoreRetriesExhaustedCode);
+  EXPECT_EQ(store.counters().breakers_open, 1);
+
+  // Device recovers; after the cooldown the next load is the half-open
+  // probe, succeeds, and the breaker closes.
+  store.set_fault_injector(nullptr);
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  ASSERT_OK(store.Load(path));
+
+  DocumentStore::Counters c = store.counters();
+  EXPECT_EQ(c.breaker_opens, 1);
+  EXPECT_EQ(c.breaker_half_opens, 1);
+  EXPECT_EQ(c.breaker_closes, 1);
+  EXPECT_EQ(c.breakers_open, 0);
+
+  // Fully healthy again: subsequent loads are plain cache hits.
+  ASSERT_OK(store.Load(path));
+}
+
+TEST_F(StoreTest, FailedProbeReopensBreaker) {
+  DocumentStoreOptions options = FastOptions();
+  options.max_retries = 0;
+  options.breaker_threshold = 1;
+  options.breaker_cooldown_ms = 5;
+  DocumentStore store(options);
+  std::string path = WriteDoc("still_sick.xml", "<r/>");
+
+  IoFaultInjector fault;
+  fault.mode = IoFaultMode::kFailOpen;
+  fault.transient = true;
+  fault.fail_n = 0;
+  store.set_fault_injector(&fault);
+  EXPECT_EQ(store.Load(path).status().code(), kStoreRetriesExhaustedCode);
+
+  // Cooldown elapses, the probe goes out, the device is still sick: the
+  // probe's real failure re-opens the breaker.
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_EQ(store.Load(path).status().code(), kStoreRetriesExhaustedCode);
+  EXPECT_EQ(fault.attempts.load(), 2);  // only the original + the probe
+
+  DocumentStore::Counters c = store.counters();
+  EXPECT_EQ(c.breaker_opens, 2);
+  EXPECT_EQ(c.breaker_half_opens, 1);
+  EXPECT_EQ(c.breaker_closes, 0);
+  EXPECT_EQ(c.breakers_open, 1);
+  store.set_fault_injector(nullptr);
+}
+
+TEST_F(StoreTest, BrownoutServesStaleCachedDocWhileOpen) {
+  DocumentStoreOptions options = FastOptions();
+  options.max_retries = 0;
+  options.breaker_threshold = 1;
+  options.breaker_cooldown_ms = 60 * 1000;
+  options.brownout = true;
+  DocumentStore store(options);
+
+  // Cache v1 of the document, then change the file so the entry is stale.
+  std::string path = WriteDoc("brown.xml", "<r>v1</r>");
+  Result<NodePtr> v1 = store.Load(path);
+  ASSERT_OK(v1);
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  WriteDoc("brown.xml", "<r>v2 is longer</r>");  // new size => new fingerprint
+
+  // A sibling load opens the directory's breaker.
+  std::string sibling = WriteDoc("brown_sibling.xml", "<r/>");
+  IoFaultInjector fault;
+  fault.mode = IoFaultMode::kFailOpen;
+  fault.transient = true;
+  fault.fail_n = 0;
+  store.set_fault_injector(&fault);
+  EXPECT_EQ(store.Load(sibling).status().code(), kStoreRetriesExhaustedCode);
+
+  // Brownout: the stale v1 tree is served (flagged) instead of XQC0011.
+  DocStoreStats stats;
+  DocumentStore::LoadOptions opts;
+  opts.stats = &stats;
+  Result<NodePtr> stale = store.Load(path, opts);
+  ASSERT_OK(stale);
+  EXPECT_EQ(stale.value().get(), v1.value().get()) << "must be the v1 tree";
+  EXPECT_EQ(stats.brownout_serves, 1);
+  EXPECT_EQ(stats.breaker_fast_fails, 0);
+
+  // With brownout off, the same situation is a fast XQC0011.
+  store.set_brownout(false);
+  Result<NodePtr> hard = store.Load(path, opts);
+  ASSERT_FALSE(hard.ok());
+  EXPECT_EQ(hard.status().code(), kStoreBreakerOpenCode);
+  EXPECT_EQ(stats.breaker_fast_fails, 1);
+  store.set_fault_injector(nullptr);
+}
+
+TEST_F(StoreTest, BreakerDisabledIsByteIdenticalToOracle) {
+  // Ablation: threshold 0 (the default) must leave every breaker counter
+  // at zero and never interfere with loads — including under faults.
+  DocumentStore store(FastOptions());
+  std::string path = WriteDoc("ablation.xml", "<r/>");
+
+  IoFaultInjector fault;
+  fault.mode = IoFaultMode::kFlakyThenSucceed;
+  fault.fail_n = 2;
+  store.set_fault_injector(&fault);
+  ASSERT_OK(store.Load(path));
+  store.set_fault_injector(nullptr);
+
+  DocumentStore::Counters c = store.counters();
+  EXPECT_EQ(c.breaker_opens, 0);
+  EXPECT_EQ(c.breaker_half_opens, 0);
+  EXPECT_EQ(c.breaker_closes, 0);
+  EXPECT_EQ(c.breakers_open, 0);
+  EXPECT_EQ(c.totals.breaker_fast_fails, 0);
+  EXPECT_EQ(c.totals.brownout_serves, 0);
+}
+
+// ---------------------------------------------------------------------------
 // FaultMatrix: swept by scripts/check.sh over XQC_IO_FAULT_MODE. Under
 // every injected fault the store must return either a document or a
 // classified, coded error — never crash, hang, or corrupt the cache.
