@@ -1,0 +1,223 @@
+// Cold-start benchmark for the persistent snapshot tier (DESIGN.md
+// "Persistent snapshot tier"): after a process restart the memory cache is
+// empty, and the first fn:doc of every document pays either
+//
+//   * a full reparse (no snapshot tier / cold disk), or
+//   * a snapshot re-open: checksum verification + columnar tree rebuild,
+//     skipping lexing, well-formedness checking, and interning.
+//
+// This harness measures both paths over synthetic documents of several
+// sizes and writes BENCH_store.json at the CWD (override with
+// XQC_STORE_BENCH_OUT):
+//
+//   { "sizes": [ { "doc_bytes": ..., "snapshot_bytes": ...,
+//                  "cold_reparse_us": {p50, min}, "snapshot_reopen_us":
+//                  {p50, min}, "speedup_p50": ... } ], ... }
+//
+// Every timed load is followed by an equality probe (node count of the
+// rebuilt tree vs the parsed tree), so a snapshot rebuild that diverged
+// would fail the run rather than win it. Non-zero exit if the snapshot
+// path fails or diverges; speedups are reported, not asserted (CI boxes
+// vary), but check.sh smoke-tests that the JSON is produced and sane.
+//
+// Env knobs: XQC_SCALE (document size multiplier, see bench_util.h),
+// XQC_STORE_BENCH_REPS (timed repetitions per path, default 9),
+// XQC_STORE_BENCH_OUT (output path, default BENCH_store.json).
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "src/store/document_store.h"
+#include "src/xml/node.h"
+
+namespace xqc {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+int64_t EnvInt(const char* name, int64_t def) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::atoll(v) : def;
+}
+
+/// Synthetic auction-ish document: element-heavy with attributes and short
+/// text, the shape the parser and the snapshot rebuild both care about.
+std::string MakeDoc(size_t approx_bytes) {
+  std::string xml = "<site><regions>";
+  size_t i = 0;
+  while (xml.size() < approx_bytes) {
+    xml += "<item id='i" + std::to_string(i) + "' featured='" +
+           (i % 7 == 0 ? "yes" : "no") + "'><name>item " + std::to_string(i) +
+           "</name><price>" + std::to_string((i * 37) % 500) +
+           "</price><payment>Cash</payment></item>";
+    ++i;
+  }
+  xml += "</regions></site>";
+  return xml;
+}
+
+size_t CountNodes(const Node& n) {
+  size_t total = 1 + n.attributes.size();
+  for (const NodePtr& c : n.children) total += CountNodes(*c);
+  return total;
+}
+
+int64_t Median(std::vector<int64_t> v) {
+  if (v.empty()) return 0;
+  std::sort(v.begin(), v.end());
+  return v[v.size() / 2];
+}
+
+struct PathTiming {
+  std::vector<int64_t> us;
+  size_t nodes = 0;
+};
+
+/// Times `reps` fully cold loads (memory cache dropped before each) of
+/// `path` through `store`. Returns false on any load failure.
+bool TimeColdLoads(DocumentStore* store, const std::string& path, int reps,
+                   PathTiming* out) {
+  for (int r = 0; r < reps; ++r) {
+    store->DropMemoryCache();
+    Clock::time_point t0 = Clock::now();
+    Result<NodePtr> doc = store->Load(path);
+    Clock::time_point t1 = Clock::now();
+    if (!doc.ok()) {
+      std::fprintf(stderr, "[bench_store] load failed: %s\n",
+                   doc.status().ToString().c_str());
+      return false;
+    }
+    out->nodes = CountNodes(*doc.value());
+    out->us.push_back(
+        std::chrono::duration_cast<std::chrono::microseconds>(t1 - t0)
+            .count());
+  }
+  return true;
+}
+
+}  // namespace
+
+int BenchStoreColdMain() {
+  const int reps = static_cast<int>(EnvInt("XQC_STORE_BENCH_REPS", 9));
+  const char* out_env = std::getenv("XQC_STORE_BENCH_OUT");
+  const std::string out_path = out_env != nullptr ? out_env : "BENCH_store.json";
+  const std::string dir = "/tmp/xqc_bench_store_" + std::to_string(::getpid());
+  const std::string snap_dir = dir + "/snaps";
+  std::system(("mkdir -p " + dir).c_str());
+
+  const size_t kSizes[] = {bench::Scaled(16 << 10), bench::Scaled(128 << 10),
+                           bench::Scaled(512 << 10)};
+  int failures = 0;
+  std::string rows;
+
+  for (size_t approx : kSizes) {
+    const std::string path = dir + "/doc_" + std::to_string(approx) + ".xml";
+    {
+      std::ofstream f(path);
+      f << MakeDoc(approx);
+    }
+    struct stat sb;
+    ::stat(path.c_str(), &sb);
+
+    // Path A: no snapshot tier — every cold load is a full reparse.
+    DocumentStoreOptions reparse_opts;
+    DocumentStore reparse_store(reparse_opts);
+    PathTiming reparse;
+    if (!TimeColdLoads(&reparse_store, path, reps, &reparse)) {
+      failures++;
+      continue;
+    }
+
+    // Path B: snapshot tier on. One untimed priming load publishes the
+    // snapshot; every timed load then rebuilds from it.
+    DocumentStoreOptions snap_opts;
+    snap_opts.snapshot_dir = snap_dir;
+    DocumentStore snap_store(snap_opts);
+    if (!snap_store.Load(path).ok()) {
+      failures++;
+      continue;
+    }
+    PathTiming reopen;
+    if (!TimeColdLoads(&snap_store, path, reps, &reopen)) {
+      failures++;
+      continue;
+    }
+    DocumentStore::Counters c = snap_store.counters();
+    if (c.totals.snapshot_hits != reps) {
+      std::fprintf(stderr,
+                   "[bench_store] expected %d snapshot hits, got %lld "
+                   "(quarantines=%lld)\n",
+                   reps, static_cast<long long>(c.totals.snapshot_hits),
+                   static_cast<long long>(c.totals.snapshot_quarantines));
+      failures++;
+    }
+    if (reopen.nodes != reparse.nodes) {
+      std::fprintf(stderr,
+                   "[bench_store] tree divergence: %zu nodes reparsed vs %zu "
+                   "rebuilt\n",
+                   reparse.nodes, reopen.nodes);
+      failures++;
+    }
+
+    int64_t reparse_p50 = Median(reparse.us);
+    int64_t reopen_p50 = Median(reopen.us);
+    double speedup = reopen_p50 > 0 ? static_cast<double>(reparse_p50) /
+                                          static_cast<double>(reopen_p50)
+                                    : 0.0;
+    int64_t snap_bytes =
+        reps > 0 ? c.totals.snapshot_bytes_read / reps : 0;
+    std::fprintf(stderr,
+                 "[bench_store] %8lld B doc, %zu nodes: reparse p50 %6lld us, "
+                 "snapshot re-open p50 %6lld us (%.2fx)\n",
+                 static_cast<long long>(sb.st_size), reparse.nodes,
+                 static_cast<long long>(reparse_p50),
+                 static_cast<long long>(reopen_p50), speedup);
+
+    if (!rows.empty()) rows += ",\n";
+    char row[512];
+    std::snprintf(
+        row, sizeof(row),
+        "    {\"doc_bytes\": %lld, \"nodes\": %zu, \"snapshot_bytes\": %lld, "
+        "\"cold_reparse_us\": {\"p50\": %lld, \"min\": %lld}, "
+        "\"snapshot_reopen_us\": {\"p50\": %lld, \"min\": %lld}, "
+        "\"speedup_p50\": %.3f}",
+        static_cast<long long>(sb.st_size), reparse.nodes,
+        static_cast<long long>(snap_bytes),
+        static_cast<long long>(reparse_p50),
+        static_cast<long long>(*std::min_element(reparse.us.begin(),
+                                                 reparse.us.end())),
+        static_cast<long long>(reopen_p50),
+        static_cast<long long>(*std::min_element(reopen.us.begin(),
+                                                 reopen.us.end())),
+        speedup);
+    rows += row;
+  }
+
+  std::ofstream out(out_path, std::ios::trunc);
+  out << "{\n  \"name\": \"store_cold_start\",\n"
+      << "  \"reps\": " << reps << ",\n"
+      << "  \"scale\": " << bench::ScaleFactor() << ",\n"
+      << "  \"failures\": " << failures << ",\n"
+      << "  \"sizes\": [\n"
+      << rows << "\n  ]\n}\n";
+  out.close();
+  std::fprintf(stderr, "[bench_store] wrote %s (%d failure%s)\n",
+               out_path.c_str(), failures, failures == 1 ? "" : "s");
+
+  std::system(("rm -rf " + dir).c_str());
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace xqc
+
+int main() { return xqc::BenchStoreColdMain(); }

@@ -40,7 +40,21 @@
 //                        breaker after n consecutive transient I/O failures
 //                        (fn:doc then fails fast with XQC0011)
 //   --brownout           while a breaker is open, serve the stale cached
-//                        document instead of failing (flagged in stats)
+//                        document instead of failing (flagged in stats);
+//                        with --snapshot-dir this extends to serving a
+//                        valid disk snapshot when nothing is in memory
+//   --snapshot-dir <dir> enable the document store's persistent snapshot
+//                        tier: first parses publish checksummed binary
+//                        tree snapshots in <dir>; later cold loads rebuild
+//                        from them instead of re-parsing
+//   --no-snapshots       oracle ablation: loads bypass the snapshot tier
+//                        (results must be byte-identical)
+//
+// Environment (test harness hooks; see scripts/check.sh):
+//   XQC_IO_FAULT_MODE / XQC_SNAP_FAULT_MODE  install a deterministic I/O
+//                        fault injector on the global document store
+//                        (mode names per src/store/io_fault.h)
+//   XQC_IO_FAULT_DELAY_MS  delay for the slow-read / snap-slow-write modes
 #include <cstdlib>
 #include <fstream>
 #include <future>
@@ -132,6 +146,12 @@ int main(int argc, char** argv) {
       tenant = v;
     } else if (arg == "--brownout") {
       xqc::DocumentStore::Global()->set_brownout(true);
+    } else if (arg == "--snapshot-dir") {
+      const char* v = next();
+      if (v == nullptr) return Fail("--snapshot-dir needs a directory");
+      xqc::DocumentStore::Global()->set_snapshot_dir(v);
+    } else if (arg == "--no-snapshots") {
+      options.use_snapshots = false;
     } else if (arg == "--join") {
       const char* v = next();
       if (v == nullptr) return Fail("--join needs nl|hash|sort");
@@ -181,6 +201,28 @@ int main(int argc, char** argv) {
     return Fail("no query (use -q or --query-file); try:\n"
                 "  xqc_shell -q 'for $x in (1,2,3) return $x * 2'");
   }
+  // Deterministic fault injection keyed by the environment, so the fault
+  // sweeps and the kill-9 crash harness in scripts/ can drive the injector
+  // without per-mode shell flags. Static: the global store outlives main's
+  // locals.
+  static xqc::IoFaultInjector env_injector;
+  const char* fault_mode = std::getenv("XQC_IO_FAULT_MODE");
+  if (fault_mode == nullptr || *fault_mode == '\0') {
+    fault_mode = std::getenv("XQC_SNAP_FAULT_MODE");
+  }
+  if (fault_mode != nullptr && *fault_mode != '\0') {
+    if (!xqc::IoFaultModeFromName(fault_mode, &env_injector.mode)) {
+      return Fail(std::string("unknown I/O fault mode in environment: ") +
+                  fault_mode);
+    }
+    if (const char* d = std::getenv("XQC_IO_FAULT_DELAY_MS")) {
+      env_injector.delay_ms = std::strtoll(d, nullptr, 10);
+    }
+    if (env_injector.mode != xqc::IoFaultMode::kNone) {
+      xqc::DocumentStore::Global()->set_fault_injector(&env_injector);
+    }
+  }
+
   for (const std::string& uri : invalidate_uris) {
     bool dropped = xqc::DocumentStore::Global()->Invalidate(uri);
     if (stats) {
@@ -336,6 +378,16 @@ int main(int argc, char** argv) {
               << " uncached-oversize=" << es.doc_store.uncached_oversize
               << " breaker-fast-fails=" << es.doc_store.breaker_fast_fails
               << " brownout-serves=" << es.doc_store.brownout_serves
+              << "\n"
+              << "doc-store-snapshots: hits=" << es.doc_store.snapshot_hits
+              << " writes=" << es.doc_store.snapshot_writes
+              << " write-failures=" << es.doc_store.snapshot_write_failures
+              << " quarantines=" << es.doc_store.snapshot_quarantines
+              << " stale=" << es.doc_store.snapshot_stale
+              << " brownout-serves=" << es.doc_store.snapshot_brownout_serves
+              << " content-rechecks=" << es.doc_store.content_rechecks
+              << " bytes-read=" << es.doc_store.snapshot_bytes_read
+              << " bytes-written=" << es.doc_store.snapshot_bytes_written
               << "\n";
     xqc::DocumentStore::Counters sc = xqc::DocumentStore::Global()->counters();
     std::cerr << "doc-store-global: entries=" << sc.entries
@@ -348,7 +400,12 @@ int main(int argc, char** argv) {
               << " breaker-closes=" << sc.breaker_closes
               << " breakers-open=" << sc.breakers_open
               << " breaker-fast-fails=" << sc.totals.breaker_fast_fails
-              << " brownout-serves=" << sc.totals.brownout_serves << "\n";
+              << " brownout-serves=" << sc.totals.brownout_serves
+              << " snapshot-hits=" << sc.totals.snapshot_hits
+              << " snapshot-writes=" << sc.totals.snapshot_writes
+              << " snapshot-quarantines=" << sc.totals.snapshot_quarantines
+              << " snapshot-brownout-serves="
+              << sc.totals.snapshot_brownout_serves << "\n";
   }
   return 0;
 }

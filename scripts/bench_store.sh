@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Runs the snapshot-tier cold-start benchmark (bench/bench_store_cold.cc)
+# and writes BENCH_store.json at the repo root: for each document size,
+# the p50/min cold-load latency of a full reparse vs a snapshot re-open
+# (checksum verify + columnar tree rebuild), the on-disk snapshot size,
+# and the p50 speedup. The harness cross-checks node counts between the
+# two paths — a non-zero exit means the snapshot path failed or diverged.
+#
+# Usage: scripts/bench_store.sh
+#   XQC_SCALE=<f>            document size multiplier (default 1)
+#   XQC_STORE_BENCH_REPS=<n> timed repetitions per path (default 9)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+JOBS=$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)
+
+cmake -B build -S . >/dev/null
+cmake --build build -j "$JOBS" --target bench_store_cold
+
+XQC_STORE_BENCH_OUT=BENCH_store.json ./build/bench/bench_store_cold
+
+echo "wrote BENCH_store.json"

@@ -51,6 +51,32 @@ if [[ "${1:-}" != "--sanitize-only" ]]; then
       --gtest_filter='FaultMatrix*' --gtest_brief=1
   done
 
+  echo "=== snapshot-tier fault matrix (XQC_SNAP_FAULT_MODE) ==="
+  # The SnapshotFaultMatrix suite asserts mode-specific outcomes for the
+  # persistent snapshot tier (publish failures never fail the load, read
+  # corruption quarantines + reparses, slow publishes still land) under
+  # each snapshot-path injector mode; the none/slow rows double as the
+  # happy-path write/reuse check.
+  for mode in none snap-short-write snap-fsync snap-rename snap-bitflip \
+      snap-slow-write; do
+    echo "--- XQC_SNAP_FAULT_MODE=$mode ---"
+    XQC_SNAP_FAULT_MODE="$mode" ./build/tests/store_test \
+      --gtest_filter='SnapshotFaultMatrix*' --gtest_brief=1
+  done
+
+  echo "=== snapshot crash-recovery smoke (kill -9 mid-publish) ==="
+  # SIGKILL inside the widened publish window: no torn snapshot may be
+  # published, and the next process must recover transparently.
+  scripts/crash_snapshot.sh build/examples/xqc_shell
+
+  echo "=== snapshot cold-start bench smoke (bench_store_cold) ==="
+  # A scaled-down pass of scripts/bench_store.sh: cross-checks reparse vs
+  # snapshot-rebuild node counts and that every timed re-open actually hit
+  # the snapshot tier; exits non-zero on divergence.
+  XQC_SCALE=0.1 XQC_STORE_BENCH_REPS=3 \
+    XQC_STORE_BENCH_OUT=build/BENCH_store_smoke.json \
+    ./build/bench/bench_store_cold >/dev/null
+
   echo "=== overload chaos smoke (bench_service, short run) ==="
   # A short sustained-load pass through the whole overload-resilience
   # stack (per-tenant quotas, fair dequeue, shedding, circuit breaker,

@@ -1,0 +1,88 @@
+#!/usr/bin/env bash
+# Kill-9 crash-recovery smoke for the persistent snapshot tier (DESIGN.md
+# "Persistent snapshot tier").
+#
+# A snapshot publish is tmp-write -> fsync -> rename; a crash at any point
+# before the rename must leave NO published *.xqsnap (at most an orphaned
+# *.xqsnap.tmp.* that the next process sweeps). This script widens the
+# publish window with the snap-slow-write injector, SIGKILLs the shell
+# inside it, and then asserts:
+#
+#   1. no *.xqsnap was published by the killed process,
+#   2. a clean rerun answers the query correctly (reparse fallback),
+#   3. the rerun publishes a snapshot and swept any orphaned temp file,
+#   4. a third run is served from the (now valid) snapshot.
+#
+# Usage: scripts/crash_snapshot.sh [path-to-xqc_shell]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+SHELL_BIN="${1:-build/examples/xqc_shell}"
+if [[ ! -x "$SHELL_BIN" ]]; then
+  echo "crash_snapshot: $SHELL_BIN not built" >&2
+  exit 2
+fi
+
+WORK=$(mktemp -d /tmp/xqc_crash_snap.XXXXXX)
+SNAPS="$WORK/snaps"
+trap 'rm -rf "$WORK"' EXIT
+
+DOC="$WORK/crash.xml"
+{
+  printf '<site>'
+  for i in $(seq 1 200); do printf '<item id="i%d"><n>v%d</n></item>' "$i" "$i"; done
+  printf '</site>'
+} > "$DOC"
+
+QUERY="count(doc('$DOC')//item)"
+WANT="200"
+
+# --- 1+2: kill -9 inside the widened publish window. ------------------------
+# snap-slow-write sleeps XQC_IO_FAULT_DELAY_MS in 1ms slices between writing
+# the temp file and the rename, so a SIGKILL during the sleep lands exactly
+# in the torn-publish window the format must tolerate.
+XQC_SNAP_FAULT_MODE=snap-slow-write XQC_IO_FAULT_DELAY_MS=4000 \
+  "$SHELL_BIN" --snapshot-dir "$SNAPS" -q "$QUERY" >/dev/null 2>&1 &
+VICTIM=$!
+# Give it time to parse and enter the publish window, then pull the plug.
+sleep 1
+kill -9 "$VICTIM" 2>/dev/null || true
+wait "$VICTIM" 2>/dev/null || true
+
+published=$(find "$SNAPS" -name '*.xqsnap' 2>/dev/null | wc -l)
+if [[ "$published" -ne 0 ]]; then
+  echo "crash_snapshot: FAIL — $published snapshot(s) published by a killed process" >&2
+  ls -l "$SNAPS" >&2
+  exit 1
+fi
+orphans_before=$(find "$SNAPS" -name '*.xqsnap.tmp.*' 2>/dev/null | wc -l)
+echo "crash_snapshot: kill -9 left 0 published snapshots ($orphans_before orphan tmp file(s))"
+
+# --- 3: a clean rerun recovers by reparsing and publishes for real. ---------
+got=$("$SHELL_BIN" --snapshot-dir "$SNAPS" -q "$QUERY")
+if [[ "$got" != "$WANT" ]]; then
+  echo "crash_snapshot: FAIL — recovery run answered '$got', want '$WANT'" >&2
+  exit 1
+fi
+published=$(find "$SNAPS" -name '*.xqsnap' | wc -l)
+orphans_after=$(find "$SNAPS" -name '*.xqsnap.tmp.*' 2>/dev/null | wc -l)
+if [[ "$published" -ne 1 || "$orphans_after" -ne 0 ]]; then
+  echo "crash_snapshot: FAIL — after recovery: $published published, $orphans_after orphan tmp(s)" >&2
+  ls -l "$SNAPS" >&2
+  exit 1
+fi
+echo "crash_snapshot: recovery run correct; snapshot republished, orphans swept"
+
+# --- 4: the republished snapshot actually serves a cold process. ------------
+stats=$("$SHELL_BIN" --snapshot-dir "$SNAPS" --stats -q "$QUERY" 2>&1)
+if ! grep -q "$WANT" <<< "$stats"; then
+  echo "crash_snapshot: FAIL — snapshot-served run answered wrong" >&2
+  exit 1
+fi
+if ! grep -Eq 'snapshot-hits=[1-9]|hits=[1-9]' <<< "$stats"; then
+  echo "crash_snapshot: FAIL — third run did not hit the snapshot tier" >&2
+  echo "$stats" >&2
+  exit 1
+fi
+echo "crash_snapshot: PASS — torn publish invisible, recovery transparent"

@@ -1,0 +1,117 @@
+// Fast non-cryptographic 64-bit hashing (the XXH64 algorithm), used by the
+// persistent snapshot tier (src/store/snapshot.h) for per-section and
+// whole-file checksums, and by DocumentStore as the fast content hash that
+// hardens the (inode, size, mtime) staleness fingerprint against
+// same-second rewrites. One implementation so a hash written into a
+// snapshot file is always comparable with one computed at load time.
+#ifndef XQC_BASE_HASH_H_
+#define XQC_BASE_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+
+namespace xqc {
+
+namespace hash_internal {
+
+inline constexpr uint64_t kPrime1 = 0x9e3779b185ebca87ull;
+inline constexpr uint64_t kPrime2 = 0xc2b2ae3d27d4eb4full;
+inline constexpr uint64_t kPrime3 = 0x165667b19e3779f9ull;
+inline constexpr uint64_t kPrime4 = 0x85ebca77c2b2ae63ull;
+inline constexpr uint64_t kPrime5 = 0x27d4eb2f165667c5ull;
+
+inline uint64_t Rotl(uint64_t x, int r) {
+  return (x << r) | (x >> (64 - r));
+}
+
+inline uint64_t Read64(const unsigned char* p) {
+  uint64_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+inline uint32_t Read32(const unsigned char* p) {
+  uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+inline uint64_t Round(uint64_t acc, uint64_t input) {
+  acc += input * kPrime2;
+  acc = Rotl(acc, 31);
+  acc *= kPrime1;
+  return acc;
+}
+
+inline uint64_t MergeRound(uint64_t acc, uint64_t val) {
+  acc ^= Round(0, val);
+  acc = acc * kPrime1 + kPrime4;
+  return acc;
+}
+
+}  // namespace hash_internal
+
+/// XXH64 over `len` bytes with the given seed. Deterministic across
+/// processes and runs (unlike std::hash), so it is safe to persist.
+inline uint64_t Hash64(const void* data, size_t len, uint64_t seed = 0) {
+  using namespace hash_internal;  // NOLINT
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  const unsigned char* const end = p + len;
+  uint64_t h;
+
+  if (len >= 32) {
+    const unsigned char* const limit = end - 32;
+    uint64_t v1 = seed + kPrime1 + kPrime2;
+    uint64_t v2 = seed + kPrime2;
+    uint64_t v3 = seed + 0;
+    uint64_t v4 = seed - kPrime1;
+    do {
+      v1 = Round(v1, Read64(p));
+      v2 = Round(v2, Read64(p + 8));
+      v3 = Round(v3, Read64(p + 16));
+      v4 = Round(v4, Read64(p + 24));
+      p += 32;
+    } while (p <= limit);
+    h = Rotl(v1, 1) + Rotl(v2, 7) + Rotl(v3, 12) + Rotl(v4, 18);
+    h = MergeRound(h, v1);
+    h = MergeRound(h, v2);
+    h = MergeRound(h, v3);
+    h = MergeRound(h, v4);
+  } else {
+    h = seed + kPrime5;
+  }
+
+  h += static_cast<uint64_t>(len);
+  while (p + 8 <= end) {
+    h ^= Round(0, Read64(p));
+    h = Rotl(h, 27) * kPrime1 + kPrime4;
+    p += 8;
+  }
+  if (p + 4 <= end) {
+    h ^= static_cast<uint64_t>(Read32(p)) * kPrime1;
+    h = Rotl(h, 23) * kPrime2 + kPrime3;
+    p += 4;
+  }
+  while (p < end) {
+    h ^= static_cast<uint64_t>(*p) * kPrime5;
+    h = Rotl(h, 11) * kPrime1;
+    p++;
+  }
+
+  h ^= h >> 33;
+  h *= kPrime2;
+  h ^= h >> 29;
+  h *= kPrime3;
+  h ^= h >> 32;
+  return h;
+}
+
+inline uint64_t Hash64(std::string_view s, uint64_t seed = 0) {
+  return Hash64(s.data(), s.size(), seed);
+}
+
+}  // namespace xqc
+
+#endif  // XQC_BASE_HASH_H_

@@ -33,7 +33,8 @@ Result<Sequence> PreparedQuery::Execute(
   // the context has no guard yet, so a nested Execute (e.g. the buffered
   // ExecuteStream fallback below) charges the outermost query's budget.
   QueryGuard local(limits, std::move(cancel), injector);
-  ScopedGuard scope(ctx, &local, options_.use_doc_store);
+  ScopedGuard scope(ctx, &local, options_.use_doc_store,
+                    options_.use_snapshots);
   QueryGuard* guard = ctx->guard();
   // Stats are accumulated in a local and published once at the end, so
   // concurrent Execute calls on a shared PreparedQuery never race on the
@@ -70,7 +71,7 @@ struct ResultStream::Impl {
        const EngineOptions& options)
       : query(std::move(q)),
         guard(options.limits, options.cancel, options.fault_injector),
-        scope(ctx, &guard, options.use_doc_store),
+        scope(ctx, &guard, options.use_doc_store, options.use_snapshots),
         active(ctx->guard()),
         context(ctx),
         eval(query.get(), ctx, ToExecOptions(options)) {}

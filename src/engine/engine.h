@@ -66,6 +66,11 @@ struct EngineOptions {
   /// singleflight loading, retry, quarantine — src/store). Off = oracle
   /// ablation: every execution parses documents directly from disk.
   bool use_doc_store = true;
+  /// Allow loads to use the store's persistent snapshot tier (a no-op
+  /// unless the store has a snapshot_dir). Off = oracle ablation
+  /// (xqc_shell --no-snapshots): every cold load re-parses the source,
+  /// which must produce byte-identical results.
+  bool use_snapshots = true;
   /// Tuples moved per batch through the streaming iterators
   /// (ExecOptions::batch_size). 1 = the tuple-at-a-time oracle; larger
   /// values amortize virtual dispatch and guard checks over full-

@@ -16,6 +16,7 @@ Result<NodePtr> DynamicContext::ResolveDocument(const std::string& raw_uri) {
     DocumentStore::LoadOptions load;
     load.guard = guard_;
     load.stats = &doc_store_stats_;
+    load.use_snapshots = snapshots_enabled_;
     bool performed_parse = false;
     load.performed_parse = &performed_parse;
     XQC_ASSIGN_OR_RETURN(NodePtr doc, store->Load(uri, load));

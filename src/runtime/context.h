@@ -72,6 +72,12 @@ class DynamicContext {
   /// resolution falls back to direct per-execution parsing.
   void set_store_enabled(bool enabled) { store_enabled_ = enabled; }
 
+  /// Toggle for the store's persistent snapshot tier (EngineOptions::
+  /// use_snapshots / xqc_shell --no-snapshots); a no-op unless the store
+  /// has a snapshot_dir configured.
+  void set_snapshots_enabled(bool enabled) { snapshots_enabled_ = enabled; }
+  bool snapshots_enabled() const { return snapshots_enabled_; }
+
   /// Per-execution DocumentStore counters, reset by BeginExecution and
   /// merged into ExecStats::doc_store by the engine.
   const DocStoreStats& doc_store_stats() const { return doc_store_stats_; }
@@ -113,6 +119,7 @@ class DynamicContext {
   QueryGuard* guard_ = nullptr;
   DocumentStore* store_ = DocumentStore::Global();
   bool store_enabled_ = true;
+  bool snapshots_enabled_ = true;
   DocStoreStats doc_store_stats_;
   int64_t doc_parses_ = 0;
 };
@@ -123,11 +130,13 @@ class DynamicContext {
 /// its store setting).
 class ScopedGuard {
  public:
-  ScopedGuard(DynamicContext* ctx, QueryGuard* guard, bool use_store = true)
+  ScopedGuard(DynamicContext* ctx, QueryGuard* guard, bool use_store = true,
+              bool use_snapshots = true)
       : ctx_(ctx), installed_(ctx->guard() == nullptr) {
     if (installed_) {
       ctx_->set_guard(guard);
       ctx_->set_store_enabled(use_store);
+      ctx_->set_snapshots_enabled(use_snapshots);
       ctx_->BeginExecution();
     }
   }
@@ -135,6 +144,7 @@ class ScopedGuard {
     if (installed_) {
       ctx_->set_guard(nullptr);
       ctx_->set_store_enabled(true);
+      ctx_->set_snapshots_enabled(true);
       ctx_->EndExecution();
     }
   }

@@ -56,6 +56,12 @@ QueryService::QueryService(ServiceOptions options)
   options_.num_threads = std::max(1, options_.num_threads);
   options_.max_queue = std::max<size_t>(1, options_.max_queue);
   ewma_exec_ms_ = std::max(0.0, options_.ewma_seed_ms);
+  if (!options_.snapshot_dir.empty()) {
+    DocumentStore* store = options_.document_store != nullptr
+                               ? options_.document_store
+                               : DocumentStore::Global();
+    store->set_snapshot_dir(options_.snapshot_dir);
+  }
   active_.resize(static_cast<size_t>(options_.num_threads));
   workers_.reserve(static_cast<size_t>(options_.num_threads));
   for (int i = 0; i < options_.num_threads; i++) {

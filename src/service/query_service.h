@@ -88,6 +88,11 @@ struct ServiceOptions {
   /// must outlive the service). nullptr = the process-wide store. Whether
   /// the store is consulted at all is engine_options.use_doc_store.
   DocumentStore* document_store = nullptr;
+  /// Configures the store's persistent snapshot tier at service startup
+  /// (applied to `document_store`, or the process-wide store). "" leaves
+  /// the store's current snapshot_dir untouched. Whether loads use the
+  /// tier is engine_options.use_snapshots.
+  std::string snapshot_dir;
 
   // --- Overload resilience (all default-off; with every knob at its
   // --- default the service behaves exactly like the pre-quota layer).

@@ -1,5 +1,6 @@
 #include "src/store/document_store.h"
 
+#include <dirent.h>
 #include <fcntl.h>
 #include <sys/stat.h>
 #include <unistd.h>
@@ -7,9 +8,12 @@
 #include <algorithm>
 #include <cerrno>
 #include <cstring>
+#include <iostream>
 #include <thread>
 #include <vector>
 
+#include "src/base/hash.h"
+#include "src/store/snapshot.h"
 #include "src/xml/xml_parser.h"
 
 namespace xqc {
@@ -28,9 +32,73 @@ void SleepMs(int64_t ms) {
   std::this_thread::sleep_for(std::chrono::milliseconds(ms));
 }
 
+int HexVal(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+/// Plain whole-file read for content rechecks (no fault injection: the
+/// injected source faults target the load path, and a failed recheck read
+/// already degrades into that path).
+bool ReadWholeFile(const std::string& path, std::string* out) {
+  int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) return false;
+  struct stat sb;
+  if (::fstat(fd, &sb) != 0 || !S_ISREG(sb.st_mode)) {
+    ::close(fd);
+    return false;
+  }
+  out->resize(static_cast<size_t>(sb.st_size));
+  size_t off = 0;
+  while (off < out->size()) {
+    ssize_t n = ::read(fd, out->data() + off, out->size() - off);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    off += static_cast<size_t>(n);
+  }
+  ::close(fd);
+  out->resize(off);
+  return true;
+}
+
+/// RFC 3986 percent-decoding; malformed escapes pass through literally.
+std::string PercentDecode(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '%' && i + 2 < s.size()) {
+      int hi = HexVal(s[i + 1]), lo = HexVal(s[i + 2]);
+      if (hi >= 0 && lo >= 0) {
+        out.push_back(static_cast<char>(hi * 16 + lo));
+        i += 2;
+        continue;
+      }
+    }
+    out.push_back(s[i]);
+  }
+  return out;
+}
+
 }  // namespace
 
-std::string NormalizeDocUri(const std::string& uri) {
+std::string NormalizeDocUri(const std::string& raw_uri) {
+  std::string uri = raw_uri;
+  if (uri.rfind("file:", 0) == 0) {
+    // A file: URI names a local path: strip the scheme (accepting an empty
+    // or "localhost" authority) and percent-decode, so "file:///a%20b.xml"
+    // and "/a b.xml" land on one cache entry instead of aliasing.
+    std::string rest = uri.substr(5);
+    if (rest.rfind("//", 0) == 0) {
+      size_t slash = rest.find('/', 2);
+      if (slash == std::string::npos) return raw_uri;
+      std::string authority = rest.substr(2, slash - 2);
+      if (!authority.empty() && authority != "localhost") return raw_uri;
+      rest = rest.substr(slash);
+    }
+    uri = PercentDecode(rest);
+  }
   if (uri.empty() || uri.find("://") != std::string::npos) return uri;
   const bool absolute = uri[0] == '/';
   std::vector<std::string> parts;
@@ -68,7 +136,9 @@ DocumentStore::DocumentStore(DocumentStoreOptions options)
       max_bytes_(options.max_bytes),
       breaker_threshold_(options.breaker_threshold),
       brownout_(options.brownout),
-      jitter_state_(options.jitter_seed) {}
+      jitter_state_(options.jitter_seed) {
+  if (!options.snapshot_dir.empty()) set_snapshot_dir(options.snapshot_dir);
+}
 
 DocumentStore::~DocumentStore() = default;
 
@@ -117,6 +187,11 @@ Result<NodePtr> DocumentStore::Load(const std::string& raw_uri,
     std::shared_ptr<InFlight> slot;
     bool leader = false;
     bool probe = false;  // this load is the breaker's single half-open probe
+    NodePtr recheck_doc;       // fingerprint-valid hit inside the recheck
+    uint64_t recheck_hash = 0; // window: verify content outside the lock
+    bool breaker_failed = false;
+    Status breaker_status;
+    std::string disk_brownout_path;  // breaker open: try the snapshot tier
     {
       std::unique_lock<std::mutex> lock(mu_);
 
@@ -151,10 +226,21 @@ Result<NodePtr> DocumentStore::Load(const std::string& raw_uri,
       if (c != cache_.end()) {
         Fingerprint fp;
         if (StatFile(uri, &fp) && fp == c->second->fp) {
-          lru_.splice(lru_.begin(), lru_, c->second);
-          totals_.hits++;
-          Bump(opts.stats, &DocStoreStats::hits);
-          return c->second->doc;
+          const int64_t window = options_.content_recheck_window_ms;
+          if (window > 0 &&
+              std::chrono::steady_clock::now() - c->second->loaded_at <
+                  std::chrono::milliseconds(window)) {
+            // The entry is young enough that a same-size rewrite could be
+            // hiding inside the mtime granularity: verify the content hash
+            // outside the lock before serving.
+            recheck_doc = c->second->doc;
+            recheck_hash = c->second->content_hash;
+          } else {
+            lru_.splice(lru_.begin(), lru_, c->second);
+            totals_.hits++;
+            Bump(opts.stats, &DocStoreStats::hits);
+            return c->second->doc;
+          }
         }
         // Stale (or currently unstattable). Deferred-dropped below: if the
         // prefix's breaker is open and brownout is on, this is exactly the
@@ -162,8 +248,10 @@ Result<NodePtr> DocumentStore::Load(const std::string& raw_uri,
         have_stale = true;
       }
 
-      auto f = inflight_.find(uri);
-      if (f != inflight_.end()) {
+      auto f = recheck_doc != nullptr ? inflight_.end() : inflight_.find(uri);
+      if (recheck_doc != nullptr) {
+        // Fall through to the unlocked recheck below.
+      } else if (f != inflight_.end()) {
         // Another query is already performing this load; joining its wait
         // causes no new I/O, so the breaker is not consulted.
         slot = f->second;
@@ -176,39 +264,98 @@ Result<NodePtr> DocumentStore::Load(const std::string& raw_uri,
               Bump(opts.stats, &DocStoreStats::brownout_serves);
               return c->second->doc;
             }
-            totals_.breaker_fast_fails++;
-            Bump(opts.stats, &DocStoreStats::breaker_fast_fails);
-            return Status::WithCode(
+            // No stale tree in memory. The disk tier may still hold a
+            // rebuildable snapshot — attempted outside the lock.
+            if (brownout_.load(std::memory_order_relaxed) &&
+                opts.use_snapshots && !snapshot_dir_.empty()) {
+              disk_brownout_path = snapshot_dir_ + "/" + SnapshotFileName(uri);
+            }
+            breaker_failed = true;
+            breaker_status = Status::WithCode(
                 StatusKind::kIOError, kStoreBreakerOpenCode,
                 "circuit breaker open for '" + BreakerPrefix(uri) +
                     "': repeated transient I/O failures; load of '" + uri +
                     "' failed fast (retrying after the cooldown)");
+            break;
           case BreakerVerdict::kProbe:
             probe = true;
             break;
           case BreakerVerdict::kProceed:
             break;
         }
-        if (have_stale) {
-          // Now really drop the stale entry; the fresh load swaps the new
-          // tree in atomically. Holders of the old tree keep a consistent
-          // snapshot via shared ownership.
-          totals_.stale_reloads++;
-          Bump(opts.stats, &DocStoreStats::stale_reloads);
-          bytes_cached_ -= c->second->bytes;
-          lru_.erase(c->second);
-          cache_.erase(c);
+        if (!breaker_failed) {
+          if (have_stale) {
+            // Now really drop the stale entry; the fresh load swaps the new
+            // tree in atomically. Holders of the old tree keep a consistent
+            // snapshot via shared ownership.
+            totals_.stale_reloads++;
+            Bump(opts.stats, &DocStoreStats::stale_reloads);
+            bytes_cached_ -= c->second->bytes;
+            lru_.erase(c->second);
+            cache_.erase(c);
+          }
+          slot = std::make_shared<InFlight>();
+          inflight_[uri] = slot;
+          leader = true;
         }
-        slot = std::make_shared<InFlight>();
-        inflight_[uri] = slot;
-        leader = true;
       }
+    }
+
+    if (recheck_doc != nullptr) {
+      // Hash the file's current bytes against the entry's content hash.
+      // A read failure is treated as a mismatch: drop the entry and take
+      // the full (retry/breaker-aware) load path.
+      Bump(opts.stats, &DocStoreStats::content_rechecks);
+      CountGlobal(&DocStoreStats::content_rechecks);
+      bool match = false;
+      {
+        std::string bytes;
+        if (ReadWholeFile(uri, &bytes)) match = Hash64(bytes) == recheck_hash;
+      }
+      std::unique_lock<std::mutex> lock(mu_);
+      auto c = cache_.find(uri);
+      const bool same_entry =
+          c != cache_.end() && c->second->doc == recheck_doc;
+      if (match) {
+        if (same_entry) lru_.splice(lru_.begin(), lru_, c->second);
+        totals_.hits++;
+        Bump(opts.stats, &DocStoreStats::hits);
+        return recheck_doc;
+      }
+      if (same_entry) {
+        totals_.stale_reloads++;
+        Bump(opts.stats, &DocStoreStats::stale_reloads);
+        bytes_cached_ -= c->second->bytes;
+        lru_.erase(c->second);
+        cache_.erase(c);
+      }
+      continue;  // reload from scratch
+    }
+
+    if (breaker_failed) {
+      if (!disk_brownout_path.empty()) {
+        SnapshotLoadResult r = LoadSnapshot(
+            disk_brownout_path, /*expect=*/nullptr, guard,
+            fault_injector_.load(std::memory_order_acquire));
+        if (r.outcome == SnapshotLoadOutcome::kLoaded) {
+          Bump(opts.stats, &DocStoreStats::snapshot_brownout_serves);
+          CountGlobal(&DocStoreStats::snapshot_brownout_serves);
+          Bump(opts.stats, &DocStoreStats::snapshot_bytes_read, r.bytes_read);
+          CountGlobal(&DocStoreStats::snapshot_bytes_read, r.bytes_read);
+          return r.doc;  // served uncached: freshness is unknowable here
+        }
+        if (r.outcome == SnapshotLoadOutcome::kGuardTrip) return r.status;
+      }
+      Bump(opts.stats, &DocStoreStats::breaker_fast_fails);
+      CountGlobal(&DocStoreStats::breaker_fast_fails);
+      return breaker_status;
     }
 
     if (leader) {
       bool leader_trip = false;
-      Result<NodePtr> result =
-          LoadAsLeader(uri, guard, opts.stats, &leader_trip, probe);
+      Result<NodePtr> result = LoadAsLeader(uri, guard, opts.stats,
+                                            &leader_trip, probe,
+                                            opts.use_snapshots);
       {
         std::lock_guard<std::mutex> sl(slot->mu);
         slot->done = true;
@@ -257,7 +404,8 @@ Result<NodePtr> DocumentStore::Load(const std::string& raw_uri,
 Result<NodePtr> DocumentStore::LoadAsLeader(const std::string& uri,
                                             QueryGuard* guard,
                                             DocStoreStats* stats,
-                                            bool* leader_trip, bool probe) {
+                                            bool* leader_trip, bool probe,
+                                            bool use_snapshots) {
   Bump(stats, &DocStoreStats::misses);
   CountGlobal(&DocStoreStats::misses);
   const std::string prefix = BreakerPrefix(uri);
@@ -322,27 +470,97 @@ Result<NodePtr> DocumentStore::LoadAsLeader(const std::string& uri,
   // half-open breaker, resets the consecutive-failure count).
   BreakerRecordSuccess(prefix);
 
-  XmlParseOptions popts;
-  popts.guard = guard;
-  Result<NodePtr> parsed = ParseXml(out.content, popts);
-  if (!parsed.ok()) {
-    if (parsed.status().kind() == StatusKind::kResourceExhausted) {
-      // The caller's budget tripped mid-parse: a per-query verdict, never
-      // cached and never shared with waiters.
-      *leader_trip = true;
-      return parsed.status();
+  // --- Disk tier: a valid snapshot of exactly these source bytes skips
+  // --- the parse. Any invalid snapshot is quarantined and we fall through
+  // --- to the reparse — never to a failure.
+  const uint64_t content_hash = Hash64(out.content);
+  const std::string snap_path =
+      use_snapshots ? SnapshotPathFor(uri) : std::string();
+  IoFaultInjector* inj = fault_injector_.load(std::memory_order_acquire);
+  bool have_snapshot = false;
+  NodePtr doc;
+  if (!snap_path.empty()) {
+    SnapshotSource src{uri, content_hash,
+                       static_cast<int64_t>(out.content.size())};
+    SnapshotLoadResult r = LoadSnapshot(snap_path, &src, guard, inj);
+    if (r.bytes_read > 0) {
+      Bump(stats, &DocStoreStats::snapshot_bytes_read, r.bytes_read);
+      CountGlobal(&DocStoreStats::snapshot_bytes_read, r.bytes_read);
     }
-    // Poisoned document: cache the verdict against the file's fingerprint
-    // so replays cost a stat, not a parse. The first loader sees the
-    // original error; replays are marked XQC0009.
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      quarantine_[uri] = Quarantined{parsed.status(), out.fp};
+    switch (r.outcome) {
+      case SnapshotLoadOutcome::kLoaded:
+        Bump(stats, &DocStoreStats::snapshot_hits);
+        CountGlobal(&DocStoreStats::snapshot_hits);
+        doc = std::move(r.doc);
+        have_snapshot = true;
+        break;
+      case SnapshotLoadOutcome::kGuardTrip:
+        // The caller's own budget tripped mid-rebuild: per-query verdict,
+        // exactly like a mid-parse trip. The snapshot itself is fine.
+        *leader_trip = true;
+        return r.status;
+      case SnapshotLoadOutcome::kMissing:
+      case SnapshotLoadOutcome::kIoError:
+        break;  // plain miss: parse and (re)write below
+      case SnapshotLoadOutcome::kStale:
+      case SnapshotLoadOutcome::kVersionSkew:
+      case SnapshotLoadOutcome::kCorrupt: {
+        QuarantineSnapshotFile(snap_path);
+        Bump(stats, &DocStoreStats::snapshot_quarantines);
+        CountGlobal(&DocStoreStats::snapshot_quarantines);
+        if (r.outcome == SnapshotLoadOutcome::kStale) {
+          Bump(stats, &DocStoreStats::snapshot_stale);
+          CountGlobal(&DocStoreStats::snapshot_stale);
+        }
+        std::cerr << "xqc: quarantined snapshot '" << snap_path << "' ("
+                  << r.detail << "); reparsing '" << uri << "'\n";
+        break;
+      }
     }
-    return parsed.status();
   }
 
-  NodePtr doc = parsed.take();
+  if (!have_snapshot) {
+    XmlParseOptions popts;
+    popts.guard = guard;
+    Result<NodePtr> parsed = ParseXml(out.content, popts);
+    if (!parsed.ok()) {
+      if (parsed.status().kind() == StatusKind::kResourceExhausted) {
+        // The caller's budget tripped mid-parse: a per-query verdict, never
+        // cached and never shared with waiters.
+        *leader_trip = true;
+        return parsed.status();
+      }
+      // Poisoned document: cache the verdict against the file's fingerprint
+      // so replays cost a stat, not a parse. The first loader sees the
+      // original error; replays are marked XQC0009.
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        quarantine_[uri] = Quarantined{parsed.status(), out.fp};
+      }
+      return parsed.status();
+    }
+    doc = parsed.take();
+    if (!snap_path.empty()) {
+      // Publish the freshly parsed tree for the next cold start. A failed
+      // publish never affects the load (the tree is already in hand).
+      SnapshotSource src{uri, content_hash,
+                         static_cast<int64_t>(out.content.size())};
+      int64_t written = 0;
+      Status ws = WriteSnapshot(snap_path, *doc, src, inj, &written);
+      if (ws.ok()) {
+        Bump(stats, &DocStoreStats::snapshot_writes);
+        CountGlobal(&DocStoreStats::snapshot_writes);
+        Bump(stats, &DocStoreStats::snapshot_bytes_written, written);
+        CountGlobal(&DocStoreStats::snapshot_bytes_written, written);
+      } else {
+        Bump(stats, &DocStoreStats::snapshot_write_failures);
+        CountGlobal(&DocStoreStats::snapshot_write_failures);
+        std::cerr << "xqc: snapshot publish failed (load unaffected): "
+                  << ws.ToString() << "\n";
+      }
+    }
+  }
+
   int64_t bytes = static_cast<int64_t>(out.content.size()) +
                   static_cast<int64_t>(doc->SubtreeSize()) *
                       QueryGuard::kNodeCost;
@@ -353,7 +571,7 @@ Result<NodePtr> DocumentStore::LoadAsLeader(const std::string& uri,
     CountGlobal(&DocStoreStats::uncached_oversize);
   } else {
     InsertCached(uri, doc, static_cast<int64_t>(out.content.size()), out.fp,
-                 stats);
+                 content_hash, stats);
   }
   return doc;
 }
@@ -449,7 +667,7 @@ DocumentStore::ReadOutcome DocumentStore::ReadFile(const std::string& uri,
 
 void DocumentStore::InsertCached(const std::string& uri, const NodePtr& doc,
                                  int64_t content_bytes, const Fingerprint& fp,
-                                 DocStoreStats* stats) {
+                                 uint64_t content_hash, DocStoreStats* stats) {
   int64_t bytes = content_bytes + static_cast<int64_t>(doc->SubtreeSize()) *
                                       QueryGuard::kNodeCost;
   std::lock_guard<std::mutex> lock(mu_);
@@ -459,7 +677,8 @@ void DocumentStore::InsertCached(const std::string& uri, const NodePtr& doc,
     lru_.erase(existing->second);
     cache_.erase(existing);
   }
-  lru_.push_front(CacheEntry{uri, doc, bytes, fp});
+  lru_.push_front(CacheEntry{uri, doc, bytes, fp, content_hash,
+                             std::chrono::steady_clock::now()});
   cache_[uri] = lru_.begin();
   bytes_cached_ += bytes;
   EvictToBudgetLocked(stats);
@@ -479,28 +698,83 @@ void DocumentStore::EvictToBudgetLocked(DocStoreStats* stats) {
 
 bool DocumentStore::Invalidate(const std::string& raw_uri) {
   const std::string uri = NormalizeDocUri(raw_uri);
-  std::lock_guard<std::mutex> lock(mu_);
   bool dropped = false;
-  auto c = cache_.find(uri);
-  if (c != cache_.end()) {
-    bytes_cached_ -= c->second->bytes;
-    lru_.erase(c->second);
-    cache_.erase(c);
-    dropped = true;
+  std::string snap_path;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto c = cache_.find(uri);
+    if (c != cache_.end()) {
+      bytes_cached_ -= c->second->bytes;
+      lru_.erase(c->second);
+      cache_.erase(c);
+      dropped = true;
+    }
+    dropped |= quarantine_.erase(uri) > 0;
+    dropped |= negative_.erase(uri) > 0;
+    if (!snapshot_dir_.empty()) {
+      snap_path = snapshot_dir_ + "/" + SnapshotFileName(uri);
+    }
   }
-  dropped |= quarantine_.erase(uri) > 0;
-  dropped |= negative_.erase(uri) > 0;
+  if (!snap_path.empty()) {
+    dropped |= ::unlink(snap_path.c_str()) == 0;
+    dropped |= ::unlink((snap_path + ".corrupt").c_str()) == 0;
+  }
   return dropped;
 }
 
 void DocumentStore::InvalidateAll() {
+  std::string dir;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    lru_.clear();
+    cache_.clear();
+    quarantine_.clear();
+    negative_.clear();
+    breakers_.clear();
+    bytes_cached_ = 0;
+    dir = snapshot_dir_;
+  }
+  if (dir.empty()) return;
+  // Remove every snapshot artifact (published, quarantined, orphan temp).
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) return;
+  while (struct dirent* e = ::readdir(d)) {
+    std::string name = e->d_name;
+    if (name.find(".xqsnap") == std::string::npos) continue;
+    ::unlink((dir + "/" + name).c_str());
+  }
+  ::closedir(d);
+}
+
+void DocumentStore::DropMemoryCache() {
   std::lock_guard<std::mutex> lock(mu_);
   lru_.clear();
   cache_.clear();
-  quarantine_.clear();
-  negative_.clear();
-  breakers_.clear();
   bytes_cached_ = 0;
+}
+
+void DocumentStore::set_snapshot_dir(const std::string& dir) {
+  if (!dir.empty()) {
+    ::mkdir(dir.c_str(), 0755);  // one level, best-effort
+    int swept = SweepOrphanSnapshotTmps(dir);
+    if (swept > 0) {
+      std::cerr << "xqc: swept " << swept
+                << " orphaned snapshot temp file(s) from '" << dir << "'\n";
+    }
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  snapshot_dir_ = dir;
+}
+
+std::string DocumentStore::snapshot_dir() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return snapshot_dir_;
+}
+
+std::string DocumentStore::SnapshotPathFor(const std::string& uri) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (snapshot_dir_.empty()) return std::string();
+  return snapshot_dir_ + "/" + SnapshotFileName(uri);
 }
 
 void DocumentStore::set_max_bytes(int64_t max_bytes) {

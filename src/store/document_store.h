@@ -30,6 +30,16 @@
 //   * Staleness. Cache hits validate an (inode, size, mtime) fingerprint;
 //     a changed file is re-parsed and swapped in atomically (queries
 //     holding the old tree keep it alive via shared_ptr).
+//   * Persistent snapshots (opt-in: snapshot_dir != ""). The first
+//     successful parse of a document serializes the finalized tree to a
+//     checksummed binary snapshot (src/store/snapshot.h), atomically
+//     published in the snapshot directory. Later cold loads (new process,
+//     evicted entry) rebuild the tree from the snapshot instead of
+//     re-parsing — the source file is still read (its content hash is the
+//     snapshot's freshness key), but the parse is skipped. A snapshot that
+//     is torn, truncated, bit-rotted, version-skewed, or stale is
+//     quarantined (renamed "*.corrupt") and the load transparently falls
+//     back to a reparse: a bad snapshot can never fail a query.
 //   * Circuit breaker (opt-in: breaker_threshold > 0). Consecutive
 //     transient-I/O failures against one URI prefix (its directory) past
 //     the threshold open a per-prefix breaker: further loads fail
@@ -38,7 +48,15 @@
 //     (success closes the breaker, failure re-opens it). With the
 //     optional brownout policy, an open breaker serves the stale cached
 //     tree (flagged in the stats) instead of failing, trading freshness
-//     for availability while the I/O tier is sick.
+//     for availability while the I/O tier is sick. With snapshots enabled
+//     the brownout extends to the disk tier: if no stale tree is in
+//     memory, a valid snapshot is served (without a source read — the
+//     source is unreachable by definition while the breaker is open).
+//   * Content rechecks. The (inode, size, mtime) fingerprint cannot see a
+//     same-size rewrite within the filesystem's mtime granularity. Cache
+//     hits within content_recheck_window_ms of the entry's load re-hash
+//     the file's bytes and force a reload on mismatch, closing the
+//     same-second-rewrite staleness hole.
 //
 // Guard interplay: the *performing* query's guard is threaded through the
 // read and the parse, so deadlines, cancellation, and memory budgets all
@@ -92,6 +110,17 @@ struct DocStoreStats {
   int64_t breaker_fast_fails = 0; // loads failed XQC0011 by an open breaker
   int64_t brownout_serves = 0;    // stale trees served under brownout
 
+  // --- Persistent snapshot tier (snapshot_dir != "").
+  int64_t snapshot_hits = 0;      // trees rebuilt from a valid snapshot
+  int64_t snapshot_writes = 0;    // snapshots published after a parse
+  int64_t snapshot_write_failures = 0;  // failed publishes (load unaffected)
+  int64_t snapshot_quarantines = 0;     // bad snapshots moved to *.corrupt
+  int64_t snapshot_stale = 0;     // quarantines caused by source-content skew
+  int64_t snapshot_brownout_serves = 0;  // breaker-open serves from disk
+  int64_t content_rechecks = 0;   // cache-hit content hashes re-verified
+  int64_t snapshot_bytes_read = 0;
+  int64_t snapshot_bytes_written = 0;
+
   void Add(const DocStoreStats& o) {
     hits += o.hits;
     misses += o.misses;
@@ -104,6 +133,15 @@ struct DocStoreStats {
     uncached_oversize += o.uncached_oversize;
     breaker_fast_fails += o.breaker_fast_fails;
     brownout_serves += o.brownout_serves;
+    snapshot_hits += o.snapshot_hits;
+    snapshot_writes += o.snapshot_writes;
+    snapshot_write_failures += o.snapshot_write_failures;
+    snapshot_quarantines += o.snapshot_quarantines;
+    snapshot_stale += o.snapshot_stale;
+    snapshot_brownout_serves += o.snapshot_brownout_serves;
+    content_rechecks += o.content_rechecks;
+    snapshot_bytes_read += o.snapshot_bytes_read;
+    snapshot_bytes_written += o.snapshot_bytes_written;
   }
 };
 
@@ -133,6 +171,14 @@ struct DocumentStoreOptions {
   /// cached tree for a URI (if one exists) instead of failing XQC0011.
   /// Serves are flagged in DocStoreStats::brownout_serves.
   bool brownout = false;
+  /// Directory for persistent tree snapshots ("" disables the disk tier).
+  /// Created (one level) if missing; orphaned "*.tmp.*" files from a
+  /// crashed writer are swept on configuration.
+  std::string snapshot_dir;
+  /// Cache hits whose entry was loaded within this window re-hash the
+  /// file's content to catch same-size rewrites invisible to the
+  /// (inode, size, mtime) fingerprint. 0 disables rechecks.
+  int64_t content_recheck_window_ms = 2000;
 };
 
 class DocumentStore {
@@ -153,9 +199,14 @@ class DocumentStore {
     QueryGuard* guard = nullptr;
     /// Per-execution counters to bump (may be nullptr).
     DocStoreStats* stats = nullptr;
-    /// Out: set true iff this call parsed the document from disk (cache /
-    /// singleflight servings leave it false). May be nullptr.
+    /// Out: set true iff this call built the document from disk — by
+    /// parsing the source or rebuilding its snapshot (cache / singleflight
+    /// servings leave it false). May be nullptr.
     bool* performed_parse = nullptr;
+    /// Whether this load may use the persistent snapshot tier (no-op when
+    /// no snapshot_dir is configured). EngineOptions::use_snapshots /
+    /// xqc_shell --no-snapshots thread through to here.
+    bool use_snapshots = true;
   };
 
   /// Resolves `uri` (normalized internally) to a parsed, finalized,
@@ -171,13 +222,25 @@ class DocumentStore {
     return Load(uri, LoadOptions());
   }
 
-  /// Drops `uri`'s cache entry, quarantine verdict, and negative-cache
-  /// entry. Returns true if anything was dropped. Queries already holding
-  /// the old tree keep it; the next Load re-reads the file.
+  /// Drops `uri`'s cache entry, quarantine verdict, negative-cache entry,
+  /// and (when the disk tier is enabled) its snapshot and quarantined
+  /// snapshot files. Returns true if anything was dropped. Queries already
+  /// holding the old tree keep it; the next Load re-reads the file.
   bool Invalidate(const std::string& uri);
 
-  /// Invalidate every URI.
+  /// Invalidate every URI, including all snapshot files on disk.
   void InvalidateAll();
+
+  /// Drops every memory-cache entry but leaves the disk snapshot tier (and
+  /// quarantine / negative verdicts) untouched — the next loads are cold
+  /// in memory but warm on disk. Test/bench hook.
+  void DropMemoryCache();
+
+  /// Reconfigures the snapshot directory at runtime ("" disables the disk
+  /// tier). Creates the directory (one level, best-effort) and sweeps
+  /// orphaned temp files from crashed writers.
+  void set_snapshot_dir(const std::string& dir);
+  std::string snapshot_dir() const;
 
   /// Reconfigures the byte budget, evicting immediately if over. Intended
   /// for startup configuration (xqc_shell --doc-store-mb).
@@ -235,6 +298,12 @@ class DocumentStore {
     NodePtr doc;
     int64_t bytes = 0;
     Fingerprint fp;
+    /// XXH64 of the source bytes this tree was built from; doubles as the
+    /// snapshot freshness key and the content-recheck oracle.
+    uint64_t content_hash = 0;
+    /// When the entry was (re)loaded; hits inside the recheck window
+    /// re-verify content_hash against the file.
+    std::chrono::steady_clock::time_point loaded_at;
   };
 
   /// Jointly owned singleflight slot: the leader parses and publishes; any
@@ -294,7 +363,7 @@ class DocumentStore {
   /// probe, whose outcome must be reported back to the breaker.
   Result<NodePtr> LoadAsLeader(const std::string& uri, QueryGuard* guard,
                                DocStoreStats* stats, bool* leader_trip,
-                               bool probe);
+                               bool probe, bool use_snapshots);
 
   /// Reads the file, applying injected faults and classifying errors.
   struct ReadOutcome {
@@ -308,7 +377,11 @@ class DocumentStore {
   /// Inserts a parsed doc, evicting LRU entries while over budget.
   void InsertCached(const std::string& uri, const NodePtr& doc,
                     int64_t content_bytes, const Fingerprint& fp,
-                    DocStoreStats* stats);
+                    uint64_t content_hash, DocStoreStats* stats);
+
+  /// The snapshot file path for a normalized URI, or "" when the disk
+  /// tier is disabled. Takes mu_; call only when it isn't held.
+  std::string SnapshotPathFor(const std::string& uri) const;
 
   /// Evicts LRU entries until bytes_cached_ <= options_.max_bytes.
   /// Caller holds mu_.
@@ -340,6 +413,7 @@ class DocumentStore {
   std::atomic<uint64_t> jitter_state_;
 
   mutable std::mutex mu_;
+  std::string snapshot_dir_;   // "" = disk tier disabled (guarded by mu_)
   std::list<CacheEntry> lru_;  // front = most recent
   std::unordered_map<std::string, std::list<CacheEntry>::iterator> cache_;
   std::unordered_map<std::string, std::shared_ptr<InFlight>> inflight_;

@@ -2,13 +2,16 @@
 // PR 2 guard-fault substrate (GuardFaultInjector) down to the filesystem
 // boundary. Every DocumentStore failure path — transient open failures,
 // truncated reads that poison a document, slow reads that let a deadline
-// expire mid-load, flaky devices that recover after a few attempts — is
-// drivable from tests without touching the real filesystem's behavior.
+// expire mid-load, flaky devices that recover after a few attempts, and
+// (since the persistent snapshot tier) write-path failures and read-side
+// bit-rot against snapshot files — is drivable from tests without touching
+// the real filesystem's behavior.
 //
 // An injector is installed on a DocumentStore (set_fault_injector) and
-// consulted once per physical read attempt. It is safe to share across
-// threads: the attempt counter is atomic, so concurrent singleflight
-// leaders draw distinct attempt numbers.
+// consulted once per physical read attempt (source documents) or once per
+// snapshot-file operation. It is safe to share across threads: the
+// counters are atomic, so concurrent singleflight leaders draw distinct
+// attempt numbers.
 #ifndef XQC_STORE_IO_FAULT_H_
 #define XQC_STORE_IO_FAULT_H_
 
@@ -32,6 +35,28 @@ enum class IoFaultMode : uint8_t {
   /// The first `fail_n` read attempts fail transiently, then reads
   /// succeed — the retry/backoff path recovers.
   kFlakyThenSucceed,
+
+  // --- Snapshot-tier faults (src/store/snapshot.h). These target the
+  // --- disk snapshot files only; source-document reads are unaffected.
+
+  /// Snapshot write: only the first half of the serialized bytes reach the
+  /// temp file before write() fails — the publish must not happen and the
+  /// temp file must be cleaned up.
+  kSnapshotShortWrite,
+  /// Snapshot write: fsync() of the fully written temp file fails — an
+  /// unsynced file must never be published.
+  kSnapshotFsyncError,
+  /// Snapshot write: the atomic rename of the temp file onto the final
+  /// path fails.
+  kSnapshotRenameError,
+  /// Snapshot read: one byte of the snapshot is flipped after the read —
+  /// the checksums must catch it and the file must be quarantined.
+  kSnapshotBitFlip,
+  /// Snapshot write: sleeps `delay_ms` in 1ms slices before the atomic
+  /// rename — the window the crash-recovery harness (scripts/
+  /// crash_snapshot.sh) kills the process inside to prove a torn write
+  /// can never publish a partial file.
+  kSnapshotSlowWrite,
 };
 
 struct IoFaultInjector {
@@ -43,20 +68,31 @@ struct IoFaultInjector {
   /// kFailOpen: 0 = every attempt fails; otherwise only the first n.
   int64_t fail_n = 2;
   /// kSlowRead: total injected delay per read.
+  /// kSnapshotSlowWrite: delay before the publish rename.
   int64_t delay_ms = 50;
-  /// Physical read attempts observed (diagnostics; shared across threads).
+  /// Physical source-read attempts observed (diagnostics; shared across
+  /// threads). Snapshot-file operations do not count here.
   std::atomic<int64_t> attempts{0};
+  /// Snapshot-file operations (writes + reads) observed.
+  std::atomic<int64_t> snapshot_ops{0};
 };
 
 /// Parses a mode name ("none", "fail-open", "short-read", "slow-read",
-/// "flaky") — used by the scripts/check.sh fault-matrix sweep, which
-/// selects modes via the XQC_IO_FAULT_MODE environment variable.
+/// "flaky", "snap-short-write", "snap-fsync", "snap-rename",
+/// "snap-bitflip", "snap-slow-write") — used by the scripts/check.sh fault
+/// sweeps, which select modes via the XQC_IO_FAULT_MODE and
+/// XQC_SNAP_FAULT_MODE environment variables.
 inline bool IoFaultModeFromName(std::string_view name, IoFaultMode* out) {
   if (name == "none") *out = IoFaultMode::kNone;
   else if (name == "fail-open") *out = IoFaultMode::kFailOpen;
   else if (name == "short-read") *out = IoFaultMode::kShortRead;
   else if (name == "slow-read") *out = IoFaultMode::kSlowRead;
   else if (name == "flaky") *out = IoFaultMode::kFlakyThenSucceed;
+  else if (name == "snap-short-write") *out = IoFaultMode::kSnapshotShortWrite;
+  else if (name == "snap-fsync") *out = IoFaultMode::kSnapshotFsyncError;
+  else if (name == "snap-rename") *out = IoFaultMode::kSnapshotRenameError;
+  else if (name == "snap-bitflip") *out = IoFaultMode::kSnapshotBitFlip;
+  else if (name == "snap-slow-write") *out = IoFaultMode::kSnapshotSlowWrite;
   else return false;
   return true;
 }

@@ -1,0 +1,684 @@
+#include "src/store/snapshot.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "src/base/hash.h"
+
+namespace xqc {
+
+namespace {
+
+constexpr char kHeaderMagic[8] = {'X', 'Q', 'C', 'S', 'N', 'A', 'P', '1'};
+constexpr char kFooterMagic[8] = {'X', 'Q', 'C', 'F', 'O', 'O', 'T', '1'};
+constexpr size_t kHeaderSize = 64;
+constexpr uint32_t kNumSections = 11;
+constexpr size_t kSectionEntrySize = 24;  // offset u64 + bytes u64 + hash u64
+constexpr size_t kFooterSize = 24;        // magic u64 + hash u64 + length u64
+
+enum Section : uint32_t {
+  kSecKinds = 0,
+  kSecNames = 1,
+  kSecTypes = 2,
+  kSecStarts = 3,
+  kSecEnds = 4,
+  kSecAttrCounts = 5,
+  kSecChildCounts = 6,
+  kSecValueOffsets = 7,
+  kSecValueBlob = 8,
+  kSecDict = 9,
+  kSecUri = 10,
+};
+
+// --- little-endian scalar append/read (the build targets are LE; a
+// --- big-endian port would byte-swap here and bump the format version).
+
+template <typename T>
+void AppendScalar(std::string* out, T v) {
+  char buf[sizeof(T)];
+  std::memcpy(buf, &v, sizeof(T));
+  out->append(buf, sizeof(T));
+}
+
+template <typename T>
+T ReadScalar(const char* p) {
+  T v;
+  std::memcpy(&v, p, sizeof(T));
+  return v;
+}
+
+void SleepMs(int64_t ms) {
+  std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+/// Interns a Symbol into the snapshot dictionary, returning its index.
+/// Index 0 is reserved for the empty symbol.
+uint32_t DictIndex(Symbol s, std::unordered_map<uint32_t, uint32_t>* by_id,
+                   std::vector<std::string>* spellings) {
+  if (s.empty()) return 0;
+  auto [it, inserted] =
+      by_id->emplace(s.id(), static_cast<uint32_t>(spellings->size()));
+  if (inserted) spellings->push_back(s.str());
+  return it->second;
+}
+
+struct Columns {
+  std::string kinds;
+  std::string names;
+  std::string types;
+  std::string starts;
+  std::string ends;
+  std::string attr_counts;
+  std::string child_counts;
+  std::string value_offsets;
+  std::string value_blob;
+  uint64_t node_count = 0;
+};
+
+/// Emits one node's record into the columns. `base` is the tree's interval
+/// block base (root.start), subtracted so the stored intervals are
+/// tree-relative.
+void EmitNode(const Node& n, uint64_t base,
+              std::unordered_map<uint32_t, uint32_t>* dict_ids,
+              std::vector<std::string>* dict, Columns* c) {
+  c->kinds.push_back(static_cast<char>(n.kind));
+  AppendScalar<uint32_t>(&c->names, DictIndex(n.name, dict_ids, dict));
+  AppendScalar<uint32_t>(&c->types,
+                         DictIndex(n.type_annotation, dict_ids, dict));
+  AppendScalar<uint64_t>(&c->starts, n.start - base);
+  AppendScalar<uint64_t>(&c->ends, n.end - base);
+  AppendScalar<uint32_t>(&c->attr_counts,
+                         static_cast<uint32_t>(n.attributes.size()));
+  AppendScalar<uint32_t>(&c->child_counts,
+                         static_cast<uint32_t>(n.children.size()));
+  AppendScalar<uint64_t>(&c->value_offsets, c->value_blob.size());
+  c->value_blob.append(n.value);
+  c->node_count++;
+}
+
+/// Walks the tree in FinalizeTree's preorder (node, attributes, children)
+/// with an explicit stack, emitting columnar records.
+void EmitTree(const Node& root, uint64_t base,
+              std::unordered_map<uint32_t, uint32_t>* dict_ids,
+              std::vector<std::string>* dict, Columns* c) {
+  struct Frame {
+    const Node* node;
+    size_t next_child = 0;
+  };
+  std::vector<Frame> stack;
+  EmitNode(root, base, dict_ids, dict, c);
+  for (const NodePtr& a : root.attributes) EmitNode(*a, base, dict_ids, dict, c);
+  stack.push_back({&root});
+  while (!stack.empty()) {
+    Frame& f = stack.back();
+    if (f.next_child >= f.node->children.size()) {
+      stack.pop_back();
+      continue;
+    }
+    const Node* child = f.node->children[f.next_child++].get();
+    EmitNode(*child, base, dict_ids, dict, c);
+    for (const NodePtr& a : child->attributes) {
+      EmitNode(*a, base, dict_ids, dict, c);
+    }
+    stack.push_back({child});
+  }
+}
+
+struct SectionEntry {
+  uint64_t offset = 0;
+  uint64_t bytes = 0;
+  uint64_t hash = 0;
+};
+
+/// Best-effort directory fsync so the published rename itself is durable.
+void SyncDirectoryOf(const std::string& path) {
+  size_t slash = path.rfind('/');
+  std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd >= 0) {
+    ::fsync(fd);
+    ::close(fd);
+  }
+}
+
+std::atomic<uint64_t> g_tmp_seq{0};
+
+SnapshotLoadResult Fail(SnapshotLoadOutcome outcome, std::string detail,
+                        int64_t bytes_read) {
+  SnapshotLoadResult r;
+  r.outcome = outcome;
+  r.detail = std::move(detail);
+  r.bytes_read = bytes_read;
+  return r;
+}
+
+}  // namespace
+
+std::string SnapshotFileName(const std::string& normalized_uri) {
+  char hex[17];
+  std::snprintf(hex, sizeof(hex), "%016llx",
+                static_cast<unsigned long long>(Hash64(normalized_uri)));
+  // A sanitized stem keeps the directory browsable; the hash is what makes
+  // the name unique (same-stem URIs in different directories don't clash).
+  size_t slash = normalized_uri.rfind('/');
+  std::string stem = slash == std::string::npos
+                         ? normalized_uri
+                         : normalized_uri.substr(slash + 1);
+  std::string safe;
+  for (char ch : stem) {
+    if ((ch >= 'a' && ch <= 'z') || (ch >= 'A' && ch <= 'Z') ||
+        (ch >= '0' && ch <= '9') || ch == '-' || ch == '_' || ch == '.') {
+      safe.push_back(ch);
+    } else {
+      safe.push_back('_');
+    }
+    if (safe.size() >= 40) break;
+  }
+  if (safe.empty()) safe = "doc";
+  return std::string(hex) + "-" + safe + ".xqsnap";
+}
+
+Status WriteSnapshot(const std::string& snap_path, const Node& root,
+                     const SnapshotSource& source, IoFaultInjector* injector,
+                     int64_t* bytes_written) {
+  if (root.start == 0) {
+    return Status::Internal("snapshot of an unfinalized tree: " + source.uri);
+  }
+
+  // --- Serialize everything into memory first; the file is all-or-nothing.
+  Columns cols;
+  std::unordered_map<uint32_t, uint32_t> dict_ids;
+  std::vector<std::string> dict;
+  dict.push_back("");  // index 0 = the empty symbol
+  EmitTree(root, root.start, &dict_ids, &dict, &cols);
+  AppendScalar<uint64_t>(&cols.value_offsets, cols.value_blob.size());
+
+  std::string dict_bytes;
+  for (const std::string& s : dict) {
+    AppendScalar<uint32_t>(&dict_bytes, static_cast<uint32_t>(s.size()));
+    dict_bytes.append(s);
+  }
+
+  const std::string* payloads[kNumSections];
+  payloads[kSecKinds] = &cols.kinds;
+  payloads[kSecNames] = &cols.names;
+  payloads[kSecTypes] = &cols.types;
+  payloads[kSecStarts] = &cols.starts;
+  payloads[kSecEnds] = &cols.ends;
+  payloads[kSecAttrCounts] = &cols.attr_counts;
+  payloads[kSecChildCounts] = &cols.child_counts;
+  payloads[kSecValueOffsets] = &cols.value_offsets;
+  payloads[kSecValueBlob] = &cols.value_blob;
+  payloads[kSecDict] = &dict_bytes;
+  payloads[kSecUri] = &source.uri;
+
+  std::string file;
+  file.reserve(kHeaderSize + kNumSections * kSectionEntrySize +
+               cols.kinds.size() * 34 + cols.value_blob.size() +
+               dict_bytes.size() + source.uri.size() + kFooterSize);
+  file.append(kHeaderMagic, sizeof(kHeaderMagic));
+  AppendScalar<uint32_t>(&file, kSnapshotFormatVersion);
+  AppendScalar<uint32_t>(&file, kNumSections);
+  AppendScalar<uint64_t>(&file, cols.node_count);
+  AppendScalar<uint64_t>(&file, static_cast<uint64_t>(dict.size()));
+  AppendScalar<int64_t>(&file, source.size);
+  AppendScalar<uint64_t>(&file, source.content_hash);
+  AppendScalar<uint64_t>(&file, Hash64(source.uri));
+  AppendScalar<uint64_t>(&file, Hash64(file.data(), file.size()));
+
+  uint64_t offset = kHeaderSize + kNumSections * kSectionEntrySize;
+  for (uint32_t s = 0; s < kNumSections; ++s) {
+    AppendScalar<uint64_t>(&file, offset);
+    AppendScalar<uint64_t>(&file, payloads[s]->size());
+    AppendScalar<uint64_t>(&file, Hash64(*payloads[s]));
+    offset += payloads[s]->size();
+  }
+  for (uint32_t s = 0; s < kNumSections; ++s) file.append(*payloads[s]);
+
+  // Footer last: its presence proves every byte before it was written. The
+  // whole-file hash covers exactly [0, footer start), matching the loader.
+  const uint64_t body_hash = Hash64(file.data(), file.size());
+  file.append(kFooterMagic, sizeof(kFooterMagic));
+  AppendScalar<uint64_t>(&file, body_hash);
+  AppendScalar<uint64_t>(&file, file.size() + 8);  // total incl. this field
+
+  // --- Atomic publish: unique temp sibling -> write -> fsync -> rename.
+  if (injector != nullptr) {
+    injector->snapshot_ops.fetch_add(1, std::memory_order_relaxed);
+  }
+  const std::string tmp =
+      snap_path + ".tmp." + std::to_string(::getpid()) + "." +
+      std::to_string(g_tmp_seq.fetch_add(1, std::memory_order_relaxed));
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_EXCL | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    return Status::IOError("cannot create snapshot temp file '" + tmp +
+                           "': " + std::strerror(errno));
+  }
+  auto abort_write = [&](std::string msg) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return Status::IOError(std::move(msg));
+  };
+
+  size_t to_write = file.size();
+  if (injector != nullptr &&
+      injector->mode == IoFaultMode::kSnapshotShortWrite) {
+    to_write = file.size() / 2;  // the torn half actually lands on disk
+  }
+  size_t off = 0;
+  while (off < to_write) {
+    ssize_t n = ::write(fd, file.data() + off, to_write - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return abort_write("error writing snapshot '" + tmp +
+                         "': " + std::strerror(errno));
+    }
+    off += static_cast<size_t>(n);
+  }
+  if (injector != nullptr &&
+      injector->mode == IoFaultMode::kSnapshotShortWrite) {
+    return abort_write("injected short write for snapshot '" + snap_path +
+                       "'");
+  }
+  if (injector != nullptr &&
+      injector->mode == IoFaultMode::kSnapshotFsyncError) {
+    return abort_write("injected fsync failure for snapshot '" + snap_path +
+                       "'");
+  }
+  if (::fsync(fd) != 0) {
+    return abort_write("fsync of snapshot '" + tmp +
+                       "' failed: " + std::strerror(errno));
+  }
+  ::close(fd);
+
+  if (injector != nullptr &&
+      injector->mode == IoFaultMode::kSnapshotSlowWrite) {
+    // The crash-harness window: the temp file is complete but unpublished.
+    for (int64_t i = 0; i < injector->delay_ms; ++i) SleepMs(1);
+  }
+  if (injector != nullptr &&
+      injector->mode == IoFaultMode::kSnapshotRenameError) {
+    ::unlink(tmp.c_str());
+    return Status::IOError("injected rename failure for snapshot '" +
+                           snap_path + "'");
+  }
+  if (::rename(tmp.c_str(), snap_path.c_str()) != 0) {
+    int e = errno;
+    ::unlink(tmp.c_str());
+    return Status::IOError("cannot publish snapshot '" + snap_path +
+                           "': " + std::strerror(e));
+  }
+  SyncDirectoryOf(snap_path);
+  if (bytes_written != nullptr) {
+    *bytes_written = static_cast<int64_t>(file.size());
+  }
+  return Status::OK();
+}
+
+SnapshotLoadResult LoadSnapshot(const std::string& snap_path,
+                                const SnapshotSource* expect,
+                                QueryGuard* guard,
+                                IoFaultInjector* injector) {
+  if (guard == nullptr) guard = UnlimitedGuard();
+
+  int fd = ::open(snap_path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    if (errno == ENOENT || errno == ENOTDIR) {
+      return Fail(SnapshotLoadOutcome::kMissing, "no snapshot", 0);
+    }
+    return Fail(SnapshotLoadOutcome::kIoError,
+                std::string("open failed: ") + std::strerror(errno), 0);
+  }
+  struct stat sb;
+  if (::fstat(fd, &sb) != 0 || !S_ISREG(sb.st_mode)) {
+    ::close(fd);
+    return Fail(SnapshotLoadOutcome::kIoError, "not a regular file", 0);
+  }
+  const size_t size = static_cast<size_t>(sb.st_size);
+  if (injector != nullptr) {
+    injector->snapshot_ops.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  const int64_t header_cost =
+      static_cast<int64_t>(kHeaderSize + kFooterSize);
+  if (size < kHeaderSize + kNumSections * kSectionEntrySize + kFooterSize) {
+    ::close(fd);
+    return Fail(SnapshotLoadOutcome::kCorrupt,
+                "truncated: " + std::to_string(size) + " bytes", header_cost);
+  }
+
+  // mmap-or-read. The stale/version fast paths below only touch the header
+  // and footer pages; with mmap the untouched sections are never read off
+  // disk. The bit-flip injection needs writable bytes, so it (and any mmap
+  // failure) falls back to a plain read.
+  const bool flip = injector != nullptr &&
+                    injector->mode == IoFaultMode::kSnapshotBitFlip;
+  std::string owned;
+  const char* data = nullptr;
+  void* mapped = nullptr;
+  if (!flip) {
+    mapped = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (mapped != MAP_FAILED) data = static_cast<const char*>(mapped);
+    else mapped = nullptr;
+  }
+  if (data == nullptr) {
+    owned.resize(size);
+    size_t off = 0;
+    while (off < size) {
+      ssize_t n = ::read(fd, owned.data() + off, size - off);
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) {
+        ::close(fd);
+        return Fail(SnapshotLoadOutcome::kIoError,
+                    std::string("read failed: ") + std::strerror(errno),
+                    static_cast<int64_t>(off));
+      }
+      off += static_cast<size_t>(n);
+    }
+    if (flip) owned[size / 2] ^= 0x40;  // one bit of rot, mid-file
+    data = owned.data();
+  }
+  ::close(fd);
+  struct Unmapper {
+    void* p;
+    size_t n;
+    ~Unmapper() {
+      if (p != nullptr) ::munmap(p, n);
+    }
+  } unmapper{mapped, size};
+
+  // --- Layer 1: header + footer (cheap rejects; no section is read).
+  if (std::memcmp(data, kHeaderMagic, sizeof(kHeaderMagic)) != 0) {
+    return Fail(SnapshotLoadOutcome::kCorrupt, "bad magic", header_cost);
+  }
+  const uint32_t version = ReadScalar<uint32_t>(data + 8);
+  if (version != kSnapshotFormatVersion) {
+    return Fail(SnapshotLoadOutcome::kVersionSkew,
+                "format version " + std::to_string(version) + " (expected " +
+                    std::to_string(kSnapshotFormatVersion) + ")",
+                header_cost);
+  }
+  const uint32_t section_count = ReadScalar<uint32_t>(data + 12);
+  const uint64_t node_count = ReadScalar<uint64_t>(data + 16);
+  const uint64_t dict_count = ReadScalar<uint64_t>(data + 24);
+  const int64_t source_size = ReadScalar<int64_t>(data + 32);
+  const uint64_t content_hash = ReadScalar<uint64_t>(data + 40);
+  const uint64_t uri_hash = ReadScalar<uint64_t>(data + 48);
+  const uint64_t header_hash = ReadScalar<uint64_t>(data + 56);
+  if (header_hash != Hash64(data, 56)) {
+    return Fail(SnapshotLoadOutcome::kCorrupt, "header checksum mismatch",
+                header_cost);
+  }
+  if (section_count != kNumSections) {
+    return Fail(SnapshotLoadOutcome::kCorrupt,
+                "section count " + std::to_string(section_count), header_cost);
+  }
+  const char* foot = data + size - kFooterSize;
+  if (std::memcmp(foot, kFooterMagic, sizeof(kFooterMagic)) != 0) {
+    return Fail(SnapshotLoadOutcome::kCorrupt,
+                "missing footer (torn or truncated write)", header_cost);
+  }
+  if (ReadScalar<uint64_t>(foot + 16) != size) {
+    return Fail(SnapshotLoadOutcome::kCorrupt, "footer length mismatch",
+                header_cost);
+  }
+
+  // --- Layer 2: source freshness, from the header alone.
+  if (expect != nullptr) {
+    if (content_hash != expect->content_hash || source_size != expect->size ||
+        uri_hash != Hash64(expect->uri)) {
+      return Fail(SnapshotLoadOutcome::kStale,
+                  "source fingerprint mismatch (document changed)",
+                  header_cost);
+    }
+  }
+
+  // --- Layer 3: the snapshot will be used — verify every checksum.
+  if (ReadScalar<uint64_t>(foot + 8) != Hash64(data, size - kFooterSize)) {
+    return Fail(SnapshotLoadOutcome::kCorrupt,
+                "whole-file checksum mismatch (bit rot)",
+                static_cast<int64_t>(size));
+  }
+  SectionEntry sections[kNumSections];
+  const char* table = data + kHeaderSize;
+  const uint64_t payload_base = kHeaderSize + kNumSections * kSectionEntrySize;
+  const uint64_t payload_end = size - kFooterSize;
+  for (uint32_t s = 0; s < kNumSections; ++s) {
+    const char* e = table + s * kSectionEntrySize;
+    sections[s].offset = ReadScalar<uint64_t>(e);
+    sections[s].bytes = ReadScalar<uint64_t>(e + 8);
+    sections[s].hash = ReadScalar<uint64_t>(e + 16);
+    if (sections[s].offset < payload_base ||
+        sections[s].offset > payload_end ||
+        sections[s].bytes > payload_end - sections[s].offset) {
+      return Fail(SnapshotLoadOutcome::kCorrupt,
+                  "section " + std::to_string(s) + " out of bounds",
+                  static_cast<int64_t>(size));
+    }
+    if (sections[s].hash !=
+        Hash64(data + sections[s].offset, sections[s].bytes)) {
+      return Fail(SnapshotLoadOutcome::kCorrupt,
+                  "section " + std::to_string(s) + " checksum mismatch",
+                  static_cast<int64_t>(size));
+    }
+  }
+  auto corrupt = [&](std::string why) {
+    return Fail(SnapshotLoadOutcome::kCorrupt, std::move(why),
+                static_cast<int64_t>(size));
+  };
+  auto expect_bytes = [&](Section s, uint64_t want) {
+    return sections[s].bytes == want;
+  };
+  if (node_count == 0) return corrupt("empty tree");
+  if (dict_count == 0 || dict_count > (1ull << 31)) {
+    return corrupt("implausible dictionary size");
+  }
+  if (!expect_bytes(kSecKinds, node_count) ||
+      !expect_bytes(kSecNames, node_count * 4) ||
+      !expect_bytes(kSecTypes, node_count * 4) ||
+      !expect_bytes(kSecStarts, node_count * 8) ||
+      !expect_bytes(kSecEnds, node_count * 8) ||
+      !expect_bytes(kSecAttrCounts, node_count * 4) ||
+      !expect_bytes(kSecChildCounts, node_count * 4) ||
+      !expect_bytes(kSecValueOffsets, (node_count + 1) * 8)) {
+    return corrupt("column size inconsistent with node count");
+  }
+  if (expect != nullptr) {
+    // uri_hash already matched; the byte compare closes the (theoretical)
+    // hash-collision hole between two URIs mapped to one snapshot name.
+    if (sections[kSecUri].bytes != expect->uri.size() ||
+        std::memcmp(data + sections[kSecUri].offset, expect->uri.data(),
+                    expect->uri.size()) != 0) {
+      return Fail(SnapshotLoadOutcome::kStale, "snapshot is for another URI",
+                  static_cast<int64_t>(size));
+    }
+  }
+
+  // --- Dictionary: bridge stored spellings to this process's interner.
+  std::vector<Symbol> symbols;
+  symbols.reserve(dict_count);
+  {
+    const char* p = data + sections[kSecDict].offset;
+    const char* dict_end = p + sections[kSecDict].bytes;
+    for (uint64_t i = 0; i < dict_count; ++i) {
+      if (p + 4 > dict_end) return corrupt("dictionary truncated");
+      uint32_t len = ReadScalar<uint32_t>(p);
+      p += 4;
+      if (static_cast<uint64_t>(dict_end - p) < len) {
+        return corrupt("dictionary entry out of bounds");
+      }
+      if (i == 0) {
+        if (len != 0) return corrupt("dictionary slot 0 not empty");
+        symbols.push_back(Symbol());
+      } else {
+        symbols.push_back(Symbol(std::string_view(p, len)));
+      }
+      p += len;
+    }
+    if (p != dict_end) return corrupt("dictionary trailing bytes");
+  }
+
+  // --- Columns.
+  const unsigned char* kinds = reinterpret_cast<const unsigned char*>(
+      data + sections[kSecKinds].offset);
+  const char* names = data + sections[kSecNames].offset;
+  const char* types = data + sections[kSecTypes].offset;
+  const char* starts = data + sections[kSecStarts].offset;
+  const char* ends = data + sections[kSecEnds].offset;
+  const char* attr_counts = data + sections[kSecAttrCounts].offset;
+  const char* child_counts = data + sections[kSecChildCounts].offset;
+  const char* value_offsets = data + sections[kSecValueOffsets].offset;
+  const char* blob = data + sections[kSecValueBlob].offset;
+  const uint64_t blob_bytes = sections[kSecValueBlob].bytes;
+
+  auto rel_end = [&](uint64_t i) { return ReadScalar<uint64_t>(ends + i * 8); };
+  auto vo = [&](uint64_t i) {
+    return ReadScalar<uint64_t>(value_offsets + i * 8);
+  };
+  if (vo(0) != 0 || vo(node_count) != blob_bytes) {
+    return corrupt("value offsets don't span the blob");
+  }
+  if (rel_end(0) != node_count - 1) return corrupt("root interval mismatch");
+
+  // --- Rebuild, charging the caller's guard like a parse would.
+  const uint64_t base = AllocateOrderBlock(node_count);
+  SnapshotLoadResult result;
+  result.bytes_read = static_cast<int64_t>(size);
+
+  Status st = guard->AccountMemory(static_cast<int64_t>(blob_bytes));
+  if (!st.ok()) {
+    result.outcome = SnapshotLoadOutcome::kGuardTrip;
+    result.status = st;
+    return result;
+  }
+
+  struct Frame {
+    Node* node;
+    uint64_t idx;  // the node's own record index (for the end check)
+    uint32_t attrs_left;
+    uint32_t kids_left;
+  };
+  auto make_node = [&](uint64_t i) -> NodePtr {
+    NodePtr n = std::make_shared<Node>();
+    uint8_t kind = kinds[i];
+    n->kind = static_cast<NodeKind>(kind);
+    uint32_t name_ix = ReadScalar<uint32_t>(names + i * 4);
+    uint32_t type_ix = ReadScalar<uint32_t>(types + i * 4);
+    if (kind > static_cast<uint8_t>(NodeKind::kPI) || name_ix >= dict_count ||
+        type_ix >= dict_count || ReadScalar<uint64_t>(starts + i * 8) != i ||
+        rel_end(i) < i || rel_end(i) >= node_count || vo(i) > vo(i + 1) ||
+        vo(i + 1) > blob_bytes) {
+      return nullptr;
+    }
+    n->name = symbols[name_ix];
+    n->type_annotation = symbols[type_ix];
+    n->value.assign(blob + vo(i), vo(i + 1) - vo(i));
+    n->start = base + i;
+    n->end = base + rel_end(i);
+    return n;
+  };
+
+  NodePtr root = make_node(0);
+  if (root == nullptr) return corrupt("invalid root record");
+  std::vector<Frame> stack;
+  stack.push_back(Frame{root.get(), 0, ReadScalar<uint32_t>(attr_counts),
+                        ReadScalar<uint32_t>(child_counts)});
+  uint64_t idx = 1;
+  constexpr uint64_t kGuardChunk = 1024;
+  uint64_t accounted = 1;
+  while (!stack.empty()) {
+    Frame& top = stack.back();
+    if (top.attrs_left == 0 && top.kids_left == 0) {
+      // The subtree is complete: its "post" must point at the last record
+      // consumed inside it. This pins every interval to the real shape.
+      if (rel_end(top.idx) != idx - 1) return corrupt("interval mismatch");
+      stack.pop_back();
+      continue;
+    }
+    if (idx >= node_count) return corrupt("node records exhausted early");
+    if (idx - accounted >= kGuardChunk) {
+      st = guard->AccountNodes(static_cast<int64_t>(idx - accounted));
+      if (st.ok()) st = guard->CheckNow();
+      if (!st.ok()) {
+        result.outcome = SnapshotLoadOutcome::kGuardTrip;
+        result.status = st;
+        return result;
+      }
+      accounted = idx;
+    }
+    NodePtr n = make_node(idx);
+    if (n == nullptr) return corrupt("invalid node record " +
+                                     std::to_string(idx));
+    uint32_t n_attrs = ReadScalar<uint32_t>(attr_counts + idx * 4);
+    uint32_t n_kids = ReadScalar<uint32_t>(child_counts + idx * 4);
+    if (top.attrs_left > 0) {
+      // Attributes are numbered directly after their element, are leaves,
+      // and carry single-id intervals.
+      if (n->kind != NodeKind::kAttribute || n_attrs != 0 || n_kids != 0 ||
+          rel_end(idx) != idx) {
+        return corrupt("invalid attribute record " + std::to_string(idx));
+      }
+      n->parent = top.node;
+      top.node->attributes.push_back(std::move(n));
+      top.attrs_left--;
+      idx++;
+      continue;
+    }
+    if (n->kind == NodeKind::kAttribute) {
+      return corrupt("attribute record in child position");
+    }
+    n->parent = top.node;
+    Node* raw = n.get();
+    top.node->children.push_back(std::move(n));
+    top.kids_left--;
+    uint64_t my_idx = idx;
+    idx++;
+    stack.push_back(Frame{raw, my_idx, n_attrs, n_kids});
+    // Attributes of the just-pushed node come first in preorder; the loop
+    // consumes them from its frame on the next iterations.
+  }
+  if (idx != node_count) return corrupt("trailing node records");
+  st = guard->AccountNodes(static_cast<int64_t>(idx - accounted));
+  if (st.ok()) st = guard->CheckNow();
+  if (!st.ok()) {
+    result.outcome = SnapshotLoadOutcome::kGuardTrip;
+    result.status = st;
+    return result;
+  }
+
+  result.outcome = SnapshotLoadOutcome::kLoaded;
+  result.doc = std::move(root);
+  return result;
+}
+
+bool QuarantineSnapshotFile(const std::string& snap_path) {
+  const std::string aside = snap_path + ".corrupt";
+  if (::rename(snap_path.c_str(), aside.c_str()) == 0) return true;
+  ::unlink(snap_path.c_str());
+  return false;
+}
+
+int SweepOrphanSnapshotTmps(const std::string& dir) {
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) return 0;
+  int removed = 0;
+  while (struct dirent* e = ::readdir(d)) {
+    std::string name = e->d_name;
+    if (name.find(".xqsnap.tmp.") == std::string::npos) continue;
+    if (::unlink((dir + "/" + name).c_str()) == 0) removed++;
+  }
+  ::closedir(d);
+  return removed;
+}
+
+}  // namespace xqc

@@ -1,0 +1,153 @@
+// Persistent binary snapshots of finalized document trees — the disk tier
+// behind DocumentStore (the RadegastXDB native-storage direction). A
+// snapshot stores the fully parsed, finalized tree of one source document
+// so a later process (or a cold cache) can rebuild it without re-running
+// the XML parser, which dominates first-touch latency.
+//
+// Format (version 1; all integers little-endian, fixed width):
+//
+//   +--------------------------------------------------------------+
+//   | Header (fixed size)                                          |
+//   |   magic "XQCSNAP1"  u64                                      |
+//   |   format version    u32     section count  u32               |
+//   |   node count        u64     dict count     u64               |
+//   |   source size       i64     source content hash (XXH64) u64  |
+//   |   uri hash          u64     header hash (XXH64 of above) u64 |
+//   +--------------------------------------------------------------+
+//   | Section table: per section { offset u64, bytes u64,          |
+//   |                              hash u64 (XXH64 of payload) }   |
+//   +--------------------------------------------------------------+
+//   | Sections (columnar node records, preorder = FinalizeTree     |
+//   | numbering: node, then its attributes, then child subtrees):  |
+//   |   0 kinds         node_count * u8                            |
+//   |   1 names         node_count * u32   (dictionary index)      |
+//   |   2 types         node_count * u32   (type annotation)       |
+//   |   3 starts        node_count * u64   (tree-relative "pre")   |
+//   |   4 ends          node_count * u64   (tree-relative "post")  |
+//   |   5 attr counts   node_count * u32                           |
+//   |   6 child counts  node_count * u32                           |
+//   |   7 value offsets (node_count+1) * u64 into the value blob   |
+//   |   8 value blob    raw bytes                                  |
+//   |   9 dictionary    dict_count * { u32 len, bytes }            |
+//   |  10 uri           raw bytes of the normalized source URI     |
+//   +--------------------------------------------------------------+
+//   | Footer (written LAST): magic "XQCFOOT1" u64,                 |
+//   |   whole-file hash u64 (XXH64 of bytes [0, footer)),          |
+//   |   total length u64 (must equal the file's size)              |
+//   +--------------------------------------------------------------+
+//
+// Crash consistency: the writer serializes everything into memory, writes
+// it to a uniquely named "*.tmp.<pid>.<seq>" sibling, fsyncs, and only
+// then renames onto the final path (and fsyncs the directory). A crash at
+// any point leaves either the old snapshot, no snapshot, or an orphan temp
+// file — never a partial file under the published name. Because the footer
+// is the last bytes written, truncation of a published file (bit-rot,
+// filesystem bugs) is self-evident: the footer magic / length check fails
+// before any section is trusted.
+//
+// Interval preservation: the columnar records store each node's
+// *tree-relative* pre/post interval (rel = global - block base). Loading
+// reserves a fresh contiguous id block (AllocateOrderBlock) and assigns
+// start = base + rel, reproducing exactly what FinalizeTree would have
+// computed — O(1) containment/doc-order tests and the lazily built
+// DocumentIndex work identically on snapshot-loaded trees.
+//
+// Name bridging: Symbol ids are process-local, so nodes store dictionary
+// indexes and the dictionary stores spellings; loading interns each
+// spelling once through the sharded interner and maps indexes to the
+// current process's Symbols.
+//
+// Validation is layered so a stale snapshot is rejected from the header
+// alone (no section is read): magic -> version -> header hash -> footer
+// magic/length -> source fingerprint (content hash + size + uri), and only
+// then — when the snapshot will actually be used — the whole-file hash,
+// per-section hashes, and full structural validation of the node records
+// (bounds, preorder/interval consistency, leaf attributes). Any integrity
+// failure classifies as kCorrupt/kVersionSkew/kStale; the caller
+// (DocumentStore) quarantines the file and falls back to reparse.
+#ifndef XQC_STORE_SNAPSHOT_H_
+#define XQC_STORE_SNAPSHOT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/base/guard.h"
+#include "src/base/status.h"
+#include "src/store/io_fault.h"
+#include "src/xml/node.h"
+
+namespace xqc {
+
+inline constexpr uint32_t kSnapshotFormatVersion = 1;
+
+/// Identity of the source document a snapshot was built from. A snapshot
+/// is valid for a source iff the content hash, byte size, and normalized
+/// URI all match — deliberately independent of (inode, mtime), so copying
+/// a file or restoring it from backup does not invalidate its snapshot.
+struct SnapshotSource {
+  std::string uri;            // normalized source URI
+  uint64_t content_hash = 0;  // XXH64 of the source bytes
+  int64_t size = -1;          // source size in bytes
+};
+
+enum class SnapshotLoadOutcome : uint8_t {
+  kLoaded,       // tree rebuilt; intervals re-based onto a fresh id block
+  kMissing,      // no snapshot file at the path (a plain miss)
+  kStale,        // integrity OK but built from different source content
+  kVersionSkew,  // recognizably a snapshot, but another format version
+  kCorrupt,      // torn / truncated / bit-rotted / structurally invalid
+  kGuardTrip,    // the caller's guard tripped mid-load (see status)
+  kIoError,      // the file exists but could not be opened/read
+};
+
+struct SnapshotLoadResult {
+  SnapshotLoadOutcome outcome = SnapshotLoadOutcome::kMissing;
+  NodePtr doc;         // set iff outcome == kLoaded
+  Status status;       // kGuardTrip: the guard's verdict
+  std::string detail;  // one-line human-readable reason for non-kLoaded
+  int64_t bytes_read = 0;  // snapshot bytes read (header-only rejects are
+                           // cheap; kLoaded reads the whole file)
+};
+
+/// The snapshot file name for a normalized document URI:
+/// "<xxh64-hex>-<sanitized stem>.xqsnap". The hash makes the name unique
+/// per URI (collisions are caught by the URI stored inside the file and
+/// classified kStale); the sanitized stem keeps the directory
+/// human-readable.
+std::string SnapshotFileName(const std::string& normalized_uri);
+
+/// Serializes `root` (a finalized tree) and atomically publishes it at
+/// `snap_path` (write temp sibling -> fsync -> rename -> fsync dir).
+/// `bytes_written` (optional) reports the snapshot's size on success. On
+/// any failure the temp file is removed and the previously published
+/// snapshot (if any) is untouched.
+Status WriteSnapshot(const std::string& snap_path, const Node& root,
+                     const SnapshotSource& source, IoFaultInjector* injector,
+                     int64_t* bytes_written = nullptr);
+
+/// Loads and validates the snapshot at `snap_path`. `expect` carries the
+/// current source identity; pass nullptr to skip the freshness check and
+/// accept any internally consistent snapshot (the circuit-breaker brownout
+/// path, where the source is unreadable by definition). The caller's guard
+/// bounds the rebuild: node construction is accounted against its memory
+/// budget and its deadline/cancellation are checked in chunks, exactly as
+/// a parse would be.
+SnapshotLoadResult LoadSnapshot(const std::string& snap_path,
+                                const SnapshotSource* expect,
+                                QueryGuard* guard, IoFaultInjector* injector);
+
+/// Moves a bad snapshot aside to "<snap_path>.corrupt" (replacing any
+/// previous quarantined file) so it can never be served again but remains
+/// available for post-mortem. Returns false if the rename failed (the
+/// caller should then unlink). Best-effort either way: the reparse
+/// fallback proceeds regardless.
+bool QuarantineSnapshotFile(const std::string& snap_path);
+
+/// Cold-start recovery sweep: removes orphaned "*.tmp.*" files that a
+/// crash mid-write left in `dir`. Published snapshots and quarantined
+/// "*.corrupt" files are untouched. Returns the number removed.
+int SweepOrphanSnapshotTmps(const std::string& dir);
+
+}  // namespace xqc
+
+#endif  // XQC_STORE_SNAPSHOT_H_

@@ -126,9 +126,12 @@ void FinalizeTree(const NodePtr& root) {
   // Reserve a contiguous id block for the whole tree so every node's
   // subtree is one interval and blocks from distinct trees never overlap.
   uint64_t count = CountNodes(*root);
-  uint64_t next =
-      g_order_counter.fetch_add(count, std::memory_order_relaxed);
+  uint64_t next = AllocateOrderBlock(count);
   FinalizeRec(root.get(), nullptr, &next);
+}
+
+uint64_t AllocateOrderBlock(uint64_t count) {
+  return g_order_counter.fetch_add(count, std::memory_order_relaxed);
 }
 
 NodePtr DeepCopy(const Node& node, bool keep_types) {

@@ -98,6 +98,15 @@ void Append(const NodePtr& parent, NodePtr child);
 /// Safe to call repeatedly; must not race with readers of the tree.
 void FinalizeTree(const NodePtr& root);
 
+/// Reserves a contiguous block of `count` interval ids from the same
+/// process-global sequence FinalizeTree draws from and returns the first id
+/// of the block. Used by deserializers (the snapshot tier) that already
+/// know every node's tree-relative preorder position: assigning
+/// `start = base + rel` reproduces exactly what FinalizeTree would have
+/// computed, without a second walk, and the block stays disjoint from every
+/// other finalized tree's.
+uint64_t AllocateOrderBlock(uint64_t count);
+
 /// Deep copy of a subtree. The copy is detached and unfinalized; type
 /// annotations are preserved iff `keep_types`.
 NodePtr DeepCopy(const Node& node, bool keep_types);

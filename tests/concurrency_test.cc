@@ -534,6 +534,75 @@ TEST(Concurrency, DocumentStoreSingleflightAbandonmentStress) {
   std::remove(path.c_str());
 }
 
+// Two stores (two "processes") share one snapshot directory while threads
+// race cold misses, snapshot publishes, reads of freshly renamed files,
+// memory-cache drops, and disk invalidations. Exercises the tmp-file
+// uniqueness, atomic-rename, and quarantine paths under TSan; every load
+// must return the right document no matter which tier served it.
+TEST(Concurrency, SnapshotTierSharedDirectoryStress) {
+  const std::string dir = ::testing::TempDir();
+  const std::string snap_dir = dir + "xqc_snap_stress";
+  std::system(("rm -rf " + snap_dir).c_str());
+
+  DocumentStoreOptions sopts;
+  sopts.retry_backoff_ms = 1;
+  sopts.snapshot_dir = snap_dir;
+  DocumentStore store_a(sopts);
+  DocumentStore store_b(sopts);
+  DocumentStore* stores[2] = {&store_a, &store_b};
+
+  std::vector<std::string> docs;
+  for (int i = 0; i < 3; ++i) {
+    std::string p = dir + "xqc_snap_stress_" + std::to_string(i) + ".xml";
+    std::ofstream out(p);
+    out << "<r i='" << i << "'><a/><b>doc" << i << "</b></r>";
+    docs.push_back(p);
+  }
+
+  constexpr int kThreads = 8;
+  constexpr int kIters = 40;
+  std::atomic<int> bad_outcomes{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      DocumentStore* store = stores[t % 2];
+      for (int i = 0; i < kIters; ++i) {
+        int pick = (t * kIters + i) % 3;
+        Result<NodePtr> r = store->Load(docs[pick]);
+        if (!r.ok() || r.value() == nullptr) {
+          bad_outcomes.fetch_add(1);
+          continue;
+        }
+        std::string want = "doc" + std::to_string(pick);
+        if (r.value()->StringValue() != want) bad_outcomes.fetch_add(1);
+        // Churn: force the next load on this store back to the disk tier,
+        // and occasionally rip the snapshot out from under everyone.
+        if (i % 8 == t % 8) store->DropMemoryCache();
+        if (i % 16 == t) store->Invalidate(docs[t % 3]);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(bad_outcomes.load(), 0);
+
+  // Both stores are still coherent, and a final cold pass on each round
+  // trips neither quarantine nor parser.
+  for (DocumentStore* store : stores) {
+    store->DropMemoryCache();
+    for (const std::string& p : docs) {
+      DocStoreStats stats;
+      DocumentStore::LoadOptions opts;
+      opts.stats = &stats;
+      Result<NodePtr> r = store->Load(p, opts);
+      ASSERT_OK(r);
+      EXPECT_EQ(stats.snapshot_quarantines, 0)
+          << "published snapshots must all be internally consistent";
+    }
+  }
+  for (const std::string& p : docs) std::remove(p.c_str());
+  std::system(("rm -rf " + snap_dir).c_str());
+}
+
 // ---- QueryService ----------------------------------------------------------
 
 TEST(QueryService, ServesMixedTrafficOverASharedDocument) {

@@ -4,6 +4,11 @@
 // the store-on/store-off ablation. The FaultMatrix suite at the bottom is
 // additionally swept by scripts/check.sh with XQC_IO_FAULT_MODE set to
 // each injector mode.
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -21,6 +26,8 @@
 #include "src/runtime/context.h"
 #include "src/store/document_store.h"
 #include "src/store/io_fault.h"
+#include "src/store/snapshot.h"
+#include "src/xml/serializer.h"
 #include "tests/test_util.h"
 
 namespace xqc {
@@ -54,6 +61,26 @@ TEST(NormalizeDocUriTest, LexicalRules) {
   EXPECT_EQ(NormalizeDocUri("/"), "/");
   // Anything with a scheme passes through untouched.
   EXPECT_EQ(NormalizeDocUri("http://host/a/../b"), "http://host/a/../b");
+}
+
+TEST(NormalizeDocUriTest, FileUrisMapToLocalPaths) {
+  // The percent-encoded aliasing bug: "file:///a%20b.xml" and "/a b.xml"
+  // name the same file and must share one cache entry.
+  EXPECT_EQ(NormalizeDocUri("file:///a%20b.xml"), "/a b.xml");
+  EXPECT_EQ(NormalizeDocUri("/a b.xml"), "/a b.xml");
+  // Empty and "localhost" authorities both mean "this host".
+  EXPECT_EQ(NormalizeDocUri("file://localhost/x.xml"), "/x.xml");
+  EXPECT_EQ(NormalizeDocUri("file:///x.xml"), "/x.xml");
+  // Decoded paths still get the lexical treatment.
+  EXPECT_EQ(NormalizeDocUri("file:///dir/../a.xml"), "/a.xml");
+  EXPECT_EQ(NormalizeDocUri("file:///a/./b//c.xml"), "/a/b/c.xml");
+  // Scheme-only relative form (RFC 8089 appendix) decodes too.
+  EXPECT_EQ(NormalizeDocUri("file:rel%2Dname.xml"), "rel-name.xml");
+  // A remote authority is not a local path: pass through untouched.
+  EXPECT_EQ(NormalizeDocUri("file://nfs-host/x.xml"), "file://nfs-host/x.xml");
+  // Malformed escapes are kept literally rather than dropped.
+  EXPECT_EQ(NormalizeDocUri("file:///a%zz.xml"), "/a%zz.xml");
+  EXPECT_EQ(NormalizeDocUri("file:///a%2"), "/a%2");
 }
 
 // ---------------------------------------------------------------------------
@@ -835,6 +862,11 @@ TEST_F(FaultMatrixTest, LoadsSurviveInjectedFaults) {
         }
         break;
       }
+      default:
+        // Snapshot-tier faults: inert without a snapshot_dir (the
+        // SnapshotFaultMatrix suite covers them with the tier enabled).
+        ASSERT_OK(r);
+        break;
     }
   }
   store.set_fault_injector(nullptr);
@@ -892,8 +924,578 @@ TEST_F(FaultMatrixTest, DeadlinedLoadsFailWithGuardCodesNotHangs) {
       // fail_n=0 means every attempt succeeds immediately.
       ASSERT_OK(r);
       break;
+    default:
+      // Snapshot-tier faults are inert without a snapshot_dir.
+      ASSERT_OK(r);
+      break;
   }
   store.set_fault_injector(nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Persistent snapshot tier (src/store/snapshot.h): write-on-first-parse,
+// cold-start reuse, corruption quarantine, crash artifacts, brownout from
+// disk, and the content-recheck staleness fix.
+// ---------------------------------------------------------------------------
+
+class SnapshotTest : public StoreTest {
+ protected:
+  void SetUp() override {
+    StoreTest::SetUp();
+    snap_dir_ = dir_ + "snaps";
+    std::system(("rm -rf " + snap_dir_).c_str());
+  }
+  void TearDown() override {
+    std::system(("rm -rf " + snap_dir_).c_str());
+    StoreTest::TearDown();
+  }
+
+  DocumentStoreOptions SnapOptions() {
+    DocumentStoreOptions o = FastOptions();
+    o.snapshot_dir = snap_dir_;
+    o.content_recheck_window_ms = 0;  // tested explicitly where relevant
+    return o;
+  }
+
+  /// Files in the snapshot dir whose name contains `needle`.
+  std::vector<std::string> SnapFiles(const std::string& needle) {
+    std::vector<std::string> out;
+    DIR* d = ::opendir(snap_dir_.c_str());
+    if (d == nullptr) return out;
+    while (struct dirent* e = ::readdir(d)) {
+      std::string name = e->d_name;
+      if (name.find(needle) != std::string::npos) out.push_back(name);
+    }
+    ::closedir(d);
+    return out;
+  }
+  std::vector<std::string> Published() {
+    std::vector<std::string> out;
+    for (const std::string& f : SnapFiles(".xqsnap")) {
+      if (f.size() >= 7 && f.compare(f.size() - 7, 7, ".xqsnap") == 0) {
+        out.push_back(f);
+      }
+    }
+    return out;
+  }
+
+  /// Flips one byte at `offset` from the end of the file (negative) or the
+  /// start (non-negative).
+  void CorruptSnapshotByte(int64_t offset) {
+    std::vector<std::string> snaps = Published();
+    ASSERT_EQ(snaps.size(), 1u);
+    std::string path = snap_dir_ + "/" + snaps[0];
+    std::FILE* f = std::fopen(path.c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, 0, SEEK_END);
+    long size = std::ftell(f);
+    long pos = offset >= 0 ? offset : size + offset;
+    std::fseek(f, pos, SEEK_SET);
+    int c = std::fgetc(f);
+    std::fseek(f, pos, SEEK_SET);
+    std::fputc(c ^ 0x01, f);
+    std::fclose(f);
+  }
+
+  std::string snap_dir_;
+};
+
+TEST_F(SnapshotTest, FirstParsePublishesSnapshotColdStoreReusesIt) {
+  std::string path = WriteDoc("snap.xml",
+                              "<site><a id='1'>x</a><a id='2'>y</a></site>");
+  std::string first_xml, second_xml;
+  {
+    DocumentStore store(SnapOptions());
+    DocStoreStats stats;
+    DocumentStore::LoadOptions opts;
+    opts.stats = &stats;
+    Result<NodePtr> r = store.Load(path, opts);
+    ASSERT_OK(r);
+    EXPECT_EQ(stats.snapshot_writes, 1);
+    EXPECT_GT(stats.snapshot_bytes_written, 0);
+    EXPECT_EQ(stats.snapshot_hits, 0);
+    first_xml = SerializeNode(*r.value());
+  }
+  ASSERT_EQ(Published().size(), 1u);
+  EXPECT_TRUE(SnapFiles(".tmp.").empty()) << "no temp artifacts may remain";
+
+  // A brand-new store (a "new process"): the tree comes back from the
+  // snapshot, not the parser, and serializes byte-identically.
+  DocumentStore cold(SnapOptions());
+  DocStoreStats stats;
+  bool built = false;
+  DocumentStore::LoadOptions opts;
+  opts.stats = &stats;
+  opts.performed_parse = &built;
+  Result<NodePtr> r = cold.Load(path, opts);
+  ASSERT_OK(r);
+  EXPECT_EQ(stats.snapshot_hits, 1);
+  EXPECT_EQ(stats.snapshot_writes, 0) << "a valid snapshot is not rewritten";
+  EXPECT_GT(stats.snapshot_bytes_read, 0);
+  EXPECT_TRUE(built);
+  second_xml = SerializeNode(*r.value());
+  EXPECT_EQ(first_xml, second_xml);
+}
+
+TEST_F(SnapshotTest, SnapshotTreesAnswerQueriesIdenticallyToReparse) {
+  std::string path =
+      WriteDoc("snapq.xml",
+               "<site><region><item id='i1'><name>a</name></item>"
+               "<item id='i2'><name>b</name></item></region>"
+               "<people><person><name>p</name></person></people></site>");
+  // Descendant steps + attributes + document order: exercises the restored
+  // pre/post intervals and the lazily built DocumentIndex on the rebuilt
+  // tree.
+  const std::string query = "for $i in doc(\"" + path +
+                            "\")//item order by string($i/@id) descending "
+                            "return concat($i/@id, ':', $i/name)";
+
+  DocumentStore store(SnapOptions());
+  DynamicContext ctx;
+  ctx.set_document_store(&store);
+  Engine engine;
+  Result<std::string> parsed_run = engine.Execute(query, &ctx);
+  ASSERT_OK(parsed_run);
+
+  // Cold memory, warm disk: the same query over the snapshot-rebuilt tree.
+  store.DropMemoryCache();
+  Result<std::string> snap_run = engine.Execute(query, &ctx);
+  ASSERT_OK(snap_run);
+  EXPECT_EQ(parsed_run.value(), snap_run.value());
+  EXPECT_EQ(store.counters().totals.snapshot_hits, 1);
+
+  // Oracle ablation: --no-snapshots must also be byte-identical.
+  store.DropMemoryCache();
+  EngineOptions no_snaps;
+  no_snaps.use_snapshots = false;
+  Result<std::string> ablation_run = Engine(no_snaps).Execute(query, &ctx);
+  ASSERT_OK(ablation_run);
+  EXPECT_EQ(parsed_run.value(), ablation_run.value());
+  EXPECT_EQ(store.counters().totals.snapshot_hits, 1)
+      << "--no-snapshots must not touch the snapshot tier";
+}
+
+TEST_F(SnapshotTest, TruncatedSnapshotIsQuarantinedAndReparsed) {
+  std::string path = WriteDoc("trunc.xml", "<r><a/><b/><c/></r>");
+  DocumentStore store(SnapOptions());
+  ASSERT_OK(store.Load(path));
+  ASSERT_EQ(Published().size(), 1u);
+
+  // Simulate a torn publish / post-publish truncation: chop the footer.
+  std::string snap = snap_dir_ + "/" + Published()[0];
+  struct stat sb;
+  ASSERT_EQ(::stat(snap.c_str(), &sb), 0);
+  ASSERT_EQ(::truncate(snap.c_str(), sb.st_size - 9), 0);
+
+  store.DropMemoryCache();
+  DocStoreStats stats;
+  DocumentStore::LoadOptions opts;
+  opts.stats = &stats;
+  Result<NodePtr> r = store.Load(path, opts);
+  // A bad snapshot must never fail the query.
+  ASSERT_OK(r);
+  EXPECT_EQ(stats.snapshot_hits, 0);
+  EXPECT_EQ(stats.snapshot_quarantines, 1);
+  EXPECT_EQ(stats.snapshot_writes, 1) << "a fresh snapshot is republished";
+  EXPECT_EQ(SnapFiles(".corrupt").size(), 1u);
+  ASSERT_EQ(Published().size(), 1u);
+
+  // The republished snapshot is valid again.
+  store.DropMemoryCache();
+  DocStoreStats stats2;
+  opts.stats = &stats2;
+  ASSERT_OK(store.Load(path, opts));
+  EXPECT_EQ(stats2.snapshot_hits, 1);
+}
+
+TEST_F(SnapshotTest, BitRotAnywhereIsCaughtByChecksums) {
+  std::string path = WriteDoc("rot.xml", "<r><a x='1'>text</a><b/></r>");
+  {
+    DocumentStore store(SnapOptions());
+    ASSERT_OK(store.Load(path));
+  }
+  // Flip a byte in the middle of the file (node records / values).
+  CorruptSnapshotByte(-40);
+
+  DocumentStore store(SnapOptions());
+  DocStoreStats stats;
+  DocumentStore::LoadOptions opts;
+  opts.stats = &stats;
+  ASSERT_OK(store.Load(path, opts));
+  EXPECT_EQ(stats.snapshot_quarantines, 1);
+  EXPECT_EQ(stats.snapshot_hits, 0);
+  EXPECT_EQ(SnapFiles(".corrupt").size(), 1u);
+}
+
+TEST_F(SnapshotTest, VersionSkewIsQuarantinedNotTrusted) {
+  std::string path = WriteDoc("skew.xml", "<r/>");
+  {
+    DocumentStore store(SnapOptions());
+    ASSERT_OK(store.Load(path));
+  }
+  // Patch the format version field (offset 8, u32) to a future version.
+  CorruptSnapshotByte(8);
+
+  DocumentStore store(SnapOptions());
+  DocStoreStats stats;
+  DocumentStore::LoadOptions opts;
+  opts.stats = &stats;
+  ASSERT_OK(store.Load(path, opts));
+  EXPECT_EQ(stats.snapshot_quarantines, 1);
+  EXPECT_EQ(SnapFiles(".corrupt").size(), 1u);
+  // The rewrite brought the snapshot back to the current version.
+  store.DropMemoryCache();
+  DocStoreStats stats2;
+  opts.stats = &stats2;
+  ASSERT_OK(store.Load(path, opts));
+  EXPECT_EQ(stats2.snapshot_hits, 1);
+}
+
+TEST_F(SnapshotTest, ChangedSourceContentMakesSnapshotStale) {
+  std::string path = WriteDoc("stale_snap.xml", "<r>v1</r>");
+  {
+    DocumentStore store(SnapOptions());
+    ASSERT_OK(store.Load(path));
+  }
+  WriteDoc("stale_snap.xml", "<r>version two</r>");
+
+  DocumentStore store(SnapOptions());
+  DocStoreStats stats;
+  DocumentStore::LoadOptions opts;
+  opts.stats = &stats;
+  Result<NodePtr> r = store.Load(path, opts);
+  ASSERT_OK(r);
+  EXPECT_EQ(stats.snapshot_hits, 0);
+  EXPECT_EQ(stats.snapshot_stale, 1);
+  EXPECT_EQ(stats.snapshot_quarantines, 1);
+  EXPECT_EQ(stats.snapshot_writes, 1);
+  EXPECT_EQ(r.value()->StringValue(), "version two");
+
+  // The fresh snapshot matches the new content.
+  store.DropMemoryCache();
+  DocStoreStats stats2;
+  opts.stats = &stats2;
+  ASSERT_OK(store.Load(path, opts));
+  EXPECT_EQ(stats2.snapshot_hits, 1);
+}
+
+TEST_F(SnapshotTest, WriteFaultsNeverAffectTheLoad) {
+  for (IoFaultMode mode :
+       {IoFaultMode::kSnapshotShortWrite, IoFaultMode::kSnapshotFsyncError,
+        IoFaultMode::kSnapshotRenameError}) {
+    SCOPED_TRACE(static_cast<int>(mode));
+    std::system(("rm -rf " + snap_dir_).c_str());
+    DocumentStore store(SnapOptions());
+    std::string path = WriteDoc("wfault.xml", "<r><a/></r>");
+
+    IoFaultInjector fault;
+    fault.mode = mode;
+    store.set_fault_injector(&fault);
+    DocStoreStats stats;
+    DocumentStore::LoadOptions opts;
+    opts.stats = &stats;
+    Result<NodePtr> r = store.Load(path, opts);
+    // A failed snapshot publish must never fail the query.
+    ASSERT_OK(r);
+    EXPECT_EQ(stats.snapshot_write_failures, 1);
+    EXPECT_EQ(stats.snapshot_writes, 0);
+    EXPECT_TRUE(Published().empty()) << "no partial file may be published";
+    EXPECT_TRUE(SnapFiles(".tmp.").empty()) << "temp files are cleaned up";
+    EXPECT_GE(fault.snapshot_ops.load(), 1);
+    store.set_fault_injector(nullptr);
+
+    // With the device healthy again the next cold load publishes fine.
+    store.DropMemoryCache();
+    DocStoreStats stats2;
+    opts.stats = &stats2;
+    ASSERT_OK(store.Load(path, opts));
+    EXPECT_EQ(stats2.snapshot_writes, 1);
+  }
+}
+
+TEST_F(SnapshotTest, InjectedReadBitFlipQuarantinesAndRecovers) {
+  DocumentStore store(SnapOptions());
+  std::string path = WriteDoc("rflip.xml", "<r><a/><b/></r>");
+  ASSERT_OK(store.Load(path));  // publishes a good snapshot
+
+  IoFaultInjector fault;
+  fault.mode = IoFaultMode::kSnapshotBitFlip;
+  store.set_fault_injector(&fault);
+  store.DropMemoryCache();
+  DocStoreStats stats;
+  DocumentStore::LoadOptions opts;
+  opts.stats = &stats;
+  Result<NodePtr> r = store.Load(path, opts);
+  ASSERT_OK(r);
+  EXPECT_EQ(stats.snapshot_quarantines, 1);
+  EXPECT_EQ(stats.snapshot_hits, 0);
+  store.set_fault_injector(nullptr);
+
+  // Rot stopped: the republished snapshot reads back clean.
+  store.DropMemoryCache();
+  DocStoreStats stats2;
+  opts.stats = &stats2;
+  ASSERT_OK(store.Load(path, opts));
+  EXPECT_EQ(stats2.snapshot_hits, 1);
+}
+
+TEST_F(SnapshotTest, InvalidateRemovesSnapshotArtifacts) {
+  DocumentStore store(SnapOptions());
+  std::string path = WriteDoc("snapinval.xml", "<r/>");
+  ASSERT_OK(store.Load(path));
+  ASSERT_EQ(Published().size(), 1u);
+
+  EXPECT_TRUE(store.Invalidate(path));
+  EXPECT_TRUE(Published().empty()) << "Invalidate extends to the disk tier";
+
+  // The next load is a true cold parse that republishes.
+  DocStoreStats stats;
+  DocumentStore::LoadOptions opts;
+  opts.stats = &stats;
+  ASSERT_OK(store.Load(path, opts));
+  EXPECT_EQ(stats.snapshot_hits, 0);
+  EXPECT_EQ(stats.snapshot_writes, 1);
+}
+
+TEST_F(SnapshotTest, OrphanedTempFilesAreSweptOnConfiguration) {
+  ::mkdir(snap_dir_.c_str(), 0755);
+  // A crash mid-write leaves a temp sibling that no rename will claim.
+  std::string orphan = snap_dir_ + "/0123-doc.xqsnap.tmp.9999.0";
+  {
+    std::ofstream out(orphan);
+    out << "partial bytes";
+  }
+  std::string keeper = snap_dir_ + "/0123-doc.xqsnap";
+  {
+    std::ofstream out(keeper);
+    out << "published";
+  }
+  DocumentStore store(SnapOptions());  // configuration sweeps orphans
+  struct stat sb;
+  EXPECT_NE(::stat(orphan.c_str(), &sb), 0) << "orphan must be removed";
+  EXPECT_EQ(::stat(keeper.c_str(), &sb), 0) << "published file untouched";
+}
+
+TEST_F(SnapshotTest, GuardTripDuringRebuildIsNotQuarantined) {
+  std::string doc = "<r>";
+  for (int i = 0; i < 200; ++i) doc += "<item attr='v'>text</item>";
+  doc += "</r>";
+  std::string path = WriteDoc("snapguard.xml", doc);
+  {
+    DocumentStore store(SnapOptions());
+    ASSERT_OK(store.Load(path));
+  }
+
+  DocumentStore store(SnapOptions());
+  GuardLimits limits;
+  limits.max_memory_bytes = 256;  // trips inside the snapshot rebuild
+  QueryGuard tight(limits);
+  DocStoreStats stats;
+  DocumentStore::LoadOptions opts;
+  opts.guard = &tight;
+  opts.stats = &stats;
+  Result<NodePtr> r = store.Load(path, opts);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().kind(), StatusKind::kResourceExhausted);
+  EXPECT_EQ(stats.snapshot_quarantines, 0)
+      << "the snapshot is fine; the caller's budget is not";
+  ASSERT_EQ(Published().size(), 1u);
+
+  // An unlimited caller immediately rebuilds from the same snapshot.
+  DocStoreStats stats2;
+  DocumentStore::LoadOptions unlimited;
+  unlimited.stats = &stats2;
+  ASSERT_OK(store.Load(path, unlimited));
+  EXPECT_EQ(stats2.snapshot_hits, 1);
+}
+
+TEST_F(SnapshotTest, BrownoutServesSnapshotWhenMemoryIsCold) {
+  DocumentStoreOptions options = SnapOptions();
+  options.max_retries = 0;
+  options.breaker_threshold = 1;
+  options.breaker_cooldown_ms = 60 * 1000;
+  options.brownout = true;
+  DocumentStore store(options);
+  std::string path = WriteDoc("dbrown.xml", "<r><kept/></r>");
+  ASSERT_OK(store.Load(path));  // publishes the snapshot
+
+  // Cold memory + sick device: open the breaker.
+  store.DropMemoryCache();
+  IoFaultInjector fault;
+  fault.mode = IoFaultMode::kFailOpen;
+  fault.transient = true;
+  fault.fail_n = 0;
+  store.set_fault_injector(&fault);
+  EXPECT_EQ(store.Load(path).status().code(), kStoreRetriesExhaustedCode);
+
+  // Breaker open, nothing in memory — but the disk tier still has a valid
+  // snapshot: brownout serves it instead of failing XQC0011.
+  DocStoreStats stats;
+  DocumentStore::LoadOptions opts;
+  opts.stats = &stats;
+  Result<NodePtr> r = store.Load(path, opts);
+  ASSERT_OK(r);
+  EXPECT_EQ(stats.snapshot_brownout_serves, 1);
+  EXPECT_EQ(stats.breaker_fast_fails, 0);
+  ASSERT_FALSE(r.value()->children.empty());
+  EXPECT_EQ(r.value()->children[0]->children[0]->name.str(), "kept");
+
+  // Without brownout the same state is a fast XQC0011.
+  store.set_brownout(false);
+  Result<NodePtr> hard = store.Load(path, opts);
+  ASSERT_FALSE(hard.ok());
+  EXPECT_EQ(hard.status().code(), kStoreBreakerOpenCode);
+  EXPECT_EQ(stats.breaker_fast_fails, 1);
+  store.set_fault_injector(nullptr);
+}
+
+TEST_F(SnapshotTest, ContentRecheckCatchesSameSecondRewrite) {
+  DocumentStoreOptions options = SnapOptions();
+  options.content_recheck_window_ms = 60 * 1000;  // every hit rechecks
+  DocumentStore store(options);
+  std::string path = WriteDoc("samesec.xml", "<r>A</r>");
+
+  Result<NodePtr> v1 = store.Load(path);
+  ASSERT_OK(v1);
+  struct stat before;
+  ASSERT_EQ(::stat(path.c_str(), &before), 0);
+
+  // Same-size rewrite, then forge the mtime back: the (inode, size, mtime)
+  // fingerprint is now a lie only the content hash can expose.
+  WriteDoc("samesec.xml", "<r>B</r>");
+  struct timespec times[2] = {before.st_atim, before.st_mtim};
+  ASSERT_EQ(::utimensat(AT_FDCWD, path.c_str(), times, 0), 0);
+  struct stat after;
+  ASSERT_EQ(::stat(path.c_str(), &after), 0);
+  ASSERT_EQ(before.st_mtim.tv_nsec, after.st_mtim.tv_nsec)
+      << "test setup: the forged fingerprint must match";
+
+  DocStoreStats stats;
+  DocumentStore::LoadOptions opts;
+  opts.stats = &stats;
+  Result<NodePtr> v2 = store.Load(path, opts);
+  ASSERT_OK(v2);
+  EXPECT_GE(stats.content_rechecks, 1);
+  EXPECT_EQ(stats.stale_reloads, 1);
+  EXPECT_EQ(v2.value()->StringValue(), "B") << "the rewrite must be seen";
+
+  // Control: with rechecks disabled the forged fingerprint serves stale.
+  DocumentStore naive(SnapOptions());  // window = 0
+  std::string path2 = WriteDoc("samesec2.xml", "<r>A</r>");
+  ASSERT_OK(naive.Load(path2));
+  struct stat b2;
+  ASSERT_EQ(::stat(path2.c_str(), &b2), 0);
+  WriteDoc("samesec2.xml", "<r>B</r>");
+  struct timespec t2[2] = {b2.st_atim, b2.st_mtim};
+  ASSERT_EQ(::utimensat(AT_FDCWD, path2.c_str(), t2, 0), 0);
+  Result<NodePtr> stale = naive.Load(path2);
+  ASSERT_OK(stale);
+  EXPECT_EQ(stale.value()->StringValue(), "A")
+      << "control: without rechecks the stale tree is served";
+}
+
+TEST_F(SnapshotTest, FileUriAndPlainPathShareEntryAndSnapshot) {
+  std::string path = WriteDoc("uri doc.xml", "<r/>");  // space on purpose
+  DocumentStore store(SnapOptions());
+  ASSERT_OK(store.Load(path));
+
+  // file: spelling with the space percent-encoded: same entry, no reparse.
+  std::string encoded = path;
+  size_t sp = encoded.find(' ');
+  ASSERT_NE(sp, std::string::npos);
+  encoded.replace(sp, 1, "%20");
+  DocStoreStats stats;
+  DocumentStore::LoadOptions opts;
+  opts.stats = &stats;
+  ASSERT_OK(store.Load("file://" + encoded, opts));
+  EXPECT_EQ(stats.hits, 1);
+  EXPECT_EQ(stats.misses, 0);
+  EXPECT_EQ(store.counters().entries, 1);
+  EXPECT_EQ(Published().size(), 1u) << "one snapshot for both spellings";
+}
+
+// ---------------------------------------------------------------------------
+// SnapshotFaultMatrix: swept by scripts/check.sh over XQC_SNAP_FAULT_MODE.
+// Under every injected snapshot fault a load must return the correct
+// document; write faults may only cost the publish, read faults may only
+// cost a quarantine + reparse.
+// ---------------------------------------------------------------------------
+
+class SnapshotFaultMatrixTest : public SnapshotTest {
+ protected:
+  static IoFaultMode ModeFromEnv() {
+    const char* name = std::getenv("XQC_SNAP_FAULT_MODE");
+    IoFaultMode mode = IoFaultMode::kNone;
+    if (name != nullptr) {
+      EXPECT_TRUE(IoFaultModeFromName(name, &mode))
+          << "unknown XQC_SNAP_FAULT_MODE '" << name << "'";
+    }
+    return mode;
+  }
+};
+
+TEST_F(SnapshotFaultMatrixTest, LoadsSurviveInjectedSnapshotFaults) {
+  DocumentStore store(SnapOptions());
+  std::string path = WriteDoc("snapmatrix.xml", "<r><a/><b>t</b></r>");
+  const std::string want = "t";
+
+  IoFaultInjector fault;
+  fault.mode = ModeFromEnv();
+  fault.delay_ms = 5;  // slow-write: keep the publish window short
+  store.set_fault_injector(&fault);
+
+  DocStoreStats stats;
+  for (int round = 0; round < 3; ++round) {
+    store.DropMemoryCache();
+    DocumentStore::LoadOptions opts;
+    opts.stats = &stats;
+    Result<NodePtr> r = store.Load(path, opts);
+    SCOPED_TRACE(round);
+    ASSERT_OK(r);
+    EXPECT_EQ(r.value()->StringValue(), want);
+  }
+  store.set_fault_injector(nullptr);
+
+  switch (fault.mode) {
+    case IoFaultMode::kNone:
+    case IoFaultMode::kSnapshotSlowWrite:
+      // Round 1 publishes (slowly, perhaps); rounds 2-3 reuse it.
+      EXPECT_EQ(stats.snapshot_writes, 1);
+      EXPECT_EQ(stats.snapshot_hits, 2);
+      EXPECT_EQ(stats.snapshot_quarantines, 0);
+      break;
+    case IoFaultMode::kSnapshotShortWrite:
+    case IoFaultMode::kSnapshotFsyncError:
+    case IoFaultMode::kSnapshotRenameError:
+      // Every publish fails; every round parses; nothing is published.
+      EXPECT_EQ(stats.snapshot_writes, 0);
+      EXPECT_EQ(stats.snapshot_write_failures, 3);
+      EXPECT_EQ(stats.snapshot_hits, 0);
+      EXPECT_TRUE(Published().empty());
+      EXPECT_TRUE(SnapFiles(".tmp.").empty());
+      break;
+    case IoFaultMode::kSnapshotBitFlip:
+      // Round 1 publishes; rounds 2-3 read rotted bytes, quarantine, and
+      // reparse + republish each time.
+      EXPECT_EQ(stats.snapshot_hits, 0);
+      EXPECT_EQ(stats.snapshot_quarantines, 2);
+      EXPECT_EQ(stats.snapshot_writes, 3);
+      break;
+    default:
+      // Source-read faults are the FaultMatrix suite's business; here they
+      // would interfere with the load itself, so the sweep doesn't use
+      // them. Nothing to assert.
+      break;
+  }
+
+  // Whatever the fault did, a clean device serves a clean snapshot cycle.
+  store.DropMemoryCache();
+  store.Invalidate(path);
+  DocStoreStats clean;
+  DocumentStore::LoadOptions opts;
+  opts.stats = &clean;
+  ASSERT_OK(store.Load(path, opts));
+  EXPECT_EQ(clean.snapshot_writes, 1);
 }
 
 }  // namespace
