@@ -16,6 +16,12 @@
 //   --exec stream|mat    iterator vs materializing execution (default stream)
 //   --batch-size <n>     tuples per streaming batch (default 1024;
 //                        1 = tuple-at-a-time oracle)
+//   --parallelism <n>    partition eligible fn:collection scans across up
+//                        to n concurrent workers (default 1 = the serial,
+//                        byte-identical oracle)
+//   --strict-collections fail the whole fn:collection scan on any bad
+//                        member document (default: skip quarantined /
+//                        malformed / vanished members)
 //   --project            statically project bound documents (TreeProject)
 //   --force-sort         always sort TreeJoin output (DDO-elision baseline)
 //   --no-doc-index       disable per-document structural indexes
@@ -136,6 +142,8 @@ int main(int argc, char** argv) {
       options.use_doc_index = false;
     } else if (arg == "--no-doc-store") {
       options.use_doc_store = false;
+    } else if (arg == "--strict-collections") {
+      options.strict_collections = true;
     } else if (arg == "--invalidate") {
       const char* v = next();
       if (v == nullptr) return Fail("--invalidate needs a URI");
@@ -171,7 +179,8 @@ int main(int argc, char** argv) {
                arg == "--timeout-ms" || arg == "--max-mem-mb" ||
                arg == "--max-output-items" || arg == "--max-steps" ||
                arg == "--doc-store-mb" || arg == "--batch-size" ||
-               arg == "--tenant-quota" || arg == "--breaker-threshold") {
+               arg == "--tenant-quota" || arg == "--breaker-threshold" ||
+               arg == "--parallelism") {
       const char* v = next();
       if (v == nullptr) return Fail(arg + " needs a number");
       char* end = nullptr;
@@ -187,6 +196,8 @@ int main(int argc, char** argv) {
       else if (arg == "--doc-store-mb")
         xqc::DocumentStore::Global()->set_max_bytes(n * (1 << 20));
       else if (arg == "--batch-size") options.batch_size = static_cast<int>(n);
+      else if (arg == "--parallelism")
+        options.parallelism = static_cast<int>(n);
       else if (arg == "--threads") threads = static_cast<int>(n);
       else if (arg == "--tenant-quota") tenant_quota = n;
       else if (arg == "--breaker-threshold")
@@ -367,6 +378,15 @@ int main(int argc, char** argv) {
               << "guard: checks=" << es.guard_checks
               << " steps=" << es.guard_steps
               << " peak-memory-bytes=" << es.peak_memory_bytes << "\n"
+              << "parallel: partitions=" << es.parallel_partitions
+              << " range-splits=" << es.parallel_range_splits
+              << " steals=" << es.parallel_steals
+              << " merges=" << es.parallel_merges
+              << " fallbacks=" << es.parallel_fallbacks << "\n"
+              << "collections: resolved=" << es.doc_store.collections_resolved
+              << " members=" << es.doc_store.collection_members
+              << " skipped=" << es.doc_store.collection_members_skipped
+              << " reorders=" << es.doc_store.collection_reorders << "\n"
               << "doc-store: hits=" << es.doc_store.hits
               << " misses=" << es.doc_store.misses
               << " evictions=" << es.doc_store.evictions

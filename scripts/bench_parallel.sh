@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Runs the intra-query parallelism benchmarks (bench/bench_parallel.cc)
+# and writes the results to BENCH_parallel.json at the repo root. Each
+# fn:collection scan is swept over --parallelism {1, 2, 4, 8};
+# parallelism=1 is the serial oracle and every timed configuration is
+# byte-verified against it before the clock starts.
+#
+# NOTE: on a single-core host the expected curve is FLAT (parallelism
+# cannot beat the core count); the acceptance criterion there is graceful
+# degradation — no slowdown cliff and no divergence from the oracle.
+#
+# Usage: scripts/bench_parallel.sh [extra benchmark flags...]
+#   XQC_SCALE=<float>  scales corpus document sizes (see bench/bench_util.h)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+JOBS=$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)
+
+cmake -B build -S . >/dev/null
+cmake --build build -j "$JOBS" --target bench_parallel
+
+./build/bench/bench_parallel \
+  --benchmark_out=BENCH_parallel.json \
+  --benchmark_out_format=json \
+  --benchmark_repetitions="${XQC_BENCH_REPS:-1}" \
+  "$@"
+
+echo "wrote BENCH_parallel.json"

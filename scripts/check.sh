@@ -41,10 +41,28 @@ if [[ "${1:-}" != "--sanitize-only" ]]; then
   XQC_SCALE="${XQC_BENCH_SMOKE_SCALE:-0.1}" ./build/bench/bench_batch \
     --benchmark_min_time=0.01 >/dev/null
 
+  echo "=== intra-query parallelism parity sweep + bench_parallel smoke ==="
+  # The fn:collection partition/merge path: byte-parity across parallelism
+  # levels (corpus, XMark-style, eviction-scrambled caches, generated
+  # property queries), guard trip-code parity on split budgets, and the
+  # shared-TaskPool stress, then a short pass over the parallelism
+  # benchmarks (which self-verify every configuration against the serial
+  # oracle before timing).
+  ./build/tests/parallel_test --gtest_brief=1
+  ./build/tests/property_test --gtest_filter='*ParallelismLevelsAgree*' \
+    --gtest_brief=1
+  ./build/tests/guard_test --gtest_filter='ParallelGuard*' --gtest_brief=1
+  ./build/tests/concurrency_test \
+    --gtest_filter='*SharedTaskPool*:*PartitionedRequests*' --gtest_brief=1
+  XQC_SCALE="${XQC_BENCH_SMOKE_SCALE:-0.1}" ./build/bench/bench_parallel \
+    --benchmark_min_time=0.01 >/dev/null
+
   echo "=== document-store fault matrix (IoFaultInjector modes) ==="
   # The FaultMatrix suite asserts mode-specific outcomes (recovery within
   # the retry budget, quarantine on truncation, deadline cuts) under each
-  # injected I/O fault; sweep every mode the injector supports.
+  # injected I/O fault — including whole fn:collection scans (lenient
+  # skip-and-shrink vs strict propagation, serial and partitioned); sweep
+  # every mode the injector supports.
   for mode in none fail-open short-read slow-read flaky; do
     echo "--- XQC_IO_FAULT_MODE=$mode ---"
     XQC_IO_FAULT_MODE="$mode" ./build/tests/store_test \
@@ -101,17 +119,18 @@ echo "=== thread-sanitized build + tests (build-tsan/) ==="
 # that exercise real parallelism (concurrency_test, service_test's tenant
 # queue/shedding bookkeeping, the concurrent property oracle, the
 # DocumentStore singleflight/eviction/quarantine/breaker stress in
-# store_test) plus the guard and streaming suites whose machinery
+# store_test, the partitioned fn:collection execution + shared TaskPool in
+# parallel_test) plus the guard and streaming suites whose machinery
 # (cancellation tokens, ScopedGuard, ResultStream) the threaded paths
 # lean on.
 cmake -B build-tsan -S . -DXQC_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "$JOBS" --target \
   concurrency_test service_test property_test guard_test streaming_test \
-  store_test
+  store_test parallel_test
 (
   ulimit -s 262144 2>/dev/null || echo "warning: could not raise stack limit"
   cd build-tsan && ctest --output-on-failure -j "$JOBS" \
-    -R 'concurrency_test|service_test|property_test|guard_test|streaming_test|store_test'
+    -R 'concurrency_test|service_test|property_test|guard_test|streaming_test|store_test|parallel_test'
 )
 
 echo "=== all checks passed ==="

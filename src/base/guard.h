@@ -103,11 +103,24 @@ class CancellationToken {
     return t;
   }
 
+  /// Creates a live token that additionally observes `parent`: it reads as
+  /// cancelled when either its own RequestCancel ran or the parent token
+  /// was cancelled, while its own RequestCancel never touches the parent.
+  /// Used by partitioned execution — the per-query abort token must fire
+  /// when the caller cancels the whole query, but a partition error must
+  /// only cancel the sibling partitions, never the caller's token.
+  static CancellationToken MakeLinked(const CancellationToken& parent) {
+    CancellationToken t = Make();
+    t.parent_ = parent.flag_;
+    return t;
+  }
+
   void RequestCancel() const {
     if (flag_ != nullptr) flag_->store(true, std::memory_order_relaxed);
   }
   bool cancelled() const {
-    return flag_ != nullptr && flag_->load(std::memory_order_relaxed);
+    return (flag_ != nullptr && flag_->load(std::memory_order_relaxed)) ||
+           (parent_ != nullptr && parent_->load(std::memory_order_relaxed));
   }
   /// Whether this token was created by Make() (false for the inert
   /// default-constructed token, whose RequestCancel does nothing).
@@ -115,6 +128,7 @@ class CancellationToken {
 
  private:
   std::shared_ptr<std::atomic<bool>> flag_;
+  std::shared_ptr<std::atomic<bool>> parent_;
 };
 
 /// Deterministic failure injection for tests: trip the Nth slow-path guard
@@ -207,6 +221,10 @@ class QueryGuard {
   }
 
   const GuardLimits& limits() const { return limits_; }
+  /// The token this guard watches. Partitioned execution links its
+  /// per-query abort token to this, so worker guards observe the caller's
+  /// cancellation even while every thread is busy inside a partition.
+  const CancellationToken& cancel_token() const { return cancel_; }
   /// Slow-path checks performed (ExecStats::guard_checks).
   int64_t checks() const { return checks_; }
   /// Total accounted bytes (ExecStats::peak_memory_bytes).

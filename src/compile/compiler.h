@@ -11,6 +11,7 @@
 #define XQC_COMPILE_COMPILER_H_
 
 #include <optional>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -28,12 +29,31 @@ struct CompiledFunction {
   OpPtr plan;
 };
 
+/// Result of the conservative intra-query parallelism eligibility pass
+/// (src/opt/parallel_infer.h). Filled by AnalyzeParallel after the DDO
+/// annotation pass; consumed by the parallel executor
+/// (src/runtime/parallel.h). The Op pointers alias nodes owned by `plan`.
+struct ParallelPlanInfo {
+  /// Whether the plan can be partitioned by collection member document.
+  bool eligible = false;
+  /// The Call[fn:collection] op whose result the executor partitions.
+  const Op* source = nullptr;
+  /// The single TreeJoin over the source when intra-document pre-order
+  /// range splitting is additionally sound, else nullptr (doc-granular
+  /// partitions only).
+  const Op* range_split = nullptr;
+  /// Human-readable reason when ineligible (for --explain / tests).
+  std::string reason;
+};
+
 /// A fully compiled query module.
 struct CompiledQuery {
   OpPtr plan;
   /// Prolog variables in declaration order; a null plan means `external`.
   std::vector<std::pair<Symbol, OpPtr>> globals;
   std::unordered_map<Symbol, CompiledFunction> functions;
+  /// Intra-query parallelism eligibility (AnalyzeParallel).
+  ParallelPlanInfo parallel;
 };
 
 /// Compiles a normalized Core query module.

@@ -1,6 +1,8 @@
 #include "src/engine/engine.h"
 
 #include "src/opt/ddo_infer.h"
+#include "src/opt/parallel_infer.h"
+#include "src/runtime/parallel.h"
 #include "src/xml/serializer.h"
 #include "src/xquery/normalize.h"
 #include "src/xquery/parser.h"
@@ -34,7 +36,7 @@ Result<Sequence> PreparedQuery::Execute(
   // ExecuteStream fallback below) charges the outermost query's budget.
   QueryGuard local(limits, std::move(cancel), injector);
   ScopedGuard scope(ctx, &local, options_.use_doc_store,
-                    options_.use_snapshots);
+                    options_.use_snapshots, options_.strict_collections);
   QueryGuard* guard = ctx->guard();
   // Stats are accumulated in a local and published once at the end, so
   // concurrent Execute calls on a shared PreparedQuery never race on the
@@ -45,15 +47,28 @@ Result<Sequence> PreparedQuery::Execute(
       Interpreter interp(core_.get(), ctx);
       return interp.Run();
     }
+    if (options_.parallelism > 1) {
+      Result<Sequence> par{Sequence{}};
+      if (TryExecuteParallel(*compiled_, ctx, ToExecOptions(options_),
+                             options_.parallelism, &stats, &par)) {
+        return par;
+      }
+      // Statically ineligible: run the normal serial path below.
+      stats.parallel_fallbacks = 1;
+    }
     PlanEvaluator eval(compiled_.get(), ctx, ToExecOptions(options_));
     Result<Sequence> inner = eval.Run();
+    int64_t fallbacks = stats.parallel_fallbacks;
     stats = eval.stats();
+    stats.parallel_fallbacks = fallbacks;
     return inner;
   }();
   stats.guard_checks = guard->checks();
   stats.guard_steps = guard->steps();
   stats.peak_memory_bytes = guard->peak_memory_bytes();
-  stats.doc_store = ctx->doc_store_stats();
+  // Add (not assign): the parallel path pre-merges partition workers'
+  // store counters; the context holds the driver-side ones.
+  stats.doc_store.Add(ctx->doc_store_stats());
   {
     std::lock_guard<std::mutex> lock(exec_stats_->mu);
     exec_stats_->stats = stats;
@@ -71,7 +86,8 @@ struct ResultStream::Impl {
        const EngineOptions& options)
       : query(std::move(q)),
         guard(options.limits, options.cancel, options.fault_injector),
-        scope(ctx, &guard, options.use_doc_store, options.use_snapshots),
+        scope(ctx, &guard, options.use_doc_store, options.use_snapshots,
+              options.strict_collections),
         active(ctx->guard()),
         context(ctx),
         eval(query.get(), ctx, ToExecOptions(options)) {}
@@ -220,6 +236,10 @@ Result<PreparedQuery> Engine::Prepare(const std::string& query_text,
   // reaches execution); force_sort is honored at runtime, so annotating is
   // harmless there too.
   AnnotateDdoQuery(&opt);
+  // Intra-query parallelism eligibility (consumed when EngineOptions::
+  // parallelism > 1; the stored Op pointers survive the move below because
+  // plans are held by shared_ptr).
+  AnalyzeParallel(&opt);
   out.compiled_ = std::make_shared<CompiledQuery>(std::move(opt));
   return out;
 }

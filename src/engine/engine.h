@@ -79,6 +79,21 @@ struct EngineOptions {
   /// Values < 1 are treated as 1. Ignored by ExecMode::kMaterialize and
   /// the interpreter.
   int batch_size = 1024;
+  /// Maximum concurrent partitions for intra-query parallelism
+  /// (xqc_shell --parallelism). 1 (default) = strictly serial, the
+  /// byte-identical oracle. With N > 1, plans whose leading scan is
+  /// fn:collection over a pointwise pipeline (src/opt/parallel_infer.h)
+  /// are partitioned by member document — large single documents
+  /// additionally by pre-order ranges — and recombined with a doc-order-
+  /// preserving ordinal merge (src/runtime/parallel.h). Output is
+  /// byte-identical to the serial run at every N; ineligible plans run
+  /// serially (ExecStats::parallel_fallbacks). Values < 1 are treated
+  /// as 1.
+  int parallelism = 1;
+  /// Strict fn:collection mode: any member document failure fails the
+  /// whole collection scan. Default (lenient) skips quarantined /
+  /// malformed / vanished members (see DynamicContext::ResolveCollection).
+  bool strict_collections = false;
   /// Resource limits enforced during Execute / ExecuteStream (0 fields are
   /// unlimited). Trips surface as Status::ResourceExhausted with the
   /// XQC00xx codes in src/base/guard.h.

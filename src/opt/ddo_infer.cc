@@ -159,6 +159,14 @@ class Annotator {
           // fn:root/fn:exactly-one/fn:zero-or-one select from their input.
           return p;
         }
+        if (op->name == Symbol("fn:collection")) {
+          // Member roots come back in ordinal order, and ResolveCollection
+          // guarantees ordinal-increasing interval blocks, so the sequence
+          // is already in document order: disjoint same-depth roots, sorted.
+          DdoProps p = AllTrue();
+          p.singleton = false;
+          return p;
+        }
         if (op->name == Symbol("fs:distinct-docorder")) {
           DdoProps p = in.empty() ? Bottom() : in[0];
           p.ddo = true;  // that is the function's whole contract

@@ -1,0 +1,49 @@
+// Conservative eligibility analysis for intra-query parallelism
+// (DESIGN.md "Intra-query parallelism").
+//
+// A plan is *partitionable* when its leading scan draws from
+// Call[fn:collection] and everything between that scan and the plan root is
+// per-item / per-tuple (pointwise), so that running the plan over each
+// member document independently and concatenating the results in collection
+// ordinal order is byte-identical to the serial run. Two shapes qualify:
+//
+//   (A)  TreeJoin* ( Call[fn:collection] )
+//        — a path expression over the collection. Sound for ANY TreeJoin
+//        chain: every axis stays inside its member tree, and
+//        ResolveCollection guarantees ordinal-increasing interval blocks,
+//        so the serial DDO sort over the union equals the concatenation of
+//        the per-document DDO sorts.
+//
+//   (B)  MapToItem{r} ( Select{p}* ( MapFromItem{f} ( shape A ) ) )
+//        — the compiled `for $x in collection(...)>path< where .. return ..`
+//        spine. Select and the boundary maps are pointwise, so the tuple
+//        stream partitions exactly like the item stream feeding it.
+//        Positional constructs (at-clauses, positional predicates) compile
+//        to MapIndex / MapIndexStep on the spine and therefore fail the
+//        shape test — exactly the order-sensitive cases that must not be
+//        split.
+//
+// Additionally the fn:collection argument must not depend on IN, and the
+// whole query (including user functions) must not serialize (fn:put) —
+// side-effect order would otherwise become schedule-dependent.
+//
+// Intra-document range splitting (partitioning one large document by
+// pre-order ranges) is sound only when the chain contains exactly ONE
+// TreeJoin with a downward axis: its output is a DDO set of nodes of one
+// tree, so filtering by disjoint increasing `start` ranges partitions the
+// output. With two or more TreeJoins the later joins would DDO-sort across
+// nodes produced from different ranges, breaking concat = serial.
+#ifndef XQC_OPT_PARALLEL_INFER_H_
+#define XQC_OPT_PARALLEL_INFER_H_
+
+#include "src/compile/compiler.h"
+
+namespace xqc {
+
+/// Fills `query->parallel`. Call after AnnotateDdoQuery (the pass only
+/// reads the plan; it stores aliasing Op pointers into the info).
+void AnalyzeParallel(CompiledQuery* query);
+
+}  // namespace xqc
+
+#endif  // XQC_OPT_PARALLEL_INFER_H_

@@ -694,6 +694,39 @@ const std::map<std::string, Builtin>& Registry() {
           XQC_ASSIGN_OR_RETURN(bool ok, ctx->DocumentAvailable(uri));
           return BoolSeq(ok);
         });
+    add("fn:collection", 0, 1,
+        [](const Args& a, DynamicContext* ctx) -> Result<Sequence> {
+          if (a.empty() || a[0].empty()) {
+            // No default collection is defined (FODC0002 per F&O 15.5.6).
+            return Status::IOError(
+                "fn:collection: no default collection is defined");
+          }
+          XQC_ASSIGN_OR_RETURN(std::string uri,
+                               StringArg(a[0], "fn:collection"));
+          XQC_ASSIGN_OR_RETURN(std::shared_ptr<const ResolvedCollection> col,
+                               ctx->ResolveCollection(uri));
+          Sequence out;
+          out.reserve(col->docs.size());
+          for (const NodePtr& doc : col->docs) out.push_back(Item(doc));
+          return out;
+        });
+    add("fn:uri-collection", 0, 1,
+        [](const Args& a, DynamicContext* ctx) -> Result<Sequence> {
+          if (a.empty() || a[0].empty()) {
+            return Status::IOError(
+                "fn:uri-collection: no default collection is defined");
+          }
+          XQC_ASSIGN_OR_RETURN(std::string uri,
+                               StringArg(a[0], "fn:uri-collection"));
+          XQC_ASSIGN_OR_RETURN(std::vector<std::string> uris,
+                               ctx->CollectionUris(uri));
+          Sequence out;
+          out.reserve(uris.size());
+          for (std::string& u : uris) {
+            out.push_back(Item(AtomicValue::String(std::move(u))));
+          }
+          return out;
+        });
     add("fn:root", 1, 1, [](const Args& a, DynamicContext*) -> Result<Sequence> {
       if (a[0].empty()) return None();
       if (!a[0][0].IsNode()) {

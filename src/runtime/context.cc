@@ -33,6 +33,130 @@ Result<NodePtr> DynamicContext::ResolveDocument(const std::string& raw_uri) {
   return doc;
 }
 
+namespace {
+
+/// Member failures a lenient collection scan may skip: the document itself
+/// is bad (malformed now, or quarantined from an earlier parse) or vanished
+/// between enumeration and load. Everything else — guard trips, retry
+/// exhaustion (XQC0008), an open circuit breaker (XQC0011) — is about the
+/// query's budget or the I/O tier's health, and always propagates.
+bool SkippableMemberFailure(const Status& st) {
+  if (st.kind() == StatusKind::kResourceExhausted) return false;
+  if (st.code() == kStoreQuarantinedCode) return true;
+  if (st.kind() == StatusKind::kParseError) return true;
+  if (st.kind() == StatusKind::kIOError && st.code() == "FODC0002") {
+    return true;
+  }
+  return false;
+}
+
+Status MemberError(const std::string& collection, const std::string& member,
+                   const Status& st) {
+  return Status::WithCode(st.kind(), st.code(),
+                          "collection '" + collection + "' member '" + member +
+                              "': " + st.message());
+}
+
+}  // namespace
+
+Result<std::shared_ptr<const ResolvedCollection>>
+DynamicContext::ResolveCollection(const std::string& raw_uri) {
+  if (raw_uri.empty()) {
+    return Status::IOError("fn:collection: no default collection is defined");
+  }
+  const std::string uri = NormalizeDocUri(raw_uri);
+  auto cached = exec_collection_cache_.find(uri);
+  if (cached != exec_collection_cache_.end()) return cached->second;
+
+  DocumentStore* store = document_store();
+  std::vector<std::string> members;
+  if (store != nullptr) {
+    XQC_ASSIGN_OR_RETURN(members, store->ListCollection(uri, &doc_store_stats_));
+  } else {
+    XQC_ASSIGN_OR_RETURN(members, ListCollectionMembers(uri));
+    doc_store_stats_.collections_resolved++;
+  }
+
+  auto col = std::make_shared<ResolvedCollection>();
+  col->uris.reserve(members.size());
+  col->docs.reserve(members.size());
+  // Load members in ordinal (sorted-URI) order, enforcing that each tree's
+  // interval block sorts above its predecessor's — see the header comment.
+  uint64_t prev_max = 0;
+  for (const std::string& m : members) {
+    Result<NodePtr> doc = [&]() -> Result<NodePtr> {
+      if (store == nullptr) {
+        // Store-disabled ablation: every member is a fresh per-execution
+        // parse, so blocks are naturally ordinal-increasing.
+        XmlParseOptions popts;
+        popts.guard = guard_;
+        Result<NodePtr> r = ParseXmlFile(m, popts);
+        if (r.ok()) doc_parses_++;
+        return r;
+      }
+      DocumentStore::LoadOptions load;
+      load.guard = guard_;
+      load.stats = &doc_store_stats_;
+      load.use_snapshots = snapshots_enabled_;
+      bool performed_parse = false;
+      load.performed_parse = &performed_parse;
+      Result<NodePtr> r = store->Load(m, load);
+      if (r.ok() && r.value()->start <= prev_max) {
+        // The cached tree's block predates an earlier member's (reload
+        // order was scrambled by evictions): force a fresh load, whose new
+        // block is drawn after everything already allocated.
+        doc_store_stats_.collection_reorders++;
+        load.force_fresh = true;
+        r = store->Load(m, load);
+      }
+      if (r.ok() && r.value()->start <= prev_max) {
+        // Still out of order: a concurrent loader raced our force-fresh
+        // slot (singleflight joined an older in-flight parse). A private
+        // uncached parse is guaranteed a fresh, higher block.
+        XmlParseOptions popts;
+        popts.guard = guard_;
+        r = ParseXmlFile(m, popts);
+        if (r.ok()) doc_parses_++;
+        performed_parse = false;
+      }
+      if (performed_parse) doc_parses_++;
+      return r;
+    }();
+    if (!doc.ok()) {
+      if (!strict_collections_ && SkippableMemberFailure(doc.status())) {
+        col->skipped++;
+        doc_store_stats_.collection_members_skipped++;
+        continue;
+      }
+      return MemberError(uri, m, doc.status());
+    }
+    prev_max = doc.value()->start;
+    // Pin the member for the rest of the execution (fn:doc on the same URI
+    // must observe the same tree the collection serves).
+    exec_doc_cache_[m] = doc.value();
+    col->uris.push_back(m);
+    col->docs.push_back(doc.take());
+  }
+  doc_store_stats_.collection_members +=
+      static_cast<int64_t>(col->docs.size());
+  exec_collection_cache_[uri] = col;
+  return std::shared_ptr<const ResolvedCollection>(col);
+}
+
+Result<std::vector<std::string>> DynamicContext::CollectionUris(
+    const std::string& raw_uri) {
+  if (raw_uri.empty()) {
+    return Status::IOError(
+        "fn:uri-collection: no default collection is defined");
+  }
+  const std::string uri = NormalizeDocUri(raw_uri);
+  DocumentStore* store = document_store();
+  if (store != nullptr) return store->ListCollection(uri, &doc_store_stats_);
+  Result<std::vector<std::string>> r = ListCollectionMembers(uri);
+  if (r.ok()) doc_store_stats_.collections_resolved++;
+  return r;
+}
+
 Result<bool> DynamicContext::DocumentAvailable(const std::string& uri) {
   Result<NodePtr> doc = ResolveDocument(uri);
   if (doc.ok()) return true;

@@ -14,8 +14,10 @@
 #ifndef XQC_RUNTIME_CONTEXT_H_
 #define XQC_RUNTIME_CONTEXT_H_
 
+#include <memory>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "src/base/guard.h"
 #include "src/base/status.h"
@@ -24,6 +26,16 @@
 #include "src/xml/item.h"
 
 namespace xqc {
+
+/// One resolved collection (fn:collection): the sorted member URIs and one
+/// finalized tree per member, both in ordinal (sorted-URI) order. Immutable
+/// once built and shareable across threads — the parallel executor hands
+/// slices of `docs` to worker partitions.
+struct ResolvedCollection {
+  std::vector<std::string> uris;  // normalized member URIs, sorted
+  std::vector<NodePtr> docs;      // one tree per member, same order
+  int64_t skipped = 0;            // bad members skipped (lenient mode)
+};
 
 class DynamicContext {
  public:
@@ -54,6 +66,38 @@ class DynamicContext {
   /// success the parsed document is left in the execution cache, so
   /// doc-available followed by doc costs one parse.
   Result<bool> DocumentAvailable(const std::string& uri);
+
+  /// fn:collection: resolves a collection URI (directory or '*' glob; see
+  /// ListCollectionMembers) to its member documents, loading each member
+  /// through the store (or direct parses when the store is disabled).
+  ///
+  /// Order invariant: members are loaded in sorted-URI (ordinal) order and
+  /// the returned trees' interval blocks are *ordinal-increasing* — a
+  /// cached member whose block sorts below an earlier member's (cache
+  /// evictions reload documents in arbitrary order) is force-reloaded into
+  /// a fresh block (DocStoreStats::collection_reorders). Document order
+  /// across the collection therefore equals ordinal order, which makes the
+  /// serial DDO sort, the static DDO discharge, and the parallel executor's
+  /// ordinal-keyed merge all agree, byte for byte (DESIGN.md "Intra-query
+  /// parallelism").
+  ///
+  /// Member failures: in lenient mode (default) a member that is
+  /// quarantined (XQC0009), malformed (XPST0003), or vanished mid-scan
+  /// (FODC0002) is skipped; guard trips and store-health verdicts
+  /// (XQC0001-3/6, XQC0008, XQC0011) always propagate. In strict mode
+  /// (set_strict_collections) any member failure fails the whole scan.
+  /// The result is cached for the rest of the execution.
+  Result<std::shared_ptr<const ResolvedCollection>> ResolveCollection(
+      const std::string& uri);
+
+  /// fn:uri-collection: the sorted member URIs only — members are
+  /// enumerated but not loaded (an unparseable member is still listed).
+  Result<std::vector<std::string>> CollectionUris(const std::string& uri);
+
+  /// Strict collection mode (EngineOptions::strict_collections): any
+  /// member failure fails the whole collection scan.
+  void set_strict_collections(bool strict) { strict_collections_ = strict; }
+  bool strict_collections() const { return strict_collections_; }
 
   /// Number of filesystem parses performed on behalf of this context
   /// (registry, execution-cache, and store-cache hits don't count; a
@@ -104,22 +148,47 @@ class DynamicContext {
 
   /// Marks the start/end of one top-level execution (called by ScopedGuard
   /// when it installs/uninstalls the outermost guard): resets the
-  /// per-execution document cache and store counters.
+  /// per-execution document/collection caches and store counters.
   void BeginExecution() {
     exec_doc_cache_.clear();
+    exec_collection_cache_.clear();
     doc_store_stats_ = DocStoreStats{};
   }
-  void EndExecution() { exec_doc_cache_.clear(); }
+  void EndExecution() {
+    exec_doc_cache_.clear();
+    exec_collection_cache_.clear();
+  }
+
+  /// Initializes this context as a parallel-partition worker copy of
+  /// `parent`: registry, variables, schema, store configuration, strictness
+  /// flag, and the per-execution document/collection caches (so a worker
+  /// resolves the same pinned trees the driver saw). The guard is NOT
+  /// copied — the parallel executor installs a per-partition guard slice.
+  /// `parent` must not be mutated while workers are seeding from it.
+  void SeedFrom(const DynamicContext& parent) {
+    documents_ = parent.documents_;
+    variables_ = parent.variables_;
+    schema_ = parent.schema_;
+    store_ = parent.store_;
+    store_enabled_ = parent.store_enabled_;
+    snapshots_enabled_ = parent.snapshots_enabled_;
+    strict_collections_ = parent.strict_collections_;
+    exec_doc_cache_ = parent.exec_doc_cache_;
+    exec_collection_cache_ = parent.exec_collection_cache_;
+  }
 
  private:
   std::unordered_map<std::string, NodePtr> documents_;
   std::unordered_map<std::string, NodePtr> exec_doc_cache_;
+  std::unordered_map<std::string, std::shared_ptr<const ResolvedCollection>>
+      exec_collection_cache_;
   std::unordered_map<Symbol, Sequence> variables_;
   const Schema* schema_ = nullptr;
   QueryGuard* guard_ = nullptr;
   DocumentStore* store_ = DocumentStore::Global();
   bool store_enabled_ = true;
   bool snapshots_enabled_ = true;
+  bool strict_collections_ = false;
   DocStoreStats doc_store_stats_;
   int64_t doc_parses_ = 0;
 };
@@ -131,12 +200,13 @@ class DynamicContext {
 class ScopedGuard {
  public:
   ScopedGuard(DynamicContext* ctx, QueryGuard* guard, bool use_store = true,
-              bool use_snapshots = true)
+              bool use_snapshots = true, bool strict_collections = false)
       : ctx_(ctx), installed_(ctx->guard() == nullptr) {
     if (installed_) {
       ctx_->set_guard(guard);
       ctx_->set_store_enabled(use_store);
       ctx_->set_snapshots_enabled(use_snapshots);
+      ctx_->set_strict_collections(strict_collections);
       ctx_->BeginExecution();
     }
   }
@@ -145,6 +215,7 @@ class ScopedGuard {
       ctx_->set_guard(nullptr);
       ctx_->set_store_enabled(true);
       ctx_->set_snapshots_enabled(true);
+      ctx_->set_strict_collections(false);
       ctx_->EndExecution();
     }
   }

@@ -115,6 +115,8 @@ PlanEvaluator::PlanEvaluator(const CompiledQuery* query, DynamicContext* ctx,
       guard_(ctx->guard() != nullptr ? ctx->guard() : UnlimitedGuard()) {}
 
 Status PlanEvaluator::PrepareGlobals() {
+  if (globals_prepared_) return Status::OK();
+  globals_prepared_ = true;
   for (const auto& [name, plan] : query_->globals) {
     if (plan == nullptr) {
       Sequence v;
@@ -173,7 +175,10 @@ Result<Sequence> PlanEvaluator::EvalItemsLimited(const Op& op, const EvalCtx& c,
       return EvalItemsLimited(b ? *op.deps[0] : *op.deps[1], c, limit);
     }
     case OpKind::kTreeJoin: {
-      if (options_.force_sort || op.ddo != DdoMode::kSkip) {
+      if (options_.force_sort || op.ddo != DdoMode::kSkip ||
+          (slice_ != nullptr && &op == slice_->range_split)) {
+        // Range-split units must apply the slice filter to the full step
+        // output; EvalItems handles it.
         return EvalItems(op, c);
       }
       // Sort-free step: each input node's result is already final output,
@@ -290,8 +295,22 @@ Result<Sequence> PlanEvaluator::EvalItems(const Op& op, const EvalCtx& c) {
       XQC_RETURN_IF_ERROR(guard_->CheckSteps(static_cast<int64_t>(in.size())));
       TreeJoinOpts tj{op.ddo, options_.force_sort, options_.use_doc_index,
                       guard_};
-      return TreeJoin(in, op.axis, op.ntest, ctx_->schema(), tj,
-                      &stats_.tree_join);
+      Result<Sequence> joined = TreeJoin(in, op.axis, op.ntest, ctx_->schema(),
+                                         tj, &stats_.tree_join);
+      if (!joined.ok() || slice_ == nullptr || &op != slice_->range_split) {
+        return joined;
+      }
+      // Range-split partition unit: keep only this unit's pre-order slice
+      // of the step output. The slices partition [root.start, root.end], so
+      // concatenating units in range order reproduces the full output.
+      Sequence sliced;
+      for (Item& it : joined.value()) {
+        uint64_t s = it.node()->start;
+        if (s >= slice_->range_lo && s < slice_->range_hi) {
+          sliced.push_back(std::move(it));
+        }
+      }
+      return sliced;
     }
     case OpKind::kTreeProject: {
       // TreeProject[paths]: prune each document/element tree to the nodes
@@ -993,6 +1012,11 @@ bool SingletonNumeric(const Sequence& v, double* out) {
 }  // namespace
 
 Result<Sequence> PlanEvaluator::EvalCall(const Op& op, const EvalCtx& c) {
+  if (slice_ != nullptr && &op == slice_->source) {
+    // Partition unit of a parallelized plan: the collection scan yields
+    // just this unit's member documents (runtime/parallel.cc).
+    return slice_->docs;
+  }
   auto it = query_->functions.find(op.name);
   std::vector<Sequence> args(op.inputs.size());
   std::vector<bool> have(op.inputs.size(), false);

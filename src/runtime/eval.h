@@ -69,6 +69,12 @@ struct ExecStats {
   int64_t peak_memory_bytes = 0;   // total guard-accounted allocation
   TreeJoinStats tree_join;         // sort elisions / index use (axes.h)
   DocStoreStats doc_store;         // fn:doc resolution (document_store.h)
+  // --- intra-query parallelism (runtime/parallel.h) ---
+  int64_t parallel_partitions = 0;   // partition units executed
+  int64_t parallel_range_splits = 0; // units from intra-doc range splitting
+  int64_t parallel_steals = 0;       // units run by pool helpers (not driver)
+  int64_t parallel_merges = 0;       // ordinal-merge recombinations
+  int64_t parallel_fallbacks = 0;    // parallel requested, ran serial
 };
 
 /// Evaluation context threaded through a plan: the dependent inputs (tuple
@@ -100,6 +106,19 @@ struct JoinStrategy {
   std::vector<const Op*> residual;  // non-key conjuncts
   std::shared_ptr<const MaterializedInner> eq_index;
   std::shared_ptr<const MaterializedRangeInner> range_index;
+};
+
+/// One partition unit's slice of a parallelized plan (runtime/parallel.cc):
+/// when installed on a PlanEvaluator, the plan's Call[fn:collection] source
+/// op (`source`) evaluates to `docs` instead of resolving the collection,
+/// and — for range-split units — the output of the single downward TreeJoin
+/// (`range_split`) is filtered to nodes with start in [range_lo, range_hi).
+struct PartitionSlice {
+  const Op* source = nullptr;
+  Sequence docs;
+  const Op* range_split = nullptr;  // nullptr = whole-document unit
+  uint64_t range_lo = 0;
+  uint64_t range_hi = 0;
 };
 
 class PlanEvaluator {
@@ -151,6 +170,19 @@ class PlanEvaluator {
   const ExecStats& stats() const { return stats_; }
   ExecStats* mutable_stats() { return &stats_; }
   const ExecOptions& options() const { return options_; }
+
+  /// Installs a partition slice (see PartitionSlice). Non-owning; the
+  /// slice must outlive evaluation. nullptr restores normal evaluation.
+  void set_partition_slice(const PartitionSlice* slice) { slice_ = slice; }
+  /// Seeds the prolog-global environment from an already-prepared driver
+  /// evaluator (parallel workers must not re-evaluate globals).
+  void SeedGlobals(const std::unordered_map<Symbol, Sequence>& globals) {
+    globals_ = globals;
+    globals_prepared_ = true;
+  }
+  const std::unordered_map<Symbol, Sequence>& globals() const {
+    return globals_;
+  }
   /// The active resource guard: the context's, or a shared always-
   /// unlimited guard when none is installed (so check sites are
   /// unconditional). Never nullptr.
@@ -172,6 +204,8 @@ class PlanEvaluator {
   ExecOptions options_;
   QueryGuard* guard_;  // ctx's guard or the shared unlimited fallback
   std::unordered_map<Symbol, Sequence> globals_;
+  bool globals_prepared_ = false;
+  const PartitionSlice* slice_ = nullptr;
   ExecStats stats_;
   int depth_ = 0;
 

@@ -1,0 +1,356 @@
+#include "src/runtime/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <utility>
+
+namespace xqc {
+
+// ---- TaskPool ---------------------------------------------------------------
+
+TaskPool* TaskPool::Global() {
+  // Created on first use, deliberately never destroyed: helpers may belong
+  // to any thread's query at process exit, and joining them from a static
+  // destructor would race other static teardown.
+  static TaskPool* pool = []() {
+    unsigned hw = std::thread::hardware_concurrency();
+    int n = hw > 2 ? static_cast<int>(hw - 1) : 2;
+    return new TaskPool(n);
+  }();
+  return pool;
+}
+
+TaskPool::TaskPool(int threads) {
+  if (threads < 1) threads = 1;
+  threads_.reserve(static_cast<size_t>(threads));
+  for (int i = 0; i < threads; i++) {
+    threads_.emplace_back([this] { Loop(); });
+  }
+}
+
+TaskPool::~TaskPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+bool TaskPool::TrySubmit(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    // Accept only when an idle helper is not already spoken for by a
+    // queued task — so a task never sits waiting behind busy helpers,
+    // and the pool cannot become a dependency cycle.
+    if (stop_ || idle_ <= static_cast<int>(queue_.size())) return false;
+    queue_.push_back(std::move(fn));
+  }
+  cv_.notify_one();
+  return true;
+}
+
+void TaskPool::Loop() {
+  std::unique_lock<std::mutex> lk(mu_);
+  idle_++;
+  while (true) {
+    cv_.wait(lk, [&] { return stop_ || !queue_.empty(); });
+    if (!queue_.empty()) {
+      std::function<void()> fn = std::move(queue_.front());
+      queue_.pop_front();
+      idle_--;
+      lk.unlock();
+      fn();
+      lk.lock();
+      idle_++;
+    } else if (stop_) {
+      idle_--;
+      return;
+    }
+  }
+}
+
+// ---- partitioned execution --------------------------------------------------
+
+namespace {
+
+/// Field-wise accumulation of a partition's evaluator stats into the
+/// query-level total (guard_* and peak_memory are published from the parent
+/// guard by the engine, after recombination re-charges it).
+void MergeExecStats(ExecStats* a, const ExecStats& b) {
+  a->hash_joins += b.hash_joins;
+  a->sort_joins += b.sort_joins;
+  a->range_joins += b.range_joins;
+  a->nested_loop_joins += b.nested_loop_joins;
+  a->group_bys += b.group_bys;
+  a->join_index_reuses += b.join_index_reuses;
+  a->specialized_joins += b.specialized_joins;
+  a->source_tuples += b.source_tuples;
+  a->streaming_early_stops += b.streaming_early_stops;
+  a->tree_join.Add(b.tree_join);
+  a->doc_store.Add(b.doc_store);
+  a->parallel_partitions += b.parallel_partitions;
+  a->parallel_range_splits += b.parallel_range_splits;
+  a->parallel_steals += b.parallel_steals;
+  a->parallel_merges += b.parallel_merges;
+  a->parallel_fallbacks += b.parallel_fallbacks;
+}
+
+/// One partition of the plan: a contiguous ordinal range of member
+/// documents, optionally narrowed to a pre-order interval range.
+struct Unit {
+  Sequence docs;
+  const Op* range_split = nullptr;
+  uint64_t lo = 0;
+  uint64_t hi = 0;
+  Result<Sequence> result{Sequence{}};
+  ExecStats stats;
+  int64_t guard_steps = 0;
+  int64_t guard_mem = 0;
+  bool stolen = false;  // ran on a pool helper, not the driver
+};
+
+/// State shared between the driver and pool helpers. Owned by shared_ptr:
+/// a helper that wakes up after the last unit was claimed may still touch
+/// `next`/`units` after the driver has moved on.
+struct Shared {
+  const CompiledQuery* query = nullptr;
+  const DynamicContext* parent_ctx = nullptr;
+  ExecOptions options;
+  std::unordered_map<Symbol, Sequence> globals;
+  GuardLimits unit_limits;
+  CancellationToken abort;
+  std::vector<Unit> units;
+  std::atomic<size_t> next{0};
+  std::mutex mu;
+  std::condition_variable cv;
+  size_t done = 0;
+};
+
+void RunUnit(const std::shared_ptr<Shared>& sh, size_t i, bool on_helper) {
+  Unit& u = sh->units[i];
+  u.stolen = on_helper;
+  // The unit's guard slice: the parent's remaining budgets plus the shared
+  // abort token. Private counters; re-charged to the parent on recombine.
+  QueryGuard guard(sh->unit_limits, sh->abort);
+  DynamicContext wctx;
+  wctx.SeedFrom(*sh->parent_ctx);
+  wctx.set_guard(&guard);
+  PlanEvaluator ev(sh->query, &wctx, sh->options);
+  ev.SeedGlobals(sh->globals);
+  PartitionSlice slice;
+  slice.source = sh->query->parallel.source;
+  slice.docs = u.docs;
+  slice.range_split = u.range_split;
+  slice.range_lo = u.lo;
+  slice.range_hi = u.hi;
+  ev.set_partition_slice(&slice);
+  u.result = ev.EvalItems(*sh->query->plan, EvalCtx{});
+  u.stats = ev.stats();
+  u.stats.doc_store.Add(wctx.doc_store_stats());
+  u.guard_steps = guard.steps();
+  u.guard_mem = guard.peak_memory_bytes();
+  if (!u.result.ok() && u.result.status().code() != kGuardCancelledCode) {
+    // First real error wins: cancel the sibling partitions. Cancellation
+    // echoes (XQC0002 from this very token) must not re-cancel — they are
+    // a consequence, not a cause.
+    sh->abort.RequestCancel();
+  }
+  {
+    std::lock_guard<std::mutex> lk(sh->mu);
+    sh->done++;
+  }
+  sh->cv.notify_all();
+}
+
+/// Claims and runs units until the queue is empty (used by both the driver
+/// and the helpers; the atomic counter is the only scheduler).
+void DrainUnits(const std::shared_ptr<Shared>& sh, bool on_helper) {
+  while (true) {
+    size_t i = sh->next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= sh->units.size()) return;
+    RunUnit(sh, i, on_helper);
+  }
+}
+
+}  // namespace
+
+bool TryExecuteParallel(const CompiledQuery& query, DynamicContext* ctx,
+                        const ExecOptions& options, int parallelism,
+                        ExecStats* stats, Result<Sequence>* result) {
+  const ParallelPlanInfo& info = query.parallel;
+  if (!info.eligible || info.source == nullptr || parallelism < 2) {
+    return false;
+  }
+  QueryGuard* parent = ctx->guard();
+  if (parent == nullptr) parent = UnlimitedGuard();
+
+  // The driver evaluator owns everything with serial error semantics:
+  // prolog globals and the collection scan itself run here, exactly as the
+  // serial plan would run them first.
+  PlanEvaluator driver(&query, ctx, options);
+  auto finish = [&](Result<Sequence> r, ExecStats s) {
+    *stats = std::move(s);
+    *result = std::move(r);
+    return true;
+  };
+  Status globals_status = driver.PrepareGlobals();
+  if (!globals_status.ok()) return finish(globals_status, driver.stats());
+  Result<Sequence> src = driver.EvalItems(*info.source, EvalCtx{});
+  if (!src.ok()) return finish(src.status(), driver.stats());
+
+  // Late (dynamic) fallback: finish serially on the driver evaluator —
+  // globals are prepared and the collection scan is cached in the
+  // execution context, so nothing is double-charged beyond the cached
+  // re-read of the scan op.
+  auto serial = [&]() {
+    Result<Sequence> r = driver.EvalItems(*query.plan, EvalCtx{});
+    ExecStats s = driver.stats();
+    s.parallel_fallbacks = 1;
+    return finish(std::move(r), std::move(s));
+  };
+
+  const Sequence& docs = src.value();
+  for (const Item& it : docs) {
+    if (!it.IsNode()) return serial();
+  }
+  if (docs.empty()) return serial();
+
+  // ---- partition ----
+  std::vector<Unit> units;
+  size_t ndocs = docs.size();
+  size_t want = static_cast<size_t>(parallelism);
+  if (info.range_split != nullptr && ndocs < want) {
+    // Fewer documents than threads and the plan supports intra-document
+    // splitting: cut each document's pre-order interval span into even
+    // ranges (~2 units per thread for balance under work stealing).
+    size_t per_doc = (2 * want + ndocs - 1) / ndocs;
+    for (const Item& it : docs) {
+      uint64_t lo = it.node()->start;
+      uint64_t end = it.node()->end;
+      uint64_t span = end - lo + 1;
+      size_t r = static_cast<size_t>(
+          std::min<uint64_t>(static_cast<uint64_t>(per_doc), span));
+      for (size_t i = 0; i < r; i++) {
+        Unit u;
+        u.docs = Sequence{it};
+        u.range_split = info.range_split;
+        u.lo = lo + span * i / r;
+        u.hi = (i + 1 == r) ? end + 1 : lo + span * (i + 1) / r;
+        units.push_back(std::move(u));
+      }
+    }
+  } else {
+    // Doc-granular: contiguous ordinal ranges, a few units per thread so
+    // uneven documents still balance.
+    size_t nunits = std::min(ndocs, want * 4);
+    for (size_t i = 0; i < nunits; i++) {
+      size_t b = ndocs * i / nunits;
+      size_t e = ndocs * (i + 1) / nunits;
+      Unit u;
+      u.docs.assign(docs.begin() + static_cast<ptrdiff_t>(b),
+                    docs.begin() + static_cast<ptrdiff_t>(e));
+      units.push_back(std::move(u));
+    }
+  }
+  if (units.size() < 2) return serial();
+
+  // ---- fan out ----
+  auto sh = std::make_shared<Shared>();
+  sh->query = &query;
+  sh->parent_ctx = ctx;
+  sh->options = options;
+  sh->globals = driver.globals();
+  // Linked to the caller's token: a caller-side RequestCancel reaches the
+  // worker guards directly (even while every thread, driver included, is
+  // busy inside a partition), while a partition error cancels only the
+  // sibling partitions via sh->abort's own flag.
+  sh->abort = CancellationToken::MakeLinked(parent->cancel_token());
+  sh->units = std::move(units);
+  const GuardLimits& pl = parent->limits();
+  if (pl.deadline_ms > 0) {
+    sh->unit_limits.deadline_ms =
+        std::max<int64_t>(1, parent->remaining_deadline_ms());
+  }
+  if (pl.max_memory_bytes > 0) {
+    sh->unit_limits.max_memory_bytes = std::max<int64_t>(
+        1, pl.max_memory_bytes - parent->peak_memory_bytes());
+  }
+  if (pl.max_eval_steps > 0) {
+    sh->unit_limits.max_eval_steps =
+        std::max<int64_t>(1, pl.max_eval_steps - parent->steps());
+  }
+
+  size_t helpers = std::min(sh->units.size() - 1, want - 1);
+  for (size_t i = 0; i < helpers; i++) {
+    // Best-effort: a busy pool just means the driver does more units
+    // itself. Never blocks, never deadlocks.
+    if (!TaskPool::Global()->TrySubmit([sh] { DrainUnits(sh, true); })) break;
+  }
+  DrainUnits(sh, /*on_helper=*/false);
+  {
+    // Wait for helper-held units, propagating parent-guard trips
+    // (cancellation, deadline) to the workers within ~1ms.
+    std::unique_lock<std::mutex> lk(sh->mu);
+    while (sh->done < sh->units.size()) {
+      sh->cv.wait_for(lk, std::chrono::milliseconds(1));
+      if (!parent->CheckNow().ok()) sh->abort.RequestCancel();
+    }
+  }
+
+  // ---- recombine ----
+  ExecStats total = driver.stats();
+  Status final_status = parent->CheckNow();
+  for (Unit& u : sh->units) {
+    MergeExecStats(&total, u.stats);
+    if (final_status.ok()) {
+      // Re-charge the partition's guard usage to the parent, in unit
+      // order: the parent's cumulative step/memory totals — and its
+      // XQC0003/XQC0006 trip points — track the serial run's.
+      Status s = parent->CheckSteps(u.guard_steps);
+      if (s.ok() && u.guard_mem > 0) s = parent->AccountMemory(u.guard_mem);
+      if (!s.ok()) final_status = s;
+    }
+  }
+  total.parallel_partitions = static_cast<int64_t>(sh->units.size());
+  for (const Unit& u : sh->units) {
+    if (u.range_split != nullptr) total.parallel_range_splits++;
+    if (u.stolen) total.parallel_steals++;
+  }
+  total.parallel_merges = 1;
+
+  if (final_status.ok()) {
+    // First error wins, by collection ordinal — the serial run would have
+    // failed on the earliest erroring partition. Cancellation echoes from
+    // the shared abort token lose to the real error that caused them.
+    const Status* first_any = nullptr;
+    for (const Unit& u : sh->units) {
+      if (u.result.ok()) continue;
+      if (first_any == nullptr) first_any = &u.result.status();
+      if (u.result.status().code() != kGuardCancelledCode) {
+        final_status = u.result.status();
+        break;
+      }
+    }
+    if (final_status.ok() && first_any != nullptr) final_status = *first_any;
+  }
+  if (!final_status.ok()) return finish(final_status, std::move(total));
+
+  // Ordinal merge: unit key ranges are disjoint and increasing, and every
+  // unit's output is internally in document order, so the k-way merge on
+  // (collection ordinal, pre) degenerates to ordered concatenation.
+  Sequence out;
+  size_t n = 0;
+  for (const Unit& u : sh->units) n += u.result.value().size();
+  out.reserve(n);
+  for (Unit& u : sh->units) {
+    Sequence& part = u.result.value();
+    out.insert(out.end(), std::make_move_iterator(part.begin()),
+               std::make_move_iterator(part.end()));
+  }
+  return finish(std::move(out), std::move(total));
+}
+
+}  // namespace xqc

@@ -1,0 +1,99 @@
+// Intra-query parallelism: partitioned execution of collection scans with
+// a doc-order-preserving recombination (DESIGN.md "Intra-query
+// parallelism").
+//
+// The parallel executor takes a plan that AnalyzeParallel (src/opt/
+// parallel_infer.h) marked eligible — a pointwise pipeline over a
+// Call[fn:collection] scan — and:
+//
+//   1. resolves the collection ONCE on the driver thread (so enumeration /
+//      load errors surface exactly as in the serial run),
+//   2. partitions the member documents into contiguous ordinal ranges —
+//      and, when there are fewer documents than requested threads and the
+//      plan allows it, splits large documents further by pre-order interval
+//      ranges of the single downward TreeJoin's output,
+//   3. runs each partition as an independent plan evaluation with a
+//      PartitionSlice installed (runtime/eval.h), on a process-wide TaskPool
+//      shared by every parallel query (QueryService traffic included); the
+//      driver thread always participates, so progress never depends on pool
+//      capacity,
+//   4. gives each partition a guard slice: a private QueryGuard carrying the
+//      parent's *remaining* deadline / memory / step budgets plus a shared
+//      abort token — the first real error (or a parent-guard trip observed
+//      by the driver, which polls every millisecond while waiting) cancels
+//      the siblings, and
+//   5. recombines: per-unit guard usage is re-charged to the parent guard in
+//      unit order (so XQC0003/XQC0006 trips fire just like the serial run),
+//      and unit outputs are merged in (collection ordinal, pre) order.
+//
+// The merge is a degenerate — and therefore trivially stable — k-way merge:
+// ResolveCollection guarantees ordinal-increasing interval blocks and units
+// are built over increasing (ordinal, pre-range) keys, so every item of
+// unit i precedes every item of unit i+1 in document order and the merge is
+// an ordered concatenation. This is what makes `--parallelism N` byte-
+// identical to the serial oracle at every N, across cache-eviction-induced
+// reload orders.
+#ifndef XQC_RUNTIME_PARALLEL_H_
+#define XQC_RUNTIME_PARALLEL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/compile/compiler.h"
+#include "src/runtime/eval.h"
+
+namespace xqc {
+
+/// A small process-wide helper-thread pool. Submission is strictly
+/// best-effort: TrySubmit enqueues only when an idle helper is available to
+/// take the task, and never blocks — callers must be prepared to do the
+/// work themselves (the parallel driver always drains its own unit queue).
+/// This makes the pool deadlock-free under arbitrary nesting: no task ever
+/// waits for pool capacity.
+class TaskPool {
+ public:
+  /// The shared pool (max(2, hardware_concurrency - 1) helpers, created on
+  /// first use, never destroyed). Shared by all parallel queries in the
+  /// process, including those running on QueryService worker threads.
+  static TaskPool* Global();
+
+  explicit TaskPool(int threads);
+  ~TaskPool();
+
+  /// Hands `fn` to an idle helper. Returns false — without running or
+  /// retaining `fn` — when every helper is busy or claimed.
+  bool TrySubmit(std::function<void()> fn);
+
+  int threads() const { return static_cast<int>(threads_.size()); }
+
+ private:
+  void Loop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  int idle_ = 0;
+  bool stop_ = false;
+  std::vector<std::thread> threads_;
+};
+
+/// Executes an eligible compiled plan with up to `parallelism` concurrent
+/// partitions. Requires: `query.parallel.eligible`, `parallelism > 1`, and
+/// a context with the execution guard already installed (the engine's
+/// ScopedGuard). Returns true when it handled the execution — `*result` and
+/// `*stats` are complete, including the case where it decided at runtime
+/// (too few partitions, non-node scan output) to finish serially on the
+/// driver evaluator (counted in ExecStats::parallel_fallbacks). Returns
+/// false only on static ineligibility, in which case nothing was evaluated
+/// and the caller must run the normal serial path.
+bool TryExecuteParallel(const CompiledQuery& query, DynamicContext* ctx,
+                        const ExecOptions& options, int parallelism,
+                        ExecStats* stats, Result<Sequence>* result);
+
+}  // namespace xqc
+
+#endif  // XQC_RUNTIME_PARALLEL_H_

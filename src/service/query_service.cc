@@ -287,6 +287,7 @@ QueryResponse QueryService::ExecuteOnce(Job* job, const GuardLimits& limits) {
     opts.limits = limits;
     opts.cancel = job->token;
     if (job->req.batch_size > 0) opts.batch_size = job->req.batch_size;
+    if (job->req.parallelism > 0) opts.parallelism = job->req.parallelism;
     Result<PreparedQuery> local = engine_.Prepare(job->req.query_text, opts);
     if (!local.ok()) {
       resp.status = local.status();

@@ -138,6 +138,13 @@ struct QueryRequest {
   /// compiles `query_text` — a `prepared` plan's options were baked in at
   /// Prepare time.
   int batch_size = 0;
+  /// Per-request intra-query parallelism (EngineOptions::parallelism); 0
+  /// inherits the service's engine_options. Partition work runs on the
+  /// process-wide TaskPool, shared across all concurrent queries; a busy
+  /// pool degrades to serial on the worker, never to queueing. Applies
+  /// only when the service compiles `query_text` (same rule as
+  /// batch_size).
+  int parallelism = 0;
   /// Optional extra bindings, run on the worker thread against the
   /// query-private context (after shared documents/variables are installed).
   std::function<void(DynamicContext*)> bind_context;

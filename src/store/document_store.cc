@@ -81,7 +81,119 @@ std::string PercentDecode(const std::string& s) {
   return out;
 }
 
+/// Minimal '*' glob over one path segment ('*' matches any run of
+/// characters, including none; no other metacharacters).
+bool GlobMatch(const char* pattern, const char* s) {
+  const char* star = nullptr;
+  const char* backtrack = nullptr;
+  while (*s != '\0') {
+    if (*pattern == *s) {
+      pattern++;
+      s++;
+    } else if (*pattern == '*') {
+      star = pattern++;
+      backtrack = s;
+    } else if (star != nullptr) {
+      pattern = star + 1;
+      s = ++backtrack;
+    } else {
+      return false;
+    }
+  }
+  while (*pattern == '*') pattern++;
+  return *pattern == '\0';
+}
+
 }  // namespace
+
+Result<std::vector<std::string>> ListCollectionMembers(
+    const std::string& raw_uri) {
+  const std::string uri = NormalizeDocUri(raw_uri);
+  if (uri.empty()) {
+    return Status::IOError("fn:collection: no default collection is defined");
+  }
+  if (uri.find("://") != std::string::npos) {
+    return Status::IOError("cannot resolve collection URI '" + uri +
+                           "': unsupported scheme");
+  }
+  // A '*' in the last path segment is a basename glob; otherwise the URI
+  // must name a directory, whose "*.xml" entries are the members.
+  std::string dir = uri;
+  std::string pattern;
+  const size_t slash = uri.rfind('/');
+  const std::string base =
+      slash == std::string::npos ? uri : uri.substr(slash + 1);
+  if (base.find('*') != std::string::npos) {
+    pattern = base;
+    if (slash == std::string::npos) {
+      dir = ".";
+    } else {
+      dir = slash == 0 ? "/" : uri.substr(0, slash);
+    }
+  } else {
+    struct stat sb;
+    if (::stat(uri.c_str(), &sb) != 0) {
+      return Status::IOError("cannot resolve collection URI '" + uri +
+                             "': " + std::strerror(errno));
+    }
+    if (S_ISREG(sb.st_mode)) {
+      return Status::WithCode(
+          StatusKind::kXQueryError, "FODC0004",
+          "invalid collection URI '" + uri +
+              "': names a document, not a collection (use fn:doc, or a "
+              "directory / '*' glob)");
+    }
+    if (!S_ISDIR(sb.st_mode)) {
+      return Status::IOError("cannot resolve collection URI '" + uri +
+                             "': not a directory");
+    }
+    pattern = "*.xml";
+  }
+
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) {
+    return Status::IOError("cannot enumerate collection '" + uri +
+                           "': " + std::strerror(errno));
+  }
+  std::vector<std::string> members;
+  while (struct dirent* e = ::readdir(d)) {
+    const std::string name = e->d_name;
+    if (name == "." || name == "..") continue;
+    if (!GlobMatch(pattern.c_str(), name.c_str())) continue;
+    const std::string path = dir == "/" ? "/" + name : dir + "/" + name;
+    struct stat sb;
+    if (::stat(path.c_str(), &sb) != 0 || !S_ISREG(sb.st_mode)) continue;
+    members.push_back(NormalizeDocUri(path));
+  }
+  ::closedir(d);
+  // Sorted member URIs define the collection's stable ordinal order: the
+  // cross-document order every execution (serial or parallel, warm or cold
+  // cache) must agree on. readdir order is filesystem-dependent, so sort.
+  std::sort(members.begin(), members.end());
+  return members;
+}
+
+Result<std::vector<std::string>> DocumentStore::ListCollection(
+    const std::string& uri, DocStoreStats* stats) {
+  IoFaultInjector* inj = fault_injector_.load(std::memory_order_acquire);
+  if (inj != nullptr && inj->mode == IoFaultMode::kFailOpen) {
+    const int64_t attempt_no =
+        inj->attempts.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (inj->fail_n <= 0 || attempt_no <= inj->fail_n) {
+      // Enumeration is not retried (there is no partial progress to
+      // protect), so an injected open failure surfaces directly as the
+      // unresolvable-collection verdict.
+      return Status::IOError("injected open failure enumerating collection '" +
+                             uri + "'");
+    }
+  }
+  Result<std::vector<std::string>> r = ListCollectionMembers(uri);
+  if (r.ok()) {
+    Bump(stats, &DocStoreStats::collections_resolved);
+    CountGlobal(&DocStoreStats::collections_resolved);
+  }
+  return r;
+}
 
 std::string NormalizeDocUri(const std::string& raw_uri) {
   std::string uri = raw_uri;
@@ -225,7 +337,7 @@ Result<NodePtr> DocumentStore::Load(const std::string& raw_uri,
       bool have_stale = false;
       if (c != cache_.end()) {
         Fingerprint fp;
-        if (StatFile(uri, &fp) && fp == c->second->fp) {
+        if (!opts.force_fresh && StatFile(uri, &fp) && fp == c->second->fp) {
           const int64_t window = options_.content_recheck_window_ms;
           if (window > 0 &&
               std::chrono::steady_clock::now() - c->second->loaded_at <
@@ -287,9 +399,12 @@ Result<NodePtr> DocumentStore::Load(const std::string& raw_uri,
           if (have_stale) {
             // Now really drop the stale entry; the fresh load swaps the new
             // tree in atomically. Holders of the old tree keep a consistent
-            // snapshot via shared ownership.
-            totals_.stale_reloads++;
-            Bump(opts.stats, &DocStoreStats::stale_reloads);
+            // snapshot via shared ownership. A force_fresh drop is counted
+            // by the caller (collection_reorders), not as a staleness event.
+            if (!opts.force_fresh) {
+              totals_.stale_reloads++;
+              Bump(opts.stats, &DocStoreStats::stale_reloads);
+            }
             bytes_cached_ -= c->second->bytes;
             lru_.erase(c->second);
             cache_.erase(c);

@@ -79,6 +79,7 @@
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "src/base/guard.h"
 #include "src/base/status.h"
@@ -94,6 +95,18 @@ namespace xqc {
 /// unchanged. This is the cache-key function for the DocumentStore and
 /// DynamicContext's document registry.
 std::string NormalizeDocUri(const std::string& uri);
+
+/// Enumerates the member documents of a collection URI (fn:collection /
+/// fn:uri-collection). A collection URI names either a directory (members
+/// are its "*.xml" entries) or a glob whose last path segment contains '*'
+/// (matched against member basenames, non-recursive). Members are returned
+/// as normalized URIs in lexicographically sorted order — the collection's
+/// stable *ordinal* order, which the k-way merge of the parallel executor
+/// keys on (DESIGN.md "Intra-query parallelism"). A glob that matches
+/// nothing is a valid, empty collection. Errors:
+///   FODC0002  nonexistent or unreadable directory, or a non-file scheme
+///   FODC0004  the URI names a regular file (a document, not a collection)
+Result<std::vector<std::string>> ListCollectionMembers(const std::string& uri);
 
 /// Per-execution DocumentStore counters (merged into ExecStats::doc_store;
 /// observable via PreparedQuery::last_exec_stats and xqc_shell --stats).
@@ -121,6 +134,13 @@ struct DocStoreStats {
   int64_t snapshot_bytes_read = 0;
   int64_t snapshot_bytes_written = 0;
 
+  // --- fn:collection resolution (collections of documents).
+  int64_t collections_resolved = 0;  // collection URIs enumerated
+  int64_t collection_members = 0;    // member documents resolved
+  int64_t collection_members_skipped = 0;  // bad members skipped (lenient)
+  int64_t collection_reorders = 0;   // force-fresh reloads restoring the
+                                     // ordinal interval-block order
+
   void Add(const DocStoreStats& o) {
     hits += o.hits;
     misses += o.misses;
@@ -142,6 +162,10 @@ struct DocStoreStats {
     content_rechecks += o.content_rechecks;
     snapshot_bytes_read += o.snapshot_bytes_read;
     snapshot_bytes_written += o.snapshot_bytes_written;
+    collections_resolved += o.collections_resolved;
+    collection_members += o.collection_members;
+    collection_members_skipped += o.collection_members_skipped;
+    collection_reorders += o.collection_reorders;
   }
 };
 
@@ -207,6 +231,13 @@ class DocumentStore {
     /// no snapshot_dir is configured). EngineOptions::use_snapshots /
     /// xqc_shell --no-snapshots thread through to here.
     bool use_snapshots = true;
+    /// Treat any existing cache entry as stale: drop it and perform a fresh
+    /// leader load (re-parse, or snapshot rebuild — either way the new tree
+    /// draws a fresh interval-id block). Collection resolution uses this to
+    /// restore ordinal-increasing document order after cache evictions
+    /// scrambled the members' finalization order (see
+    /// DynamicContext::ResolveCollection).
+    bool force_fresh = false;
   };
 
   /// Resolves `uri` (normalized internally) to a parsed, finalized,
@@ -221,6 +252,12 @@ class DocumentStore {
   Result<NodePtr> Load(const std::string& uri) {
     return Load(uri, LoadOptions());
   }
+
+  /// ListCollectionMembers with the store's I/O fault injector applied to
+  /// the directory enumeration (kFailOpen fails it as FODC0002) and the
+  /// per-execution collection counters bumped.
+  Result<std::vector<std::string>> ListCollection(const std::string& uri,
+                                                  DocStoreStats* stats);
 
   /// Drops `uri`'s cache entry, quarantine verdict, negative-cache entry,
   /// and (when the disk tier is enabled) its snapshot and quarantined

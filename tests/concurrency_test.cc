@@ -862,5 +862,112 @@ TEST(QueryService, EndToEndDeadlineCoversQueueWait) {
   EXPECT_EQ(blocked.get().status.code(), "XQC0002");
 }
 
+// ---- Intra-query parallelism under concurrent load -------------------------
+
+TEST(Concurrency, SharedTaskPoolServesConcurrentParallelQueries) {
+  // Many threads each run partitioned collection scans at once. All of
+  // them contend for the one process-global TaskPool; TrySubmit refuses
+  // when no helper is idle and each driver then drains its own partitions,
+  // so the mix must complete without deadlock, starvation, or wrong bytes.
+  const std::string dir =
+      ::testing::TempDir() + "xqc_concurrency_parallel_corpus";
+  std::system(("rm -rf " + dir + " && mkdir -p " + dir).c_str());
+  for (int d = 0; d < 5; d++) {
+    std::string body = "<doc>";
+    for (int i = 0; i < 40; i++) {
+      body += "<item id=\"" + std::to_string(d * 40 + i) + "\"/>";
+    }
+    body += "</doc>";
+    std::ofstream out(dir + "/d" + std::to_string(d) + ".xml",
+                      std::ios::trunc);
+    out << body;
+  }
+  const std::string query =
+      "for $i in fn:collection(\"" + dir + "\")//item return string($i/@id)";
+
+  // Shared store: concurrent scans also contend on the document cache.
+  DocumentStoreOptions sopts;
+  sopts.retry_backoff_ms = 1;
+  DocumentStore store(sopts);
+
+  // Serial oracle.
+  std::string oracle;
+  {
+    DynamicContext ctx;
+    ctx.set_document_store(&store);
+    Result<std::string> r = Engine().Execute(query, &ctx);
+    ASSERT_OK(r);
+    oracle = r.value();
+  }
+
+  constexpr int kThreads = 6;
+  constexpr int kRunsPerThread = 8;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; t++) {
+    threads.emplace_back([&, t] {
+      for (int run = 0; run < kRunsPerThread; run++) {
+        EngineOptions opts;
+        opts.parallelism = 2 + (t + run) % 3;  // 2..4
+        DynamicContext ctx;
+        ctx.set_document_store(&store);
+        Result<PreparedQuery> q = Engine().Prepare(query, opts);
+        if (!q.ok()) {
+          mismatches++;
+          continue;
+        }
+        Result<std::string> r = q.value().ExecuteToString(&ctx);
+        if (!r.ok() || r.value() != oracle) mismatches++;
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  EXPECT_EQ(mismatches.load(), 0);
+  std::system(("rm -rf " + dir).c_str());
+}
+
+TEST(QueryService, PartitionedRequestsMixWithRegularTraffic) {
+  // The serving layer and intra-query parallelism share the machine: a
+  // QueryService under load interleaved with per-request parallelism
+  // overrides must neither deadlock (service workers + TaskPool helpers)
+  // nor corrupt results.
+  const std::string dir =
+      ::testing::TempDir() + "xqc_service_parallel_corpus";
+  std::system(("rm -rf " + dir + " && mkdir -p " + dir).c_str());
+  for (int d = 0; d < 4; d++) {
+    std::ofstream out(dir + "/d" + std::to_string(d) + ".xml",
+                      std::ios::trunc);
+    out << "<doc><v>" << d << "</v></doc>";
+  }
+  const std::string par_query =
+      "for $v in fn:collection(\"" + dir + "\")//v return string($v)";
+
+  ServiceOptions opts;
+  opts.num_threads = 3;
+  opts.max_queue = 256;
+  QueryService service(opts);
+
+  std::vector<std::future<QueryResponse>> futures;
+  constexpr int kSubmissions = 40;
+  for (int i = 0; i < kSubmissions; i++) {
+    QueryRequest req;
+    if (i % 2 == 0) {
+      req.query_text = par_query;
+      req.parallelism = 2 + i % 3;
+    } else {
+      req.query_text = "count(1 to 20000)";
+    }
+    futures.push_back(service.Submit(std::move(req)));
+  }
+  for (int i = 0; i < kSubmissions; i++) {
+    QueryResponse resp = futures[i].get();
+    ASSERT_TRUE(resp.status.ok()) << i << ": " << resp.status.ToString();
+    EXPECT_EQ(resp.result, i % 2 == 0 ? "0 1 2 3" : "20000") << i;
+  }
+  EXPECT_EQ(service.counters().completed, kSubmissions);
+  std::system(("rm -rf " + dir).c_str());
+}
+
 }  // namespace
 }  // namespace xqc

@@ -6,7 +6,10 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <cstdlib>
+#include <fstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/engine/engine.h"
@@ -533,6 +536,138 @@ TEST(Guard, GuardedXmlParseHonorsCancellation) {
   Result<NodePtr> r = ParseXml(xml, options);
   ASSERT_FALSE(r.ok());
   EXPECT_EQ(r.status().code(), "XQC0002");
+}
+
+// ---------------------------------------------------------------------------
+// ParallelGuard: partitioned execution (src/runtime/parallel.cc) splits the
+// parent guard's *remaining* budget across per-partition worker guards and
+// re-charges the parent at recombination. Whatever limit trips, the trip code
+// must match the serial run — the guard contract is parallelism-agnostic.
+// ---------------------------------------------------------------------------
+
+class ParallelGuardTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "xqc_parallel_guard_test";
+    std::system(("rm -rf " + dir_ + " && mkdir -p " + dir_).c_str());
+    for (int d = 0; d < 4; d++) {
+      std::string body = "<doc>";
+      for (int i = 0; i < 200; i++) {
+        body += "<item id=\"" + std::to_string(d * 200 + i) + "\"/>";
+      }
+      body += "</doc>";
+      std::ofstream out(dir_ + "/d" + std::to_string(d) + ".xml",
+                        std::ios::trunc);
+      out << body;
+    }
+    query_ = "for $i in fn:collection(\"" + dir_ +
+             "\")//item return string($i/@id)";
+  }
+  void TearDown() override { std::system(("rm -rf " + dir_).c_str()); }
+
+  // Runs at a parallelism level; "" on success, the code on error.
+  std::string Trip(const EngineOptions& opts) {
+    Engine engine;
+    Result<PreparedQuery> q = engine.Prepare(query_, opts);
+    EXPECT_OK(q);
+    DynamicContext ctx;
+    Result<std::string> r = q.value().ExecuteToString(&ctx);
+    return r.ok() ? "" : r.status().code();
+  }
+
+  std::string dir_;
+  std::string query_;
+};
+
+TEST_F(ParallelGuardTest, StepQuotaTripsIdenticallyAcrossParallelism) {
+  EngineOptions serial;
+  serial.limits.max_eval_steps = 100;  // far below what the scan needs
+  ASSERT_EQ(Trip(serial), "XQC0006");
+  for (int n : {2, 4}) {
+    EngineOptions par = serial;
+    par.parallelism = n;
+    EXPECT_EQ(Trip(par), "XQC0006") << "parallelism " << n;
+  }
+  // A generous quota passes everywhere (workers + recombination re-charge
+  // stay within the parent's budget).
+  EngineOptions roomy;
+  roomy.limits.max_eval_steps = 50'000'000;
+  ASSERT_EQ(Trip(roomy), "");
+  for (int n : {2, 4}) {
+    EngineOptions par = roomy;
+    par.parallelism = n;
+    EXPECT_EQ(Trip(par), "") << "parallelism " << n;
+  }
+}
+
+TEST_F(ParallelGuardTest, MemoryBudgetTripsIdenticallyAcrossParallelism) {
+  EngineOptions serial;
+  serial.limits.max_memory_bytes = 2048;  // far below the corpus trees
+  ASSERT_EQ(Trip(serial), "XQC0003");
+  for (int n : {2, 4}) {
+    EngineOptions par = serial;
+    par.parallelism = n;
+    EXPECT_EQ(Trip(par), "XQC0003") << "parallelism " << n;
+  }
+}
+
+TEST_F(ParallelGuardTest, PreCancelledTokenTripsIdenticallyAcrossParallelism) {
+  for (int n : {1, 2, 4}) {
+    EngineOptions opts;
+    opts.parallelism = n;
+    opts.cancel = CancellationToken::Make();
+    opts.cancel.RequestCancel();
+    EXPECT_EQ(Trip(opts), "XQC0002") << "parallelism " << n;
+  }
+}
+
+TEST_F(ParallelGuardTest, MidRunCancellationIsHonoredPromptly) {
+  // A deliberately slow partitioned query (a quadratic join inside the
+  // per-tuple work): cancel from another thread shortly after launch and
+  // require prompt teardown — the driver polls the parent guard in 1ms
+  // slices and broadcasts to the workers' shared abort token.
+  query_ = "for $i in fn:collection(\"" + dir_ +
+           "\")//item return count(for $a in 1 to 2000, $b in 1 to 2000 "
+           "return 1)";
+  EngineOptions opts;
+  opts.parallelism = 4;
+  opts.cancel = CancellationToken::Make();
+  Engine engine;
+  Result<PreparedQuery> q = engine.Prepare(query_, opts);
+  ASSERT_OK(q);
+  DynamicContext ctx;
+  std::thread canceller([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    opts.cancel.RequestCancel();
+  });
+  auto start = std::chrono::steady_clock::now();
+  Result<std::string> r = q.value().ExecuteToString(&ctx);
+  auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                     std::chrono::steady_clock::now() - start)
+                     .count();
+  canceller.join();
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), "XQC0002");
+  // Generous bound (slow CI boxes): the uncancelled query takes many
+  // seconds; prompt teardown finishes well under two.
+  EXPECT_LT(elapsed, 2000) << "cancellation latency too high";
+}
+
+TEST_F(ParallelGuardTest, DeadlineTripsAcrossParallelismWithoutHanging) {
+  query_ = "for $i in fn:collection(\"" + dir_ +
+           "\")//item return count(for $a in 1 to 2000, $b in 1 to 2000 "
+           "return 1)";
+  for (int n : {1, 4}) {
+    EngineOptions opts;
+    opts.parallelism = n;
+    opts.limits.deadline_ms = 50;
+    auto start = std::chrono::steady_clock::now();
+    EXPECT_EQ(Trip(opts), "XQC0001") << "parallelism " << n;
+    auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                       std::chrono::steady_clock::now() - start)
+                       .count();
+    EXPECT_LT(elapsed, 2000) << "parallelism " << n;
+  }
 }
 
 }  // namespace

@@ -932,6 +932,93 @@ TEST_F(FaultMatrixTest, DeadlinedLoadsFailWithGuardCodesNotHangs) {
   store.set_fault_injector(nullptr);
 }
 
+TEST_F(FaultMatrixTest, CollectionScansSurviveInjectedFaults) {
+  // A whole fn:collection scan through the engine under each injected
+  // fault: lenient scans must yield a (possibly shrunken) result or a
+  // classified error; strict scans must propagate a classified error; no
+  // fault may crash, hang, or leave the store unable to serve once clear.
+  DocumentStoreOptions options = FastOptions();
+  options.max_retries = 3;
+  DocumentStore store(options);
+  std::string cdir = dir_ + "collection_matrix";
+  std::system(("rm -rf " + cdir + " && mkdir -p " + cdir).c_str());
+  for (int d = 0; d < 3; d++) {
+    std::ofstream out(cdir + "/d" + std::to_string(d) + ".xml",
+                      std::ios::trunc);
+    out << "<doc><v>" << d << "</v></doc>";
+  }
+
+  IoFaultInjector fault;
+  fault.mode = ModeFromEnv();
+  fault.fail_n = 2;     // flaky/fail-open: recover within the retry budget
+  fault.delay_ms = 20;  // slow-read: short enough for an un-deadlined load
+  store.set_fault_injector(&fault);
+
+  const std::string query =
+      "for $v in fn:collection(\"" + cdir + "\")//v return string($v)";
+  for (bool strict : {false, true}) {
+    // Parallel levels share the same classified-outcome contract.
+    for (int parallelism : {1, 4}) {
+      EngineOptions eo;
+      eo.strict_collections = strict;
+      eo.parallelism = parallelism;
+      DynamicContext ctx;
+      ctx.set_document_store(&store);
+      Result<std::string> r = Engine(eo).Execute(query, &ctx);
+      switch (fault.mode) {
+        case IoFaultMode::kNone:
+        case IoFaultMode::kSlowRead:
+        case IoFaultMode::kFlakyThenSucceed:  // per-load retries recover
+          ASSERT_OK(r);
+          EXPECT_EQ(r.value(), "0 1 2")
+              << "strict=" << strict << " parallelism=" << parallelism;
+          break;
+        case IoFaultMode::kFailOpen:
+          // Enumeration itself has no retry loop: while the injector's
+          // fail window is open the whole scan fails with the classified
+          // collection code; once past it, scans are clean.
+          if (r.ok()) {
+            EXPECT_EQ(r.value(), "0 1 2");
+          } else {
+            EXPECT_EQ(r.status().code(), "FODC0002")
+                << r.status().ToString();
+          }
+          break;
+        case IoFaultMode::kShortRead:
+          // Every member's parse fails: lenient scans shrink to empty,
+          // strict scans propagate the member failure.
+          if (strict) {
+            ASSERT_FALSE(r.ok());
+            EXPECT_TRUE(r.status().kind() == StatusKind::kParseError ||
+                        r.status().code() == kStoreQuarantinedCode)
+                << r.status().ToString();
+          } else {
+            ASSERT_OK(r);
+            EXPECT_EQ(r.value(), "");
+          }
+          break;
+        default:
+          // Snapshot-tier faults are inert without a snapshot_dir.
+          ASSERT_OK(r);
+          break;
+      }
+    }
+  }
+  store.set_fault_injector(nullptr);
+
+  // Once the device recovers the same store must serve the scan cleanly
+  // (short-read's quarantines lift via Invalidate).
+  for (int d = 0; d < 3; d++) {
+    store.Invalidate(cdir + "/d" + std::to_string(d) + ".xml");
+  }
+  DynamicContext ctx;
+  ctx.set_document_store(&store);
+  Result<std::string> clean = Engine().Execute(query, &ctx);
+  ASSERT_OK(clean);
+  EXPECT_EQ(clean.value(), "0 1 2");
+  std::system(("rm -rf " + cdir).c_str());
+}
+
 // ---------------------------------------------------------------------------
 // Persistent snapshot tier (src/store/snapshot.h): write-on-first-parse,
 // cold-start reuse, corruption quarantine, crash artifacts, brownout from
