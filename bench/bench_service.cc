@@ -35,11 +35,14 @@
 #include <cstdlib>
 #include <fstream>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "src/net/http_client.h"
+#include "src/net/http_server.h"
 #include "src/service/query_service.h"
 #include "src/store/document_store.h"
 #include "src/store/io_fault.h"
@@ -451,6 +454,306 @@ int ChaosMain() {
   return failures == 0 ? 0 : 1;
 }
 
+// ---------------------------------------------------------------------------
+// HTTP chaos mode (--http): the same saturation discipline driven through
+// the wire instead of the in-process API. A live HttpServer fronts the
+// QueryService; closed-loop tenants, a flooding tenant, and a
+// malformed-frame client all talk real sockets. On top of the overload
+// invariants this mode asserts the prepared-plan cache contract:
+//   * cold (first-compile) p50 > hot (cache-hit) p50,
+//   * hit counters are non-zero,
+//   * the X-XQC-No-Plan-Cache ablation is byte-identical,
+//   * every malformed frame gets a coded 4xx or a clean close,
+//   * the crash-only drain completes bounded.
+// Results go to XQC_HTTP_OUT (default BENCH_http.json).
+// ---------------------------------------------------------------------------
+
+int HttpChaosMain() {
+  const int64_t duration_ms = EnvInt("XQC_CHAOS_MS", 3000);
+  const int64_t client_threads =
+      std::max<int64_t>(2, EnvInt("XQC_CHAOS_THREADS", 6));
+  const uint64_t seed = static_cast<uint64_t>(EnvInt("XQC_CHAOS_SEED", 777));
+  const std::string out_path = EnvStr("XQC_HTTP_OUT", "BENCH_http.json");
+
+  ServiceOptions opts;
+  opts.num_threads = 4;
+  opts.max_queue = 32;
+  opts.admission_wait_ms = 0;
+  opts.default_limits.deadline_ms = 200;
+  opts.tenant_max_in_flight = 8;
+  opts.fair_dequeue = true;
+  opts.shed_on_dequeue = true;
+  opts.retry_backoff_ms = 2;
+  QueryService service(opts);
+  {
+    std::string xml = "<doc>";
+    for (int i = 0; i < 400; i++) {
+      xml += "<item><id>" + std::to_string(i) + "</id></item>";
+    }
+    xml += "</doc>";
+    Result<NodePtr> hot = ParseXml(xml);
+    if (!hot.ok()) return 2;
+    service.RegisterDocument("hot.xml", hot.value());
+  }
+
+  HttpServerOptions hopts;
+  hopts.port = 0;
+  hopts.max_connections = 256;
+  hopts.header_timeout_ms = 2000;
+  hopts.drain_grace_ms = 2000;
+  HttpServer server(hopts, &service);
+  if (!server.Start().ok()) return 2;
+  const int port = server.port();
+  const std::string host = "127.0.0.1";
+
+  const std::string hot_query = "count(doc('hot.xml')//item[id mod 7 = 3])";
+  const std::string slow_query =
+      "count(for $x in doc('hot.xml')//item, $y in doc('hot.xml')//item "
+      "where $x/id = $y/id return 1)";
+
+  auto classify = [](const Status& io, const HttpResponse& resp) {
+    if (!io.ok()) return std::string("closed");
+    if (resp.status == 200) return std::string("ok");
+    const std::string* code = resp.FindHeader("x-xqc-code");
+    if (code != nullptr) return *code;
+    return "http" + std::to_string(resp.status);
+  };
+
+  // --- phase 1: plan-cache cold vs hot, measured before the storm.
+  std::vector<int64_t> cold_us, hot_us;
+  constexpr int kPlanQueries = 12;
+  auto plan_query = [](int i) {
+    return "count(for $i in 1 to " + std::to_string(100 + i) +
+           " return $i * " + std::to_string(i + 2) + ")";
+  };
+  for (int round = 0; round < 4; round++) {
+    for (int i = 0; i < kPlanQueries; i++) {
+      HttpResponse resp;
+      Clock::time_point t0 = Clock::now();
+      Status st = HttpFetch(host, port, "POST", "/query", {}, plan_query(i),
+                            &resp);
+      int64_t us = std::chrono::duration_cast<std::chrono::microseconds>(
+                       Clock::now() - t0)
+                       .count();
+      if (!st.ok() || resp.status != 200) return 2;
+      (round == 0 ? cold_us : hot_us).push_back(us);
+    }
+  }
+  QueryService::PlanCacheStats warm = service.plan_cache_stats();
+
+  // --- phase 2: ablation byte-identity through the wire.
+  bool ablation_identical = true;
+  for (int i = 0; i < kPlanQueries && ablation_identical; i++) {
+    HttpResponse cached, uncached;
+    if (!HttpFetch(host, port, "POST", "/query", {}, plan_query(i), &cached)
+             .ok() ||
+        !HttpFetch(host, port, "POST", "/query",
+                   {{"X-XQC-No-Plan-Cache", "1"}}, plan_query(i), &uncached)
+             .ok()) {
+      ablation_identical = false;
+      break;
+    }
+    ablation_identical = cached.status == 200 && uncached.status == 200 &&
+                         cached.body == uncached.body;
+  }
+
+  // --- phase 3: mixed storm — tenants, a flooder, and a malformed client.
+  std::mutex samples_mu;
+  std::map<std::string, ClassStats> by_class;
+  std::atomic<int64_t> malformed_sent{0}, malformed_clean{0};
+  auto record = [&](const std::string& cls, int64_t us) {
+    std::lock_guard<std::mutex> lock(samples_mu);
+    ClassStats& c = by_class[cls];
+    c.count++;
+    c.total_us.push_back(us);
+  };
+  const Clock::time_point t_end =
+      Clock::now() + std::chrono::milliseconds(duration_ms);
+  std::vector<std::thread> clients;
+  for (int64_t t = 0; t < client_threads; t++) {
+    clients.emplace_back([&, t] {
+      uint64_t rng = seed ^ (0x9e3779b97f4a7c15ull * (t + 1));
+      const bool flooder = (t == 0);
+      const bool vandal = (t == 1);  // speaks broken HTTP on purpose
+      const std::string tenant = "tenant" + std::to_string(t % 3);
+      // The malformed corpus the vandal cycles through.
+      const std::string kBadWire[] = {
+          "GET / HTTP/9.9\r\n\r\n",
+          "POST /query HTTP/1.1\r\nContent-Length: 2\r\n"
+          "Content-Length: 3\r\n\r\nab",
+          std::string("POST /query HTTP/1.1\r\nX: a\0b\r\n\r\n", 33),
+          "POST /query HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\nzz\r\n",
+          "junk that is not HTTP at all\r\n\r\n",
+          "POST /query HTTP/1.1\r\nContent-Length: 9999999\r\n\r\n",
+      };
+      while (Clock::now() < t_end) {
+        if (vandal) {
+          HttpClient c;
+          if (!c.Connect(host, port).ok()) continue;
+          const std::string& wire =
+              kBadWire[NextRand(&rng) % (sizeof(kBadWire) /
+                                         sizeof(kBadWire[0]))];
+          malformed_sent.fetch_add(1);
+          if (!c.SendRaw(wire).ok()) continue;
+          HttpResponse resp;
+          Clock::time_point t0 = Clock::now();
+          Status st = c.ReadResponse(&resp, 3000);
+          int64_t us = std::chrono::duration_cast<std::chrono::microseconds>(
+                           Clock::now() - t0)
+                           .count();
+          if (st.ok() && resp.status >= 400 && resp.status < 500) {
+            record("malformed-4xx", us);
+          } else if (!st.ok()) {
+            malformed_clean.fetch_add(1);
+            record("closed", us);
+          } else {
+            record("malformed-UNEXPECTED-" + std::to_string(resp.status), us);
+          }
+          continue;
+        }
+        if (flooder) {
+          // Tenant "flood" opens a burst of parallel connections, all
+          // slow queries: past its quota they come back 429 [XQC0010],
+          // and past the queue bound 429 [XQC0007] — now as HTTP codes.
+          constexpr int kBurst = 24;
+          std::vector<std::unique_ptr<HttpClient>> burst;
+          std::vector<Clock::time_point> starts;
+          for (int i = 0; i < kBurst; i++) {
+            auto c = std::make_unique<HttpClient>();
+            if (!c->Connect(host, port).ok()) break;
+            std::string req = "POST /query HTTP/1.1\r\nHost: x\r\n"
+                              "X-XQC-Tenant: flood\r\nContent-Length: " +
+                              std::to_string(slow_query.size()) + "\r\n\r\n" +
+                              slow_query;
+            starts.push_back(Clock::now());
+            if (!c->SendRaw(req).ok()) break;
+            burst.push_back(std::move(c));
+          }
+          for (size_t i = 0; i < burst.size(); i++) {
+            HttpResponse resp;
+            Status st = burst[i]->ReadResponse(&resp, 10'000);
+            int64_t us =
+                std::chrono::duration_cast<std::chrono::microseconds>(
+                    Clock::now() - starts[i])
+                    .count();
+            record(classify(st, resp), us);
+          }
+          std::this_thread::sleep_for(std::chrono::milliseconds(10));
+          continue;
+        }
+        // Closed-loop keep-alive tenant.
+        HttpClient c;
+        if (!c.Connect(host, port).ok()) continue;
+        for (int i = 0; i < 16 && Clock::now() < t_end; i++) {
+          const uint64_t roll = NextRand(&rng) % 100;
+          std::vector<std::pair<std::string, std::string>> headers = {
+              {"X-XQC-Tenant", tenant}};
+          std::string q = hot_query;
+          if (roll >= 80) {
+            q = slow_query;
+          } else if (roll >= 70) {
+            headers.push_back({"X-XQC-Deadline-Ms", "10"});  // tight budget
+          }
+          HttpResponse resp;
+          Clock::time_point t0 = Clock::now();
+          Status st = c.Request("POST", "/query", headers, q, &resp, 10'000);
+          int64_t us = std::chrono::duration_cast<std::chrono::microseconds>(
+                           Clock::now() - t0)
+                           .count();
+          record(classify(st, resp), us);
+          if (!st.ok() || !resp.keep_alive) break;
+        }
+      }
+    });
+  }
+  for (auto& c : clients) c.join();
+
+  // --- phase 4: crash-only drain, bounded.
+  Clock::time_point d0 = Clock::now();
+  server.Stop();
+  service.Shutdown();
+  const int64_t drain_ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(Clock::now() - d0)
+          .count();
+
+  HttpServer::Counters hc = server.counters();
+  QueryService::PlanCacheStats pc = service.plan_cache_stats();
+  const int64_t cold_p50 = PercentileUs(cold_us, 0.50);
+  const int64_t hot_p50 = PercentileUs(hot_us, 0.50);
+
+  Check(warm.hits > 0, "plan cache hits observed (" +
+                           std::to_string(warm.hits) + ")");
+  Check(hot_p50 < cold_p50,
+        "cached plans beat cold compiles (hot p50 " +
+            std::to_string(hot_p50) + "us < cold p50 " +
+            std::to_string(cold_p50) + "us)");
+  Check(ablation_identical, "--no-plan-cache ablation is byte-identical");
+  Check(by_class.count("ok") != 0 && by_class["ok"].count > 0,
+        "accepted work completed over the wire");
+  Check(malformed_sent.load() > 0 &&
+            (by_class.count("malformed-4xx") != 0 ||
+             malformed_clean.load() > 0),
+        "malformed frames got coded 4xx or clean closes (" +
+            std::to_string(malformed_sent.load()) + " sent)");
+  bool unexpected = false;
+  for (auto& [cls, c] : by_class) {
+    if (cls.rfind("malformed-UNEXPECTED", 0) == 0) unexpected = true;
+  }
+  Check(!unexpected, "no malformed frame got a 2xx/5xx");
+  Check(by_class.count(kServiceOverloadedCode) != 0 ||
+            by_class.count(kTenantOverQuotaCode) != 0,
+        "overload surfaced as coded 429s through HTTP");
+  Check(drain_ms < hopts.drain_grace_ms + 8000,
+        "drain + shutdown bounded (" + std::to_string(drain_ms) + "ms)");
+  Check(hc.requests > 0, "server counted requests");
+
+  std::ofstream out(out_path, std::ios::trunc);
+  out << "{\n  \"name\": \"chaos_http\",\n"
+      << "  \"duration_ms\": " << duration_ms << ",\n"
+      << "  \"client_threads\": " << client_threads << ",\n"
+      << "  \"drain_ms\": " << drain_ms << ",\n"
+      << "  \"invariant_failures\": " << failures << ",\n"
+      << "  \"plan_cache\": {\"hits\": " << pc.hits
+      << ", \"misses\": " << pc.misses << ", \"compiles\": " << pc.compiles
+      << ", \"negative_hits\": " << pc.negative_hits
+      << ", \"waiters_coalesced\": " << pc.waiters_coalesced
+      << ", \"entries\": " << pc.entries << ", \"bytes\": " << pc.bytes
+      << ", \"cold_p50_us\": " << cold_p50 << ", \"cold_p99_us\": "
+      << PercentileUs(cold_us, 0.99) << ", \"hot_p50_us\": " << hot_p50
+      << ", \"hot_p99_us\": " << PercentileUs(hot_us, 0.99) << "},\n"
+      << "  \"outcomes\": {\n";
+  bool first = true;
+  for (auto& [cls, c] : by_class) {
+    if (!first) out << ",\n";
+    first = false;
+    out << "    \"" << cls << "\": {\"count\": " << c.count
+        << ", \"p50_us\": " << PercentileUs(c.total_us, 0.50)
+        << ", \"p99_us\": " << PercentileUs(c.total_us, 0.99) << "}";
+  }
+  out << "\n  },\n  \"http_counters\": {"
+      << "\"accepted\": " << hc.accepted << ", \"requests\": " << hc.requests
+      << ", \"responses_2xx\": " << hc.responses_2xx
+      << ", \"responses_4xx\": " << hc.responses_4xx
+      << ", \"responses_5xx\": " << hc.responses_5xx
+      << ", \"malformed\": " << hc.malformed
+      << ", \"client_closed_early\": " << hc.client_closed_early
+      << ", \"bytes_in\": " << hc.bytes_in
+      << ", \"bytes_out\": " << hc.bytes_out << "}\n}\n";
+  out.close();
+  std::fprintf(stderr, "[chaos-http] wrote %s (%d invariant failure%s)\n",
+               out_path.c_str(), failures, failures == 1 ? "" : "s");
+  return failures == 0 ? 0 : 1;
+}
+
 }  // namespace xqc
 
-int main() { return xqc::ChaosMain(); }
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; i++) {
+    if (std::string(argv[i]) == "--http") return xqc::HttpChaosMain();
+  }
+  const char* mode = std::getenv("XQC_CHAOS_HTTP");
+  if (mode != nullptr && std::string(mode) == "1") {
+    return xqc::HttpChaosMain();
+  }
+  return xqc::ChaosMain();
+}

@@ -8,7 +8,13 @@
 # saturation with a mid-run I/O fault window and asserts its own
 # invariants — a non-zero exit means an invariant was violated.
 #
-# Usage: scripts/bench_service.sh
+# With --http the same harness is driven through a real socket instead:
+# every request goes over HTTP/1.1 to an in-process HttpServer (plan
+# cache on), with a flooding tenant, a vandal thread sending malformed
+# frames, cold-vs-hot plan-compile timing, a --no-plan-cache ablation
+# byte-identity check, and a timed drain; results go to BENCH_http.json.
+#
+# Usage: scripts/bench_service.sh [--http]
 #   XQC_CHAOS_MS=<n>       run length in ms (default 6000 here)
 #   XQC_CHAOS_THREADS=<n>  client threads (default 8)
 #   XQC_CHAOS_SEED=<n>     traffic-mix RNG seed
@@ -22,7 +28,12 @@ JOBS=$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)
 cmake -B build -S . >/dev/null
 cmake --build build -j "$JOBS" --target bench_service
 
-XQC_CHAOS_MS="${XQC_CHAOS_MS:-6000}" \
-  XQC_CHAOS_OUT=BENCH_service.json ./build/bench/bench_service
-
-echo "wrote BENCH_service.json"
+if [[ "${1:-}" == "--http" ]]; then
+  XQC_CHAOS_MS="${XQC_CHAOS_MS:-6000}" \
+    XQC_HTTP_OUT=BENCH_http.json ./build/bench/bench_service --http
+  echo "wrote BENCH_http.json"
+else
+  XQC_CHAOS_MS="${XQC_CHAOS_MS:-6000}" \
+    XQC_CHAOS_OUT=BENCH_service.json ./build/bench/bench_service
+  echo "wrote BENCH_service.json"
+fi

@@ -104,6 +104,34 @@ if [[ "${1:-}" != "--sanitize-only" ]]; then
   # violation. scripts/bench_service.sh runs the full-length version.
   XQC_CHAOS_MS="${XQC_CHAOS_SMOKE_MS:-2000}" \
     XQC_CHAOS_OUT=build/BENCH_service_smoke.json ./build/bench/bench_service
+
+  echo "=== HTTP net-fault matrix (XQC_NET_FAULT_MODE) ==="
+  # The HttpEnvFault suite drives live query round-trips under each
+  # socket-level fault mode (accept failures, short writes, stalled
+  # reads, mid-response closes, 1-byte/10ms slow clients) and asserts
+  # mode-specific outcomes plus a bounded clean shutdown; sweep every
+  # mode the injector supports. The full adversarial corpus in http_test
+  # already ran under ctest above (and runs again under ASan below).
+  for mode in none accept-fail short-write stalled-read mid-response-close \
+      slow-client; do
+    echo "--- XQC_NET_FAULT_MODE=$mode ---"
+    XQC_NET_FAULT_MODE="$mode" ./build/tests/http_test \
+      --gtest_filter='HttpEnvFault*' --gtest_brief=1
+  done
+
+  echo "=== HTTP chaos smoke (bench_service --http, short run) ==="
+  # The overload chaos harness driven through a real socket: flooding
+  # tenant, malformed-frame vandal, cold-vs-hot plan-cache timing, the
+  # --no-plan-cache ablation byte-identity check, and a timed drain. The
+  # harness asserts its own invariants and exits non-zero on violation.
+  # scripts/bench_service.sh --http runs the full-length version.
+  XQC_CHAOS_MS="${XQC_CHAOS_SMOKE_MS:-2000}" \
+    XQC_HTTP_OUT=build/BENCH_http_smoke.json ./build/bench/bench_service --http
+
+  echo "=== real-binary HTTP smoke (xqc_httpd + curl + SIGTERM drain) ==="
+  # Boot the actual server binary, drive it over the wire with curl, and
+  # SIGTERM it with a request in flight: crash-only drain, exit 0.
+  scripts/http_smoke.sh build/examples/xqc_httpd
 fi
 
 echo "=== sanitized build + tests (build-asan/, address+undefined) ==="
@@ -120,17 +148,18 @@ echo "=== thread-sanitized build + tests (build-tsan/) ==="
 # queue/shedding bookkeeping, the concurrent property oracle, the
 # DocumentStore singleflight/eviction/quarantine/breaker stress in
 # store_test, the partitioned fn:collection execution + shared TaskPool in
-# parallel_test) plus the guard and streaming suites whose machinery
-# (cancellation tokens, ScopedGuard, ResultStream) the threaded paths
-# lean on.
+# parallel_test, and the HTTP event loop's handoff to the worker pool —
+# completions queue, self-pipe wakeups, drain races — in http_test) plus
+# the guard and streaming suites whose machinery (cancellation tokens,
+# ScopedGuard, ResultStream) the threaded paths lean on.
 cmake -B build-tsan -S . -DXQC_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "$JOBS" --target \
   concurrency_test service_test property_test guard_test streaming_test \
-  store_test parallel_test
+  store_test parallel_test http_test
 (
   ulimit -s 262144 2>/dev/null || echo "warning: could not raise stack limit"
   cd build-tsan && ctest --output-on-failure -j "$JOBS" \
-    -R 'concurrency_test|service_test|property_test|guard_test|streaming_test|store_test|parallel_test'
+    -R 'concurrency_test|service_test|property_test|guard_test|streaming_test|store_test|parallel_test|http_test'
 )
 
 echo "=== all checks passed ==="

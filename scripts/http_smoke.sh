@@ -1,0 +1,85 @@
+#!/usr/bin/env bash
+# Real-binary HTTP smoke: boot the actual xqc_httpd binary on an
+# ephemeral port, drive it with curl (query round-trip, plan-cache hit,
+# coded query error, /invalidate, /stats, /readyz), throw one malformed
+# frame at the raw socket, then SIGTERM it with a request in flight and
+# require a clean, bounded, zero-exit crash-only drain. This is the only
+# place the full stack — argv parsing, signal handler, event loop,
+# worker pool, drain — runs as the user would run it.
+#
+# Usage: scripts/http_smoke.sh [path/to/xqc_httpd]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BIN="${1:-build/examples/xqc_httpd}"
+[[ -x "$BIN" ]] || { echo "http_smoke: $BIN not built"; exit 1; }
+
+LOG=$(mktemp)
+cleanup() {
+  kill -9 "$PID" 2>/dev/null || true
+  rm -f "$LOG"
+}
+"$BIN" --port 0 --drain-grace-ms 2000 2>"$LOG" &
+PID=$!
+trap cleanup EXIT
+
+# --port 0 lets the kernel pick; the binary logs the bound port.
+PORT=""
+for _ in $(seq 1 100); do
+  PORT=$(sed -n 's/.*listening on [0-9.]*:\([0-9]*\).*/\1/p' "$LOG" | head -1)
+  [[ -n "$PORT" ]] && break
+  kill -0 "$PID" 2>/dev/null || { echo "http_smoke: server died at startup"; cat "$LOG"; exit 1; }
+  sleep 0.1
+done
+[[ -n "$PORT" ]] || { echo "http_smoke: no listening line"; cat "$LOG"; exit 1; }
+
+URL="http://127.0.0.1:$PORT"
+
+out=$(curl -sS -X POST --data-binary "1 to 5" "$URL/query")
+[[ "$out" == "1 2 3 4 5" ]] || { echo "http_smoke: bad query result: '$out'"; exit 1; }
+
+# Second trip with the same query must be a plan-cache hit.
+curl -sS -X POST --data-binary "1 to 5" "$URL/query" >/dev/null
+curl -sS "$URL/stats" | grep -q '"hits": [1-9]' \
+  || { echo "http_smoke: no plan-cache hit in /stats"; exit 1; }
+
+[[ "$(curl -sS "$URL/readyz")" == "ready" ]] \
+  || { echo "http_smoke: /readyz not ready"; exit 1; }
+
+# A hostile query is the query's problem, not the server's: 400 + code.
+code=$(curl -sS -o /dev/null -w '%{http_code}' -X POST \
+  --data-binary "1 to (((" "$URL/query")
+[[ "$code" == "400" ]] || { echo "http_smoke: parse error gave $code, want 400"; exit 1; }
+
+# A malformed frame on the raw socket gets a coded 400, never a crash.
+if ! timeout 5 bash -c "exec 3<>/dev/tcp/127.0.0.1/$PORT;
+    printf 'GET / HTTP/9.9\r\n\r\n' >&3; head -c 64 <&3 | grep -q ' 400 '"; then
+  echo "http_smoke: malformed frame not rejected with 400"; exit 1
+fi
+
+curl -sS -X POST --data-binary "*" "$URL/invalidate" | grep -q '"invalidated"' \
+  || { echo "http_smoke: /invalidate failed"; exit 1; }
+
+# SIGTERM with a request in flight: the drain must finish it (or cancel
+# it as XQC0012 after the grace), then the process must exit 0.
+curl -sS -X POST -H 'X-XQC-Deadline-Ms: 5000' \
+  --data-binary "count(for \$a in 1 to 300000 return \$a)" \
+  "$URL/query" >/dev/null 2>&1 &
+CURL=$!
+sleep 0.2
+kill -TERM "$PID"
+wait "$CURL" 2>/dev/null || true
+
+for _ in $(seq 1 150); do
+  kill -0 "$PID" 2>/dev/null || break
+  sleep 0.1
+done
+if kill -0 "$PID" 2>/dev/null; then
+  echo "http_smoke: drain hung past 15s"; cat "$LOG"; exit 1
+fi
+RC=0; wait "$PID" || RC=$?
+[[ "$RC" == "0" ]] || { echo "http_smoke: xqc_httpd exited $RC"; cat "$LOG"; exit 1; }
+grep -q '^drained:' "$LOG" || { echo "http_smoke: no drain summary"; cat "$LOG"; exit 1; }
+
+echo "http_smoke: OK (port $PORT, clean drain)"

@@ -35,39 +35,9 @@
 #include <utility>
 
 #include "src/base/status.h"
+#include "src/base/xqc_codes.h"
 
 namespace xqc {
-
-// Vendor error codes for guard trips (kept together so callers matching on
-// code() have one place to look).
-inline constexpr const char* kGuardTimeoutCode = "XQC0001";
-inline constexpr const char* kGuardCancelledCode = "XQC0002";
-inline constexpr const char* kGuardMemoryCode = "XQC0003";
-inline constexpr const char* kGuardOutputCode = "XQC0004";
-inline constexpr const char* kGuardRecursionCode = "XQC0005";
-inline constexpr const char* kGuardStepsCode = "XQC0006";
-/// Issued by QueryService (src/service), not by QueryGuard itself: the
-/// admission queue stayed saturated past the queue-wait timeout, or the
-/// service is shutting down. Kept here so every XQC00xx code is listed in
-/// one place.
-inline constexpr const char* kServiceOverloadedCode = "XQC0007";
-/// Issued by DocumentStore (src/store): a transient I/O failure persisted
-/// through the whole retry budget (StatusKind::kIOError).
-inline constexpr const char* kStoreRetriesExhaustedCode = "XQC0008";
-/// Issued by DocumentStore: the document is quarantined — its cached
-/// parse/validation failure is replayed without re-reading or re-parsing,
-/// until the file changes or Invalidate(uri) is called. The status kind
-/// mirrors the original failure's kind.
-inline constexpr const char* kStoreQuarantinedCode = "XQC0009";
-/// Issued by QueryService: the request's tenant is over its admission
-/// quota (per-tenant in-flight or queued cap). Fast-failed at Submit so
-/// one tenant's burst cannot starve the rest of the queue.
-inline constexpr const char* kTenantOverQuotaCode = "XQC0010";
-/// Issued by DocumentStore: the circuit breaker for the document's URI
-/// prefix is open after repeated transient I/O failures — the load fails
-/// immediately (StatusKind::kIOError) instead of burning a retry/backoff
-/// cycle, until a half-open probe observes recovery.
-inline constexpr const char* kStoreBreakerOpenCode = "XQC0011";
 
 /// Per-query resource limits. 0 means unlimited.
 struct GuardLimits {

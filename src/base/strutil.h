@@ -43,6 +43,12 @@ std::vector<std::string_view> Split(std::string_view s, char sep);
 /// XML-escapes text content (& < >) or attribute values (also " ).
 std::string XmlEscape(std::string_view s, bool in_attribute);
 
+/// RFC 3986 percent-decoding; malformed escapes ("%", "%2", "%GG") pass
+/// through literally. Shared by DocumentStore URI normalization and the
+/// HTTP request-target parser, which must agree on every input (see the
+/// malformed-escape cases in store_test.cc).
+std::string PercentDecode(std::string_view s);
+
 // ---- UTF-8 codepoint helpers ------------------------------------------------
 // The XQuery string model counts characters (Unicode codepoints), not
 // bytes; fn:string-length / fn:substring index by codepoint. Continuation

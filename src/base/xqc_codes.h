@@ -1,0 +1,102 @@
+// The consolidated XQC vendor error-code registry.
+//
+// Every xqc-specific (non-W3C) error code lives in this one table: the
+// code string callers match on, the C++ constant naming it, what it
+// means, and which layer issues it. The per-layer headers used to carry
+// these as scattered string constants and comments; keeping the registry
+// in one place makes "is this code taken?" a lookup instead of a grep,
+// and base_test.cc asserts the table stays unique and gapless.
+//
+// Adding a code: append a kXqcCodeTable row AND a named constant, keep
+// the numbering contiguous, and document the code in README.md's
+// "XQC error codes" table.
+#ifndef XQC_BASE_XQC_CODES_H_
+#define XQC_BASE_XQC_CODES_H_
+
+#include <cstddef>
+
+namespace xqc {
+
+/// Wall-clock deadline exceeded (GuardLimits::deadline_ms), including
+/// deadlines exhausted in the service admission queue.
+inline constexpr const char* kGuardTimeoutCode = "XQC0001";
+/// Cancelled via CancellationToken.
+inline constexpr const char* kGuardCancelledCode = "XQC0002";
+/// Accounted memory budget exceeded (GuardLimits::max_memory_bytes).
+inline constexpr const char* kGuardMemoryCode = "XQC0003";
+/// Output-size cap exceeded (GuardLimits::max_output_items).
+inline constexpr const char* kGuardOutputCode = "XQC0004";
+/// Recursion depth exceeded (issued by the evaluators).
+inline constexpr const char* kGuardRecursionCode = "XQC0005";
+/// Eval-step quota exceeded (GuardLimits::max_eval_steps).
+inline constexpr const char* kGuardStepsCode = "XQC0006";
+/// QueryService admission failure: the queue stayed saturated past the
+/// queue-wait timeout, the predicted queue wait exceeds the request
+/// deadline, or the service is shut down.
+inline constexpr const char* kServiceOverloadedCode = "XQC0007";
+/// DocumentStore: a transient I/O failure persisted through the whole
+/// retry budget (StatusKind::kIOError).
+inline constexpr const char* kStoreRetriesExhaustedCode = "XQC0008";
+/// DocumentStore: the document is quarantined — its cached
+/// parse/validation failure is replayed without re-reading or re-parsing,
+/// until the file changes or Invalidate(uri) is called.
+inline constexpr const char* kStoreQuarantinedCode = "XQC0009";
+/// QueryService: the request's tenant is over its admission quota
+/// (per-tenant in-flight or queued cap), fast-failed at Submit.
+inline constexpr const char* kTenantOverQuotaCode = "XQC0010";
+/// DocumentStore: the circuit breaker for the document's URI prefix is
+/// open after repeated transient I/O failures; the load fails immediately
+/// until a half-open probe observes recovery.
+inline constexpr const char* kStoreBreakerOpenCode = "XQC0011";
+/// HttpServer: the service is draining (SIGTERM/SIGINT or BeginDrain) —
+/// new work is refused while in-flight requests finish within their
+/// deadlines. Clients should retry against another instance.
+inline constexpr const char* kServiceDrainingCode = "XQC0012";
+/// HttpServer: the request is malformed or oversized (bad request line,
+/// header, or body framing; caps exceeded). Never retriable as-is.
+inline constexpr const char* kMalformedRequestCode = "XQC0013";
+
+/// One registry row: the wire code, its C++ constant's name, a one-line
+/// meaning, and the layer that issues it.
+struct XqcCodeInfo {
+  const char* code;
+  const char* symbol;
+  const char* meaning;
+  const char* origin;
+};
+
+inline constexpr XqcCodeInfo kXqcCodeTable[] = {
+    {kGuardTimeoutCode, "kGuardTimeoutCode",
+     "wall-clock deadline exceeded", "base/guard"},
+    {kGuardCancelledCode, "kGuardCancelledCode",
+     "cancelled via CancellationToken", "base/guard"},
+    {kGuardMemoryCode, "kGuardMemoryCode",
+     "memory budget exceeded", "base/guard"},
+    {kGuardOutputCode, "kGuardOutputCode",
+     "output-size cap exceeded", "base/guard"},
+    {kGuardRecursionCode, "kGuardRecursionCode",
+     "recursion depth exceeded", "runtime/interp evaluators"},
+    {kGuardStepsCode, "kGuardStepsCode",
+     "eval-step quota exceeded", "base/guard"},
+    {kServiceOverloadedCode, "kServiceOverloadedCode",
+     "admission queue saturated or service shut down", "service"},
+    {kStoreRetriesExhaustedCode, "kStoreRetriesExhaustedCode",
+     "transient I/O failure outlived the retry budget", "store"},
+    {kStoreQuarantinedCode, "kStoreQuarantinedCode",
+     "document quarantined; cached failure replayed", "store"},
+    {kTenantOverQuotaCode, "kTenantOverQuotaCode",
+     "tenant over its admission quota", "service"},
+    {kStoreBreakerOpenCode, "kStoreBreakerOpenCode",
+     "circuit breaker open for the URI prefix", "store"},
+    {kServiceDrainingCode, "kServiceDrainingCode",
+     "service draining; new work refused", "net"},
+    {kMalformedRequestCode, "kMalformedRequestCode",
+     "malformed or oversized HTTP request", "net"},
+};
+
+inline constexpr size_t kXqcCodeCount =
+    sizeof(kXqcCodeTable) / sizeof(kXqcCodeTable[0]);
+
+}  // namespace xqc
+
+#endif  // XQC_BASE_XQC_CODES_H_

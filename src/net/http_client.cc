@@ -1,0 +1,208 @@
+#include "src/net/http_client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+namespace xqc {
+
+namespace {
+
+std::string ToLower(std::string s) {
+  for (char& c : s) {
+    if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+  }
+  return s;
+}
+
+int64_t NowMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+const std::string* HttpResponse::FindHeader(const std::string& name) const {
+  for (const auto& [k, v] : headers) {
+    if (k == name) return &v;
+  }
+  return nullptr;
+}
+
+HttpClient::~HttpClient() { Close(); }
+
+Status HttpClient::Connect(const std::string& host, int port) {
+  Close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    return Status::IOError("socket(): " + std::string(std::strerror(errno)));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    Close();
+    return Status::IOError("bad address '" + host + "'");
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status st = Status::IOError("connect(" + host + ":" +
+                                std::to_string(port) +
+                                "): " + std::strerror(errno));
+    Close();
+    return st;
+  }
+  int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  buf_.clear();
+  return Status::OK();
+}
+
+void HttpClient::Close() {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+}
+
+Status HttpClient::SendRaw(const std::string& bytes) {
+  if (fd_ < 0) return Status::IOError("not connected");
+  size_t off = 0;
+  while (off < bytes.size()) {
+    ssize_t n = ::send(fd_, bytes.data() + off, bytes.size() - off,
+                       MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError("send(): " + std::string(std::strerror(errno)));
+    }
+    off += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+void HttpClient::HalfClose() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_WR);
+}
+
+Status HttpClient::ReadResponse(HttpResponse* out, int64_t timeout_ms) {
+  if (fd_ < 0) return Status::IOError("not connected");
+  *out = HttpResponse();
+  const int64_t deadline = NowMs() + timeout_ms;
+  bool peer_closed = false;
+  auto fill = [&]() -> Status {
+    const int64_t left = deadline - NowMs();
+    if (left <= 0) return Status::IOError("response read timed out");
+    pollfd pfd{fd_, POLLIN, 0};
+    int pr = ::poll(&pfd, 1, static_cast<int>(left));
+    if (pr == 0) return Status::IOError("response read timed out");
+    char tmp[4096];
+    ssize_t n = ::read(fd_, tmp, sizeof(tmp));
+    if (n < 0) {
+      if (errno == EINTR) return Status::OK();
+      return Status::IOError("read(): " + std::string(std::strerror(errno)));
+    }
+    if (n == 0) {
+      peer_closed = true;
+      return Status::OK();
+    }
+    buf_.append(tmp, static_cast<size_t>(n));
+    return Status::OK();
+  };
+
+  // Header block.
+  size_t hdr_end;
+  while ((hdr_end = buf_.find("\r\n\r\n")) == std::string::npos) {
+    if (peer_closed) {
+      return Status::IOError(buf_.empty() ? "closed"
+                                          : "closed mid-response-headers");
+    }
+    Status st = fill();
+    if (!st.ok()) return st;
+  }
+  const std::string head = buf_.substr(0, hdr_end);
+  size_t line_end = head.find("\r\n");
+  const std::string status_line =
+      line_end == std::string::npos ? head : head.substr(0, line_end);
+  if (status_line.rfind("HTTP/1.", 0) != 0 || status_line.size() < 12) {
+    return Status::IOError("bad status line '" + status_line + "'");
+  }
+  out->status = std::atoi(status_line.c_str() + 9);
+  size_t pos = line_end == std::string::npos ? head.size() : line_end + 2;
+  while (pos < head.size()) {
+    size_t eol = head.find("\r\n", pos);
+    const std::string line =
+        head.substr(pos, eol == std::string::npos ? std::string::npos
+                                                  : eol - pos);
+    pos = eol == std::string::npos ? head.size() : eol + 2;
+    const size_t colon = line.find(':');
+    if (colon == std::string::npos) continue;
+    std::string value = line.substr(colon + 1);
+    while (!value.empty() && (value.front() == ' ' || value.front() == '\t')) {
+      value.erase(value.begin());
+    }
+    out->headers.emplace_back(ToLower(line.substr(0, colon)), value);
+  }
+  if (const std::string* conn = out->FindHeader("connection")) {
+    out->keep_alive = ToLower(*conn) != "close";
+  }
+
+  // Body: Content-Length framed, or close-delimited.
+  const size_t body_start = hdr_end + 4;
+  if (const std::string* cl = out->FindHeader("content-length")) {
+    const size_t n = static_cast<size_t>(std::atoll(cl->c_str()));
+    while (buf_.size() < body_start + n) {
+      if (peer_closed) {
+        return Status::IOError("closed mid-response-body (got " +
+                               std::to_string(buf_.size() - body_start) +
+                               " of " + std::to_string(n) + " bytes)");
+      }
+      Status st = fill();
+      if (!st.ok()) return st;
+    }
+    out->body = buf_.substr(body_start, n);
+    buf_.erase(0, body_start + n);
+    return Status::OK();
+  }
+  while (!peer_closed) {
+    Status st = fill();
+    if (!st.ok()) return st;
+  }
+  out->body = buf_.substr(body_start);
+  out->keep_alive = false;
+  buf_.clear();
+  return Status::OK();
+}
+
+Status HttpClient::Request(
+    const std::string& method, const std::string& target,
+    const std::vector<std::pair<std::string, std::string>>& headers,
+    const std::string& body, HttpResponse* out, int64_t timeout_ms) {
+  std::string req = method + " " + target + " HTTP/1.1\r\n";
+  req += "Host: localhost\r\n";
+  for (const auto& [k, v] : headers) req += k + ": " + v + "\r\n";
+  req += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  req += "\r\n";
+  req += body;
+  Status st = SendRaw(req);
+  if (!st.ok()) return st;
+  return ReadResponse(out, timeout_ms);
+}
+
+Status HttpFetch(const std::string& host, int port, const std::string& method,
+                 const std::string& target,
+                 const std::vector<std::pair<std::string, std::string>>&
+                     headers,
+                 const std::string& body, HttpResponse* out,
+                 int64_t timeout_ms) {
+  HttpClient client;
+  Status st = client.Connect(host, port);
+  if (!st.ok()) return st;
+  return client.Request(method, target, headers, body, out, timeout_ms);
+}
+
+}  // namespace xqc

@@ -1,0 +1,75 @@
+// A deliberately small blocking HTTP/1.1 client for tests and the bench
+// harness — connect, send one or more requests, read framed responses.
+// It is NOT a general client: no TLS, no redirects, no proxies. What it
+// does have is what the adversarial tests need: raw-byte sends (to write
+// malformed requests onto the wire verbatim), partial sends with pauses
+// (to *be* the slowloris), half-close, and strict response parsing that
+// distinguishes a clean close from a truncated one.
+#ifndef XQC_NET_HTTP_CLIENT_H_
+#define XQC_NET_HTTP_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/base/status.h"
+
+namespace xqc {
+
+struct HttpResponse {
+  int status = 0;
+  std::vector<std::pair<std::string, std::string>> headers;  // lowercased keys
+  std::string body;
+  bool keep_alive = true;
+
+  const std::string* FindHeader(const std::string& name) const;
+};
+
+/// One TCP connection to an HttpServer. Methods return kIOError statuses
+/// on socket failures; response framing violations (which a correct
+/// server never produces) are kIOError too.
+class HttpClient {
+ public:
+  HttpClient() = default;
+  ~HttpClient();
+  HttpClient(const HttpClient&) = delete;
+  HttpClient& operator=(const HttpClient&) = delete;
+
+  Status Connect(const std::string& host, int port);
+  bool connected() const { return fd_ >= 0; }
+  void Close();
+
+  /// Sends raw bytes verbatim (for malformed-request tests).
+  Status SendRaw(const std::string& bytes);
+  /// Shuts down the write side, signalling EOF while still reading.
+  void HalfClose();
+
+  /// Reads one framed response (Content-Length or close-delimited).
+  /// `timeout_ms` bounds the whole read. A clean EOF before any byte of
+  /// a response yields kIOError with message "closed".
+  Status ReadResponse(HttpResponse* out, int64_t timeout_ms = 10000);
+
+  /// Convenience: send a well-formed request and read the response.
+  Status Request(const std::string& method, const std::string& target,
+                 const std::vector<std::pair<std::string, std::string>>&
+                     headers,
+                 const std::string& body, HttpResponse* out,
+                 int64_t timeout_ms = 10000);
+
+ private:
+  int fd_ = -1;
+  std::string buf_;  // bytes read past the previous response
+};
+
+/// One-shot helper: connect, request, read, close.
+Status HttpFetch(const std::string& host, int port, const std::string& method,
+                 const std::string& target,
+                 const std::vector<std::pair<std::string, std::string>>&
+                     headers,
+                 const std::string& body, HttpResponse* out,
+                 int64_t timeout_ms = 10000);
+
+}  // namespace xqc
+
+#endif  // XQC_NET_HTTP_CLIENT_H_

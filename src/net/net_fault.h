@@ -1,0 +1,78 @@
+// Deterministic socket-level fault injection for the HTTP front end,
+// extending the fault-injection family (GuardFaultInjector for the
+// engines, IoFaultInjector for storage) to the wire. Every HttpServer
+// failure path — accept failures, clients that stall mid-request, kernels
+// that accept only short writes, connections that vanish mid-response,
+// clients that drain responses one byte at a time — is drivable from
+// tests without a misbehaving peer.
+//
+// An injector is installed in HttpServerOptions::fault_injector and
+// consulted by the event loop at each faultable operation. Counters are
+// atomic so tests can share one injector across runs.
+#ifndef XQC_NET_NET_FAULT_H_
+#define XQC_NET_NET_FAULT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string_view>
+
+namespace xqc {
+
+enum class NetFaultMode : uint8_t {
+  kNone,
+  /// accept() "fails": the accepted socket is immediately closed and
+  /// counted, as if the kernel had returned EMFILE. The accept loop must
+  /// log, back off nothing, and keep serving existing connections.
+  kAcceptFail,
+  /// Every send() transfers at most 7 bytes — responses trickle out in
+  /// many partial writes. The write path must track offsets correctly and
+  /// deliver byte-identical responses, just slower.
+  kShortWrite,
+  /// Reads return no data (as if the client stopped sending mid-request).
+  /// The header/body read timeouts must evict the connection; nothing may
+  /// hang or leak.
+  kStalledRead,
+  /// The connection is hard-closed after writing roughly half of each
+  /// response — the client sees a truncated response, the server must
+  /// clean up the connection and count the truncation.
+  kMidResponseClose,
+  /// Simulates a client draining 1 byte per 10ms (a full socket buffer):
+  /// each send() transfers one byte and the connection then waits out a
+  /// write cooldown. Large responses must hit the write timeout and be
+  /// evicted rather than pinning the loop.
+  kSlowClient,
+};
+
+struct NetFaultInjector {
+  NetFaultMode mode = NetFaultMode::kNone;
+  /// 0 = every matching operation faults; otherwise only the first n.
+  int64_t fail_n = 0;
+  /// kSlowClient: cooldown between 1-byte writes.
+  int64_t slow_write_gap_ms = 10;
+  /// Matching operations observed (diagnostics; shared across threads).
+  std::atomic<int64_t> ops{0};
+
+  /// Draws the next operation number and says whether it faults.
+  bool Fire() {
+    const int64_t n = ops.fetch_add(1, std::memory_order_relaxed) + 1;
+    return fail_n <= 0 || n <= fail_n;
+  }
+};
+
+/// Parses a mode name ("none", "accept-fail", "short-write",
+/// "stalled-read", "mid-response-close", "slow-client") — used by the
+/// XQC_NET_FAULT_MODE environment sweep in scripts/check.sh.
+inline bool NetFaultModeFromName(std::string_view name, NetFaultMode* out) {
+  if (name == "none") *out = NetFaultMode::kNone;
+  else if (name == "accept-fail") *out = NetFaultMode::kAcceptFail;
+  else if (name == "short-write") *out = NetFaultMode::kShortWrite;
+  else if (name == "stalled-read") *out = NetFaultMode::kStalledRead;
+  else if (name == "mid-response-close") *out = NetFaultMode::kMidResponseClose;
+  else if (name == "slow-client") *out = NetFaultMode::kSlowClient;
+  else return false;
+  return true;
+}
+
+}  // namespace xqc
+
+#endif  // XQC_NET_NET_FAULT_H_

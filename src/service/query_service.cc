@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 
+#include "src/base/strutil.h"
 #include "src/xml/serializer.h"
 
 namespace xqc {
@@ -43,7 +44,35 @@ uint64_t NextRand(uint64_t* state) {
   return x * 0x2545f4914f6cdd1dull;
 }
 
+/// Whether a compile failure is deterministic — replaying it tomorrow
+/// would produce the same verdict — and therefore safe to negative-cache.
+/// Resource trips, cancellations, and I/O failures say something about
+/// the moment, not the query, and must re-compile next time.
+bool CompileErrorIsDeterministic(const Status& s) {
+  switch (s.kind()) {
+    case StatusKind::kParseError:
+    case StatusKind::kXQueryError:
+    case StatusKind::kNotImplemented:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// A coarse per-entry footprint estimate for the plan-cache byte budget:
+/// the retained strings plus a multiple of the plan's printed size as a
+/// proxy for its operator tree. Deliberately an over-approximation, like
+/// the guard's memory accounting.
+int64_t EstimatePlanBytes(const std::string& key, const PreparedQuery& plan) {
+  return static_cast<int64_t>(key.size()) * 2 +
+         static_cast<int64_t>(plan.ExplainPlan(false).size()) * 24 + 1024;
+}
+
 }  // namespace
+
+std::string NormalizeQueryKeyText(const std::string& query_text) {
+  return std::string(TrimXmlSpace(query_text));
+}
 
 int64_t JitteredBackoffMs(int64_t base_ms, uint64_t* state) {
   return base_ms + static_cast<int64_t>(
@@ -71,6 +100,15 @@ QueryService::QueryService(ServiceOptions options)
 
 QueryService::~QueryService() { Shutdown(); }
 
+void QueryService::Complete(Job* job, QueryResponse resp) {
+  // The hook fires first so an event-loop consumer (the HTTP server) can
+  // observe the response before any future-waiter races it. It may run
+  // under the service mutex (fast-fail paths), so it must not call back
+  // into the QueryService.
+  if (job->req.on_done) job->req.on_done(resp);
+  job->promise.set_value(std::move(resp));
+}
+
 void QueryService::RegisterDocument(const std::string& uri, NodePtr doc) {
   shared_docs_.emplace_back(uri, std::move(doc));
 }
@@ -91,7 +129,7 @@ std::future<QueryResponse> QueryService::Submit(QueryRequest req) {
     QueryResponse resp;
     resp.status = std::move(status);
     resp.queue_wait_ms = ElapsedMs(job->enqueued);
-    job->promise.set_value(std::move(resp));
+    Complete(job.get(), std::move(resp));
   };
   auto reject = [&](const std::string& why) { fail(Overloaded(why)); };
   job->enqueued = Clock::now();
@@ -240,6 +278,168 @@ double QueryService::ewma_exec_ms() const {
   return ewma_exec_ms_;
 }
 
+size_t QueryService::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return QueueSizeLocked();
+}
+
+QueryService::PlanCacheStats QueryService::plan_cache_stats() const {
+  std::lock_guard<std::mutex> lock(plan_mu_);
+  PlanCacheStats out = plan_stats_;
+  out.entries = static_cast<int64_t>(plans_.size());
+  out.bytes = plan_bytes_;
+  return out;
+}
+
+void QueryService::ErasePlanLocked(const std::string& key) {
+  auto it = plans_.find(key);
+  if (it == plans_.end() || it->second.compiling) return;
+  plan_bytes_ -= it->second.bytes;
+  plan_lru_.erase(it->second.lru_it);
+  plans_.erase(it);
+}
+
+int64_t QueryService::InvalidatePlan(const std::string& query_text) {
+  // The stored key is "<batch>|<parallelism>|<trimmed text>"; invalidate
+  // every baked-option variant of the text.
+  const std::string text = NormalizeQueryKeyText(query_text);
+  std::lock_guard<std::mutex> lock(plan_mu_);
+  std::vector<std::string> doomed;
+  for (const auto& [key, entry] : plans_) {
+    if (entry.compiling) continue;
+    const size_t bar = key.rfind('|');
+    if (bar != std::string::npos && key.compare(bar + 1, std::string::npos,
+                                                text) == 0) {
+      doomed.push_back(key);
+    }
+  }
+  for (const std::string& key : doomed) ErasePlanLocked(key);
+  plan_stats_.invalidations += static_cast<int64_t>(doomed.size());
+  return static_cast<int64_t>(doomed.size());
+}
+
+int64_t QueryService::InvalidateAllPlans() {
+  std::lock_guard<std::mutex> lock(plan_mu_);
+  int64_t n = 0;
+  // Keep compiling entries (their leaders will publish into the emptied
+  // cache); drop everything completed.
+  for (auto it = plans_.begin(); it != plans_.end();) {
+    if (it->second.compiling) {
+      ++it;
+      continue;
+    }
+    plan_bytes_ -= it->second.bytes;
+    plan_lru_.erase(it->second.lru_it);
+    it = plans_.erase(it);
+    n++;
+  }
+  plan_stats_.invalidations += n;
+  return n;
+}
+
+Result<std::shared_ptr<const PreparedQuery>> QueryService::GetOrCompilePlan(
+    Job* job, const EngineOptions& opts) {
+  // Per-request compile knobs bake into the plan, so they are part of the
+  // identity: "same text, different batch size" is a different plan.
+  const std::string key = std::to_string(opts.batch_size) + "|" +
+                          std::to_string(opts.parallelism) + "|" +
+                          NormalizeQueryKeyText(job->req.query_text);
+  std::unique_lock<std::mutex> lock(plan_mu_);
+  // A request is counted in exactly one stats class: a direct hit, a
+  // coalesced wait on an in-flight compile, or a miss (the leader).
+  bool coalesced = false;
+  for (;;) {
+    auto it = plans_.find(key);
+    if (it != plans_.end() && !it->second.compiling) {
+      PlanEntry& entry = it->second;
+      if (entry.plan != nullptr) {
+        if (!coalesced) plan_stats_.hits++;
+        plan_lru_.splice(plan_lru_.begin(), plan_lru_, entry.lru_it);
+        return entry.plan;
+      }
+      if (Clock::now() < entry.error_expires) {
+        if (!coalesced) plan_stats_.negative_hits++;
+        plan_lru_.splice(plan_lru_.begin(), plan_lru_, entry.lru_it);
+        return entry.error;
+      }
+      ErasePlanLocked(key);  // expired negative entry: recompile below
+      it = plans_.end();
+    }
+    if (it != plans_.end()) {
+      // Singleflight: another worker is compiling this key. Wait in short
+      // slices so a cancelled or deadline-exhausted waiter unblocks within
+      // one quantum even if the leader's compile is slow.
+      if (!coalesced) plan_stats_.waiters_coalesced++;
+      coalesced = true;
+      do {
+        if (job->token.cancelled()) {
+          return Status::ResourceExhausted(
+              kGuardCancelledCode, "cancelled while waiting for a shared "
+                                   "plan compilation");
+        }
+        plan_cv_.wait_for(lock, std::chrono::milliseconds(5));
+        it = plans_.find(key);
+      } while (it != plans_.end() && it->second.compiling);
+      continue;  // re-examine whatever the leader published (or nothing)
+    }
+
+    // Miss: this worker is the leader. Compile with the cache unlocked.
+    plan_stats_.misses++;
+    plans_[key].compiling = true;
+    lock.unlock();
+    Result<PreparedQuery> compiled = engine_.Prepare(job->req.query_text, opts);
+    lock.lock();
+    plan_stats_.compiles++;  // compilation work performed, pass or fail
+    auto slot = plans_.find(key);  // InvalidateAllPlans may not erase us,
+                                   // but be defensive about the slot
+    if (compiled.ok()) {
+      auto plan =
+          std::make_shared<const PreparedQuery>(std::move(compiled.take()));
+      if (slot != plans_.end()) {
+        PlanEntry& entry = slot->second;
+        entry.compiling = false;
+        entry.plan = plan;
+        entry.bytes = EstimatePlanBytes(key, *plan);
+        plan_lru_.push_front(key);
+        entry.lru_it = plan_lru_.begin();
+        plan_bytes_ += entry.bytes;
+        // Enforce both bounds, never evicting the entry just published.
+        while (plan_lru_.size() > 1 &&
+               (plans_.size() > options_.plan_cache_entries ||
+                (options_.plan_cache_max_bytes > 0 &&
+                 plan_bytes_ > options_.plan_cache_max_bytes))) {
+          ErasePlanLocked(plan_lru_.back());
+          plan_stats_.evictions++;
+        }
+      }
+      plan_cv_.notify_all();
+      return plan;
+    }
+    Status error = compiled.status();
+    if (slot != plans_.end()) {
+      if (options_.plan_cache_negative_ttl_ms > 0 &&
+          CompileErrorIsDeterministic(error)) {
+        PlanEntry& entry = slot->second;
+        entry.compiling = false;
+        entry.error = error;
+        entry.error_expires =
+            Clock::now() +
+            std::chrono::milliseconds(options_.plan_cache_negative_ttl_ms);
+        entry.bytes = static_cast<int64_t>(key.size()) * 2 + 256;
+        plan_lru_.push_front(key);
+        entry.lru_it = plan_lru_.begin();
+        plan_bytes_ += entry.bytes;
+      } else {
+        // Environmental failure (guard trip, cancellation, I/O): leave no
+        // trace; the next request for this key compiles fresh.
+        plans_.erase(slot);
+      }
+    }
+    plan_cv_.notify_all();
+    return error;
+  }
+}
+
 void QueryService::WorkerLoop(size_t worker_index) {
   uint64_t jitter_state =
       options_.jitter_seed ^ (0x9e3779b97f4a7c15ull * (worker_index + 1));
@@ -266,7 +466,7 @@ void QueryService::WorkerLoop(size_t worker_index) {
       }
       if (resp.retried_transient) counters_.retries++;
     }
-    job->promise.set_value(std::move(resp));
+    Complete(job.get(), std::move(resp));
   }
 }
 
@@ -288,12 +488,26 @@ QueryResponse QueryService::ExecuteOnce(Job* job, const GuardLimits& limits) {
     opts.cancel = job->token;
     if (job->req.batch_size > 0) opts.batch_size = job->req.batch_size;
     if (job->req.parallelism > 0) opts.parallelism = job->req.parallelism;
-    Result<PreparedQuery> local = engine_.Prepare(job->req.query_text, opts);
-    if (!local.ok()) {
-      resp.status = local.status();
-      return resp;
+    if (options_.plan_cache_entries > 0 && !job->req.no_plan_cache) {
+      // Cached path: repeated traffic skips parse/normalize/compile and
+      // shares one immutable plan; per-request guards still apply at
+      // Execute below. Compile knobs are part of the cache key, so a hit
+      // is exactly the plan this request would have compiled.
+      Result<std::shared_ptr<const PreparedQuery>> cached =
+          GetOrCompilePlan(job, opts);
+      if (!cached.ok()) {
+        resp.status = cached.status();
+        return resp;
+      }
+      prepared = cached.take();
+    } else {
+      Result<PreparedQuery> local = engine_.Prepare(job->req.query_text, opts);
+      if (!local.ok()) {
+        resp.status = local.status();
+        return resp;
+      }
+      prepared = std::make_shared<const PreparedQuery>(local.take());
     }
-    prepared = std::make_shared<const PreparedQuery>(local.take());
   }
   Result<Sequence> r = prepared->Execute(&ctx, limits, job->token,
                                          job->req.fault_injector);
@@ -420,8 +634,9 @@ void QueryService::Shutdown() {
     QueryResponse resp;
     resp.status = Overloaded("service shut down before execution");
     resp.queue_wait_ms = ElapsedMs(job->enqueued);
-    job->promise.set_value(std::move(resp));
+    Complete(job.get(), std::move(resp));
   }
+  plan_cv_.notify_all();  // wake singleflight waiters into their cancel check
   for (std::thread& w : workers_) {
     if (w.joinable()) w.join();
   }

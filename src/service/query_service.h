@@ -49,6 +49,7 @@
 #include <deque>
 #include <functional>
 #include <future>
+#include <list>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -121,6 +122,34 @@ struct ServiceOptions {
   /// execution). Lets tests and restarts seed the shedding predicate
   /// deterministically.
   double ewma_seed_ms = 0;
+
+  // --- Prepared-plan cache (ROADMAP item 4). Results are identical with
+  // --- the cache on or off; the cache only skips parse/normalize/compile
+  // --- for repeated query texts (immutable PreparedQuery sharing).
+
+  /// Max cached compiled plans. 0 disables the cache entirely — the
+  /// ablation baseline (xqc_httpd --no-plan-cache): every text request
+  /// compiles from scratch, byte-identical to the pre-cache service.
+  size_t plan_cache_entries = 128;
+  /// Byte budget for cached plans (estimates; see PlanCacheStats::bytes).
+  /// 0 = unlimited. Exceeding either bound evicts least-recently-used
+  /// entries.
+  int64_t plan_cache_max_bytes = 64ll << 20;
+  /// TTL for negative entries: a deterministic compile failure (parse /
+  /// static / not-implemented error) is replayed from the cache for this
+  /// long, so a hot bad query cannot compile-bomb the workers. Guard
+  /// trips, cancellations, and I/O errors during compilation are never
+  /// negative-cached. 0 disables negative caching.
+  int64_t plan_cache_negative_ttl_ms = 2000;
+};
+
+struct QueryResponse {
+  Status status;          // OK, a W3C error, a guard trip, or XQC0007
+  std::string result;     // serialized result when status is OK
+  ExecStats stats;        // from the final attempt
+  int64_t queue_wait_ms = 0;
+  int attempts = 1;       // 2 when the transient retry ran
+  bool retried_transient = false;
 };
 
 struct QueryRequest {
@@ -151,17 +180,17 @@ struct QueryRequest {
   /// Optional caller-held cancellation token. The service cancels it on
   /// shutdown; when absent the service makes a private one.
   CancellationToken cancel;
+  /// Bypass the plan cache for this request: compile from scratch and do
+  /// not publish the plan (per-request ablation / debugging).
+  bool no_plan_cache = false;
   /// Deterministic guard fault injection (tests only).
   GuardFaultInjector fault_injector;
-};
-
-struct QueryResponse {
-  Status status;          // OK, a W3C error, a guard trip, or XQC0007
-  std::string result;     // serialized result when status is OK
-  ExecStats stats;        // from the final attempt
-  int64_t queue_wait_ms = 0;
-  int attempts = 1;       // 2 when the transient retry ran
-  bool retried_transient = false;
+  /// Invoked exactly once when the response is ready — on the worker
+  /// thread that finished it, or synchronously inside Submit for
+  /// fast-fail paths — immediately BEFORE the future becomes ready. This
+  /// is the event-loop integration hook (the HTTP front end uses it to
+  /// wake its poll loop instead of blocking a thread per future).
+  std::function<void(const QueryResponse&)> on_done;
 };
 
 class QueryService {
@@ -212,6 +241,34 @@ class QueryService {
   /// execution unless seeded); drives shedding and admission prediction.
   double ewma_exec_ms() const;
 
+  /// Queries admitted but not yet dispatched to a worker. The HTTP front
+  /// end uses this for accept-loop backpressure (stop accepting sockets
+  /// while the admission queue is saturated).
+  size_t queue_depth() const;
+
+  /// Plan-cache counters and current occupancy (all zero with
+  /// plan_cache_entries = 0).
+  struct PlanCacheStats {
+    int64_t hits = 0;           // served a cached compiled plan
+    int64_t misses = 0;         // no usable entry; a compile was needed
+    int64_t compiles = 0;       // compiles actually performed (successful)
+    int64_t evictions = 0;      // entries dropped by the entry/byte bounds
+    int64_t negative_hits = 0;  // compile errors replayed from the cache
+    int64_t invalidations = 0;  // entries removed by InvalidatePlan[All]
+    int64_t waiters_coalesced = 0;  // singleflight waits on a compile
+    int64_t entries = 0;        // current cached entries (incl. negative)
+    int64_t bytes = 0;          // current estimated cached-plan bytes
+  };
+  PlanCacheStats plan_cache_stats() const;
+
+  /// Removes the cached plan(s) compiled from `query_text` (every
+  /// baked-option variant, positive or negative). Returns the number of
+  /// entries removed. In-flight executions keep their shared_ptr; the
+  /// entry is simply unpublished.
+  int64_t InvalidatePlan(const std::string& query_text);
+  /// Empties the plan cache. Returns the number of entries removed.
+  int64_t InvalidateAllPlans();
+
   const ServiceOptions& options() const { return options_; }
 
  private:
@@ -232,11 +289,34 @@ class QueryService {
                                             // own FIFO
   };
 
+  /// One plan-cache slot: exactly one of {compiling, plan, error} is
+  /// meaningful. Completed entries (plan or unexpired error) sit in the
+  /// LRU; a compiling entry is pinned until its leader publishes.
+  struct PlanEntry {
+    bool compiling = false;
+    std::shared_ptr<const PreparedQuery> plan;  // positive entry
+    Status error;                               // negative entry
+    std::chrono::steady_clock::time_point error_expires{};
+    int64_t bytes = 0;
+    std::list<std::string>::iterator lru_it{};  // valid when !compiling
+  };
+
   void WorkerLoop(size_t worker_index);
   QueryResponse ExecuteJob(Job* job, uint64_t* jitter_state);
   /// One engine execution of the job under `limits`. Fills status/result/
   /// stats only.
   QueryResponse ExecuteOnce(Job* job, const GuardLimits& limits);
+  /// Cache-or-compile: returns the shared plan for the job's query text
+  /// (hit, negative replay, singleflight wait, or leader compile under
+  /// `opts`). Takes and releases plan_mu_; compiles unlocked.
+  Result<std::shared_ptr<const PreparedQuery>> GetOrCompilePlan(
+      Job* job, const EngineOptions& opts);
+  /// Fulfills the job's promise and fires its on_done hook (in that
+  /// textual order; on_done runs just before set_value publishes).
+  static void Complete(Job* job, QueryResponse resp);
+  /// Drops `key`'s completed entry from the map/LRU/byte total. Callers
+  /// hold plan_mu_.
+  void ErasePlanLocked(const std::string& key);
 
   /// Whether per-tenant bookkeeping is on (any quota or fair dequeue).
   bool tenant_tracking() const {
@@ -271,7 +351,23 @@ class QueryService {
   std::vector<std::thread> workers_;
   bool shutdown_ = false;
   Counters counters_;
+
+  /// Plan cache. Guarded by its own mutex (never held while compiling or
+  /// while holding mu_) so a slow compile can't stall admission.
+  mutable std::mutex plan_mu_;
+  std::condition_variable plan_cv_;  // a compile finished (either way)
+  std::unordered_map<std::string, PlanEntry> plans_;
+  std::list<std::string> plan_lru_;  // front = most recently used
+  int64_t plan_bytes_ = 0;
+  PlanCacheStats plan_stats_;
 };
+
+/// The plan-cache key normalization: leading/trailing whitespace is
+/// insignificant in XQuery, so spellings differing only there share one
+/// cache entry. Interior whitespace is preserved — it can be significant
+/// inside string literals and direct element constructors. Exposed for
+/// tests.
+std::string NormalizeQueryKeyText(const std::string& query_text);
 
 /// The service's retry-backoff jitter: a wait uniformly distributed in
 /// [base, 2*base) drawn from the xorshift64* stream `state`. Exposed so

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "src/base/hash.h"
+#include "src/base/strutil.h"
 #include "src/store/snapshot.h"
 #include "src/xml/xml_parser.h"
 
@@ -30,13 +31,6 @@ bool ErrnoIsTransient(int e) {
 
 void SleepMs(int64_t ms) {
   std::this_thread::sleep_for(std::chrono::milliseconds(ms));
-}
-
-int HexVal(char c) {
-  if (c >= '0' && c <= '9') return c - '0';
-  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
-  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
-  return -1;
 }
 
 /// Plain whole-file read for content rechecks (no fault injection: the
@@ -61,24 +55,6 @@ bool ReadWholeFile(const std::string& path, std::string* out) {
   ::close(fd);
   out->resize(off);
   return true;
-}
-
-/// RFC 3986 percent-decoding; malformed escapes pass through literally.
-std::string PercentDecode(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (size_t i = 0; i < s.size(); ++i) {
-    if (s[i] == '%' && i + 2 < s.size()) {
-      int hi = HexVal(s[i + 1]), lo = HexVal(s[i + 2]);
-      if (hi >= 0 && lo >= 0) {
-        out.push_back(static_cast<char>(hi * 16 + lo));
-        i += 2;
-        continue;
-      }
-    }
-    out.push_back(s[i]);
-  }
-  return out;
 }
 
 /// Minimal '*' glob over one path segment ('*' matches any run of

@@ -6,6 +6,7 @@
 #include "src/base/status.h"
 #include "src/base/strutil.h"
 #include "src/base/symbol.h"
+#include "src/base/xqc_codes.h"
 
 namespace xqc {
 namespace {
@@ -140,6 +141,78 @@ TEST(StrUtilTest, Split) {
   ASSERT_EQ(parts.size(), 4u);
   EXPECT_EQ(parts[0], "a");
   EXPECT_EQ(parts[2], "");
+}
+
+TEST(StrUtilTest, PercentDecode) {
+  EXPECT_EQ(PercentDecode("plain"), "plain");
+  EXPECT_EQ(PercentDecode("a%20b"), "a b");
+  EXPECT_EQ(PercentDecode("%2Fetc%2fhosts"), "/etc/hosts");  // both cases
+  EXPECT_EQ(PercentDecode("100%25"), "100%");
+  EXPECT_EQ(PercentDecode(""), "");
+}
+
+TEST(StrUtilTest, PercentDecodeMalformedEscapesPassThrough) {
+  // The shared contract (NormalizeDocUri and the HTTP request-target
+  // parser both rely on it): a '%' not followed by two hex digits is
+  // literal, never an error and never dropped.
+  EXPECT_EQ(PercentDecode("%"), "%");
+  EXPECT_EQ(PercentDecode("%2"), "%2");
+  EXPECT_EQ(PercentDecode("%zz"), "%zz");
+  EXPECT_EQ(PercentDecode("%2x"), "%2x");
+  EXPECT_EQ(PercentDecode("a%%20b"), "a% b");  // first % literal, then %20
+  EXPECT_EQ(PercentDecode("%%"), "%%");
+  EXPECT_EQ(PercentDecode("trail%"), "trail%");
+}
+
+// ---- XQC error-code registry (src/base/xqc_codes.h) -------------------
+
+TEST(XqcCodeRegistry, CodesAreUniqueAndWellFormed) {
+  for (size_t i = 0; i < kXqcCodeCount; i++) {
+    const XqcCodeInfo& info = kXqcCodeTable[i];
+    const std::string code = info.code;
+    ASSERT_EQ(code.size(), 7u) << code;
+    EXPECT_EQ(code.substr(0, 3), "XQC") << code;
+    for (size_t d = 3; d < 7; d++) {
+      EXPECT_TRUE(code[d] >= '0' && code[d] <= '9') << code;
+    }
+    EXPECT_NE(info.symbol[0], '\0');
+    EXPECT_NE(info.meaning[0], '\0');
+    EXPECT_NE(info.origin[0], '\0');
+    for (size_t j = i + 1; j < kXqcCodeCount; j++) {
+      EXPECT_STRNE(info.code, kXqcCodeTable[j].code)
+          << "duplicate wire code at rows " << i << " and " << j;
+      EXPECT_STRNE(info.symbol, kXqcCodeTable[j].symbol)
+          << "duplicate symbol at rows " << i << " and " << j;
+    }
+  }
+}
+
+TEST(XqcCodeRegistry, TableIsDenseAndOrdered) {
+  // XQC0001..XQC00NN with no gaps: new codes are appended, never recycled.
+  for (size_t i = 0; i < kXqcCodeCount; i++) {
+    EXPECT_EQ(std::string(kXqcCodeTable[i].code),
+              "XQC" + std::string(3 - std::to_string(i + 1).size(), '0') +
+                  "0" + std::to_string(i + 1))
+        << "row " << i;
+  }
+  // Every exported constant appears in the table.
+  const char* kConstants[] = {
+      kGuardTimeoutCode,    kGuardCancelledCode,
+      kGuardMemoryCode,     kGuardOutputCode,
+      kGuardRecursionCode,  kGuardStepsCode,
+      kServiceOverloadedCode, kStoreRetriesExhaustedCode,
+      kStoreQuarantinedCode, kTenantOverQuotaCode,
+      kStoreBreakerOpenCode, kServiceDrainingCode,
+      kMalformedRequestCode,
+  };
+  ASSERT_EQ(sizeof(kConstants) / sizeof(kConstants[0]), kXqcCodeCount);
+  for (const char* c : kConstants) {
+    bool found = false;
+    for (size_t i = 0; i < kXqcCodeCount; i++) {
+      if (std::string(kXqcCodeTable[i].code) == c) found = true;
+    }
+    EXPECT_TRUE(found) << c << " missing from kXqcCodeTable";
+  }
 }
 
 }  // namespace

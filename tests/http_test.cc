@@ -1,0 +1,836 @@
+// Adversarial corpus for the HTTP front end (DESIGN.md "HTTP front end
+// and plan cache"): the strict parser unit-by-unit, then a live server
+// fed oversized/duplicate headers, truncated and over-long chunked
+// bodies, NUL bytes, bare-LF framing, pipelined garbage, slowloris
+// clients, and premature closes at every request stage. Every input must
+// produce a coded HTTP error or a clean close — never a crash, hang, or
+// leak (this binary runs under ASan and TSan in scripts/check.sh).
+//
+// Socket-level fault injection (NetFaultInjector) and the crash-only
+// drain races live here too, since they need a real listening server.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/net/http_client.h"
+#include "src/net/http_server.h"
+#include "src/net/net_fault.h"
+#include "src/service/query_service.h"
+
+namespace xqc {
+namespace {
+
+// ---- parser: well-formed inputs --------------------------------------
+
+HttpParseLimits DefaultLimits() { return HttpParseLimits(); }
+
+TEST(HttpParse, SimpleGet) {
+  HttpRequest req;
+  size_t consumed = 0;
+  HttpParseError err;
+  const std::string in = "GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n";
+  EXPECT_EQ(ParseHttpRequest(in, DefaultLimits(), &req, &consumed, &err),
+            HttpParseVerdict::kDone);
+  EXPECT_EQ(consumed, in.size());
+  EXPECT_EQ(req.method, "GET");
+  EXPECT_EQ(req.path, "/healthz");
+  EXPECT_TRUE(req.http11);
+  EXPECT_TRUE(req.keep_alive);
+  EXPECT_TRUE(req.body.empty());
+  ASSERT_NE(req.FindHeader("host"), nullptr);
+  EXPECT_EQ(*req.FindHeader("host"), "x");
+}
+
+TEST(HttpParse, PostWithContentLength) {
+  HttpRequest req;
+  size_t consumed = 0;
+  HttpParseError err;
+  const std::string in =
+      "POST /query HTTP/1.1\r\nContent-Length: 6\r\n\r\n1 to 3";
+  EXPECT_EQ(ParseHttpRequest(in, DefaultLimits(), &req, &consumed, &err),
+            HttpParseVerdict::kDone);
+  EXPECT_EQ(req.body, "1 to 3");
+  EXPECT_EQ(consumed, in.size());
+}
+
+TEST(HttpParse, ChunkedBodyReassembledAndTrailersDiscarded) {
+  HttpRequest req;
+  size_t consumed = 0;
+  HttpParseError err;
+  const std::string in =
+      "POST /query HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"
+      "4\r\n1 to\r\n2\r\n 9\r\n0\r\nX-Trailer: ignored\r\n\r\n";
+  ASSERT_EQ(ParseHttpRequest(in, DefaultLimits(), &req, &consumed, &err),
+            HttpParseVerdict::kDone);
+  EXPECT_EQ(req.body, "1 to 9");
+  EXPECT_EQ(consumed, in.size());
+  EXPECT_EQ(req.FindHeader("x-trailer"), nullptr);
+}
+
+TEST(HttpParse, PipelinedRequestsConsumeExactly) {
+  HttpRequest req;
+  size_t consumed = 0;
+  HttpParseError err;
+  const std::string first =
+      "POST /query HTTP/1.1\r\nContent-Length: 1\r\n\r\nQ";
+  const std::string in = first + "GET /stats HTTP/1.1\r\n\r\n";
+  ASSERT_EQ(ParseHttpRequest(in, DefaultLimits(), &req, &consumed, &err),
+            HttpParseVerdict::kDone);
+  EXPECT_EQ(consumed, first.size());
+  HttpRequest second;
+  ASSERT_EQ(ParseHttpRequest(std::string_view(in).substr(consumed),
+                             DefaultLimits(), &second, &consumed, &err),
+            HttpParseVerdict::kDone);
+  EXPECT_EQ(second.path, "/stats");
+}
+
+TEST(HttpParse, EveryPrefixOfAValidRequestIsNeedMoreNeverBad) {
+  const std::string in =
+      "POST /query HTTP/1.1\r\nHost: a\r\nContent-Length: 5\r\n\r\nhello";
+  for (size_t n = 0; n < in.size(); n++) {
+    HttpRequest req;
+    size_t consumed = 0;
+    HttpParseError err;
+    EXPECT_EQ(ParseHttpRequest(std::string_view(in).substr(0, n),
+                               DefaultLimits(), &req, &consumed, &err),
+              HttpParseVerdict::kNeedMore)
+        << "prefix length " << n;
+  }
+}
+
+TEST(HttpParse, ChunkedPrefixesNeverBad) {
+  const std::string in =
+      "POST /q HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"
+      "5\r\nabcde\r\n0\r\n\r\n";
+  for (size_t n = 0; n < in.size(); n++) {
+    HttpRequest req;
+    size_t consumed = 0;
+    HttpParseError err;
+    EXPECT_EQ(ParseHttpRequest(std::string_view(in).substr(0, n),
+                               DefaultLimits(), &req, &consumed, &err),
+              HttpParseVerdict::kNeedMore)
+        << "prefix length " << n;
+  }
+}
+
+TEST(HttpParse, PercentDecodedPathAndQueryString) {
+  HttpRequest req;
+  size_t consumed = 0;
+  HttpParseError err;
+  const std::string in = "GET /a%20b/c?x=%31 HTTP/1.1\r\n\r\n";
+  ASSERT_EQ(ParseHttpRequest(in, DefaultLimits(), &req, &consumed, &err),
+            HttpParseVerdict::kDone);
+  EXPECT_EQ(req.path, "/a b/c");
+  EXPECT_EQ(req.query_string, "x=%31");  // raw; only the path is decoded
+}
+
+TEST(HttpParse, ConnectionSemantics) {
+  HttpRequest req;
+  size_t consumed = 0;
+  HttpParseError err;
+  ASSERT_EQ(ParseHttpRequest("GET / HTTP/1.1\r\nConnection: close\r\n\r\n",
+                             DefaultLimits(), &req, &consumed, &err),
+            HttpParseVerdict::kDone);
+  EXPECT_FALSE(req.keep_alive);
+  ASSERT_EQ(ParseHttpRequest("GET / HTTP/1.0\r\n\r\n", DefaultLimits(), &req,
+                             &consumed, &err),
+            HttpParseVerdict::kDone);
+  EXPECT_FALSE(req.keep_alive);
+  ASSERT_EQ(ParseHttpRequest(
+                "GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n",
+                DefaultLimits(), &req, &consumed, &err),
+            HttpParseVerdict::kDone);
+  EXPECT_TRUE(req.keep_alive);
+  ASSERT_EQ(ParseHttpRequest("GET / HTTP/1.1\r\nHost: x\r\n\r\n",
+                             DefaultLimits(), &req, &consumed, &err),
+            HttpParseVerdict::kDone);
+  EXPECT_TRUE(req.keep_alive);
+}
+
+TEST(HttpParse, DuplicateIdenticalContentLengthTolerated) {
+  HttpRequest req;
+  size_t consumed = 0;
+  HttpParseError err;
+  ASSERT_EQ(ParseHttpRequest(
+                "POST /q HTTP/1.1\r\nContent-Length: 2\r\n"
+                "Content-Length: 2\r\n\r\nok",
+                DefaultLimits(), &req, &consumed, &err),
+            HttpParseVerdict::kDone);
+  EXPECT_EQ(req.body, "ok");
+}
+
+// ---- parser: malformed inputs (each must be kBad, never a crash) ------
+
+struct BadCase {
+  const char* name;
+  std::string input;
+  int want_status;
+};
+
+TEST(HttpParse, AdversarialCorpusAllRejected) {
+  const std::string huge_header =
+      "GET / HTTP/1.1\r\nX-Big: " + std::string(20000, 'a') + "\r\n\r\n";
+  std::string many_headers = "GET / HTTP/1.1\r\n";
+  for (int i = 0; i < 200; i++) {
+    many_headers += "X-H" + std::to_string(i) + ": v\r\n";
+  }
+  many_headers += "\r\n";
+  const std::vector<BadCase> kCorpus = {
+      {"bare LF line endings", "GET / HTTP/1.1\n\n", 400},
+      {"NUL in request line", std::string("GET /\0x HTTP/1.1\r\n\r\n", 21),
+       400},
+      {"NUL in header value",
+       std::string("GET / HTTP/1.1\r\nX: a\0b\r\n\r\n", 27), 400},
+      {"missing version", "GET /\r\n\r\n", 400},
+      {"double space", "GET  / HTTP/1.1\r\n\r\n", 400},
+      {"four fields", "GET / HTTP/1.1 extra\r\n\r\n", 400},
+      {"lowercase method", "get / HTTP/1.1\r\n\r\n", 400},
+      {"HTTP/2 version", "GET / HTTP/2.0\r\n\r\n", 400},
+      {"absolute-form target", "GET http://e/ HTTP/1.1\r\n\r\n", 400},
+      {"space in target", "GET /a b HTTP/1.1\r\n\r\n", 400},
+      {"header without colon", "GET / HTTP/1.1\r\nnocolon\r\n\r\n", 400},
+      {"empty header name", "GET / HTTP/1.1\r\n: v\r\n\r\n", 400},
+      {"space in header name", "GET / HTTP/1.1\r\nBad Name: v\r\n\r\n", 400},
+      {"obs-fold continuation", "GET / HTTP/1.1\r\nA: b\r\n c\r\n\r\n", 400},
+      {"conflicting content-lengths",
+       "POST / HTTP/1.1\r\nContent-Length: 2\r\nContent-Length: 3\r\n\r\nab",
+       400},
+      {"non-numeric content-length",
+       "POST / HTTP/1.1\r\nContent-Length: ten\r\n\r\n", 400},
+      {"negative content-length",
+       "POST / HTTP/1.1\r\nContent-Length: -1\r\n\r\n", 400},
+      {"CL and TE together",
+       "POST / HTTP/1.1\r\nContent-Length: 2\r\n"
+       "Transfer-Encoding: chunked\r\n\r\n",
+       400},
+      {"gzip transfer-encoding",
+       "POST / HTTP/1.1\r\nTransfer-Encoding: gzip\r\n\r\n", 400},
+      {"non-hex chunk size",
+       "POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\nzz\r\n", 400},
+      {"over-long chunk size",
+       "POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\nfffffffff\r\n",
+       400},
+      {"chunk data missing CRLF",
+       "POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"
+       "2\r\nabXX0\r\n\r\n",
+       400},
+      {"chunked body over cap",
+       "POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n200000\r\n",
+       413},
+      {"declared body over cap",
+       "POST / HTTP/1.1\r\nContent-Length: 9999999\r\n\r\n", 413},
+      {"oversized header block", huge_header, 431},
+      {"too many headers", many_headers, 431},
+  };
+  HttpParseLimits limits;
+  limits.max_header_bytes = 16 * 1024;
+  limits.max_headers = 100;
+  limits.max_body_bytes = 1 << 20;
+  for (const BadCase& c : kCorpus) {
+    HttpRequest req;
+    size_t consumed = 0;
+    HttpParseError err;
+    EXPECT_EQ(ParseHttpRequest(c.input, limits, &req, &consumed, &err),
+              HttpParseVerdict::kBad)
+        << c.name;
+    EXPECT_EQ(err.http_status, c.want_status) << c.name;
+    EXPECT_FALSE(err.message.empty()) << c.name;
+  }
+}
+
+TEST(HttpParse, HeaderFloodWithoutTerminatorRejectedAtCap) {
+  HttpParseLimits limits;
+  limits.max_header_bytes = 1024;
+  HttpRequest req;
+  size_t consumed = 0;
+  HttpParseError err;
+  // No blank line ever arrives; the buffer must be capped, not grown.
+  const std::string flood = "GET / HTTP/1.1\r\n" + std::string(2000, 'a');
+  EXPECT_EQ(ParseHttpRequest(flood, limits, &req, &consumed, &err),
+            HttpParseVerdict::kBad);
+  EXPECT_EQ(err.http_status, 431);
+}
+
+// ---- status mapping ---------------------------------------------------
+
+TEST(HttpStatusMapping, CoversTheContract) {
+  EXPECT_EQ(HttpStatusForQueryStatus(Status::OK()), 200);
+  EXPECT_EQ(HttpStatusForQueryStatus(Status::ParseError("x")), 400);
+  EXPECT_EQ(HttpStatusForQueryStatus(Status::XQueryError("XPTY0004", "x")),
+            400);
+  EXPECT_EQ(HttpStatusForQueryStatus(Status::NotImplemented("x")), 501);
+  EXPECT_EQ(HttpStatusForQueryStatus(Status::Internal("x")), 500);
+  EXPECT_EQ(HttpStatusForQueryStatus(Status::IOError("x")), 502);
+  EXPECT_EQ(HttpStatusForQueryStatus(
+                Status::ResourceExhausted(kGuardTimeoutCode, "x")),
+            504);
+  EXPECT_EQ(HttpStatusForQueryStatus(
+                Status::ResourceExhausted(kServiceOverloadedCode, "x")),
+            429);
+  EXPECT_EQ(HttpStatusForQueryStatus(
+                Status::ResourceExhausted(kTenantOverQuotaCode, "x")),
+            429);
+  EXPECT_EQ(HttpStatusForQueryStatus(
+                Status::ResourceExhausted(kServiceDrainingCode, "x")),
+            503);
+  EXPECT_EQ(HttpStatusForQueryStatus(
+                Status::ResourceExhausted(kGuardCancelledCode, "x")),
+            503);
+  EXPECT_EQ(HttpStatusForQueryStatus(
+                Status::ResourceExhausted(kGuardMemoryCode, "x")),
+            422);
+}
+
+// ---- live server fixture ---------------------------------------------
+
+struct LiveServer {
+  std::unique_ptr<QueryService> service;
+  std::unique_ptr<HttpServer> server;
+  NetFaultInjector injector;
+
+  explicit LiveServer(HttpServerOptions hopts = {},
+                      ServiceOptions sopts = {}) {
+    if (sopts.num_threads == 2) sopts.num_threads = 2;  // default is fine
+    service = std::make_unique<QueryService>(sopts);
+    hopts.port = 0;
+    hopts.fault_injector = &injector;
+    server = std::make_unique<HttpServer>(hopts, service.get());
+    Status st = server->Start();
+    EXPECT_TRUE(st.ok()) << st.ToString();
+  }
+  ~LiveServer() {
+    server->Stop();
+    service->Shutdown();
+  }
+  int port() const { return server->port(); }
+};
+
+TEST(HttpServerLive, QueryRoundtrip) {
+  LiveServer s;
+  HttpResponse resp;
+  Status st = HttpFetch("127.0.0.1", s.port(), "POST", "/query", {}, "1 to 5",
+                        &resp);
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  EXPECT_EQ(resp.status, 200);
+  EXPECT_EQ(resp.body, "1 2 3 4 5");
+  EXPECT_EQ(resp.FindHeader("x-xqc-code"), nullptr);
+}
+
+TEST(HttpServerLive, QueryErrorsCarryCodesAndKeepServerAlive) {
+  LiveServer s;
+  HttpResponse resp;
+  // Well-formed HTTP, hostile XQuery: a parse error is the query's
+  // problem, not the connection's.
+  HttpClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", s.port()).ok());
+  ASSERT_TRUE(
+      client.Request("POST", "/query", {}, "1 to (((", &resp).ok());
+  EXPECT_EQ(resp.status, 400);
+  ASSERT_NE(resp.FindHeader("x-xqc-code"), nullptr);
+  // Same connection still serves the next request.
+  ASSERT_TRUE(client.Request("POST", "/query", {}, "7 * 6", &resp).ok());
+  EXPECT_EQ(resp.status, 200);
+  EXPECT_EQ(resp.body, "42");
+}
+
+TEST(HttpServerLive, EndpointsAndMethods) {
+  LiveServer s;
+  HttpResponse resp;
+  ASSERT_TRUE(
+      HttpFetch("127.0.0.1", s.port(), "GET", "/healthz", {}, "", &resp)
+          .ok());
+  EXPECT_EQ(resp.status, 200);
+  ASSERT_TRUE(HttpFetch("127.0.0.1", s.port(), "GET", "/readyz", {}, "",
+                        &resp)
+                  .ok());
+  EXPECT_EQ(resp.status, 200);
+  ASSERT_TRUE(
+      HttpFetch("127.0.0.1", s.port(), "GET", "/stats", {}, "", &resp).ok());
+  EXPECT_EQ(resp.status, 200);
+  EXPECT_NE(resp.body.find("\"plan_cache\""), std::string::npos);
+  ASSERT_TRUE(HttpFetch("127.0.0.1", s.port(), "GET", "/nope", {}, "", &resp)
+                  .ok());
+  EXPECT_EQ(resp.status, 404);
+  ASSERT_TRUE(
+      HttpFetch("127.0.0.1", s.port(), "GET", "/query", {}, "", &resp).ok());
+  EXPECT_EQ(resp.status, 405);
+}
+
+TEST(HttpServerLive, ChunkedQueryBody) {
+  LiveServer s;
+  HttpClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", s.port()).ok());
+  ASSERT_TRUE(client
+                  .SendRaw("POST /query HTTP/1.1\r\n"
+                           "Transfer-Encoding: chunked\r\n\r\n"
+                           "3\r\n1 t\r\n3\r\no 3\r\n0\r\n\r\n")
+                  .ok());
+  HttpResponse resp;
+  ASSERT_TRUE(client.ReadResponse(&resp).ok());
+  EXPECT_EQ(resp.status, 200);
+  EXPECT_EQ(resp.body, "1 2 3");
+}
+
+TEST(HttpServerLive, PipelinedRequestsAnsweredInOrder) {
+  LiveServer s;
+  HttpClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", s.port()).ok());
+  ASSERT_TRUE(client
+                  .SendRaw("POST /query HTTP/1.1\r\nContent-Length: 6\r\n"
+                           "\r\n1 to 2"
+                           "POST /query HTTP/1.1\r\nContent-Length: 5\r\n"
+                           "\r\n3 + 4")
+                  .ok());
+  HttpResponse first, second;
+  ASSERT_TRUE(client.ReadResponse(&first).ok());
+  ASSERT_TRUE(client.ReadResponse(&second).ok());
+  EXPECT_EQ(first.body, "1 2");
+  EXPECT_EQ(second.body, "7");
+}
+
+TEST(HttpServerLive, MalformedRequestsGet4xxWithXqc0013ThenClose) {
+  LiveServer s;
+  const std::string kWire[] = {
+      "GET / HTTP/9.9\r\n\r\n",
+      "BAD-\x01METHOD / HTTP/1.1\r\n\r\n",
+      std::string("POST /query HTTP/1.1\r\nContent-Length: 2\r\n"
+                  "Content-Length: 3\r\n\r\nab"),
+      std::string("GET /\0 HTTP/1.1\r\n\r\n", 20),
+  };
+  for (const std::string& wire : kWire) {
+    HttpClient client;
+    ASSERT_TRUE(client.Connect("127.0.0.1", s.port()).ok());
+    ASSERT_TRUE(client.SendRaw(wire).ok());
+    HttpResponse resp;
+    Status st = client.ReadResponse(&resp, 3000);
+    ASSERT_TRUE(st.ok()) << st.ToString();
+    EXPECT_GE(resp.status, 400);
+    EXPECT_LT(resp.status, 500);
+    ASSERT_NE(resp.FindHeader("x-xqc-code"), nullptr);
+    EXPECT_EQ(*resp.FindHeader("x-xqc-code"), kMalformedRequestCode);
+    EXPECT_FALSE(resp.keep_alive);  // framing broke; the connection ends
+  }
+  // The server survived the corpus.
+  HttpResponse resp;
+  ASSERT_TRUE(
+      HttpFetch("127.0.0.1", s.port(), "GET", "/healthz", {}, "", &resp)
+          .ok());
+  EXPECT_EQ(resp.status, 200);
+  EXPECT_GE(s.server->counters().malformed, 4);
+}
+
+TEST(HttpServerLive, PipelinedGarbageAfterValidRequest) {
+  LiveServer s;
+  HttpClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", s.port()).ok());
+  ASSERT_TRUE(client
+                  .SendRaw("POST /query HTTP/1.1\r\nContent-Length: 6\r\n"
+                           "\r\n1 to 2"
+                           "\x01\x02garbage that is not HTTP\r\n\r\n")
+                  .ok());
+  HttpResponse first;
+  ASSERT_TRUE(client.ReadResponse(&first).ok());
+  EXPECT_EQ(first.status, 200);
+  EXPECT_EQ(first.body, "1 2");
+  HttpResponse second;
+  Status st = client.ReadResponse(&second, 3000);
+  if (st.ok()) {
+    EXPECT_GE(second.status, 400);  // the garbage got a coded 4xx
+  }  // ...or a clean close; either is within contract
+}
+
+TEST(HttpServerLive, OversizedHeadersGet431) {
+  LiveServer s;
+  HttpClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", s.port()).ok());
+  ASSERT_TRUE(client
+                  .SendRaw("GET / HTTP/1.1\r\nX-Big: " +
+                           std::string(64 * 1024, 'a') + "\r\n\r\n")
+                  .ok());
+  HttpResponse resp;
+  Status st = client.ReadResponse(&resp, 3000);
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  EXPECT_EQ(resp.status, 431);
+}
+
+TEST(HttpServerLive, BadXqcHeaderValuesAre400NotCrash) {
+  LiveServer s;
+  HttpResponse resp;
+  ASSERT_TRUE(HttpFetch("127.0.0.1", s.port(), "POST", "/query",
+                        {{"X-XQC-Deadline-Ms", "soon"}}, "1", &resp)
+                  .ok());
+  EXPECT_EQ(resp.status, 400);
+  ASSERT_TRUE(HttpFetch("127.0.0.1", s.port(), "POST", "/query",
+                        {{"X-XQC-Batch-Size", "-5"}}, "1", &resp)
+                  .ok());
+  EXPECT_EQ(resp.status, 400);
+}
+
+// ---- timeouts and premature closes -----------------------------------
+
+TEST(HttpServerLive, SlowlorisEvictedWithinHeaderTimeout) {
+  HttpServerOptions hopts;
+  hopts.header_timeout_ms = 150;
+  LiveServer s(hopts);
+  HttpClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", s.port()).ok());
+  // Drip half a request line and stall.
+  ASSERT_TRUE(client.SendRaw("POST /que").ok());
+  HttpResponse resp;
+  const auto t0 = std::chrono::steady_clock::now();
+  Status st = client.ReadResponse(&resp, 5000);
+  const double ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+  // Either a best-effort 408 or a bare close — but promptly.
+  if (st.ok()) EXPECT_EQ(resp.status, 408);
+  EXPECT_LT(ms, 2000.0);
+  for (int i = 0; i < 100 && s.server->counters().timeouts_header == 0; i++) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_EQ(s.server->counters().timeouts_header, 1);
+}
+
+TEST(HttpServerLive, IdleKeepAliveConnectionsEvicted) {
+  HttpServerOptions hopts;
+  hopts.idle_timeout_ms = 150;
+  LiveServer s(hopts);
+  HttpClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", s.port()).ok());
+  HttpResponse resp;
+  ASSERT_TRUE(client.Request("POST", "/query", {}, "1", &resp).ok());
+  EXPECT_EQ(resp.status, 200);
+  // Now sit idle; the server must reclaim the connection.
+  Status st = client.ReadResponse(&resp, 15000);
+  EXPECT_FALSE(st.ok());  // clean close, no response
+  for (int i = 0; i < 300 && s.server->counters().idle_closed == 0; i++) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_GE(s.server->counters().idle_closed, 1);
+}
+
+TEST(HttpServerLive, PrematureCloseAtEveryStageIsSurvived) {
+  LiveServer s;
+  // Stage 1: connect, say nothing, close.
+  {
+    HttpClient c;
+    ASSERT_TRUE(c.Connect("127.0.0.1", s.port()).ok());
+  }
+  // Stage 2: half a request, close.
+  {
+    HttpClient c;
+    ASSERT_TRUE(c.Connect("127.0.0.1", s.port()).ok());
+    ASSERT_TRUE(c.SendRaw("POST /query HTTP/1.1\r\nConte").ok());
+  }
+  // Stage 3: headers but only part of the declared body, close.
+  {
+    HttpClient c;
+    ASSERT_TRUE(c.Connect("127.0.0.1", s.port()).ok());
+    ASSERT_TRUE(
+        c.SendRaw("POST /query HTTP/1.1\r\nContent-Length: 100\r\n\r\npart")
+            .ok());
+  }
+  // Stage 4: full request, close before reading the response.
+  {
+    HttpClient c;
+    ASSERT_TRUE(c.Connect("127.0.0.1", s.port()).ok());
+    ASSERT_TRUE(c.SendRaw("POST /query HTTP/1.1\r\nContent-Length: 6\r\n"
+                          "\r\n1 to 5")
+                    .ok());
+  }
+  // The loop notices each close without crashing, and still serves.
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  HttpResponse resp;
+  ASSERT_TRUE(
+      HttpFetch("127.0.0.1", s.port(), "GET", "/healthz", {}, "", &resp)
+          .ok());
+  EXPECT_EQ(resp.status, 200);
+  for (int i = 0; i < 100 && s.server->counters().open_connections > 0; i++) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_EQ(s.server->counters().open_connections, 0);
+}
+
+// ---- socket fault injection ------------------------------------------
+
+TEST(HttpNetFault, ShortWritesDeliverByteIdenticalResponses) {
+  HttpServerOptions hopts;
+  LiveServer s(hopts);
+  s.injector.mode = NetFaultMode::kShortWrite;
+  HttpResponse resp;
+  ASSERT_TRUE(HttpFetch("127.0.0.1", s.port(), "POST", "/query", {},
+                        "for $i in 1 to 50 return $i", &resp)
+                  .ok());
+  EXPECT_EQ(resp.status, 200);
+  std::string want;
+  for (int i = 1; i <= 50; i++) {
+    if (i > 1) want += " ";
+    want += std::to_string(i);
+  }
+  EXPECT_EQ(resp.body, want);
+  EXPECT_GT(s.server->counters().short_writes, 0);
+}
+
+TEST(HttpNetFault, MidResponseCloseTruncatesOnceThenRecovers) {
+  LiveServer s;
+  s.injector.mode = NetFaultMode::kMidResponseClose;
+  s.injector.fail_n = 1;  // only the first response faults
+  HttpResponse resp;
+  Status st = HttpFetch("127.0.0.1", s.port(), "POST", "/query", {}, "1 to 5",
+                        &resp);
+  EXPECT_FALSE(st.ok());  // truncated response must be detected
+  EXPECT_EQ(s.server->counters().responses_truncated, 1);
+  Status st2 = HttpFetch("127.0.0.1", s.port(), "POST", "/query", {}, "1 to 5",
+                         &resp);
+  ASSERT_TRUE(st2.ok()) << st2.ToString()
+                        << " truncated=" << s.server->counters().responses_truncated
+                        << " ops=" << s.injector.ops.load();
+  EXPECT_EQ(resp.status, 200);
+  EXPECT_EQ(resp.body, "1 2 3 4 5");
+}
+
+TEST(HttpNetFault, AcceptFailSurvivedAndCounted) {
+  LiveServer s;
+  s.injector.mode = NetFaultMode::kAcceptFail;
+  s.injector.fail_n = 1;
+  // First connection is accepted then dropped; the client sees a close.
+  {
+    HttpClient c;
+    ASSERT_TRUE(c.Connect("127.0.0.1", s.port()).ok());
+    (void)c.SendRaw("GET /healthz HTTP/1.1\r\n\r\n");
+    HttpResponse resp;
+    EXPECT_FALSE(c.ReadResponse(&resp, 2000).ok());
+  }
+  // Second connection is served normally.
+  HttpResponse resp;
+  ASSERT_TRUE(
+      HttpFetch("127.0.0.1", s.port(), "GET", "/healthz", {}, "", &resp)
+          .ok());
+  EXPECT_EQ(resp.status, 200);
+  EXPECT_EQ(s.server->counters().accept_faults, 1);
+}
+
+TEST(HttpNetFault, StalledReadEvictedByTimeout) {
+  HttpServerOptions hopts;
+  hopts.header_timeout_ms = 150;
+  hopts.idle_timeout_ms = 150;
+  LiveServer s(hopts);
+  s.injector.mode = NetFaultMode::kStalledRead;
+  HttpClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", s.port()).ok());
+  ASSERT_TRUE(client.SendRaw("GET /healthz HTTP/1.1\r\n\r\n").ok());
+  HttpResponse resp;
+  const auto t0 = std::chrono::steady_clock::now();
+  Status st = client.ReadResponse(&resp, 5000);
+  const double ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+  EXPECT_FALSE(st.ok() && resp.status == 200);  // the read never happened
+  EXPECT_LT(ms, 2000.0);  // evicted by the timeout, not hung
+}
+
+TEST(HttpNetFault, SlowClientLargeResponseHitsWriteTimeout) {
+  HttpServerOptions hopts;
+  hopts.write_timeout_ms = 200;
+  LiveServer s(hopts);
+  s.injector.mode = NetFaultMode::kSlowClient;
+  s.injector.slow_write_gap_ms = 20;
+  HttpClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", s.port()).ok());
+  ASSERT_TRUE(client
+                  .SendRaw("POST /query HTTP/1.1\r\nContent-Length: 27\r\n"
+                           "\r\nfor $i in 1 to 999 return $i")
+                  .ok());
+  HttpResponse resp;
+  Status st = client.ReadResponse(&resp, 10000);
+  EXPECT_FALSE(st.ok());  // evicted mid-trickle
+  for (int i = 0; i < 100 && s.server->counters().timeouts_write == 0; i++) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_GE(s.server->counters().timeouts_write, 1);
+}
+
+TEST(HttpEnvFault, ModeSweepStaysLiveAndLeakFree) {
+  // scripts/check.sh runs this test once per XQC_NET_FAULT_MODE value.
+  // Under every mode the server must stay alive, evict what it must
+  // within its (shortened) timeouts, and shut down cleanly — ASan/TSan
+  // turn any leak or race on the fault paths into a failure. Outcome
+  // counts are only pinned for the modes where they are deterministic.
+  NetFaultMode mode = NetFaultMode::kNone;
+  const char* env = std::getenv("XQC_NET_FAULT_MODE");
+  if (env != nullptr) {
+    ASSERT_TRUE(NetFaultModeFromName(env, &mode)) << "bad mode: " << env;
+  }
+  HttpServerOptions hopts;
+  hopts.header_timeout_ms = 300;
+  hopts.idle_timeout_ms = 300;
+  hopts.write_timeout_ms = 300;
+  LiveServer s(hopts);
+  s.injector.mode = mode;
+  int ok = 0;
+  for (int i = 0; i < 20; i++) {
+    HttpResponse resp;
+    Status st = HttpFetch("127.0.0.1", s.port(), "POST", "/query", {},
+                          "1 to 3", &resp, 3000);
+    if (st.ok() && resp.status == 200 && resp.body == "1 2 3") ok++;
+  }
+  if (mode == NetFaultMode::kNone || mode == NetFaultMode::kShortWrite) {
+    EXPECT_EQ(ok, 20);  // these modes may slow, never break, responses
+  }
+  if (mode == NetFaultMode::kAcceptFail ||
+      mode == NetFaultMode::kStalledRead) {
+    EXPECT_EQ(ok, 0);  // nothing can be served, but nothing crashed
+  }
+  if (mode != NetFaultMode::kNone) {
+    EXPECT_GT(s.injector.ops.load(), 0) << "fault mode never fired";
+  }
+  // The fixture destructor runs Stop() + Shutdown(): bounded by design.
+}
+
+// ---- crash-only drain -------------------------------------------------
+
+TEST(HttpDrain, ReadyzFlipsAndOpenConnectionsGetXqc0012) {
+  LiveServer s;
+  HttpClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", s.port()).ok());
+  // Partial request: this connection is mid-read at drain time, so it is
+  // not idle-closed; its request must be answered with the drain code.
+  // (The sleep lets the server accept and read the partial bytes — a
+  // connection still sitting in the accept queue at drain onset is
+  // legitimately RST by the closing listener.)
+  ASSERT_TRUE(client.SendRaw("POST /query HTTP/1.1\r\n").ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  s.server->BeginDrain();
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  EXPECT_TRUE(s.server->draining());
+  // New connections are refused at the socket (listener is closed).
+  HttpClient late;
+  EXPECT_FALSE(late.Connect("127.0.0.1", s.port()).ok());
+  // The in-progress connection finishes its request and gets XQC0012.
+  ASSERT_TRUE(client.SendRaw("Content-Length: 6\r\n\r\n1 to 5").ok());
+  HttpResponse resp;
+  ASSERT_TRUE(client.ReadResponse(&resp).ok());
+  EXPECT_EQ(resp.status, 503);
+  ASSERT_NE(resp.FindHeader("x-xqc-code"), nullptr);
+  EXPECT_EQ(*resp.FindHeader("x-xqc-code"), kServiceDrainingCode);
+  EXPECT_GE(s.server->counters().drain_refused, 1);
+  EXPECT_TRUE(s.server->WaitDrained(5000));
+}
+
+TEST(HttpDrain, InFlightRequestCompletesWithinGrace) {
+  HttpServerOptions hopts;
+  // Generous grace: under TSan plus a loaded machine the query itself
+  // slows by an order of magnitude, and a grace expiry here would turn
+  // the expected 200 into a straggler-cancelled 503.
+  hopts.drain_grace_ms = 20000;
+  ServiceOptions sopts;
+  sopts.default_limits.deadline_ms = 60000;
+  LiveServer s(hopts, sopts);
+  HttpClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", s.port()).ok());
+  const std::string q = "count(for $a in 1 to 80000 return $a)";
+  ASSERT_TRUE(client
+                  .SendRaw("POST /query HTTP/1.1\r\nContent-Length: " +
+                           std::to_string(q.size()) + "\r\n\r\n" + q)
+                  .ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  s.server->BeginDrain();
+  HttpResponse resp;
+  ASSERT_TRUE(client.ReadResponse(&resp, 30000).ok());
+  EXPECT_EQ(resp.status, 200);
+  EXPECT_EQ(resp.body, "80000");
+  EXPECT_TRUE(s.server->WaitDrained(30000));
+}
+
+TEST(HttpDrain, StragglerCancelledAfterGraceAsXqc0012) {
+  HttpServerOptions hopts;
+  hopts.drain_grace_ms = 150;
+  ServiceOptions sopts;
+  sopts.default_limits.deadline_ms = 60000;  // the query won't time out
+  LiveServer s(hopts, sopts);
+  HttpClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", s.port()).ok());
+  const std::string q =
+      "count(for $a in 1 to 1000000, $b in 1 to 1000000 return 1)";
+  ASSERT_TRUE(client
+                  .SendRaw("POST /query HTTP/1.1\r\nContent-Length: " +
+                           std::to_string(q.size()) + "\r\n\r\n" + q)
+                  .ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  s.server->BeginDrain();
+  HttpResponse resp;
+  ASSERT_TRUE(client.ReadResponse(&resp, 8000).ok());
+  EXPECT_EQ(resp.status, 503);
+  ASSERT_NE(resp.FindHeader("x-xqc-code"), nullptr);
+  EXPECT_EQ(*resp.FindHeader("x-xqc-code"), kServiceDrainingCode);
+  EXPECT_TRUE(s.server->WaitDrained(5000));
+  EXPECT_GE(s.server->counters().stragglers_cancelled, 1);
+}
+
+TEST(HttpDrain, StopAlwaysReturnsEvenWithHostileClients) {
+  HttpServerOptions hopts;
+  hopts.drain_grace_ms = 200;
+  LiveServer s(hopts);
+  // A slowloris and a half-finished body, both parked.
+  HttpClient a, b;
+  ASSERT_TRUE(a.Connect("127.0.0.1", s.port()).ok());
+  ASSERT_TRUE(a.SendRaw("POST /que").ok());
+  ASSERT_TRUE(b.Connect("127.0.0.1", s.port()).ok());
+  ASSERT_TRUE(
+      b.SendRaw("POST /query HTTP/1.1\r\nContent-Length: 999\r\n\r\nx").ok());
+  const auto t0 = std::chrono::steady_clock::now();
+  s.server->Stop();
+  const double ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+  EXPECT_LT(ms, 4000.0);  // grace + slack, never the 10s body timeout
+}
+
+// ---- plan cache over the wire ----------------------------------------
+
+TEST(HttpPlanCache, HitsVisibleInStatsAndInvalidateResets) {
+  LiveServer s;
+  HttpResponse resp;
+  for (int i = 0; i < 3; i++) {
+    ASSERT_TRUE(HttpFetch("127.0.0.1", s.port(), "POST", "/query", {},
+                          "1 + 1", &resp)
+                    .ok());
+    EXPECT_EQ(resp.status, 200);
+    EXPECT_EQ(resp.body, "2");
+  }
+  QueryService::PlanCacheStats pc = s.service->plan_cache_stats();
+  EXPECT_EQ(pc.compiles, 1);
+  EXPECT_GE(pc.hits, 2);
+  ASSERT_TRUE(HttpFetch("127.0.0.1", s.port(), "POST", "/invalidate", {},
+                        "1 + 1", &resp)
+                  .ok());
+  EXPECT_EQ(resp.status, 200);
+  EXPECT_NE(resp.body.find("\"invalidated\": 1"), std::string::npos);
+  ASSERT_TRUE(
+      HttpFetch("127.0.0.1", s.port(), "POST", "/query", {}, "1 + 1", &resp)
+          .ok());
+  EXPECT_EQ(s.service->plan_cache_stats().compiles, 2);  // recompiled
+}
+
+TEST(HttpPlanCache, NoPlanCacheHeaderBypassesByteIdentically) {
+  LiveServer s;
+  HttpResponse cached, uncached;
+  ASSERT_TRUE(HttpFetch("127.0.0.1", s.port(), "POST", "/query", {},
+                        "for $i in 1 to 20 return $i * $i", &cached)
+                  .ok());
+  ASSERT_TRUE(HttpFetch("127.0.0.1", s.port(), "POST", "/query",
+                        {{"X-XQC-No-Plan-Cache", "1"}},
+                        "for $i in 1 to 20 return $i * $i", &uncached)
+                  .ok());
+  EXPECT_EQ(cached.status, 200);
+  EXPECT_EQ(uncached.status, 200);
+  EXPECT_EQ(cached.body, uncached.body);  // the ablation is byte-identical
+}
+
+}  // namespace
+}  // namespace xqc

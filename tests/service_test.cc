@@ -12,6 +12,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/service/query_service.h"
@@ -398,6 +399,178 @@ TEST(ServiceAblation, DefaultOptionsLeaveNewCountersUntouched) {
   EXPECT_EQ(c.rejected_predicted, 0);
   EXPECT_EQ(c.tenant_rejected, 0);
   EXPECT_TRUE(c.tenant_rejections.empty());
+}
+
+// ---- prepared-plan cache ---------------------------------------------------
+
+TEST(PlanCache, HitSkipsCompileAndAnswersIdentically) {
+  ServiceOptions opts;
+  opts.num_threads = 2;
+  QueryService service(opts);
+
+  QueryRequest a;
+  a.query_text = "for $i in 1 to 10 return $i * $i";
+  QueryResponse ra = service.Run(std::move(a));
+  ASSERT_TRUE(ra.status.ok());
+  QueryRequest b;
+  b.query_text = "  for $i in 1 to 10 return $i * $i \n";  // same after trim
+  QueryResponse rb = service.Run(std::move(b));
+  ASSERT_TRUE(rb.status.ok());
+  EXPECT_EQ(ra.result, rb.result);
+
+  QueryService::PlanCacheStats pc = service.plan_cache_stats();
+  EXPECT_EQ(pc.compiles, 1);
+  EXPECT_EQ(pc.misses, 1);
+  EXPECT_EQ(pc.hits, 1);
+  EXPECT_EQ(pc.entries, 1);
+  EXPECT_GT(pc.bytes, 0);
+}
+
+TEST(PlanCache, AblationIsByteIdenticalAndUncounted) {
+  // The --no-plan-cache path must be the exact pre-cache code path: same
+  // bytes out, nothing recorded in the cache.
+  ServiceOptions cached_opts;
+  cached_opts.num_threads = 1;
+  ServiceOptions ablated_opts;
+  ablated_opts.num_threads = 1;
+  ablated_opts.plan_cache_entries = 0;
+  QueryService cached(cached_opts);
+  QueryService ablated(ablated_opts);
+  const char* kQueries[] = {
+      "1 to 5",
+      "<r>{for $i in 1 to 3 return <x>{$i}</x>}</r>",
+      "sum(for $i in 1 to 100 return $i)",
+  };
+  for (const char* q : kQueries) {
+    for (int round = 0; round < 2; round++) {
+      QueryRequest r1;
+      r1.query_text = q;
+      QueryRequest r2;
+      r2.query_text = q;
+      QueryResponse a = cached.Run(std::move(r1));
+      QueryResponse b = ablated.Run(std::move(r2));
+      ASSERT_TRUE(a.status.ok()) << q;
+      ASSERT_TRUE(b.status.ok()) << q;
+      EXPECT_EQ(a.result, b.result) << q;
+    }
+  }
+  EXPECT_GT(cached.plan_cache_stats().hits, 0);
+  QueryService::PlanCacheStats pc = ablated.plan_cache_stats();
+  EXPECT_EQ(pc.hits + pc.misses + pc.compiles + pc.entries, 0);
+
+  // Per-request bypass on a cache-enabled service is also untracked.
+  QueryRequest bypass;
+  bypass.query_text = "9 - 2";
+  bypass.no_plan_cache = true;
+  EXPECT_TRUE(cached.Run(std::move(bypass)).status.ok());
+  EXPECT_EQ(cached.plan_cache_stats().entries, 3u);  // nothing new cached
+}
+
+TEST(PlanCache, StampedeCompilesExactlyOnce) {
+  // N threads race one cold query; singleflight must compile it once and
+  // coalesce every other thread onto that compilation.
+  ServiceOptions opts;
+  opts.num_threads = 8;
+  opts.max_queue = 64;
+  QueryService service(opts);
+  constexpr int kThreads = 16;
+  std::vector<std::thread> threads;
+  std::atomic<int> ok{0};
+  for (int t = 0; t < kThreads; t++) {
+    threads.emplace_back([&] {
+      QueryRequest req;
+      req.query_text = "count(for $i in 1 to 500 return $i)";
+      req.limits.deadline_ms = 60'000;
+      QueryResponse resp = service.Run(std::move(req));
+      if (resp.status.ok() && resp.result == "500") ok.fetch_add(1);
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(ok.load(), kThreads);
+  QueryService::PlanCacheStats pc = service.plan_cache_stats();
+  EXPECT_EQ(pc.compiles, 1);
+  EXPECT_EQ(pc.hits + pc.waiters_coalesced, kThreads - 1);
+}
+
+TEST(PlanCache, BatchAndParallelismKeySeparately) {
+  // batch_size/parallelism bake into the compiled plan, so each effective
+  // combination is its own cache entry — a hit may never change semantics.
+  ServiceOptions opts;
+  opts.num_threads = 2;
+  QueryService service(opts);
+  const std::string q = "count(for $i in 1 to 200 return $i)";
+  for (int batch : {0, 64}) {
+    QueryRequest req;
+    req.query_text = q;
+    req.batch_size = batch;
+    QueryResponse resp = service.Run(std::move(req));
+    ASSERT_TRUE(resp.status.ok());
+    EXPECT_EQ(resp.result, "200");
+  }
+  EXPECT_EQ(service.plan_cache_stats().compiles, 2);
+  EXPECT_EQ(service.plan_cache_stats().entries, 2u);
+}
+
+TEST(PlanCache, NegativeCachingOnlyForDeterministicErrors) {
+  ServiceOptions opts;
+  opts.num_threads = 1;
+  opts.plan_cache_negative_ttl_ms = 60'000;
+  QueryService service(opts);
+  for (int i = 0; i < 3; i++) {
+    QueryRequest req;
+    req.query_text = "1 to (((";  // parse error: deterministic
+    QueryResponse resp = service.Run(std::move(req));
+    EXPECT_FALSE(resp.status.ok());
+    EXPECT_EQ(resp.status.kind(), StatusKind::kParseError);
+  }
+  QueryService::PlanCacheStats pc = service.plan_cache_stats();
+  EXPECT_EQ(pc.compiles, 1);  // the error was cached, not re-derived
+  EXPECT_EQ(pc.negative_hits, 2);
+}
+
+TEST(PlanCache, InvalidationDropsEntriesAndForcesRecompile) {
+  ServiceOptions opts;
+  opts.num_threads = 1;
+  QueryService service(opts);
+  auto run = [&](const std::string& q) {
+    QueryRequest req;
+    req.query_text = q;
+    return service.Run(std::move(req));
+  };
+  ASSERT_TRUE(run("1 + 1").status.ok());
+  ASSERT_TRUE(run("2 + 2").status.ok());
+  EXPECT_EQ(service.plan_cache_stats().entries, 2u);
+  EXPECT_EQ(service.InvalidatePlan("1 + 1"), 1);
+  EXPECT_EQ(service.InvalidatePlan("no such entry"), 0);
+  EXPECT_EQ(service.plan_cache_stats().entries, 1u);
+  ASSERT_TRUE(run("1 + 1").status.ok());
+  EXPECT_EQ(service.plan_cache_stats().compiles, 3);  // recompiled
+  EXPECT_EQ(service.InvalidateAllPlans(), 2);
+  EXPECT_EQ(service.plan_cache_stats().entries, 0u);
+}
+
+TEST(PlanCache, LruEvictionBoundsEntries) {
+  ServiceOptions opts;
+  opts.num_threads = 1;
+  opts.plan_cache_entries = 4;
+  QueryService service(opts);
+  for (int i = 0; i < 10; i++) {
+    QueryRequest req;
+    req.query_text = std::to_string(i) + " + 0";
+    ASSERT_TRUE(service.Run(std::move(req)).status.ok());
+  }
+  QueryService::PlanCacheStats pc = service.plan_cache_stats();
+  EXPECT_LE(pc.entries, 4u);
+  EXPECT_EQ(pc.evictions, 6);
+  // The most recent entry is resident; the oldest was evicted.
+  QueryRequest hot;
+  hot.query_text = "9 + 0";
+  ASSERT_TRUE(service.Run(std::move(hot)).status.ok());
+  EXPECT_EQ(service.plan_cache_stats().compiles, 10);  // hit, no recompile
+  QueryRequest cold;
+  cold.query_text = "0 + 0";
+  ASSERT_TRUE(service.Run(std::move(cold)).status.ok());
+  EXPECT_EQ(service.plan_cache_stats().compiles, 11);  // evicted, recompiled
 }
 
 }  // namespace

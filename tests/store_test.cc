@@ -83,6 +83,25 @@ TEST(NormalizeDocUriTest, FileUrisMapToLocalPaths) {
   EXPECT_EQ(NormalizeDocUri("file:///a%2"), "/a%2");
 }
 
+TEST(NormalizeDocUriTest, MalformedEscapesShareTheHttpDecoderContract) {
+  // NormalizeDocUri and the HTTP request-target parser decode with the
+  // same shared PercentDecode (src/base/strutil.h); these are the exact
+  // malformed-escape cases base_test pins on the helper, replayed through
+  // the store's URI path to catch the two layers drifting apart.
+  EXPECT_EQ(NormalizeDocUri("file:///%"), "/%");
+  EXPECT_EQ(NormalizeDocUri("file:///x%"), "/x%");
+  EXPECT_EQ(NormalizeDocUri("file:///a%2x.xml"), "/a%2x.xml");
+  EXPECT_EQ(NormalizeDocUri("file:///a%%20b.xml"), "/a% b.xml");
+  EXPECT_EQ(NormalizeDocUri("file:///a%ZZ%20b"), "/a%ZZ b");
+  // Uppercase and lowercase hex both decode (then the lexical pass
+  // collapses the resulting empty segments).
+  EXPECT_EQ(NormalizeDocUri("file:///%2F%2f"), "/");
+  // And a decoded %2E must NOT re-enter dot-segment collapsing: the
+  // decode happens before lexical normalization, so it does collapse —
+  // pin that order so it never changes silently.
+  EXPECT_EQ(NormalizeDocUri("file:///a/%2E%2E/b.xml"), "/b.xml");
+}
+
 // ---------------------------------------------------------------------------
 // Store fixture: a private store plus scratch files under TempDir.
 // ---------------------------------------------------------------------------
